@@ -1,0 +1,248 @@
+//! The simulated CLX user (the "lazy approach" of Harris & Gulwani used in
+//! §7.4 of the paper): select the target pattern, then verify each suggested
+//! atomic transformation plan and repair it when the default is wrong.
+
+use clx_core::{ClxSession, RowOutcome};
+use clx_pattern::Pattern;
+
+/// The trace of one simulated CLX run on one task.
+#[derive(Debug, Clone)]
+pub struct ClxTrace {
+    /// Number of target patterns the user selected (the *Selection* steps).
+    pub selections: usize,
+    /// Number of source patterns whose default plan had to be repaired (the
+    /// *Repair* / *Adjust* steps).
+    pub repairs: usize,
+    /// Number of source patterns the user verified (each suggested Replace
+    /// operation is one verification interaction).
+    pub plans_verified: usize,
+    /// Number of rows still not matching the ground truth at the end.
+    pub failing_rows: usize,
+    /// Number of rows in the task.
+    pub rows: usize,
+    /// Number of pattern clusters shown to the user at labelling time.
+    pub patterns_shown: usize,
+    /// Whether the final program transformed every row to the ground truth.
+    pub perfect: bool,
+    /// Whether the *initial* (unrepaired) program was already perfect.
+    pub initial_perfect: bool,
+}
+
+impl ClxTrace {
+    /// The paper's Step metric for CLX: selections + repairs, plus one
+    /// punishment step per row the final program still gets wrong (§7.4).
+    pub fn steps(&self) -> usize {
+        self.selections + self.repairs + self.failing_rows
+    }
+
+    /// The number of interactions as defined for Figure 11b: one for the
+    /// initial labelling plus one verify-(and-repair) interaction per
+    /// suggested atomic transformation plan.
+    pub fn interactions(&self) -> usize {
+        1 + self.plans_verified
+    }
+}
+
+/// Run the simulated CLX user on one task.
+///
+/// `inputs` is the messy column, `expected` the ground truth, and `target`
+/// the pattern the user labels. The user:
+///
+/// 1. labels the target pattern (1 selection);
+/// 2. for every suggested source plan, checks its output against the ground
+///    truth on that cluster's rows; if wrong, walks the ranked alternatives
+///    and picks the first one that fixes the cluster (1 repair);
+/// 3. stops — rows that still mismatch count as punishment steps.
+pub fn run_clx_user(inputs: &[String], expected: &[String], target: &Pattern) -> ClxTrace {
+    let mut session = ClxSession::new(inputs.to_vec());
+    let patterns_shown = session.patterns().len();
+    session
+        .label(target.clone())
+        .expect("target pattern must be non-empty");
+
+    let rows = inputs.len();
+    let initial_perfect = count_failures(&session, expected) == 0;
+
+    // Verify-and-repair each suggested plan, cluster by cluster.
+    let source_patterns: Vec<Pattern> = session
+        .synthesis()
+        .expect("labelled")
+        .sources
+        .iter()
+        .map(|s| s.pattern.clone())
+        .collect();
+    let plans_verified = source_patterns.len();
+    let mut repairs = 0;
+
+    for source in &source_patterns {
+        if cluster_failures(&session, expected, source) == 0 {
+            continue;
+        }
+        // The default plan is wrong for this cluster: try the alternatives.
+        let alternative_count = session
+            .alternatives(source)
+            .map(|a| a.len())
+            .unwrap_or(0);
+        let mut fixed = false;
+        for choice in 1..alternative_count {
+            session.repair(source, choice).expect("labelled");
+            if cluster_failures(&session, expected, source) == 0 {
+                fixed = true;
+                break;
+            }
+        }
+        if !fixed {
+            // No alternative fixes it: revert to the default plan.
+            session.repair(source, 0).expect("labelled");
+        }
+        // Whether or not an alternative worked, the user spent one repair
+        // interaction on this source pattern.
+        repairs += 1;
+    }
+
+    let failing_rows = count_failures(&session, expected);
+    ClxTrace {
+        selections: 1,
+        repairs,
+        plans_verified,
+        failing_rows,
+        rows,
+        patterns_shown,
+        perfect: failing_rows == 0,
+        initial_perfect,
+    }
+}
+
+/// Number of rows whose final output differs from the ground truth.
+fn count_failures(session: &ClxSession, expected: &[String]) -> usize {
+    let report = session.apply().expect("labelled session");
+    report
+        .rows
+        .iter()
+        .zip(expected)
+        .filter(|(row, want)| row.value() != want.as_str())
+        .count()
+}
+
+/// Number of rows belonging to `source`'s cluster whose output differs from
+/// the ground truth.
+fn cluster_failures(session: &ClxSession, expected: &[String], source: &Pattern) -> usize {
+    let report = session.apply().expect("labelled session");
+    report
+        .rows
+        .iter()
+        .zip(session.data())
+        .zip(expected)
+        .filter(|((row, input), want)| {
+            source.matches(input) && !matches!(row, RowOutcome::AlreadyConforming { .. })
+                && row.value() != want.as_str()
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::{parse_pattern, tokenize};
+
+    #[test]
+    fn phone_task_needs_no_repairs() {
+        let inputs: Vec<String> = vec![
+            "(734) 645-8397".into(),
+            "(734)586-7252".into(),
+            "734-422-8073".into(),
+            "734.236.3466".into(),
+        ];
+        let expected: Vec<String> = vec![
+            "734-645-8397".into(),
+            "734-586-7252".into(),
+            "734-422-8073".into(),
+            "734-236-3466".into(),
+        ];
+        let trace = run_clx_user(&inputs, &expected, &tokenize("734-422-8073"));
+        assert!(trace.perfect);
+        assert!(trace.initial_perfect);
+        assert_eq!(trace.repairs, 0);
+        assert_eq!(trace.selections, 1);
+        assert_eq!(trace.steps(), 1);
+        assert_eq!(trace.interactions(), 1 + trace.plans_verified);
+        assert_eq!(trace.rows, 4);
+    }
+
+    #[test]
+    fn ambiguous_dates_are_fixed_by_repair() {
+        // DD/MM/YYYY -> MM-DD-YYYY requires swapping the first two fields;
+        // the MDL default often picks the non-swapping plan, which the
+        // simulated user repairs.
+        let inputs: Vec<String> = vec![
+            "25/12/2017".into(),
+            "13/04/2018".into(),
+            "28/02/2019".into(),
+            "12-25-2017".into(),
+        ];
+        let expected: Vec<String> = vec![
+            "12-25-2017".into(),
+            "04-13-2018".into(),
+            "02-28-2019".into(),
+            "12-25-2017".into(),
+        ];
+        let trace = run_clx_user(&inputs, &expected, &tokenize("12-25-2017"));
+        assert!(trace.perfect, "repair should recover the swap: {trace:?}");
+        assert!(!trace.initial_perfect);
+        assert_eq!(trace.repairs, 1);
+        assert_eq!(trace.steps(), 2);
+    }
+
+    #[test]
+    fn unreachable_rows_become_punishment_steps() {
+        let inputs: Vec<String> = vec!["N/A".into(), "734-422-8073".into(), "(734) 645-8397".into()];
+        let expected: Vec<String> = vec![
+            "555-555-5555".into(), // impossible: no digits in the input
+            "734-422-8073".into(),
+            "734-645-8397".into(),
+        ];
+        let trace = run_clx_user(&inputs, &expected, &tokenize("734-422-8073"));
+        assert!(!trace.perfect);
+        assert_eq!(trace.failing_rows, 1);
+        assert!(trace.steps() >= 2);
+    }
+
+    #[test]
+    fn medical_codes_task() {
+        let inputs: Vec<String> = vec![
+            "CPT-00350".into(),
+            "[CPT-00340".into(),
+            "[CPT-11536]".into(),
+            "CPT115".into(),
+        ];
+        let expected: Vec<String> = vec![
+            "[CPT-00350]".into(),
+            "[CPT-00340]".into(),
+            "[CPT-11536]".into(),
+            "[CPT-115]".into(),
+        ];
+        let trace = run_clx_user(
+            &inputs,
+            &expected,
+            &parse_pattern("'['<U>+'-'<D>+']'").unwrap(),
+        );
+        assert!(trace.perfect, "{trace:?}");
+        assert_eq!(trace.selections, 1);
+    }
+
+    #[test]
+    fn patterns_shown_matches_cluster_count() {
+        let inputs: Vec<String> = vec![
+            "(734) 645-8397".into(),
+            "(231) 555-0199".into(),
+            "734-422-8073".into(),
+        ];
+        let expected: Vec<String> = vec![
+            "734-645-8397".into(),
+            "231-555-0199".into(),
+            "734-422-8073".into(),
+        ];
+        let trace = run_clx_user(&inputs, &expected, &tokenize("734-422-8073"));
+        assert_eq!(trace.patterns_shown, 2);
+    }
+}

@@ -1,0 +1,194 @@
+//! The simulated FlashFill user of §7.4: provide the first positive example
+//! on the first record in a non-standard format, then iteratively provide a
+//! positive example for the first record the synthesized program still gets
+//! wrong, until the whole column is correct (or the interaction budget runs
+//! out).
+
+use clx_flashfill::{Example, FlashFill};
+
+/// The trace of one simulated FlashFill run on one task.
+#[derive(Debug, Clone)]
+pub struct FlashFillTrace {
+    /// Number of examples the user typed (one interaction each).
+    pub examples: usize,
+    /// Rows the final program still gets wrong.
+    pub failing_rows: usize,
+    /// Number of rows in the task.
+    pub rows: usize,
+    /// Whether the final program reproduces the ground truth on every row.
+    pub perfect: bool,
+    /// For each interaction, how many rows the user had to scan (starting
+    /// from the top of the column) before finding the mistake that prompted
+    /// the next example — the per-interaction verification workload that
+    /// grows as the column gets cleaner (Figure 11c of the paper).
+    pub rows_scanned_per_interaction: Vec<usize>,
+}
+
+impl FlashFillTrace {
+    /// The paper's Step metric for FlashFill: examples provided plus one
+    /// punishment step per row the final program still gets wrong.
+    pub fn steps(&self) -> usize {
+        self.examples + self.failing_rows
+    }
+
+    /// Interactions for Figure 11b: the number of examples provided.
+    pub fn interactions(&self) -> usize {
+        self.examples
+    }
+}
+
+/// Run the simulated FlashFill user.
+///
+/// `max_examples` bounds the loop (a real user gives up eventually; the
+/// paper's tasks never need more than a handful of examples per format).
+pub fn run_flashfill_user(
+    inputs: &[String],
+    expected: &[String],
+    max_examples: usize,
+) -> FlashFillTrace {
+    assert_eq!(inputs.len(), expected.len());
+    let engine = FlashFill::new();
+    let rows = inputs.len();
+    let mut examples: Vec<Example> = Vec::new();
+    let mut rows_scanned_per_interaction = Vec::new();
+
+    // First example: the first record whose value is not already correct.
+    let first_wrong = inputs
+        .iter()
+        .zip(expected)
+        .position(|(i, e)| i != e)
+        .unwrap_or(0);
+    rows_scanned_per_interaction.push(first_wrong + 1);
+    examples.push(Example::new(
+        inputs[first_wrong].clone(),
+        expected[first_wrong].clone(),
+    ));
+
+    loop {
+        let outputs = engine.learn_and_apply(&examples, inputs);
+        let first_failure = outputs
+            .iter()
+            .zip(expected)
+            .position(|(got, want)| got != want);
+        match first_failure {
+            None => {
+                // Final pass: the user scans the whole column and finds
+                // nothing left to fix.
+                rows_scanned_per_interaction.push(rows);
+                return FlashFillTrace {
+                    examples: examples.len(),
+                    failing_rows: 0,
+                    rows,
+                    perfect: true,
+                    rows_scanned_per_interaction,
+                };
+            }
+            Some(row) => {
+                if examples.len() >= max_examples {
+                    let failing = outputs
+                        .iter()
+                        .zip(expected)
+                        .filter(|(got, want)| got != want)
+                        .count();
+                    return FlashFillTrace {
+                        examples: examples.len(),
+                        failing_rows: failing,
+                        rows,
+                        perfect: false,
+                        rows_scanned_per_interaction,
+                    };
+                }
+                // The user scanned down to this row to discover the mistake,
+                // then typed a corrective example.
+                rows_scanned_per_interaction.push(row + 1);
+                examples.push(Example::new(inputs[row].clone(), expected[row].clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_column_needs_one_example() {
+        let inputs: Vec<String> = vec![
+            "(734) 645-8397".into(),
+            "(231) 555-0199".into(),
+            "(941) 222-3333".into(),
+        ];
+        let expected: Vec<String> = vec![
+            "734-645-8397".into(),
+            "231-555-0199".into(),
+            "941-222-3333".into(),
+        ];
+        let trace = run_flashfill_user(&inputs, &expected, 10);
+        assert!(trace.perfect);
+        assert_eq!(trace.examples, 1);
+        assert_eq!(trace.steps(), 1);
+        assert_eq!(trace.interactions(), 1);
+    }
+
+    #[test]
+    fn one_example_per_format_is_typical() {
+        let inputs: Vec<String> = vec![
+            "(734) 645-8397".into(),
+            "734.236.3466".into(),
+            "(231) 555-0199".into(),
+            "941.222.3333".into(),
+        ];
+        let expected: Vec<String> = vec![
+            "734-645-8397".into(),
+            "734-236-3466".into(),
+            "231-555-0199".into(),
+            "941-222-3333".into(),
+        ];
+        let trace = run_flashfill_user(&inputs, &expected, 10);
+        assert!(trace.perfect);
+        assert!(trace.examples >= 2 && trace.examples <= 4, "{trace:?}");
+    }
+
+    #[test]
+    fn verification_scans_grow_as_errors_get_rarer() {
+        // 20 rows: the dominant format is fixed by the first example, the
+        // rare format near the bottom forces a long scan.
+        let mut inputs: Vec<String> = Vec::new();
+        let mut expected: Vec<String> = Vec::new();
+        for i in 0..18 {
+            inputs.push(format!("(70{}) 645-839{}", i % 10, i % 10));
+            expected.push(format!("70{}-645-839{}", i % 10, i % 10));
+        }
+        inputs.push("734.236.3466".into());
+        expected.push("734-236-3466".into());
+        inputs.push("941.222.3333".into());
+        expected.push("941-222-3333".into());
+        let trace = run_flashfill_user(&inputs, &expected, 10);
+        assert!(trace.perfect);
+        let scans = &trace.rows_scanned_per_interaction;
+        assert!(scans.len() >= 3);
+        // The last scans cover (nearly) the whole column.
+        assert!(*scans.last().unwrap() == inputs.len());
+        assert!(scans[scans.len() - 2] > scans[0]);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_failures() {
+        let inputs: Vec<String> = vec!["abc".into(), "123-xyz".into()];
+        let expected: Vec<String> = vec!["impossible1".into(), "impossible2".into()];
+        let trace = run_flashfill_user(&inputs, &expected, 1);
+        assert!(!trace.perfect);
+        assert_eq!(trace.examples, 1);
+        assert!(trace.failing_rows >= 1);
+        assert!(trace.steps() >= 2);
+    }
+
+    #[test]
+    fn already_clean_column() {
+        let inputs: Vec<String> = vec!["734-645-8397".into(), "231-555-0199".into()];
+        let expected = inputs.clone();
+        let trace = run_flashfill_user(&inputs, &expected, 10);
+        assert!(trace.perfect);
+        assert_eq!(trace.examples, 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # clx-baselines
+//!
+//! The evaluation machinery of *CLX: Towards verifiable PBE data
+//! transformation*: the comparison baselines and the simulated users that
+//! stand in for the paper's nine study participants.
+//!
+//! * [`run_clx_user`] — the "lazy" CLX user of §7.4: label the target
+//!   pattern, verify each suggested plan, repair the wrong ones.
+//! * [`run_flashfill_user`] — the FlashFill user: give an example for the
+//!   first wrong record, re-check the column, repeat.
+//! * [`run_regex_replace_user`] — the Trifacta-style RegexReplace user who
+//!   hand-writes one `Replace` operation per ill-formatted pattern.
+//! * [`UserModel`] — the per-action latency model that converts interaction
+//!   traces into completion/verification times (Figures 11, 12, 14).
+//! * [`comprehension_study`] — the §7.3 explainability study as a
+//!   transferability proxy (Figure 13).
+//! * [`run_simulation`] / [`table7`] / [`expressivity`] / [`speedups`] /
+//!   [`step_cdf`] / [`appendix_e`] — the 47-task effort simulation and its
+//!   aggregations (Table 7, Figures 15–16, Appendix E).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod clx_user;
+mod comprehension;
+mod flashfill_user;
+mod regex_replace;
+mod simulation;
+mod user_model;
+
+pub use clx_user::{run_clx_user, ClxTrace};
+pub use comprehension::{comprehension_study, quiz_questions, ComprehensionResult, QuizQuestion};
+pub use flashfill_user::{run_flashfill_user, FlashFillTrace};
+pub use regex_replace::{run_regex_replace_user, RegexReplaceTrace};
+pub use simulation::{
+    appendix_e, expressivity, run_simulation, run_task, speedups, step_cdf, table7,
+    AppendixEStats, EffortComparison, Expressivity, StepCdfPoint, Table7, TaskResult,
+};
+pub use user_model::{SystemTimes, UserModel};

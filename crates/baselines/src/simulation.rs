@@ -1,0 +1,346 @@
+//! The 47-task user-effort simulation of §7.4: run the simulated CLX,
+//! FlashFill and RegexReplace users over the whole benchmark suite and
+//! aggregate the Step metric into Table 7, Figure 15, Figure 16 and the
+//! Appendix E statistics.
+
+use clx_datagen::{benchmark_suite, BenchmarkTask, TaskSource};
+
+use crate::clx_user::{run_clx_user, ClxTrace};
+use crate::flashfill_user::{run_flashfill_user, FlashFillTrace};
+use crate::regex_replace::{run_regex_replace_user, RegexReplaceTrace};
+
+/// Interaction budget for the example/operation loops of the baselines.
+const MAX_BASELINE_INTERACTIONS: usize = 25;
+
+/// The outcome of all three systems on one benchmark task.
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    /// Task id (1..=47).
+    pub id: usize,
+    /// Task name.
+    pub name: String,
+    /// Task source corpus.
+    pub source: TaskSource,
+    /// CLX trace.
+    pub clx: ClxTrace,
+    /// FlashFill trace.
+    pub flashfill: FlashFillTrace,
+    /// RegexReplace trace.
+    pub regex_replace: RegexReplaceTrace,
+}
+
+impl TaskResult {
+    /// CLX Steps (selection + repair + punishment).
+    pub fn clx_steps(&self) -> usize {
+        self.clx.steps()
+    }
+
+    /// FlashFill Steps (examples + punishment).
+    pub fn flashfill_steps(&self) -> usize {
+        self.flashfill.steps()
+    }
+
+    /// RegexReplace Steps (2 per operation + punishment).
+    pub fn regex_replace_steps(&self) -> usize {
+        self.regex_replace.steps()
+    }
+}
+
+/// Run one task through all three simulated users.
+pub fn run_task(task: &BenchmarkTask) -> TaskResult {
+    let target = task.target_pattern();
+    let clx = run_clx_user(&task.inputs, &task.expected, &target);
+    let flashfill = run_flashfill_user(&task.inputs, &task.expected, MAX_BASELINE_INTERACTIONS);
+    let (regex_replace, _) = run_regex_replace_user(
+        &task.inputs,
+        &task.expected,
+        &target,
+        MAX_BASELINE_INTERACTIONS,
+    );
+    TaskResult {
+        id: task.id,
+        name: task.name.clone(),
+        source: task.source,
+        clx,
+        flashfill,
+        regex_replace,
+    }
+}
+
+/// Run the full 47-task simulation.
+pub fn run_simulation(seed: u64) -> Vec<TaskResult> {
+    benchmark_suite(seed).iter().map(run_task).collect()
+}
+
+/// One comparison row of Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EffortComparison {
+    /// Tasks where CLX needed fewer Steps.
+    pub clx_wins: usize,
+    /// Tasks where the Step counts tie.
+    pub ties: usize,
+    /// Tasks where CLX needed more Steps.
+    pub clx_loses: usize,
+}
+
+/// Table 7: CLX vs FlashFill and CLX vs RegexReplace win/tie/loss counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table7 {
+    /// Comparison against FlashFill.
+    pub vs_flashfill: EffortComparison,
+    /// Comparison against RegexReplace.
+    pub vs_regex_replace: EffortComparison,
+}
+
+/// Compute Table 7 from the simulation results.
+pub fn table7(results: &[TaskResult]) -> Table7 {
+    let compare = |other: fn(&TaskResult) -> usize| {
+        let mut cmp = EffortComparison {
+            clx_wins: 0,
+            ties: 0,
+            clx_loses: 0,
+        };
+        for r in results {
+            let clx = r.clx_steps();
+            let o = other(r);
+            if clx < o {
+                cmp.clx_wins += 1;
+            } else if clx == o {
+                cmp.ties += 1;
+            } else {
+                cmp.clx_loses += 1;
+            }
+        }
+        cmp
+    };
+    Table7 {
+        vs_flashfill: compare(TaskResult::flashfill_steps),
+        vs_regex_replace: compare(TaskResult::regex_replace_steps),
+    }
+}
+
+/// Expressivity counts (§7.4): how many of the 47 tasks each system solves
+/// perfectly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expressivity {
+    /// Tasks CLX transforms perfectly.
+    pub clx: usize,
+    /// Tasks FlashFill transforms perfectly.
+    pub flashfill: usize,
+    /// Tasks RegexReplace transforms perfectly.
+    pub regex_replace: usize,
+    /// Total number of tasks.
+    pub total: usize,
+}
+
+/// Compute the expressivity counts.
+pub fn expressivity(results: &[TaskResult]) -> Expressivity {
+    Expressivity {
+        clx: results.iter().filter(|r| r.clx.perfect).count(),
+        flashfill: results.iter().filter(|r| r.flashfill.perfect).count(),
+        regex_replace: results.iter().filter(|r| r.regex_replace.perfect).count(),
+        total: results.len(),
+    }
+}
+
+/// Figure 15: per-task speedup of CLX over a baseline (Steps ratio).
+pub fn speedups(results: &[TaskResult]) -> Vec<(usize, f64, f64)> {
+    results
+        .iter()
+        .map(|r| {
+            let clx = r.clx_steps().max(1) as f64;
+            (
+                r.id,
+                r.flashfill_steps() as f64 / clx,
+                r.regex_replace_steps() as f64 / clx,
+            )
+        })
+        .collect()
+}
+
+/// One point of the Figure 16 CDF: the fraction of tasks whose Step count in
+/// a given phase is at most `steps`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepCdfPoint {
+    /// Step threshold.
+    pub steps: usize,
+    /// Fraction of tasks with Selection steps <= `steps`.
+    pub selection: f64,
+    /// Fraction of tasks with Repair (adjust) steps <= `steps`.
+    pub adjust: f64,
+    /// Fraction of tasks with total steps <= `steps`.
+    pub total: f64,
+}
+
+/// Figure 16: the CDF of CLX Steps broken down by phase.
+pub fn step_cdf(results: &[TaskResult], max_steps: usize) -> Vec<StepCdfPoint> {
+    let n = results.len().max(1) as f64;
+    (0..=max_steps)
+        .map(|steps| StepCdfPoint {
+            steps,
+            selection: results
+                .iter()
+                .filter(|r| r.clx.selections <= steps)
+                .count() as f64
+                / n,
+            adjust: results.iter().filter(|r| r.clx.repairs <= steps).count() as f64 / n,
+            total: results.iter().filter(|r| r.clx_steps() <= steps).count() as f64 / n,
+        })
+        .collect()
+}
+
+/// The Appendix E statistics about the quality of the initial program and
+/// the cost of repair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppendixEStats {
+    /// Fraction of tasks whose *initial* (unrepaired) CLX program was already
+    /// perfect (the paper reports the complement: "the system still infers an
+    /// imperfect transformation about 50% of the time").
+    pub initial_perfect_fraction: f64,
+    /// Among tasks whose initial program was imperfect *and which the user
+    /// eventually repaired to a perfect program*, the fraction fixed with at
+    /// most one repair (the paper reports 75%; our reconstructed suite
+    /// over-represents the paper's hardest "popl-13.ecr"-style affiliation
+    /// tasks, which need several repairs — see EXPERIMENTS.md).
+    pub single_repair_fraction: f64,
+    /// Fraction of tasks where CLX reached a perfect program within two total
+    /// Steps (the paper reports about 79%).
+    pub perfect_within_two_steps: f64,
+    /// Fraction of tasks needing exactly one Selection step (about 79% in the
+    /// paper).
+    pub single_selection_fraction: f64,
+}
+
+/// Compute the Appendix E statistics.
+pub fn appendix_e(results: &[TaskResult]) -> AppendixEStats {
+    let n = results.len().max(1) as f64;
+    let initial_perfect = results.iter().filter(|r| r.clx.initial_perfect).count();
+    let imperfect: Vec<&TaskResult> = results
+        .iter()
+        .filter(|r| !r.clx.initial_perfect && r.clx.perfect)
+        .collect();
+    let single_repair = imperfect
+        .iter()
+        .filter(|r| r.clx.repairs <= 1)
+        .count();
+    let perfect_within_two = results
+        .iter()
+        .filter(|r| r.clx.perfect && r.clx_steps() <= 2)
+        .count();
+    let single_selection = results.iter().filter(|r| r.clx.selections == 1).count();
+    AppendixEStats {
+        initial_perfect_fraction: initial_perfect as f64 / n,
+        single_repair_fraction: if imperfect.is_empty() {
+            1.0
+        } else {
+            single_repair as f64 / imperfect.len() as f64
+        },
+        perfect_within_two_steps: perfect_within_two as f64 / n,
+        single_selection_fraction: single_selection as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Running the full suite takes a few seconds, so the aggregate checks
+    /// share one simulation run.
+    fn results() -> &'static [TaskResult] {
+        use std::sync::OnceLock;
+        static RESULTS: OnceLock<Vec<TaskResult>> = OnceLock::new();
+        RESULTS.get_or_init(|| run_simulation(0))
+    }
+
+    #[test]
+    fn simulation_covers_all_47_tasks() {
+        let results = results();
+        assert_eq!(results.len(), 47);
+        let ids: Vec<usize> = results.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (1..=47).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn expressivity_matches_the_papers_shape() {
+        let e = expressivity(results());
+        // Paper: CLX 42/47 (~90%), FlashFill 45/47 (~96%), RegexReplace 46/47.
+        assert!(e.clx * 10 >= e.total * 8, "CLX solves >= 80%: {e:?}");
+        assert!(
+            e.flashfill * 10 >= e.total * 8,
+            "FlashFill solves >= 80%: {e:?}"
+        );
+        assert!(
+            e.regex_replace >= e.clx.saturating_sub(3),
+            "RegexReplace coverage is at least comparable: {e:?}"
+        );
+        assert_eq!(e.total, 47);
+    }
+
+    #[test]
+    fn table7_clx_rarely_loses() {
+        let t = table7(results());
+        let total = 47;
+        assert_eq!(
+            t.vs_flashfill.clx_wins + t.vs_flashfill.ties + t.vs_flashfill.clx_loses,
+            total
+        );
+        // Paper: CLX wins or ties 72% of tasks vs FlashFill and 96% vs
+        // RegexReplace. Require the same qualitative outcome.
+        assert!(
+            t.vs_flashfill.clx_wins + t.vs_flashfill.ties > t.vs_flashfill.clx_loses,
+            "{t:?}"
+        );
+        assert!(
+            (t.vs_regex_replace.clx_wins + t.vs_regex_replace.ties) * 10 >= total * 9,
+            "{t:?}"
+        );
+    }
+
+    #[test]
+    fn speedups_are_positive_and_indexed_by_task() {
+        let s = speedups(results());
+        assert_eq!(s.len(), 47);
+        for (id, vs_ff, vs_rr) in s {
+            assert!(id >= 1 && id <= 47);
+            assert!(vs_ff > 0.0);
+            assert!(vs_rr > 0.0);
+        }
+    }
+
+    #[test]
+    fn step_cdf_is_monotone_and_bounded() {
+        let cdf = step_cdf(results(), 5);
+        assert_eq!(cdf.len(), 6);
+        for w in cdf.windows(2) {
+            assert!(w[0].selection <= w[1].selection);
+            assert!(w[0].adjust <= w[1].adjust);
+            assert!(w[0].total <= w[1].total);
+        }
+        let last = cdf.last().unwrap();
+        assert!(last.selection <= 1.0 && last.adjust <= 1.0 && last.total <= 1.0);
+        // Nearly all tasks need just one selection (paper: ~79% need one
+        // target pattern; every task here labels exactly one).
+        assert!(cdf[1].selection > 0.9);
+    }
+
+    #[test]
+    fn appendix_e_statistics_are_sane() {
+        let stats = appendix_e(results());
+        assert!((0.0..=1.0).contains(&stats.initial_perfect_fraction));
+        assert!((0.0..=1.0).contains(&stats.single_repair_fraction));
+        assert!((0.0..=1.0).contains(&stats.perfect_within_two_steps));
+        // Repairable tasks usually need few repairs (paper: 75% need one;
+        // our suite over-represents the multi-repair affiliation tasks, so
+        // the bound here is looser).
+        assert!(
+            stats.single_repair_fraction >= 0.4,
+            "single repair fraction too low: {stats:?}"
+        );
+        // A majority of tasks finish within two steps (paper: ~79%).
+        assert!(
+            stats.perfect_within_two_steps >= 0.5,
+            "two-step fraction too low: {stats:?}"
+        );
+        assert!(stats.single_selection_fraction > 0.9);
+    }
+}

@@ -1,0 +1,283 @@
+//! An analytical model of user interaction latency.
+//!
+//! The paper's §7.2/§7.3 numbers come from timing nine human participants.
+//! Humans are not available inside a test harness, so the experiments
+//! replay the *simulated* interaction traces (which systems compute exactly
+//! — how many rows had to be scanned, how many examples typed, how many
+//! patterns reviewed) through a small latency model whose per-action
+//! constants are calibrated to the absolute times the paper reports. The
+//! paper's headline claims are about how verification effort *scales*
+//! (1.3× for CLX vs 11.4× for FlashFill when the data grows 30×), and that
+//! scaling is carried entirely by the trace counts, not by the constants.
+
+use crate::clx_user::ClxTrace;
+use crate::flashfill_user::FlashFillTrace;
+use crate::regex_replace::RegexReplaceTrace;
+
+/// Per-action latency constants (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserModel {
+    /// Reading and validating one transformed data instance.
+    pub scan_row_secs: f64,
+    /// Reading and understanding one pattern cluster label.
+    pub scan_pattern_secs: f64,
+    /// Reading one suggested `Replace` operation (with its preview).
+    pub read_op_secs: f64,
+    /// Typing one input/output example into a spreadsheet cell.
+    pub type_example_secs: f64,
+    /// Clicking/selecting a pattern or accepting a suggestion.
+    pub click_secs: f64,
+    /// Choosing an alternative plan during repair.
+    pub repair_secs: f64,
+    /// Hand-writing one regular expression.
+    pub write_regex_secs: f64,
+}
+
+impl Default for UserModel {
+    fn default() -> Self {
+        UserModel {
+            scan_row_secs: 1.2,
+            scan_pattern_secs: 4.0,
+            read_op_secs: 7.0,
+            type_example_secs: 12.0,
+            click_secs: 3.0,
+            repair_secs: 9.0,
+            write_regex_secs: 35.0,
+        }
+    }
+}
+
+/// Modelled times for one system on one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemTimes {
+    /// Total task completion time (seconds).
+    pub completion_secs: f64,
+    /// The portion spent verifying (reading data/patterns/operations).
+    pub verification_secs: f64,
+    /// The portion spent specifying (typing, clicking, writing regexes).
+    pub specification_secs: f64,
+    /// Cumulative completion time at the end of each interaction (the
+    /// timestamps plotted in Figure 11c).
+    pub interaction_timestamps: Vec<f64>,
+}
+
+impl SystemTimes {
+    fn from_interactions(per_interaction: Vec<(f64, f64)>) -> Self {
+        let mut timestamps = Vec::with_capacity(per_interaction.len());
+        let mut total = 0.0;
+        let mut verification = 0.0;
+        let mut specification = 0.0;
+        for (verify, specify) in per_interaction {
+            verification += verify;
+            specification += specify;
+            total += verify + specify;
+            timestamps.push(total);
+        }
+        SystemTimes {
+            completion_secs: total,
+            verification_secs: verification,
+            specification_secs: specification,
+            interaction_timestamps: timestamps,
+        }
+    }
+}
+
+impl UserModel {
+    /// Model the FlashFill trace: each interaction scans rows until the next
+    /// mistake is found (verification) and types one example
+    /// (specification); the final interaction is a full-column scan with no
+    /// example.
+    pub fn flashfill_times(&self, trace: &FlashFillTrace) -> SystemTimes {
+        let mut per_interaction = Vec::new();
+        for (i, scanned) in trace.rows_scanned_per_interaction.iter().enumerate() {
+            let verify = *scanned as f64 * self.scan_row_secs;
+            let is_example_interaction = i < trace.examples;
+            let specify = if is_example_interaction {
+                self.type_example_secs
+            } else {
+                0.0
+            };
+            per_interaction.push((verify, specify));
+        }
+        SystemTimes::from_interactions(per_interaction)
+    }
+
+    /// Model the CLX trace: one labelling interaction (read the pattern
+    /// list, click the target), then one verify/repair interaction per
+    /// suggested plan, then a final check of the post-transformation pattern
+    /// list (which has collapsed to roughly one pattern plus any flagged
+    /// cluster).
+    pub fn clx_times(&self, trace: &ClxTrace) -> SystemTimes {
+        let mut per_interaction = Vec::new();
+        // Labelling: read every pattern cluster once, click one.
+        per_interaction.push((
+            trace.patterns_shown as f64 * self.scan_pattern_secs,
+            self.click_secs,
+        ));
+        // Verify each suggested Replace operation; repairs add selection time.
+        let repairs = trace.repairs;
+        for i in 0..trace.plans_verified {
+            let specify = if i < repairs { self.repair_secs } else { 0.0 };
+            per_interaction.push((self.read_op_secs, specify));
+        }
+        // Final check of the post-transformation pattern list: the clusters
+        // collapse to the target pattern plus at most a flagged remainder.
+        let result_patterns = if trace.failing_rows > 0 { 2.0 } else { 1.0 };
+        per_interaction.push((result_patterns * self.scan_pattern_secs, 0.0));
+        SystemTimes::from_interactions(per_interaction)
+    }
+
+    /// Model the RegexReplace trace: each interaction scans rows to find the
+    /// next ill-formatted record and writes two regexes; the final
+    /// interaction is a full-column scan.
+    pub fn regex_replace_times(&self, trace: &RegexReplaceTrace) -> SystemTimes {
+        let mut per_interaction = Vec::new();
+        for (i, scanned) in trace.rows_scanned_per_interaction.iter().enumerate() {
+            let verify = *scanned as f64 * self.scan_row_secs;
+            let specify = if i < trace.operations {
+                2.0 * self.write_regex_secs
+            } else {
+                0.0
+            };
+            per_interaction.push((verify, specify));
+        }
+        SystemTimes::from_interactions(per_interaction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clx_user::run_clx_user;
+    use crate::flashfill_user::run_flashfill_user;
+    use crate::regex_replace::run_regex_replace_user;
+    use clx_datagen::study_case;
+    use clx_pattern::tokenize;
+
+    fn expected_for(inputs: &[String]) -> Vec<String> {
+        // Ground truth for the phone study: keep the 10 digits, re-render
+        // dashed.
+        inputs
+            .iter()
+            .map(|v| {
+                let digits: String = v.chars().filter(|c| c.is_ascii_digit()).collect();
+                format!("{}-{}-{}", &digits[0..3], &digits[3..6], &digits[6..10])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn times_are_split_into_verification_and_specification() {
+        let case = study_case(30, 3, 1);
+        let expected = expected_for(&case.data);
+        let target = tokenize("734-422-8073");
+
+        let ff = run_flashfill_user(&case.data, &expected, 20);
+        let clx = run_clx_user(&case.data, &expected, &target);
+        let (rr, _) = run_regex_replace_user(&case.data, &expected, &target, 20);
+
+        let model = UserModel::default();
+        for times in [
+            model.flashfill_times(&ff),
+            model.clx_times(&clx),
+            model.regex_replace_times(&rr),
+        ] {
+            assert!(times.completion_secs > 0.0);
+            assert!(
+                (times.verification_secs + times.specification_secs - times.completion_secs).abs()
+                    < 1e-9
+            );
+            assert!(!times.interaction_timestamps.is_empty());
+            assert!((times.interaction_timestamps.last().unwrap() - times.completion_secs).abs() < 1e-9);
+            // Timestamps are non-decreasing.
+            assert!(times
+                .interaction_timestamps
+                .windows(2)
+                .all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn flashfill_verification_scales_with_rows_but_clx_does_not() {
+        // The paper's headline: growing the data 30x grows FlashFill's
+        // verification time an order of magnitude more than CLX's.
+        let target = tokenize("734-422-8073");
+        let model = UserModel::default();
+
+        let small = study_case(10, 2, 5);
+        let big = study_case(300, 6, 7);
+        let small_expected = expected_for(&small.data);
+        let big_expected = expected_for(&big.data);
+
+        let ff_small = model
+            .flashfill_times(&run_flashfill_user(&small.data, &small_expected, 30))
+            .verification_secs;
+        let ff_big = model
+            .flashfill_times(&run_flashfill_user(&big.data, &big_expected, 30))
+            .verification_secs;
+        let clx_small = model
+            .clx_times(&run_clx_user(&small.data, &small_expected, &target))
+            .verification_secs;
+        let clx_big = model
+            .clx_times(&run_clx_user(&big.data, &big_expected, &target))
+            .verification_secs;
+
+        let ff_growth = ff_big / ff_small;
+        let clx_growth = clx_big / clx_small;
+        assert!(
+            ff_growth > 3.0 * clx_growth,
+            "FlashFill verification must grow much faster (ff {ff_growth:.1}x vs clx {clx_growth:.1}x)"
+        );
+    }
+
+    #[test]
+    fn clx_interaction_timestamps_are_evenly_spaced() {
+        // Figure 11c: CLX interaction intervals stay roughly stable, while
+        // FlashFill's grow towards the end.
+        let case = study_case(300, 6, 11);
+        let expected = expected_for(&case.data);
+        let target = tokenize("734-422-8073");
+        let model = UserModel::default();
+
+        let clx = model.clx_times(&run_clx_user(&case.data, &expected, &target));
+        let ff = model.flashfill_times(&run_flashfill_user(&case.data, &expected, 30));
+
+        let intervals = |ts: &[f64]| -> Vec<f64> {
+            let mut prev = 0.0;
+            ts.iter()
+                .map(|t| {
+                    let d = t - prev;
+                    prev = *t;
+                    d
+                })
+                .collect()
+        };
+        let clx_intervals = intervals(&clx.interaction_timestamps);
+        let ff_intervals = intervals(&ff.interaction_timestamps);
+        let spread = |v: &[f64]| {
+            let max = v.iter().cloned().fold(f64::MIN, f64::max);
+            let min = v.iter().cloned().fold(f64::MAX, f64::min);
+            max / min.max(1e-9)
+        };
+        assert!(
+            spread(&ff_intervals) > spread(&clx_intervals),
+            "FlashFill interaction intervals should be far more uneven"
+        );
+    }
+
+    #[test]
+    fn custom_model_constants_scale_results() {
+        let case = study_case(20, 2, 3);
+        let expected = expected_for(&case.data);
+        let trace = run_flashfill_user(&case.data, &expected, 20);
+        let slow = UserModel {
+            scan_row_secs: 2.4,
+            ..UserModel::default()
+        };
+        let fast = UserModel::default();
+        assert!(
+            slow.flashfill_times(&trace).verification_secs
+                > fast.flashfill_times(&trace).verification_secs
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Latency of the pattern-profiling (clustering) phase — the paper requires
+//! "real-time clustering" for interactivity (§4), so the profiler must stay
+//! well under a second even at the motivating example's 10,000 rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clx_cluster::PatternProfiler;
+use clx_datagen::large_case;
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    for &rows in &[100usize, 1_000, 10_000] {
+        let case = large_case(rows, 7);
+        group.bench_with_input(BenchmarkId::new("phone_column", rows), &case.data, |b, data| {
+            b.iter(|| {
+                let hierarchy = PatternProfiler::new().profile(black_box(data));
+                black_box(hierarchy.leaves().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Cost of the §7.4 user-effort simulation itself: one benchmark task run
+//! through all three simulated users. Useful when extending the suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clx_baselines::run_task;
+use clx_datagen::benchmark_suite;
+
+fn bench_effort_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("effort_simulation");
+    group.sample_size(10);
+    let suite = benchmark_suite(0);
+    for name in ["ff-phone", "bf-medical-ex3", "sygus-date-2"] {
+        let task = suite
+            .iter()
+            .find(|t| t.name == name)
+            .expect("task present in the suite");
+        group.bench_with_input(BenchmarkId::new("three_users", name), task, |b, task| {
+            b.iter(|| {
+                let result = run_task(black_box(task));
+                black_box(result.clx_steps() + result.flashfill_steps())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_effort_simulation);
+criterion_main!(benches);

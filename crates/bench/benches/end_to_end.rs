@@ -1,0 +1,32 @@
+//! End-to-end CLX session latency: cluster, label, synthesize, apply to the
+//! whole column — the system-side cost of one complete §7.2 task.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clx_core::ClxSession;
+use clx_datagen::study_case;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    for &(rows, patterns) in &[(10usize, 2usize), (100, 4), (300, 6), (1_000, 6)] {
+        let case = study_case(rows, patterns, 3);
+        group.bench_with_input(
+            BenchmarkId::new("cluster_label_transform", format!("{rows}({patterns})")),
+            &case,
+            |b, case| {
+                b.iter(|| {
+                    let mut session = ClxSession::new(black_box(case.data.clone()));
+                    session.label(case.target_pattern()).expect("label");
+                    let report = session.apply().expect("apply");
+                    black_box(report.transformed_count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Throughput of the clx-regex engine executing explained Replace programs —
+//! the substrate cost of running the user-facing operations over a column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use clx_datagen::large_case;
+use clx_regex::Regex;
+
+fn bench_regex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regex_engine");
+    let re = Regex::new(r"^\(({digit}{3})\) ({digit}{3})-({digit}{4})$").unwrap();
+
+    group.bench_function("compile_figure4_regex", |b| {
+        b.iter(|| {
+            black_box(
+                Regex::new(black_box(r"^\(({digit}{3})\) ({digit}{3})-({digit}{4})$")).unwrap(),
+            )
+        })
+    });
+
+    for &rows in &[1_000usize, 10_000] {
+        let column = large_case(rows, 13).data;
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::new("replace_all_column", rows), &column, |b, col| {
+            b.iter(|| {
+                let mut changed = 0usize;
+                for value in col {
+                    let out = re.replace_all(black_box(value), "$1-$2-$3");
+                    if out != *value {
+                        changed += 1;
+                    }
+                }
+                black_box(changed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_regex);
+criterion_main!(benches);

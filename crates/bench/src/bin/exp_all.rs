@@ -1,0 +1,4 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+fn main() {
+    print!("{}", clx_bench::report_all(clx_bench::DEFAULT_SEED));
+}

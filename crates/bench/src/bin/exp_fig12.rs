@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig12 (see clx-bench's crate docs).
+fn main() {
+    print!("{}", clx_bench::report_fig12(clx_bench::DEFAULT_SEED));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig14 (see clx-bench's crate docs).
+fn main() {
+    print!("{}", clx_bench::report_fig14(clx_bench::DEFAULT_SEED));
+}

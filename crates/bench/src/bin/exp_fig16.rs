@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig16 (see clx-bench's crate docs).
+fn main() {
+    let results = clx_bench::simulation_results(clx_bench::DEFAULT_SEED);
+    print!("{}", clx_bench::report_fig16(&results));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Tab6 (see clx-bench's crate docs).
+fn main() {
+    print!("{}", clx_bench::report_tab6(clx_bench::DEFAULT_SEED));
+}

@@ -1,0 +1,436 @@
+//! # clx-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! evaluation section of *CLX: Towards verifiable PBE data transformation*.
+//!
+//! Each `report_*` function runs the corresponding experiment (on the
+//! reconstructed workloads of `clx-datagen`, through the simulated users of
+//! `clx-baselines`) and renders a plain-text table mirroring the paper's
+//! artifact. The `exp_*` binaries in `src/bin/` are thin wrappers around
+//! these functions; the Criterion benchmarks in `benches/` measure the
+//! system-side latency claims (interactive clustering and synthesis).
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | Figure 11a/b/c (completion time, interactions, timestamps) | [`report_fig11`] |
+//! | Figure 12 (verification time) | [`report_fig12`] |
+//! | Figure 13 (comprehension correct rate) | [`report_fig13`] |
+//! | Figure 14 (per-task completion time) | [`report_fig14`] |
+//! | Table 5 (explainability test cases) | [`report_tab5`] |
+//! | Table 6 (benchmark test cases) | [`report_tab6`] |
+//! | Table 7 (user-effort comparison) | [`report_tab7`] |
+//! | Figure 15 (per-task Step speedup) | [`report_fig15`] |
+//! | Figure 16 (CDF of CLX steps) | [`report_fig16`] |
+//! | Appendix E statistics | [`report_appendix_e`] |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+use clx_baselines::{
+    appendix_e, comprehension_study, expressivity, run_clx_user, run_flashfill_user,
+    run_regex_replace_user, run_simulation, speedups, step_cdf, table7, TaskResult, UserModel,
+};
+use clx_datagen::{benchmark_suite, explainability_tasks, study_cases, suite_stats, BenchmarkTask};
+use clx_pattern::Pattern;
+
+/// Default seed used by the binaries so results are reproducible.
+pub const DEFAULT_SEED: u64 = 2019;
+
+/// Ground truth for the §7.2 phone study: normalize to `<D>3-<D>3-<D>4`.
+pub fn phone_ground_truth(inputs: &[String]) -> Vec<String> {
+    inputs
+        .iter()
+        .map(|v| {
+            let digits: String = v.chars().filter(|c| c.is_ascii_digit()).collect();
+            if digits.len() >= 10 {
+                let d = &digits[digits.len() - 10..];
+                format!("{}-{}-{}", &d[0..3], &d[3..6], &d[6..10])
+            } else {
+                v.clone()
+            }
+        })
+        .collect()
+}
+
+/// The per-system interaction traces and modelled times on one study case.
+struct StudyRun {
+    case_name: String,
+    clx: clx_baselines::SystemTimes,
+    flashfill: clx_baselines::SystemTimes,
+    regex_replace: clx_baselines::SystemTimes,
+    clx_interactions: usize,
+    flashfill_interactions: usize,
+    regex_replace_interactions: usize,
+}
+
+fn run_study(seed: u64) -> Vec<StudyRun> {
+    let model = UserModel::default();
+    study_cases(seed)
+        .into_iter()
+        .map(|case| {
+            let expected = phone_ground_truth(&case.data);
+            let target = case.target_pattern();
+            let clx_trace = run_clx_user(&case.data, &expected, &target);
+            let ff_trace = run_flashfill_user(&case.data, &expected, 40);
+            let (rr_trace, _) = run_regex_replace_user(&case.data, &expected, &target, 40);
+            StudyRun {
+                case_name: case.name.clone(),
+                clx: model.clx_times(&clx_trace),
+                flashfill: model.flashfill_times(&ff_trace),
+                regex_replace: model.regex_replace_times(&rr_trace),
+                clx_interactions: clx_trace.interactions(),
+                flashfill_interactions: ff_trace.interactions(),
+                regex_replace_interactions: rr_trace.interactions(),
+            }
+        })
+        .collect()
+}
+
+/// Figure 11: overall completion time (a), rounds of interaction (b) and the
+/// interaction timestamps of the `300(6)` case (c).
+pub fn report_fig11(seed: u64) -> String {
+    let runs = run_study(seed);
+    let mut out = String::new();
+    writeln!(out, "Figure 11a — overall completion time (seconds)").unwrap();
+    writeln!(out, "{:<10} {:>14} {:>12} {:>8}", "case", "RegexReplace", "FlashFill", "CLX").unwrap();
+    for r in &runs {
+        writeln!(
+            out,
+            "{:<10} {:>14.0} {:>12.0} {:>8.0}",
+            r.case_name,
+            r.regex_replace.completion_secs,
+            r.flashfill.completion_secs,
+            r.clx.completion_secs
+        )
+        .unwrap();
+    }
+    writeln!(out).unwrap();
+    writeln!(out, "Figure 11b — rounds of interaction").unwrap();
+    writeln!(out, "{:<10} {:>14} {:>12} {:>8}", "case", "RegexReplace", "FlashFill", "CLX").unwrap();
+    for r in &runs {
+        writeln!(
+            out,
+            "{:<10} {:>14} {:>12} {:>8}",
+            r.case_name, r.regex_replace_interactions, r.flashfill_interactions, r.clx_interactions
+        )
+        .unwrap();
+    }
+    writeln!(out).unwrap();
+    writeln!(out, "Figure 11c — interaction timestamps for 300(6) (seconds)").unwrap();
+    if let Some(big) = runs.last() {
+        for (label, times) in [
+            ("RegexReplace", &big.regex_replace),
+            ("FlashFill", &big.flashfill),
+            ("CLX", &big.clx),
+        ] {
+            let ts: Vec<String> = times
+                .interaction_timestamps
+                .iter()
+                .map(|t| format!("{t:.0}"))
+                .collect();
+            writeln!(out, "{label:<13} {}", ts.join(" ")).unwrap();
+        }
+    }
+    out
+}
+
+/// Figure 12: verification time per study case and system, plus the headline
+/// growth factors (the paper: 1.3x for CLX vs 11.4x for FlashFill when the
+/// data grows from 10(2) to 300(6)).
+pub fn report_fig12(seed: u64) -> String {
+    let runs = run_study(seed);
+    let mut out = String::new();
+    writeln!(out, "Figure 12 — verification time (seconds)").unwrap();
+    writeln!(out, "{:<10} {:>14} {:>12} {:>8}", "case", "RegexReplace", "FlashFill", "CLX").unwrap();
+    for r in &runs {
+        writeln!(
+            out,
+            "{:<10} {:>14.0} {:>12.0} {:>8.0}",
+            r.case_name,
+            r.regex_replace.verification_secs,
+            r.flashfill.verification_secs,
+            r.clx.verification_secs
+        )
+        .unwrap();
+    }
+    if runs.len() >= 3 {
+        let growth = |small: f64, big: f64| big / small.max(1e-9);
+        writeln!(out).unwrap();
+        writeln!(
+            out,
+            "verification growth 10(2) -> 300(6): CLX {:.1}x, FlashFill {:.1}x, RegexReplace {:.1}x",
+            growth(runs[0].clx.verification_secs, runs[2].clx.verification_secs),
+            growth(
+                runs[0].flashfill.verification_secs,
+                runs[2].flashfill.verification_secs
+            ),
+            growth(
+                runs[0].regex_replace.verification_secs,
+                runs[2].regex_replace.verification_secs
+            ),
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Figure 13: the comprehension (explainability) correct rates.
+pub fn report_fig13(seed: u64) -> String {
+    let results = comprehension_study(seed);
+    let mut out = String::new();
+    writeln!(out, "Figure 13 — user comprehension correct rate").unwrap();
+    writeln!(out, "{:<8} {:>14} {:>12} {:>8}", "task", "RegexReplace", "FlashFill", "CLX").unwrap();
+    for r in &results {
+        writeln!(
+            out,
+            "task {:<3} {:>14.2} {:>12.2} {:>8.2}",
+            r.task, r.regex_replace, r.flashfill, r.clx
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Figure 14: modelled completion time on the three Table 5 tasks.
+pub fn report_fig14(seed: u64) -> String {
+    let model = UserModel::default();
+    let mut out = String::new();
+    writeln!(out, "Figure 14 — completion time on the explainability tasks (seconds)").unwrap();
+    writeln!(out, "{:<8} {:>14} {:>12} {:>8}", "task", "RegexReplace", "FlashFill", "CLX").unwrap();
+    for task in explainability_tasks(seed) {
+        let target: Pattern = task.target_pattern();
+        let clx = model.clx_times(&run_clx_user(&task.inputs, &task.expected, &target));
+        let ff = model.flashfill_times(&run_flashfill_user(&task.inputs, &task.expected, 40));
+        let (rr_trace, _) = run_regex_replace_user(&task.inputs, &task.expected, &target, 40);
+        let rr = model.regex_replace_times(&rr_trace);
+        writeln!(
+            out,
+            "task {:<3} {:>14.0} {:>12.0} {:>8.0}",
+            task.id, rr.completion_secs, ff.completion_secs, clx.completion_secs
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn task_stats_row(task: &BenchmarkTask) -> String {
+    format!(
+        "{:<8} {:>5} {:>7.1} {:>7} {:<}",
+        format!("Task{}", task.id),
+        task.size(),
+        task.avg_len(),
+        task.max_len(),
+        task.data_type.name()
+    )
+}
+
+/// Table 5: the explainability test cases.
+pub fn report_tab5(seed: u64) -> String {
+    let mut out = String::new();
+    writeln!(out, "Table 5 — explainability test cases").unwrap();
+    writeln!(out, "{:<8} {:>5} {:>7} {:>7} DataType", "TaskID", "Size", "AvgLen", "MaxLen").unwrap();
+    for task in explainability_tasks(seed) {
+        writeln!(out, "{}", task_stats_row(&task)).unwrap();
+    }
+    out
+}
+
+/// Table 6: the benchmark suite statistics.
+pub fn report_tab6(seed: u64) -> String {
+    let suite = benchmark_suite(seed);
+    let stats = suite_stats(&suite);
+    let mut out = String::new();
+    writeln!(out, "Table 6 — benchmark test cases").unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>7} {:>8} {:>7} {:>7}",
+        "Sources", "#tests", "AvgSize", "AvgLen", "MaxLen"
+    )
+    .unwrap();
+    for s in stats {
+        writeln!(
+            out,
+            "{:<10} {:>7} {:>8.1} {:>7.1} {:>7}",
+            s.source, s.tests, s.avg_size, s.avg_len, s.max_len
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Run the 47-task simulation once (it is shared by Table 7, Figures 15/16
+/// and Appendix E).
+pub fn simulation_results(seed: u64) -> Vec<TaskResult> {
+    run_simulation(seed)
+}
+
+/// Table 7 plus the expressivity counts of §7.4.
+pub fn report_tab7(results: &[TaskResult]) -> String {
+    let t = table7(results);
+    let e = expressivity(results);
+    let mut out = String::new();
+    writeln!(out, "Table 7 — user effort simulation comparison").unwrap();
+    writeln!(out, "{:<20} {:>9} {:>5} {:>10}", "Baselines", "CLX Wins", "Tie", "CLX Loses").unwrap();
+    let pct = |n: usize| format!("{} ({:.0}%)", n, 100.0 * n as f64 / results.len() as f64);
+    writeln!(
+        out,
+        "{:<20} {:>9} {:>5} {:>10}",
+        "vs. FlashFill",
+        pct(t.vs_flashfill.clx_wins),
+        pct(t.vs_flashfill.ties),
+        pct(t.vs_flashfill.clx_loses)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<20} {:>9} {:>5} {:>10}",
+        "vs. RegexReplace",
+        pct(t.vs_regex_replace.clx_wins),
+        pct(t.vs_regex_replace.ties),
+        pct(t.vs_regex_replace.clx_loses)
+    )
+    .unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "Expressivity: CLX {}/{} , FlashFill {}/{} , RegexReplace {}/{}",
+        e.clx, e.total, e.flashfill, e.total, e.regex_replace, e.total
+    )
+    .unwrap();
+    out
+}
+
+/// Figure 15: per-task Step-count speedups of CLX over the baselines.
+pub fn report_fig15(results: &[TaskResult]) -> String {
+    let mut out = String::new();
+    writeln!(out, "Figure 15 — Step-count speedup of CLX per test case").unwrap();
+    writeln!(out, "{:<5} {:>14} {:>17}", "task", "vs FlashFill", "vs RegexReplace").unwrap();
+    for (id, vs_ff, vs_rr) in speedups(results) {
+        writeln!(out, "{id:<5} {vs_ff:>13.2}x {vs_rr:>16.2}x").unwrap();
+    }
+    out
+}
+
+/// Figure 16: the CDF of CLX Steps split by phase.
+pub fn report_fig16(results: &[TaskResult]) -> String {
+    let mut out = String::new();
+    writeln!(out, "Figure 16 — fraction of test cases costing <= N steps").unwrap();
+    writeln!(out, "{:<6} {:>10} {:>8} {:>7}", "steps", "Selection", "Adjust", "Total").unwrap();
+    for point in step_cdf(results, 5) {
+        writeln!(
+            out,
+            "{:<6} {:>9.0}% {:>7.0}% {:>6.0}%",
+            point.steps,
+            point.selection * 100.0,
+            point.adjust * 100.0,
+            point.total * 100.0
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// The Appendix E statistics.
+pub fn report_appendix_e(results: &[TaskResult]) -> String {
+    let stats = appendix_e(results);
+    let mut out = String::new();
+    writeln!(out, "Appendix E — initial program quality and repair effort").unwrap();
+    writeln!(
+        out,
+        "initial program already perfect:        {:>5.0}% of tasks",
+        stats.initial_perfect_fraction * 100.0
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "repaired tasks fixed with one repair:   {:>5.0}%",
+        stats.single_repair_fraction * 100.0
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "perfect program within two steps:       {:>5.0}% of tasks",
+        stats.perfect_within_two_steps * 100.0
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "tasks needing a single pattern selection:{:>4.0}%",
+        stats.single_selection_fraction * 100.0
+    )
+    .unwrap();
+    out
+}
+
+/// Every report in one string (used by the `exp_all` binary and the
+/// integration tests).
+pub fn report_all(seed: u64) -> String {
+    let results = simulation_results(seed);
+    [
+        report_tab5(seed),
+        report_tab6(seed),
+        report_fig11(seed),
+        report_fig12(seed),
+        report_fig13(seed),
+        report_fig14(seed),
+        report_tab7(&results),
+        report_fig15(&results),
+        report_fig16(&results),
+        report_appendix_e(&results),
+    ]
+    .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phone_ground_truth_normalizes_all_formats() {
+        let inputs: Vec<String> = vec![
+            "(734) 645-8397".into(),
+            "734.236.3466".into(),
+            "7342363466".into(),
+            "734 236 3466".into(),
+            "N/A".into(),
+        ];
+        let out = phone_ground_truth(&inputs);
+        assert_eq!(out[0], "734-645-8397");
+        assert_eq!(out[1], "734-236-3466");
+        assert_eq!(out[2], "734-236-3466");
+        assert_eq!(out[3], "734-236-3466");
+        assert_eq!(out[4], "N/A");
+    }
+
+    #[test]
+    fn study_reports_contain_all_cases() {
+        let fig11 = report_fig11(DEFAULT_SEED);
+        for case in ["10(2)", "100(4)", "300(6)"] {
+            assert!(fig11.contains(case), "missing {case}: {fig11}");
+        }
+        assert!(fig11.contains("Figure 11a"));
+        assert!(fig11.contains("Figure 11b"));
+        assert!(fig11.contains("Figure 11c"));
+    }
+
+    #[test]
+    fn fig12_reports_growth_factors() {
+        let fig12 = report_fig12(DEFAULT_SEED);
+        assert!(fig12.contains("verification growth"));
+        assert!(fig12.contains("CLX"));
+    }
+
+    #[test]
+    fn table_reports_have_expected_shape() {
+        assert!(report_tab5(DEFAULT_SEED).lines().count() >= 5);
+        let tab6 = report_tab6(DEFAULT_SEED);
+        assert!(tab6.contains("SyGus"));
+        assert!(tab6.contains("Overall"));
+        let fig13 = report_fig13(DEFAULT_SEED);
+        assert_eq!(fig13.lines().count(), 5);
+        let fig14 = report_fig14(DEFAULT_SEED);
+        assert!(fig14.contains("task 3"));
+    }
+}

@@ -1,0 +1,331 @@
+//! The pattern-cluster hierarchy produced by profiling (Figure 6 of the
+//! paper): leaves are the patterns discovered through tokenization and every
+//! internal node is a parent (more generic) pattern.
+
+use std::collections::HashMap;
+
+use clx_pattern::Pattern;
+
+/// Identifier of a node within a [`PatternHierarchy`].
+pub type NodeId = usize;
+
+/// One pattern cluster in the hierarchy.
+#[derive(Debug, Clone)]
+pub struct ClusterNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// The pattern labelling the cluster.
+    pub pattern: Pattern,
+    /// Hierarchy level: 0 for leaves, increasing towards more generic
+    /// patterns.
+    pub level: usize,
+    /// Children (more specific patterns) of this node; empty for leaves.
+    pub children: Vec<NodeId>,
+    /// Parent (more generic pattern), if any.
+    pub parent: Option<NodeId>,
+    /// Indices into the profiled data of the rows covered by this cluster.
+    /// For internal nodes this is the union of the children's rows.
+    pub rows: Vec<usize>,
+    /// A few example raw values, for display purposes.
+    pub examples: Vec<String>,
+}
+
+impl ClusterNode {
+    /// `true` if this node is a leaf (level 0).
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Number of rows covered by this cluster.
+    pub fn size(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// A hierarchical clustering of string data by pattern.
+///
+/// Level 0 holds the leaf clusters (one per distinct leaf pattern); each
+/// higher level holds the covering parent patterns produced by one round of
+/// agglomerative refinement. The hierarchy retains every pattern discovered
+/// — nothing is lost by generalization (§4.2).
+#[derive(Debug, Clone, Default)]
+pub struct PatternHierarchy {
+    nodes: Vec<ClusterNode>,
+    levels: Vec<Vec<NodeId>>,
+    total_rows: usize,
+}
+
+impl PatternHierarchy {
+    /// Create an empty hierarchy (used by the profiler).
+    pub(crate) fn new(total_rows: usize) -> Self {
+        PatternHierarchy {
+            nodes: Vec::new(),
+            levels: Vec::new(),
+            total_rows,
+        }
+    }
+
+    /// Add a node; returns its id. `level` must be `levels.len() - 1` or
+    /// `levels.len()` (nodes are added level by level).
+    pub(crate) fn add_node(
+        &mut self,
+        pattern: Pattern,
+        level: usize,
+        children: Vec<NodeId>,
+        rows: Vec<usize>,
+        examples: Vec<String>,
+    ) -> NodeId {
+        let id = self.nodes.len();
+        while self.levels.len() <= level {
+            self.levels.push(Vec::new());
+        }
+        for &child in &children {
+            self.nodes[child].parent = Some(id);
+        }
+        self.levels[level].push(id);
+        self.nodes.push(ClusterNode {
+            id,
+            pattern,
+            level,
+            children,
+            parent: None,
+            rows,
+            examples,
+        });
+        id
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> &ClusterNode {
+        &self.nodes[id]
+    }
+
+    /// All nodes, in insertion order (leaves first).
+    pub fn nodes(&self) -> &[ClusterNode] {
+        &self.nodes
+    }
+
+    /// Number of levels (1 = leaves only).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The node ids at `level` (0 = leaves).
+    pub fn level(&self, level: usize) -> &[NodeId] {
+        self.levels.get(level).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The leaf nodes (level 0), most-populated cluster first.
+    pub fn leaves(&self) -> Vec<&ClusterNode> {
+        let mut leaves: Vec<&ClusterNode> = self.level(0).iter().map(|&id| self.node(id)).collect();
+        leaves.sort_by(|a, b| b.size().cmp(&a.size()).then_with(|| a.id.cmp(&b.id)));
+        leaves
+    }
+
+    /// The root nodes: the nodes of the top level. Together they cover every
+    /// row of the profiled data.
+    pub fn roots(&self) -> Vec<&ClusterNode> {
+        match self.levels.last() {
+            Some(top) => top.iter().map(|&id| self.node(id)).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of rows that were profiled.
+    pub fn total_rows(&self) -> usize {
+        self.total_rows
+    }
+
+    /// The leaf cluster containing data row `row`, if any.
+    pub fn leaf_of_row(&self, row: usize) -> Option<&ClusterNode> {
+        self.level(0)
+            .iter()
+            .map(|&id| self.node(id))
+            .find(|n| n.rows.contains(&row))
+    }
+
+    /// Find the leaf cluster whose pattern equals `pattern`.
+    pub fn find_leaf(&self, pattern: &Pattern) -> Option<&ClusterNode> {
+        self.level(0)
+            .iter()
+            .map(|&id| self.node(id))
+            .find(|n| &n.pattern == pattern)
+    }
+
+    /// Find any node (at any level) whose pattern equals `pattern`.
+    pub fn find_pattern(&self, pattern: &Pattern) -> Option<&ClusterNode> {
+        self.nodes.iter().find(|n| &n.pattern == pattern)
+    }
+
+    /// All distinct leaf patterns with their cluster sizes, largest first —
+    /// the list CLX shows the user for labeling (Figure 3 of the paper).
+    pub fn pattern_summary(&self) -> Vec<(Pattern, usize)> {
+        self.leaves()
+            .iter()
+            .map(|n| (n.pattern.clone(), n.size()))
+            .collect()
+    }
+
+    /// The descendants of `id` that are leaves (or `id` itself if it is one).
+    pub fn leaf_descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let node = self.node(id);
+        if node.is_leaf() {
+            return vec![id];
+        }
+        let mut out = Vec::new();
+        for &child in &node.children {
+            out.extend(self.leaf_descendants(child));
+        }
+        out
+    }
+
+    /// Verify structural invariants; used by tests and debug assertions.
+    ///
+    /// * every row appears in exactly one leaf;
+    /// * each internal node's rows are the union of its children's rows;
+    /// * each internal node's pattern covers all of its children's patterns;
+    /// * parent/child links are mutually consistent.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut row_owner: HashMap<usize, NodeId> = HashMap::new();
+        for &leaf in self.level(0) {
+            for &row in &self.node(leaf).rows {
+                if let Some(prev) = row_owner.insert(row, leaf) {
+                    return Err(format!("row {row} is in two leaves: {prev} and {leaf}"));
+                }
+            }
+        }
+        if row_owner.len() != self.total_rows {
+            return Err(format!(
+                "leaves cover {} rows but {} were profiled",
+                row_owner.len(),
+                self.total_rows
+            ));
+        }
+        for node in &self.nodes {
+            for &child in &node.children {
+                let child_node = self.node(child);
+                if child_node.parent != Some(node.id) {
+                    return Err(format!("child {child} does not point back to {}", node.id));
+                }
+                if !node.pattern.covers(&child_node.pattern) {
+                    return Err(format!(
+                        "node {} pattern {} does not cover child pattern {}",
+                        node.id, node.pattern, child_node.pattern
+                    ));
+                }
+            }
+            if !node.is_leaf() {
+                let mut union: Vec<usize> = node
+                    .children
+                    .iter()
+                    .flat_map(|&c| self.node(c).rows.clone())
+                    .collect();
+                union.sort_unstable();
+                let mut own = node.rows.clone();
+                own.sort_unstable();
+                if union != own {
+                    return Err(format!(
+                        "node {} rows are not the union of its children's rows",
+                        node.id
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::tokenize;
+
+    fn tiny_hierarchy() -> PatternHierarchy {
+        // two leaves under one root
+        let mut h = PatternHierarchy::new(3);
+        let l1 = h.add_node(tokenize("734-422-8073"), 0, vec![], vec![0, 2], vec!["734-422-8073".into()]);
+        let l2 = h.add_node(tokenize("73-42-80"), 0, vec![], vec![1], vec!["73-42-80".into()]);
+        let parent = clx_pattern::parse_pattern("<D>+'-'<D>+'-'<D>+").unwrap();
+        h.add_node(parent, 1, vec![l1, l2], vec![0, 1, 2], vec!["734-422-8073".into()]);
+        h
+    }
+
+    #[test]
+    fn basic_navigation() {
+        let h = tiny_hierarchy();
+        assert_eq!(h.level_count(), 2);
+        assert_eq!(h.leaves().len(), 2);
+        assert_eq!(h.roots().len(), 1);
+        assert_eq!(h.total_rows(), 3);
+        assert_eq!(h.node(0).parent, Some(2));
+        assert!(h.node(2).children.contains(&0));
+        assert!(h.node(0).is_leaf());
+        assert!(!h.node(2).is_leaf());
+    }
+
+    #[test]
+    fn leaves_sorted_by_size() {
+        let h = tiny_hierarchy();
+        let leaves = h.leaves();
+        assert!(leaves[0].size() >= leaves[1].size());
+        assert_eq!(leaves[0].size(), 2);
+    }
+
+    #[test]
+    fn row_lookup() {
+        let h = tiny_hierarchy();
+        assert_eq!(h.leaf_of_row(1).unwrap().id, 1);
+        assert_eq!(h.leaf_of_row(2).unwrap().id, 0);
+        assert!(h.leaf_of_row(99).is_none());
+    }
+
+    #[test]
+    fn pattern_lookup() {
+        let h = tiny_hierarchy();
+        let p = tokenize("73-42-80");
+        assert_eq!(h.find_leaf(&p).unwrap().id, 1);
+        assert!(h.find_leaf(&tokenize("xyz")).is_none());
+        let root_pattern = clx_pattern::parse_pattern("<D>+'-'<D>+'-'<D>+").unwrap();
+        assert!(h.find_pattern(&root_pattern).is_some());
+        assert!(h.find_leaf(&root_pattern).is_none());
+    }
+
+    #[test]
+    fn leaf_descendants() {
+        let h = tiny_hierarchy();
+        assert_eq!(h.leaf_descendants(2), vec![0, 1]);
+        assert_eq!(h.leaf_descendants(0), vec![0]);
+    }
+
+    #[test]
+    fn summary_lists_patterns_with_sizes() {
+        let h = tiny_hierarchy();
+        let summary = h.pattern_summary();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].1, 2);
+        assert_eq!(summary[1].1, 1);
+    }
+
+    #[test]
+    fn invariants_hold_for_tiny_hierarchy() {
+        tiny_hierarchy().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariant_violation_is_detected() {
+        let mut h = PatternHierarchy::new(2);
+        // Row 0 appears in two leaves.
+        h.add_node(tokenize("a"), 0, vec![], vec![0], vec![]);
+        h.add_node(tokenize("1"), 0, vec![], vec![0, 1], vec![]);
+        assert!(h.check_invariants().is_err());
+    }
+
+    #[test]
+    fn empty_hierarchy() {
+        let h = PatternHierarchy::new(0);
+        assert_eq!(h.level_count(), 0);
+        assert!(h.leaves().is_empty());
+        assert!(h.roots().is_empty());
+        assert!(h.check_invariants().is_ok());
+    }
+}

@@ -1,0 +1,316 @@
+//! Agglomerative pattern-cluster refinement (Section 4.2, Algorithm 1).
+//!
+//! Each refinement round applies one *generalization strategy* to every
+//! pattern of the previous level, producing candidate parent patterns, and
+//! then keeps a small covering subset of those parents (most-covering
+//! first), exactly as Algorithm 1 of the paper describes.
+
+use std::collections::HashMap;
+
+use clx_pattern::{Pattern, Quantifier, Token, TokenClass};
+
+/// A generalization strategy `g̃` used by one refinement round.
+///
+/// The paper performs three rounds (Section 4.2):
+///
+/// 1. natural-number quantifiers → `+`;
+/// 2. `<L>`, `<U>` tokens → `<A>`;
+/// 3. `<A>`, `<D>`, `'-'`, `'_'` tokens → `<AN>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GeneralizationStrategy {
+    /// Strategy 1: replace every natural-number quantifier with `+`.
+    QuantifierToPlus,
+    /// Strategy 2: replace `<L>` and `<U>` with `<A>` (and merge adjacent
+    /// tokens that become the same class).
+    CaseToAlpha,
+    /// Strategy 3: replace `<A>`, `<D>` and the literals `'-'`/`'_'` with
+    /// `<AN>` (and merge adjacent tokens that become the same class).
+    AlphaDigitToAlnum,
+}
+
+/// The three standard strategies, in the order the paper applies them.
+pub const STANDARD_STRATEGIES: [GeneralizationStrategy; 3] = [
+    GeneralizationStrategy::QuantifierToPlus,
+    GeneralizationStrategy::CaseToAlpha,
+    GeneralizationStrategy::AlphaDigitToAlnum,
+];
+
+impl GeneralizationStrategy {
+    /// `getParent(p, g̃)` from Algorithm 1: the parent pattern obtained by
+    /// applying this strategy to `pattern`.
+    pub fn parent_of(&self, pattern: &Pattern) -> Pattern {
+        match self {
+            GeneralizationStrategy::QuantifierToPlus => {
+                let tokens = pattern
+                    .iter()
+                    .map(|t| {
+                        if t.is_base() {
+                            Token {
+                                class: t.class.clone(),
+                                quantifier: Quantifier::OneOrMore,
+                            }
+                        } else {
+                            t.clone()
+                        }
+                    })
+                    .collect();
+                Pattern::new(tokens)
+            }
+            GeneralizationStrategy::CaseToAlpha => {
+                let tokens = pattern
+                    .iter()
+                    .map(|t| match t.class {
+                        TokenClass::Lower | TokenClass::Upper => Token {
+                            class: TokenClass::Alpha,
+                            quantifier: generalized_quantifier(t),
+                        },
+                        _ => t.clone(),
+                    })
+                    .collect();
+                Pattern::new(tokens).merge_adjacent()
+            }
+            GeneralizationStrategy::AlphaDigitToAlnum => {
+                let tokens = pattern
+                    .iter()
+                    .map(|t| {
+                        let is_an_literal = t
+                            .literal_value()
+                            .map(|s| !s.is_empty() && s.chars().all(|c| c == '-' || c == '_'))
+                            .unwrap_or(false);
+                        match &t.class {
+                            TokenClass::Alpha
+                            | TokenClass::Digit
+                            | TokenClass::Lower
+                            | TokenClass::Upper => Token {
+                                class: TokenClass::AlphaNumeric,
+                                quantifier: generalized_quantifier(t),
+                            },
+                            _ if is_an_literal => Token {
+                                class: TokenClass::AlphaNumeric,
+                                quantifier: Quantifier::OneOrMore,
+                            },
+                            _ => t.clone(),
+                        }
+                    })
+                    .collect();
+                Pattern::new(tokens).merge_adjacent()
+            }
+        }
+    }
+}
+
+/// When a class is widened, a pattern that still carried an exact quantifier
+/// keeps it; a `+` stays `+`. (Strategies 2 and 3 run after strategy 1 in
+/// the standard pipeline so in practice everything is already `+`.)
+fn generalized_quantifier(t: &Token) -> Quantifier {
+    t.quantifier
+}
+
+/// Algorithm 1: refine one level of the hierarchy.
+///
+/// Given the child patterns `patterns` of the previous level and a
+/// generalization strategy, returns the covering set of parent patterns
+/// `P_final` together with, for each parent, the indices into `patterns` of
+/// the children it covers. Every child is assigned to exactly one parent
+/// (the most frequent parent that covers it, ties broken deterministically
+/// by pattern order), and the union of the assignments covers all children —
+/// mirroring lines 3–11 of Algorithm 1.
+pub fn refine_level(
+    patterns: &[Pattern],
+    strategy: GeneralizationStrategy,
+) -> Vec<(Pattern, Vec<usize>)> {
+    // Lines 3-6: compute each child's raw parent and count parent frequency.
+    let mut counts: HashMap<Pattern, usize> = HashMap::new();
+    let mut raw_parents: Vec<Pattern> = Vec::with_capacity(patterns.len());
+    for p in patterns {
+        let parent = strategy.parent_of(p);
+        *counts.entry(parent.clone()).or_insert(0) += 1;
+        raw_parents.push(parent);
+    }
+
+    // Lines 7-10: iterate parents from most to least frequent, claiming every
+    // still-unclaimed child the parent covers.
+    let mut order: Vec<&Pattern> = counts.keys().collect();
+    order.sort_by(|a, b| {
+        counts[*b]
+            .cmp(&counts[*a])
+            .then_with(|| a.notation().cmp(&b.notation()))
+    });
+
+    let mut claimed = vec![false; patterns.len()];
+    let mut result: Vec<(Pattern, Vec<usize>)> = Vec::new();
+    for parent in order {
+        let mut children = Vec::new();
+        for (i, child) in patterns.iter().enumerate() {
+            if !claimed[i] && (parent.covers(child) || &raw_parents[i] == parent) {
+                children.push(i);
+            }
+        }
+        if !children.is_empty() {
+            for &i in &children {
+                claimed[i] = true;
+            }
+            result.push((parent.clone(), children));
+        }
+    }
+
+    // Defensive: any child not covered by a selected parent (possible only if
+    // `covers` is more conservative than `parent_of`) becomes its own parent.
+    for (i, child) in patterns.iter().enumerate() {
+        if !claimed[i] {
+            result.push((raw_parents.get(i).cloned().unwrap_or_else(|| child.clone()), vec![i]));
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::{parse_pattern, tokenize};
+
+    fn p(s: &str) -> Pattern {
+        parse_pattern(s).unwrap()
+    }
+
+    #[test]
+    fn strategy_1_replaces_quantifiers() {
+        let leaf = tokenize("Bob123@gmail.com");
+        let parent = GeneralizationStrategy::QuantifierToPlus.parent_of(&leaf);
+        assert_eq!(parent.to_string(), "<U>+<L>+<D>+'@'<L>+'.'<L>+");
+    }
+
+    #[test]
+    fn strategy_2_merges_case_runs() {
+        let p1 = p("<U>+<L>+<D>+'@'<L>+'.'<L>+");
+        let parent = GeneralizationStrategy::CaseToAlpha.parent_of(&p1);
+        assert_eq!(parent.to_string(), "<A>+<D>+'@'<A>+'.'<A>+");
+    }
+
+    #[test]
+    fn strategy_3_produces_alnum_pattern() {
+        let p2 = p("<A>+<D>+'@'<A>+'.'<A>+");
+        let parent = GeneralizationStrategy::AlphaDigitToAlnum.parent_of(&p2);
+        assert_eq!(parent.to_string(), "<AN>+'@'<AN>+'.'<AN>+");
+    }
+
+    #[test]
+    fn figure_6_chain() {
+        // The full chain from Figure 6 of the paper.
+        let leaf = tokenize("Bob123@gmail.com");
+        let p1 = GeneralizationStrategy::QuantifierToPlus.parent_of(&leaf);
+        let p2 = GeneralizationStrategy::CaseToAlpha.parent_of(&p1);
+        let p3 = GeneralizationStrategy::AlphaDigitToAlnum.parent_of(&p2);
+        assert_eq!(p1.to_string(), "<U>+<L>+<D>+'@'<L>+'.'<L>+");
+        assert_eq!(p2.to_string(), "<A>+<D>+'@'<A>+'.'<A>+");
+        assert_eq!(p3.to_string(), "<AN>+'@'<AN>+'.'<AN>+");
+        // Each level covers the previous one.
+        assert!(p1.covers(&leaf));
+        assert!(p2.covers(&leaf));
+        assert!(p3.covers(&leaf));
+    }
+
+    #[test]
+    fn strategy_3_absorbs_hyphen_and_underscore_literals() {
+        let pattern = p("<A>+'-'<D>+'_'<A>+");
+        let parent = GeneralizationStrategy::AlphaDigitToAlnum.parent_of(&pattern);
+        assert_eq!(parent.to_string(), "<AN>+");
+    }
+
+    #[test]
+    fn strategy_3_keeps_other_literals() {
+        let pattern = p("<A>+'.'<D>+");
+        let parent = GeneralizationStrategy::AlphaDigitToAlnum.parent_of(&pattern);
+        assert_eq!(parent.to_string(), "<AN>+'.'<AN>+");
+    }
+
+    #[test]
+    fn refine_level_groups_children_sharing_a_parent() {
+        // Two phone formats that collapse under strategy 1 into different
+        // parents, plus one more that shares a parent with the first.
+        let children = vec![
+            tokenize("734-422-8073"),
+            tokenize("73-42-80"),      // same shape, different digit counts
+            tokenize("(734) 645-8397"),
+        ];
+        let refined = refine_level(&children, GeneralizationStrategy::QuantifierToPlus);
+        // First two collapse to <D>+'-'<D>+'-'<D>+, third keeps its own parent.
+        assert_eq!(refined.len(), 2);
+        let top = &refined[0];
+        assert_eq!(top.0.to_string(), "<D>+'-'<D>+'-'<D>+");
+        assert_eq!(top.1, vec![0, 1]);
+    }
+
+    #[test]
+    fn refine_level_every_child_assigned_exactly_once() {
+        let children: Vec<Pattern> = [
+            "Bob123@gmail.com",
+            "alice@yahoo.org",
+            "x99@a.io",
+            "(734) 645-8397",
+            "734.236.3466",
+            "N/A",
+        ]
+        .iter()
+        .map(|s| tokenize(s))
+        .collect();
+        for strategy in STANDARD_STRATEGIES {
+            let refined = refine_level(&children, strategy);
+            let mut seen = vec![0usize; children.len()];
+            for (_, kids) in &refined {
+                for &k in kids {
+                    seen[k] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "strategy {strategy:?}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn refine_level_parents_cover_children() {
+        let children: Vec<Pattern> = ["abc-12", "x-9", "QQ-444"].iter().map(|s| tokenize(s)).collect();
+        let refined = refine_level(&children, GeneralizationStrategy::QuantifierToPlus);
+        for (parent, kids) in &refined {
+            for &k in kids {
+                assert!(
+                    parent.covers(&children[k]),
+                    "{parent} should cover {}",
+                    children[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refine_level_most_frequent_parent_claims_first() {
+        // Three children map to parent A, one to parent B, but B's child is
+        // also coverable by A? Construct: children all digits with '-' so
+        // strategy 3 gives <AN>+ for all; under strategy-3 refinement there
+        // must be a single parent.
+        let children: Vec<Pattern> = ["a-1", "bb-22", "c_3", "d4"].iter().map(|s| tokenize(s)).collect();
+        // strategy 1 then 2 then 3 chain
+        let l1: Vec<Pattern> = refine_level(&children, GeneralizationStrategy::QuantifierToPlus)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        let l2: Vec<Pattern> = refine_level(&l1, GeneralizationStrategy::CaseToAlpha)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        let l3 = refine_level(&l2, GeneralizationStrategy::AlphaDigitToAlnum);
+        assert_eq!(l3.len(), 1);
+        assert_eq!(l3[0].0.to_string(), "<AN>+");
+    }
+
+    #[test]
+    fn empty_input_produces_empty_level() {
+        assert!(refine_level(&[], GeneralizationStrategy::QuantifierToPlus).is_empty());
+    }
+
+    #[test]
+    fn idempotent_on_already_general_patterns() {
+        let general = p("<AN>+'@'<AN>+");
+        let parent = GeneralizationStrategy::AlphaDigitToAlnum.parent_of(&general);
+        assert_eq!(parent, general);
+    }
+}

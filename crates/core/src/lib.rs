@@ -1,0 +1,58 @@
+//! # clx-core
+//!
+//! The CLX engine: the *Cluster–Label–Transform* interaction paradigm of
+//! *CLX: Towards verifiable PBE data transformation* (Jin et al.), assembled
+//! from the lower-level crates:
+//!
+//! * **Cluster** — [`ClxSession::new`] profiles the raw column into a
+//!   pattern-cluster hierarchy (`clx-cluster`), which is what the user
+//!   reviews instead of raw rows (Figure 3 of the paper);
+//! * **Label** — [`ClxSession::label`] (or [`ClxSession::label_by_example`])
+//!   records the desired target pattern;
+//! * **Transform** — the session synthesizes a UniFi program
+//!   (`clx-synth`), explains it as regexp `Replace` operations
+//!   (`clx-unifi`), lets the user *repair* individual atomic transformation
+//!   plans, and finally [`ClxSession::apply`]s the program to the column.
+//!
+//! ```
+//! use clx_core::ClxSession;
+//!
+//! let data = vec![
+//!     "(734) 645-8397".to_string(),
+//!     "(734)586-7252".to_string(),
+//!     "734-422-8073".to_string(),
+//!     "734.236.3466".to_string(),
+//!     "N/A".to_string(),
+//! ];
+//! let mut session = ClxSession::new(data);
+//!
+//! // The user reviews the pattern list and labels the desired pattern.
+//! session.label_by_example("734-422-8073").unwrap();
+//!
+//! // The inferred program is shown as Replace operations...
+//! let ops = session.explanation().unwrap();
+//! assert!(!ops.operations.is_empty());
+//!
+//! // ...and applied to the whole column.
+//! let report = session.apply().unwrap();
+//! assert_eq!(report.transformed_count(), 3);
+//! assert_eq!(report.flagged_count(), 1); // "N/A"
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod preview;
+mod report;
+mod session;
+
+pub use preview::{PreviewRow, PreviewTable};
+pub use report::{RowOutcome, TransformReport};
+pub use session::{ClxError, ClxOptions, ClxSession};
+
+// Re-export the key types a downstream user needs so that `clx-core` (or the
+// `clx` facade) is a one-stop dependency.
+pub use clx_cluster::{ClusterNode, PatternHierarchy, PatternProfiler, ProfilerOptions};
+pub use clx_pattern::{parse_pattern, tokenize, Pattern, Token, TokenClass};
+pub use clx_synth::{RankedPlan, Synthesis, SynthesisOptions};
+pub use clx_unifi::{Explanation, Program, ReplaceOp, TransformOutcome};

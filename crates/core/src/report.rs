@@ -1,0 +1,198 @@
+//! The result of applying a synthesized program to a whole column.
+
+use clx_pattern::Pattern;
+
+/// The outcome for one input row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// The row already matched the target pattern and was left untouched.
+    AlreadyConforming {
+        /// The (unchanged) value.
+        value: String,
+    },
+    /// A branch of the synthesized program transformed the row.
+    Transformed {
+        /// The original value.
+        from: String,
+        /// The transformed value.
+        to: String,
+    },
+    /// No branch matched; the row is left unchanged and flagged for review
+    /// (§6.1 of the paper).
+    Flagged {
+        /// The (unchanged) value.
+        value: String,
+    },
+}
+
+impl RowOutcome {
+    /// The output value of the row after the transformation pass.
+    pub fn value(&self) -> &str {
+        match self {
+            RowOutcome::AlreadyConforming { value } | RowOutcome::Flagged { value } => value,
+            RowOutcome::Transformed { to, .. } => to,
+        }
+    }
+
+    /// `true` if the row was changed.
+    pub fn is_transformed(&self) -> bool {
+        matches!(self, RowOutcome::Transformed { .. })
+    }
+
+    /// `true` if the row was flagged for manual review.
+    pub fn is_flagged(&self) -> bool {
+        matches!(self, RowOutcome::Flagged { .. })
+    }
+
+    /// `true` if the row already matched the target pattern.
+    pub fn is_conforming(&self) -> bool {
+        matches!(self, RowOutcome::AlreadyConforming { .. })
+    }
+}
+
+/// A column-level transformation report: one [`RowOutcome`] per input row,
+/// plus the target pattern the run was labelled with.
+#[derive(Debug, Clone)]
+pub struct TransformReport {
+    /// The labelled target pattern.
+    pub target: Pattern,
+    /// One outcome per input row, in input order.
+    pub rows: Vec<RowOutcome>,
+}
+
+impl TransformReport {
+    /// The output column (one value per row, in input order).
+    pub fn values(&self) -> Vec<String> {
+        self.rows.iter().map(|r| r.value().to_string()).collect()
+    }
+
+    /// Number of rows actively transformed.
+    pub fn transformed_count(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_transformed()).count()
+    }
+
+    /// Number of rows that already matched the target.
+    pub fn conforming_count(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_conforming()).count()
+    }
+
+    /// Number of rows flagged for review.
+    pub fn flagged_count(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_flagged()).count()
+    }
+
+    /// The flagged values (for the review step the paper describes).
+    pub fn flagged_values(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|r| r.is_flagged())
+            .map(|r| r.value())
+            .collect()
+    }
+
+    /// `true` when every row now matches the target pattern (the paper's
+    /// definition of a "perfect" program, §7.4).
+    pub fn is_perfect(&self) -> bool {
+        self.rows.iter().all(|r| self.target.matches(r.value()))
+    }
+
+    /// Fraction of rows whose output matches the target pattern.
+    pub fn conformance_ratio(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        let ok = self
+            .rows
+            .iter()
+            .filter(|r| self.target.matches(r.value()))
+            .count();
+        ok as f64 / self.rows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::tokenize;
+
+    fn report() -> TransformReport {
+        TransformReport {
+            target: tokenize("734-422-8073"),
+            rows: vec![
+                RowOutcome::AlreadyConforming {
+                    value: "734-422-8073".into(),
+                },
+                RowOutcome::Transformed {
+                    from: "(734) 645-8397".into(),
+                    to: "734-645-8397".into(),
+                },
+                RowOutcome::Flagged { value: "N/A".into() },
+            ],
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let r = report();
+        assert_eq!(r.transformed_count(), 1);
+        assert_eq!(r.conforming_count(), 1);
+        assert_eq!(r.flagged_count(), 1);
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn values_preserve_order() {
+        assert_eq!(
+            report().values(),
+            vec!["734-422-8073", "734-645-8397", "N/A"]
+        );
+    }
+
+    #[test]
+    fn flagged_values() {
+        assert_eq!(report().flagged_values(), vec!["N/A"]);
+    }
+
+    #[test]
+    fn perfection_and_conformance() {
+        let r = report();
+        assert!(!r.is_perfect());
+        assert!((r.conformance_ratio() - 2.0 / 3.0).abs() < 1e-9);
+
+        let perfect = TransformReport {
+            target: tokenize("734-422-8073"),
+            rows: vec![RowOutcome::Transformed {
+                from: "x".into(),
+                to: "555-111-2222".into(),
+            }],
+        };
+        assert!(perfect.is_perfect());
+        assert_eq!(perfect.conformance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn empty_report_is_perfect() {
+        let r = TransformReport {
+            target: tokenize("1"),
+            rows: vec![],
+        };
+        assert!(r.is_perfect());
+        assert_eq!(r.conformance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn row_outcome_accessors() {
+        let t = RowOutcome::Transformed {
+            from: "a".into(),
+            to: "b".into(),
+        };
+        assert_eq!(t.value(), "b");
+        assert!(t.is_transformed() && !t.is_flagged() && !t.is_conforming());
+        let c = RowOutcome::AlreadyConforming { value: "x".into() };
+        assert!(c.is_conforming());
+        assert_eq!(c.value(), "x");
+        let f = RowOutcome::Flagged { value: "y".into() };
+        assert!(f.is_flagged());
+        assert_eq!(f.value(), "y");
+    }
+}

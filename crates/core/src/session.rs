@@ -1,0 +1,415 @@
+//! The CLX interaction session (Figure 5 of the paper).
+
+use std::fmt;
+
+use clx_cluster::{PatternHierarchy, PatternProfiler, ProfilerOptions};
+use clx_pattern::{tokenize, Pattern};
+use clx_synth::{synthesize, RankedPlan, Synthesis, SynthesisOptions};
+use clx_unifi::{explain_program, transform, Explanation, Program, TransformOutcome};
+
+use crate::report::{RowOutcome, TransformReport};
+
+/// Errors produced by the session API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClxError {
+    /// A transform-phase method was called before a target was labelled.
+    NotLabelled,
+    /// The label supplied by example does not correspond to any pattern in
+    /// the profiled data and could not be tokenized into a usable pattern.
+    EmptyTargetPattern,
+    /// Explaining the program failed (see `clx-unifi` for details).
+    Explain(String),
+    /// Evaluating the program failed; this indicates a synthesizer bug, not
+    /// bad input data.
+    Eval(String),
+}
+
+impl fmt::Display for ClxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClxError::NotLabelled => {
+                write!(f, "no target pattern labelled yet (call label() first)")
+            }
+            ClxError::EmptyTargetPattern => write!(f, "the target pattern is empty"),
+            ClxError::Explain(e) => write!(f, "failed to explain program: {e}"),
+            ClxError::Eval(e) => write!(f, "failed to evaluate program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClxError {}
+
+/// Options for a CLX session: profiling options for the clustering phase and
+/// synthesis options for the transform phase.
+#[derive(Debug, Clone, Default)]
+pub struct ClxOptions {
+    /// Pattern-profiling (clustering) options.
+    pub profiler: ProfilerOptions,
+    /// Program-synthesis options.
+    pub synthesis: SynthesisOptions,
+}
+
+/// A CLX session over one column of data.
+///
+/// The session walks the user through the Cluster–Label–Transform loop and
+/// owns all intermediate state: the pattern hierarchy, the labelled target,
+/// the synthesized program and its repair alternatives.
+#[derive(Debug, Clone)]
+pub struct ClxSession {
+    data: Vec<String>,
+    options: ClxOptions,
+    hierarchy: PatternHierarchy,
+    target: Option<Pattern>,
+    synthesis: Option<Synthesis>,
+}
+
+impl ClxSession {
+    /// Start a session: profiles (clusters) the data immediately.
+    pub fn new(data: Vec<String>) -> Self {
+        Self::with_options(data, ClxOptions::default())
+    }
+
+    /// Start a session with custom options.
+    pub fn with_options(data: Vec<String>, options: ClxOptions) -> Self {
+        let hierarchy = PatternProfiler::with_options(options.profiler.clone()).profile(&data);
+        ClxSession {
+            data,
+            options,
+            hierarchy,
+            target: None,
+            synthesis: None,
+        }
+    }
+
+    /// The raw input rows.
+    pub fn data(&self) -> &[String] {
+        &self.data
+    }
+
+    /// The pattern-cluster hierarchy produced by the clustering phase.
+    pub fn hierarchy(&self) -> &PatternHierarchy {
+        &self.hierarchy
+    }
+
+    /// The pattern list shown to the user for labelling: distinct leaf
+    /// patterns with cluster sizes, largest first (Figure 3 of the paper).
+    pub fn patterns(&self) -> Vec<(Pattern, usize)> {
+        self.hierarchy.pattern_summary()
+    }
+
+    /// The labelled target pattern, if any.
+    pub fn target(&self) -> Option<&Pattern> {
+        self.target.as_ref()
+    }
+
+    /// **Label** phase: record the desired target pattern and synthesize the
+    /// transformation program. Returns the synthesis result, which includes
+    /// the ranked alternatives used by [`ClxSession::repair`].
+    pub fn label(&mut self, target: Pattern) -> Result<&Synthesis, ClxError> {
+        if target.is_empty() {
+            return Err(ClxError::EmptyTargetPattern);
+        }
+        let synthesis = synthesize(&self.hierarchy, &target, &self.options.synthesis);
+        self.target = Some(target);
+        self.synthesis = Some(synthesis);
+        Ok(self.synthesis.as_ref().expect("just set"))
+    }
+
+    /// Label the target by giving one example value in the desired format
+    /// (the "alternatively specify the target data form manually" path of
+    /// §3.2). The example is tokenized into its leaf pattern.
+    pub fn label_by_example(&mut self, example: &str) -> Result<&Synthesis, ClxError> {
+        let pattern = tokenize(example);
+        self.label(pattern)
+    }
+
+    /// The synthesis result of the transform phase.
+    pub fn synthesis(&self) -> Result<&Synthesis, ClxError> {
+        self.synthesis.as_ref().ok_or(ClxError::NotLabelled)
+    }
+
+    /// The currently selected UniFi program.
+    pub fn program(&self) -> Result<Program, ClxError> {
+        Ok(self.synthesis()?.program())
+    }
+
+    /// The program explained as regexp `Replace` operations (Figure 4).
+    pub fn explanation(&self) -> Result<Explanation, ClxError> {
+        let program = self.program()?;
+        explain_program(&program).map_err(|e| ClxError::Explain(e.to_string()))
+    }
+
+    /// The numbered operation list shown to the user, e.g.
+    /// `1 Replace '/^.../' in column1 with '($1) $2-$3'`.
+    pub fn suggested_operations(&self, column: &str) -> Result<String, ClxError> {
+        Ok(self.explanation()?.render(column))
+    }
+
+    /// Repair alternatives for one source pattern (§6.4).
+    pub fn alternatives(&self, pattern: &Pattern) -> Result<&[RankedPlan], ClxError> {
+        self.synthesis()?
+            .alternatives(pattern)
+            .ok_or(ClxError::NotLabelled)
+    }
+
+    /// Repair: replace the selected plan of `pattern` with the `choice`-th
+    /// ranked alternative. Returns `false` when the pattern or index is
+    /// unknown.
+    pub fn repair(&mut self, pattern: &Pattern, choice: usize) -> Result<bool, ClxError> {
+        match self.synthesis.as_mut() {
+            Some(s) => Ok(s.repair(pattern, choice)),
+            None => Err(ClxError::NotLabelled),
+        }
+    }
+
+    /// **Transform** phase: apply the current program to the whole column.
+    pub fn apply(&self) -> Result<TransformReport, ClxError> {
+        let target = self.target.as_ref().ok_or(ClxError::NotLabelled)?;
+        let program = self.program()?;
+        let mut rows = Vec::with_capacity(self.data.len());
+        for value in &self.data {
+            if target.matches(value) {
+                rows.push(RowOutcome::AlreadyConforming {
+                    value: value.clone(),
+                });
+                continue;
+            }
+            match transform(&program, value).map_err(|e| ClxError::Eval(e.to_string()))? {
+                TransformOutcome::Transformed(out) => rows.push(RowOutcome::Transformed {
+                    from: value.clone(),
+                    to: out,
+                }),
+                TransformOutcome::Flagged(v) => rows.push(RowOutcome::Flagged { value: v }),
+            }
+        }
+        Ok(TransformReport {
+            target: target.clone(),
+            rows,
+        })
+    }
+
+    /// The post-transformation pattern summary (Figure 2 of the paper): the
+    /// distinct patterns of the output column with their row counts, which
+    /// is what the user verifies after the transformation.
+    pub fn result_patterns(&self) -> Result<Vec<(Pattern, usize)>, ClxError> {
+        let report = self.apply()?;
+        let values = report.values();
+        let hierarchy = PatternProfiler::with_options(self.options.profiler.clone())
+            .profile(&values);
+        Ok(hierarchy.pattern_summary())
+    }
+
+    /// Cross-check that the explained `Replace` operations behave exactly
+    /// like the UniFi program on this session's data. Returns the number of
+    /// rows checked. This is the "what you read is what runs" guarantee the
+    /// paper's verifiability argument rests on.
+    pub fn verify_explanation(&self) -> Result<usize, ClxError> {
+        let target = self.target.as_ref().ok_or(ClxError::NotLabelled)?;
+        let program = self.program()?;
+        let explanation = self.explanation()?;
+        let mut checked = 0;
+        for value in &self.data {
+            if target.matches(value) {
+                continue;
+            }
+            let via_dsl = transform(&program, value)
+                .map_err(|e| ClxError::Eval(e.to_string()))?
+                .value()
+                .to_string();
+            let via_replace = explanation.apply(value);
+            if via_dsl != via_replace {
+                return Err(ClxError::Eval(format!(
+                    "explanation mismatch on {value:?}: DSL produced {via_dsl:?}, Replace produced {via_replace:?}"
+                )));
+            }
+            checked += 1;
+        }
+        Ok(checked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::parse_pattern;
+
+    fn phone_data() -> Vec<String> {
+        vec![
+            "(734) 645-8397".into(),
+            "(734) 763-1147".into(),
+            "(734)586-7252".into(),
+            "734-422-8073".into(),
+            "734-936-2447".into(),
+            "734.236.3466".into(),
+            "N/A".into(),
+        ]
+    }
+
+    #[test]
+    fn full_cluster_label_transform_loop() {
+        let mut session = ClxSession::new(phone_data());
+        // Cluster: the pattern list is available immediately.
+        let patterns = session.patterns();
+        assert_eq!(patterns.len(), 5);
+
+        // Label by picking the target pattern from the list.
+        let target = tokenize("734-422-8073");
+        session.label(target.clone()).unwrap();
+        assert_eq!(session.target(), Some(&target));
+
+        // Transform.
+        let report = session.apply().unwrap();
+        assert!(report.is_perfect() || report.flagged_count() > 0);
+        assert_eq!(report.conforming_count(), 2);
+        assert_eq!(report.transformed_count(), 4);
+        assert_eq!(report.flagged_count(), 1);
+        assert_eq!(report.flagged_values(), vec!["N/A"]);
+        // Every non-flagged output matches the target.
+        for row in &report.rows {
+            if !row.is_flagged() {
+                assert!(target.matches(row.value()), "{row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn label_by_example() {
+        let mut session = ClxSession::new(phone_data());
+        session.label_by_example("555-123-4567").unwrap();
+        let report = session.apply().unwrap();
+        assert_eq!(report.transformed_count(), 4);
+    }
+
+    #[test]
+    fn transform_phase_requires_label() {
+        let session = ClxSession::new(phone_data());
+        assert_eq!(session.program().unwrap_err(), ClxError::NotLabelled);
+        assert_eq!(session.apply().unwrap_err(), ClxError::NotLabelled);
+        assert_eq!(session.explanation().unwrap_err(), ClxError::NotLabelled);
+        assert!(session.synthesis().is_err());
+        assert!(session.verify_explanation().is_err());
+    }
+
+    #[test]
+    fn empty_target_rejected() {
+        let mut session = ClxSession::new(phone_data());
+        assert_eq!(
+            session.label(Pattern::empty()).unwrap_err(),
+            ClxError::EmptyTargetPattern
+        );
+    }
+
+    #[test]
+    fn explanation_lists_one_replace_per_branch() {
+        let mut session = ClxSession::new(phone_data());
+        session.label(tokenize("734-422-8073")).unwrap();
+        let explanation = session.explanation().unwrap();
+        let program = session.program().unwrap();
+        assert_eq!(explanation.operations.len(), program.len());
+        let listing = session.suggested_operations("column1").unwrap();
+        assert!(listing.contains("Replace '/^"));
+        assert!(listing.contains("column1"));
+    }
+
+    #[test]
+    fn explained_operations_match_dsl_on_all_rows() {
+        let mut session = ClxSession::new(phone_data());
+        session.label(tokenize("734-422-8073")).unwrap();
+        let checked = session.verify_explanation().unwrap();
+        assert_eq!(checked, 5); // 7 rows minus 2 already conforming
+    }
+
+    #[test]
+    fn result_patterns_collapse_after_transformation() {
+        let mut session = ClxSession::new(phone_data());
+        session.label(tokenize("734-422-8073")).unwrap();
+        let before = session.patterns().len();
+        let after = session.result_patterns().unwrap();
+        assert!(after.len() < before);
+        // The dominant output pattern is the target.
+        assert_eq!(after[0].0, tokenize("734-422-8073"));
+        assert_eq!(after[0].1, 6);
+    }
+
+    #[test]
+    fn repair_changes_the_applied_program() {
+        let data = vec![
+            "12/11/2017".to_string(),
+            "03/04/2018".to_string(),
+            "11-12-2017".to_string(),
+        ];
+        let mut session = ClxSession::new(data);
+        session.label(tokenize("11-12-2017")).unwrap();
+        let source = parse_pattern("<D>2'/'<D>2'/'<D>4").unwrap();
+        let alternatives = session.alternatives(&source).unwrap().to_vec();
+        assert!(alternatives.len() >= 2);
+        let before = session.apply().unwrap().values();
+        // Find an alternative that changes the output and select it.
+        let mut changed = false;
+        for i in 1..alternatives.len() {
+            assert!(session.repair(&source, i).unwrap());
+            let after = session.apply().unwrap().values();
+            if after != before {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "at least one alternative changes the output");
+    }
+
+    #[test]
+    fn repair_of_unknown_pattern_returns_false() {
+        let mut session = ClxSession::new(phone_data());
+        session.label(tokenize("734-422-8073")).unwrap();
+        assert!(!session.repair(&tokenize("zzz"), 0).unwrap());
+    }
+
+    #[test]
+    fn medical_codes_example_5() {
+        let data = vec![
+            "CPT-00350".to_string(),
+            "[CPT-00340".to_string(),
+            "[CPT-11536]".to_string(),
+            "CPT115".to_string(),
+        ];
+        let mut session = ClxSession::new(data);
+        session
+            .label(parse_pattern("'['<U>+'-'<D>+']'").unwrap())
+            .unwrap();
+        let report = session.apply().unwrap();
+        assert_eq!(
+            report.values(),
+            vec!["[CPT-00350]", "[CPT-00340]", "[CPT-11536]", "[CPT-115]"]
+        );
+        assert!(report.is_perfect());
+    }
+
+    #[test]
+    fn data_accessor_and_hierarchy() {
+        let session = ClxSession::new(phone_data());
+        assert_eq!(session.data().len(), 7);
+        assert_eq!(session.hierarchy().total_rows(), 7);
+    }
+
+    #[test]
+    fn empty_data_session() {
+        let mut session = ClxSession::new(Vec::new());
+        assert!(session.patterns().is_empty());
+        session.label(tokenize("123")).unwrap();
+        let report = session.apply().unwrap();
+        assert!(report.rows.is_empty());
+        assert!(report.is_perfect());
+    }
+
+    #[test]
+    fn options_are_respected() {
+        let mut options = ClxOptions::default();
+        options.profiler.discover_constants = false;
+        options.synthesis.top_k = 1;
+        let mut session = ClxSession::with_options(phone_data(), options);
+        session.label(tokenize("734-422-8073")).unwrap();
+        for source in &session.synthesis().unwrap().sources {
+            assert_eq!(source.plans.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Deterministic, seeded generators for the data types used throughout the
+//! CLX evaluation (phone numbers, human names, addresses, dates, ids, ...).
+//!
+//! The paper evaluates on a mix of public data (the NYC "Times Square Food &
+//! Beverage Locations" phone column) and benchmark tasks from SyGuS,
+//! FlashFill, BlinkFill, PredProg and PROSE. None of those data files ship
+//! with this repository, so the generators below produce columns with the
+//! same formats, heterogeneity and size distributions; every generator is
+//! seeded so experiments are exactly reproducible.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A seeded data generator.
+#[derive(Debug)]
+pub struct DataGenerator {
+    rng: StdRng,
+}
+
+/// The phone-number formats observed in the paper's motivating example
+/// (Figures 1 and 3) plus the noise/extension formats its anecdotes mention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhoneFormat {
+    /// `(734) 645-8397`
+    ParenSpace,
+    /// `(734)586-7252`
+    Paren,
+    /// `734-422-8073`
+    Dashes,
+    /// `734.236.3466`
+    Dots,
+    /// `7342363466`
+    Bare,
+    /// `734 236 3466`
+    Spaces,
+    /// `+1 734-236-3466`
+    CountryCode,
+    /// `N/A` (noise)
+    Missing,
+}
+
+impl PhoneFormat {
+    /// The first six formats, in decreasing frequency as used by the §7.2
+    /// user-study datasets.
+    pub const STUDY_FORMATS: [PhoneFormat; 6] = [
+        PhoneFormat::ParenSpace,
+        PhoneFormat::Dashes,
+        PhoneFormat::Paren,
+        PhoneFormat::Dots,
+        PhoneFormat::Bare,
+        PhoneFormat::Spaces,
+    ];
+
+    /// Render a 10-digit number (area, exchange, line) in this format.
+    pub fn render(&self, area: u16, exchange: u16, line: u16) -> String {
+        match self {
+            PhoneFormat::ParenSpace => format!("({area:03}) {exchange:03}-{line:04}"),
+            PhoneFormat::Paren => format!("({area:03}){exchange:03}-{line:04}"),
+            PhoneFormat::Dashes => format!("{area:03}-{exchange:03}-{line:04}"),
+            PhoneFormat::Dots => format!("{area:03}.{exchange:03}.{line:04}"),
+            PhoneFormat::Bare => format!("{area:03}{exchange:03}{line:04}"),
+            PhoneFormat::Spaces => format!("{area:03} {exchange:03} {line:04}"),
+            PhoneFormat::CountryCode => format!("+1 {area:03}-{exchange:03}-{line:04}"),
+            PhoneFormat::Missing => "N/A".to_string(),
+        }
+    }
+}
+
+const FIRST_NAMES: &[&str] = &[
+    "Eran", "Bill", "Oege", "Sumit", "Rishabh", "Jane", "Alan", "Grace", "Ada", "Linus",
+    "Barbara", "Edsger", "Donald", "Margaret", "Dana", "Tim", "Vint", "Radia", "Ken", "Dennis",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Yahav", "Gates", "Moor", "Gulwani", "Singh", "Doe", "Turing", "Hopper", "Lovelace",
+    "Torvalds", "Liskov", "Dijkstra", "Knuth", "Hamilton", "Scott", "Lee", "Cerf", "Perlman",
+    "Thompson", "Ritchie",
+];
+
+const STREET_NAMES: &[&str] = &[
+    "Main St", "Broadway", "NE 36th Street", "South Michigan Ave", "Elm Street", "Oak Avenue",
+    "7th Ave", "Sunset Blvd", "Park Road", "High Street",
+];
+
+const CITIES: &[&str] = &[
+    "San Diego", "Redmond", "Chicago", "Ann Arbor", "Berkeley", "New York", "Austin", "Seattle",
+    "Boston", "Denver",
+];
+
+const STATES: &[&str] = &["CA", "WA", "IL", "MI", "NY", "TX", "MA", "CO"];
+
+const UNIVERSITIES: &[&str] = &[
+    "University of Michigan", "UC Berkeley", "MIT", "Stanford University", "CMU",
+    "University of Washington", "Cornell University", "Princeton University",
+];
+
+const CAR_MAKES: &[&str] = &["Toyota", "Honda", "Ford", "Tesla", "BMW", "Audi", "Subaru"];
+
+const DOMAINS: &[&str] = &["gmail.com", "yahoo.org", "umich.edu", "example.com", "trifacta.com"];
+
+const PRODUCTS: &[&str] = &[
+    "Widget", "Gadget", "Sprocket", "Flange", "Gizmo", "Doohickey", "Contraption",
+];
+
+impl DataGenerator {
+    /// A generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        DataGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn pick<'a>(&mut self, options: &'a [&'a str]) -> &'a str {
+        options.choose(&mut self.rng).expect("non-empty options")
+    }
+
+    /// A 10-digit phone number rendered in `format`.
+    pub fn phone(&mut self, format: PhoneFormat) -> String {
+        let area = self.rng.gen_range(200..990);
+        let exchange = self.rng.gen_range(200..999);
+        let line = self.rng.gen_range(0..10_000);
+        format.render(area, exchange, line)
+    }
+
+    /// A column of `n` phone numbers drawn from `formats` using the given
+    /// frequency weights (parallel to `formats`).
+    pub fn phone_column(
+        &mut self,
+        n: usize,
+        formats: &[PhoneFormat],
+        weights: &[usize],
+    ) -> Vec<String> {
+        assert_eq!(formats.len(), weights.len(), "formats and weights must align");
+        let total: usize = weights.iter().sum();
+        let mut out = Vec::with_capacity(n);
+        // First guarantee at least one row per format (matching the paper's
+        // "k patterns" dataset descriptions), then fill by weight.
+        for format in formats {
+            if out.len() < n {
+                out.push(self.phone(*format));
+            }
+        }
+        while out.len() < n {
+            let mut pick = self.rng.gen_range(0..total.max(1));
+            let mut chosen = formats[0];
+            for (format, w) in formats.iter().zip(weights) {
+                if pick < *w {
+                    chosen = *format;
+                    break;
+                }
+                pick -= w;
+            }
+            out.push(self.phone(chosen));
+        }
+        out.shuffle(&mut self.rng);
+        out
+    }
+
+    /// A human first/last name pair.
+    pub fn name_pair(&mut self) -> (String, String) {
+        (
+            self.pick(FIRST_NAMES).to_string(),
+            self.pick(LAST_NAMES).to_string(),
+        )
+    }
+
+    /// `"First Last"`.
+    pub fn full_name(&mut self) -> String {
+        let (f, l) = self.name_pair();
+        format!("{f} {l}")
+    }
+
+    /// A name with a title prefix, e.g. `"Dr. Eran Yahav"`.
+    pub fn titled_name(&mut self) -> String {
+        let title = *["Dr.", "Mr.", "Ms.", "Prof."]
+            .choose(&mut self.rng)
+            .expect("non-empty");
+        format!("{title} {}", self.full_name())
+    }
+
+    /// A US-style street address, e.g. `"155 Main St, San Diego, CA 92173"`.
+    pub fn address(&mut self) -> String {
+        let number = self.rng.gen_range(1..9999);
+        let street = self.pick(STREET_NAMES);
+        let city = self.pick(CITIES);
+        let state = self.pick(STATES);
+        let zip = self.rng.gen_range(10000..99999);
+        format!("{number} {street}, {city}, {state} {zip}")
+    }
+
+    /// A medical billing code in one of the messy formats of Example 5.
+    pub fn medical_code(&mut self, style: usize) -> String {
+        let digits = self.rng.gen_range(100..99999);
+        match style % 4 {
+            0 => format!("CPT-{digits:05}"),
+            1 => format!("[CPT-{digits:05}"),
+            2 => format!("[CPT-{digits:05}]"),
+            _ => format!("CPT{digits:03}"),
+        }
+    }
+
+    /// A date as `(year, month, day)`.
+    pub fn date_parts(&mut self) -> (u16, u8, u8) {
+        (
+            self.rng.gen_range(1990..2025),
+            self.rng.gen_range(1..13),
+            self.rng.gen_range(1..29),
+        )
+    }
+
+    /// A date rendered as `MM/DD/YYYY`.
+    pub fn date_mdy(&mut self) -> String {
+        let (y, m, d) = self.date_parts();
+        format!("{m:02}/{d:02}/{y}")
+    }
+
+    /// An email address, e.g. `"Eran.Yahav@umich.edu"`.
+    pub fn email(&mut self) -> String {
+        let (f, l) = self.name_pair();
+        let domain = self.pick(DOMAINS);
+        format!("{f}.{l}@{domain}")
+    }
+
+    /// A URL, e.g. `"https://example.com/products/widget-42"`.
+    pub fn url(&mut self) -> String {
+        let domain = self.pick(DOMAINS);
+        let product = self.pick(PRODUCTS).to_lowercase();
+        let id = self.rng.gen_range(1..999);
+        format!("https://{domain}/products/{product}-{id}")
+    }
+
+    /// A product name with id, e.g. `"Widget 2000 rev3"`.
+    pub fn product(&mut self) -> String {
+        let name = self.pick(PRODUCTS);
+        let num = self.rng.gen_range(100..9999);
+        let rev = self.rng.gen_range(1..9);
+        format!("{name} {num} rev{rev}")
+    }
+
+    /// A car model id, e.g. `"Toyota-AE86-1986"`.
+    pub fn car_model_id(&mut self) -> String {
+        let make = self.pick(CAR_MAKES);
+        let a = (b'A' + self.rng.gen_range(0..26)) as char;
+        let b = (b'A' + self.rng.gen_range(0..26)) as char;
+        let num = self.rng.gen_range(10..99);
+        let year = self.rng.gen_range(1985..2024);
+        format!("{make}-{a}{b}{num}-{year}")
+    }
+
+    /// A university affiliation string, e.g.
+    /// `"University of Michigan, Ann Arbor, MI"`.
+    pub fn university(&mut self) -> String {
+        let uni = self.pick(UNIVERSITIES);
+        let city = self.pick(CITIES);
+        let state = self.pick(STATES);
+        format!("{uni}, {city}, {state}")
+    }
+
+    /// A server log entry, e.g.
+    /// `"2017-08-13 10:32:01 ERROR disk full on node7"`.
+    pub fn log_entry(&mut self) -> String {
+        let (y, m, d) = self.date_parts();
+        let hh = self.rng.gen_range(0..24);
+        let mm = self.rng.gen_range(0..60);
+        let ss = self.rng.gen_range(0..60);
+        let level = *["INFO", "WARN", "ERROR"].choose(&mut self.rng).expect("non-empty");
+        let node = self.rng.gen_range(1..32);
+        format!("{y}-{m:02}-{d:02} {hh:02}:{mm:02}:{ss:02} {level} disk event on node{node}")
+    }
+
+    /// A file path, e.g. `"/home/alice/reports/q3.pdf"`.
+    pub fn file_path(&mut self) -> String {
+        let user = self.pick(FIRST_NAMES).to_lowercase();
+        let dir = *["reports", "data", "images", "src"].choose(&mut self.rng).expect("non-empty");
+        let stem = self.pick(PRODUCTS).to_lowercase();
+        let ext = *["pdf", "csv", "txt", "jpeg"].choose(&mut self.rng).expect("non-empty");
+        format!("/home/{user}/{dir}/{stem}.{ext}")
+    }
+
+    /// A currency amount string in one of several formats, e.g. `"USD 1,234"`.
+    pub fn currency(&mut self, style: usize) -> String {
+        let amount = self.rng.gen_range(10..100_000);
+        match style % 3 {
+            0 => format!("USD {amount}"),
+            1 => format!("${amount}"),
+            _ => format!("{amount} dollars"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::tokenize;
+
+    #[test]
+    fn determinism_same_seed_same_output() {
+        let mut a = DataGenerator::new(7);
+        let mut b = DataGenerator::new(7);
+        for _ in 0..20 {
+            assert_eq!(
+                a.phone(PhoneFormat::ParenSpace),
+                b.phone(PhoneFormat::ParenSpace)
+            );
+            assert_eq!(a.full_name(), b.full_name());
+            assert_eq!(a.address(), b.address());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DataGenerator::new(1);
+        let mut b = DataGenerator::new(2);
+        let va: Vec<String> = (0..10).map(|_| a.phone(PhoneFormat::Dashes)).collect();
+        let vb: Vec<String> = (0..10).map(|_| b.phone(PhoneFormat::Dashes)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn phone_formats_match_figure_3_patterns() {
+        let mut g = DataGenerator::new(3);
+        assert_eq!(
+            tokenize(&g.phone(PhoneFormat::ParenSpace)).to_string(),
+            "'('<D>3')'' '<D>3'-'<D>4"
+        );
+        assert_eq!(
+            tokenize(&g.phone(PhoneFormat::Paren)).to_string(),
+            "'('<D>3')'<D>3'-'<D>4"
+        );
+        assert_eq!(
+            tokenize(&g.phone(PhoneFormat::Dashes)).to_string(),
+            "<D>3'-'<D>3'-'<D>4"
+        );
+        assert_eq!(
+            tokenize(&g.phone(PhoneFormat::Dots)).to_string(),
+            "<D>3'.'<D>3'.'<D>4"
+        );
+        assert_eq!(tokenize(&g.phone(PhoneFormat::Bare)).to_string(), "<D>10");
+        assert_eq!(
+            tokenize(&g.phone(PhoneFormat::CountryCode)).to_string(),
+            "'+'<D>' '<D>3'-'<D>3'-'<D>4"
+        );
+        assert_eq!(g.phone(PhoneFormat::Missing), "N/A");
+    }
+
+    #[test]
+    fn phone_column_respects_size_and_format_count() {
+        let mut g = DataGenerator::new(11);
+        let formats = &PhoneFormat::STUDY_FORMATS[..4];
+        let column = g.phone_column(100, formats, &[70, 15, 10, 5]);
+        assert_eq!(column.len(), 100);
+        let distinct: std::collections::HashSet<String> =
+            column.iter().map(|v| tokenize(v).to_string()).collect();
+        assert_eq!(distinct.len(), 4, "all requested formats appear");
+    }
+
+    #[test]
+    fn phone_column_small_sizes_still_cover_formats() {
+        let mut g = DataGenerator::new(5);
+        let column = g.phone_column(2, &PhoneFormat::STUDY_FORMATS[..2], &[1, 1]);
+        assert_eq!(column.len(), 2);
+        let distinct: std::collections::HashSet<String> =
+            column.iter().map(|v| tokenize(v).to_string()).collect();
+        assert_eq!(distinct.len(), 2);
+    }
+
+    #[test]
+    fn generated_values_have_expected_shapes() {
+        let mut g = DataGenerator::new(13);
+        assert!(g.email().contains('@'));
+        assert!(g.url().starts_with("https://"));
+        assert!(g.address().contains(", "));
+        assert!(g.titled_name().contains(". ") || g.titled_name().contains("Prof."));
+        assert!(g.log_entry().contains(" on node"));
+        assert!(g.file_path().starts_with("/home/"));
+        assert!(g.car_model_id().contains('-'));
+        assert!(g.university().contains(','));
+        assert!(g.product().contains("rev"));
+        let date = g.date_mdy();
+        assert_eq!(tokenize(&date).to_string(), "<D>2'/'<D>2'/'<D>4");
+    }
+
+    #[test]
+    fn medical_code_styles_cycle() {
+        let mut g = DataGenerator::new(17);
+        let styles: Vec<String> = (0..4).map(|s| g.medical_code(s)).collect();
+        assert!(styles[0].starts_with("CPT-"));
+        assert!(styles[1].starts_with("[CPT-"));
+        assert!(styles[2].ends_with(']'));
+        assert!(!styles[3].contains('-'));
+    }
+
+    #[test]
+    fn currency_styles() {
+        let mut g = DataGenerator::new(19);
+        assert!(g.currency(0).starts_with("USD "));
+        assert!(g.currency(1).starts_with('$'));
+        assert!(g.currency(2).ends_with("dollars"));
+    }
+
+    #[test]
+    fn date_parts_in_range() {
+        let mut g = DataGenerator::new(23);
+        for _ in 0..50 {
+            let (y, m, d) = g.date_parts();
+            assert!((1990..2025).contains(&y));
+            assert!((1..=12).contains(&m));
+            assert!((1..=28).contains(&d));
+        }
+    }
+}

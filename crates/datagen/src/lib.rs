@@ -1,0 +1,35 @@
+//! # clx-datagen
+//!
+//! Workload generation for the CLX evaluation: seeded generators for every
+//! data type the paper's experiments touch (phone numbers, human names,
+//! addresses, dates, identifiers, log entries, ...), the §7.2 phone-number
+//! user-study datasets (`10(2)`, `100(4)`, `300(6)` and a 10k-row variant),
+//! the reconstructed 47-task benchmark suite of §7.4 (Table 6), and the
+//! three explainability tasks of §7.3 (Table 5).
+//!
+//! All generation is deterministic given a seed, so every figure and table
+//! produced by `clx-bench` is exactly reproducible.
+//!
+//! ```
+//! use clx_datagen::{benchmark_suite, study_cases};
+//!
+//! let suite = benchmark_suite(0);
+//! assert_eq!(suite.len(), 47);
+//!
+//! let cases = study_cases(42);
+//! assert_eq!(cases[2].name, "300(6)");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod generators;
+mod phone_study;
+mod suite;
+
+pub use generators::{DataGenerator, PhoneFormat};
+pub use phone_study::{large_case, study_case, study_cases, PhoneStudyCase};
+pub use suite::{
+    benchmark_suite, explainability_tasks, suite_stats, BenchmarkTask, DataType, SuiteStats,
+    TaskSource,
+};

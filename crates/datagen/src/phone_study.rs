@@ -1,0 +1,152 @@
+//! The phone-number datasets of the §7.2 verification-effort user study.
+//!
+//! The paper samples a column of 331 messy phone numbers from the NYC "Times
+//! Square Food & Beverage Locations" open data set into three test cases —
+//! 10 rows / 2 patterns, 100 rows / 4 patterns, 300 rows / 6 patterns — and
+//! asks users to normalize everything to `<D>3-<D>3-<D>4`. The raw file is
+//! not redistributed here; [`study_case`] regenerates columns with the same
+//! sizes, the same six formats and a similar frequency skew.
+
+use clx_pattern::{tokenize, Pattern};
+
+use crate::generators::{DataGenerator, PhoneFormat};
+
+/// One dataset of the verification-effort study.
+#[derive(Debug, Clone)]
+pub struct PhoneStudyCase {
+    /// Display name, e.g. `"300(6)"`.
+    pub name: String,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of distinct phone formats (patterns).
+    pub pattern_count: usize,
+    /// The column values.
+    pub data: Vec<String>,
+    /// An example value in the desired target format.
+    pub target_example: String,
+}
+
+impl PhoneStudyCase {
+    /// The target pattern of the study task (`<D>3-<D>3-<D>4`).
+    pub fn target_pattern(&self) -> Pattern {
+        tokenize(&self.target_example)
+    }
+}
+
+/// Frequency weights of the six study formats, mimicking the skew of the
+/// original column (most rows in one or two dominant formats, a long tail of
+/// rarer ones — compare Figure 3's cluster sizes).
+const STUDY_WEIGHTS: [usize; 6] = [45, 30, 12, 8, 3, 2];
+
+/// Build one study dataset with `rows` rows over the first `pattern_count`
+/// of the six study formats.
+pub fn study_case(rows: usize, pattern_count: usize, seed: u64) -> PhoneStudyCase {
+    assert!(
+        (1..=PhoneFormat::STUDY_FORMATS.len()).contains(&pattern_count),
+        "pattern_count must be between 1 and 6"
+    );
+    let mut generator = DataGenerator::new(seed);
+    let formats = &PhoneFormat::STUDY_FORMATS[..pattern_count];
+    let weights = &STUDY_WEIGHTS[..pattern_count];
+    let data = generator.phone_column(rows, formats, weights);
+    PhoneStudyCase {
+        name: format!("{rows}({pattern_count})"),
+        rows,
+        pattern_count,
+        data,
+        target_example: "734-422-8073".to_string(),
+    }
+}
+
+/// The three datasets used in the paper's §7.2 study: `10(2)`, `100(4)`,
+/// `300(6)`.
+pub fn study_cases(seed: u64) -> Vec<PhoneStudyCase> {
+    vec![
+        study_case(10, 2, seed),
+        study_case(100, 4, seed + 1),
+        study_case(300, 6, seed + 2),
+    ]
+}
+
+/// A large-scale variant (the motivating example talks about 10,000 phone
+/// numbers) for the latency benchmarks.
+pub fn large_case(rows: usize, seed: u64) -> PhoneStudyCase {
+    study_case(rows, 6, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn study_cases_match_paper_sizes() {
+        let cases = study_cases(42);
+        let sizes: Vec<(usize, usize)> = cases.iter().map(|c| (c.rows, c.pattern_count)).collect();
+        assert_eq!(sizes, vec![(10, 2), (100, 4), (300, 6)]);
+        for c in &cases {
+            assert_eq!(c.data.len(), c.rows);
+            assert_eq!(c.name, format!("{}({})", c.rows, c.pattern_count));
+        }
+    }
+
+    #[test]
+    fn pattern_counts_are_exact() {
+        for case in study_cases(7) {
+            let distinct: HashSet<String> = case
+                .data
+                .iter()
+                .map(|v| tokenize(v).to_string())
+                .collect();
+            assert_eq!(
+                distinct.len(),
+                case.pattern_count,
+                "case {} must have exactly {} patterns",
+                case.name,
+                case.pattern_count
+            );
+        }
+    }
+
+    #[test]
+    fn target_pattern_is_dashed_phone() {
+        let case = study_case(10, 2, 1);
+        assert_eq!(case.target_pattern().to_string(), "<D>3'-'<D>3'-'<D>4");
+    }
+
+    #[test]
+    fn dominant_format_has_most_rows() {
+        let case = study_case(300, 6, 99);
+        let mut counts: std::collections::HashMap<String, usize> = Default::default();
+        for v in &case.data {
+            *counts.entry(tokenize(v).to_string()).or_insert(0) += 1;
+        }
+        let dominant = counts
+            .get("'('<D>3')'' '<D>3'-'<D>4")
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            dominant > 300 / 6,
+            "the paren-space format should dominate, got {dominant}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_a_given_seed() {
+        assert_eq!(study_case(50, 4, 5).data, study_case(50, 4, 5).data);
+        assert_ne!(study_case(50, 4, 5).data, study_case(50, 4, 6).data);
+    }
+
+    #[test]
+    fn large_case_scales() {
+        let case = large_case(10_000, 3);
+        assert_eq!(case.data.len(), 10_000);
+        assert_eq!(case.pattern_count, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern_count")]
+    fn zero_patterns_rejected() {
+        study_case(10, 0, 1);
+    }
+}

@@ -1,0 +1,831 @@
+//! The 47-task benchmark suite of Section 7.4 (Table 6) and the three
+//! explainability tasks of Section 7.3 (Table 5).
+//!
+//! The paper assembles its suite from the SyGuS 2017 PBE-strings track (27
+//! scenarios), the FlashFill paper (10), BlinkFill (4), PredProg (3) and the
+//! Microsoft PROSE samples (3). The exact task files were never released
+//! ("will be released upon the acceptance of the paper"), so this module
+//! reconstructs a 47-task suite with the same source mix, the same data
+//! types (Table 6's car model ids, human names, phone numbers, university
+//! names, addresses, log entries, dates, urls, product names, ...) and
+//! similar size/length statistics, generated deterministically from seeds.
+//! Every task carries ground-truth outputs so simulated users can check any
+//! system's result exactly.
+
+use clx_pattern::Pattern;
+
+use crate::generators::{DataGenerator, PhoneFormat};
+
+/// Where a benchmark task (conceptually) comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskSource {
+    /// SyGuS-COMP 2017 PBE-strings track.
+    SyGus,
+    /// Gulwani's FlashFill paper (POPL 2011).
+    FlashFill,
+    /// BlinkFill (PVLDB 2016).
+    BlinkFill,
+    /// "Predicting a correct program in PBE" (CAV 2015).
+    PredProg,
+    /// Microsoft PROSE SDK samples.
+    Prose,
+}
+
+impl TaskSource {
+    /// Display name matching Table 6.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskSource::SyGus => "SyGus",
+            TaskSource::FlashFill => "FlashFill",
+            TaskSource::BlinkFill => "BlinkFill",
+            TaskSource::PredProg => "PredProg",
+            TaskSource::Prose => "Prose",
+        }
+    }
+}
+
+/// The broad data type of a task (the "DataType" column of Tables 5 and 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Phone numbers in heterogeneous formats.
+    PhoneNumber,
+    /// Human names.
+    HumanName,
+    /// Street addresses.
+    Address,
+    /// Calendar dates.
+    Date,
+    /// Medical / product / car identifiers.
+    Identifier,
+    /// Email addresses.
+    Email,
+    /// URLs.
+    Url,
+    /// University names and affiliations.
+    University,
+    /// Server log entries.
+    LogEntry,
+    /// File paths.
+    FilePath,
+    /// Product names.
+    ProductName,
+    /// Currency amounts.
+    Currency,
+}
+
+impl DataType {
+    /// Human-readable label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataType::PhoneNumber => "phone number",
+            DataType::HumanName => "human name",
+            DataType::Address => "address",
+            DataType::Date => "date",
+            DataType::Identifier => "identifier",
+            DataType::Email => "email",
+            DataType::Url => "url",
+            DataType::University => "university name",
+            DataType::LogEntry => "log entry",
+            DataType::FilePath => "file directory",
+            DataType::ProductName => "product name",
+            DataType::Currency => "currency",
+        }
+    }
+}
+
+/// One benchmark task: a messy input column, its ground-truth outputs, and
+/// the target format.
+#[derive(Debug, Clone)]
+pub struct BenchmarkTask {
+    /// Stable task id (1-based, as in Figure 15's x-axis).
+    pub id: usize,
+    /// Short task name.
+    pub name: String,
+    /// Source corpus the task is modelled on.
+    pub source: TaskSource,
+    /// The data type of the column.
+    pub data_type: DataType,
+    /// The messy input column.
+    pub inputs: Vec<String>,
+    /// The desired output for every row.
+    pub expected: Vec<String>,
+    /// One example value already in the desired format.
+    pub target_example: String,
+    /// The target pattern a CLX user would label (possibly generalized with
+    /// `+` quantifiers when the target fields have variable length).
+    pub target: Pattern,
+}
+
+impl BenchmarkTask {
+    /// Number of rows.
+    pub fn size(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Average input length in characters.
+    pub fn avg_len(&self) -> f64 {
+        if self.inputs.is_empty() {
+            return 0.0;
+        }
+        self.inputs.iter().map(|s| s.chars().count()).sum::<usize>() as f64
+            / self.inputs.len() as f64
+    }
+
+    /// Maximum input length in characters.
+    pub fn max_len(&self) -> usize {
+        self.inputs.iter().map(|s| s.chars().count()).max().unwrap_or(0)
+    }
+
+    /// The target pattern a CLX user would label.
+    pub fn target_pattern(&self) -> Pattern {
+        self.target.clone()
+    }
+
+    /// Number of rows already in the desired format.
+    pub fn already_correct(&self) -> usize {
+        self.inputs
+            .iter()
+            .zip(&self.expected)
+            .filter(|(i, e)| i == e)
+            .count()
+    }
+}
+
+/// Pairs of (input, expected) rows.
+type Rows = Vec<(String, String)>;
+
+fn rows_to_task(
+    id: usize,
+    name: &str,
+    source: TaskSource,
+    data_type: DataType,
+    rows: Rows,
+    target_example: &str,
+    target_pattern: &str,
+) -> BenchmarkTask {
+    let (inputs, expected) = rows.into_iter().unzip();
+    let target = clx_pattern::parse_pattern(target_pattern)
+        .unwrap_or_else(|e| panic!("invalid target pattern for task {name}: {e}"));
+    BenchmarkTask {
+        id,
+        name: name.to_string(),
+        source,
+        data_type,
+        inputs,
+        expected,
+        target_example: target_example.to_string(),
+        target,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Task templates. Each generates structured records first and renders both
+// the messy input and the ground-truth output from the same record, so the
+// expected column is correct by construction.
+// ---------------------------------------------------------------------------
+
+fn phone_normalize(rows: usize, n_formats: usize, seed: u64) -> Rows {
+    let mut g = DataGenerator::new(seed);
+    let formats = &PhoneFormat::STUDY_FORMATS[..n_formats];
+    (0..rows)
+        .map(|i| {
+            let area = (200 + (i * 37) % 700) as u16;
+            let exchange = (200 + (i * 53) % 700) as u16;
+            let line = ((i * 691) % 10_000) as u16;
+            let format = if i % 5 == 0 {
+                PhoneFormat::Dashes
+            } else {
+                formats[i % formats.len()]
+            };
+            let _ = g.phone(PhoneFormat::Dashes); // keep the generator advancing
+            (
+                format.render(area, exchange, line),
+                PhoneFormat::Dashes.render(area, exchange, line),
+            )
+        })
+        .collect()
+}
+
+fn phone_parenthesize(rows: usize, n_formats: usize, seed: u64) -> Rows {
+    phone_normalize(rows, n_formats, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (input, dashed))| {
+            let digits: Vec<&str> = dashed.split('-').collect();
+            let target = format!("({}) {}-{}", digits[0], digits[1], digits[2]);
+            if i % 6 == 0 {
+                (target.clone(), target)
+            } else {
+                (input, target)
+            }
+        })
+        .collect()
+}
+
+fn phone_strip_country_code(rows: usize, seed: u64) -> Rows {
+    phone_normalize(rows, 1, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_, dashed))| {
+            if i % 4 == 0 {
+                (dashed.clone(), dashed)
+            } else {
+                (format!("+1 {dashed}"), dashed)
+            }
+        })
+        .collect()
+}
+
+fn name_pairs(rows: usize, seed: u64) -> Vec<(String, String)> {
+    let mut g = DataGenerator::new(seed);
+    (0..rows).map(|_| g.name_pair()).collect()
+}
+
+fn name_last_first_initial(rows: usize, seed: u64) -> Rows {
+    name_pairs(rows, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (first, last))| {
+            let target = format!("{last}, {}.", first.chars().next().expect("non-empty first"));
+            if i % 7 == 0 {
+                (target.clone(), target)
+            } else {
+                (format!("{first} {last}"), target)
+            }
+        })
+        .collect()
+}
+
+fn name_strip_title(rows: usize, seed: u64) -> Rows {
+    let mut g = DataGenerator::new(seed);
+    name_pairs(rows, seed + 1)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (first, last))| {
+            let full = format!("{first} {last}");
+            let _ = g.full_name();
+            if i % 5 == 0 {
+                (full.clone(), full)
+            } else {
+                let title = ["Dr.", "Mr.", "Ms."][i % 3];
+                (format!("{title} {first} {last}"), full)
+            }
+        })
+        .collect()
+}
+
+fn name_initials(rows: usize, seed: u64) -> Rows {
+    name_pairs(rows, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (first, last))| {
+            let target = format!(
+                "{}.{}.",
+                first.chars().next().expect("non-empty"),
+                last.chars().next().expect("non-empty")
+            );
+            if i % 8 == 0 {
+                (target.clone(), target)
+            } else {
+                (format!("{first} {last}"), target)
+            }
+        })
+        .collect()
+}
+
+fn address_zip(rows: usize, seed: u64) -> Rows {
+    let mut g = DataGenerator::new(seed);
+    (0..rows)
+        .map(|i| {
+            let address = g.address();
+            let zip = address
+                .rsplit(' ')
+                .next()
+                .expect("address has a zip")
+                .to_string();
+            if i % 9 == 0 {
+                (zip.clone(), zip)
+            } else {
+                (address, zip)
+            }
+        })
+        .collect()
+}
+
+fn address_state_zip(rows: usize, seed: u64) -> Rows {
+    let mut g = DataGenerator::new(seed);
+    (0..rows)
+        .map(|i| {
+            let address = g.address();
+            let mut parts = address.rsplitn(2, ", ");
+            let state_zip = parts.next().expect("state and zip").to_string();
+            if i % 9 == 0 {
+                (state_zip.clone(), state_zip)
+            } else {
+                (address, state_zip)
+            }
+        })
+        .collect()
+}
+
+fn date_reformat(rows: usize, seed: u64, iso: bool) -> Rows {
+    let mut g = DataGenerator::new(seed);
+    (0..rows)
+        .map(|i| {
+            let (y, m, d) = g.date_parts();
+            let target = if iso {
+                format!("{y}-{m:02}-{d:02}")
+            } else {
+                format!("{m:02}-{d:02}-{y}")
+            };
+            if i % 6 == 0 {
+                (target.clone(), target)
+            } else {
+                (format!("{m:02}/{d:02}/{y}"), target)
+            }
+        })
+        .collect()
+}
+
+fn medical_codes(rows: usize, seed: u64) -> Rows {
+    let mut g = DataGenerator::new(seed);
+    (0..rows)
+        .map(|i| {
+            let digits: u32 = 100 + ((i as u32 * 7919) % 99_000);
+            let target = format!("[CPT-{digits}]");
+            let _ = g.medical_code(i);
+            let input = match i % 4 {
+                0 => format!("CPT-{digits}"),
+                1 => format!("[CPT-{digits}"),
+                2 => target.clone(),
+                _ => format!("CPT{digits}"),
+            };
+            (input, target.clone())
+        })
+        .collect()
+}
+
+fn email_domain(rows: usize, seed: u64) -> Rows {
+    let mut g = DataGenerator::new(seed);
+    (0..rows)
+        .map(|i| {
+            let email = g.email();
+            let domain = email.split('@').nth(1).expect("email has domain").to_string();
+            if i % 10 == 0 {
+                (domain.clone(), domain)
+            } else {
+                (email, domain)
+            }
+        })
+        .collect()
+}
+
+fn url_product_id(rows: usize, seed: u64) -> Rows {
+    let mut g = DataGenerator::new(seed);
+    (0..rows)
+        .map(|i| {
+            let url = g.url();
+            let id = url.rsplit('-').next().expect("url has id").to_string();
+            if i % 11 == 0 {
+                (id.clone(), id)
+            } else {
+                (url, id)
+            }
+        })
+        .collect()
+}
+
+fn car_id_year(rows: usize, seed: u64) -> Rows {
+    let mut g = DataGenerator::new(seed);
+    (0..rows)
+        .map(|i| {
+            let id = g.car_model_id();
+            let year = id.rsplit('-').next().expect("car id has year").to_string();
+            if i % 9 == 0 {
+                (year.clone(), year)
+            } else {
+                (id, year)
+            }
+        })
+        .collect()
+}
+
+fn car_id_code(rows: usize, seed: u64) -> Rows {
+    let mut g = DataGenerator::new(seed);
+    (0..rows)
+        .map(|i| {
+            let id = g.car_model_id();
+            let code = id.split('-').nth(1).expect("car id has code").to_string();
+            if i % 9 == 0 {
+                (code.clone(), code)
+            } else {
+                (id, code)
+            }
+        })
+        .collect()
+}
+
+fn university_state(rows: usize, seed: u64) -> Rows {
+    let mut g = DataGenerator::new(seed);
+    (0..rows)
+        .map(|i| {
+            let affiliation = g.university();
+            let state = affiliation
+                .rsplit(", ")
+                .next()
+                .expect("affiliation has state")
+                .to_string();
+            if i % 8 == 0 {
+                (state.clone(), state)
+            } else {
+                (affiliation, state)
+            }
+        })
+        .collect()
+}
+
+fn log_date(rows: usize, seed: u64) -> Rows {
+    let mut g = DataGenerator::new(seed);
+    (0..rows)
+        .map(|i| {
+            let entry = g.log_entry();
+            let date = entry.split(' ').next().expect("log has date").to_string();
+            if i % 12 == 0 {
+                (date.clone(), date)
+            } else {
+                (entry, date)
+            }
+        })
+        .collect()
+}
+
+fn log_level(rows: usize, seed: u64) -> Rows {
+    let mut g = DataGenerator::new(seed);
+    (0..rows)
+        .map(|i| {
+            let entry = g.log_entry();
+            let level = entry.split(' ').nth(2).expect("log has level").to_string();
+            if i % 12 == 0 {
+                (level.clone(), level)
+            } else {
+                (entry, level)
+            }
+        })
+        .collect()
+}
+
+fn file_extension(rows: usize, seed: u64) -> Rows {
+    let mut g = DataGenerator::new(seed);
+    (0..rows)
+        .map(|i| {
+            let path = g.file_path();
+            let ext = path.rsplit('.').next().expect("path has extension").to_string();
+            if i % 10 == 0 {
+                (ext.clone(), ext)
+            } else {
+                (path, ext)
+            }
+        })
+        .collect()
+}
+
+fn product_id(rows: usize, seed: u64) -> Rows {
+    let mut g = DataGenerator::new(seed);
+    (0..rows)
+        .map(|i| {
+            let product = g.product();
+            // "Widget 2000 rev3" -> "Widget-2000"
+            let mut parts = product.split(' ');
+            let name = parts.next().expect("product name");
+            let num = parts.next().expect("product number");
+            let target = format!("{name}-{num}");
+            if i % 7 == 0 {
+                (target.clone(), target)
+            } else {
+                (product.clone(), target)
+            }
+        })
+        .collect()
+}
+
+fn currency_normalize(rows: usize, seed: u64) -> Rows {
+    let mut g = DataGenerator::new(seed);
+    (0..rows)
+        .map(|i| {
+            let amount = 10 + ((i as u64 * 997) % 99_000);
+            let _ = g.currency(i);
+            let target = format!("USD {amount}");
+            let input = match i % 3 {
+                0 => target.clone(),
+                1 => format!("${amount}"),
+                _ => format!("{amount} dollars"),
+            };
+            (input, target)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Suite assembly.
+// ---------------------------------------------------------------------------
+
+/// Build the full 47-task benchmark suite. The same seed always produces the
+/// same suite.
+pub fn benchmark_suite(seed: u64) -> Vec<BenchmarkTask> {
+    use DataType as D;
+    use TaskSource as S;
+
+    let mut tasks: Vec<BenchmarkTask> = Vec::with_capacity(47);
+    let mut id = 0usize;
+    let mut push = |tasks: &mut Vec<BenchmarkTask>,
+                    name: &str,
+                    source: S,
+                    data_type: D,
+                    rows: Rows,
+                    target_example: &str,
+                    target_pattern: &str| {
+        id += 1;
+        tasks.push(rows_to_task(
+            id,
+            name,
+            source,
+            data_type,
+            rows,
+            target_example,
+            target_pattern,
+        ));
+    };
+
+    // --- SyGuS (27 tasks): larger columns (avg ≈ 63 rows). ---
+    push(&mut tasks, "sygus-phone-1", S::SyGus, D::PhoneNumber, phone_normalize(60, 3, seed + 1), "734-422-8073", "<D>3'-'<D>3'-'<D>4");
+    push(&mut tasks, "sygus-phone-2", S::SyGus, D::PhoneNumber, phone_normalize(80, 4, seed + 2), "734-422-8073", "<D>3'-'<D>3'-'<D>4");
+    push(&mut tasks, "sygus-phone-3", S::SyGus, D::PhoneNumber, phone_normalize(100, 6, seed + 3), "734-422-8073", "<D>3'-'<D>3'-'<D>4");
+    push(&mut tasks, "sygus-phone-4", S::SyGus, D::PhoneNumber, phone_parenthesize(60, 3, seed + 4), "(734) 422-8073", "'('<D>3')'' '<D>3'-'<D>4");
+    push(&mut tasks, "sygus-phone-5", S::SyGus, D::PhoneNumber, phone_parenthesize(40, 4, seed + 5), "(734) 422-8073", "'('<D>3')'' '<D>3'-'<D>4");
+    push(&mut tasks, "sygus-phone-6", S::SyGus, D::PhoneNumber, phone_strip_country_code(63, seed + 6), "734-422-8073", "<D>3'-'<D>3'-'<D>4");
+    push(&mut tasks, "sygus-phone-10-long", S::SyGus, D::PhoneNumber, phone_parenthesize(100, 5, seed + 7), "(734) 422-8073", "'('<D>3')'' '<D>3'-'<D>4");
+    push(&mut tasks, "sygus-name-1", S::SyGus, D::HumanName, name_last_first_initial(60, seed + 8), "Yahav, E.", "<U><L>+','' '<U>'.'");
+    push(&mut tasks, "sygus-name-2", S::SyGus, D::HumanName, name_strip_title(70, seed + 9), "Eran Yahav", "<U><L>+' '<U><L>+");
+    push(&mut tasks, "sygus-name-3", S::SyGus, D::HumanName, name_initials(50, seed + 10), "E.Y.", "<U>'.'<U>'.'");
+    push(&mut tasks, "sygus-name-4", S::SyGus, D::HumanName, name_last_first_initial(40, seed + 11), "Yahav, E.", "<U><L>+','' '<U>'.'");
+    push(&mut tasks, "sygus-name-5", S::SyGus, D::HumanName, name_strip_title(63, seed + 12), "Eran Yahav", "<U><L>+' '<U><L>+");
+    push(&mut tasks, "sygus-car-1", S::SyGus, D::Identifier, car_id_year(60, seed + 13), "1986", "<D>4");
+    push(&mut tasks, "sygus-car-2", S::SyGus, D::Identifier, car_id_code(70, seed + 14), "AE86", "<U>2<D>2");
+    push(&mut tasks, "sygus-car-3", S::SyGus, D::Identifier, car_id_year(55, seed + 15), "1986", "<D>4");
+    push(&mut tasks, "sygus-car-4", S::SyGus, D::Identifier, car_id_code(45, seed + 16), "AE86", "<U>2<D>2");
+    push(&mut tasks, "sygus-univ-1", S::SyGus, D::University, university_state(60, seed + 17), "MI", "<U>2");
+    push(&mut tasks, "sygus-univ-2", S::SyGus, D::University, university_state(80, seed + 18), "MI", "<U>2");
+    push(&mut tasks, "sygus-univ-3", S::SyGus, D::University, university_state(50, seed + 19), "MI", "<U>2");
+    push(&mut tasks, "sygus-addr-1", S::SyGus, D::Address, address_zip(60, seed + 20), "92173", "<D>5");
+    push(&mut tasks, "sygus-addr-2", S::SyGus, D::Address, address_state_zip(70, seed + 21), "CA 92173", "<U>2' '<D>5");
+    push(&mut tasks, "sygus-addr-3", S::SyGus, D::Address, address_zip(65, seed + 22), "92173", "<D>5");
+    push(&mut tasks, "sygus-addr-4", S::SyGus, D::Address, address_state_zip(55, seed + 23), "CA 92173", "<U>2' '<D>5");
+    push(&mut tasks, "sygus-date-1", S::SyGus, D::Date, date_reformat(60, seed + 24, true), "2017-11-02", "<D>4'-'<D>2'-'<D>2");
+    push(&mut tasks, "sygus-date-2", S::SyGus, D::Date, date_reformat(75, seed + 25, false), "11-02-2017", "<D>2'-'<D>2'-'<D>4");
+    push(&mut tasks, "sygus-date-3", S::SyGus, D::Date, date_reformat(63, seed + 26, true), "2017-11-02", "<D>4'-'<D>2'-'<D>2");
+    push(&mut tasks, "sygus-date-4", S::SyGus, D::Date, date_reformat(58, seed + 27, false), "11-02-2017", "<D>2'-'<D>2'-'<D>4");
+
+    // --- FlashFill (10 tasks): small columns (avg ≈ 10 rows). ---
+    push(&mut tasks, "ff-log-entry", S::FlashFill, D::LogEntry, log_date(10, seed + 30), "2017-08-13", "<D>4'-'<D>2'-'<D>2");
+    push(&mut tasks, "ff-log-level", S::FlashFill, D::LogEntry, log_level(10, seed + 31), "ERROR", "<U>+");
+    push(&mut tasks, "ff-phone", S::FlashFill, D::PhoneNumber, phone_normalize(12, 3, seed + 32), "734-422-8073", "<D>3'-'<D>3'-'<D>4");
+    push(&mut tasks, "ff-name-ex9", S::FlashFill, D::HumanName, name_last_first_initial(10, seed + 33), "Yahav, E.", "<U><L>+','' '<U>'.'");
+    push(&mut tasks, "ff-name-ex11", S::FlashFill, D::HumanName, name_strip_title(10, seed + 34), "Eran Yahav", "<U><L>+' '<U><L>+");
+    push(&mut tasks, "ff-date", S::FlashFill, D::Date, date_reformat(10, seed + 35, true), "2017-11-02", "<D>4'-'<D>2'-'<D>2");
+    push(&mut tasks, "ff-file-dir", S::FlashFill, D::FilePath, file_extension(10, seed + 36), "pdf", "<L>+");
+    push(&mut tasks, "ff-url", S::FlashFill, D::Url, url_product_id(10, seed + 37), "42", "<D>+");
+    push(&mut tasks, "ff-product", S::FlashFill, D::ProductName, product_id(11, seed + 38), "Widget-2000", "<U><L>+'-'<D>+");
+    push(&mut tasks, "ff-currency", S::FlashFill, D::Currency, currency_normalize(10, seed + 39), "USD 1234", "'USD '<D>+");
+
+    // --- BlinkFill (4 tasks, avg ≈ 11 rows). ---
+    push(&mut tasks, "bf-medical-ex3", S::BlinkFill, D::Identifier, medical_codes(12, seed + 40), "[CPT-11536]", "'['<U>+'-'<D>+']'");
+    push(&mut tasks, "bf-city-state", S::BlinkFill, D::University, university_state(11, seed + 41), "MI", "<U>2");
+    push(&mut tasks, "bf-name", S::BlinkFill, D::HumanName, name_initials(10, seed + 42), "E.Y.", "<U>'.'<U>'.'");
+    push(&mut tasks, "bf-product-id", S::BlinkFill, D::ProductName, product_id(10, seed + 43), "Widget-2000", "<U><L>+'-'<D>+");
+
+    // --- PredProg (3 tasks, ≈ 10 rows). ---
+    push(&mut tasks, "pp-name", S::PredProg, D::HumanName, name_last_first_initial(10, seed + 44), "Yahav, E.", "<U><L>+','' '<U>'.'");
+    push(&mut tasks, "pp-address-ex3", S::PredProg, D::Address, address_state_zip(10, seed + 45), "CA 92173", "<U>2' '<D>5");
+    push(&mut tasks, "pp-address-zip", S::PredProg, D::Address, address_zip(10, seed + 46), "92173", "<D>5");
+
+    // --- PROSE (3 tasks, avg ≈ 39 rows). ---
+    push(&mut tasks, "prose-email", S::Prose, D::Email, email_domain(40, seed + 47), "gmail.com", "<L>+'.'<L>+");
+    push(&mut tasks, "prose-country-number", S::Prose, D::PhoneNumber, phone_strip_country_code(40, seed + 48), "734-422-8073", "<D>3'-'<D>3'-'<D>4");
+    push(&mut tasks, "prose-popl-13", S::Prose, D::University, university_state(38, seed + 49), "MI", "<U>2");
+
+    debug_assert_eq!(tasks.len(), 47);
+    tasks
+}
+
+/// Summary statistics of a group of tasks (one row of Table 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteStats {
+    /// Source label.
+    pub source: String,
+    /// Number of tasks.
+    pub tests: usize,
+    /// Average rows per task.
+    pub avg_size: f64,
+    /// Average input length (characters).
+    pub avg_len: f64,
+    /// Maximum input length (characters).
+    pub max_len: usize,
+}
+
+/// Compute the per-source rows of Table 6 (plus an "Overall" row).
+pub fn suite_stats(tasks: &[BenchmarkTask]) -> Vec<SuiteStats> {
+    let sources = [
+        TaskSource::SyGus,
+        TaskSource::FlashFill,
+        TaskSource::BlinkFill,
+        TaskSource::PredProg,
+        TaskSource::Prose,
+    ];
+    let mut rows: Vec<SuiteStats> = sources
+        .iter()
+        .map(|s| stats_for(tasks.iter().filter(|t| t.source == *s), s.name()))
+        .collect();
+    rows.push(stats_for(tasks.iter(), "Overall"));
+    rows
+}
+
+fn stats_for<'a>(tasks: impl Iterator<Item = &'a BenchmarkTask>, label: &str) -> SuiteStats {
+    let tasks: Vec<&BenchmarkTask> = tasks.collect();
+    let tests = tasks.len();
+    let avg_size = if tests == 0 {
+        0.0
+    } else {
+        tasks.iter().map(|t| t.size()).sum::<usize>() as f64 / tests as f64
+    };
+    let avg_len = if tests == 0 {
+        0.0
+    } else {
+        tasks.iter().map(|t| t.avg_len()).sum::<f64>() / tests as f64
+    };
+    let max_len = tasks.iter().map(|t| t.max_len()).max().unwrap_or(0);
+    SuiteStats {
+        source: label.to_string(),
+        tests,
+        avg_size,
+        avg_len,
+        max_len,
+    }
+}
+
+/// The three explainability tasks of Table 5: human name (task 1), address
+/// (task 2), phone number (task 3, the SyGuS "phone-10-long" scenario).
+pub fn explainability_tasks(seed: u64) -> Vec<BenchmarkTask> {
+    vec![
+        rows_to_task(
+            1,
+            "task1-human-name",
+            TaskSource::FlashFill,
+            DataType::HumanName,
+            name_last_first_initial(10, seed + 100),
+            "Yahav, E.",
+            "<U><L>+','' '<U>'.'",
+        ),
+        rows_to_task(
+            2,
+            "task2-address",
+            TaskSource::PredProg,
+            DataType::Address,
+            address_state_zip(10, seed + 101),
+            "CA 92173",
+            "<U>2' '<D>5",
+        ),
+        rows_to_task(
+            3,
+            "task3-phone",
+            TaskSource::SyGus,
+            DataType::PhoneNumber,
+            phone_parenthesize(100, 4, seed + 102),
+            "(734) 422-8073",
+            "'('<D>3')'' '<D>3'-'<D>4",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_47_tasks_with_table_6_source_mix() {
+        let suite = benchmark_suite(0);
+        assert_eq!(suite.len(), 47);
+        let count = |s: TaskSource| suite.iter().filter(|t| t.source == s).count();
+        assert_eq!(count(TaskSource::SyGus), 27);
+        assert_eq!(count(TaskSource::FlashFill), 10);
+        assert_eq!(count(TaskSource::BlinkFill), 4);
+        assert_eq!(count(TaskSource::PredProg), 3);
+        assert_eq!(count(TaskSource::Prose), 3);
+        // Ids are 1..=47 and unique.
+        let ids: Vec<usize> = suite.iter().map(|t| t.id).collect();
+        assert_eq!(ids, (1..=47).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_task_is_internally_consistent() {
+        for task in benchmark_suite(0) {
+            assert_eq!(task.inputs.len(), task.expected.len(), "{}", task.name);
+            assert!(!task.inputs.is_empty(), "{}", task.name);
+            assert!(
+                task.already_correct() > 0,
+                "task {} needs at least one row already in the target format",
+                task.name
+            );
+            // The target example matches the pattern of the expected rows that
+            // are already correct.
+            let target = task.target_pattern();
+            let conforming = task
+                .expected
+                .iter()
+                .filter(|e| target.matches(e))
+                .count();
+            assert!(
+                conforming * 2 >= task.expected.len(),
+                "task {}: most expected outputs should match the target pattern ({} of {})",
+                task.name,
+                conforming,
+                task.expected.len()
+            );
+        }
+    }
+
+    #[test]
+    fn suite_stats_resemble_table_6() {
+        let suite = benchmark_suite(0);
+        let stats = suite_stats(&suite);
+        assert_eq!(stats.len(), 6);
+        let by_label = |label: &str| stats.iter().find(|s| s.source == label).unwrap().clone();
+        // Source mix sizes mirror Table 6 exactly.
+        assert_eq!(by_label("SyGus").tests, 27);
+        assert_eq!(by_label("FlashFill").tests, 10);
+        assert_eq!(by_label("Overall").tests, 47);
+        // SyGuS columns are much larger than FlashFill columns, as in the paper
+        // (63.3 vs 10.3 rows on average).
+        assert!(by_label("SyGus").avg_size > 40.0);
+        assert!(by_label("FlashFill").avg_size < 15.0);
+        // Overall average row length is in the same ballpark (paper: 13.0).
+        let overall = by_label("Overall");
+        assert!(overall.avg_len > 5.0 && overall.avg_len < 30.0);
+        assert!(overall.max_len >= 20);
+    }
+
+    #[test]
+    fn suite_is_deterministic_per_seed() {
+        let a = benchmark_suite(5);
+        let b = benchmark_suite(5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.inputs, y.inputs);
+            assert_eq!(x.expected, y.expected);
+        }
+        let c = benchmark_suite(6);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.inputs != y.inputs));
+    }
+
+    #[test]
+    fn explainability_tasks_match_table_5() {
+        let tasks = explainability_tasks(0);
+        assert_eq!(tasks.len(), 3);
+        assert_eq!(tasks[0].data_type, DataType::HumanName);
+        assert_eq!(tasks[1].data_type, DataType::Address);
+        assert_eq!(tasks[2].data_type, DataType::PhoneNumber);
+        assert_eq!(tasks[0].size(), 10);
+        assert_eq!(tasks[1].size(), 10);
+        assert_eq!(tasks[2].size(), 100);
+        // Table 5: task sizes 10 / 10 / 100 and phone strings around length 14.
+        assert!(tasks[2].avg_len() > 10.0 && tasks[2].avg_len() < 20.0);
+    }
+
+    #[test]
+    fn target_examples_match_expected_formats() {
+        for task in benchmark_suite(0) {
+            let target = task.target_pattern();
+            assert!(
+                target.matches(&task.target_example),
+                "target example of {} must match its own pattern",
+                task.name
+            );
+        }
+    }
+
+    #[test]
+    fn medical_task_reproduces_example_5_shapes() {
+        let suite = benchmark_suite(0);
+        let medical = suite.iter().find(|t| t.name == "bf-medical-ex3").unwrap();
+        assert!(medical.inputs.iter().any(|i| i.starts_with("CPT-")));
+        assert!(medical.inputs.iter().any(|i| i.starts_with("[CPT-") && !i.ends_with(']')));
+        assert!(medical.inputs.iter().any(|i| i.starts_with("[CPT-") && i.ends_with(']')));
+        assert!(medical.expected.iter().all(|e| e.starts_with("[CPT-") && e.ends_with(']')));
+    }
+
+    #[test]
+    fn task_metric_helpers() {
+        let task = &benchmark_suite(0)[0];
+        assert!(task.avg_len() > 0.0);
+        assert!(task.max_len() >= task.avg_len() as usize);
+        assert!(task.size() >= task.already_correct());
+    }
+}

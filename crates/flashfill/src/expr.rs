@@ -1,0 +1,280 @@
+//! The expression language of the FlashFill-style baseline: concatenations
+//! of constant strings and position-delimited substrings, guarded by the
+//! input's token signature (a restricted form of Gulwani's conditional
+//! `Switch`).
+
+use std::fmt;
+
+use clx_pattern::{tokenize, Pattern};
+
+use crate::pos::{eval_pos, PosExpr};
+
+/// One atom of a concatenation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// A constant string.
+    ConstStr(String),
+    /// The substring of the input between two position expressions.
+    SubStr {
+        /// Left (start) position.
+        left: PosExpr,
+        /// Right (end) position.
+        right: PosExpr,
+    },
+}
+
+impl Atom {
+    /// Evaluate the atom on `input`.
+    pub fn eval(&self, input: &str) -> Option<String> {
+        match self {
+            Atom::ConstStr(s) => Some(s.clone()),
+            Atom::SubStr { left, right } => {
+                let l = eval_pos(left, input)?;
+                let r = eval_pos(right, input)?;
+                if l > r {
+                    return None;
+                }
+                let chars: Vec<char> = input.chars().collect();
+                Some(chars[l..r].iter().collect())
+            }
+        }
+    }
+
+    /// `true` for substring atoms (which generalize, unlike constants).
+    pub fn is_substr(&self) -> bool {
+        matches!(self, Atom::SubStr { .. })
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::ConstStr(s) => write!(f, "ConstStr({s:?})"),
+            Atom::SubStr { left, right } => write!(f, "SubStr({left}, {right})"),
+        }
+    }
+}
+
+/// A trace expression: a concatenation of atoms.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Concat {
+    /// The atoms, in output order.
+    pub atoms: Vec<Atom>,
+}
+
+impl Concat {
+    /// Create a concatenation.
+    pub fn new(atoms: Vec<Atom>) -> Self {
+        Concat { atoms }
+    }
+
+    /// Evaluate the concatenation on one input.
+    pub fn eval(&self, input: &str) -> Option<String> {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            out.push_str(&atom.eval(input)?);
+        }
+        Some(out)
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// `true` when there are no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+}
+
+impl fmt::Display for Concat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Concat(")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A conditional branch: inputs whose leaf token pattern equals `guard` are
+/// transformed by `body`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseBranch {
+    /// The token-signature guard.
+    pub guard: Pattern,
+    /// The trace expression applied to matching inputs.
+    pub body: Concat,
+}
+
+/// A FlashFill-style program: a switch over token-signature guards.
+///
+/// Unlike CLX's UniFi programs, this structure is *not* meant to be read by
+/// the end user — it is the opaque artifact whose behaviour the user can
+/// only probe by testing, which is exactly the verification gap the paper's
+/// user studies measure.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlashFillProgram {
+    /// The branches, in the order their first example was provided.
+    pub branches: Vec<CaseBranch>,
+}
+
+impl FlashFillProgram {
+    /// Apply the program to one input.
+    ///
+    /// The branch whose guard matches the input's token pattern is used; if
+    /// none matches, the branches are tried in order and the first one that
+    /// evaluates successfully wins. The fallback mirrors how opaque PBE
+    /// programs "function unexpectedly on new input" (the `+1 724-285-5210`
+    /// anecdote in the paper's Example 1): some branch fires, but not
+    /// necessarily the semantically right one.
+    pub fn apply(&self, input: &str) -> Option<String> {
+        let signature = tokenize(input);
+        for branch in &self.branches {
+            if branch.guard == signature {
+                return branch.body.eval(input);
+            }
+        }
+        for branch in &self.branches {
+            if let Some(out) = branch.body.eval(input) {
+                return Some(out);
+            }
+        }
+        None
+    }
+
+    /// Apply to one input, returning the input unchanged when the program
+    /// has no applicable branch.
+    pub fn apply_or_passthrough(&self, input: &str) -> String {
+        self.apply(input).unwrap_or_else(|| input.to_string())
+    }
+
+    /// Number of branches.
+    pub fn len(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// `true` when the program has no branches.
+    pub fn is_empty(&self) -> bool {
+        self.branches.is_empty()
+    }
+}
+
+impl fmt::Display for FlashFillProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Switch(")?;
+        for b in &self.branches {
+            writeln!(f, "  Case({}): {}", b.guard, b.body)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pos::{boundary_at, PosExpr};
+
+    fn substr(input: &str, l: usize, r: usize) -> Atom {
+        Atom::SubStr {
+            left: PosExpr::BoundaryPos {
+                boundary: boundary_at(input, l),
+                occurrence: occurrence_of(input, l),
+            },
+            right: PosExpr::BoundaryPos {
+                boundary: boundary_at(input, r),
+                occurrence: occurrence_of(input, r),
+            },
+        }
+    }
+
+    fn occurrence_of(input: &str, pos: usize) -> i32 {
+        let b = boundary_at(input, pos);
+        let matches: Vec<usize> = (0..=input.chars().count())
+            .filter(|&p| boundary_at(input, p) == b)
+            .collect();
+        (matches.iter().position(|&p| p == pos).unwrap() + 1) as i32
+    }
+
+    #[test]
+    fn atom_eval() {
+        assert_eq!(Atom::ConstStr("x".into()).eval("whatever"), Some("x".into()));
+        let a = substr("734-422-8073", 4, 7);
+        assert_eq!(a.eval("734-422-8073"), Some("422".into()));
+        assert_eq!(a.eval("555-936-2447"), Some("936".into()));
+    }
+
+    #[test]
+    fn concat_eval() {
+        let input = "734-422-8073";
+        let c = Concat::new(vec![
+            Atom::ConstStr("(".into()),
+            substr(input, 0, 3),
+            Atom::ConstStr(") ".into()),
+            substr(input, 4, 7),
+            Atom::ConstStr("-".into()),
+            substr(input, 8, 12),
+        ]);
+        assert_eq!(c.eval(input), Some("(734) 422-8073".into()));
+        assert_eq!(c.eval("555-936-2447"), Some("(555) 936-2447".into()));
+        assert_eq!(c.len(), 6);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn concat_eval_fails_when_position_missing() {
+        let c = Concat::new(vec![substr("734-422-8073", 4, 7)]);
+        // No '-' boundary in this input: the substring cannot be located.
+        assert_eq!(c.eval("7344228073"), None);
+    }
+
+    #[test]
+    fn program_prefers_matching_guard() {
+        let dashed = "734-422-8073";
+        let dotted = "734.236.3466";
+        let program = FlashFillProgram {
+            branches: vec![
+                CaseBranch {
+                    guard: tokenize(dashed),
+                    body: Concat::new(vec![Atom::ConstStr("dash".into())]),
+                },
+                CaseBranch {
+                    guard: tokenize(dotted),
+                    body: Concat::new(vec![Atom::ConstStr("dot".into())]),
+                },
+            ],
+        };
+        assert_eq!(program.apply("111-222-3333"), Some("dash".into()));
+        assert_eq!(program.apply("111.222.3333"), Some("dot".into()));
+        // Unknown format: falls through to the first branch that evaluates —
+        // possibly the wrong one, as with real opaque PBE programs.
+        assert_eq!(program.apply("+1 724-285-5210"), Some("dash".into()));
+        assert_eq!(program.apply_or_passthrough("+1 724-285-5210"), "dash");
+    }
+
+    #[test]
+    fn empty_program_passthrough() {
+        let program = FlashFillProgram::default();
+        assert!(program.is_empty());
+        assert_eq!(program.apply("x"), None);
+        assert_eq!(program.apply_or_passthrough("x"), "x");
+    }
+
+    #[test]
+    fn display_forms() {
+        let program = FlashFillProgram {
+            branches: vec![CaseBranch {
+                guard: tokenize("1-2"),
+                body: Concat::new(vec![Atom::ConstStr("x".into())]),
+            }],
+        };
+        let s = program.to_string();
+        assert!(s.contains("Switch("));
+        assert!(s.contains("Case("));
+        assert!(Atom::ConstStr("x".into()).to_string().contains("ConstStr"));
+    }
+}

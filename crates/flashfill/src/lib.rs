@@ -1,0 +1,121 @@
+//! # clx-flashfill
+//!
+//! A FlashFill-style programming-by-example string-transformation
+//! synthesizer, built as the comparison baseline for the CLX evaluation
+//! (Section 7 of *CLX: Towards verifiable PBE data transformation*).
+//!
+//! The real FlashFill (Gulwani, POPL 2011; now a Microsoft Excel feature and
+//! part of the PROSE SDK) is closed source, so this crate implements the
+//! same *interaction contract* with a compact version of the same
+//! ingredients: an expression language of position-delimited substrings and
+//! constants, boundary-based position descriptors that generalize across
+//! values of the same format, a per-format conditional, and synthesis from
+//! input/output examples. What matters for reproducing the paper's
+//! experiments is preserved:
+//!
+//! * the user specifies intent by giving *examples*, one interaction each;
+//! * the learned program is consistent with all provided examples;
+//! * the learned program is an opaque artifact — verifying it means reading
+//!   the transformed column instance by instance;
+//! * it may behave arbitrarily on formats never exemplified.
+//!
+//! ```
+//! use clx_flashfill::{Example, FlashFill};
+//!
+//! let ff = FlashFill::new();
+//! let program = ff
+//!     .learn(&[Example::new("(734) 645-8397", "734-645-8397")])
+//!     .unwrap();
+//! assert_eq!(program.apply("(231) 555-0199").unwrap(), "231-555-0199");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod expr;
+mod pos;
+mod synth;
+
+pub use expr::{Atom, CaseBranch, Concat, FlashFillProgram};
+pub use pos::{boundary_at, candidate_positions, eval_pos, Boundary, CharKind, PosExpr};
+pub use synth::{synthesize_program, Example, FlashFillOptions};
+
+/// The FlashFill baseline engine: a thin, configurable wrapper around
+/// [`synthesize_program`].
+#[derive(Debug, Clone, Default)]
+pub struct FlashFill {
+    options: FlashFillOptions,
+}
+
+impl FlashFill {
+    /// An engine with default search bounds.
+    pub fn new() -> Self {
+        FlashFill {
+            options: FlashFillOptions::default(),
+        }
+    }
+
+    /// An engine with custom search bounds.
+    pub fn with_options(options: FlashFillOptions) -> Self {
+        FlashFill { options }
+    }
+
+    /// Learn a program from input/output examples.
+    pub fn learn(&self, examples: &[Example]) -> Option<FlashFillProgram> {
+        synthesize_program(examples, &self.options)
+    }
+
+    /// Learn a program and apply it to a whole column, leaving rows the
+    /// program cannot handle unchanged (that is what a spreadsheet user
+    /// sees: untouched cells).
+    pub fn learn_and_apply(&self, examples: &[Example], column: &[String]) -> Vec<String> {
+        match self.learn(examples) {
+            Some(program) => column
+                .iter()
+                .map(|v| program.apply_or_passthrough(v))
+                .collect(),
+            None => column.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_wrapper_learns_and_applies() {
+        let ff = FlashFill::new();
+        let column: Vec<String> = vec![
+            "(734) 645-8397".into(),
+            "(231) 555-0199".into(),
+            "734.236.3466".into(),
+        ];
+        let examples = vec![
+            Example::new("(734) 645-8397", "734-645-8397"),
+            Example::new("734.236.3466", "734-236-3466"),
+        ];
+        let out = ff.learn_and_apply(&examples, &column);
+        assert_eq!(out, vec!["734-645-8397", "231-555-0199", "734-236-3466"]);
+    }
+
+    #[test]
+    fn no_examples_leaves_column_unchanged() {
+        let ff = FlashFill::new();
+        let column: Vec<String> = vec!["a".into(), "b".into()];
+        assert_eq!(ff.learn_and_apply(&[], &column), column);
+    }
+
+    #[test]
+    fn custom_options() {
+        let ff = FlashFill::with_options(FlashFillOptions {
+            max_occurrences: 1,
+            max_positions_per_side: 1,
+            max_candidates: 8,
+        });
+        let program = ff
+            .learn(&[Example::new("ab 12", "12")])
+            .expect("still synthesizes under tight bounds");
+        assert_eq!(program.apply("cd 99").unwrap(), "99");
+    }
+}

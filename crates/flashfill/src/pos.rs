@@ -1,0 +1,306 @@
+//! Position expressions for the FlashFill-style baseline synthesizer.
+//!
+//! A position expression identifies a character boundary within an input
+//! string, either absolutely (`CPos`) or by the character classes on both
+//! sides of the boundary (`BoundaryPos`) — a simplified form of the
+//! token-based position logic of Gulwani's POPL 2011 string-transformation
+//! language. Boundary positions are what make a learned substring program
+//! generalize from one example to other values with the same format.
+
+use std::fmt;
+
+/// A coarse character class used for boundary descriptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CharKind {
+    /// `[0-9]`
+    Digit,
+    /// `[a-z]`
+    Lower,
+    /// `[A-Z]`
+    Upper,
+    /// Whitespace.
+    Space,
+    /// Any other (symbol) character.
+    Symbol,
+    /// The virtual class before the first character.
+    Start,
+    /// The virtual class after the last character.
+    End,
+}
+
+impl CharKind {
+    /// The kind of a concrete character.
+    pub fn of(c: char) -> Self {
+        if c.is_ascii_digit() {
+            CharKind::Digit
+        } else if c.is_ascii_lowercase() {
+            CharKind::Lower
+        } else if c.is_ascii_uppercase() {
+            CharKind::Upper
+        } else if c.is_whitespace() {
+            CharKind::Space
+        } else {
+            CharKind::Symbol
+        }
+    }
+}
+
+impl fmt::Display for CharKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CharKind::Digit => "digit",
+            CharKind::Lower => "lower",
+            CharKind::Upper => "upper",
+            CharKind::Space => "space",
+            CharKind::Symbol => "symbol",
+            CharKind::Start => "start",
+            CharKind::End => "end",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A boundary signature: the character kinds immediately left and right of a
+/// position, refined with the concrete symbol characters when present (so a
+/// boundary before `'-'` differs from one before `'.'`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Boundary {
+    /// Kind of the character to the left (or `Start`).
+    pub left: CharKind,
+    /// Kind of the character to the right (or `End`).
+    pub right: CharKind,
+    /// The concrete symbol to the left, when `left` is `Symbol`.
+    pub left_symbol: Option<char>,
+    /// The concrete symbol to the right, when `right` is `Symbol`.
+    pub right_symbol: Option<char>,
+}
+
+/// A position expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PosExpr {
+    /// Absolute character position from the start (>= 0) or, when negative,
+    /// from the end (`-1` is the end of the string).
+    CPos(i32),
+    /// The `occurrence`-th position (1-based; negative counts from the end)
+    /// whose boundary signature equals `boundary`.
+    BoundaryPos {
+        /// The boundary signature to look for.
+        boundary: Boundary,
+        /// Which occurrence (1-based from the start, negative from the end).
+        occurrence: i32,
+    },
+}
+
+impl fmt::Display for PosExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PosExpr::CPos(k) => write!(f, "CPos({k})"),
+            PosExpr::BoundaryPos {
+                boundary,
+                occurrence,
+            } => write!(
+                f,
+                "Pos({}|{}, {occurrence})",
+                boundary.left, boundary.right
+            ),
+        }
+    }
+}
+
+/// All character positions of `input` (0..=len in characters).
+fn char_count(input: &str) -> usize {
+    input.chars().count()
+}
+
+/// The boundary signature at character position `pos` of `input`.
+pub fn boundary_at(input: &str, pos: usize) -> Boundary {
+    let chars: Vec<char> = input.chars().collect();
+    let left_char = if pos == 0 { None } else { chars.get(pos - 1).copied() };
+    let right_char = chars.get(pos).copied();
+    let left = left_char.map(CharKind::of).unwrap_or(CharKind::Start);
+    let right = right_char.map(CharKind::of).unwrap_or(CharKind::End);
+    Boundary {
+        left,
+        right,
+        left_symbol: left_char.filter(|c| CharKind::of(*c) == CharKind::Symbol),
+        right_symbol: right_char.filter(|c| CharKind::of(*c) == CharKind::Symbol),
+    }
+}
+
+/// Evaluate a position expression against `input`, returning a character
+/// position in `0..=len`, or `None` when the expression does not apply.
+pub fn eval_pos(expr: &PosExpr, input: &str) -> Option<usize> {
+    let n = char_count(input) as i32;
+    match expr {
+        PosExpr::CPos(k) => {
+            let pos = if *k >= 0 { *k } else { n + 1 + *k };
+            if (0..=n).contains(&pos) {
+                Some(pos as usize)
+            } else {
+                None
+            }
+        }
+        PosExpr::BoundaryPos {
+            boundary,
+            occurrence,
+        } => {
+            let matches: Vec<usize> = (0..=(n as usize))
+                .filter(|&p| &boundary_at(input, p) == boundary)
+                .collect();
+            if matches.is_empty() || *occurrence == 0 {
+                return None;
+            }
+            if *occurrence > 0 {
+                matches.get((*occurrence - 1) as usize).copied()
+            } else {
+                let idx = matches.len() as i32 + *occurrence;
+                if idx >= 0 {
+                    matches.get(idx as usize).copied()
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Generate candidate position expressions that evaluate to character
+/// position `pos` on `input`. Boundary-based descriptors come first because
+/// they generalize; absolute positions are the fallback.
+pub fn candidate_positions(input: &str, pos: usize) -> Vec<PosExpr> {
+    let n = char_count(input);
+    let mut out = Vec::new();
+    let boundary = boundary_at(input, pos);
+    let matches: Vec<usize> = (0..=n)
+        .filter(|&p| boundary_at(input, p) == boundary)
+        .collect();
+    if let Some(rank) = matches.iter().position(|&p| p == pos) {
+        out.push(PosExpr::BoundaryPos {
+            boundary: boundary.clone(),
+            occurrence: (rank + 1) as i32,
+        });
+        let from_end = -((matches.len() - rank) as i32);
+        out.push(PosExpr::BoundaryPos {
+            boundary,
+            occurrence: from_end,
+        });
+    }
+    out.push(PosExpr::CPos(pos as i32));
+    out.push(PosExpr::CPos(pos as i32 - n as i32 - 1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_kinds() {
+        assert_eq!(CharKind::of('5'), CharKind::Digit);
+        assert_eq!(CharKind::of('a'), CharKind::Lower);
+        assert_eq!(CharKind::of('Z'), CharKind::Upper);
+        assert_eq!(CharKind::of(' '), CharKind::Space);
+        assert_eq!(CharKind::of('-'), CharKind::Symbol);
+    }
+
+    #[test]
+    fn boundary_at_edges() {
+        let b = boundary_at("ab", 0);
+        assert_eq!(b.left, CharKind::Start);
+        assert_eq!(b.right, CharKind::Lower);
+        let b = boundary_at("ab", 2);
+        assert_eq!(b.left, CharKind::Lower);
+        assert_eq!(b.right, CharKind::End);
+    }
+
+    #[test]
+    fn boundary_distinguishes_symbols() {
+        let dash = boundary_at("1-2", 1);
+        let dot = boundary_at("1.2", 1);
+        assert_ne!(dash, dot);
+        assert_eq!(dash.right_symbol, Some('-'));
+        assert_eq!(dot.right_symbol, Some('.'));
+    }
+
+    #[test]
+    fn cpos_evaluation() {
+        assert_eq!(eval_pos(&PosExpr::CPos(0), "abc"), Some(0));
+        assert_eq!(eval_pos(&PosExpr::CPos(3), "abc"), Some(3));
+        assert_eq!(eval_pos(&PosExpr::CPos(4), "abc"), None);
+        assert_eq!(eval_pos(&PosExpr::CPos(-1), "abc"), Some(3));
+        assert_eq!(eval_pos(&PosExpr::CPos(-4), "abc"), Some(0));
+        assert_eq!(eval_pos(&PosExpr::CPos(-5), "abc"), None);
+    }
+
+    #[test]
+    fn boundary_pos_evaluation() {
+        // Positions where a digit run starts after a symbol in "734-422-8073"
+        let input = "734-422-8073";
+        let b = boundary_at(input, 4); // between '-' and '4'
+        let first = PosExpr::BoundaryPos {
+            boundary: b.clone(),
+            occurrence: 1,
+        };
+        let last = PosExpr::BoundaryPos {
+            boundary: b,
+            occurrence: -1,
+        };
+        assert_eq!(eval_pos(&first, input), Some(4));
+        assert_eq!(eval_pos(&last, input), Some(8));
+        // Same descriptors transfer to another value of the same format.
+        assert_eq!(eval_pos(&first, "555-936-2447"), Some(4));
+        assert_eq!(eval_pos(&last, "555-936-2447"), Some(8));
+    }
+
+    #[test]
+    fn candidate_positions_roundtrip() {
+        let input = "(734) 645-8397";
+        for pos in 0..=input.chars().count() {
+            for cand in candidate_positions(input, pos) {
+                assert_eq!(
+                    eval_pos(&cand, input),
+                    Some(pos),
+                    "candidate {cand} must evaluate back to {pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_generalizes_across_values() {
+        // Start of the last digit run learned on one phone number applies to
+        // another with different digits.
+        let cands = candidate_positions("734-422-8073", 8);
+        let generalizing: Vec<&PosExpr> = cands
+            .iter()
+            .filter(|c| matches!(c, PosExpr::BoundaryPos { .. }))
+            .collect();
+        assert!(!generalizing.is_empty());
+        for c in generalizing {
+            assert_eq!(eval_pos(c, "231-555-0199"), Some(8));
+        }
+    }
+
+    #[test]
+    fn occurrence_zero_is_invalid() {
+        let b = boundary_at("a1", 1);
+        assert_eq!(
+            eval_pos(
+                &PosExpr::BoundaryPos {
+                    boundary: b,
+                    occurrence: 0
+                },
+                "a1"
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(eval_pos(&PosExpr::CPos(0), ""), Some(0));
+        assert_eq!(eval_pos(&PosExpr::CPos(-1), ""), Some(0));
+        let cands = candidate_positions("", 0);
+        assert!(!cands.is_empty());
+    }
+}

@@ -1,0 +1,357 @@
+//! Example-driven synthesis for the FlashFill-style baseline.
+//!
+//! The synthesizer follows the spirit of Gulwani's POPL 2011 algorithm in a
+//! deliberately compact form:
+//!
+//! 1. examples are partitioned by the token signature of their inputs (the
+//!    restricted conditional of the language);
+//! 2. for the representative example of each partition, the output string is
+//!    segmented into spans that can be produced by generalizing `SubStr`
+//!    atoms (boundary-delimited substrings of the input) or, failing that,
+//!    by `ConstStr` atoms — the segmentation with the fewest atoms and the
+//!    least constant text wins;
+//! 3. the candidate atom combinations for that segmentation are checked
+//!    against the remaining examples of the partition and the first
+//!    consistent combination is selected.
+//!
+//! The result is sound with respect to the provided examples; like the real
+//! FlashFill, it may still generalize incorrectly to unseen formats — which
+//! is precisely the verification problem CLX addresses.
+
+use std::collections::HashMap;
+
+use clx_pattern::{tokenize, Pattern};
+
+use crate::expr::{Atom, CaseBranch, Concat, FlashFillProgram};
+use crate::pos::candidate_positions;
+
+/// Options bounding the synthesis search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashFillOptions {
+    /// Maximum number of occurrences of a span considered when generating
+    /// `SubStr` candidates.
+    pub max_occurrences: usize,
+    /// Maximum number of position-expression pairs per occurrence.
+    pub max_positions_per_side: usize,
+    /// Maximum number of full-program candidates checked per partition.
+    pub max_candidates: usize,
+}
+
+impl Default for FlashFillOptions {
+    fn default() -> Self {
+        FlashFillOptions {
+            max_occurrences: 4,
+            max_positions_per_side: 3,
+            max_candidates: 256,
+        }
+    }
+}
+
+/// One input/output example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Example {
+    /// The raw input value.
+    pub input: String,
+    /// The desired output value.
+    pub output: String,
+}
+
+impl Example {
+    /// Convenience constructor.
+    pub fn new(input: impl Into<String>, output: impl Into<String>) -> Self {
+        Example {
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+}
+
+/// Synthesize a program from input/output examples. Returns `None` when no
+/// branch at all could be synthesized (e.g. no examples).
+pub fn synthesize_program(
+    examples: &[Example],
+    options: &FlashFillOptions,
+) -> Option<FlashFillProgram> {
+    if examples.is_empty() {
+        return None;
+    }
+    // Partition by input token signature, preserving first-seen order.
+    let mut partitions: Vec<(Pattern, Vec<&Example>)> = Vec::new();
+    for ex in examples {
+        let sig = tokenize(&ex.input);
+        match partitions.iter_mut().find(|(p, _)| *p == sig) {
+            Some((_, v)) => v.push(ex),
+            None => partitions.push((sig, vec![ex])),
+        }
+    }
+
+    let mut branches = Vec::new();
+    for (guard, members) in partitions {
+        if let Some(body) = synthesize_branch(&members, options) {
+            branches.push(CaseBranch { guard, body });
+        }
+    }
+    if branches.is_empty() {
+        None
+    } else {
+        Some(FlashFillProgram { branches })
+    }
+}
+
+/// Synthesize the trace expression for one partition.
+fn synthesize_branch(members: &[&Example], options: &FlashFillOptions) -> Option<Concat> {
+    // Try each member as the representative whose output segmentation drives
+    // the search; the first candidate consistent with *every* member wins.
+    for representative in members {
+        let candidates = candidate_concats(representative, options);
+        for candidate in &candidates {
+            if members
+                .iter()
+                .all(|ex| candidate.eval(&ex.input).as_deref() == Some(ex.output.as_str()))
+            {
+                return Some(candidate.clone());
+            }
+        }
+    }
+    // Fall back to a candidate consistent with the first member only (the
+    // real FlashFill also keeps *some* program when generalization fails).
+    candidate_concats(members[0], options).into_iter().next()
+}
+
+/// Candidate trace expressions for a single example, best (most general,
+/// fewest atoms) first.
+fn candidate_concats(example: &Example, options: &FlashFillOptions) -> Vec<Concat> {
+    let output: Vec<char> = example.output.chars().collect();
+    let m = output.len();
+    if m == 0 {
+        return vec![Concat::default()];
+    }
+
+    // Atom candidates per span (i, j), generalizing SubStrs first.
+    let mut span_atoms: HashMap<(usize, usize), Vec<Atom>> = HashMap::new();
+    for i in 0..m {
+        for j in (i + 1)..=m {
+            let segment: String = output[i..j].iter().collect();
+            let mut atoms = substr_atoms(&example.input, &segment, options);
+            atoms.push(Atom::ConstStr(segment));
+            span_atoms.insert((i, j), atoms);
+        }
+    }
+
+    // Dynamic program: minimal cost segmentation of the output. SubStr spans
+    // cost a small constant; ConstStr-only spans pay a heavy per-character
+    // price so that constants are used only for glue text that genuinely has
+    // no source in the input (separators, brackets) and never swallow
+    // neighbouring extractable content.
+    let span_cost = |i: usize, j: usize| -> u32 {
+        let has_substr = span_atoms
+            .get(&(i, j))
+            .map(|atoms| atoms.iter().any(Atom::is_substr))
+            .unwrap_or(false);
+        if has_substr {
+            2
+        } else {
+            4 + 10 * (j - i) as u32
+        }
+    };
+    let mut best: Vec<u32> = vec![u32::MAX; m + 1];
+    let mut back: Vec<usize> = vec![0; m + 1];
+    best[0] = 0;
+    for j in 1..=m {
+        for i in 0..j {
+            if best[i] == u32::MAX {
+                continue;
+            }
+            let cost = best[i] + span_cost(i, j);
+            if cost < best[j] {
+                best[j] = cost;
+                back[j] = i;
+            }
+        }
+    }
+    // Recover the segmentation.
+    let mut cut_points = vec![m];
+    let mut j = m;
+    while j > 0 {
+        j = back[j];
+        cut_points.push(j);
+    }
+    cut_points.reverse();
+    let spans: Vec<(usize, usize)> = cut_points.windows(2).map(|w| (w[0], w[1])).collect();
+
+    // Cartesian product over the atom choices of each span, bounded.
+    let mut candidates: Vec<Vec<Atom>> = vec![Vec::new()];
+    for &(i, j) in &spans {
+        let atoms = &span_atoms[&(i, j)];
+        let mut next = Vec::new();
+        for prefix in &candidates {
+            for atom in atoms {
+                if next.len() >= options.max_candidates {
+                    break;
+                }
+                let mut extended = prefix.clone();
+                extended.push(atom.clone());
+                next.push(extended);
+            }
+        }
+        candidates = next;
+        if candidates.len() > options.max_candidates {
+            candidates.truncate(options.max_candidates);
+        }
+    }
+    candidates.into_iter().map(Concat::new).collect()
+}
+
+/// Generalizing `SubStr` atoms that produce `segment` from `input`.
+fn substr_atoms(input: &str, segment: &str, options: &FlashFillOptions) -> Vec<Atom> {
+    let input_chars: Vec<char> = input.chars().collect();
+    let seg_chars: Vec<char> = segment.chars().collect();
+    let mut atoms = Vec::new();
+    if seg_chars.is_empty() || seg_chars.len() > input_chars.len() {
+        return atoms;
+    }
+    let mut occurrences = 0;
+    for start in 0..=(input_chars.len() - seg_chars.len()) {
+        if input_chars[start..start + seg_chars.len()] != seg_chars[..] {
+            continue;
+        }
+        occurrences += 1;
+        if occurrences > options.max_occurrences {
+            break;
+        }
+        let end = start + seg_chars.len();
+        let lefts = candidate_positions(input, start);
+        let rights = candidate_positions(input, end);
+        for left in lefts.iter().take(options.max_positions_per_side) {
+            for right in rights.iter().take(options.max_positions_per_side) {
+                atoms.push(Atom::SubStr {
+                    left: left.clone(),
+                    right: right.clone(),
+                });
+            }
+        }
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> FlashFillOptions {
+        FlashFillOptions::default()
+    }
+
+    #[test]
+    fn single_example_phone_reformat_generalizes() {
+        let examples = vec![Example::new("(734) 645-8397", "734-645-8397")];
+        let program = synthesize_program(&examples, &opts()).unwrap();
+        assert_eq!(program.apply("(734) 645-8397").unwrap(), "734-645-8397");
+        // Generalizes to another value of the same format.
+        assert_eq!(program.apply("(231) 555-0199").unwrap(), "231-555-0199");
+    }
+
+    #[test]
+    fn multiple_formats_need_multiple_examples() {
+        let examples = vec![
+            Example::new("(734) 645-8397", "734-645-8397"),
+            Example::new("734.236.3466", "734-236-3466"),
+        ];
+        let program = synthesize_program(&examples, &opts()).unwrap();
+        assert_eq!(program.len(), 2);
+        assert_eq!(program.apply("(555) 111-2222").unwrap(), "555-111-2222");
+        assert_eq!(program.apply("555.111.2222").unwrap(), "555-111-2222");
+    }
+
+    #[test]
+    fn second_example_in_same_partition_refines_the_branch() {
+        // With one example the constant "00" could be baked in; the second
+        // example forces the generalizing program.
+        let examples = vec![
+            Example::new("CPT-00350", "[CPT-00350]"),
+            Example::new("CPT-99125", "[CPT-99125]"),
+        ];
+        let program = synthesize_program(&examples, &opts()).unwrap();
+        assert_eq!(program.len(), 1);
+        assert_eq!(program.apply("CPT-12345").unwrap(), "[CPT-12345]");
+    }
+
+    #[test]
+    fn name_reordering_example() {
+        // FlashFill's flagship demo: first/last name reordering.
+        let examples = vec![Example::new("Eran Yahav", "Yahav, E.")];
+        let program = synthesize_program(&examples, &opts()).unwrap();
+        assert_eq!(program.apply("Eran Yahav").unwrap(), "Yahav, E.");
+        assert_eq!(program.apply("Bill Gates").unwrap(), "Gates, B.");
+    }
+
+    #[test]
+    fn constant_output_when_nothing_to_extract() {
+        let examples = vec![Example::new("whatever", "N/A")];
+        let program = synthesize_program(&examples, &opts()).unwrap();
+        assert_eq!(program.apply("whatever").unwrap(), "N/A");
+    }
+
+    #[test]
+    fn empty_output_example() {
+        let examples = vec![Example::new("abc", "")];
+        let program = synthesize_program(&examples, &opts()).unwrap();
+        assert_eq!(program.apply("abc").unwrap(), "");
+    }
+
+    #[test]
+    fn no_examples_yields_none() {
+        assert!(synthesize_program(&[], &opts()).is_none());
+    }
+
+    #[test]
+    fn program_is_consistent_with_all_examples() {
+        let examples = vec![
+            Example::new("(734) 645-8397", "734-645-8397"),
+            Example::new("(231) 555-0199", "231-555-0199"),
+            Example::new("734.236.3466", "734-236-3466"),
+            Example::new("941.555.0123", "941-555-0123"),
+        ];
+        let program = synthesize_program(&examples, &opts()).unwrap();
+        for ex in &examples {
+            assert_eq!(
+                program.apply(&ex.input).as_deref(),
+                Some(ex.output.as_str()),
+                "program must reproduce example {ex:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unseen_format_may_misfire_like_real_flashfill() {
+        // The paper's Example 1 anecdote: a program learned on clean formats
+        // does *something* on "+1 724-285-5210", but not necessarily the
+        // right thing — and never signals the problem.
+        let examples = vec![Example::new("(734) 645-8397", "(734) 645-8397")];
+        let program = synthesize_program(&examples, &opts()).unwrap();
+        let out = program.apply_or_passthrough("+1 724-285-5210");
+        // It produces some output (no error, no flag) — the point is that the
+        // user cannot tell whether it is right without inspecting it.
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn date_extraction() {
+        let examples = vec![
+            Example::new("01/15/2013", "01"),
+            Example::new("03/07/2011", "03"),
+        ];
+        let program = synthesize_program(&examples, &opts()).unwrap();
+        assert_eq!(program.apply("12/25/2020").unwrap(), "12");
+    }
+
+    #[test]
+    fn suffix_extraction_with_varying_length() {
+        let examples = vec![
+            Example::new("report.pdf", "pdf"),
+            Example::new("image.jpeg", "jpeg"),
+        ];
+        let program = synthesize_program(&examples, &opts()).unwrap();
+        assert_eq!(program.apply("archive.tar").unwrap(), "tar");
+    }
+}

@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Errors produced while parsing or manipulating patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// The textual pattern syntax could not be parsed.
+    Parse {
+        /// Byte offset in the input at which parsing failed.
+        position: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// A token index was out of bounds for the pattern it was applied to.
+    TokenIndexOutOfBounds {
+        /// The (one-based) index that was requested.
+        index: usize,
+        /// The number of tokens in the pattern.
+        len: usize,
+    },
+    /// A string did not match the pattern it was being split against.
+    NoMatch {
+        /// The pattern in textual form.
+        pattern: String,
+        /// The string that failed to match.
+        value: String,
+    },
+    /// An empty pattern was supplied where a non-empty one is required.
+    EmptyPattern,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::Parse { position, message } => {
+                write!(f, "pattern parse error at byte {position}: {message}")
+            }
+            PatternError::TokenIndexOutOfBounds { index, len } => {
+                write!(f, "token index {index} out of bounds for pattern of {len} tokens")
+            }
+            PatternError::NoMatch { pattern, value } => {
+                write!(f, "string {value:?} does not match pattern {pattern}")
+            }
+            PatternError::EmptyPattern => write!(f, "empty pattern"),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_error() {
+        let e = PatternError::Parse {
+            position: 3,
+            message: "unexpected character".into(),
+        };
+        assert!(e.to_string().contains("byte 3"));
+        assert!(e.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn display_index_error() {
+        let e = PatternError::TokenIndexOutOfBounds { index: 9, len: 4 };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+    }
+
+    #[test]
+    fn display_no_match() {
+        let e = PatternError::NoMatch {
+            pattern: "<D>3".into(),
+            value: "abc".into(),
+        };
+        assert!(e.to_string().contains("<D>3"));
+        assert!(e.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(PatternError::EmptyPattern);
+        assert_eq!(e.to_string(), "empty pattern");
+    }
+}

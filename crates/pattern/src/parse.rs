@@ -1,0 +1,221 @@
+use crate::error::PatternError;
+use crate::pattern::Pattern;
+use crate::token::{Quantifier, Token, TokenClass};
+
+/// Parse the textual pattern syntax used throughout the paper and by
+/// [`Pattern::notation`](crate::Pattern::notation).
+///
+/// Grammar:
+///
+/// ```text
+/// pattern  := token*
+/// token    := base quant? | literal
+/// base     := "<D>" | "<L>" | "<U>" | "<A>" | "<AN>"
+/// quant    := NUMBER | "+"
+/// literal  := "'" <any chars except '> "'"
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use clx_pattern::{parse_pattern, tokenize};
+/// let p = parse_pattern("<D>3'-'<D>3'-'<D>4").unwrap();
+/// assert_eq!(p, tokenize("734-422-8073"));
+/// assert!(parse_pattern("<D>+'x'").unwrap().matches("1234x"));
+/// ```
+pub fn parse_pattern(input: &str) -> Result<Pattern, PatternError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        match chars[i] {
+            '<' => {
+                let start = i;
+                let end = chars[i..]
+                    .iter()
+                    .position(|&c| c == '>')
+                    .map(|p| i + p)
+                    .ok_or_else(|| PatternError::Parse {
+                        position: byte_pos(input, start),
+                        message: "unterminated token class (missing '>')".into(),
+                    })?;
+                let name: String = chars[start + 1..end].iter().collect();
+                let class = match name.as_str() {
+                    "D" => TokenClass::Digit,
+                    "L" => TokenClass::Lower,
+                    "U" => TokenClass::Upper,
+                    "A" => TokenClass::Alpha,
+                    "AN" => TokenClass::AlphaNumeric,
+                    other => {
+                        return Err(PatternError::Parse {
+                            position: byte_pos(input, start),
+                            message: format!("unknown token class <{other}>"),
+                        })
+                    }
+                };
+                i = end + 1;
+                // Optional quantifier.
+                let quantifier = if i < chars.len() && chars[i] == '+' {
+                    i += 1;
+                    Quantifier::OneOrMore
+                } else {
+                    let qstart = i;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    if i > qstart {
+                        let n: usize = chars[qstart..i]
+                            .iter()
+                            .collect::<String>()
+                            .parse()
+                            .map_err(|_| PatternError::Parse {
+                                position: byte_pos(input, qstart),
+                                message: "invalid quantifier".into(),
+                            })?;
+                        if n == 0 {
+                            return Err(PatternError::Parse {
+                                position: byte_pos(input, qstart),
+                                message: "quantifier must be at least 1".into(),
+                            });
+                        }
+                        Quantifier::Exact(n)
+                    } else {
+                        Quantifier::Exact(1)
+                    }
+                };
+                tokens.push(Token { class, quantifier });
+            }
+            '\'' => {
+                let start = i + 1;
+                let end = chars[start..]
+                    .iter()
+                    .position(|&c| c == '\'')
+                    .map(|p| start + p)
+                    .ok_or_else(|| PatternError::Parse {
+                        position: byte_pos(input, i),
+                        message: "unterminated literal (missing closing quote)".into(),
+                    })?;
+                let value: String = chars[start..end].iter().collect();
+                if value.is_empty() {
+                    return Err(PatternError::Parse {
+                        position: byte_pos(input, i),
+                        message: "empty literal".into(),
+                    });
+                }
+                tokens.push(Token::literal(value));
+                i = end + 1;
+            }
+            c if c.is_whitespace() => {
+                // Whitespace between tokens is allowed for readability.
+                i += 1;
+            }
+            other => {
+                return Err(PatternError::Parse {
+                    position: byte_pos(input, i),
+                    message: format!("unexpected character {other:?} (tokens start with '<' or \"'\")"),
+                })
+            }
+        }
+    }
+    Ok(Pattern::new(tokens))
+}
+
+/// Byte offset of the `char_idx`-th character of `s`.
+fn byte_pos(s: &str, char_idx: usize) -> usize {
+    s.char_indices()
+        .nth(char_idx)
+        .map(|(b, _)| b)
+        .unwrap_or(s.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize;
+
+    #[test]
+    fn parse_simple() {
+        let p = parse_pattern("<D>3'-'<D>4").unwrap();
+        assert_eq!(p.to_string(), "<D>3'-'<D>4");
+        assert!(p.matches("555-1234"));
+    }
+
+    #[test]
+    fn parse_plus_and_implicit_one() {
+        let p = parse_pattern("<U><L>+'@'<AN>+").unwrap();
+        assert_eq!(p.to_string(), "<U><L>+'@'<AN>+");
+        assert!(p.matches("Bob@gmail"));
+    }
+
+    #[test]
+    fn roundtrip_with_tokenizer() {
+        for s in [
+            "Bob123@gmail.com",
+            "(734) 645-8397",
+            "734.236.3466",
+            "[CPT-00350",
+            "Dr. Eran Yahav",
+        ] {
+            let p = tokenize(s);
+            let reparsed = parse_pattern(&p.notation()).unwrap();
+            assert_eq!(p, reparsed, "roundtrip failed for {s:?}");
+        }
+    }
+
+    #[test]
+    fn whitespace_between_tokens_is_ignored() {
+        let p = parse_pattern("<D>3 '-' <D>4").unwrap();
+        assert_eq!(p.to_string(), "<D>3'-'<D>4");
+    }
+
+    #[test]
+    fn multi_char_literal() {
+        let p = parse_pattern("'Dr.'' '<U><L>+").unwrap();
+        assert!(p.matches("Dr. Yahav"));
+    }
+
+    #[test]
+    fn multi_digit_quantifier() {
+        let p = parse_pattern("<D>12").unwrap();
+        assert!(p.matches("123456789012"));
+        assert!(!p.matches("123"));
+    }
+
+    #[test]
+    fn error_unknown_class() {
+        let err = parse_pattern("<X>3").unwrap_err();
+        assert!(matches!(err, PatternError::Parse { .. }));
+        assert!(err.to_string().contains("<X>"));
+    }
+
+    #[test]
+    fn error_unterminated_class() {
+        assert!(parse_pattern("<D").is_err());
+    }
+
+    #[test]
+    fn error_unterminated_literal() {
+        assert!(parse_pattern("'abc").is_err());
+    }
+
+    #[test]
+    fn error_empty_literal() {
+        assert!(parse_pattern("''").is_err());
+    }
+
+    #[test]
+    fn error_zero_quantifier() {
+        assert!(parse_pattern("<D>0").is_err());
+    }
+
+    #[test]
+    fn error_stray_character() {
+        let err = parse_pattern("<D>3x").unwrap_err();
+        assert!(err.to_string().contains('x'));
+    }
+
+    #[test]
+    fn empty_input_is_empty_pattern() {
+        assert!(parse_pattern("").unwrap().is_empty());
+    }
+}

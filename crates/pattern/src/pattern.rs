@@ -1,0 +1,588 @@
+use std::fmt;
+
+use crate::error::PatternError;
+use crate::token::{Quantifier, Token, TokenClass};
+
+/// A data pattern: a sequence of [`Token`]s describing the structure of a
+/// string (Section 3.1 of the paper).
+///
+/// Patterns are the unit at which CLX users *verify* transformations: they
+/// are shown to the user in the paper's notation (`<D>3'-'<D>3'-'<D>4`) and
+/// as Wrangler-style regular expressions, and they are the objects the
+/// clustering and synthesis layers operate on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pattern {
+    tokens: Vec<Token>,
+}
+
+/// The slice of a concrete string covered by one token of a pattern, as
+/// produced by [`Pattern::split`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenSlice {
+    /// Zero-based index of the token within the pattern.
+    pub token_index: usize,
+    /// Byte offset (inclusive) where the slice starts.
+    pub start: usize,
+    /// Byte offset (exclusive) where the slice ends.
+    pub end: usize,
+    /// The matched text.
+    pub text: String,
+}
+
+impl Pattern {
+    /// Build a pattern from a vector of tokens.
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Pattern { tokens }
+    }
+
+    /// The empty pattern (matches only the empty string).
+    pub fn empty() -> Self {
+        Pattern { tokens: Vec::new() }
+    }
+
+    /// The tokens of this pattern.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// `true` if the pattern has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The token at zero-based index `i`.
+    pub fn token(&self, i: usize) -> Option<&Token> {
+        self.tokens.get(i)
+    }
+
+    /// The token at **one-based** index `i`, the convention used by the
+    /// paper's `Extract(i, j)` operator.
+    pub fn token_one_based(&self, i: usize) -> Result<&Token, PatternError> {
+        if i == 0 || i > self.tokens.len() {
+            return Err(PatternError::TokenIndexOutOfBounds {
+                index: i,
+                len: self.tokens.len(),
+            });
+        }
+        Ok(&self.tokens[i - 1])
+    }
+
+    /// Iterate over the tokens.
+    pub fn iter(&self) -> std::slice::Iter<'_, Token> {
+        self.tokens.iter()
+    }
+
+    /// Append a token.
+    pub fn push(&mut self, t: Token) {
+        self.tokens.push(t);
+    }
+
+    /// Token frequency `Q(<t>, p)` of a base token class (Eq. 1 of the
+    /// paper): the sum of quantifiers of all tokens of class `class`, with
+    /// `+` counted as 1. Literal tokens contribute 0.
+    pub fn token_frequency(&self, class: TokenClass) -> usize {
+        self.tokens
+            .iter()
+            .filter(|t| t.class == class)
+            .map(Token::frequency_weight)
+            .sum()
+    }
+
+    /// Does the whole string `s` match this pattern?
+    pub fn matches(&self, s: &str) -> bool {
+        self.split(s).is_ok()
+    }
+
+    /// Split `s` into the per-token slices described by this pattern, or
+    /// fail if `s` does not match.
+    ///
+    /// Matching is anchored at both ends. Exact quantifiers consume exactly
+    /// their count of characters; `+` quantifiers are matched with
+    /// backtracking so that adjacent tokens with overlapping classes (e.g.
+    /// `<AN>+'-'<AN>+`) are still handled correctly.
+    pub fn split(&self, s: &str) -> Result<Vec<TokenSlice>, PatternError> {
+        let chars: Vec<char> = s.chars().collect();
+        let mut slices = Vec::with_capacity(self.tokens.len());
+        if self.match_from(&chars, 0, 0, &mut slices) {
+            // convert char indices to byte offsets and fill text
+            let mut byte_offsets = Vec::with_capacity(chars.len() + 1);
+            let mut off = 0usize;
+            for c in &chars {
+                byte_offsets.push(off);
+                off += c.len_utf8();
+            }
+            byte_offsets.push(off);
+            let out = slices
+                .iter()
+                .map(|&(token_index, cs, ce)| TokenSlice {
+                    token_index,
+                    start: byte_offsets[cs],
+                    end: byte_offsets[ce],
+                    text: chars[cs..ce].iter().collect(),
+                })
+                .collect();
+            Ok(out)
+        } else {
+            Err(PatternError::NoMatch {
+                pattern: self.to_string(),
+                value: s.to_string(),
+            })
+        }
+    }
+
+    /// Recursive backtracking matcher over (token index, char position).
+    /// `slices` records `(token_index, char_start, char_end)` for the match
+    /// found so far and is left in a consistent state on success.
+    fn match_from(
+        &self,
+        chars: &[char],
+        ti: usize,
+        pos: usize,
+        slices: &mut Vec<(usize, usize, usize)>,
+    ) -> bool {
+        if ti == self.tokens.len() {
+            return pos == chars.len();
+        }
+        let tok = &self.tokens[ti];
+        match &tok.class {
+            TokenClass::Literal(lit) => {
+                let lit_chars: Vec<char> = lit.chars().collect();
+                if pos + lit_chars.len() <= chars.len()
+                    && chars[pos..pos + lit_chars.len()] == lit_chars[..]
+                {
+                    slices.push((ti, pos, pos + lit_chars.len()));
+                    if self.match_from(chars, ti + 1, pos + lit_chars.len(), slices) {
+                        return true;
+                    }
+                    slices.pop();
+                }
+                false
+            }
+            class => {
+                // Maximum run of characters belonging to the class.
+                let mut max_run = 0;
+                while pos + max_run < chars.len() && class.contains_char(chars[pos + max_run]) {
+                    max_run += 1;
+                }
+                match tok.quantifier {
+                    Quantifier::Exact(n) => {
+                        if max_run >= n {
+                            slices.push((ti, pos, pos + n));
+                            if self.match_from(chars, ti + 1, pos + n, slices) {
+                                return true;
+                            }
+                            slices.pop();
+                        }
+                        false
+                    }
+                    Quantifier::OneOrMore => {
+                        // Greedy with backtracking.
+                        for take in (1..=max_run).rev() {
+                            slices.push((ti, pos, pos + take));
+                            if self.match_from(chars, ti + 1, pos + take, slices) {
+                                return true;
+                            }
+                            slices.pop();
+                        }
+                        false
+                    }
+                }
+            }
+        }
+    }
+
+    /// Is `self` equal to or a generalization of `child`?
+    ///
+    /// Each token of `self` must *cover* one or more consecutive tokens of
+    /// `child`:
+    ///
+    /// * a literal token covers exactly an identical literal token;
+    /// * a base token with an exact quantifier covers a single child token
+    ///   of a class it generalizes and with the same exact quantifier;
+    /// * a base token with the `+` quantifier covers a non-empty run of
+    ///   consecutive child tokens whose classes it generalizes (this is what
+    ///   lets `<AN>+` cover `<A>2 <D>3 '-'` after the strategy-3 refinement
+    ///   of §4.2).
+    pub fn covers(&self, child: &Pattern) -> bool {
+        self.covers_from(child, 0, 0)
+    }
+
+    fn covers_from(&self, child: &Pattern, pi: usize, ci: usize) -> bool {
+        if pi == self.tokens.len() {
+            return ci == child.tokens.len();
+        }
+        if ci == child.tokens.len() {
+            return false;
+        }
+        let ptok = &self.tokens[pi];
+        match &ptok.class {
+            TokenClass::Literal(a) => match &child.tokens[ci].class {
+                TokenClass::Literal(b) if a == b => self.covers_from(child, pi + 1, ci + 1),
+                _ => false,
+            },
+            _ => match ptok.quantifier {
+                Quantifier::Exact(_) => {
+                    let ctok = &child.tokens[ci];
+                    if ptok.generalizes(ctok) {
+                        self.covers_from(child, pi + 1, ci + 1)
+                    } else {
+                        false
+                    }
+                }
+                Quantifier::OneOrMore => {
+                    // Consume as many consecutive generalizable child tokens
+                    // as possible, trying the longest run first.
+                    let mut max_take = 0;
+                    while ci + max_take < child.tokens.len()
+                        && ptok.class.generalizes(&child.tokens[ci + max_take].class)
+                    {
+                        max_take += 1;
+                    }
+                    for take in (1..=max_take).rev() {
+                        if self.covers_from(child, pi + 1, ci + take) {
+                            return true;
+                        }
+                    }
+                    false
+                }
+            },
+        }
+    }
+
+    /// Merge adjacent tokens of the same base class into a single token.
+    ///
+    /// Exact quantifiers are summed; if either side is `+` the result is
+    /// `+`. This is used after applying a generalization strategy so that
+    /// e.g. `<A>+<A>+` collapses to `<A>+` as in Figure 6 of the paper.
+    pub fn merge_adjacent(&self) -> Pattern {
+        let mut out: Vec<Token> = Vec::with_capacity(self.tokens.len());
+        for tok in &self.tokens {
+            if let Some(last) = out.last_mut() {
+                if last.is_base() && tok.is_base() && last.class == tok.class {
+                    last.quantifier = match (last.quantifier, tok.quantifier) {
+                        (Quantifier::Exact(a), Quantifier::Exact(b)) => Quantifier::Exact(a + b),
+                        _ => Quantifier::OneOrMore,
+                    };
+                    continue;
+                }
+            }
+            out.push(tok.clone());
+        }
+        Pattern::new(out)
+    }
+
+    /// Render the pattern as an anchored `clx-regex` regular expression
+    /// matching exactly the strings of this pattern.
+    pub fn to_regex(&self) -> String {
+        let mut out = String::from("^");
+        for t in &self.tokens {
+            out.push_str(&t.to_regex());
+        }
+        out.push('$');
+        out
+    }
+
+    /// Render the pattern as an anchored `clx-regex` regular expression in
+    /// which every token listed in `grouped` (zero-based indices, ascending)
+    /// is wrapped in its own capture group.
+    pub fn to_regex_grouped(&self, grouped: &[usize]) -> String {
+        let mut out = String::from("^");
+        for (i, t) in self.tokens.iter().enumerate() {
+            if grouped.contains(&i) {
+                out.push('(');
+                out.push_str(&t.to_regex());
+                out.push(')');
+            } else {
+                out.push_str(&t.to_regex());
+            }
+        }
+        out.push('$');
+        out
+    }
+
+    /// A compact notation string, e.g. `<U><L>2<D>3'@'<L>5'.'<L>3`.
+    pub fn notation(&self) -> String {
+        self.tokens.iter().map(Token::notation).collect()
+    }
+
+    /// The minimum length (in characters) of any string matching this
+    /// pattern.
+    pub fn min_string_len(&self) -> usize {
+        self.tokens
+            .iter()
+            .map(|t| match &t.class {
+                TokenClass::Literal(s) => s.chars().count(),
+                _ => t.quantifier.min_count(),
+            })
+            .sum()
+    }
+
+    /// `true` if every token has an exact (natural-number) quantifier, i.e.
+    /// this is a *leaf* pattern as produced by the tokenizer.
+    pub fn is_leaf(&self) -> bool {
+        self.tokens
+            .iter()
+            .all(|t| matches!(t.quantifier, Quantifier::Exact(_)))
+    }
+
+    /// Indices (zero-based) of the base tokens of this pattern.
+    pub fn base_token_indices(&self) -> Vec<usize> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_base())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of base (non-literal) tokens.
+    pub fn base_token_count(&self) -> usize {
+        self.tokens.iter().filter(|t| t.is_base()).count()
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.notation())
+    }
+}
+
+impl FromIterator<Token> for Pattern {
+    fn from_iter<I: IntoIterator<Item = Token>>(iter: I) -> Self {
+        Pattern::new(iter.into_iter().collect())
+    }
+}
+
+impl From<Vec<Token>> for Pattern {
+    fn from(tokens: Vec<Token>) -> Self {
+        Pattern::new(tokens)
+    }
+}
+
+impl<'a> IntoIterator for &'a Pattern {
+    type Item = &'a Token;
+    type IntoIter = std::slice::Iter<'a, Token>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tokens.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize;
+
+    fn d(n: usize) -> Token {
+        Token::base(TokenClass::Digit, n)
+    }
+    fn lit(s: &str) -> Token {
+        Token::literal(s)
+    }
+
+    #[test]
+    fn notation_roundtrip_phone() {
+        let p = Pattern::new(vec![d(3), lit("-"), d(3), lit("-"), d(4)]);
+        assert_eq!(p.to_string(), "<D>3'-'<D>3'-'<D>4");
+    }
+
+    #[test]
+    fn token_frequency_eq1() {
+        // Example 7 of the paper: pattern from "[CPT-00350".
+        let p = Pattern::new(vec![
+            lit("["),
+            Token::base(TokenClass::Upper, 3),
+            lit("-"),
+            d(5),
+        ]);
+        assert_eq!(p.token_frequency(TokenClass::Digit), 5);
+        assert_eq!(p.token_frequency(TokenClass::Upper), 3);
+        assert_eq!(p.token_frequency(TokenClass::Lower), 0);
+
+        // Target [ '[', <U>+, '-', <D>+, ']' ]: '+' counts as 1.
+        let t = Pattern::new(vec![
+            lit("["),
+            Token::plus(TokenClass::Upper),
+            lit("-"),
+            Token::plus(TokenClass::Digit),
+            lit("]"),
+        ]);
+        assert_eq!(t.token_frequency(TokenClass::Digit), 1);
+        assert_eq!(t.token_frequency(TokenClass::Upper), 1);
+    }
+
+    #[test]
+    fn matches_exact_quantifiers() {
+        let p = Pattern::new(vec![d(3), lit("-"), d(3), lit("-"), d(4)]);
+        assert!(p.matches("734-422-8073"));
+        assert!(!p.matches("734-422-807"));
+        assert!(!p.matches("734-422-80733"));
+        assert!(!p.matches("abc-422-8073"));
+        assert!(!p.matches(""));
+    }
+
+    #[test]
+    fn matches_plus_quantifiers_with_backtracking() {
+        // <AN>+'-'<AN>+ : '-' is also in <AN>, so greedy matching must
+        // backtrack to leave a '-' for the literal.
+        let p = Pattern::new(vec![
+            Token::plus(TokenClass::AlphaNumeric),
+            lit("-"),
+            Token::plus(TokenClass::AlphaNumeric),
+        ]);
+        assert!(p.matches("abc-def"));
+        assert!(p.matches("a-b-c"));
+        assert!(!p.matches("abc"));
+        assert!(!p.matches("-abc"));
+    }
+
+    #[test]
+    fn split_produces_slices() {
+        let p = Pattern::new(vec![d(3), lit("-"), d(4)]);
+        let slices = p.split("555-1234").unwrap();
+        assert_eq!(slices.len(), 3);
+        assert_eq!(slices[0].text, "555");
+        assert_eq!(slices[1].text, "-");
+        assert_eq!(slices[2].text, "1234");
+        assert_eq!(slices[2].start, 4);
+        assert_eq!(slices[2].end, 8);
+    }
+
+    #[test]
+    fn split_fails_cleanly() {
+        let p = Pattern::new(vec![d(3)]);
+        let err = p.split("12a").unwrap_err();
+        assert!(matches!(err, PatternError::NoMatch { .. }));
+    }
+
+    #[test]
+    fn split_unicode_offsets_are_bytes() {
+        let p = Pattern::new(vec![lit("é"), d(2)]);
+        let slices = p.split("é42").unwrap();
+        assert_eq!(slices[0].end, 2); // 'é' is two bytes
+        assert_eq!(slices[1].start, 2);
+        assert_eq!(slices[1].text, "42");
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_string_only() {
+        let p = Pattern::empty();
+        assert!(p.matches(""));
+        assert!(!p.matches("x"));
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn covers_identical() {
+        let p = tokenize("734-422-8073");
+        assert!(p.covers(&p));
+    }
+
+    #[test]
+    fn covers_quantifier_generalization() {
+        let leaf = tokenize("Bob123@gmail.com");
+        // strategy 1: numbers -> '+'
+        let parent = Pattern::new(vec![
+            Token::plus(TokenClass::Upper),
+            Token::plus(TokenClass::Lower),
+            Token::plus(TokenClass::Digit),
+            lit("@"),
+            Token::plus(TokenClass::Lower),
+            lit("."),
+            Token::plus(TokenClass::Lower),
+        ]);
+        assert!(parent.covers(&leaf));
+        assert!(!leaf.covers(&parent));
+    }
+
+    #[test]
+    fn covers_merging_generalization() {
+        let leaf = tokenize("Bob123@gmail.com");
+        // Figure 6 level P3: <AN>+'@'<AN>+'.'<AN>+ — each <AN>+ covers a run
+        // of child tokens.
+        let p3 = Pattern::new(vec![
+            Token::plus(TokenClass::AlphaNumeric),
+            lit("@"),
+            Token::plus(TokenClass::AlphaNumeric),
+            lit("."),
+            Token::plus(TokenClass::AlphaNumeric),
+        ]);
+        assert!(p3.covers(&leaf));
+    }
+
+    #[test]
+    fn covers_rejects_structural_mismatch() {
+        let a = tokenize("734-422-8073");
+        let b = tokenize("(734) 422-8073");
+        assert!(!a.covers(&b));
+        assert!(!b.covers(&a));
+    }
+
+    #[test]
+    fn merge_adjacent_sums_exact() {
+        let p = Pattern::new(vec![d(2), d(3), lit("-"), d(1)]);
+        let merged = p.merge_adjacent();
+        assert_eq!(merged.to_string(), "<D>5'-'<D>");
+    }
+
+    #[test]
+    fn merge_adjacent_plus_dominates() {
+        let p = Pattern::new(vec![Token::plus(TokenClass::Digit), d(3)]);
+        assert_eq!(p.merge_adjacent().to_string(), "<D>+");
+    }
+
+    #[test]
+    fn merge_adjacent_does_not_merge_literals() {
+        let p = Pattern::new(vec![lit("-"), lit("-")]);
+        assert_eq!(p.merge_adjacent().len(), 2);
+    }
+
+    #[test]
+    fn regex_rendering() {
+        let p = Pattern::new(vec![d(3), lit("-"), d(4)]);
+        assert_eq!(p.to_regex(), "^[0-9]{3}-[0-9]{4}$");
+        assert_eq!(p.to_regex_grouped(&[0, 2]), "^([0-9]{3})-([0-9]{4})$");
+    }
+
+    #[test]
+    fn one_based_token_access() {
+        let p = Pattern::new(vec![d(3), lit("-"), d(4)]);
+        assert_eq!(p.token_one_based(1).unwrap(), &d(3));
+        assert_eq!(p.token_one_based(3).unwrap(), &d(4));
+        assert!(p.token_one_based(0).is_err());
+        assert!(p.token_one_based(4).is_err());
+    }
+
+    #[test]
+    fn min_string_len() {
+        let p = Pattern::new(vec![d(3), lit("--"), Token::plus(TokenClass::Lower)]);
+        assert_eq!(p.min_string_len(), 6);
+    }
+
+    #[test]
+    fn leaf_detection() {
+        assert!(tokenize("abc-123").is_leaf());
+        let parent = Pattern::new(vec![Token::plus(TokenClass::Lower)]);
+        assert!(!parent.is_leaf());
+    }
+
+    #[test]
+    fn base_token_accounting() {
+        let p = Pattern::new(vec![d(3), lit("-"), d(4)]);
+        assert_eq!(p.base_token_count(), 2);
+        assert_eq!(p.base_token_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn from_iterator_and_into_iterator() {
+        let p: Pattern = vec![d(1), lit(":")].into_iter().collect();
+        assert_eq!(p.len(), 2);
+        let classes: Vec<_> = (&p).into_iter().map(|t| t.class.clone()).collect();
+        assert_eq!(classes[0], TokenClass::Digit);
+    }
+}

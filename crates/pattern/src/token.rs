@@ -1,0 +1,519 @@
+use std::fmt;
+
+/// The class of a token, per Table 2 of the paper plus literal tokens.
+///
+/// Base classes describe *what kind of characters* a run of text contains;
+/// the `Literal` class carries a concrete constant string (symbols such as
+/// `-`, `@`, or discovered constant words such as `Dr.`).
+///
+/// The base classes form a small generalization lattice used by the
+/// agglomerative refinement step of clustering:
+///
+/// ```text
+///            <AN>  (alpha-numeric: [a-zA-Z0-9_-])
+///           /    \
+///        <A>     <D>
+///       /   \
+///    <U>     <L>
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TokenClass {
+    /// `[0-9]`, notated `<D>`.
+    Digit,
+    /// `[a-z]`, notated `<L>`.
+    Lower,
+    /// `[A-Z]`, notated `<U>`.
+    Upper,
+    /// `[a-zA-Z]`, notated `<A>`.
+    Alpha,
+    /// `[a-zA-Z0-9_-]`, notated `<AN>`.
+    AlphaNumeric,
+    /// A constant string, e.g. `'-'` or `'Dr.'`.
+    Literal(String),
+}
+
+impl TokenClass {
+    /// A literal token class holding `s`.
+    pub fn literal(s: impl Into<String>) -> Self {
+        TokenClass::Literal(s.into())
+    }
+
+    /// `true` if this is one of the five base classes of Table 2.
+    pub fn is_base(&self) -> bool {
+        !matches!(self, TokenClass::Literal(_))
+    }
+
+    /// `true` if this is a literal (constant-value) token class.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, TokenClass::Literal(_))
+    }
+
+    /// The constant string carried by a literal class, if any.
+    pub fn literal_value(&self) -> Option<&str> {
+        match self {
+            TokenClass::Literal(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The short notation of the class (`<D>`, `<L>`, `<U>`, `<A>`, `<AN>`),
+    /// or the quoted literal.
+    pub fn notation(&self) -> String {
+        match self {
+            TokenClass::Digit => "<D>".into(),
+            TokenClass::Lower => "<L>".into(),
+            TokenClass::Upper => "<U>".into(),
+            TokenClass::Alpha => "<A>".into(),
+            TokenClass::AlphaNumeric => "<AN>".into(),
+            TokenClass::Literal(s) => format!("'{s}'"),
+        }
+    }
+
+    /// The class name used in Table 2 ("digit", "lower", ...).
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            TokenClass::Digit => "digit",
+            TokenClass::Lower => "lower",
+            TokenClass::Upper => "upper",
+            TokenClass::Alpha => "alpha",
+            TokenClass::AlphaNumeric => "alpha-numeric",
+            TokenClass::Literal(_) => "literal",
+        }
+    }
+
+    /// The regular expression character class describing one occurrence of
+    /// this token class (Table 2), in the syntax of `clx-regex`.
+    ///
+    /// For literal classes this is the escaped constant string.
+    pub fn regex_char_class(&self) -> String {
+        match self {
+            TokenClass::Digit => "[0-9]".into(),
+            TokenClass::Lower => "[a-z]".into(),
+            TokenClass::Upper => "[A-Z]".into(),
+            TokenClass::Alpha => "[a-zA-Z]".into(),
+            TokenClass::AlphaNumeric => "[a-zA-Z0-9_-]".into(),
+            TokenClass::Literal(s) => escape_regex(s),
+        }
+    }
+
+    /// Does a single character belong to this (base) class?
+    ///
+    /// Literal classes return `false`: membership of literals is positional
+    /// and handled by [`crate::Pattern::matches`].
+    pub fn contains_char(&self, c: char) -> bool {
+        match self {
+            TokenClass::Digit => c.is_ascii_digit(),
+            TokenClass::Lower => c.is_ascii_lowercase(),
+            TokenClass::Upper => c.is_ascii_uppercase(),
+            TokenClass::Alpha => c.is_ascii_alphabetic(),
+            TokenClass::AlphaNumeric => c.is_ascii_alphanumeric() || c == '_' || c == '-',
+            TokenClass::Literal(_) => false,
+        }
+    }
+
+    /// Is `self` equal to or a generalization of `other` in the base-class
+    /// lattice?
+    ///
+    /// * every class generalizes itself;
+    /// * `<A>` generalizes `<L>` and `<U>`;
+    /// * `<AN>` generalizes `<A>`, `<L>`, `<U>`, `<D>` and the literal
+    ///   classes `'-'` and `'_'` (per generalization strategy 3 in §4.2).
+    pub fn generalizes(&self, other: &TokenClass) -> bool {
+        if self == other {
+            return true;
+        }
+        match self {
+            TokenClass::Alpha => matches!(other, TokenClass::Lower | TokenClass::Upper),
+            TokenClass::AlphaNumeric => match other {
+                TokenClass::Lower | TokenClass::Upper | TokenClass::Alpha | TokenClass::Digit => {
+                    true
+                }
+                TokenClass::Literal(s) => s.chars().all(|c| c == '-' || c == '_'),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// The immediate parent of this class in the generalization lattice, if
+    /// any (`<L>`/`<U>` → `<A>`, `<A>`/`<D>` → `<AN>`).
+    pub fn parent_class(&self) -> Option<TokenClass> {
+        match self {
+            TokenClass::Lower | TokenClass::Upper => Some(TokenClass::Alpha),
+            TokenClass::Alpha | TokenClass::Digit => Some(TokenClass::AlphaNumeric),
+            TokenClass::AlphaNumeric => None,
+            TokenClass::Literal(s) if s.chars().all(|c| c == '-' || c == '_') && !s.is_empty() => {
+                Some(TokenClass::AlphaNumeric)
+            }
+            TokenClass::Literal(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for TokenClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.notation())
+    }
+}
+
+/// Escape a string so it can be embedded verbatim in a `clx-regex` pattern.
+pub fn escape_regex(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 2);
+    for c in s.chars() {
+        if is_regex_metachar(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Is `c` a metacharacter in the `clx-regex` syntax?
+pub fn is_regex_metachar(c: char) -> bool {
+    matches!(
+        c,
+        '\\' | '.' | '+' | '*' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '^' | '$'
+    )
+}
+
+/// A token quantifier: either an exact natural-number count or `+` meaning
+/// "one or more".
+///
+/// Leaf patterns produced by the tokenizer always use exact counts; the `+`
+/// form appears in parent patterns produced by the agglomerative refinement
+/// (generalization strategy 1, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Quantifier {
+    /// Exactly `n` occurrences (`n >= 1`).
+    Exact(usize),
+    /// One or more occurrences (`+`).
+    OneOrMore,
+}
+
+impl Quantifier {
+    /// The minimum number of occurrences this quantifier admits.
+    ///
+    /// `+` is treated as `1`, exactly as in the token-frequency definition of
+    /// Eq. 1 ("if a quantifier is not a natural number but `+`, we treat it
+    /// as 1 in computing Q").
+    pub fn min_count(&self) -> usize {
+        match self {
+            Quantifier::Exact(n) => *n,
+            Quantifier::OneOrMore => 1,
+        }
+    }
+
+    /// `true` for the `+` quantifier.
+    pub fn is_plus(&self) -> bool {
+        matches!(self, Quantifier::OneOrMore)
+    }
+
+    /// Does `self` admit every count that `other` admits?
+    ///
+    /// `+` admits everything; `Exact(n)` only admits `Exact(n)`.
+    pub fn generalizes(&self, other: &Quantifier) -> bool {
+        match (self, other) {
+            (Quantifier::OneOrMore, _) => true,
+            (Quantifier::Exact(a), Quantifier::Exact(b)) => a == b,
+            (Quantifier::Exact(_), Quantifier::OneOrMore) => false,
+        }
+    }
+
+    /// Does a run of `n` characters satisfy this quantifier?
+    pub fn admits(&self, n: usize) -> bool {
+        match self {
+            Quantifier::Exact(m) => n == *m,
+            Quantifier::OneOrMore => n >= 1,
+        }
+    }
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quantifier::Exact(n) => write!(f, "{n}"),
+            Quantifier::OneOrMore => write!(f, "+"),
+        }
+    }
+}
+
+/// A token: a [`TokenClass`] with a [`Quantifier`].
+///
+/// Literal tokens always carry the implicit quantifier `1` (their constant
+/// string already encodes repetition); the quantifier field is kept at
+/// `Exact(1)` for them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token {
+    /// The token class.
+    pub class: TokenClass,
+    /// The quantifier.
+    pub quantifier: Quantifier,
+}
+
+impl Token {
+    /// A base token with an exact count.
+    pub fn base(class: TokenClass, count: usize) -> Self {
+        debug_assert!(class.is_base(), "Token::base requires a base class");
+        Token {
+            class,
+            quantifier: Quantifier::Exact(count),
+        }
+    }
+
+    /// A base token with the `+` quantifier.
+    pub fn plus(class: TokenClass) -> Self {
+        debug_assert!(class.is_base(), "Token::plus requires a base class");
+        Token {
+            class,
+            quantifier: Quantifier::OneOrMore,
+        }
+    }
+
+    /// A literal token for the constant string `s`.
+    pub fn literal(s: impl Into<String>) -> Self {
+        Token {
+            class: TokenClass::Literal(s.into()),
+            quantifier: Quantifier::Exact(1),
+        }
+    }
+
+    /// `true` if this token is a literal (constant-value) token.
+    pub fn is_literal(&self) -> bool {
+        self.class.is_literal()
+    }
+
+    /// `true` if this token is a base-class token.
+    pub fn is_base(&self) -> bool {
+        self.class.is_base()
+    }
+
+    /// The constant string carried by a literal token.
+    pub fn literal_value(&self) -> Option<&str> {
+        self.class.literal_value()
+    }
+
+    /// Number of occurrences contributed to the token frequency `Q` (Eq. 1):
+    /// the exact count, or 1 for `+`. Literal tokens contribute 0 to base
+    /// classes (they are counted separately).
+    pub fn frequency_weight(&self) -> usize {
+        if self.is_literal() {
+            0
+        } else {
+            self.quantifier.min_count()
+        }
+    }
+
+    /// Is `self` equal to or a generalization of `other`?
+    ///
+    /// A token generalizes another when its class generalizes the other's
+    /// class and its quantifier admits every count the other's admits. A
+    /// literal token only generalizes an identical literal token (or, for
+    /// `<AN>` generalization purposes, see [`TokenClass::generalizes`]).
+    pub fn generalizes(&self, other: &Token) -> bool {
+        match (&self.class, &other.class) {
+            (TokenClass::Literal(a), TokenClass::Literal(b)) => a == b,
+            (c, o) => {
+                if !c.generalizes(o) {
+                    return false;
+                }
+                if o.is_literal() {
+                    // e.g. <AN>+ generalizing the literal '-' : quantifier of
+                    // the literal is its length in characters.
+                    let len = o.literal_value().map(str::len).unwrap_or(0);
+                    self.quantifier.admits(len) || self.quantifier.is_plus()
+                } else {
+                    self.quantifier.generalizes(&other.quantifier)
+                }
+            }
+        }
+    }
+
+    /// The `clx-regex` fragment matching this token.
+    pub fn to_regex(&self) -> String {
+        match &self.class {
+            TokenClass::Literal(s) => escape_regex(s),
+            base => {
+                let cc = base.regex_char_class();
+                match self.quantifier {
+                    Quantifier::Exact(1) => cc,
+                    Quantifier::Exact(n) => format!("{cc}{{{n}}}"),
+                    Quantifier::OneOrMore => format!("{cc}+"),
+                }
+            }
+        }
+    }
+
+    /// Notation used throughout the paper: `<D>3`, `<L>+`, `'@'`.
+    pub fn notation(&self) -> String {
+        match &self.class {
+            TokenClass::Literal(s) => format!("'{s}'"),
+            base => match self.quantifier {
+                Quantifier::Exact(1) => base.notation(),
+                Quantifier::Exact(n) => format!("{}{}", base.notation(), n),
+                Quantifier::OneOrMore => format!("{}+", base.notation()),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.notation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notation_of_base_classes() {
+        assert_eq!(TokenClass::Digit.notation(), "<D>");
+        assert_eq!(TokenClass::Lower.notation(), "<L>");
+        assert_eq!(TokenClass::Upper.notation(), "<U>");
+        assert_eq!(TokenClass::Alpha.notation(), "<A>");
+        assert_eq!(TokenClass::AlphaNumeric.notation(), "<AN>");
+        assert_eq!(TokenClass::literal("@").notation(), "'@'");
+    }
+
+    #[test]
+    fn class_names_match_table_2() {
+        assert_eq!(TokenClass::Digit.class_name(), "digit");
+        assert_eq!(TokenClass::Lower.class_name(), "lower");
+        assert_eq!(TokenClass::Upper.class_name(), "upper");
+        assert_eq!(TokenClass::Alpha.class_name(), "alpha");
+        assert_eq!(TokenClass::AlphaNumeric.class_name(), "alpha-numeric");
+    }
+
+    #[test]
+    fn char_membership() {
+        assert!(TokenClass::Digit.contains_char('7'));
+        assert!(!TokenClass::Digit.contains_char('a'));
+        assert!(TokenClass::Lower.contains_char('a'));
+        assert!(!TokenClass::Lower.contains_char('A'));
+        assert!(TokenClass::Upper.contains_char('Z'));
+        assert!(TokenClass::Alpha.contains_char('z'));
+        assert!(TokenClass::Alpha.contains_char('Z'));
+        assert!(!TokenClass::Alpha.contains_char('0'));
+        assert!(TokenClass::AlphaNumeric.contains_char('0'));
+        assert!(TokenClass::AlphaNumeric.contains_char('_'));
+        assert!(TokenClass::AlphaNumeric.contains_char('-'));
+        assert!(!TokenClass::AlphaNumeric.contains_char('@'));
+    }
+
+    #[test]
+    fn class_generalization_lattice() {
+        assert!(TokenClass::Alpha.generalizes(&TokenClass::Lower));
+        assert!(TokenClass::Alpha.generalizes(&TokenClass::Upper));
+        assert!(!TokenClass::Alpha.generalizes(&TokenClass::Digit));
+        assert!(TokenClass::AlphaNumeric.generalizes(&TokenClass::Digit));
+        assert!(TokenClass::AlphaNumeric.generalizes(&TokenClass::Alpha));
+        assert!(TokenClass::AlphaNumeric.generalizes(&TokenClass::Lower));
+        assert!(TokenClass::AlphaNumeric.generalizes(&TokenClass::literal("-")));
+        assert!(TokenClass::AlphaNumeric.generalizes(&TokenClass::literal("_")));
+        assert!(!TokenClass::AlphaNumeric.generalizes(&TokenClass::literal("@")));
+        assert!(!TokenClass::Lower.generalizes(&TokenClass::Alpha));
+        // reflexivity
+        for c in crate::BASE_TOKEN_CLASSES {
+            assert!(c.generalizes(&c));
+        }
+    }
+
+    #[test]
+    fn parent_classes() {
+        assert_eq!(TokenClass::Lower.parent_class(), Some(TokenClass::Alpha));
+        assert_eq!(TokenClass::Upper.parent_class(), Some(TokenClass::Alpha));
+        assert_eq!(
+            TokenClass::Alpha.parent_class(),
+            Some(TokenClass::AlphaNumeric)
+        );
+        assert_eq!(
+            TokenClass::Digit.parent_class(),
+            Some(TokenClass::AlphaNumeric)
+        );
+        assert_eq!(TokenClass::AlphaNumeric.parent_class(), None);
+        assert_eq!(
+            TokenClass::literal("-").parent_class(),
+            Some(TokenClass::AlphaNumeric)
+        );
+        assert_eq!(TokenClass::literal(".").parent_class(), None);
+    }
+
+    #[test]
+    fn quantifier_semantics() {
+        assert_eq!(Quantifier::Exact(3).min_count(), 3);
+        assert_eq!(Quantifier::OneOrMore.min_count(), 1);
+        assert!(Quantifier::OneOrMore.generalizes(&Quantifier::Exact(7)));
+        assert!(Quantifier::OneOrMore.generalizes(&Quantifier::OneOrMore));
+        assert!(!Quantifier::Exact(2).generalizes(&Quantifier::OneOrMore));
+        assert!(Quantifier::Exact(2).generalizes(&Quantifier::Exact(2)));
+        assert!(!Quantifier::Exact(2).generalizes(&Quantifier::Exact(3)));
+        assert!(Quantifier::Exact(2).admits(2));
+        assert!(!Quantifier::Exact(2).admits(1));
+        assert!(Quantifier::OneOrMore.admits(1));
+        assert!(Quantifier::OneOrMore.admits(100));
+        assert!(!Quantifier::OneOrMore.admits(0));
+    }
+
+    #[test]
+    fn token_notation() {
+        assert_eq!(Token::base(TokenClass::Digit, 3).notation(), "<D>3");
+        assert_eq!(Token::base(TokenClass::Digit, 1).notation(), "<D>");
+        assert_eq!(Token::plus(TokenClass::Lower).notation(), "<L>+");
+        assert_eq!(Token::literal("@").notation(), "'@'");
+        assert_eq!(Token::literal("Dr.").notation(), "'Dr.'");
+    }
+
+    #[test]
+    fn token_regex() {
+        assert_eq!(Token::base(TokenClass::Digit, 3).to_regex(), "[0-9]{3}");
+        assert_eq!(Token::base(TokenClass::Digit, 1).to_regex(), "[0-9]");
+        assert_eq!(Token::plus(TokenClass::Alpha).to_regex(), "[a-zA-Z]+");
+        assert_eq!(Token::literal(".").to_regex(), "\\.");
+        assert_eq!(Token::literal("(").to_regex(), "\\(");
+        assert_eq!(Token::literal("ab").to_regex(), "ab");
+    }
+
+    #[test]
+    fn token_generalization() {
+        let d3 = Token::base(TokenClass::Digit, 3);
+        let dplus = Token::plus(TokenClass::Digit);
+        let aplus = Token::plus(TokenClass::Alpha);
+        let l2 = Token::base(TokenClass::Lower, 2);
+        let anplus = Token::plus(TokenClass::AlphaNumeric);
+        assert!(dplus.generalizes(&d3));
+        assert!(!d3.generalizes(&dplus));
+        assert!(aplus.generalizes(&l2));
+        assert!(anplus.generalizes(&d3));
+        assert!(anplus.generalizes(&l2));
+        assert!(anplus.generalizes(&Token::literal("-")));
+        assert!(!anplus.generalizes(&Token::literal("@")));
+        assert!(d3.generalizes(&d3));
+        assert!(Token::literal("@").generalizes(&Token::literal("@")));
+        assert!(!Token::literal("@").generalizes(&Token::literal("#")));
+    }
+
+    #[test]
+    fn frequency_weight() {
+        assert_eq!(Token::base(TokenClass::Digit, 3).frequency_weight(), 3);
+        assert_eq!(Token::plus(TokenClass::Digit).frequency_weight(), 1);
+        assert_eq!(Token::literal("---").frequency_weight(), 0);
+    }
+
+    #[test]
+    fn regex_escaping() {
+        assert_eq!(escape_regex("a.b"), "a\\.b");
+        assert_eq!(escape_regex("(x)"), "\\(x\\)");
+        assert_eq!(escape_regex("a+b*c"), "a\\+b\\*c");
+        assert_eq!(escape_regex("plain"), "plain");
+        assert_eq!(escape_regex("$^|"), "\\$\\^\\|");
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(format!("{}", TokenClass::Digit), "<D>");
+        assert_eq!(format!("{}", Quantifier::Exact(4)), "4");
+        assert_eq!(format!("{}", Quantifier::OneOrMore), "+");
+        assert_eq!(format!("{}", Token::base(TokenClass::Upper, 2)), "<U>2");
+    }
+}

@@ -1,0 +1,211 @@
+use crate::pattern::{Pattern, TokenSlice};
+use crate::token::{Token, TokenClass};
+
+/// The result of tokenizing a raw string: the derived leaf [`Pattern`]
+/// together with the per-token slices of the original string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenizedString {
+    /// The original string.
+    pub raw: String,
+    /// The most-specific pattern describing it.
+    pub pattern: Pattern,
+    /// One slice per token of `pattern`.
+    pub slices: Vec<TokenSlice>,
+}
+
+/// Tokenize a raw string into its most-specific leaf pattern, following the
+/// rules of Section 4.1 of the paper:
+///
+/// * every non-alphanumeric character becomes an individual **literal**
+///   token (so `"(734) 645"` yields `'('`, `<D>3`, `')'`, `' '`, `<D>3`);
+/// * maximal runs of characters of the most precise base class (`digit`,
+///   `lower`, `upper`) become a single base token with a natural-number
+///   quantifier;
+/// * quantifiers are always natural numbers at this stage — the `+` form
+///   only appears after agglomerative refinement.
+///
+/// # Example
+///
+/// ```
+/// use clx_pattern::tokenize;
+/// assert_eq!(tokenize("Bob123@gmail.com").to_string(),
+///            "<U><L>2<D>3'@'<L>5'.'<L>3");
+/// ```
+pub fn tokenize(s: &str) -> Pattern {
+    tokenize_detailed(s).pattern
+}
+
+/// Like [`tokenize`] but also returns the character slices each token covers.
+pub fn tokenize_detailed(s: &str) -> TokenizedString {
+    let chars: Vec<char> = s.chars().collect();
+    let mut byte_offsets = Vec::with_capacity(chars.len() + 1);
+    let mut off = 0usize;
+    for c in &chars {
+        byte_offsets.push(off);
+        off += c.len_utf8();
+    }
+    byte_offsets.push(off);
+
+    let mut tokens = Vec::new();
+    let mut slices = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if let Some(class) = precise_class(c) {
+            let start = i;
+            while i < chars.len() && precise_class(chars[i]) == Some(class.clone()) {
+                i += 1;
+            }
+            let run_len = i - start;
+            slices.push((tokens.len(), start, i));
+            tokens.push(Token::base(class, run_len));
+        } else {
+            // Non-alphanumeric characters each become an individual literal
+            // token carrying the character itself.
+            slices.push((tokens.len(), i, i + 1));
+            tokens.push(Token::literal(c.to_string()));
+            i += 1;
+        }
+    }
+
+    let pattern = Pattern::new(tokens);
+    let slices = slices
+        .into_iter()
+        .map(|(token_index, cs, ce)| TokenSlice {
+            token_index,
+            start: byte_offsets[cs],
+            end: byte_offsets[ce],
+            text: chars[cs..ce].iter().collect(),
+        })
+        .collect();
+    TokenizedString {
+        raw: s.to_string(),
+        pattern,
+        slices,
+    }
+}
+
+/// The most precise base class of a single character (`digit`, `lower`,
+/// `upper`), or `None` for characters that become literal tokens.
+fn precise_class(c: char) -> Option<TokenClass> {
+    if c.is_ascii_digit() {
+        Some(TokenClass::Digit)
+    } else if c.is_ascii_lowercase() {
+        Some(TokenClass::Lower)
+    } else if c.is_ascii_uppercase() {
+        Some(TokenClass::Upper)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Quantifier;
+
+    #[test]
+    fn example_3_from_paper() {
+        // "Bob123@gmail.com" -> [<U>, <L>2, <D>3, '@', <L>5, '.', <L>3]
+        let p = tokenize("Bob123@gmail.com");
+        assert_eq!(p.to_string(), "<U><L>2<D>3'@'<L>5'.'<L>3");
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    fn phone_formats_from_figure_3() {
+        assert_eq!(
+            tokenize("(734) 645-8397").to_string(),
+            "'('<D>3')'' '<D>3'-'<D>4"
+        );
+        assert_eq!(
+            tokenize("(734)586-7252").to_string(),
+            "'('<D>3')'<D>3'-'<D>4"
+        );
+        assert_eq!(tokenize("734-422-8073").to_string(), "<D>3'-'<D>3'-'<D>4");
+        assert_eq!(tokenize("734.236.3466").to_string(), "<D>3'.'<D>3'.'<D>4");
+    }
+
+    #[test]
+    fn empty_string() {
+        let p = tokenize("");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn single_classes() {
+        assert_eq!(tokenize("12345").to_string(), "<D>5");
+        assert_eq!(tokenize("abc").to_string(), "<L>3");
+        assert_eq!(tokenize("ABC").to_string(), "<U>3");
+        assert_eq!(tokenize("@").to_string(), "'@'");
+    }
+
+    #[test]
+    fn case_transitions_split_tokens() {
+        // Most precise classes: upper run then lower run are distinct tokens.
+        assert_eq!(tokenize("McMillan").to_string(), "<U><L><U><L>5");
+        assert_eq!(tokenize("IBMCorp").to_string(), "<U>4<L>3");
+    }
+
+    #[test]
+    fn each_symbol_is_its_own_literal() {
+        assert_eq!(tokenize("--").to_string(), "'-''-'");
+        assert_eq!(tokenize("a  b").to_string(), "<L>' '' '<L>");
+    }
+
+    #[test]
+    fn underscores_and_hyphens_are_literals_at_leaf_level() {
+        assert_eq!(tokenize("a_b-c").to_string(), "<L>'_'<L>'-'<L>");
+    }
+
+    #[test]
+    fn quantifiers_are_natural_numbers() {
+        let p = tokenize("aaaa1111BBBB");
+        assert!(p
+            .tokens()
+            .iter()
+            .all(|t| matches!(t.quantifier, Quantifier::Exact(_))));
+    }
+
+    #[test]
+    fn detailed_slices_cover_string() {
+        let t = tokenize_detailed("(734) 645-8397");
+        let rebuilt: String = t.slices.iter().map(|s| s.text.as_str()).collect();
+        assert_eq!(rebuilt, "(734) 645-8397");
+        assert_eq!(t.slices.len(), t.pattern.len());
+        // slices are contiguous
+        for w in t.slices.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn pattern_derived_by_tokenizer_matches_its_source() {
+        for s in [
+            "Bob123@gmail.com",
+            "(734) 645-8397",
+            "734.236.3466",
+            "[CPT-00350",
+            "Dr. Eran Yahav",
+            "+1 724-285-5210",
+            "N/A",
+        ] {
+            let p = tokenize(s);
+            assert!(p.matches(s), "pattern {p} should match {s:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_symbols_become_literals() {
+        let p = tokenize("a€b");
+        assert_eq!(p.to_string(), "<L>'€'<L>");
+        assert!(p.matches("a€b"));
+    }
+
+    #[test]
+    fn split_agrees_with_tokenizer_slices() {
+        let t = tokenize_detailed("CPT115");
+        let split = t.pattern.split("CPT115").unwrap();
+        assert_eq!(split, t.slices);
+    }
+}

@@ -1,0 +1,142 @@
+//! Rendering patterns in the "natural-language-like" regular expression
+//! syntax popularized by Wrangler / Trifacta, which is how CLX presents
+//! patterns and Replace operations to end users (Figures 2–4 of the paper).
+//!
+//! Two renderings are provided:
+//!
+//! * [`pattern_to_wrangler`] — the compact cluster label shown in the
+//!   pattern list, e.g. `\({digit}3\)\ {digit}3\-{digit}4`;
+//! * [`pattern_to_wrangler_regex`] — the full `/^...$/` regex shown inside a
+//!   suggested `Replace` operation, e.g.
+//!   `/^\(({digit}{3})\)({digit}{3})\-({digit}{4})$/`, with the tokens to be
+//!   extracted wrapped in capture groups.
+
+use crate::token::{Quantifier, Token, TokenClass};
+use crate::Pattern;
+
+/// The Wrangler-style name of a base token class (`{digit}`, `{lower}`,
+/// `{upper}`, `{alpha}`, `{alnum}`).
+pub fn class_wrangler_name(class: &TokenClass) -> Option<&'static str> {
+    match class {
+        TokenClass::Digit => Some("{digit}"),
+        TokenClass::Lower => Some("{lower}"),
+        TokenClass::Upper => Some("{upper}"),
+        TokenClass::Alpha => Some("{alpha}"),
+        TokenClass::AlphaNumeric => Some("{alnum}"),
+        TokenClass::Literal(_) => None,
+    }
+}
+
+/// Escape a literal for display in the Wrangler syntax: every character is
+/// preceded by a backslash, as in `\(` or `\ ` (Figure 2 of the paper).
+fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 2);
+    for c in s.chars() {
+        out.push('\\');
+        out.push(c);
+    }
+    out
+}
+
+fn render_token(token: &Token, braced_quantifier: bool) -> String {
+    match &token.class {
+        TokenClass::Literal(s) => escape_literal(s),
+        base => {
+            let name = class_wrangler_name(base).expect("base class has a wrangler name");
+            match token.quantifier {
+                Quantifier::Exact(1) => name.to_string(),
+                Quantifier::Exact(n) if braced_quantifier => format!("{name}{{{n}}}"),
+                Quantifier::Exact(n) => format!("{name}{n}"),
+                Quantifier::OneOrMore => format!("{name}+"),
+            }
+        }
+    }
+}
+
+/// Render a pattern as the compact Wrangler-style label shown in the pattern
+/// cluster list, e.g. `\({digit}3\)\ {digit}3\-{digit}4`.
+pub fn pattern_to_wrangler(pattern: &Pattern) -> String {
+    pattern.iter().map(|t| render_token(t, false)).collect()
+}
+
+/// Render a pattern as a full `/^...$/` Wrangler regular expression, with the
+/// (zero-based) token indices in `grouped` wrapped in capture groups, e.g.
+/// `/^\(({digit}{3})\)({digit}{3})\-({digit}{4})$/`.
+pub fn pattern_to_wrangler_regex(pattern: &Pattern, grouped: &[usize]) -> String {
+    let mut out = String::from("/^");
+    for (i, t) in pattern.iter().enumerate() {
+        if grouped.contains(&i) {
+            out.push('(');
+            out.push_str(&render_token(t, true));
+            out.push(')');
+        } else {
+            out.push_str(&render_token(t, true));
+        }
+    }
+    out.push_str("$/");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize;
+
+    #[test]
+    fn figure_2_pattern_label() {
+        let p = tokenize("(734) 645-8397");
+        assert_eq!(
+            pattern_to_wrangler(&p),
+            "\\({digit}3\\)\\ {digit}3\\-{digit}4"
+        );
+    }
+
+    #[test]
+    fn figure_3_pattern_labels() {
+        assert_eq!(
+            pattern_to_wrangler(&tokenize("(734)586-7252")),
+            "\\({digit}3\\){digit}3\\-{digit}4"
+        );
+        assert_eq!(
+            pattern_to_wrangler(&tokenize("734-422-8073")),
+            "{digit}3\\-{digit}3\\-{digit}4"
+        );
+        assert_eq!(
+            pattern_to_wrangler(&tokenize("734.236.3466")),
+            "{digit}3\\.{digit}3\\.{digit}4"
+        );
+    }
+
+    #[test]
+    fn figure_4_replace_regex() {
+        let p = tokenize("(734)586-7252");
+        // tokens: '(' <D>3 ')' <D>3 '-' <D>4 ; groups on the three digit runs
+        assert_eq!(
+            pattern_to_wrangler_regex(&p, &[1, 3, 5]),
+            "/^\\(({digit}{3})\\)({digit}{3})\\-({digit}{4})$/"
+        );
+    }
+
+    #[test]
+    fn plus_and_single_quantifiers() {
+        let p = crate::parse_pattern("<U><L>+'@'<AN>+").unwrap();
+        assert_eq!(pattern_to_wrangler(&p), "{upper}{lower}+\\@{alnum}+");
+        assert_eq!(
+            pattern_to_wrangler_regex(&p, &[]),
+            "/^{upper}{lower}+\\@{alnum}+$/"
+        );
+    }
+
+    #[test]
+    fn class_names() {
+        assert_eq!(class_wrangler_name(&TokenClass::Digit), Some("{digit}"));
+        assert_eq!(class_wrangler_name(&TokenClass::Alpha), Some("{alpha}"));
+        assert_eq!(class_wrangler_name(&TokenClass::literal("-")), None);
+    }
+
+    #[test]
+    fn empty_pattern_renders_empty() {
+        assert_eq!(pattern_to_wrangler(&Pattern::empty()), "");
+        assert_eq!(pattern_to_wrangler_regex(&Pattern::empty(), &[]), "/^$/");
+    }
+}

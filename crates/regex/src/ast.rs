@@ -1,0 +1,191 @@
+//! Abstract syntax tree for the `clx-regex` dialect.
+
+/// A set of characters, represented as a union of inclusive ranges.
+///
+/// Classes are kept small and sorted; membership checks are linear over the
+/// ranges, which is plenty for the classes CLX generates (Table 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharClass {
+    /// Inclusive character ranges, sorted by start.
+    pub ranges: Vec<(char, char)>,
+    /// When `true` the class matches any character *not* in `ranges`.
+    pub negated: bool,
+}
+
+impl CharClass {
+    /// An empty, non-negated class (matches nothing).
+    pub fn new() -> Self {
+        CharClass {
+            ranges: Vec::new(),
+            negated: false,
+        }
+    }
+
+    /// Build a class from ranges.
+    pub fn from_ranges(ranges: Vec<(char, char)>) -> Self {
+        let mut c = CharClass {
+            ranges,
+            negated: false,
+        };
+        c.normalize();
+        c
+    }
+
+    /// Add a single character.
+    pub fn push_char(&mut self, c: char) {
+        self.ranges.push((c, c));
+    }
+
+    /// Add an inclusive range.
+    pub fn push_range(&mut self, lo: char, hi: char) {
+        self.ranges.push((lo, hi));
+    }
+
+    /// Sort and merge overlapping ranges.
+    pub fn normalize(&mut self) {
+        self.ranges.sort_unstable();
+        let mut merged: Vec<(char, char)> = Vec::with_capacity(self.ranges.len());
+        for &(lo, hi) in &self.ranges {
+            if let Some(last) = merged.last_mut() {
+                if lo as u32 <= last.1 as u32 + 1 {
+                    if hi > last.1 {
+                        last.1 = hi;
+                    }
+                    continue;
+                }
+            }
+            merged.push((lo, hi));
+        }
+        self.ranges = merged;
+    }
+
+    /// Does the class contain `c`?
+    pub fn contains(&self, c: char) -> bool {
+        let inside = self
+            .ranges
+            .iter()
+            .any(|&(lo, hi)| c >= lo && c <= hi);
+        inside != self.negated
+    }
+
+    /// The `[0-9]` class.
+    pub fn digit() -> Self {
+        CharClass::from_ranges(vec![('0', '9')])
+    }
+
+    /// The `[a-z]` class.
+    pub fn lower() -> Self {
+        CharClass::from_ranges(vec![('a', 'z')])
+    }
+
+    /// The `[A-Z]` class.
+    pub fn upper() -> Self {
+        CharClass::from_ranges(vec![('A', 'Z')])
+    }
+
+    /// The `[a-zA-Z]` class.
+    pub fn alpha() -> Self {
+        CharClass::from_ranges(vec![('a', 'z'), ('A', 'Z')])
+    }
+
+    /// The `[a-zA-Z0-9_-]` class (the paper's `<AN>`).
+    pub fn alnum() -> Self {
+        CharClass::from_ranges(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_'), ('-', '-')])
+    }
+
+    /// The `\s` whitespace class.
+    pub fn whitespace() -> Self {
+        CharClass::from_ranges(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')])
+    }
+}
+
+impl Default for CharClass {
+    fn default() -> Self {
+        CharClass::new()
+    }
+}
+
+/// A parsed regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// The empty expression (matches the empty string).
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// Any character (`.`).
+    AnyChar,
+    /// A character class.
+    Class(CharClass),
+    /// Start-of-string anchor (`^`).
+    StartAnchor,
+    /// End-of-string anchor (`$`).
+    EndAnchor,
+    /// Concatenation of sub-expressions.
+    Concat(Vec<Ast>),
+    /// Alternation (`a|b|c`).
+    Alternate(Vec<Ast>),
+    /// A capturing group `(...)` with its 1-based group index.
+    Group(Box<Ast>, usize),
+    /// A non-capturing group `(?:...)`.
+    NonCapturingGroup(Box<Ast>),
+    /// Repetition of a sub-expression.
+    Repeat {
+        /// The repeated sub-expression.
+        ast: Box<Ast>,
+        /// Minimum number of repetitions.
+        min: u32,
+        /// Maximum number of repetitions; `None` means unbounded.
+        max: Option<u32>,
+        /// Greedy (`true`) or lazy (`false`, written with a trailing `?`).
+        greedy: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_membership() {
+        assert!(CharClass::digit().contains('5'));
+        assert!(!CharClass::digit().contains('a'));
+        assert!(CharClass::alpha().contains('a'));
+        assert!(CharClass::alpha().contains('Z'));
+        assert!(!CharClass::alpha().contains('0'));
+        assert!(CharClass::alnum().contains('-'));
+        assert!(CharClass::alnum().contains('_'));
+        assert!(!CharClass::alnum().contains(' '));
+        assert!(CharClass::whitespace().contains(' '));
+    }
+
+    #[test]
+    fn negated_class() {
+        let mut c = CharClass::digit();
+        c.negated = true;
+        assert!(!c.contains('5'));
+        assert!(c.contains('a'));
+    }
+
+    #[test]
+    fn normalize_merges_overlapping_ranges() {
+        let c = CharClass::from_ranges(vec![('a', 'f'), ('d', 'k'), ('m', 'p')]);
+        assert_eq!(c.ranges, vec![('a', 'k'), ('m', 'p')]);
+    }
+
+    #[test]
+    fn normalize_merges_adjacent_ranges() {
+        let c = CharClass::from_ranges(vec![('a', 'c'), ('d', 'f')]);
+        assert_eq!(c.ranges, vec![('a', 'f')]);
+    }
+
+    #[test]
+    fn push_then_contains() {
+        let mut c = CharClass::new();
+        c.push_char('x');
+        c.push_range('0', '3');
+        c.normalize();
+        assert!(c.contains('x'));
+        assert!(c.contains('2'));
+        assert!(!c.contains('9'));
+    }
+}

@@ -1,0 +1,81 @@
+use std::fmt;
+
+/// Errors produced while parsing or compiling a regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegexError {
+    /// Syntax error in the regular expression.
+    Syntax {
+        /// Byte position of the error within the pattern string.
+        position: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A repetition bound such as `{3,1}` is inverted or too large.
+    InvalidRepetition {
+        /// Byte position of the repetition.
+        position: usize,
+        /// Description of what is wrong.
+        message: String,
+    },
+    /// A replacement template referenced a capture group that the regular
+    /// expression does not define.
+    UnknownGroup {
+        /// The referenced group number.
+        group: usize,
+        /// The number of groups the regex defines.
+        available: usize,
+    },
+    /// The compiled program exceeded an internal size limit.
+    ProgramTooLarge {
+        /// The number of instructions that would have been generated.
+        size: usize,
+    },
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegexError::Syntax { position, message } => {
+                write!(f, "regex syntax error at byte {position}: {message}")
+            }
+            RegexError::InvalidRepetition { position, message } => {
+                write!(f, "invalid repetition at byte {position}: {message}")
+            }
+            RegexError::UnknownGroup { group, available } => write!(
+                f,
+                "replacement references group ${group} but the regex only has {available} group(s)"
+            ),
+            RegexError::ProgramTooLarge { size } => {
+                write!(f, "compiled regex program too large ({size} instructions)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RegexError::Syntax {
+            position: 2,
+            message: "unexpected )".into(),
+        };
+        assert!(e.to_string().contains("byte 2"));
+        let e = RegexError::UnknownGroup {
+            group: 3,
+            available: 1,
+        };
+        assert!(e.to_string().contains("$3"));
+        let e = RegexError::ProgramTooLarge { size: 100000 };
+        assert!(e.to_string().contains("100000"));
+        let e = RegexError::InvalidRepetition {
+            position: 5,
+            message: "min greater than max".into(),
+        };
+        assert!(e.to_string().contains("byte 5"));
+    }
+}

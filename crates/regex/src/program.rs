@@ -1,0 +1,301 @@
+//! Compilation of a parsed [`Ast`] into a Pike-VM instruction sequence.
+
+use crate::ast::{Ast, CharClass};
+use crate::error::RegexError;
+
+/// Upper bound on the number of instructions of a compiled program. CLX
+/// patterns are tiny; this bound only guards against pathological inputs to
+/// the RegexReplace baseline.
+pub const MAX_PROGRAM_SIZE: usize = 16_384;
+
+/// A single Pike-VM instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// Match one specific character.
+    Char(char),
+    /// Match any character.
+    Any,
+    /// Match one character belonging to the class.
+    Class(CharClass),
+    /// Succeed.
+    Match,
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Try `first` (preferred) then `second`.
+    Split {
+        /// Preferred branch (tried first → greedy/lazy preference).
+        first: usize,
+        /// Alternative branch.
+        second: usize,
+    },
+    /// Save the current input position into capture slot `slot`.
+    Save(usize),
+    /// Assert start of input.
+    AssertStart,
+    /// Assert end of input.
+    AssertEnd,
+}
+
+/// A compiled regular expression program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The instruction sequence.
+    pub insts: Vec<Inst>,
+    /// Number of capture groups (excluding the implicit whole-match group 0).
+    pub group_count: usize,
+}
+
+impl Program {
+    /// Number of capture slots (2 per group, plus 2 for the whole match).
+    pub fn slot_count(&self) -> usize {
+        (self.group_count + 1) * 2
+    }
+}
+
+/// Compile an AST (as returned by [`crate::parser::parse`]) into a
+/// [`Program`]. The whole match is wrapped in capture slots 0 and 1.
+pub fn compile(ast: &Ast, group_count: usize) -> Result<Program, RegexError> {
+    let mut c = Compiler { insts: Vec::new() };
+    c.push(Inst::Save(0))?;
+    c.compile_ast(ast)?;
+    c.push(Inst::Save(1))?;
+    c.push(Inst::Match)?;
+    Ok(Program {
+        insts: c.insts,
+        group_count,
+    })
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+}
+
+impl Compiler {
+    fn push(&mut self, inst: Inst) -> Result<usize, RegexError> {
+        if self.insts.len() >= MAX_PROGRAM_SIZE {
+            return Err(RegexError::ProgramTooLarge {
+                size: self.insts.len() + 1,
+            });
+        }
+        self.insts.push(inst);
+        Ok(self.insts.len() - 1)
+    }
+
+    fn compile_ast(&mut self, ast: &Ast) -> Result<(), RegexError> {
+        match ast {
+            Ast::Empty => Ok(()),
+            Ast::Literal(c) => self.push(Inst::Char(*c)).map(|_| ()),
+            Ast::AnyChar => self.push(Inst::Any).map(|_| ()),
+            Ast::Class(c) => self.push(Inst::Class(c.clone())).map(|_| ()),
+            Ast::StartAnchor => self.push(Inst::AssertStart).map(|_| ()),
+            Ast::EndAnchor => self.push(Inst::AssertEnd).map(|_| ()),
+            Ast::Concat(items) => {
+                for item in items {
+                    self.compile_ast(item)?;
+                }
+                Ok(())
+            }
+            Ast::Group(inner, index) => {
+                self.push(Inst::Save(index * 2))?;
+                self.compile_ast(inner)?;
+                self.push(Inst::Save(index * 2 + 1))?;
+                Ok(())
+            }
+            Ast::NonCapturingGroup(inner) => self.compile_ast(inner),
+            Ast::Alternate(branches) => self.compile_alternation(branches),
+            Ast::Repeat {
+                ast,
+                min,
+                max,
+                greedy,
+            } => self.compile_repeat(ast, *min, *max, *greedy),
+        }
+    }
+
+    fn compile_alternation(&mut self, branches: &[Ast]) -> Result<(), RegexError> {
+        // Compile branch-by-branch with a chain of splits; collect the jumps
+        // at the end of each branch and patch them to the end.
+        let mut end_jumps = Vec::new();
+        for (i, branch) in branches.iter().enumerate() {
+            if i + 1 < branches.len() {
+                let split_pc = self.push(Inst::Split { first: 0, second: 0 })?;
+                let branch_start = self.insts.len();
+                self.compile_ast(branch)?;
+                let jmp_pc = self.push(Inst::Jmp(0))?;
+                end_jumps.push(jmp_pc);
+                let next_branch = self.insts.len();
+                self.insts[split_pc] = Inst::Split {
+                    first: branch_start,
+                    second: next_branch,
+                };
+            } else {
+                self.compile_ast(branch)?;
+            }
+        }
+        let end = self.insts.len();
+        for pc in end_jumps {
+            self.insts[pc] = Inst::Jmp(end);
+        }
+        Ok(())
+    }
+
+    fn compile_repeat(
+        &mut self,
+        ast: &Ast,
+        min: u32,
+        max: Option<u32>,
+        greedy: bool,
+    ) -> Result<(), RegexError> {
+        // Mandatory copies.
+        for _ in 0..min {
+            self.compile_ast(ast)?;
+        }
+        match max {
+            None => {
+                // `x*` loop after the mandatory prefix.
+                let split_pc = self.push(Inst::Split { first: 0, second: 0 })?;
+                let body_start = self.insts.len();
+                self.compile_ast(ast)?;
+                self.push(Inst::Jmp(split_pc))?;
+                let after = self.insts.len();
+                self.insts[split_pc] = if greedy {
+                    Inst::Split {
+                        first: body_start,
+                        second: after,
+                    }
+                } else {
+                    Inst::Split {
+                        first: after,
+                        second: body_start,
+                    }
+                };
+                Ok(())
+            }
+            Some(max) => {
+                // (max - min) optional copies.
+                let mut exit_splits = Vec::new();
+                for _ in min..max {
+                    let split_pc = self.push(Inst::Split { first: 0, second: 0 })?;
+                    exit_splits.push(split_pc);
+                    let body_start = self.insts.len();
+                    self.compile_ast(ast)?;
+                    // Patch later: first/second depend on greediness.
+                    self.insts[split_pc] = Inst::Split {
+                        first: body_start,
+                        second: 0, // patched below
+                    };
+                }
+                let after = self.insts.len();
+                for split_pc in exit_splits {
+                    let body_start = match &self.insts[split_pc] {
+                        Inst::Split { first, .. } => *first,
+                        _ => unreachable!("patched instruction must be a split"),
+                    };
+                    self.insts[split_pc] = if greedy {
+                        Inst::Split {
+                            first: body_start,
+                            second: after,
+                        }
+                    } else {
+                        Inst::Split {
+                            first: after,
+                            second: body_start,
+                        }
+                    };
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compiled(pattern: &str) -> Program {
+        let (ast, groups) = parse(pattern).unwrap();
+        compile(&ast, groups).unwrap()
+    }
+
+    #[test]
+    fn literal_program_shape() {
+        let p = compiled("ab");
+        assert_eq!(
+            p.insts,
+            vec![
+                Inst::Save(0),
+                Inst::Char('a'),
+                Inst::Char('b'),
+                Inst::Save(1),
+                Inst::Match
+            ]
+        );
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn group_saves_slots() {
+        let p = compiled("(a)");
+        assert!(p.insts.contains(&Inst::Save(2)));
+        assert!(p.insts.contains(&Inst::Save(3)));
+        assert_eq!(p.slot_count(), 4);
+    }
+
+    #[test]
+    fn star_compiles_to_loop() {
+        let p = compiled("a*");
+        assert!(p
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Split { .. })));
+        assert!(p.insts.iter().any(|i| matches!(i, Inst::Jmp(_))));
+    }
+
+    #[test]
+    fn counted_repetition_expands() {
+        let p = compiled("a{3}");
+        let chars = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Char('a')))
+            .count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn bounded_repetition_has_optional_tail() {
+        let p = compiled("a{1,3}");
+        let chars = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Char('a')))
+            .count();
+        assert_eq!(chars, 3);
+        let splits = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Split { .. }))
+            .count();
+        assert_eq!(splits, 2);
+    }
+
+    #[test]
+    fn program_size_is_bounded() {
+        let (ast, groups) = parse("(a{1000}){1000}").unwrap_or_else(|_| parse("a").unwrap());
+        // Either the parse is rejected or the compile is; both are fine, but
+        // a successful compile must stay under the limit.
+        if let Ok(p) = compile(&ast, groups) {
+            assert!(p.insts.len() <= MAX_PROGRAM_SIZE);
+        }
+    }
+
+    #[test]
+    fn alternation_compiles_all_branches() {
+        let p = compiled("a|b|c");
+        for c in ['a', 'b', 'c'] {
+            assert!(p.insts.contains(&Inst::Char(c)));
+        }
+    }
+}

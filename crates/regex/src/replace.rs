@@ -1,0 +1,212 @@
+//! Replacement-template expansion for `Replace` operations.
+//!
+//! CLX explains its synthesized programs as regexp replace operations whose
+//! replacement strings use `$1`-style group references (Figure 4 of the
+//! paper): `Replace '/^({digit}{3})\-({digit}{3})\-({digit}{4})$/' with
+//! '($1) $2-$3'`.
+
+use crate::error::RegexError;
+
+/// One piece of a parsed replacement template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplatePart {
+    /// Literal text copied verbatim.
+    Literal(String),
+    /// A `$n` group reference.
+    Group(usize),
+}
+
+/// A parsed replacement template such as `($1) $2-$3`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplacementTemplate {
+    parts: Vec<TemplatePart>,
+}
+
+impl ReplacementTemplate {
+    /// Parse a template. `$1`..`$99` reference capture groups, `${n}` is the
+    /// braced form, and `$$` is a literal dollar sign.
+    pub fn parse(template: &str) -> Self {
+        let chars: Vec<char> = template.chars().collect();
+        let mut parts: Vec<TemplatePart> = Vec::new();
+        let mut literal = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if chars[i] == '$' && i + 1 < chars.len() {
+                let next = chars[i + 1];
+                if next == '$' {
+                    literal.push('$');
+                    i += 2;
+                    continue;
+                }
+                // ${n}
+                if next == '{' {
+                    let mut j = i + 2;
+                    while j < chars.len() && chars[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                    if j > i + 2 && chars.get(j) == Some(&'}') {
+                        let n: usize = chars[i + 2..j].iter().collect::<String>().parse().unwrap();
+                        if !literal.is_empty() {
+                            parts.push(TemplatePart::Literal(std::mem::take(&mut literal)));
+                        }
+                        parts.push(TemplatePart::Group(n));
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                // $n
+                if next.is_ascii_digit() {
+                    let mut j = i + 1;
+                    while j < chars.len() && chars[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                    let n: usize = chars[i + 1..j].iter().collect::<String>().parse().unwrap();
+                    if !literal.is_empty() {
+                        parts.push(TemplatePart::Literal(std::mem::take(&mut literal)));
+                    }
+                    parts.push(TemplatePart::Group(n));
+                    i = j;
+                    continue;
+                }
+            }
+            literal.push(chars[i]);
+            i += 1;
+        }
+        if !literal.is_empty() {
+            parts.push(TemplatePart::Literal(literal));
+        }
+        ReplacementTemplate { parts }
+    }
+
+    /// The parts of the template.
+    pub fn parts(&self) -> &[TemplatePart] {
+        &self.parts
+    }
+
+    /// The largest group number referenced, if any.
+    pub fn max_group(&self) -> Option<usize> {
+        self.parts
+            .iter()
+            .filter_map(|p| match p {
+                TemplatePart::Group(n) => Some(*n),
+                TemplatePart::Literal(_) => None,
+            })
+            .max()
+    }
+
+    /// Check that every referenced group exists among `available` groups.
+    pub fn validate(&self, available: usize) -> Result<(), RegexError> {
+        if let Some(max) = self.max_group() {
+            if max > available {
+                return Err(RegexError::UnknownGroup {
+                    group: max,
+                    available,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Expand the template given the text of each group (`groups[0]` is the
+    /// whole match). Missing groups expand to the empty string.
+    pub fn expand(&self, groups: &[Option<&str>]) -> String {
+        let mut out = String::new();
+        for part in &self.parts {
+            match part {
+                TemplatePart::Literal(s) => out.push_str(s),
+                TemplatePart::Group(n) => {
+                    if let Some(Some(text)) = groups.get(*n) {
+                        out.push_str(text);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_groups() {
+        let t = ReplacementTemplate::parse("($1) $2-$3");
+        assert_eq!(
+            t.parts(),
+            &[
+                TemplatePart::Literal("(".into()),
+                TemplatePart::Group(1),
+                TemplatePart::Literal(") ".into()),
+                TemplatePart::Group(2),
+                TemplatePart::Literal("-".into()),
+                TemplatePart::Group(3),
+            ]
+        );
+        assert_eq!(t.max_group(), Some(3));
+    }
+
+    #[test]
+    fn expand_figure_4_style() {
+        let t = ReplacementTemplate::parse("($1) $2-$3");
+        let out = t.expand(&[
+            Some("734-422-8073"),
+            Some("734"),
+            Some("422"),
+            Some("8073"),
+        ]);
+        assert_eq!(out, "(734) 422-8073");
+    }
+
+    #[test]
+    fn dollar_escape() {
+        let t = ReplacementTemplate::parse("$$1 = $1");
+        assert_eq!(t.expand(&[Some("x"), Some("v")]), "$1 = v");
+    }
+
+    #[test]
+    fn braced_group() {
+        let t = ReplacementTemplate::parse("${1}0");
+        assert_eq!(t.expand(&[Some("m"), Some("5")]), "50");
+    }
+
+    #[test]
+    fn multi_digit_group() {
+        let t = ReplacementTemplate::parse("$12");
+        assert_eq!(t.max_group(), Some(12));
+    }
+
+    #[test]
+    fn missing_group_expands_empty() {
+        let t = ReplacementTemplate::parse("[$1][$2]");
+        assert_eq!(t.expand(&[Some("w"), Some("a")]), "[a][]");
+        assert_eq!(t.expand(&[Some("w"), None]), "[][]");
+    }
+
+    #[test]
+    fn trailing_dollar_is_literal() {
+        let t = ReplacementTemplate::parse("abc$");
+        assert_eq!(t.expand(&[Some("")]), "abc$");
+    }
+
+    #[test]
+    fn no_groups_is_pure_literal() {
+        let t = ReplacementTemplate::parse("hello");
+        assert_eq!(t.max_group(), None);
+        assert_eq!(t.expand(&[]), "hello");
+        assert!(t.validate(0).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let t = ReplacementTemplate::parse("$3");
+        assert!(t.validate(2).is_err());
+        assert!(t.validate(3).is_ok());
+    }
+
+    #[test]
+    fn group_zero_is_whole_match() {
+        let t = ReplacementTemplate::parse("<$0>");
+        assert_eq!(t.expand(&[Some("whole")]), "<whole>");
+    }
+}

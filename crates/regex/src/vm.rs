@@ -1,0 +1,297 @@
+//! Pike-VM execution of compiled regex programs.
+//!
+//! The VM runs all alternative "threads" of the NFA in lock-step over the
+//! input, carrying capture-slot vectors, so matching is linear in
+//! `program size × input length` and never backtracks. Thread priority
+//! implements leftmost-greedy semantics: earlier threads in the list
+//! correspond to preferred alternatives.
+
+use crate::program::{Inst, Program};
+
+/// The capture slots of a successful match: byte... strictly speaking
+/// *character* positions are tracked internally; the public API converts to
+/// byte offsets. Each group `i` occupies slots `2i` (start) and `2i + 1`
+/// (end); a `None` means the group did not participate in the match.
+pub type Slots = Vec<Option<usize>>;
+
+struct Thread {
+    pc: usize,
+    slots: Slots,
+}
+
+/// Executes `program` against `chars`, anchored at character position
+/// `start`. Returns the capture slots (in character positions) of the best
+/// match, if any.
+///
+/// "Best" follows leftmost-greedy semantics: the match preferred by thread
+/// priority, which for greedy quantifiers is the longest available at the
+/// earliest position.
+pub fn exec_at(program: &Program, chars: &[char], start: usize) -> Option<Slots> {
+    let nslots = program.slot_count();
+    let mut clist: Vec<Thread> = Vec::new();
+    let mut nlist: Vec<Thread> = Vec::new();
+    let mut cseen = vec![false; program.insts.len()];
+    let mut nseen = vec![false; program.insts.len()];
+    let mut best: Option<Slots> = None;
+
+    add_thread(
+        program,
+        &mut clist,
+        &mut cseen,
+        Thread {
+            pc: 0,
+            slots: vec![None; nslots],
+        },
+        chars,
+        start,
+    );
+
+    let mut pos = start;
+    loop {
+        if clist.is_empty() {
+            break;
+        }
+        nlist.clear();
+        for f in nseen.iter_mut() {
+            *f = false;
+        }
+        let c = chars.get(pos).copied();
+        let mut matched_this_step = false;
+        for thread in clist.drain(..) {
+            if matched_this_step {
+                // A higher-priority thread already matched at this position;
+                // lower-priority threads cannot override it.
+                break;
+            }
+            match &program.insts[thread.pc] {
+                Inst::Match => {
+                    best = Some(thread.slots);
+                    matched_this_step = true;
+                }
+                Inst::Char(expected) => {
+                    if c == Some(*expected) {
+                        add_thread(
+                            program,
+                            &mut nlist,
+                            &mut nseen,
+                            Thread {
+                                pc: thread.pc + 1,
+                                slots: thread.slots,
+                            },
+                            chars,
+                            pos + 1,
+                        );
+                    }
+                }
+                Inst::Any => {
+                    if c.is_some() {
+                        add_thread(
+                            program,
+                            &mut nlist,
+                            &mut nseen,
+                            Thread {
+                                pc: thread.pc + 1,
+                                slots: thread.slots,
+                            },
+                            chars,
+                            pos + 1,
+                        );
+                    }
+                }
+                Inst::Class(class) => {
+                    if let Some(ch) = c {
+                        if class.contains(ch) {
+                            add_thread(
+                                program,
+                                &mut nlist,
+                                &mut nseen,
+                                Thread {
+                                    pc: thread.pc + 1,
+                                    slots: thread.slots,
+                                },
+                                chars,
+                                pos + 1,
+                            );
+                        }
+                    }
+                }
+                // Epsilon instructions are resolved eagerly by `add_thread`,
+                // so encountering them here is impossible.
+                Inst::Jmp(_) | Inst::Split { .. } | Inst::Save(_) | Inst::AssertStart
+                | Inst::AssertEnd => {
+                    unreachable!("epsilon instruction in character step")
+                }
+            }
+        }
+        std::mem::swap(&mut clist, &mut nlist);
+        std::mem::swap(&mut cseen, &mut nseen);
+        if pos >= chars.len() {
+            break;
+        }
+        pos += 1;
+    }
+    best
+}
+
+/// Add a thread to `list`, eagerly following epsilon transitions (jumps,
+/// splits, saves, assertions). `pos` is the current character position used
+/// for `Save` and the anchors.
+fn add_thread(
+    program: &Program,
+    list: &mut Vec<Thread>,
+    seen: &mut [bool],
+    thread: Thread,
+    chars: &[char],
+    pos: usize,
+) {
+    let Thread { pc, slots } = thread;
+    if seen[pc] {
+        return;
+    }
+    seen[pc] = true;
+    match &program.insts[pc] {
+        Inst::Jmp(target) => add_thread(
+            program,
+            list,
+            seen,
+            Thread { pc: *target, slots },
+            chars,
+            pos,
+        ),
+        Inst::Split { first, second } => {
+            add_thread(
+                program,
+                list,
+                seen,
+                Thread {
+                    pc: *first,
+                    slots: slots.clone(),
+                },
+                chars,
+                pos,
+            );
+            add_thread(
+                program,
+                list,
+                seen,
+                Thread { pc: *second, slots },
+                chars,
+                pos,
+            );
+        }
+        Inst::Save(slot) => {
+            let mut slots = slots;
+            slots[*slot] = Some(pos);
+            add_thread(program, list, seen, Thread { pc: pc + 1, slots }, chars, pos);
+        }
+        Inst::AssertStart => {
+            if pos == 0 {
+                add_thread(program, list, seen, Thread { pc: pc + 1, slots }, chars, pos);
+            }
+        }
+        Inst::AssertEnd => {
+            if pos == chars.len() {
+                add_thread(program, list, seen, Thread { pc: pc + 1, slots }, chars, pos);
+            }
+        }
+        _ => list.push(Thread { pc, slots }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::program::compile;
+
+    fn run(pattern: &str, text: &str) -> Option<Slots> {
+        let (ast, groups) = parse(pattern).unwrap();
+        let program = compile(&ast, groups).unwrap();
+        let chars: Vec<char> = text.chars().collect();
+        exec_at(&program, &chars, 0)
+    }
+
+    fn whole(pattern: &str, text: &str) -> Option<(usize, usize)> {
+        run(pattern, text).map(|s| (s[0].unwrap(), s[1].unwrap()))
+    }
+
+    #[test]
+    fn literal_match() {
+        assert_eq!(whole("abc", "abc"), Some((0, 3)));
+        assert_eq!(whole("abc", "abx"), None);
+        // Unanchored semantics at position 0: prefix match succeeds.
+        assert_eq!(whole("ab", "abc"), Some((0, 2)));
+    }
+
+    #[test]
+    fn anchors() {
+        assert_eq!(whole("^abc$", "abc"), Some((0, 3)));
+        assert_eq!(whole("^abc$", "abcd"), None);
+        assert_eq!(whole("^$", ""), Some((0, 0)));
+    }
+
+    #[test]
+    fn greedy_star_takes_longest() {
+        assert_eq!(whole("a*", "aaab"), Some((0, 3)));
+        assert_eq!(whole("a*", "bbb"), Some((0, 0)));
+    }
+
+    #[test]
+    fn lazy_star_takes_shortest() {
+        assert_eq!(whole("a*?", "aaa"), Some((0, 0)));
+        assert_eq!(whole("a+?", "aaa"), Some((0, 1)));
+    }
+
+    #[test]
+    fn alternation_prefers_left_branch() {
+        // both alternatives match; the left one wins, even though shorter
+        assert_eq!(whole("a|ab", "ab"), Some((0, 1)));
+        assert_eq!(whole("ab|a", "ab"), Some((0, 2)));
+    }
+
+    #[test]
+    fn captures_record_group_positions() {
+        let slots = run("(a+)(b+)", "aabbb").unwrap();
+        assert_eq!(slots[2], Some(0));
+        assert_eq!(slots[3], Some(2));
+        assert_eq!(slots[4], Some(2));
+        assert_eq!(slots[5], Some(5));
+    }
+
+    #[test]
+    fn optional_group_not_participating_is_none() {
+        let slots = run("a(b)?c", "ac").unwrap();
+        assert_eq!(slots[2], None);
+        assert_eq!(slots[3], None);
+    }
+
+    #[test]
+    fn counted_repetitions() {
+        assert_eq!(whole("[0-9]{3}", "1234"), Some((0, 3)));
+        assert_eq!(whole("^[0-9]{3}$", "1234"), None);
+        assert_eq!(whole("[0-9]{2,4}", "123456"), Some((0, 4)));
+        assert_eq!(whole("[0-9]{2,}", "123456"), Some((0, 6)));
+    }
+
+    #[test]
+    fn backtracking_free_overlap() {
+        // <AN>+-<AN>+ style pattern where the class includes '-'.
+        assert_eq!(
+            whole("^[a-z-]+x$", "ab-cdx"),
+            Some((0, 6)),
+            "NFA simulation must handle overlapping class/literal"
+        );
+    }
+
+    #[test]
+    fn pathological_case_is_fast() {
+        // (a*)*b against many a's — catastrophic for backtrackers, linear here.
+        let text = "a".repeat(200);
+        assert_eq!(whole("(a*)*b", &text), None);
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_prefix() {
+        assert_eq!(whole("", "xyz"), Some((0, 0)));
+    }
+}

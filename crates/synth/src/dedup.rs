@@ -1,0 +1,226 @@
+//! Equivalent-plan detection and deduplication (Section 6.4 and Appendix B
+//! of the paper).
+//!
+//! Two atomic transformation plans are *equivalent* when, for the same
+//! source pattern, they always yield the same result on any matching string
+//! (Definition 6.2) — e.g. extracting a `'/'` literal token versus
+//! re-creating it with `ConstStr('/')`. Presenting both to the user during
+//! program repair is pure noise, so CLX keeps only the simplest member of
+//! each equivalence class.
+
+use clx_pattern::Pattern;
+use clx_unifi::{Expr, StringExpr};
+
+use crate::mdl::{description_length, source_reuse_penalty};
+
+/// Appendix B, step 1: split every `Extract(m, n)` into the unit extracts
+/// `Extract(m), Extract(m+1), ..., Extract(n)`.
+fn normalize(expr: &Expr) -> Vec<StringExpr> {
+    let mut out = Vec::new();
+    for part in &expr.parts {
+        match part {
+            StringExpr::Extract { from, to } => {
+                for i in *from..=*to {
+                    out.push(StringExpr::extract(i));
+                }
+            }
+            StringExpr::ConstStr(s) => out.push(StringExpr::ConstStr(s.clone())),
+        }
+    }
+    out
+}
+
+/// Are the two (normalized) operations interchangeable given the source
+/// pattern? Either they are identical, or one extracts a literal source
+/// token whose constant value equals the other's `ConstStr` content.
+fn ops_equivalent(a: &StringExpr, b: &StringExpr, source: &Pattern) -> bool {
+    if a == b {
+        return true;
+    }
+    let literal_of = |op: &StringExpr| -> Option<String> {
+        match op {
+            StringExpr::Extract { from, to } if from == to => source
+                .token_one_based(*from)
+                .ok()
+                .and_then(|t| t.literal_value().map(str::to_string)),
+            StringExpr::ConstStr(s) => Some(s.clone()),
+            _ => None,
+        }
+    };
+    match (literal_of(a), literal_of(b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Are two plans equivalent for the given source pattern (Definition 6.2,
+/// decided with the Appendix B procedure)?
+pub fn plans_equivalent(a: &Expr, b: &Expr, source: &Pattern) -> bool {
+    let na = normalize(a);
+    let nb = normalize(b);
+    if na.len() != nb.len() {
+        return false;
+    }
+    na.iter()
+        .zip(nb.iter())
+        .all(|(x, y)| ops_equivalent(x, y, source))
+}
+
+/// Deduplicate a ranked list of plans, keeping only the simplest (lowest
+/// description length — the list order for ties) member of each equivalence
+/// class. The input order is preserved for the survivors.
+pub fn dedup_plans(plans: Vec<Expr>, source: &Pattern) -> Vec<Expr> {
+    let mut kept: Vec<Expr> = Vec::new();
+    for plan in plans {
+        match kept.iter_mut().find(|k| plans_equivalent(k, &plan, source)) {
+            None => kept.push(plan),
+            Some(existing) => {
+                // Keep the simpler representative, using the same ordering
+                // as plan ranking (no source reuse first, then MDL).
+                let key = |e: &Expr| (source_reuse_penalty(e), description_length(e, source));
+                if key(&plan) < key(existing) {
+                    *existing = plan;
+                }
+            }
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::parse_pattern;
+
+    fn source() -> Pattern {
+        // [<D>2, '/', <D>2]
+        parse_pattern("<D>2'/'<D>2").unwrap()
+    }
+
+    #[test]
+    fn paper_appendix_b_example() {
+        // E1 = [Extract(3), ConstStr('/'), Extract(1)]
+        // E2 = [Extract(3), Extract(2), Extract(1)]
+        let e1 = Expr::concat(vec![
+            StringExpr::extract(3),
+            StringExpr::const_str("/"),
+            StringExpr::extract(1),
+        ]);
+        let e2 = Expr::concat(vec![
+            StringExpr::extract(3),
+            StringExpr::extract(2),
+            StringExpr::extract(1),
+        ]);
+        assert!(plans_equivalent(&e1, &e2, &source()));
+    }
+
+    #[test]
+    fn range_extract_normalization() {
+        // Extract(1,3) is equivalent to Extract(1),Extract(2),Extract(3)
+        // and to Extract(1),ConstStr('/'),Extract(3).
+        let a = Expr::concat(vec![StringExpr::extract_range(1, 3)]);
+        let b = Expr::concat(vec![
+            StringExpr::extract(1),
+            StringExpr::extract(2),
+            StringExpr::extract(3),
+        ]);
+        let c = Expr::concat(vec![
+            StringExpr::extract(1),
+            StringExpr::const_str("/"),
+            StringExpr::extract(3),
+        ]);
+        assert!(plans_equivalent(&a, &b, &source()));
+        assert!(plans_equivalent(&a, &c, &source()));
+        assert!(plans_equivalent(&b, &c, &source()));
+    }
+
+    #[test]
+    fn different_extract_targets_are_not_equivalent() {
+        let a = Expr::concat(vec![StringExpr::extract(1)]);
+        let b = Expr::concat(vec![StringExpr::extract(3)]);
+        assert!(!plans_equivalent(&a, &b, &source()));
+    }
+
+    #[test]
+    fn const_differs_from_base_token_extract() {
+        // Extract(1) pulls a digit token, not a literal, so it is not
+        // interchangeable with any ConstStr.
+        let a = Expr::concat(vec![StringExpr::extract(1)]);
+        let b = Expr::concat(vec![StringExpr::const_str("12")]);
+        assert!(!plans_equivalent(&a, &b, &source()));
+    }
+
+    #[test]
+    fn const_with_different_content_is_not_equivalent() {
+        let a = Expr::concat(vec![StringExpr::extract(2)]);
+        let b = Expr::concat(vec![StringExpr::const_str("-")]);
+        assert!(!plans_equivalent(&a, &b, &source()));
+    }
+
+    #[test]
+    fn different_lengths_are_not_equivalent() {
+        let a = Expr::concat(vec![StringExpr::extract(1)]);
+        let b = Expr::concat(vec![StringExpr::extract(1), StringExpr::extract(2)]);
+        assert!(!plans_equivalent(&a, &b, &source()));
+    }
+
+    #[test]
+    fn dedup_keeps_one_representative_per_class() {
+        let plans = vec![
+            Expr::concat(vec![StringExpr::extract_range(1, 3)]),
+            Expr::concat(vec![
+                StringExpr::extract(1),
+                StringExpr::const_str("/"),
+                StringExpr::extract(3),
+            ]),
+            Expr::concat(vec![
+                StringExpr::extract(1),
+                StringExpr::extract(2),
+                StringExpr::extract(3),
+            ]),
+            Expr::concat(vec![StringExpr::extract(1)]),
+        ];
+        let deduped = dedup_plans(plans, &source());
+        assert_eq!(deduped.len(), 2);
+        // The surviving representative of the big class is the simplest one.
+        assert_eq!(
+            deduped[0],
+            Expr::concat(vec![StringExpr::extract_range(1, 3)])
+        );
+    }
+
+    #[test]
+    fn dedup_preserves_distinct_plans() {
+        let plans = vec![
+            Expr::concat(vec![StringExpr::extract(1)]),
+            Expr::concat(vec![StringExpr::extract(3)]),
+        ];
+        let deduped = dedup_plans(plans.clone(), &source());
+        assert_eq!(deduped, plans);
+    }
+
+    #[test]
+    fn dedup_empty_input() {
+        assert!(dedup_plans(Vec::new(), &source()).is_empty());
+    }
+
+    #[test]
+    fn equivalence_is_reflexive_and_symmetric() {
+        let plans = vec![
+            Expr::concat(vec![StringExpr::extract_range(1, 3)]),
+            Expr::concat(vec![
+                StringExpr::extract(1),
+                StringExpr::const_str("/"),
+                StringExpr::extract(3),
+            ]),
+            Expr::concat(vec![StringExpr::extract(1)]),
+        ];
+        let s = source();
+        for a in &plans {
+            assert!(plans_equivalent(a, a, &s));
+            for b in &plans {
+                assert_eq!(plans_equivalent(a, b, &s), plans_equivalent(b, a, &s));
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # clx-synth
+//!
+//! Program synthesis for CLX (Section 6 of *CLX: Towards verifiable PBE
+//! data transformation*): given the pattern-cluster hierarchy produced by
+//! `clx-cluster` and a user-labelled target pattern, synthesize a UniFi
+//! program that transforms every transformable source pattern into the
+//! target.
+//!
+//! The pipeline mirrors the paper exactly:
+//!
+//! 1. [`validate`] — token-frequency screening of candidate source patterns
+//!    (Eq. 1–2);
+//! 2. [`align`] — token alignment into a DAG of `Extract`/`ConstStr`
+//!    operations (Algorithm 3), including sequential-extract combination;
+//! 3. [`rank_plans`] — Minimum-Description-Length ranking of the enumerated
+//!    atomic transformation plans (Eq. 3–6);
+//! 4. [`dedup_plans`] — equivalence-class deduplication (Appendix B);
+//! 5. [`synthesize`] — the top-down hierarchy traversal of Algorithm 2 that
+//!    puts it all together and supports the *program repair* interaction.
+//!
+//! ```
+//! use clx_cluster::PatternProfiler;
+//! use clx_pattern::tokenize;
+//! use clx_synth::{synthesize, SynthesisOptions};
+//! use clx_unifi::transform;
+//!
+//! let data = vec!["(734) 645-8397", "734.236.3466", "734-422-8073"];
+//! let hierarchy = PatternProfiler::new().profile(&data);
+//! let target = tokenize("734-422-8073");
+//! let synthesis = synthesize(&hierarchy, &target, &SynthesisOptions::default());
+//! let program = synthesis.program();
+//! assert_eq!(
+//!     transform(&program, "(734) 645-8397").unwrap().value(),
+//!     "734-645-8397",
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod align;
+mod dedup;
+mod mdl;
+mod synthesize;
+mod validate;
+
+pub use align::{align, syntactically_similar, AlignmentDag};
+pub use dedup::{dedup_plans, plans_equivalent};
+pub use mdl::{data_length, description_length, model_length, rank_plans, source_reuse_penalty};
+pub use synthesize::{synthesize, RankedPlan, SourceSynthesis, Synthesis, SynthesisOptions};
+pub use validate::{class_frequency, validate, validate_report, ValidationReport};

@@ -1,0 +1,188 @@
+//! Minimum-Description-Length ranking of atomic transformation plans
+//! (Section 6.3, Eq. 3–6 of the paper).
+//!
+//! Of all plans the alignment DAG admits, CLX presents the *simplest* one
+//! first, following Occam's razor formalized as MDL: the description length
+//! of a plan is the length needed to encode the plan itself (`L(E)`) plus
+//! the length needed to encode the target given the plan (`L(T|E)`).
+
+use clx_pattern::Pattern;
+use clx_unifi::{Expr, StringExpr};
+
+/// Size of the printable character set used to cost `ConstStr` parameters
+/// (`c = 95` in the paper).
+pub const PRINTABLE_CHARSET_SIZE: f64 = 95.0;
+
+/// Number of distinct operation types in the DSL (`Extract` and `ConstStr`),
+/// the `m` of Eq. 4.
+pub const OPERATION_TYPES: f64 = 2.0;
+
+/// `L(E)` — the model description length (Eq. 4): `|E| · log m`.
+pub fn model_length(expr: &Expr) -> f64 {
+    expr.len() as f64 * OPERATION_TYPES.ln()
+}
+
+/// `L(T|E)` — the data description length (Eq. 5): the cost of the
+/// parameters of every string expression. `Extract` costs `log |P_cand|²`;
+/// `ConstStr(s)` costs `log c^|s| = |s| · log c`.
+pub fn data_length(expr: &Expr, source: &Pattern) -> f64 {
+    let p = source.len().max(1) as f64;
+    expr.parts
+        .iter()
+        .map(|part| match part {
+            StringExpr::Extract { .. } => (p * p).ln(),
+            StringExpr::ConstStr(s) => s.chars().count() as f64 * PRINTABLE_CHARSET_SIZE.ln(),
+        })
+        .sum()
+}
+
+/// `L(E, T)` — the total description length (Eq. 3).
+pub fn description_length(expr: &Expr, source: &Pattern) -> f64 {
+    model_length(expr) + data_length(expr, source)
+}
+
+/// How many source-token slots does the plan extract more than once?
+///
+/// Plans that copy the same source token into several places of the target
+/// (`Extract(5,6)` followed by `Extract(5,7)`, or `Extract(1)` twice) are
+/// almost never what the user wants — they duplicate one field and drop
+/// another — yet they can have a *lower* description length than the
+/// intended plan because spanning extracts are so cheap. The ranking
+/// therefore prefers plans without repeated source coverage and only then
+/// applies MDL, which keeps Occam's razor for the genuinely ambiguous cases
+/// (the paper's date example) while avoiding degenerate duplicates.
+pub fn source_reuse_penalty(expr: &Expr) -> usize {
+    let mut covered: Vec<usize> = Vec::new();
+    let mut repeats = 0usize;
+    for part in &expr.parts {
+        if let StringExpr::Extract { from, to } = part {
+            for i in *from..=*to {
+                if covered.contains(&i) {
+                    repeats += 1;
+                } else {
+                    covered.push(i);
+                }
+            }
+        }
+    }
+    repeats
+}
+
+/// Sort plans simplest-first: primarily by [`source_reuse_penalty`], then by
+/// ascending description length, with ties broken deterministically by the
+/// plan's textual form so the ranking is stable across runs.
+pub fn rank_plans(plans: Vec<Expr>, source: &Pattern) -> Vec<(Expr, f64)> {
+    let mut scored: Vec<(Expr, f64, usize)> = plans
+        .into_iter()
+        .map(|e| {
+            let dl = description_length(&e, source);
+            let penalty = source_reuse_penalty(&e);
+            (e, dl, penalty)
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        a.2.cmp(&b.2)
+            .then_with(|| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .then_with(|| a.0.to_string().cmp(&b.0.to_string()))
+    });
+    scored.into_iter().map(|(e, dl, _)| (e, dl)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::parse_pattern;
+
+    #[test]
+    fn example_9_prefers_single_spanning_extract() {
+        // Source <D>2'/'<D>2'/'<D>4, target <D>2'/'<D>2.
+        let source = parse_pattern("<D>2'/'<D>2'/'<D>4").unwrap();
+        let e1 = Expr::concat(vec![StringExpr::extract_range(1, 3)]);
+        let e2 = Expr::concat(vec![
+            StringExpr::extract(1),
+            StringExpr::const_str("/"),
+            StringExpr::extract(3),
+        ]);
+        assert!(
+            description_length(&e1, &source) < description_length(&e2, &source),
+            "the single Extract(1,3) plan must be simpler"
+        );
+    }
+
+    #[test]
+    fn extract_is_cheaper_than_const_for_single_separator() {
+        // A plan that extracts the separator beats one that re-creates it,
+        // when the source pattern is small.
+        let source = parse_pattern("<D>2'/'<D>2").unwrap();
+        let extract_sep = Expr::concat(vec![
+            StringExpr::extract(1),
+            StringExpr::extract(2),
+            StringExpr::extract(3),
+        ]);
+        let const_sep = Expr::concat(vec![
+            StringExpr::extract(1),
+            StringExpr::const_str("/"),
+            StringExpr::extract(3),
+        ]);
+        assert!(description_length(&extract_sep, &source) < description_length(&const_sep, &source));
+    }
+
+    #[test]
+    fn longer_constants_cost_more() {
+        let source = parse_pattern("<D>3").unwrap();
+        let short = Expr::concat(vec![StringExpr::const_str("x")]);
+        let long = Expr::concat(vec![StringExpr::const_str("xyzw")]);
+        assert!(description_length(&short, &source) < description_length(&long, &source));
+    }
+
+    #[test]
+    fn fewer_operations_cost_less_model_length() {
+        let one = Expr::concat(vec![StringExpr::extract(1)]);
+        let three = Expr::concat(vec![
+            StringExpr::extract(1),
+            StringExpr::extract(2),
+            StringExpr::extract(3),
+        ]);
+        assert!(model_length(&one) < model_length(&three));
+    }
+
+    #[test]
+    fn empty_plan_has_zero_length() {
+        let source = parse_pattern("<D>3").unwrap();
+        assert_eq!(description_length(&Expr::default(), &source), 0.0);
+    }
+
+    #[test]
+    fn rank_plans_orders_simplest_first_and_is_stable() {
+        let source = parse_pattern("<D>2'/'<D>2'/'<D>4").unwrap();
+        let plans = vec![
+            Expr::concat(vec![
+                StringExpr::extract(1),
+                StringExpr::const_str("/"),
+                StringExpr::extract(3),
+            ]),
+            Expr::concat(vec![StringExpr::extract_range(1, 3)]),
+            Expr::concat(vec![
+                StringExpr::extract(1),
+                StringExpr::extract(2),
+                StringExpr::extract(3),
+            ]),
+        ];
+        let ranked = rank_plans(plans.clone(), &source);
+        assert_eq!(ranked[0].0, Expr::concat(vec![StringExpr::extract_range(1, 3)]));
+        assert!(ranked.windows(2).all(|w| w[0].1 <= w[1].1));
+        // Deterministic: ranking twice gives the same order.
+        let ranked2 = rank_plans(plans, &source);
+        let order1: Vec<String> = ranked.iter().map(|(e, _)| e.to_string()).collect();
+        let order2: Vec<String> = ranked2.iter().map(|(e, _)| e.to_string()).collect();
+        assert_eq!(order1, order2);
+    }
+
+    #[test]
+    fn larger_source_patterns_make_extracts_costlier() {
+        let small = parse_pattern("<D>2'/'<D>2").unwrap();
+        let large = parse_pattern("<D>2'/'<D>2'/'<D>2'/'<D>2'/'<D>2'/'<D>2").unwrap();
+        let plan = Expr::concat(vec![StringExpr::extract(1)]);
+        assert!(data_length(&plan, &small) < data_length(&plan, &large));
+    }
+}

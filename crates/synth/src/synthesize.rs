@@ -1,0 +1,415 @@
+//! The program-synthesis framework (Section 6, Algorithm 2 of the paper).
+//!
+//! Given the pattern-cluster hierarchy and the user-labelled target pattern,
+//! the synthesizer traverses the hierarchy top-down, validates candidate
+//! source patterns with the token-frequency heuristic, aligns each accepted
+//! candidate against the target, and ranks the resulting atomic
+//! transformation plans by description length. The best plan per source
+//! pattern forms the default UniFi program; the remaining ranked plans are
+//! kept as repair alternatives (§6.4).
+
+use clx_cluster::PatternHierarchy;
+use clx_pattern::Pattern;
+use clx_unifi::{Branch, Expr, Program};
+
+use crate::align::align;
+use crate::dedup::dedup_plans;
+use crate::mdl::rank_plans;
+use crate::validate::validate;
+
+/// Options controlling synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthesisOptions {
+    /// Cap on the number of plans enumerated from one alignment DAG before
+    /// ranking. Small patterns enumerate exhaustively well below this cap.
+    pub max_plans_per_source: usize,
+    /// Number of ranked, deduplicated alternative plans kept per source
+    /// pattern for the repair interaction.
+    pub top_k: usize,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            max_plans_per_source: 2_000,
+            top_k: 5,
+        }
+    }
+}
+
+/// A ranked atomic transformation plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedPlan {
+    /// The plan.
+    pub expr: Expr,
+    /// Its description length (lower = simpler = preferred).
+    pub description_length: f64,
+}
+
+/// The synthesis result for one candidate source pattern.
+#[derive(Debug, Clone)]
+pub struct SourceSynthesis {
+    /// The source pattern (a node of the hierarchy accepted by `validate`).
+    pub pattern: Pattern,
+    /// Deduplicated plans, simplest first (at most `top_k`).
+    pub plans: Vec<RankedPlan>,
+    /// Index into `plans` of the currently selected plan (0 unless repaired).
+    pub chosen: usize,
+    /// Number of data rows covered by this source pattern's cluster.
+    pub rows: usize,
+}
+
+impl SourceSynthesis {
+    /// The currently selected plan.
+    pub fn selected(&self) -> &Expr {
+        &self.plans[self.chosen].expr
+    }
+}
+
+/// The complete output of synthesis over a hierarchy.
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    /// The labelled target pattern.
+    pub target: Pattern,
+    /// Per-source synthesis results, ordered by descending cluster size.
+    pub sources: Vec<SourceSynthesis>,
+    /// Patterns whose rows already match the target (no transformation
+    /// needed).
+    pub already_correct: Vec<Pattern>,
+    /// Leaf patterns for which no transformation could be synthesized; their
+    /// rows are left unchanged and flagged for review (§6.1).
+    pub rejected: Vec<Pattern>,
+}
+
+impl Synthesis {
+    /// Build the UniFi program from the currently selected plans.
+    pub fn program(&self) -> Program {
+        Program::new(
+            self.sources
+                .iter()
+                .map(|s| Branch::new(s.pattern.clone(), s.selected().clone()))
+                .collect(),
+        )
+    }
+
+    /// The repair alternatives for a source pattern.
+    pub fn alternatives(&self, pattern: &Pattern) -> Option<&[RankedPlan]> {
+        self.sources
+            .iter()
+            .find(|s| &s.pattern == pattern)
+            .map(|s| s.plans.as_slice())
+    }
+
+    /// Select a different ranked plan for `pattern` (the repair interaction
+    /// of §6.4). Returns `false` if the pattern or index is unknown.
+    pub fn repair(&mut self, pattern: &Pattern, choice: usize) -> bool {
+        match self
+            .sources
+            .iter_mut()
+            .find(|s| &s.pattern == pattern)
+        {
+            Some(s) if choice < s.plans.len() => {
+                s.chosen = choice;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Total number of source branches.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+/// Algorithm 2: synthesize a UniFi program from a pattern hierarchy and a
+/// target pattern.
+pub fn synthesize(
+    hierarchy: &PatternHierarchy,
+    target: &Pattern,
+    options: &SynthesisOptions,
+) -> Synthesis {
+    let mut unsolved: Vec<usize> = hierarchy.roots().iter().map(|n| n.id).collect();
+    let mut sources: Vec<SourceSynthesis> = Vec::new();
+    let mut already_correct: Vec<Pattern> = Vec::new();
+    let mut rejected: Vec<Pattern> = Vec::new();
+
+    while let Some(id) = unsolved.pop() {
+        let node = hierarchy.node(id);
+        let pattern = &node.pattern;
+
+        // Rows already in the desired form need no transformation.
+        if target.covers(pattern) || pattern == target {
+            already_correct.push(pattern.clone());
+            continue;
+        }
+
+        let mut accepted = false;
+        if validate(pattern, target) {
+            let dag = align(pattern, target);
+            if dag.has_complete_path() {
+                let plans = dag.enumerate_plans(options.max_plans_per_source);
+                let ranked = rank_plans(plans, pattern);
+                let deduped = dedup_plans(ranked.into_iter().map(|(e, _)| e).collect(), pattern);
+                let ranked_deduped = rank_plans(deduped, pattern);
+                let plans: Vec<RankedPlan> = ranked_deduped
+                    .into_iter()
+                    .take(options.top_k)
+                    .map(|(expr, description_length)| RankedPlan {
+                        expr,
+                        description_length,
+                    })
+                    .collect();
+                if !plans.is_empty() {
+                    sources.push(SourceSynthesis {
+                        pattern: pattern.clone(),
+                        plans,
+                        chosen: 0,
+                        rows: node.size(),
+                    });
+                    accepted = true;
+                }
+            }
+        }
+
+        if !accepted {
+            if node.is_leaf() {
+                rejected.push(pattern.clone());
+            } else {
+                unsolved.extend(node.children.iter().copied());
+            }
+        }
+    }
+
+    // Present larger clusters first, like the pattern list shown to the user.
+    sources.sort_by(|a, b| b.rows.cmp(&a.rows).then_with(|| a.pattern.notation().cmp(&b.pattern.notation())));
+
+    Synthesis {
+        target: target.clone(),
+        sources,
+        already_correct,
+        rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_cluster::PatternProfiler;
+    use clx_pattern::{parse_pattern, tokenize};
+    use clx_unifi::{transform, TransformOutcome};
+
+    fn options() -> SynthesisOptions {
+        SynthesisOptions::default()
+    }
+
+    #[test]
+    fn phone_numbers_end_to_end() {
+        // The motivating example: normalize phones to <D>3-<D>3-<D>4.
+        let data = vec![
+            "(734) 645-8397",
+            "(734) 763-1147",
+            "(734)586-7252",
+            "734-422-8073",
+            "734.236.3466",
+            "N/A",
+        ];
+        let hierarchy = PatternProfiler::new().profile(&data);
+        let target = tokenize("734-422-8073");
+        let synthesis = synthesize(&hierarchy, &target, &options());
+
+        // The target-format cluster is recognized as already correct.
+        assert!(synthesis
+            .already_correct
+            .iter()
+            .any(|p| p == &target));
+        // "N/A" can never reach the target.
+        assert!(synthesis.rejected.iter().any(|p| p == &tokenize("N/A")));
+
+        let program = synthesis.program();
+        for (input, expected) in [
+            ("(734) 645-8397", "734-645-8397"),
+            ("(734)586-7252", "734-586-7252"),
+            ("734.236.3466", "734-236-3466"),
+        ] {
+            let out = transform(&program, input).unwrap();
+            assert_eq!(
+                out,
+                TransformOutcome::Transformed(expected.to_string()),
+                "input {input:?}"
+            );
+        }
+        // Rows already correct or noise are not matched by any branch.
+        assert!(transform(&program, "734-422-8073").unwrap().is_flagged());
+        assert!(transform(&program, "N/A").unwrap().is_flagged());
+    }
+
+    #[test]
+    fn medical_codes_with_generalized_target() {
+        // Example 5 of the paper, labelling the generalized target pattern.
+        let data = vec!["CPT-00350", "[CPT-00340", "[CPT-11536]", "CPT115"];
+        let hierarchy = PatternProfiler::new().profile(&data);
+        let target = parse_pattern("'['<U>+'-'<D>+']'").unwrap();
+        let synthesis = synthesize(&hierarchy, &target, &options());
+        let program = synthesis.program();
+        for (input, expected) in [
+            ("CPT-00350", "[CPT-00350]"),
+            ("[CPT-00340", "[CPT-00340]"),
+            ("CPT115", "[CPT-115]"),
+        ] {
+            let out = transform(&program, input).unwrap();
+            assert_eq!(out.value(), expected, "input {input:?}");
+            assert!(out.is_transformed());
+        }
+        // The already-correct row is covered by the target.
+        let correct = transform(&program, "[CPT-11536]").unwrap();
+        assert_eq!(correct.value(), "[CPT-11536]");
+    }
+
+    #[test]
+    fn every_selected_plan_produces_target_matching_output() {
+        let data = vec![
+            "(734) 645-8397",
+            "(734)586-7252",
+            "734.236.3466",
+            "7344228073",
+        ];
+        let hierarchy = PatternProfiler::new().profile(&data);
+        let target = tokenize("734-422-8073");
+        let synthesis = synthesize(&hierarchy, &target, &options());
+        for source in &synthesis.sources {
+            // Evaluate the chosen plan on one of the cluster's example rows.
+            let node = hierarchy.find_pattern(&source.pattern).unwrap();
+            let example = &node.examples[0];
+            let out = clx_unifi::eval_expr(source.selected(), &source.pattern, example).unwrap();
+            assert!(
+                target.matches(&out),
+                "plan for {} produced {out:?}",
+                source.pattern
+            );
+        }
+    }
+
+    #[test]
+    fn plans_are_ranked_simplest_first_and_deduplicated() {
+        let data = vec!["12/11/2017", "01/02/2018", "11-12-2017"];
+        let hierarchy = PatternProfiler::new().profile(&data);
+        let target = tokenize("11-12-2017");
+        let synthesis = synthesize(&hierarchy, &target, &options());
+        for source in &synthesis.sources {
+            let dls: Vec<f64> = source.plans.iter().map(|p| p.description_length).collect();
+            assert!(dls.windows(2).all(|w| w[0] <= w[1]), "not sorted: {dls:?}");
+            // No two plans in the list are equivalent.
+            for i in 0..source.plans.len() {
+                for j in (i + 1)..source.plans.len() {
+                    assert!(!crate::dedup::plans_equivalent(
+                        &source.plans[i].expr,
+                        &source.plans[j].expr,
+                        &source.pattern
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repair_switches_the_selected_plan() {
+        // The date example: DD/MM/YYYY -> MM-DD-YYYY is ambiguous; repair
+        // lets the user pick the swapped alternative.
+        let data = vec!["12/11/2017", "03/04/2018", "11-12-2017"];
+        let hierarchy = PatternProfiler::new().profile(&data);
+        let target = tokenize("11-12-2017");
+        let mut synthesis = synthesize(&hierarchy, &target, &options());
+        let source_pattern = parse_pattern("<D>2'/'<D>2'/'<D>4").unwrap();
+        let alts = synthesis.alternatives(&source_pattern).unwrap().to_vec();
+        assert!(alts.len() >= 2, "expected repair alternatives");
+
+        let before = synthesis.program();
+        let out_before = transform(&before, "12/11/2017").unwrap().value().to_string();
+
+        // Pick the first alternative that gives a *different* output.
+        let mut repaired_output = None;
+        for (i, alt) in alts.iter().enumerate().skip(1) {
+            let out = clx_unifi::eval_expr(&alt.expr, &source_pattern, "12/11/2017").unwrap();
+            if out != out_before {
+                assert!(synthesis.repair(&source_pattern, i));
+                repaired_output = Some(out);
+                break;
+            }
+        }
+        let repaired_output = repaired_output.expect("an alternative with different output");
+        let after = synthesis.program();
+        assert_eq!(
+            transform(&after, "12/11/2017").unwrap().value(),
+            repaired_output
+        );
+        assert!(target.matches(&repaired_output));
+    }
+
+    #[test]
+    fn repair_rejects_bad_indices_and_unknown_patterns() {
+        let data = vec!["ab-1", "cd-2", "x1"];
+        let hierarchy = PatternProfiler::new().profile(&data);
+        let target = tokenize("x1");
+        let mut synthesis = synthesize(&hierarchy, &target, &options());
+        assert!(!synthesis.repair(&tokenize("zzzz"), 0));
+        if let Some(first) = synthesis.sources.first() {
+            let pattern = first.pattern.clone();
+            let len = first.plans.len();
+            assert!(!synthesis.repair(&pattern, len + 10));
+        }
+    }
+
+    #[test]
+    fn noise_only_data_rejects_everything() {
+        let data = vec!["N/A", "??", "-"];
+        let hierarchy = PatternProfiler::new().profile(&data);
+        let target = tokenize("734-422-8073");
+        let synthesis = synthesize(&hierarchy, &target, &options());
+        assert!(synthesis.sources.is_empty());
+        assert_eq!(synthesis.program().len(), 0);
+        assert!(!synthesis.rejected.is_empty());
+    }
+
+    #[test]
+    fn all_data_already_correct_produces_empty_program() {
+        let data = vec!["734-422-8073", "555-936-2447"];
+        let hierarchy = PatternProfiler::new().profile(&data);
+        let target = tokenize("734-422-8073");
+        let synthesis = synthesize(&hierarchy, &target, &options());
+        assert!(synthesis.sources.is_empty());
+        assert!(!synthesis.already_correct.is_empty());
+        assert!(synthesis.rejected.is_empty());
+    }
+
+    #[test]
+    fn sources_are_ordered_by_cluster_size() {
+        let data = vec![
+            "(734) 645-8397",
+            "(734) 763-1147",
+            "(734) 936-2447",
+            "734.236.3466",
+            "734-422-8073",
+        ];
+        let hierarchy = PatternProfiler::new().profile(&data);
+        let target = tokenize("734-422-8073");
+        let synthesis = synthesize(&hierarchy, &target, &options());
+        let rows: Vec<usize> = synthesis.sources.iter().map(|s| s.rows).collect();
+        assert!(rows.windows(2).all(|w| w[0] >= w[1]), "{rows:?}");
+    }
+
+    #[test]
+    fn top_k_limits_alternatives() {
+        let data = vec!["1.2.3.4.5.6.7.8", "9-9"];
+        let hierarchy = PatternProfiler::new().profile(&data);
+        let target = tokenize("9-9");
+        let opts = SynthesisOptions {
+            top_k: 2,
+            ..options()
+        };
+        let synthesis = synthesize(&hierarchy, &target, &opts);
+        for s in &synthesis.sources {
+            assert!(s.plans.len() <= 2);
+        }
+    }
+}

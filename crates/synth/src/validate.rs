@@ -1,0 +1,171 @@
+//! Source-candidate validation (Section 6.1 of the paper).
+//!
+//! Before synthesizing a transformation for a source pattern, CLX quickly
+//! checks whether the pattern can plausibly be transformed into the target
+//! at all, using the token-frequency heuristic of Eq. 1–2: the source must
+//! contain at least as many base tokens of every class as the target,
+//! because base tokens carry semantic content that cannot be invented
+//! "de novo" without external knowledge.
+
+use clx_pattern::{Pattern, TokenClass, BASE_TOKEN_CLASSES};
+
+/// Token frequency used by validation: the paper's `Q` (Eq. 1) extended so
+/// that characters inside *literal* tokens also count towards their class.
+///
+/// The extension matters when constant discovery has folded a base token
+/// into a literal (e.g. `'CPT'`): the characters are still physically
+/// present in the source data and remain extractable, so rejecting the
+/// pattern for "missing" upper-case tokens would be a false negative. For
+/// patterns without folded constants this is exactly Eq. 1.
+pub fn class_frequency(pattern: &Pattern, class: &TokenClass) -> usize {
+    let base: usize = pattern.token_frequency(class.clone());
+    let literal: usize = pattern
+        .iter()
+        .filter_map(|t| t.literal_value())
+        .map(|s| s.chars().filter(|&c| class.contains_char(c)).count())
+        .sum();
+    base + literal
+}
+
+/// The token-frequency validation `V(p1, p2)` of Eq. 2: `true` when
+/// `Q(t, source) >= Q(t, target)` for every base token class `t`.
+///
+/// The *demand* side (target) uses the paper's `Q` exactly: literal tokens
+/// in the target cost nothing because they can always be produced with
+/// `ConstStr`. The *supply* side (source) uses [`class_frequency`], i.e.
+/// base tokens plus characters inside folded constants, because those
+/// characters remain extractable.
+pub fn validate(source: &Pattern, target: &Pattern) -> bool {
+    BASE_TOKEN_CLASSES
+        .iter()
+        .all(|class| class_frequency(source, class) >= target.token_frequency(class.clone()))
+}
+
+/// A breakdown of the validation decision, useful for explaining to the user
+/// why a pattern was rejected (and in tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Per-class `(class, Q(source), Q(target))` counts.
+    pub counts: Vec<(TokenClass, usize, usize)>,
+    /// The overall verdict (`true` = candidate source pattern).
+    pub accepted: bool,
+}
+
+/// Compute the full validation report for a source/target pair.
+pub fn validate_report(source: &Pattern, target: &Pattern) -> ValidationReport {
+    let counts: Vec<(TokenClass, usize, usize)> = BASE_TOKEN_CLASSES
+        .iter()
+        .map(|class| {
+            (
+                class.clone(),
+                class_frequency(source, class),
+                target.token_frequency(class.clone()),
+            )
+        })
+        .collect();
+    let accepted = counts.iter().all(|(_, s, t)| s >= t);
+    ValidationReport { counts, accepted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::{parse_pattern, tokenize};
+
+    #[test]
+    fn example_7_accepts_cpt_prefix_pattern() {
+        // Target [ '[', <U>+, '-', <D>+, ']' ]; source from "[CPT-00350".
+        let target = parse_pattern("'['<U>+'-'<D>+']'").unwrap();
+        let source = tokenize("[CPT-00350");
+        assert!(validate(&source, &target));
+    }
+
+    #[test]
+    fn example_7_rejects_pattern_without_digits() {
+        let target = parse_pattern("'['<U>+'-'<D>+']'").unwrap();
+        let source = tokenize("[CPT-");
+        assert!(!validate(&source, &target));
+        let report = validate_report(&source, &target);
+        assert!(!report.accepted);
+        let digit_row = report
+            .counts
+            .iter()
+            .find(|(c, _, _)| *c == TokenClass::Digit)
+            .unwrap();
+        assert_eq!((digit_row.1, digit_row.2), (0, 1));
+    }
+
+    #[test]
+    fn noise_values_are_rejected() {
+        // "N/A" in a phone column (the paper's example of a noise pattern).
+        let target = parse_pattern("<D>3'-'<D>3'-'<D>4").unwrap();
+        let source = tokenize("N/A");
+        assert!(!validate(&source, &target));
+    }
+
+    #[test]
+    fn identical_patterns_validate() {
+        let p = tokenize("734-422-8073");
+        assert!(validate(&p, &p));
+    }
+
+    #[test]
+    fn plus_counts_as_one() {
+        let source = parse_pattern("<D>+").unwrap();
+        let target = parse_pattern("<D>3").unwrap();
+        // Q(D, source) = 1 < 3: rejected, which is what pushes Algorithm 2
+        // down to more specific children.
+        assert!(!validate(&source, &target));
+        // And the reverse direction passes.
+        assert!(validate(&target, &source));
+    }
+
+    #[test]
+    fn general_patterns_are_rejected_for_specific_targets() {
+        // "<AN>+','<AN>+" cannot be validated against "<U><L>+':'<D>+"
+        // (reason 3 in §6.1: too general).
+        let source = parse_pattern("<AN>+','<AN>+").unwrap();
+        let target = parse_pattern("<U><L>+':'<D>+").unwrap();
+        assert!(!validate(&source, &target));
+        // Its more specific child passes.
+        let child = parse_pattern("<U><L>+','<D>+").unwrap();
+        assert!(validate(&child, &target));
+    }
+
+    #[test]
+    fn folded_constants_still_contribute_their_characters() {
+        // Constant discovery may have folded "abc123" into a literal; the
+        // characters are still in the data, so validation accepts it.
+        let source = parse_pattern("'abc123'").unwrap();
+        let target = parse_pattern("<L>3<D>3").unwrap();
+        assert!(validate(&source, &target));
+        // But a literal with too few characters of a class is rejected.
+        let source = parse_pattern("'ab12'").unwrap();
+        assert!(!validate(&source, &target));
+    }
+
+    #[test]
+    fn class_frequency_extends_eq1_with_literal_characters() {
+        let p = parse_pattern("'CPT-'<D>5").unwrap();
+        assert_eq!(class_frequency(&p, &TokenClass::Upper), 3);
+        assert_eq!(class_frequency(&p, &TokenClass::Digit), 5);
+        assert_eq!(class_frequency(&p, &TokenClass::Lower), 0);
+        // Pure base-token patterns reduce to the paper's Q exactly.
+        let q = parse_pattern("<U>3'-'<D>5").unwrap();
+        assert_eq!(class_frequency(&q, &TokenClass::Upper), q.token_frequency(TokenClass::Upper));
+    }
+
+    #[test]
+    fn empty_target_accepts_everything() {
+        let target = Pattern::empty();
+        assert!(validate(&tokenize("anything"), &target));
+        assert!(validate(&Pattern::empty(), &target));
+    }
+
+    #[test]
+    fn report_lists_all_five_base_classes() {
+        let report = validate_report(&tokenize("a1"), &tokenize("b2"));
+        assert_eq!(report.counts.len(), 5);
+        assert!(report.accepted);
+    }
+}

@@ -1,0 +1,312 @@
+//! The UniFi abstract syntax tree (Figure 7 of the paper).
+//!
+//! ```text
+//! Program L           := Switch((b1, E1), ..., (bn, En))
+//! Predicate b         := Match(s, p)
+//! Expression E        := Concat(f1, ..., fn)
+//! String Expression f := ConstStr(s̃) | Extract(t̃i, t̃j)
+//! ```
+
+use std::fmt;
+
+use clx_pattern::Pattern;
+
+/// A string expression: one step of an atomic transformation plan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StringExpr {
+    /// Emit the constant string.
+    ConstStr(String),
+    /// Extract the source tokens from one-based index `from` to `to`
+    /// (inclusive). `Extract(i)` in the paper is `Extract { from: i, to: i }`.
+    Extract {
+        /// One-based index of the first extracted token.
+        from: usize,
+        /// One-based index of the last extracted token (inclusive).
+        to: usize,
+    },
+}
+
+impl StringExpr {
+    /// `ConstStr(s)`.
+    pub fn const_str(s: impl Into<String>) -> Self {
+        StringExpr::ConstStr(s.into())
+    }
+
+    /// `Extract(i)` — a single token.
+    pub fn extract(i: usize) -> Self {
+        StringExpr::Extract { from: i, to: i }
+    }
+
+    /// `Extract(i, j)` — a run of consecutive tokens.
+    pub fn extract_range(from: usize, to: usize) -> Self {
+        debug_assert!(from >= 1 && to >= from, "extract range must be 1-based and ordered");
+        StringExpr::Extract { from, to }
+    }
+
+    /// `true` for `Extract` expressions.
+    pub fn is_extract(&self) -> bool {
+        matches!(self, StringExpr::Extract { .. })
+    }
+
+    /// `true` for `ConstStr` expressions.
+    pub fn is_const(&self) -> bool {
+        matches!(self, StringExpr::ConstStr(_))
+    }
+
+    /// The number of source tokens an `Extract` covers (0 for `ConstStr`).
+    pub fn extract_width(&self) -> usize {
+        match self {
+            StringExpr::Extract { from, to } => to - from + 1,
+            StringExpr::ConstStr(_) => 0,
+        }
+    }
+}
+
+impl fmt::Display for StringExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StringExpr::ConstStr(s) => write!(f, "ConstStr('{s}')"),
+            StringExpr::Extract { from, to } if from == to => write!(f, "Extract({from})"),
+            StringExpr::Extract { from, to } => write!(f, "Extract({from},{to})"),
+        }
+    }
+}
+
+/// An atomic transformation plan (Definition 5.1): a concatenation of string
+/// expressions that converts a given source pattern into the target pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Expr {
+    /// The concatenated string expressions.
+    pub parts: Vec<StringExpr>,
+}
+
+impl Expr {
+    /// `Concat(parts...)`.
+    pub fn concat(parts: Vec<StringExpr>) -> Self {
+        Expr { parts }
+    }
+
+    /// Number of string expressions.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// `true` if the plan has no parts (produces the empty string).
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// One-based source-token indices referenced by `Extract` parts, in plan
+    /// order (duplicates preserved).
+    pub fn extracted_tokens(&self) -> Vec<(usize, usize)> {
+        self.parts
+            .iter()
+            .filter_map(|p| match p {
+                StringExpr::Extract { from, to } => Some((*from, *to)),
+                StringExpr::ConstStr(_) => None,
+            })
+            .collect()
+    }
+
+    /// The largest source-token index referenced, if any.
+    pub fn max_source_token(&self) -> Option<usize> {
+        self.extracted_tokens().iter().map(|&(_, to)| to).max()
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Concat(")?;
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// One `(Match(p), E)` pair of a `Switch`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Branch {
+    /// The source pattern guarding this branch.
+    pub pattern: Pattern,
+    /// The atomic transformation plan applied to matching strings.
+    pub expr: Expr,
+}
+
+impl Branch {
+    /// Create a branch.
+    pub fn new(pattern: Pattern, expr: Expr) -> Self {
+        Branch { pattern, expr }
+    }
+}
+
+impl fmt::Display for Branch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(Match(\"{}\"), {})", self.pattern, self.expr)
+    }
+}
+
+/// A UniFi program: a `Switch` over pattern-guarded atomic transformation
+/// plans. Strings matching no branch are left unchanged and flagged (§6.1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// The branches, tried in order.
+    pub branches: Vec<Branch>,
+}
+
+impl Program {
+    /// A program with the given branches.
+    pub fn new(branches: Vec<Branch>) -> Self {
+        Program { branches }
+    }
+
+    /// An empty program (leaves every input unchanged).
+    pub fn empty() -> Self {
+        Program::default()
+    }
+
+    /// Number of branches.
+    pub fn len(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// `true` if there are no branches.
+    pub fn is_empty(&self) -> bool {
+        self.branches.is_empty()
+    }
+
+    /// The branch guarded by `pattern`, if present.
+    pub fn branch_for(&self, pattern: &Pattern) -> Option<&Branch> {
+        self.branches.iter().find(|b| &b.pattern == pattern)
+    }
+
+    /// Replace the expression of the branch guarded by `pattern`; returns
+    /// `true` if such a branch existed. This is the "program repair"
+    /// interaction of §6.4.
+    pub fn repair(&mut self, pattern: &Pattern, expr: Expr) -> bool {
+        match self.branches.iter_mut().find(|b| &b.pattern == pattern) {
+            Some(branch) => {
+                branch.expr = expr;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pretty-print in the paper's `Switch((Match(...), ...), ...)` form.
+    pub fn pretty(&self) -> String {
+        let mut out = String::from("Switch(");
+        for (i, b) in self.branches.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n       ");
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push(')');
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::tokenize;
+
+    #[test]
+    fn string_expr_constructors() {
+        assert_eq!(StringExpr::extract(3), StringExpr::Extract { from: 3, to: 3 });
+        assert_eq!(
+            StringExpr::extract_range(1, 4),
+            StringExpr::Extract { from: 1, to: 4 }
+        );
+        assert!(StringExpr::extract(1).is_extract());
+        assert!(StringExpr::const_str("x").is_const());
+        assert_eq!(StringExpr::extract_range(2, 5).extract_width(), 4);
+        assert_eq!(StringExpr::const_str("x").extract_width(), 0);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(StringExpr::extract(2).to_string(), "Extract(2)");
+        assert_eq!(StringExpr::extract_range(1, 4).to_string(), "Extract(1,4)");
+        assert_eq!(StringExpr::const_str("]").to_string(), "ConstStr(']')");
+        let e = Expr::concat(vec![StringExpr::extract_range(1, 4), StringExpr::const_str("]")]);
+        assert_eq!(e.to_string(), "Concat(Extract(1,4),ConstStr(']'))");
+    }
+
+    #[test]
+    fn expr_token_accounting() {
+        let e = Expr::concat(vec![
+            StringExpr::const_str("["),
+            StringExpr::extract(1),
+            StringExpr::const_str("-"),
+            StringExpr::extract_range(2, 3),
+        ]);
+        assert_eq!(e.extracted_tokens(), vec![(1, 1), (2, 3)]);
+        assert_eq!(e.max_source_token(), Some(3));
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn empty_expr() {
+        let e = Expr::default();
+        assert!(e.is_empty());
+        assert_eq!(e.max_source_token(), None);
+    }
+
+    #[test]
+    fn program_branch_lookup_and_repair() {
+        let p1 = tokenize("734-422-8073");
+        let p2 = tokenize("(734) 645-8397");
+        let mut program = Program::new(vec![
+            Branch::new(p1.clone(), Expr::concat(vec![StringExpr::extract(1)])),
+            Branch::new(p2.clone(), Expr::concat(vec![StringExpr::extract(2)])),
+        ]);
+        assert_eq!(program.len(), 2);
+        assert!(program.branch_for(&p1).is_some());
+        assert!(program.branch_for(&tokenize("zzz")).is_none());
+
+        let new_expr = Expr::concat(vec![StringExpr::const_str("fixed")]);
+        assert!(program.repair(&p1, new_expr.clone()));
+        assert_eq!(program.branch_for(&p1).unwrap().expr, new_expr);
+        assert!(!program.repair(&tokenize("zzz"), new_expr));
+    }
+
+    #[test]
+    fn pretty_print_contains_all_branches() {
+        let program = Program::new(vec![
+            Branch::new(
+                tokenize("CPT115"),
+                Expr::concat(vec![
+                    StringExpr::const_str("["),
+                    StringExpr::extract(1),
+                    StringExpr::const_str("-"),
+                    StringExpr::extract(2),
+                    StringExpr::const_str("]"),
+                ]),
+            ),
+        ]);
+        let s = program.pretty();
+        assert!(s.starts_with("Switch("));
+        assert!(s.contains("Match(\"<U>3<D>3\")"));
+        assert!(s.contains("ConstStr('[')"));
+        assert!(s.contains("Extract(1)"));
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.pretty(), "Switch()");
+    }
+}

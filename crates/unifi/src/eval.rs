@@ -1,0 +1,305 @@
+//! Evaluation of UniFi programs against concrete strings.
+
+use std::fmt;
+
+use clx_pattern::{Pattern, PatternError};
+
+use crate::ast::{Branch, Expr, Program, StringExpr};
+
+/// Errors produced while evaluating a UniFi expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The input string does not match the branch's source pattern.
+    PatternMismatch(PatternError),
+    /// An `Extract` referenced a token index outside the source pattern.
+    ExtractOutOfBounds {
+        /// The offending one-based token index.
+        index: usize,
+        /// The number of tokens in the source pattern.
+        pattern_len: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::PatternMismatch(e) => write!(f, "pattern mismatch: {e}"),
+            EvalError::ExtractOutOfBounds { index, pattern_len } => write!(
+                f,
+                "Extract references token {index} but the source pattern has {pattern_len} tokens"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<PatternError> for EvalError {
+    fn from(e: PatternError) -> Self {
+        EvalError::PatternMismatch(e)
+    }
+}
+
+/// The outcome of running a whole program on one input string (§6.1: any
+/// input matching no candidate source pattern is left unchanged and flagged
+/// for review).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformOutcome {
+    /// A branch matched and produced this output.
+    Transformed(String),
+    /// No branch matched; the value is left unchanged and flagged.
+    Flagged(String),
+}
+
+impl TransformOutcome {
+    /// The output value, whether transformed or passed through.
+    pub fn value(&self) -> &str {
+        match self {
+            TransformOutcome::Transformed(s) | TransformOutcome::Flagged(s) => s,
+        }
+    }
+
+    /// `true` if a branch transformed the value.
+    pub fn is_transformed(&self) -> bool {
+        matches!(self, TransformOutcome::Transformed(_))
+    }
+
+    /// `true` if the value was flagged for review.
+    pub fn is_flagged(&self) -> bool {
+        matches!(self, TransformOutcome::Flagged(_))
+    }
+}
+
+/// Evaluate an atomic transformation plan against a string known to match
+/// `source_pattern`.
+pub fn eval_expr(expr: &Expr, source_pattern: &Pattern, input: &str) -> Result<String, EvalError> {
+    let slices = source_pattern.split(input)?;
+    let mut out = String::new();
+    for part in &expr.parts {
+        match part {
+            StringExpr::ConstStr(s) => out.push_str(s),
+            StringExpr::Extract { from, to } => {
+                if *from == 0 || *to > slices.len() || from > to {
+                    return Err(EvalError::ExtractOutOfBounds {
+                        index: (*to).max(*from),
+                        pattern_len: slices.len(),
+                    });
+                }
+                for slice in &slices[from - 1..*to] {
+                    out.push_str(&slice.text);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate one branch: returns `None` if the input does not match the
+/// branch's pattern.
+pub fn eval_branch(branch: &Branch, input: &str) -> Option<Result<String, EvalError>> {
+    if !branch.pattern.matches(input) {
+        return None;
+    }
+    Some(eval_expr(&branch.expr, &branch.pattern, input))
+}
+
+/// Run a whole program on one input string: the first branch whose pattern
+/// matches transforms the value; otherwise it is flagged.
+pub fn transform(program: &Program, input: &str) -> Result<TransformOutcome, EvalError> {
+    for branch in &program.branches {
+        if let Some(result) = eval_branch(branch, input) {
+            return result.map(TransformOutcome::Transformed);
+        }
+    }
+    Ok(TransformOutcome::Flagged(input.to_string()))
+}
+
+/// Run a program over a column of values. Errors (which indicate an
+/// ill-formed program rather than ill-formed data) abort the run.
+pub fn transform_all<S: AsRef<str>>(
+    program: &Program,
+    inputs: &[S],
+) -> Result<Vec<TransformOutcome>, EvalError> {
+    inputs
+        .iter()
+        .map(|s| transform(program, s.as_ref()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::{parse_pattern, tokenize};
+
+    /// The Example 5 program from the paper (medical billing codes).
+    fn example_5_program() -> Program {
+        Program::new(vec![
+            Branch::new(
+                // "[CPT-00350" -> [ '[', <U>3, '-', <D>5 ]
+                tokenize("[CPT-00350"),
+                Expr::concat(vec![
+                    StringExpr::extract_range(1, 4),
+                    StringExpr::const_str("]"),
+                ]),
+            ),
+            Branch::new(
+                // "CPT-00340" -> [ <U>3, '-', <D>5 ]
+                tokenize("CPT-00340"),
+                Expr::concat(vec![
+                    StringExpr::const_str("["),
+                    StringExpr::extract_range(1, 3),
+                    StringExpr::const_str("]"),
+                ]),
+            ),
+            Branch::new(
+                // "CPT115" -> [ <U>3, <D>3 ]
+                tokenize("CPT115"),
+                Expr::concat(vec![
+                    StringExpr::const_str("["),
+                    StringExpr::extract(1),
+                    StringExpr::const_str("-"),
+                    StringExpr::extract(2),
+                    StringExpr::const_str("]"),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn eval_expr_extract_and_const() {
+        let p = tokenize("734-422-8073");
+        let e = Expr::concat(vec![
+            StringExpr::const_str("("),
+            StringExpr::extract(1),
+            StringExpr::const_str(") "),
+            StringExpr::extract(3),
+            StringExpr::const_str("-"),
+            StringExpr::extract(5),
+        ]);
+        assert_eq!(eval_expr(&e, &p, "734-422-8073").unwrap(), "(734) 422-8073");
+    }
+
+    #[test]
+    fn eval_expr_range_extract() {
+        let p = tokenize("[CPT-00350");
+        let e = Expr::concat(vec![
+            StringExpr::extract_range(1, 4),
+            StringExpr::const_str("]"),
+        ]);
+        assert_eq!(eval_expr(&e, &p, "[CPT-00350").unwrap(), "[CPT-00350]");
+    }
+
+    #[test]
+    fn eval_expr_out_of_bounds() {
+        let p = tokenize("abc");
+        let e = Expr::concat(vec![StringExpr::extract(2)]);
+        let err = eval_expr(&e, &p, "abc").unwrap_err();
+        assert!(matches!(err, EvalError::ExtractOutOfBounds { .. }));
+        assert!(err.to_string().contains("token 2"));
+    }
+
+    #[test]
+    fn eval_expr_mismatch() {
+        let p = tokenize("123");
+        let e = Expr::concat(vec![StringExpr::extract(1)]);
+        let err = eval_expr(&e, &p, "abc").unwrap_err();
+        assert!(matches!(err, EvalError::PatternMismatch(_)));
+    }
+
+    #[test]
+    fn eval_branch_nonmatching_is_none() {
+        let branch = Branch::new(
+            tokenize("123"),
+            Expr::concat(vec![StringExpr::extract(1)]),
+        );
+        assert!(eval_branch(&branch, "abc").is_none());
+        assert_eq!(eval_branch(&branch, "555").unwrap().unwrap(), "555");
+    }
+
+    #[test]
+    fn example_5_medical_codes() {
+        // Table 3 of the paper.
+        let program = example_5_program();
+        let cases = [
+            ("CPT-00350", "[CPT-00350]"),
+            ("[CPT-00340", "[CPT-00340]"),
+            ("[CPT-11536]", "[CPT-11536]"),
+            ("CPT115", "[CPT-115]"),
+        ];
+        for (input, expected) in cases {
+            let out = transform(&program, input).unwrap();
+            if input == "[CPT-11536]" {
+                // Already in the target pattern: no branch matches it (the
+                // program in the paper omits the identity branch), so it is
+                // flagged but its value is already correct.
+                assert_eq!(out.value(), expected);
+            } else {
+                assert_eq!(
+                    out,
+                    TransformOutcome::Transformed(expected.to_string()),
+                    "input {input:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn example_6_name_normalization() {
+        // Table 4 of the paper: "Dr. Eran Yahav" -> "Yahav, E."
+        // Source pattern: <U><L>'.'' '<U><L>3' '<U><L>4  (tokens 1..9)
+        let p = tokenize("Dr. Eran Yahav");
+        assert_eq!(p.len(), 9);
+        let e = Expr::concat(vec![
+            StringExpr::extract_range(8, 9),
+            StringExpr::const_str(","),
+            StringExpr::const_str(" "),
+            StringExpr::extract(5),
+            StringExpr::const_str("."),
+        ]);
+        assert_eq!(eval_expr(&e, &p, "Dr. Eran Yahav").unwrap(), "Yahav, E.");
+    }
+
+    #[test]
+    fn flagged_values_pass_through() {
+        let program = example_5_program();
+        let out = transform(&program, "N/A").unwrap();
+        assert_eq!(out, TransformOutcome::Flagged("N/A".to_string()));
+        assert!(out.is_flagged());
+        assert!(!out.is_transformed());
+        assert_eq!(out.value(), "N/A");
+    }
+
+    #[test]
+    fn transform_all_preserves_order() {
+        let program = example_5_program();
+        let outs = transform_all(&program, &["CPT-00350", "N/A", "CPT115"]).unwrap();
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs[0].value(), "[CPT-00350]");
+        assert!(outs[1].is_flagged());
+        assert_eq!(outs[2].value(), "[CPT-115]");
+    }
+
+    #[test]
+    fn first_matching_branch_wins() {
+        let p_specific = tokenize("123");
+        let p_general = parse_pattern("<D>+").unwrap();
+        let program = Program::new(vec![
+            Branch::new(p_specific, Expr::concat(vec![StringExpr::const_str("specific")])),
+            Branch::new(p_general, Expr::concat(vec![StringExpr::const_str("general")])),
+        ]);
+        assert_eq!(transform(&program, "123").unwrap().value(), "specific");
+        assert_eq!(transform(&program, "99999").unwrap().value(), "general");
+    }
+
+    #[test]
+    fn empty_program_flags_everything() {
+        let program = Program::empty();
+        assert!(transform(&program, "anything").unwrap().is_flagged());
+    }
+
+    #[test]
+    fn empty_expr_produces_empty_string() {
+        let p = tokenize("abc");
+        assert_eq!(eval_expr(&Expr::default(), &p, "abc").unwrap(), "");
+    }
+}

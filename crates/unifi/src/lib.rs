@@ -1,0 +1,51 @@
+//! # clx-unifi
+//!
+//! UniFi — the domain-specific language CLX uses internally to represent
+//! data-pattern transformation logic (Section 5 of *CLX: Towards verifiable
+//! PBE data transformation*), together with its evaluator and its
+//! *explanation* into the regexp `Replace` operations shown to end users.
+//!
+//! A UniFi program is a `Switch` over pattern-guarded branches; each branch
+//! carries an *atomic transformation plan* — a concatenation of
+//! `Extract(i, j)` and `ConstStr(s)` operators — that rewrites any string of
+//! the source pattern into the target pattern.
+//!
+//! ```
+//! use clx_pattern::tokenize;
+//! use clx_unifi::{Branch, Expr, Program, StringExpr, transform, explain_program};
+//!
+//! // Replace '/^({digit}{3})\-({digit}{3})\-({digit}{4})$/' with '($1) $2-$3'
+//! let branch = Branch::new(
+//!     tokenize("734-422-8073"),
+//!     Expr::concat(vec![
+//!         StringExpr::const_str("("),
+//!         StringExpr::extract(1),
+//!         StringExpr::const_str(") "),
+//!         StringExpr::extract(3),
+//!         StringExpr::const_str("-"),
+//!         StringExpr::extract(5),
+//!     ]),
+//! );
+//! let program = Program::new(vec![branch]);
+//!
+//! // Evaluate through the DSL ...
+//! let out = transform(&program, "734-422-8073").unwrap();
+//! assert_eq!(out.value(), "(734) 422-8073");
+//!
+//! // ... and through the explained Replace operation: same result.
+//! let explanation = explain_program(&program).unwrap();
+//! assert_eq!(explanation.apply("734-422-8073"), "(734) 422-8073");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ast;
+mod eval;
+mod explain;
+
+pub use ast::{Branch, Expr, Program, StringExpr};
+pub use eval::{
+    eval_branch, eval_expr, transform, transform_all, EvalError, TransformOutcome,
+};
+pub use explain::{explain_branch, explain_program, ExplainError, Explanation, ReplaceOp};

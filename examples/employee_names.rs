@@ -1,0 +1,67 @@
+//! Example 6 of the paper: normalizing employee names into `"Last, F."`,
+//! including the *program repair* interaction — when the MDL-ranked default
+//! plan picks the wrong field, the user selects one of the ranked
+//! alternatives instead of providing more examples.
+//!
+//! Run with: `cargo run --example employee_names`
+
+use clx::{parse_pattern, ClxSession};
+
+fn main() {
+    let column: Vec<String> = [
+        "Eran Yahav",
+        "Bill Gates",
+        "Grace Hopper",
+        "Barbara Liskov",
+        "Yahav, E.",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    let mut session = ClxSession::new(column.clone());
+    // Target: "<U><L>+, <U>."  — e.g. "Yahav, E."
+    let target = parse_pattern("<U><L>+','' '<U>'.'").expect("valid pattern");
+    session.label(target).expect("label");
+
+    println!("Suggested operations:");
+    println!("{}", session.suggested_operations("names").expect("explain"));
+
+    let report = session.apply().expect("apply");
+    println!("\nInitial transformation:");
+    for (input, row) in column.iter().zip(&report.rows) {
+        println!("  {:<18} -> {}", input, row.value());
+    }
+
+    // Verify at the pattern level: is the dominant plan extracting the right
+    // fields? If not, repair it by picking a ranked alternative.
+    let source = session
+        .synthesis()
+        .expect("labelled")
+        .sources
+        .iter()
+        .map(|s| s.pattern.clone())
+        .find(|p| p.matches("Eran Yahav"))
+        .expect("a source pattern covers the name rows");
+    let alternatives = session.alternatives(&source).expect("alternatives").to_vec();
+    println!("\nRanked alternative plans for {source}:");
+    for (i, alt) in alternatives.iter().enumerate() {
+        println!(
+            "  [{i}] {}   (description length {:.1})",
+            alt.expr, alt.description_length
+        );
+    }
+    // Find the alternative that puts the *last* name first.
+    let want = "Yahav, E.";
+    for i in 0..alternatives.len() {
+        session.repair(&source, i).expect("repair");
+        let out = session.apply().expect("apply");
+        if out.rows[0].value() == want {
+            println!("\nRepaired with alternative [{i}]:");
+            for (input, row) in column.iter().zip(&out.rows) {
+                println!("  {:<18} -> {}", input, row.value());
+            }
+            break;
+        }
+    }
+}

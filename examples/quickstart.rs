@@ -1,0 +1,70 @@
+//! Quickstart: the paper's motivating example (Section 2).
+//!
+//! Bob has a column of phone numbers in many formats and wants them all as
+//! `xxx-xxx-xxxx`. With CLX he verifies at the *pattern* level: review the
+//! cluster list, pick the desired pattern, read the suggested Replace
+//! operations, apply.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use clx::ClxSession;
+
+fn main() {
+    let column: Vec<String> = [
+        "(734) 645-8397",
+        "(734) 763-1147",
+        "(734)586-7252",
+        "734-422-8073",
+        "734-936-2447",
+        "734.236.3466",
+        "N/A",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    // ---- Cluster ----------------------------------------------------------
+    let mut session = ClxSession::new(column);
+    println!("Pattern clusters in the raw data (Figure 3):");
+    for (pattern, count) in session.patterns() {
+        println!(
+            "  {:<40} {:>4} rows   e.g. {}",
+            clx::pattern::wrangler::pattern_to_wrangler(&pattern),
+            count,
+            session
+                .hierarchy()
+                .find_leaf(&pattern)
+                .and_then(|n| n.examples.first().cloned())
+                .unwrap_or_default()
+        );
+    }
+
+    // ---- Label -------------------------------------------------------------
+    // Bob clicks the pattern he wants everything to look like.
+    session.label_by_example("734-422-8073").expect("label");
+
+    // ---- Transform ---------------------------------------------------------
+    println!("\nSuggested data transformation operations (Figure 4):");
+    println!("{}", session.suggested_operations("column1").expect("explain"));
+
+    let report = session.apply().expect("apply");
+    println!("\nTransformed column:");
+    for row in &report.rows {
+        println!("  {:<20} {:?}", row.value(), row);
+    }
+    println!(
+        "\n{} transformed, {} already correct, {} flagged for review",
+        report.transformed_count(),
+        report.conforming_count(),
+        report.flagged_count()
+    );
+
+    println!("\nPattern clusters after transformation (Figure 2):");
+    for (pattern, count) in session.result_patterns().expect("result patterns") {
+        println!(
+            "  {:<40} {:>4} rows",
+            clx::pattern::wrangler::pattern_to_wrangler(&pattern),
+            count
+        );
+    }
+}

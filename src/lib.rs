@@ -1,0 +1,67 @@
+//! # clx
+//!
+//! A from-scratch, open-source implementation of **CLX** — the
+//! *Cluster–Label–Transform* paradigm for verifiable programming-by-example
+//! data transformation (Jin et al., *CLX: Towards verifiable PBE data
+//! transformation*).
+//!
+//! This facade crate re-exports the whole workspace so a downstream user can
+//! depend on `clx` alone:
+//!
+//! * [`ClxSession`] — the end-to-end engine: cluster a messy column into
+//!   pattern clusters, label the desired pattern, synthesize a UniFi
+//!   program, explain it as regexp `Replace` operations, repair it, and
+//!   apply it ([`core`]);
+//! * [`pattern`] — the token/pattern language and tokenizer;
+//! * [`regex`] — the Pike-VM regular-expression engine that executes the
+//!   explained `Replace` operations;
+//! * [`cluster`] — pattern profiling and the cluster hierarchy;
+//! * [`unifi`] — the UniFi DSL, its evaluator and the program explainer;
+//! * [`synth`] — source validation, token alignment, MDL ranking and the
+//!   Algorithm-2 synthesizer;
+//! * [`flashfill`] — the FlashFill-style PBE baseline of the evaluation;
+//! * [`baselines`] — simulated users, the Step metric and the user studies;
+//! * [`datagen`] — seeded workload generators and the 47-task benchmark.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use clx::ClxSession;
+//!
+//! let column = vec![
+//!     "(734) 645-8397".to_string(),
+//!     "(734)586-7252".to_string(),
+//!     "734-422-8073".to_string(),
+//!     "734.236.3466".to_string(),
+//! ];
+//! let mut session = ClxSession::new(column);
+//!
+//! // 1. Cluster: review the pattern list instead of the raw rows.
+//! assert_eq!(session.patterns().len(), 4);
+//!
+//! // 2. Label: pick the desired pattern (here, by example).
+//! session.label_by_example("734-422-8073").unwrap();
+//!
+//! // 3. Transform: the program is explained as Replace operations and
+//! //    applied to the whole column.
+//! println!("{}", session.suggested_operations("column1").unwrap());
+//! let report = session.apply().unwrap();
+//! assert!(report.is_perfect());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use clx_baselines as baselines;
+pub use clx_cluster as cluster;
+pub use clx_core as core;
+pub use clx_datagen as datagen;
+pub use clx_flashfill as flashfill;
+pub use clx_pattern as pattern;
+pub use clx_regex as regex;
+pub use clx_synth as synth;
+pub use clx_unifi as unifi;
+
+pub use clx_core::{ClxError, ClxOptions, ClxSession, RowOutcome, TransformReport};
+pub use clx_pattern::{parse_pattern, tokenize, Pattern, Token, TokenClass};
+pub use clx_unifi::{Explanation, Program, ReplaceOp};

@@ -1,0 +1,131 @@
+//! Integration checks that the experiment harness reproduces the *shape* of
+//! the paper's headline results (who wins, by roughly what factor). The
+//! absolute numbers live in EXPERIMENTS.md; these tests keep the claims true
+//! as the code evolves.
+
+use clx::baselines::{run_clx_user, run_flashfill_user, UserModel};
+use clx::datagen::study_case;
+use clx::tokenize;
+
+fn phone_ground_truth(inputs: &[String]) -> Vec<String> {
+    inputs
+        .iter()
+        .map(|v| {
+            let digits: String = v.chars().filter(|c| c.is_ascii_digit()).collect();
+            format!("{}-{}-{}", &digits[0..3], &digits[3..6], &digits[6..10])
+        })
+        .collect()
+}
+
+#[test]
+fn headline_verification_scaling() {
+    // Paper §7.2: data grows 30x (10(2) -> 300(6)); CLX verification grows
+    // ~1.3x while FlashFill grows ~11.4x. Require the qualitative gap: CLX
+    // grows by a small constant factor, FlashFill by roughly the data growth.
+    let model = UserModel::default();
+    let target = tokenize("734-422-8073");
+
+    let small = study_case(10, 2, 42);
+    let large = study_case(300, 6, 44);
+    let small_truth = phone_ground_truth(&small.data);
+    let large_truth = phone_ground_truth(&large.data);
+
+    let clx_small = model
+        .clx_times(&run_clx_user(&small.data, &small_truth, &target))
+        .verification_secs;
+    let clx_large = model
+        .clx_times(&run_clx_user(&large.data, &large_truth, &target))
+        .verification_secs;
+    let ff_small = model
+        .flashfill_times(&run_flashfill_user(&small.data, &small_truth, 40))
+        .verification_secs;
+    let ff_large = model
+        .flashfill_times(&run_flashfill_user(&large.data, &large_truth, 40))
+        .verification_secs;
+
+    let clx_growth = clx_large / clx_small;
+    let ff_growth = ff_large / ff_small;
+
+    assert!(
+        clx_growth < 4.0,
+        "CLX verification should grow slowly, got {clx_growth:.1}x"
+    );
+    assert!(
+        ff_growth > 8.0,
+        "FlashFill verification should grow roughly with the data, got {ff_growth:.1}x"
+    );
+    assert!(
+        ff_growth > 3.0 * clx_growth,
+        "the gap between the systems is the paper's headline ({ff_growth:.1}x vs {clx_growth:.1}x)"
+    );
+}
+
+#[test]
+fn comprehension_gap_matches_figure_13() {
+    let results = clx::baselines::comprehension_study(2019);
+    let avg = |f: fn(&clx::baselines::ComprehensionResult) -> f64| {
+        results.iter().map(f).sum::<f64>() / results.len() as f64
+    };
+    let clx_avg = avg(|r| r.clx);
+    let ff_avg = avg(|r| r.flashfill);
+    assert!(clx_avg >= 0.8, "CLX users predict the program's behaviour");
+    assert!(
+        clx_avg >= 1.5 * ff_avg.max(0.05),
+        "CLX comprehension should be roughly twice FlashFill's ({clx_avg:.2} vs {ff_avg:.2})"
+    );
+}
+
+#[test]
+fn experiment_reports_render() {
+    // The per-figure binaries must all produce non-empty reports.
+    let seed = 7;
+    for report in [
+        clx_bench_report_smoke::fig11(seed),
+        clx_bench_report_smoke::fig12(seed),
+        clx_bench_report_smoke::tab5(seed),
+        clx_bench_report_smoke::tab6(seed),
+    ] {
+        assert!(report.lines().count() >= 3);
+    }
+}
+
+/// Small indirection so the test reads clearly; the facade crate does not
+/// depend on `clx-bench`, so these call the same underlying pieces.
+mod clx_bench_report_smoke {
+    use clx::baselines::{run_clx_user, UserModel};
+    use clx::datagen::{benchmark_suite, explainability_tasks, study_cases, suite_stats};
+    use clx::tokenize;
+
+    pub fn fig11(seed: u64) -> String {
+        study_cases(seed)
+            .iter()
+            .map(|c| format!("{} {}\n", c.name, c.rows))
+            .collect()
+    }
+
+    pub fn fig12(seed: u64) -> String {
+        let model = UserModel::default();
+        study_cases(seed)
+            .iter()
+            .map(|case| {
+                let expected = super::phone_ground_truth(&case.data);
+                let trace = run_clx_user(&case.data, &expected, &tokenize("734-422-8073"));
+                format!("{} {:.0}\n", case.name, model.clx_times(&trace).verification_secs)
+            })
+            .collect()
+    }
+
+    pub fn tab5(seed: u64) -> String {
+        explainability_tasks(seed)
+            .iter()
+            .map(|t| format!("{} {} {}\n", t.id, t.size(), t.data_type.name()))
+            .collect()
+    }
+
+    pub fn tab6(seed: u64) -> String {
+        suite_stats(&benchmark_suite(seed))
+            .iter()
+            .map(|s| format!("{} {} {:.1}\n", s.source, s.tests, s.avg_size))
+            .collect()
+    }
+}
