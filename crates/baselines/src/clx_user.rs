@@ -79,10 +79,7 @@ pub fn run_clx_user(inputs: &[String], expected: &[String], target: &Pattern) ->
             continue;
         }
         // The default plan is wrong for this cluster: try the alternatives.
-        let alternative_count = session
-            .alternatives(source)
-            .map(|a| a.len())
-            .unwrap_or(0);
+        let alternative_count = session.alternatives(source).map(|a| a.len()).unwrap_or(0);
         let mut fixed = false;
         for choice in 1..alternative_count {
             session.repair(source, choice).expect("labelled");
@@ -134,7 +131,8 @@ fn cluster_failures(session: &ClxSession, expected: &[String], source: &Pattern)
         .zip(session.data())
         .zip(expected)
         .filter(|((row, input), want)| {
-            source.matches(input) && !matches!(row, RowOutcome::AlreadyConforming { .. })
+            source.matches(input)
+                && !matches!(row, RowOutcome::AlreadyConforming { .. })
                 && row.value() != want.as_str()
         })
         .count()
@@ -195,7 +193,8 @@ mod tests {
 
     #[test]
     fn unreachable_rows_become_punishment_steps() {
-        let inputs: Vec<String> = vec!["N/A".into(), "734-422-8073".into(), "(734) 645-8397".into()];
+        let inputs: Vec<String> =
+            vec!["N/A".into(), "734-422-8073".into(), "(734) 645-8397".into()];
         let expected: Vec<String> = vec![
             "555-555-5555".into(), // impossible: no digits in the input
             "734-422-8073".into(),

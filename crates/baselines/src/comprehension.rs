@@ -103,7 +103,7 @@ pub fn quiz_questions(task: usize) -> Vec<QuizQuestion> {
 pub fn comprehension_study(seed: u64) -> Vec<ComprehensionResult> {
     explainability_tasks(seed)
         .iter()
-        .map(|task| comprehension_for_task(task))
+        .map(comprehension_for_task)
         .collect()
 }
 

@@ -33,7 +33,7 @@ pub use comprehension::{comprehension_study, quiz_questions, ComprehensionResult
 pub use flashfill_user::{run_flashfill_user, FlashFillTrace};
 pub use regex_replace::{run_regex_replace_user, RegexReplaceTrace};
 pub use simulation::{
-    appendix_e, expressivity, run_simulation, run_task, speedups, step_cdf, table7,
-    AppendixEStats, EffortComparison, Expressivity, StepCdfPoint, Table7, TaskResult,
+    appendix_e, expressivity, run_simulation, run_task, speedups, step_cdf, table7, AppendixEStats,
+    EffortComparison, Expressivity, StepCdfPoint, Table7, TaskResult,
 };
 pub use user_model::{SystemTimes, UserModel};

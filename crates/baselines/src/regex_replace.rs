@@ -11,7 +11,7 @@
 use clx_cluster::GeneralizationStrategy;
 use clx_pattern::{tokenize, Pattern};
 use clx_synth::{align, rank_plans};
-use clx_unifi::{explain_branch, eval_expr, Branch, ReplaceOp};
+use clx_unifi::{eval_expr, explain_branch, Branch, ReplaceOp};
 
 /// The trace of one simulated RegexReplace run.
 #[derive(Debug, Clone)]
@@ -186,7 +186,9 @@ fn author_replace_op(
     // Last resort: replace this exact value with its exact expected output.
     let branch = Branch::new(
         tokenize(&inputs[row]),
-        clx_unifi::Expr::concat(vec![clx_unifi::StringExpr::const_str(expected[row].clone())]),
+        clx_unifi::Expr::concat(vec![clx_unifi::StringExpr::const_str(
+            expected[row].clone(),
+        )]),
     );
     explain_branch(&branch).expect("literal replace always explains")
 }
@@ -274,17 +276,18 @@ mod tests {
         let source = tokenize("7342363466");
         let target = tokenize("734-236-3466");
         let op = author_splitting_op(&source, &target).expect("splitting op");
-        assert_eq!(
-            op.regex_display,
-            "/^({digit}{3})({digit}{3})({digit}{4})$/"
-        );
+        assert_eq!(op.regex_display, "/^({digit}{3})({digit}{3})({digit}{4})$/");
         assert_eq!(op.replacement, "$1-$2-$3");
         assert_eq!(op.apply("2315550199").unwrap(), "231-555-0199");
     }
 
     #[test]
     fn bare_phone_numbers_get_one_splitting_op() {
-        let inputs: Vec<String> = vec!["7346458397".into(), "2315550199".into(), "734-422-8073".into()];
+        let inputs: Vec<String> = vec![
+            "7346458397".into(),
+            "2315550199".into(),
+            "734-422-8073".into(),
+        ];
         let expected: Vec<String> = vec![
             "734-645-8397".into(),
             "231-555-0199".into(),

@@ -178,11 +178,7 @@ pub fn step_cdf(results: &[TaskResult], max_steps: usize) -> Vec<StepCdfPoint> {
     (0..=max_steps)
         .map(|steps| StepCdfPoint {
             steps,
-            selection: results
-                .iter()
-                .filter(|r| r.clx.selections <= steps)
-                .count() as f64
-                / n,
+            selection: results.iter().filter(|r| r.clx.selections <= steps).count() as f64 / n,
             adjust: results.iter().filter(|r| r.clx.repairs <= steps).count() as f64 / n,
             total: results.iter().filter(|r| r.clx_steps() <= steps).count() as f64 / n,
         })
@@ -219,10 +215,7 @@ pub fn appendix_e(results: &[TaskResult]) -> AppendixEStats {
         .iter()
         .filter(|r| !r.clx.initial_perfect && r.clx.perfect)
         .collect();
-    let single_repair = imperfect
-        .iter()
-        .filter(|r| r.clx.repairs <= 1)
-        .count();
+    let single_repair = imperfect.iter().filter(|r| r.clx.repairs <= 1).count();
     let perfect_within_two = results
         .iter()
         .filter(|r| r.clx.perfect && r.clx_steps() <= 2)
@@ -301,7 +294,7 @@ mod tests {
         let s = speedups(results());
         assert_eq!(s.len(), 47);
         for (id, vs_ff, vs_rr) in s {
-            assert!(id >= 1 && id <= 47);
+            assert!((1..=47).contains(&id));
             assert!(vs_ff > 0.0);
             assert!(vs_rr > 0.0);
         }

@@ -188,7 +188,9 @@ mod tests {
                     < 1e-9
             );
             assert!(!times.interaction_timestamps.is_empty());
-            assert!((times.interaction_timestamps.last().unwrap() - times.completion_secs).abs() < 1e-9);
+            assert!(
+                (times.interaction_timestamps.last().unwrap() - times.completion_secs).abs() < 1e-9
+            );
             // Timestamps are non-decreasing.
             assert!(times
                 .interaction_timestamps

@@ -1,0 +1,80 @@
+//! Throughput of the `clx-engine` batch subsystem: rows/sec of
+//! compiled-parallel execution vs. the sequential session `apply` on a
+//! 100k-row generated phone column. This is the baseline future PRs measure
+//! against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use clx_core::{ClxSession, TransformReport};
+use clx_datagen::large_case;
+use clx_engine::ExecOptions;
+use clx_pattern::tokenize;
+
+const ROWS: usize = 100_000;
+
+fn bench_batch_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_engine");
+    group.sample_size(10);
+
+    let case = large_case(ROWS, 7);
+    let mut session = ClxSession::new(case.data.clone());
+    session.label(tokenize("734-422-8073")).expect("label");
+    let compiled = session.compile().expect("compile");
+
+    group.throughput(Throughput::Elements(ROWS as u64));
+    group.bench_with_input(
+        BenchmarkId::new("sequential_apply", ROWS),
+        &session,
+        |b, session| {
+            b.iter(|| {
+                let report = session.apply().expect("apply");
+                black_box(report.transformed_count())
+            })
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("compiled_parallel", ROWS),
+        &case.data,
+        |b, data| {
+            b.iter(|| {
+                let report = compiled.execute(black_box(data));
+                black_box(report.transformed_count())
+            })
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("compiled_single_thread", ROWS),
+        &case.data,
+        |b, data| {
+            b.iter(|| {
+                let report = compiled.execute_with(
+                    black_box(data),
+                    ExecOptions {
+                        threads: 1,
+                        chunk_size: 0,
+                    },
+                );
+                black_box(report.transformed_count())
+            })
+        },
+    );
+
+    // The one-time cost the compiled paths pay up front.
+    group.bench_function("compile_program", |b| {
+        b.iter(|| black_box(session.compile().expect("compile")))
+    });
+
+    group.finish();
+
+    // Sanity: the two paths agree on this workload (a benchmark of a wrong
+    // answer would be worthless).
+    let sequential = session.apply().expect("apply");
+    let parallel = TransformReport::from_batch(compiled.execute(&case.data));
+    assert_eq!(sequential, parallel);
+}
+
+criterion_group!(benches, bench_batch_engine);
+criterion_main!(benches);

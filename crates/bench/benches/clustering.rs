@@ -12,12 +12,16 @@ fn bench_clustering(c: &mut Criterion) {
     let mut group = c.benchmark_group("clustering");
     for &rows in &[100usize, 1_000, 10_000] {
         let case = large_case(rows, 7);
-        group.bench_with_input(BenchmarkId::new("phone_column", rows), &case.data, |b, data| {
-            b.iter(|| {
-                let hierarchy = PatternProfiler::new().profile(black_box(data));
-                black_box(hierarchy.leaves().len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("phone_column", rows),
+            &case.data,
+            |b, data| {
+                b.iter(|| {
+                    let hierarchy = PatternProfiler::new().profile(black_box(data));
+                    black_box(hierarchy.leaves().len())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -22,18 +22,22 @@ fn bench_regex(c: &mut Criterion) {
     for &rows in &[1_000usize, 10_000] {
         let column = large_case(rows, 13).data;
         group.throughput(Throughput::Elements(rows as u64));
-        group.bench_with_input(BenchmarkId::new("replace_all_column", rows), &column, |b, col| {
-            b.iter(|| {
-                let mut changed = 0usize;
-                for value in col {
-                    let out = re.replace_all(black_box(value), "$1-$2-$3");
-                    if out != *value {
-                        changed += 1;
+        group.bench_with_input(
+            BenchmarkId::new("replace_all_column", rows),
+            &column,
+            |b, col| {
+                b.iter(|| {
+                    let mut changed = 0usize;
+                    for value in col {
+                        let out = re.replace_all(black_box(value), "$1-$2-$3");
+                        if out != *value {
+                            changed += 1;
+                        }
                     }
-                }
-                black_box(changed)
-            })
-        });
+                    black_box(changed)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -94,7 +94,12 @@ pub fn report_fig11(seed: u64) -> String {
     let runs = run_study(seed);
     let mut out = String::new();
     writeln!(out, "Figure 11a — overall completion time (seconds)").unwrap();
-    writeln!(out, "{:<10} {:>14} {:>12} {:>8}", "case", "RegexReplace", "FlashFill", "CLX").unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>14} {:>12} {:>8}",
+        "case", "RegexReplace", "FlashFill", "CLX"
+    )
+    .unwrap();
     for r in &runs {
         writeln!(
             out,
@@ -108,7 +113,12 @@ pub fn report_fig11(seed: u64) -> String {
     }
     writeln!(out).unwrap();
     writeln!(out, "Figure 11b — rounds of interaction").unwrap();
-    writeln!(out, "{:<10} {:>14} {:>12} {:>8}", "case", "RegexReplace", "FlashFill", "CLX").unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>14} {:>12} {:>8}",
+        "case", "RegexReplace", "FlashFill", "CLX"
+    )
+    .unwrap();
     for r in &runs {
         writeln!(
             out,
@@ -118,7 +128,11 @@ pub fn report_fig11(seed: u64) -> String {
         .unwrap();
     }
     writeln!(out).unwrap();
-    writeln!(out, "Figure 11c — interaction timestamps for 300(6) (seconds)").unwrap();
+    writeln!(
+        out,
+        "Figure 11c — interaction timestamps for 300(6) (seconds)"
+    )
+    .unwrap();
     if let Some(big) = runs.last() {
         for (label, times) in [
             ("RegexReplace", &big.regex_replace),
@@ -143,7 +157,12 @@ pub fn report_fig12(seed: u64) -> String {
     let runs = run_study(seed);
     let mut out = String::new();
     writeln!(out, "Figure 12 — verification time (seconds)").unwrap();
-    writeln!(out, "{:<10} {:>14} {:>12} {:>8}", "case", "RegexReplace", "FlashFill", "CLX").unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>14} {:>12} {:>8}",
+        "case", "RegexReplace", "FlashFill", "CLX"
+    )
+    .unwrap();
     for r in &runs {
         writeln!(
             out,
@@ -181,7 +200,12 @@ pub fn report_fig13(seed: u64) -> String {
     let results = comprehension_study(seed);
     let mut out = String::new();
     writeln!(out, "Figure 13 — user comprehension correct rate").unwrap();
-    writeln!(out, "{:<8} {:>14} {:>12} {:>8}", "task", "RegexReplace", "FlashFill", "CLX").unwrap();
+    writeln!(
+        out,
+        "{:<8} {:>14} {:>12} {:>8}",
+        "task", "RegexReplace", "FlashFill", "CLX"
+    )
+    .unwrap();
     for r in &results {
         writeln!(
             out,
@@ -197,8 +221,17 @@ pub fn report_fig13(seed: u64) -> String {
 pub fn report_fig14(seed: u64) -> String {
     let model = UserModel::default();
     let mut out = String::new();
-    writeln!(out, "Figure 14 — completion time on the explainability tasks (seconds)").unwrap();
-    writeln!(out, "{:<8} {:>14} {:>12} {:>8}", "task", "RegexReplace", "FlashFill", "CLX").unwrap();
+    writeln!(
+        out,
+        "Figure 14 — completion time on the explainability tasks (seconds)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<8} {:>14} {:>12} {:>8}",
+        "task", "RegexReplace", "FlashFill", "CLX"
+    )
+    .unwrap();
     for task in explainability_tasks(seed) {
         let target: Pattern = task.target_pattern();
         let clx = model.clx_times(&run_clx_user(&task.inputs, &task.expected, &target));
@@ -230,7 +263,12 @@ fn task_stats_row(task: &BenchmarkTask) -> String {
 pub fn report_tab5(seed: u64) -> String {
     let mut out = String::new();
     writeln!(out, "Table 5 — explainability test cases").unwrap();
-    writeln!(out, "{:<8} {:>5} {:>7} {:>7} DataType", "TaskID", "Size", "AvgLen", "MaxLen").unwrap();
+    writeln!(
+        out,
+        "{:<8} {:>5} {:>7} {:>7} DataType",
+        "TaskID", "Size", "AvgLen", "MaxLen"
+    )
+    .unwrap();
     for task in explainability_tasks(seed) {
         writeln!(out, "{}", task_stats_row(&task)).unwrap();
     }
@@ -272,7 +310,12 @@ pub fn report_tab7(results: &[TaskResult]) -> String {
     let e = expressivity(results);
     let mut out = String::new();
     writeln!(out, "Table 7 — user effort simulation comparison").unwrap();
-    writeln!(out, "{:<20} {:>9} {:>5} {:>10}", "Baselines", "CLX Wins", "Tie", "CLX Loses").unwrap();
+    writeln!(
+        out,
+        "{:<20} {:>9} {:>5} {:>10}",
+        "Baselines", "CLX Wins", "Tie", "CLX Loses"
+    )
+    .unwrap();
     let pct = |n: usize| format!("{} ({:.0}%)", n, 100.0 * n as f64 / results.len() as f64);
     writeln!(
         out,
@@ -306,7 +349,12 @@ pub fn report_tab7(results: &[TaskResult]) -> String {
 pub fn report_fig15(results: &[TaskResult]) -> String {
     let mut out = String::new();
     writeln!(out, "Figure 15 — Step-count speedup of CLX per test case").unwrap();
-    writeln!(out, "{:<5} {:>14} {:>17}", "task", "vs FlashFill", "vs RegexReplace").unwrap();
+    writeln!(
+        out,
+        "{:<5} {:>14} {:>17}",
+        "task", "vs FlashFill", "vs RegexReplace"
+    )
+    .unwrap();
     for (id, vs_ff, vs_rr) in speedups(results) {
         writeln!(out, "{id:<5} {vs_ff:>13.2}x {vs_rr:>16.2}x").unwrap();
     }
@@ -317,7 +365,12 @@ pub fn report_fig15(results: &[TaskResult]) -> String {
 pub fn report_fig16(results: &[TaskResult]) -> String {
     let mut out = String::new();
     writeln!(out, "Figure 16 — fraction of test cases costing <= N steps").unwrap();
-    writeln!(out, "{:<6} {:>10} {:>8} {:>7}", "steps", "Selection", "Adjust", "Total").unwrap();
+    writeln!(
+        out,
+        "{:<6} {:>10} {:>8} {:>7}",
+        "steps", "Selection", "Adjust", "Total"
+    )
+    .unwrap();
     for point in step_cdf(results, 5) {
         writeln!(
             out,
@@ -336,7 +389,11 @@ pub fn report_fig16(results: &[TaskResult]) -> String {
 pub fn report_appendix_e(results: &[TaskResult]) -> String {
     let stats = appendix_e(results);
     let mut out = String::new();
-    writeln!(out, "Appendix E — initial program quality and repair effort").unwrap();
+    writeln!(
+        out,
+        "Appendix E — initial program quality and repair effort"
+    )
+    .unwrap();
     writeln!(
         out,
         "initial program already perfect:        {:>5.0}% of tasks",

@@ -243,10 +243,28 @@ mod tests {
     fn tiny_hierarchy() -> PatternHierarchy {
         // two leaves under one root
         let mut h = PatternHierarchy::new(3);
-        let l1 = h.add_node(tokenize("734-422-8073"), 0, vec![], vec![0, 2], vec!["734-422-8073".into()]);
-        let l2 = h.add_node(tokenize("73-42-80"), 0, vec![], vec![1], vec!["73-42-80".into()]);
+        let l1 = h.add_node(
+            tokenize("734-422-8073"),
+            0,
+            vec![],
+            vec![0, 2],
+            vec!["734-422-8073".into()],
+        );
+        let l2 = h.add_node(
+            tokenize("73-42-80"),
+            0,
+            vec![],
+            vec![1],
+            vec!["73-42-80".into()],
+        );
         let parent = clx_pattern::parse_pattern("<D>+'-'<D>+'-'<D>+").unwrap();
-        h.add_node(parent, 1, vec![l1, l2], vec![0, 1, 2], vec!["734-422-8073".into()]);
+        h.add_node(
+            parent,
+            1,
+            vec![l1, l2],
+            vec![0, 1, 2],
+            vec!["734-422-8073".into()],
+        );
         h
     }
 

@@ -95,8 +95,7 @@ impl PatternProfiler {
                 if conforming.len() == rows.len() {
                     final_clusters.push((refined, rows));
                 } else {
-                    let conforming_rows: Vec<usize> =
-                        conforming.iter().map(|&i| rows[i]).collect();
+                    let conforming_rows: Vec<usize> = conforming.iter().map(|&i| rows[i]).collect();
                     let rest: Vec<usize> = rows
                         .iter()
                         .copied()
@@ -150,8 +149,7 @@ impl PatternProfiler {
             }
             let mut next_level = Vec::new();
             for (parent_pattern, child_idxs) in refined {
-                let children: Vec<NodeId> =
-                    child_idxs.iter().map(|&i| current_level[i]).collect();
+                let children: Vec<NodeId> = child_idxs.iter().map(|&i| current_level[i]).collect();
                 let mut rows: Vec<usize> = children
                     .iter()
                     .flat_map(|&c| hierarchy.node(c).rows.clone())

@@ -158,7 +158,10 @@ pub fn refine_level(
     // `covers` is more conservative than `parent_of`) becomes its own parent.
     for (i, child) in patterns.iter().enumerate() {
         if !claimed[i] {
-            result.push((raw_parents.get(i).cloned().unwrap_or_else(|| child.clone()), vec![i]));
+            result.push((
+                raw_parents.get(i).cloned().unwrap_or_else(|| child.clone()),
+                vec![i],
+            ));
         }
     }
     result
@@ -230,7 +233,7 @@ mod tests {
         // parents, plus one more that shares a parent with the first.
         let children = vec![
             tokenize("734-422-8073"),
-            tokenize("73-42-80"),      // same shape, different digit counts
+            tokenize("73-42-80"), // same shape, different digit counts
             tokenize("(734) 645-8397"),
         ];
         let refined = refine_level(&children, GeneralizationStrategy::QuantifierToPlus);
@@ -262,13 +265,19 @@ mod tests {
                     seen[k] += 1;
                 }
             }
-            assert!(seen.iter().all(|&c| c == 1), "strategy {strategy:?}: {seen:?}");
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "strategy {strategy:?}: {seen:?}"
+            );
         }
     }
 
     #[test]
     fn refine_level_parents_cover_children() {
-        let children: Vec<Pattern> = ["abc-12", "x-9", "QQ-444"].iter().map(|s| tokenize(s)).collect();
+        let children: Vec<Pattern> = ["abc-12", "x-9", "QQ-444"]
+            .iter()
+            .map(|s| tokenize(s))
+            .collect();
         let refined = refine_level(&children, GeneralizationStrategy::QuantifierToPlus);
         for (parent, kids) in &refined {
             for &k in kids {
@@ -287,7 +296,10 @@ mod tests {
         // also coverable by A? Construct: children all digits with '-' so
         // strategy 3 gives <AN>+ for all; under strategy-3 refinement there
         // must be a single parent.
-        let children: Vec<Pattern> = ["a-1", "bb-22", "c_3", "d4"].iter().map(|s| tokenize(s)).collect();
+        let children: Vec<Pattern> = ["a-1", "bb-22", "c_3", "d4"]
+            .iter()
+            .map(|s| tokenize(s))
+            .collect();
         // strategy 1 then 2 then 3 chain
         let l1: Vec<Pattern> = refine_level(&children, GeneralizationStrategy::QuantifierToPlus)
             .into_iter()

@@ -14,6 +14,12 @@
 //!   (`clx-unifi`), lets the user *repair* individual atomic transformation
 //!   plans, and finally [`ClxSession::apply`]s the program to the column.
 //!
+//! For bulk execution beyond the interactive loop, [`ClxSession::compile`]
+//! hands the synthesized program to the `clx-engine` batch subsystem
+//! (parallel chunked execution, streaming, program caching);
+//! [`ClxSession::apply_parallel`] is the drop-in parallel counterpart of
+//! [`ClxSession::apply`].
+//!
 //! ```
 //! use clx_core::ClxSession;
 //!
@@ -53,6 +59,7 @@ pub use session::{ClxError, ClxOptions, ClxSession};
 // Re-export the key types a downstream user needs so that `clx-core` (or the
 // `clx` facade) is a one-stop dependency.
 pub use clx_cluster::{ClusterNode, PatternHierarchy, PatternProfiler, ProfilerOptions};
+pub use clx_engine::{BatchReport, CompiledProgram, ExecOptions, ProgramCache, StreamSession};
 pub use clx_pattern::{parse_pattern, tokenize, Pattern, Token, TokenClass};
 pub use clx_synth::{RankedPlan, Synthesis, SynthesisOptions};
 pub use clx_unifi::{Explanation, Program, ReplaceOp, TransformOutcome};

@@ -52,7 +52,7 @@ impl RowOutcome {
 
 /// A column-level transformation report: one [`RowOutcome`] per input row,
 /// plus the target pattern the run was labelled with.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransformReport {
     /// The labelled target pattern.
     pub target: Pattern,
@@ -61,6 +61,29 @@ pub struct TransformReport {
 }
 
 impl TransformReport {
+    /// Convert a `clx-engine` batch report into a session report. The row
+    /// outcomes map one-to-one, so a parallel run and a sequential
+    /// [`crate::ClxSession::apply`] over the same data compare equal.
+    pub fn from_batch(batch: clx_engine::BatchReport) -> Self {
+        let rows = batch
+            .rows
+            .into_iter()
+            .map(|row| match row {
+                clx_engine::RowOutcome::Conforming { value } => {
+                    RowOutcome::AlreadyConforming { value }
+                }
+                clx_engine::RowOutcome::Transformed { from, to } => {
+                    RowOutcome::Transformed { from, to }
+                }
+                clx_engine::RowOutcome::Flagged { value } => RowOutcome::Flagged { value },
+            })
+            .collect();
+        TransformReport {
+            target: batch.target,
+            rows,
+        }
+    }
+
     /// The output column (one value per row, in input order).
     pub fn values(&self) -> Vec<String> {
         self.rows.iter().map(|r| r.value().to_string()).collect()
@@ -126,7 +149,9 @@ mod tests {
                     from: "(734) 645-8397".into(),
                     to: "734-645-8397".into(),
                 },
-                RowOutcome::Flagged { value: "N/A".into() },
+                RowOutcome::Flagged {
+                    value: "N/A".into(),
+                },
             ],
         }
     }
@@ -178,6 +203,30 @@ mod tests {
         };
         assert!(r.is_perfect());
         assert_eq!(r.conformance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn from_batch_maps_rows_one_to_one() {
+        let batch = clx_engine::BatchReport::from_chunks(
+            tokenize("734-422-8073"),
+            vec![clx_engine::ChunkReport::new(
+                0,
+                vec![
+                    clx_engine::RowOutcome::Conforming {
+                        value: "734-422-8073".into(),
+                    },
+                    clx_engine::RowOutcome::Transformed {
+                        from: "(734) 645-8397".into(),
+                        to: "734-645-8397".into(),
+                    },
+                    clx_engine::RowOutcome::Flagged {
+                        value: "N/A".into(),
+                    },
+                ],
+            )],
+        );
+        let report = TransformReport::from_batch(batch);
+        assert_eq!(report, self::report());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use clx_cluster::{PatternHierarchy, PatternProfiler, ProfilerOptions};
+use clx_engine::CompiledProgram;
 use clx_pattern::{tokenize, Pattern};
 use clx_synth::{synthesize, RankedPlan, Synthesis, SynthesisOptions};
 use clx_unifi::{explain_program, transform, Explanation, Program, TransformOutcome};
@@ -22,6 +23,9 @@ pub enum ClxError {
     /// Evaluating the program failed; this indicates a synthesizer bug, not
     /// bad input data.
     Eval(String),
+    /// Compiling the program for batch execution failed; this indicates an
+    /// ill-formed program (see `clx-engine`), not bad input data.
+    Compile(String),
 }
 
 impl fmt::Display for ClxError {
@@ -33,6 +37,7 @@ impl fmt::Display for ClxError {
             ClxError::EmptyTargetPattern => write!(f, "the target pattern is empty"),
             ClxError::Explain(e) => write!(f, "failed to explain program: {e}"),
             ClxError::Eval(e) => write!(f, "failed to evaluate program: {e}"),
+            ClxError::Compile(e) => write!(f, "failed to compile program: {e}"),
         }
     }
 }
@@ -188,14 +193,36 @@ impl ClxSession {
         })
     }
 
+    /// Compile the current program for high-throughput batch execution.
+    ///
+    /// The returned [`CompiledProgram`] is immutable and `Send + Sync`: it
+    /// can be cached (see [`clx_engine::ProgramCache`]), shared across
+    /// threads, executed over other columns in parallel chunks
+    /// ([`CompiledProgram::execute`]), or streamed over columns larger than
+    /// memory ([`CompiledProgram::stream`]). Its semantics on any column are
+    /// exactly those of [`ClxSession::apply`].
+    pub fn compile(&self) -> Result<CompiledProgram, ClxError> {
+        let target = self.target.as_ref().ok_or(ClxError::NotLabelled)?;
+        let program = self.program()?;
+        CompiledProgram::compile(&program, target).map_err(|e| ClxError::Compile(e.to_string()))
+    }
+
+    /// [`ClxSession::apply`] through the compiled parallel engine: same
+    /// report, produced by chunked multi-threaded execution. Sessions over
+    /// large columns should prefer this.
+    pub fn apply_parallel(&self) -> Result<TransformReport, ClxError> {
+        let compiled = self.compile()?;
+        Ok(TransformReport::from_batch(compiled.execute(&self.data)))
+    }
+
     /// The post-transformation pattern summary (Figure 2 of the paper): the
     /// distinct patterns of the output column with their row counts, which
     /// is what the user verifies after the transformation.
     pub fn result_patterns(&self) -> Result<Vec<(Pattern, usize)>, ClxError> {
         let report = self.apply()?;
         let values = report.values();
-        let hierarchy = PatternProfiler::with_options(self.options.profiler.clone())
-            .profile(&values);
+        let hierarchy =
+            PatternProfiler::with_options(self.options.profiler.clone()).profile(&values);
         Ok(hierarchy.pattern_summary())
     }
 
@@ -382,6 +409,36 @@ mod tests {
             vec!["[CPT-00350]", "[CPT-00340]", "[CPT-11536]", "[CPT-115]"]
         );
         assert!(report.is_perfect());
+    }
+
+    #[test]
+    fn compile_requires_label() {
+        let session = ClxSession::new(phone_data());
+        assert_eq!(session.compile().unwrap_err(), ClxError::NotLabelled);
+        assert_eq!(session.apply_parallel().unwrap_err(), ClxError::NotLabelled);
+    }
+
+    #[test]
+    fn apply_parallel_equals_apply() {
+        let mut session = ClxSession::new(phone_data());
+        session.label(tokenize("734-422-8073")).unwrap();
+        let sequential = session.apply().unwrap();
+        let parallel = session.apply_parallel().unwrap();
+        assert_eq!(sequential, parallel);
+        assert_eq!(parallel.flagged_values(), vec!["N/A"]);
+    }
+
+    #[test]
+    fn compiled_program_reuses_across_columns() {
+        let mut session = ClxSession::new(phone_data());
+        session.label(tokenize("734-422-8073")).unwrap();
+        let compiled = session.compile().unwrap();
+        assert_eq!(compiled.target(), &tokenize("734-422-8073"));
+        // The compiled program serves a column the session never saw.
+        let other = vec!["555.867.5309".to_string(), "not a phone".to_string()];
+        let report = TransformReport::from_batch(compiled.execute(&other));
+        assert_eq!(report.values(), vec!["555-867-5309", "not a phone"]);
+        assert_eq!(report.flagged_count(), 1);
     }
 
     #[test]

@@ -68,8 +68,8 @@ impl PhoneFormat {
 }
 
 const FIRST_NAMES: &[&str] = &[
-    "Eran", "Bill", "Oege", "Sumit", "Rishabh", "Jane", "Alan", "Grace", "Ada", "Linus",
-    "Barbara", "Edsger", "Donald", "Margaret", "Dana", "Tim", "Vint", "Radia", "Ken", "Dennis",
+    "Eran", "Bill", "Oege", "Sumit", "Rishabh", "Jane", "Alan", "Grace", "Ada", "Linus", "Barbara",
+    "Edsger", "Donald", "Margaret", "Dana", "Tim", "Vint", "Radia", "Ken", "Dennis",
 ];
 
 const LAST_NAMES: &[&str] = &[
@@ -79,28 +79,62 @@ const LAST_NAMES: &[&str] = &[
 ];
 
 const STREET_NAMES: &[&str] = &[
-    "Main St", "Broadway", "NE 36th Street", "South Michigan Ave", "Elm Street", "Oak Avenue",
-    "7th Ave", "Sunset Blvd", "Park Road", "High Street",
+    "Main St",
+    "Broadway",
+    "NE 36th Street",
+    "South Michigan Ave",
+    "Elm Street",
+    "Oak Avenue",
+    "7th Ave",
+    "Sunset Blvd",
+    "Park Road",
+    "High Street",
 ];
 
 const CITIES: &[&str] = &[
-    "San Diego", "Redmond", "Chicago", "Ann Arbor", "Berkeley", "New York", "Austin", "Seattle",
-    "Boston", "Denver",
+    "San Diego",
+    "Redmond",
+    "Chicago",
+    "Ann Arbor",
+    "Berkeley",
+    "New York",
+    "Austin",
+    "Seattle",
+    "Boston",
+    "Denver",
 ];
 
 const STATES: &[&str] = &["CA", "WA", "IL", "MI", "NY", "TX", "MA", "CO"];
 
 const UNIVERSITIES: &[&str] = &[
-    "University of Michigan", "UC Berkeley", "MIT", "Stanford University", "CMU",
-    "University of Washington", "Cornell University", "Princeton University",
+    "University of Michigan",
+    "UC Berkeley",
+    "MIT",
+    "Stanford University",
+    "CMU",
+    "University of Washington",
+    "Cornell University",
+    "Princeton University",
 ];
 
 const CAR_MAKES: &[&str] = &["Toyota", "Honda", "Ford", "Tesla", "BMW", "Audi", "Subaru"];
 
-const DOMAINS: &[&str] = &["gmail.com", "yahoo.org", "umich.edu", "example.com", "trifacta.com"];
+const DOMAINS: &[&str] = &[
+    "gmail.com",
+    "yahoo.org",
+    "umich.edu",
+    "example.com",
+    "trifacta.com",
+];
 
 const PRODUCTS: &[&str] = &[
-    "Widget", "Gadget", "Sprocket", "Flange", "Gizmo", "Doohickey", "Contraption",
+    "Widget",
+    "Gadget",
+    "Sprocket",
+    "Flange",
+    "Gizmo",
+    "Doohickey",
+    "Contraption",
 ];
 
 impl DataGenerator {
@@ -131,7 +165,11 @@ impl DataGenerator {
         formats: &[PhoneFormat],
         weights: &[usize],
     ) -> Vec<String> {
-        assert_eq!(formats.len(), weights.len(), "formats and weights must align");
+        assert_eq!(
+            formats.len(),
+            weights.len(),
+            "formats and weights must align"
+        );
         let total: usize = weights.iter().sum();
         let mut out = Vec::with_capacity(n);
         // First guarantee at least one row per format (matching the paper's
@@ -264,7 +302,9 @@ impl DataGenerator {
         let hh = self.rng.gen_range(0..24);
         let mm = self.rng.gen_range(0..60);
         let ss = self.rng.gen_range(0..60);
-        let level = *["INFO", "WARN", "ERROR"].choose(&mut self.rng).expect("non-empty");
+        let level = *["INFO", "WARN", "ERROR"]
+            .choose(&mut self.rng)
+            .expect("non-empty");
         let node = self.rng.gen_range(1..32);
         format!("{y}-{m:02}-{d:02} {hh:02}:{mm:02}:{ss:02} {level} disk event on node{node}")
     }
@@ -272,9 +312,13 @@ impl DataGenerator {
     /// A file path, e.g. `"/home/alice/reports/q3.pdf"`.
     pub fn file_path(&mut self) -> String {
         let user = self.pick(FIRST_NAMES).to_lowercase();
-        let dir = *["reports", "data", "images", "src"].choose(&mut self.rng).expect("non-empty");
+        let dir = *["reports", "data", "images", "src"]
+            .choose(&mut self.rng)
+            .expect("non-empty");
         let stem = self.pick(PRODUCTS).to_lowercase();
-        let ext = *["pdf", "csv", "txt", "jpeg"].choose(&mut self.rng).expect("non-empty");
+        let ext = *["pdf", "csv", "txt", "jpeg"]
+            .choose(&mut self.rng)
+            .expect("non-empty");
         format!("/home/{user}/{dir}/{stem}.{ext}")
     }
 

@@ -93,11 +93,8 @@ mod tests {
     #[test]
     fn pattern_counts_are_exact() {
         for case in study_cases(7) {
-            let distinct: HashSet<String> = case
-                .data
-                .iter()
-                .map(|v| tokenize(v).to_string())
-                .collect();
+            let distinct: HashSet<String> =
+                case.data.iter().map(|v| tokenize(v).to_string()).collect();
             assert_eq!(
                 distinct.len(),
                 case.pattern_count,
@@ -121,10 +118,7 @@ mod tests {
         for v in &case.data {
             *counts.entry(tokenize(v).to_string()).or_insert(0) += 1;
         }
-        let dominant = counts
-            .get("'('<D>3')'' '<D>3'-'<D>4")
-            .copied()
-            .unwrap_or(0);
+        let dominant = counts.get("'('<D>3')'' '<D>3'-'<D>4").copied().unwrap_or(0);
         assert!(
             dominant > 300 / 6,
             "the paren-space format should dominate, got {dominant}"

@@ -133,7 +133,11 @@ impl BenchmarkTask {
 
     /// Maximum input length in characters.
     pub fn max_len(&self) -> usize {
-        self.inputs.iter().map(|s| s.chars().count()).max().unwrap_or(0)
+        self.inputs
+            .iter()
+            .map(|s| s.chars().count())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The target pattern a CLX user would label.
@@ -246,7 +250,10 @@ fn name_last_first_initial(rows: usize, seed: u64) -> Rows {
         .into_iter()
         .enumerate()
         .map(|(i, (first, last))| {
-            let target = format!("{last}, {}.", first.chars().next().expect("non-empty first"));
+            let target = format!(
+                "{last}, {}.",
+                first.chars().next().expect("non-empty first")
+            );
             if i % 7 == 0 {
                 (target.clone(), target)
             } else {
@@ -370,7 +377,11 @@ fn email_domain(rows: usize, seed: u64) -> Rows {
     (0..rows)
         .map(|i| {
             let email = g.email();
-            let domain = email.split('@').nth(1).expect("email has domain").to_string();
+            let domain = email
+                .split('@')
+                .nth(1)
+                .expect("email has domain")
+                .to_string();
             if i % 10 == 0 {
                 (domain.clone(), domain)
             } else {
@@ -479,7 +490,11 @@ fn file_extension(rows: usize, seed: u64) -> Rows {
     (0..rows)
         .map(|i| {
             let path = g.file_path();
-            let ext = path.rsplit('.').next().expect("path has extension").to_string();
+            let ext = path
+                .rsplit('.')
+                .next()
+                .expect("path has extension")
+                .to_string();
             if i % 10 == 0 {
                 (ext.clone(), ext)
             } else {
@@ -557,61 +572,437 @@ pub fn benchmark_suite(seed: u64) -> Vec<BenchmarkTask> {
     };
 
     // --- SyGuS (27 tasks): larger columns (avg ≈ 63 rows). ---
-    push(&mut tasks, "sygus-phone-1", S::SyGus, D::PhoneNumber, phone_normalize(60, 3, seed + 1), "734-422-8073", "<D>3'-'<D>3'-'<D>4");
-    push(&mut tasks, "sygus-phone-2", S::SyGus, D::PhoneNumber, phone_normalize(80, 4, seed + 2), "734-422-8073", "<D>3'-'<D>3'-'<D>4");
-    push(&mut tasks, "sygus-phone-3", S::SyGus, D::PhoneNumber, phone_normalize(100, 6, seed + 3), "734-422-8073", "<D>3'-'<D>3'-'<D>4");
-    push(&mut tasks, "sygus-phone-4", S::SyGus, D::PhoneNumber, phone_parenthesize(60, 3, seed + 4), "(734) 422-8073", "'('<D>3')'' '<D>3'-'<D>4");
-    push(&mut tasks, "sygus-phone-5", S::SyGus, D::PhoneNumber, phone_parenthesize(40, 4, seed + 5), "(734) 422-8073", "'('<D>3')'' '<D>3'-'<D>4");
-    push(&mut tasks, "sygus-phone-6", S::SyGus, D::PhoneNumber, phone_strip_country_code(63, seed + 6), "734-422-8073", "<D>3'-'<D>3'-'<D>4");
-    push(&mut tasks, "sygus-phone-10-long", S::SyGus, D::PhoneNumber, phone_parenthesize(100, 5, seed + 7), "(734) 422-8073", "'('<D>3')'' '<D>3'-'<D>4");
-    push(&mut tasks, "sygus-name-1", S::SyGus, D::HumanName, name_last_first_initial(60, seed + 8), "Yahav, E.", "<U><L>+','' '<U>'.'");
-    push(&mut tasks, "sygus-name-2", S::SyGus, D::HumanName, name_strip_title(70, seed + 9), "Eran Yahav", "<U><L>+' '<U><L>+");
-    push(&mut tasks, "sygus-name-3", S::SyGus, D::HumanName, name_initials(50, seed + 10), "E.Y.", "<U>'.'<U>'.'");
-    push(&mut tasks, "sygus-name-4", S::SyGus, D::HumanName, name_last_first_initial(40, seed + 11), "Yahav, E.", "<U><L>+','' '<U>'.'");
-    push(&mut tasks, "sygus-name-5", S::SyGus, D::HumanName, name_strip_title(63, seed + 12), "Eran Yahav", "<U><L>+' '<U><L>+");
-    push(&mut tasks, "sygus-car-1", S::SyGus, D::Identifier, car_id_year(60, seed + 13), "1986", "<D>4");
-    push(&mut tasks, "sygus-car-2", S::SyGus, D::Identifier, car_id_code(70, seed + 14), "AE86", "<U>2<D>2");
-    push(&mut tasks, "sygus-car-3", S::SyGus, D::Identifier, car_id_year(55, seed + 15), "1986", "<D>4");
-    push(&mut tasks, "sygus-car-4", S::SyGus, D::Identifier, car_id_code(45, seed + 16), "AE86", "<U>2<D>2");
-    push(&mut tasks, "sygus-univ-1", S::SyGus, D::University, university_state(60, seed + 17), "MI", "<U>2");
-    push(&mut tasks, "sygus-univ-2", S::SyGus, D::University, university_state(80, seed + 18), "MI", "<U>2");
-    push(&mut tasks, "sygus-univ-3", S::SyGus, D::University, university_state(50, seed + 19), "MI", "<U>2");
-    push(&mut tasks, "sygus-addr-1", S::SyGus, D::Address, address_zip(60, seed + 20), "92173", "<D>5");
-    push(&mut tasks, "sygus-addr-2", S::SyGus, D::Address, address_state_zip(70, seed + 21), "CA 92173", "<U>2' '<D>5");
-    push(&mut tasks, "sygus-addr-3", S::SyGus, D::Address, address_zip(65, seed + 22), "92173", "<D>5");
-    push(&mut tasks, "sygus-addr-4", S::SyGus, D::Address, address_state_zip(55, seed + 23), "CA 92173", "<U>2' '<D>5");
-    push(&mut tasks, "sygus-date-1", S::SyGus, D::Date, date_reformat(60, seed + 24, true), "2017-11-02", "<D>4'-'<D>2'-'<D>2");
-    push(&mut tasks, "sygus-date-2", S::SyGus, D::Date, date_reformat(75, seed + 25, false), "11-02-2017", "<D>2'-'<D>2'-'<D>4");
-    push(&mut tasks, "sygus-date-3", S::SyGus, D::Date, date_reformat(63, seed + 26, true), "2017-11-02", "<D>4'-'<D>2'-'<D>2");
-    push(&mut tasks, "sygus-date-4", S::SyGus, D::Date, date_reformat(58, seed + 27, false), "11-02-2017", "<D>2'-'<D>2'-'<D>4");
+    push(
+        &mut tasks,
+        "sygus-phone-1",
+        S::SyGus,
+        D::PhoneNumber,
+        phone_normalize(60, 3, seed + 1),
+        "734-422-8073",
+        "<D>3'-'<D>3'-'<D>4",
+    );
+    push(
+        &mut tasks,
+        "sygus-phone-2",
+        S::SyGus,
+        D::PhoneNumber,
+        phone_normalize(80, 4, seed + 2),
+        "734-422-8073",
+        "<D>3'-'<D>3'-'<D>4",
+    );
+    push(
+        &mut tasks,
+        "sygus-phone-3",
+        S::SyGus,
+        D::PhoneNumber,
+        phone_normalize(100, 6, seed + 3),
+        "734-422-8073",
+        "<D>3'-'<D>3'-'<D>4",
+    );
+    push(
+        &mut tasks,
+        "sygus-phone-4",
+        S::SyGus,
+        D::PhoneNumber,
+        phone_parenthesize(60, 3, seed + 4),
+        "(734) 422-8073",
+        "'('<D>3')'' '<D>3'-'<D>4",
+    );
+    push(
+        &mut tasks,
+        "sygus-phone-5",
+        S::SyGus,
+        D::PhoneNumber,
+        phone_parenthesize(40, 4, seed + 5),
+        "(734) 422-8073",
+        "'('<D>3')'' '<D>3'-'<D>4",
+    );
+    push(
+        &mut tasks,
+        "sygus-phone-6",
+        S::SyGus,
+        D::PhoneNumber,
+        phone_strip_country_code(63, seed + 6),
+        "734-422-8073",
+        "<D>3'-'<D>3'-'<D>4",
+    );
+    push(
+        &mut tasks,
+        "sygus-phone-10-long",
+        S::SyGus,
+        D::PhoneNumber,
+        phone_parenthesize(100, 5, seed + 7),
+        "(734) 422-8073",
+        "'('<D>3')'' '<D>3'-'<D>4",
+    );
+    push(
+        &mut tasks,
+        "sygus-name-1",
+        S::SyGus,
+        D::HumanName,
+        name_last_first_initial(60, seed + 8),
+        "Yahav, E.",
+        "<U><L>+','' '<U>'.'",
+    );
+    push(
+        &mut tasks,
+        "sygus-name-2",
+        S::SyGus,
+        D::HumanName,
+        name_strip_title(70, seed + 9),
+        "Eran Yahav",
+        "<U><L>+' '<U><L>+",
+    );
+    push(
+        &mut tasks,
+        "sygus-name-3",
+        S::SyGus,
+        D::HumanName,
+        name_initials(50, seed + 10),
+        "E.Y.",
+        "<U>'.'<U>'.'",
+    );
+    push(
+        &mut tasks,
+        "sygus-name-4",
+        S::SyGus,
+        D::HumanName,
+        name_last_first_initial(40, seed + 11),
+        "Yahav, E.",
+        "<U><L>+','' '<U>'.'",
+    );
+    push(
+        &mut tasks,
+        "sygus-name-5",
+        S::SyGus,
+        D::HumanName,
+        name_strip_title(63, seed + 12),
+        "Eran Yahav",
+        "<U><L>+' '<U><L>+",
+    );
+    push(
+        &mut tasks,
+        "sygus-car-1",
+        S::SyGus,
+        D::Identifier,
+        car_id_year(60, seed + 13),
+        "1986",
+        "<D>4",
+    );
+    push(
+        &mut tasks,
+        "sygus-car-2",
+        S::SyGus,
+        D::Identifier,
+        car_id_code(70, seed + 14),
+        "AE86",
+        "<U>2<D>2",
+    );
+    push(
+        &mut tasks,
+        "sygus-car-3",
+        S::SyGus,
+        D::Identifier,
+        car_id_year(55, seed + 15),
+        "1986",
+        "<D>4",
+    );
+    push(
+        &mut tasks,
+        "sygus-car-4",
+        S::SyGus,
+        D::Identifier,
+        car_id_code(45, seed + 16),
+        "AE86",
+        "<U>2<D>2",
+    );
+    push(
+        &mut tasks,
+        "sygus-univ-1",
+        S::SyGus,
+        D::University,
+        university_state(60, seed + 17),
+        "MI",
+        "<U>2",
+    );
+    push(
+        &mut tasks,
+        "sygus-univ-2",
+        S::SyGus,
+        D::University,
+        university_state(80, seed + 18),
+        "MI",
+        "<U>2",
+    );
+    push(
+        &mut tasks,
+        "sygus-univ-3",
+        S::SyGus,
+        D::University,
+        university_state(50, seed + 19),
+        "MI",
+        "<U>2",
+    );
+    push(
+        &mut tasks,
+        "sygus-addr-1",
+        S::SyGus,
+        D::Address,
+        address_zip(60, seed + 20),
+        "92173",
+        "<D>5",
+    );
+    push(
+        &mut tasks,
+        "sygus-addr-2",
+        S::SyGus,
+        D::Address,
+        address_state_zip(70, seed + 21),
+        "CA 92173",
+        "<U>2' '<D>5",
+    );
+    push(
+        &mut tasks,
+        "sygus-addr-3",
+        S::SyGus,
+        D::Address,
+        address_zip(65, seed + 22),
+        "92173",
+        "<D>5",
+    );
+    push(
+        &mut tasks,
+        "sygus-addr-4",
+        S::SyGus,
+        D::Address,
+        address_state_zip(55, seed + 23),
+        "CA 92173",
+        "<U>2' '<D>5",
+    );
+    push(
+        &mut tasks,
+        "sygus-date-1",
+        S::SyGus,
+        D::Date,
+        date_reformat(60, seed + 24, true),
+        "2017-11-02",
+        "<D>4'-'<D>2'-'<D>2",
+    );
+    push(
+        &mut tasks,
+        "sygus-date-2",
+        S::SyGus,
+        D::Date,
+        date_reformat(75, seed + 25, false),
+        "11-02-2017",
+        "<D>2'-'<D>2'-'<D>4",
+    );
+    push(
+        &mut tasks,
+        "sygus-date-3",
+        S::SyGus,
+        D::Date,
+        date_reformat(63, seed + 26, true),
+        "2017-11-02",
+        "<D>4'-'<D>2'-'<D>2",
+    );
+    push(
+        &mut tasks,
+        "sygus-date-4",
+        S::SyGus,
+        D::Date,
+        date_reformat(58, seed + 27, false),
+        "11-02-2017",
+        "<D>2'-'<D>2'-'<D>4",
+    );
 
     // --- FlashFill (10 tasks): small columns (avg ≈ 10 rows). ---
-    push(&mut tasks, "ff-log-entry", S::FlashFill, D::LogEntry, log_date(10, seed + 30), "2017-08-13", "<D>4'-'<D>2'-'<D>2");
-    push(&mut tasks, "ff-log-level", S::FlashFill, D::LogEntry, log_level(10, seed + 31), "ERROR", "<U>+");
-    push(&mut tasks, "ff-phone", S::FlashFill, D::PhoneNumber, phone_normalize(12, 3, seed + 32), "734-422-8073", "<D>3'-'<D>3'-'<D>4");
-    push(&mut tasks, "ff-name-ex9", S::FlashFill, D::HumanName, name_last_first_initial(10, seed + 33), "Yahav, E.", "<U><L>+','' '<U>'.'");
-    push(&mut tasks, "ff-name-ex11", S::FlashFill, D::HumanName, name_strip_title(10, seed + 34), "Eran Yahav", "<U><L>+' '<U><L>+");
-    push(&mut tasks, "ff-date", S::FlashFill, D::Date, date_reformat(10, seed + 35, true), "2017-11-02", "<D>4'-'<D>2'-'<D>2");
-    push(&mut tasks, "ff-file-dir", S::FlashFill, D::FilePath, file_extension(10, seed + 36), "pdf", "<L>+");
-    push(&mut tasks, "ff-url", S::FlashFill, D::Url, url_product_id(10, seed + 37), "42", "<D>+");
-    push(&mut tasks, "ff-product", S::FlashFill, D::ProductName, product_id(11, seed + 38), "Widget-2000", "<U><L>+'-'<D>+");
-    push(&mut tasks, "ff-currency", S::FlashFill, D::Currency, currency_normalize(10, seed + 39), "USD 1234", "'USD '<D>+");
+    push(
+        &mut tasks,
+        "ff-log-entry",
+        S::FlashFill,
+        D::LogEntry,
+        log_date(10, seed + 30),
+        "2017-08-13",
+        "<D>4'-'<D>2'-'<D>2",
+    );
+    push(
+        &mut tasks,
+        "ff-log-level",
+        S::FlashFill,
+        D::LogEntry,
+        log_level(10, seed + 31),
+        "ERROR",
+        "<U>+",
+    );
+    push(
+        &mut tasks,
+        "ff-phone",
+        S::FlashFill,
+        D::PhoneNumber,
+        phone_normalize(12, 3, seed + 32),
+        "734-422-8073",
+        "<D>3'-'<D>3'-'<D>4",
+    );
+    push(
+        &mut tasks,
+        "ff-name-ex9",
+        S::FlashFill,
+        D::HumanName,
+        name_last_first_initial(10, seed + 33),
+        "Yahav, E.",
+        "<U><L>+','' '<U>'.'",
+    );
+    push(
+        &mut tasks,
+        "ff-name-ex11",
+        S::FlashFill,
+        D::HumanName,
+        name_strip_title(10, seed + 34),
+        "Eran Yahav",
+        "<U><L>+' '<U><L>+",
+    );
+    push(
+        &mut tasks,
+        "ff-date",
+        S::FlashFill,
+        D::Date,
+        date_reformat(10, seed + 35, true),
+        "2017-11-02",
+        "<D>4'-'<D>2'-'<D>2",
+    );
+    push(
+        &mut tasks,
+        "ff-file-dir",
+        S::FlashFill,
+        D::FilePath,
+        file_extension(10, seed + 36),
+        "pdf",
+        "<L>+",
+    );
+    push(
+        &mut tasks,
+        "ff-url",
+        S::FlashFill,
+        D::Url,
+        url_product_id(10, seed + 37),
+        "42",
+        "<D>+",
+    );
+    push(
+        &mut tasks,
+        "ff-product",
+        S::FlashFill,
+        D::ProductName,
+        product_id(11, seed + 38),
+        "Widget-2000",
+        "<U><L>+'-'<D>+",
+    );
+    push(
+        &mut tasks,
+        "ff-currency",
+        S::FlashFill,
+        D::Currency,
+        currency_normalize(10, seed + 39),
+        "USD 1234",
+        "'USD '<D>+",
+    );
 
     // --- BlinkFill (4 tasks, avg ≈ 11 rows). ---
-    push(&mut tasks, "bf-medical-ex3", S::BlinkFill, D::Identifier, medical_codes(12, seed + 40), "[CPT-11536]", "'['<U>+'-'<D>+']'");
-    push(&mut tasks, "bf-city-state", S::BlinkFill, D::University, university_state(11, seed + 41), "MI", "<U>2");
-    push(&mut tasks, "bf-name", S::BlinkFill, D::HumanName, name_initials(10, seed + 42), "E.Y.", "<U>'.'<U>'.'");
-    push(&mut tasks, "bf-product-id", S::BlinkFill, D::ProductName, product_id(10, seed + 43), "Widget-2000", "<U><L>+'-'<D>+");
+    push(
+        &mut tasks,
+        "bf-medical-ex3",
+        S::BlinkFill,
+        D::Identifier,
+        medical_codes(12, seed + 40),
+        "[CPT-11536]",
+        "'['<U>+'-'<D>+']'",
+    );
+    push(
+        &mut tasks,
+        "bf-city-state",
+        S::BlinkFill,
+        D::University,
+        university_state(11, seed + 41),
+        "MI",
+        "<U>2",
+    );
+    push(
+        &mut tasks,
+        "bf-name",
+        S::BlinkFill,
+        D::HumanName,
+        name_initials(10, seed + 42),
+        "E.Y.",
+        "<U>'.'<U>'.'",
+    );
+    push(
+        &mut tasks,
+        "bf-product-id",
+        S::BlinkFill,
+        D::ProductName,
+        product_id(10, seed + 43),
+        "Widget-2000",
+        "<U><L>+'-'<D>+",
+    );
 
     // --- PredProg (3 tasks, ≈ 10 rows). ---
-    push(&mut tasks, "pp-name", S::PredProg, D::HumanName, name_last_first_initial(10, seed + 44), "Yahav, E.", "<U><L>+','' '<U>'.'");
-    push(&mut tasks, "pp-address-ex3", S::PredProg, D::Address, address_state_zip(10, seed + 45), "CA 92173", "<U>2' '<D>5");
-    push(&mut tasks, "pp-address-zip", S::PredProg, D::Address, address_zip(10, seed + 46), "92173", "<D>5");
+    push(
+        &mut tasks,
+        "pp-name",
+        S::PredProg,
+        D::HumanName,
+        name_last_first_initial(10, seed + 44),
+        "Yahav, E.",
+        "<U><L>+','' '<U>'.'",
+    );
+    push(
+        &mut tasks,
+        "pp-address-ex3",
+        S::PredProg,
+        D::Address,
+        address_state_zip(10, seed + 45),
+        "CA 92173",
+        "<U>2' '<D>5",
+    );
+    push(
+        &mut tasks,
+        "pp-address-zip",
+        S::PredProg,
+        D::Address,
+        address_zip(10, seed + 46),
+        "92173",
+        "<D>5",
+    );
 
     // --- PROSE (3 tasks, avg ≈ 39 rows). ---
-    push(&mut tasks, "prose-email", S::Prose, D::Email, email_domain(40, seed + 47), "gmail.com", "<L>+'.'<L>+");
-    push(&mut tasks, "prose-country-number", S::Prose, D::PhoneNumber, phone_strip_country_code(40, seed + 48), "734-422-8073", "<D>3'-'<D>3'-'<D>4");
-    push(&mut tasks, "prose-popl-13", S::Prose, D::University, university_state(38, seed + 49), "MI", "<U>2");
+    push(
+        &mut tasks,
+        "prose-email",
+        S::Prose,
+        D::Email,
+        email_domain(40, seed + 47),
+        "gmail.com",
+        "<L>+'.'<L>+",
+    );
+    push(
+        &mut tasks,
+        "prose-country-number",
+        S::Prose,
+        D::PhoneNumber,
+        phone_strip_country_code(40, seed + 48),
+        "734-422-8073",
+        "<D>3'-'<D>3'-'<D>4",
+    );
+    push(
+        &mut tasks,
+        "prose-popl-13",
+        S::Prose,
+        D::University,
+        university_state(38, seed + 49),
+        "MI",
+        "<U>2",
+    );
 
     debug_assert_eq!(tasks.len(), 47);
     tasks
@@ -738,11 +1129,7 @@ mod tests {
             // The target example matches the pattern of the expected rows that
             // are already correct.
             let target = task.target_pattern();
-            let conforming = task
-                .expected
-                .iter()
-                .filter(|e| target.matches(e))
-                .count();
+            let conforming = task.expected.iter().filter(|e| target.matches(e)).count();
             assert!(
                 conforming * 2 >= task.expected.len(),
                 "task {}: most expected outputs should match the target pattern ({} of {})",
@@ -816,9 +1203,18 @@ mod tests {
         let suite = benchmark_suite(0);
         let medical = suite.iter().find(|t| t.name == "bf-medical-ex3").unwrap();
         assert!(medical.inputs.iter().any(|i| i.starts_with("CPT-")));
-        assert!(medical.inputs.iter().any(|i| i.starts_with("[CPT-") && !i.ends_with(']')));
-        assert!(medical.inputs.iter().any(|i| i.starts_with("[CPT-") && i.ends_with(']')));
-        assert!(medical.expected.iter().all(|e| e.starts_with("[CPT-") && e.ends_with(']')));
+        assert!(medical
+            .inputs
+            .iter()
+            .any(|i| i.starts_with("[CPT-") && !i.ends_with(']')));
+        assert!(medical
+            .inputs
+            .iter()
+            .any(|i| i.starts_with("[CPT-") && i.ends_with(']')));
+        assert!(medical
+            .expected
+            .iter()
+            .all(|e| e.starts_with("[CPT-") && e.ends_with(']')));
     }
 
     #[test]

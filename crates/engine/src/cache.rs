@@ -1,0 +1,294 @@
+//! A bounded LRU cache of compiled programs.
+//!
+//! Serving layers re-apply the same synthesized programs to many columns
+//! (or many requests); compiling on every call would redo validation,
+//! regex construction and transparency analysis. [`ProgramCache`] keys
+//! compilations by the structural fingerprint of `(program, target)` and
+//! hands out shared `Arc`s, evicting the least-recently-used entry once
+//! `capacity` distinct programs are resident.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use clx_pattern::Pattern;
+use clx_unifi::Program;
+
+use crate::compiled::{fingerprint, CompiledProgram};
+use crate::error::CompileError;
+
+struct CacheEntry {
+    // Key material kept to disambiguate fingerprint collisions.
+    program: Program,
+    target: Pattern,
+    compiled: Arc<CompiledProgram>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<u64, CacheEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// A thread-safe, bounded LRU cache of [`CompiledProgram`]s.
+pub struct ProgramCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+// A single cache instance is meant to be shared by every request handler.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ProgramCache>();
+};
+
+impl ProgramCache {
+    /// A cache holding at most `capacity` compiled programs (`capacity` is
+    /// clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        ProgramCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The compiled form of `(program, target)`: cached if resident,
+    /// compiled (and cached) otherwise.
+    ///
+    /// Compilation happens *outside* the cache lock, so concurrent lookups
+    /// of resident programs never wait behind a miss; two threads missing on
+    /// the same program may both compile it, and the first insertion wins.
+    pub fn get_or_compile(
+        &self,
+        program: &Program,
+        target: &Pattern,
+    ) -> Result<Arc<CompiledProgram>, CompileError> {
+        let key = fingerprint(program, target);
+        if let Some(compiled) = self.lookup(key, program, target) {
+            return Ok(compiled);
+        }
+        let compiled = Arc::new(CompiledProgram::compile(program, target)?);
+
+        let mut inner = self.inner.lock().expect("program cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        // A racing thread may have inserted the same compilation meanwhile;
+        // serve the resident one so every caller shares a single Arc.
+        if let Some(entry) = inner.entries.get_mut(&key) {
+            if entry.program == *program && entry.target == *target {
+                entry.last_used = tick;
+                return Ok(Arc::clone(&entry.compiled));
+            }
+            // A mismatching entry is a fingerprint collision: replace it.
+        }
+        inner.entries.insert(
+            key,
+            CacheEntry {
+                program: program.clone(),
+                target: target.clone(),
+                compiled: Arc::clone(&compiled),
+                last_used: tick,
+            },
+        );
+        while inner.entries.len() > self.capacity {
+            let oldest = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty map has a minimum");
+            inner.entries.remove(&oldest);
+        }
+        Ok(compiled)
+    }
+
+    /// Hit path: touch and return the resident compilation, counting the
+    /// lookup as a hit or miss.
+    fn lookup(
+        &self,
+        key: u64,
+        program: &Program,
+        target: &Pattern,
+    ) -> Option<Arc<CompiledProgram>> {
+        let mut inner = self.inner.lock().expect("program cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let hit = match inner.entries.get_mut(&key) {
+            Some(entry) if entry.program == *program && entry.target == *target => {
+                entry.last_used = tick;
+                Some(Arc::clone(&entry.compiled))
+            }
+            _ => None,
+        };
+        if hit.is_some() {
+            inner.hits += 1;
+        } else {
+            inner.misses += 1;
+        }
+        hit
+    }
+
+    /// Maximum number of resident programs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident programs.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("program cache poisoned")
+            .entries
+            .len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().expect("program cache poisoned").hits
+    }
+
+    /// Lookups that required compilation.
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().expect("program cache poisoned").misses
+    }
+
+    /// Drop every cached program (counters are kept).
+    pub fn clear(&self) {
+        self.inner
+            .lock()
+            .expect("program cache poisoned")
+            .entries
+            .clear();
+    }
+}
+
+impl std::fmt::Debug for ProgramCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgramCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::tokenize;
+    use clx_unifi::{Branch, Expr, StringExpr};
+
+    fn program(constant: &str) -> Program {
+        Program::new(vec![Branch::new(
+            tokenize("123"),
+            Expr::concat(vec![
+                StringExpr::const_str(constant.to_string()),
+                StringExpr::extract(1),
+            ]),
+        )])
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = ProgramCache::new(4);
+        let target = tokenize("#1");
+        let a = cache.get_or_compile(&program("#"), &target).unwrap();
+        let b = cache.get_or_compile(&program("#"), &target).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same compilation object served");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = ProgramCache::new(2);
+        let target = tokenize("#1");
+        cache.get_or_compile(&program("a"), &target).unwrap();
+        cache.get_or_compile(&program("b"), &target).unwrap();
+        // Touch "a" so "b" becomes the LRU entry.
+        cache.get_or_compile(&program("a"), &target).unwrap();
+        cache.get_or_compile(&program("c"), &target).unwrap();
+        assert_eq!(cache.len(), 2);
+        // "a" survives (hit); "b" was evicted (miss).
+        let hits_before = cache.hits();
+        cache.get_or_compile(&program("a"), &target).unwrap();
+        assert_eq!(cache.hits(), hits_before + 1);
+        let misses_before = cache.misses();
+        cache.get_or_compile(&program("b"), &target).unwrap();
+        assert_eq!(cache.misses(), misses_before + 1);
+    }
+
+    #[test]
+    fn different_targets_are_different_entries() {
+        let cache = ProgramCache::new(4);
+        let p = program("x");
+        cache.get_or_compile(&p, &tokenize("#1")).unwrap();
+        cache.get_or_compile(&p, &tokenize("#22")).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn compile_errors_propagate_and_are_not_cached() {
+        let cache = ProgramCache::new(4);
+        let bad = Program::new(vec![Branch::new(
+            tokenize("abc"),
+            Expr::concat(vec![StringExpr::extract(5)]),
+        )]);
+        assert!(cache.get_or_compile(&bad, &tokenize("x")).is_err());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn clear_and_introspection() {
+        let cache = ProgramCache::new(3);
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 3);
+        cache
+            .get_or_compile(&program("x"), &tokenize("#1"))
+            .unwrap();
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(format!("{cache:?}").contains("capacity"));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let cache = ProgramCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache
+            .get_or_compile(&program("x"), &tokenize("#1"))
+            .unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = std::sync::Arc::new(ProgramCache::new(2));
+        let target = tokenize("#1");
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = std::sync::Arc::clone(&cache);
+                let target = target.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let p = program(if (t + i) % 2 == 0 { "x" } else { "y" });
+                        cache.get_or_compile(&p, &target).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 2);
+        assert_eq!(cache.hits() + cache.misses(), 200);
+    }
+}

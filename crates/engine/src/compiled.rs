@@ -1,0 +1,532 @@
+//! Compilation of a UniFi [`Program`] into an immutable, thread-safe
+//! executable form.
+
+use std::hash::{Hash as _, Hasher as _};
+use std::sync::Arc;
+
+use clx_pattern::{tokenize, Pattern};
+use clx_regex::Regex;
+use clx_unifi::{eval_expr, Expr, Program, StringExpr};
+
+use crate::dispatch::{DispatchCache, LeafPlan, SplitPlan, Step};
+use crate::error::CompileError;
+use crate::report::RowOutcome;
+
+/// One compiled branch: the source pattern, its plan, and the pre-built
+/// Pike-VM regex program used to test opaque patterns in guaranteed linear
+/// time (the interpretive `Pattern::matches` backtracks and can go
+/// super-linear on adversarial rows).
+#[derive(Debug)]
+pub struct CompiledBranch {
+    pattern: Pattern,
+    expr: Expr,
+    regex: Regex,
+    transparent: bool,
+}
+
+impl CompiledBranch {
+    /// The branch's source pattern.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The branch's atomic transformation plan.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The pre-built anchored Pike-VM regex equivalent to the pattern.
+    pub fn regex(&self) -> &Regex {
+        &self.regex
+    }
+
+    /// `true` when matching this branch is decidable from a row's leaf
+    /// pattern alone (see the `dispatch` module docs).
+    pub fn is_transparent(&self) -> bool {
+        self.transparent
+    }
+}
+
+/// A labelled UniFi program compiled for high-throughput batch execution.
+///
+/// Compilation performs, once:
+///
+/// * static validation of every branch's `Extract` bounds (an ill-formed
+///   program is rejected before any data is touched, instead of erroring
+///   midway through row N of the sequential path);
+/// * Pike-VM regex compilation of the target and every branch pattern;
+/// * the transparency analysis enabling leaf-signature dispatch.
+///
+/// The result is immutable and `Send + Sync`: one `CompiledProgram` serves
+/// any number of executor threads (and callers) concurrently. Execution
+/// semantics are exactly those of the sequential session path: rows already
+/// matching the target are conforming, otherwise the first matching branch
+/// rewrites the row, otherwise the row is flagged unchanged (§6.1).
+#[derive(Debug)]
+pub struct CompiledProgram {
+    pub(crate) target: Pattern,
+    target_regex: Regex,
+    target_transparent: bool,
+    branches: Vec<CompiledBranch>,
+    fingerprint: u64,
+    /// Process-unique id of this compilation; [`crate::DispatchCache`]s
+    /// bind to it, so a cached plan can never be replayed against another
+    /// program — not even under a fingerprint collision.
+    instance: u64,
+}
+
+/// Source of [`CompiledProgram::instance`] ids.
+static NEXT_INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+// One compiled program is shared by every worker thread of the executor;
+// keep that guarantee compiler-checked.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledProgram>();
+};
+
+impl CompiledProgram {
+    /// Compile `program` for execution against `target`.
+    pub fn compile(program: &Program, target: &Pattern) -> Result<Self, CompileError> {
+        let target_regex = Regex::new(&target.to_regex()).map_err(|e| CompileError::Regex {
+            branch: None,
+            message: e.to_string(),
+        })?;
+        let mut branches = Vec::with_capacity(program.len());
+        for (index, branch) in program.branches.iter().enumerate() {
+            branch
+                .validate()
+                .map_err(|source| CompileError::InvalidBranch { index, source })?;
+            let regex =
+                Regex::new(&branch.pattern.to_regex()).map_err(|e| CompileError::Regex {
+                    branch: Some(index),
+                    message: e.to_string(),
+                })?;
+            branches.push(CompiledBranch {
+                pattern: branch.pattern.clone(),
+                expr: branch.expr.clone(),
+                regex,
+                transparent: is_transparent(&branch.pattern),
+            });
+        }
+        Ok(CompiledProgram {
+            target: target.clone(),
+            target_regex,
+            target_transparent: is_transparent(target),
+            branches,
+            fingerprint: fingerprint(program, target),
+            instance: NEXT_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        })
+    }
+
+    /// The target pattern this program was compiled against.
+    pub fn target(&self) -> &Pattern {
+        &self.target
+    }
+
+    /// The compiled branches, in dispatch order.
+    pub fn branches(&self) -> &[CompiledBranch] {
+        &self.branches
+    }
+
+    /// The structural hash of `(program, target)`, the key under which
+    /// [`crate::ProgramCache`] stores this compilation.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// `true` when the target and every branch admit leaf-signature
+    /// dispatch, i.e. steady-state execution never runs a full pattern
+    /// match.
+    pub fn is_fully_transparent(&self) -> bool {
+        self.target_transparent && self.branches.iter().all(|b| b.transparent)
+    }
+
+    /// Transform a single row, consulting (and populating) `cache`.
+    pub fn transform_one(&self, cache: &mut DispatchCache, value: &str) -> RowOutcome {
+        let leaf = tokenize(value);
+        let plan = cache.plan_for(self.instance, leaf, |l| self.build_plan(l, value));
+        for step in &plan.steps {
+            match step {
+                Step::Conforming => {
+                    return RowOutcome::Conforming {
+                        value: value.to_string(),
+                    }
+                }
+                Step::Apply { branch, split } => {
+                    return RowOutcome::Transformed {
+                        from: value.to_string(),
+                        to: apply_split(&self.branches[*branch].expr, split, value),
+                    }
+                }
+                Step::CheckTarget => {
+                    if self.target_regex.is_full_match(value) {
+                        return RowOutcome::Conforming {
+                            value: value.to_string(),
+                        };
+                    }
+                }
+                Step::CheckBranch { branch } => {
+                    let b = &self.branches[*branch];
+                    // The Pike-VM regex is a linear-time prefilter; the
+                    // rewrite itself goes through the sequential path's own
+                    // evaluator so the two implementations cannot drift.
+                    if b.regex.is_full_match(value) {
+                        if let Ok(out) = eval_expr(&b.expr, &b.pattern, value) {
+                            return RowOutcome::Transformed {
+                                from: value.to_string(),
+                                to: out,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        RowOutcome::Flagged {
+            value: value.to_string(),
+        }
+    }
+
+    /// Build the decision plan for one leaf; `value` is a representative
+    /// row with that leaf (used to precompute split boundaries).
+    fn build_plan(&self, leaf: &Pattern, value: &str) -> LeafPlan {
+        let mut steps = Vec::new();
+        if self.target_transparent {
+            if self.target.matches(value) {
+                steps.push(Step::Conforming);
+                return LeafPlan { steps };
+            }
+        } else {
+            steps.push(Step::CheckTarget);
+        }
+        for (index, branch) in self.branches.iter().enumerate() {
+            if !branch.transparent {
+                steps.push(Step::CheckBranch { branch: index });
+                continue;
+            }
+            // Cheap structural pre-filter before the backtracking split.
+            if leaf.min_string_len() < branch.pattern.min_string_len() {
+                continue;
+            }
+            if let Ok(slices) = branch.pattern.split(value) {
+                steps.push(Step::Apply {
+                    branch: index,
+                    split: Arc::new(SplitPlan {
+                        ranges: char_ranges(value, &slices),
+                    }),
+                });
+                return LeafPlan { steps };
+            }
+        }
+        LeafPlan { steps }
+    }
+}
+
+/// A pattern is transparent when its literal tokens contain no ASCII
+/// alphanumerics, making its match relation a function of the leaf pattern
+/// (see the `dispatch` module docs for the argument).
+fn is_transparent(pattern: &Pattern) -> bool {
+    pattern.iter().all(|t| match t.literal_value() {
+        Some(s) => s.chars().all(|c| !c.is_ascii_alphanumeric()),
+        None => true,
+    })
+}
+
+/// The cache key of a `(program, target)` compilation: the program's own
+/// structural fingerprint combined with the target pattern.
+pub(crate) fn fingerprint(program: &Program, target: &Pattern) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    program.fingerprint().hash(&mut hasher);
+    target.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Convert the byte-offset slices of `Pattern::split` into character ranges
+/// reusable across every value with the same leaf.
+fn char_ranges(value: &str, slices: &[clx_pattern::TokenSlice]) -> Vec<(usize, usize)> {
+    // byte offset -> char index, built in one pass.
+    let mut char_of_byte = vec![0usize; value.len() + 1];
+    for (chars, (byte, _)) in value.char_indices().enumerate() {
+        char_of_byte[byte] = chars;
+    }
+    char_of_byte[value.len()] = value.chars().count();
+    slices
+        .iter()
+        .map(|s| (char_of_byte[s.start], char_of_byte[s.end]))
+        .collect()
+}
+
+/// Rewrite `value` through `expr` using precomputed token boundaries.
+fn apply_split(expr: &Expr, split: &SplitPlan, value: &str) -> String {
+    if value.is_ascii() {
+        // Char ranges are byte ranges: pure slice copies.
+        let mut out = String::new();
+        for part in &expr.parts {
+            match part {
+                StringExpr::ConstStr(s) => out.push_str(s),
+                StringExpr::Extract { from, to } => {
+                    let start = split.ranges[from - 1].0;
+                    let end = split.ranges[to - 1].1;
+                    out.push_str(&value[start..end]);
+                }
+            }
+        }
+        return out;
+    }
+    let byte_offsets: Vec<usize> = value
+        .char_indices()
+        .map(|(b, _)| b)
+        .chain(std::iter::once(value.len()))
+        .collect();
+    let mut out = String::new();
+    for part in &expr.parts {
+        match part {
+            StringExpr::ConstStr(s) => out.push_str(s),
+            StringExpr::Extract { from, to } => {
+                let start = byte_offsets[split.ranges[from - 1].0];
+                let end = byte_offsets[split.ranges[to - 1].1];
+                out.push_str(&value[start..end]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::{parse_pattern, Token};
+    use clx_unifi::{transform, Branch};
+
+    /// The Figure 4 phone program: three source formats normalized to
+    /// `(ddd) ddd-dddd`.
+    fn phone_program() -> Program {
+        Program::new(vec![
+            Branch::new(
+                tokenize("734-422-8073"),
+                Expr::concat(vec![
+                    StringExpr::const_str("("),
+                    StringExpr::extract(1),
+                    StringExpr::const_str(") "),
+                    StringExpr::extract(3),
+                    StringExpr::const_str("-"),
+                    StringExpr::extract(5),
+                ]),
+            ),
+            Branch::new(
+                tokenize("(734)586-7252"),
+                Expr::concat(vec![
+                    StringExpr::const_str("("),
+                    StringExpr::extract(2),
+                    StringExpr::const_str(") "),
+                    StringExpr::extract(4),
+                    StringExpr::const_str("-"),
+                    StringExpr::extract(6),
+                ]),
+            ),
+        ])
+    }
+
+    fn phone_target() -> Pattern {
+        tokenize("(734) 645-8397")
+    }
+
+    #[test]
+    fn compiled_matches_sequential_transform() {
+        let program = phone_program();
+        let compiled = CompiledProgram::compile(&program, &phone_target()).unwrap();
+        let mut cache = DispatchCache::new();
+        let inputs = [
+            "734-422-8073",
+            "(734)586-7252",
+            "555-111-2222",
+            "(734) 645-8397",
+            "N/A",
+            "",
+        ];
+        for input in inputs {
+            let got = compiled.transform_one(&mut cache, input);
+            if phone_target().matches(input) {
+                assert!(got.is_conforming(), "{input:?} -> {got:?}");
+            } else {
+                let want = transform(&program, input).unwrap();
+                assert_eq!(got.value(), want.value(), "on {input:?}");
+                assert_eq!(got.is_flagged(), want.is_flagged(), "on {input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_cache_replays_decisions() {
+        let compiled = CompiledProgram::compile(&phone_program(), &phone_target()).unwrap();
+        let mut cache = DispatchCache::new();
+        for n in 0..50 {
+            let row = format!("{:03}-{:03}-{:04}", 100 + n, 200 + n, 3000 + n);
+            let out = compiled.transform_one(&mut cache, &row);
+            assert!(out.is_transformed(), "{row} -> {out:?}");
+        }
+        // 50 rows, one leaf: one plan.
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn dispatch_cache_rebinds_across_programs() {
+        // Program A has two branches, program B one; a cache populated by A
+        // must not replay A's plans (branch indices!) when handed to B.
+        let a = CompiledProgram::compile(&phone_program(), &phone_target()).unwrap();
+        let b_program = Program::new(vec![Branch::new(
+            tokenize("734-422-8073"),
+            Expr::concat(vec![StringExpr::extract(5)]),
+        )]);
+        let b = CompiledProgram::compile(&b_program, &tokenize("9999")).unwrap();
+
+        let mut cache = DispatchCache::new();
+        assert!(cache.is_empty());
+        let via_a = a.transform_one(&mut cache, "555-111-2222");
+        assert_eq!(via_a.value(), "(555) 111-2222");
+        // Same leaf, different program: the cache resets and re-decides.
+        let via_b = b.transform_one(&mut cache, "555-111-2222");
+        assert_eq!(via_b.value(), "2222");
+        // And back again.
+        let via_a = a.transform_one(&mut cache, "555-111-2222");
+        assert_eq!(via_a.value(), "(555) 111-2222");
+    }
+
+    #[test]
+    fn transparency_analysis() {
+        let compiled = CompiledProgram::compile(&phone_program(), &phone_target()).unwrap();
+        assert!(compiled.is_fully_transparent());
+        assert!(compiled.branches().iter().all(|b| b.is_transparent()));
+
+        // 'CPT' carries alphanumerics: matching it cannot be decided from
+        // the leaf.
+        let opaque_pattern = Pattern::new(vec![
+            Token::literal("CPT"),
+            Token::base(clx_pattern::TokenClass::Digit, 3),
+        ]);
+        let program = Program::new(vec![Branch::new(
+            opaque_pattern,
+            Expr::concat(vec![StringExpr::extract(2)]),
+        )]);
+        let compiled = CompiledProgram::compile(&program, &tokenize("123")).unwrap();
+        assert!(!compiled.is_fully_transparent());
+    }
+
+    #[test]
+    fn opaque_branches_distinguish_identical_leaves() {
+        // "CPT123" and "XYZ123" share the leaf <U>3<D>3; only the former
+        // matches the literal-'CPT' branch. The dispatch cache must not
+        // conflate them.
+        let opaque_pattern = Pattern::new(vec![
+            Token::literal("CPT"),
+            Token::base(clx_pattern::TokenClass::Digit, 3),
+        ]);
+        let program = Program::new(vec![Branch::new(
+            opaque_pattern,
+            Expr::concat(vec![
+                StringExpr::const_str("["),
+                StringExpr::extract(2),
+                StringExpr::const_str("]"),
+            ]),
+        )]);
+        let compiled = CompiledProgram::compile(&program, &tokenize("[111]")).unwrap();
+        let mut cache = DispatchCache::new();
+        let cpt = compiled.transform_one(&mut cache, "CPT123");
+        assert_eq!(
+            cpt,
+            RowOutcome::Transformed {
+                from: "CPT123".into(),
+                to: "[123]".into(),
+            }
+        );
+        let xyz = compiled.transform_one(&mut cache, "XYZ123");
+        assert_eq!(
+            xyz,
+            RowOutcome::Flagged {
+                value: "XYZ123".into(),
+            }
+        );
+        assert_eq!(cache.len(), 1, "one shared leaf, decided per row");
+    }
+
+    #[test]
+    fn opaque_target_checked_per_row() {
+        // A literal-'N/A' target is opaque; conforming detection must not
+        // leak to other values with the same leaf (<U>'/'<U>).
+        let target = Pattern::new(vec![Token::literal("N/A")]);
+        let compiled = CompiledProgram::compile(&Program::empty(), &target).unwrap();
+        assert!(!compiled.is_fully_transparent());
+        let mut cache = DispatchCache::new();
+        assert!(compiled.transform_one(&mut cache, "N/A").is_conforming());
+        assert!(compiled.transform_one(&mut cache, "X/Y").is_flagged());
+    }
+
+    #[test]
+    fn non_ascii_rows_transform_correctly() {
+        // 'é' lives in a literal token; extraction must respect UTF-8
+        // boundaries.
+        let source = tokenize("é42");
+        let program = Program::new(vec![Branch::new(
+            source,
+            Expr::concat(vec![StringExpr::extract(2), StringExpr::const_str("!")]),
+        )]);
+        let compiled = CompiledProgram::compile(&program, &tokenize("9!")).unwrap();
+        let mut cache = DispatchCache::new();
+        let out = compiled.transform_one(&mut cache, "é42");
+        assert_eq!(out.value(), "42!");
+        let again = compiled.transform_one(&mut cache, "é77");
+        assert_eq!(again.value(), "77!");
+    }
+
+    #[test]
+    fn invalid_extract_rejected_at_compile_time() {
+        let program = Program::new(vec![Branch::new(
+            tokenize("abc"),
+            Expr::concat(vec![StringExpr::extract(9)]),
+        )]);
+        let err = CompiledProgram::compile(&program, &tokenize("x")).unwrap_err();
+        assert!(matches!(err, CompileError::InvalidBranch { index: 0, .. }));
+        assert!(err.to_string().contains("branch 0"));
+    }
+
+    #[test]
+    fn plus_quantified_sources_use_fast_path() {
+        let source = parse_pattern("<U>+'-'<D>+").unwrap();
+        let program = Program::new(vec![Branch::new(
+            source,
+            Expr::concat(vec![
+                StringExpr::const_str("["),
+                StringExpr::extract_range(1, 3),
+                StringExpr::const_str("]"),
+            ]),
+        )]);
+        let compiled =
+            CompiledProgram::compile(&program, &parse_pattern("'['<U>+'-'<D>+']'").unwrap())
+                .unwrap();
+        assert!(compiled.is_fully_transparent());
+        let mut cache = DispatchCache::new();
+        assert_eq!(
+            compiled.transform_one(&mut cache, "CPT-00350").value(),
+            "[CPT-00350]"
+        );
+        assert_eq!(compiled.transform_one(&mut cache, "AB-1").value(), "[AB-1]");
+        assert!(compiled
+            .transform_one(&mut cache, "[CPT-00350]")
+            .is_conforming());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_programs_and_targets() {
+        let p1 = phone_program();
+        let mut p2 = phone_program();
+        p2.branches.pop();
+        let t = phone_target();
+        let c1 = CompiledProgram::compile(&p1, &t).unwrap();
+        let c1b = CompiledProgram::compile(&p1, &t).unwrap();
+        let c2 = CompiledProgram::compile(&p2, &t).unwrap();
+        let c3 = CompiledProgram::compile(&p1, &tokenize("999")).unwrap();
+        assert_eq!(c1.fingerprint(), c1b.fingerprint());
+        assert_ne!(c1.fingerprint(), c2.fingerprint());
+        assert_ne!(c1.fingerprint(), c3.fingerprint());
+    }
+}

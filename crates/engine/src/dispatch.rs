@@ -1,0 +1,129 @@
+//! Leaf-signature dispatch: the per-worker cache that lets most rows skip
+//! full pattern matching.
+//!
+//! # Why this is sound
+//!
+//! [`clx_pattern::tokenize`] maps every value to its *leaf pattern*: maximal
+//! runs of digit/lower/upper characters become class tokens recording the
+//! run length, and every other character is kept verbatim in a literal
+//! token. Matching a value against a *transparent* pattern — one whose
+//! literal tokens contain no ASCII-alphanumeric characters — only ever asks
+//! two kinds of questions about the value:
+//!
+//! 1. *is the character at position `i` in base class `C`?* — determined by
+//!    the leaf: class-run characters carry their most-specific class (`<D>`,
+//!    `<L>`, `<U>`), which decides membership in every base class of the
+//!    lattice, and literal-run characters are stored verbatim, which decides
+//!    their (only) possible base membership, `<AN>` ∋ `-`/`_`;
+//! 2. *is the character at position `i` exactly `c`?* (literal tokens) —
+//!    `c` is non-alphanumeric, so position `i` can only hold a literal-run
+//!    character, which the leaf stores verbatim.
+//!
+//! Two values with the same leaf therefore give the same answer to every
+//! question, so they match the same transparent patterns *and* split at the
+//! same character boundaries. The executor exploits this by deciding each
+//! distinct leaf once — which branch fires (or that the row conforms or is
+//! flagged), and where the winning branch's tokens begin and end — and
+//! replaying that decision on every further row with the same leaf as a few
+//! slice copies.
+//!
+//! Patterns that are *not* transparent (a literal such as `'CPT'` or `'N/A'`
+//! can distinguish values with identical leaves) are never decided from the
+//! leaf; the plan records a per-row check for them instead.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use clx_pattern::Pattern;
+
+/// One decision step of a [`LeafPlan`], replayed per row in program order.
+///
+/// A plan is the prefix of the sequential decision sequence (target first,
+/// then each branch) that could not be resolved from the leaf alone,
+/// terminated by the first leaf-resolved outcome. Falling off the end of
+/// the plan means no pattern matched: the row is flagged.
+#[derive(Debug)]
+pub(crate) enum Step {
+    /// The target pattern matches every row with this leaf: conforming.
+    Conforming,
+    /// Branch `branch` matches every row with this leaf; rewrite the row
+    /// using the precomputed token boundaries.
+    Apply {
+        /// Index of the winning branch.
+        branch: usize,
+        /// Token boundaries shared by every row with this leaf.
+        split: Arc<SplitPlan>,
+    },
+    /// The target pattern is opaque; test it against the concrete row.
+    CheckTarget,
+    /// Branch `branch` is opaque; test it against the concrete row.
+    CheckBranch {
+        /// Index of the branch to test.
+        branch: usize,
+    },
+}
+
+/// The decision sequence for one leaf pattern.
+#[derive(Debug)]
+pub(crate) struct LeafPlan {
+    pub(crate) steps: Vec<Step>,
+}
+
+/// Precomputed per-token character boundaries for a (leaf, branch) pair:
+/// `ranges[i]` is the half-open character span of source token `i + 1`.
+#[derive(Debug)]
+pub(crate) struct SplitPlan {
+    pub(crate) ranges: Vec<(usize, usize)>,
+}
+
+/// The per-worker dispatch cache mapping leaf patterns to their plans.
+///
+/// Each executor thread owns one cache; real columns have a handful of
+/// distinct leaves, so the map stays tiny and never needs synchronization.
+///
+/// Plans are only meaningful for the program that built them, so the cache
+/// remembers that program's process-unique instance id and transparently
+/// resets itself when it is handed to a different compiled program — a
+/// stale plan can never be replayed against the wrong branch list.
+#[derive(Debug, Default)]
+pub struct DispatchCache {
+    program: Option<u64>,
+    plans: HashMap<Pattern, Arc<LeafPlan>>,
+}
+
+impl DispatchCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        DispatchCache::default()
+    }
+
+    /// Number of distinct leaf patterns decided so far.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// `true` if no leaf has been decided yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// The plan for `leaf` under the program instance identified by
+    /// `instance`, building it with `build` on first sight.
+    pub(crate) fn plan_for(
+        &mut self,
+        instance: u64,
+        leaf: Pattern,
+        build: impl FnOnce(&Pattern) -> LeafPlan,
+    ) -> Arc<LeafPlan> {
+        if self.program != Some(instance) {
+            self.plans.clear();
+            self.program = Some(instance);
+        }
+        if let Some(plan) = self.plans.get(&leaf) {
+            return Arc::clone(plan);
+        }
+        let plan = Arc::new(build(&leaf));
+        self.plans.insert(leaf, Arc::clone(&plan));
+        plan
+    }
+}

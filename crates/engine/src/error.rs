@@ -1,0 +1,81 @@
+//! Compilation errors.
+
+use std::fmt;
+
+use clx_unifi::EvalError;
+
+/// Why a UniFi program could not be compiled for batch execution.
+///
+/// Everything here indicates an ill-formed *program* (a synthesizer bug or a
+/// hand-built program), never ill-formed data: data problems surface as
+/// flagged rows, exactly as in the sequential path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A branch references source tokens outside its own pattern. The
+    /// sequential evaluator would report the same defect lazily, on the
+    /// first row reaching that branch; compilation rejects it up front.
+    InvalidBranch {
+        /// Index of the offending branch.
+        index: usize,
+        /// The underlying bounds violation.
+        source: EvalError,
+    },
+    /// A pattern-derived regex failed to compile (indicates a bug in the
+    /// pattern-to-regex rendering).
+    Regex {
+        /// The offending branch, or `None` for the target pattern.
+        branch: Option<usize>,
+        /// The regex engine's error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InvalidBranch { index, source } => {
+                write!(f, "branch {index} is ill-formed: {source}")
+            }
+            CompileError::Regex {
+                branch: Some(i),
+                message,
+            } => write!(f, "branch {i} pattern regex failed to compile: {message}"),
+            CompileError::Regex {
+                branch: None,
+                message,
+            } => write!(f, "target pattern regex failed to compile: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_culprit() {
+        let e = CompileError::InvalidBranch {
+            index: 3,
+            source: EvalError::ExtractOutOfBounds {
+                index: 7,
+                pattern_len: 2,
+            },
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("branch 3"));
+        assert!(msg.contains("token 7"));
+
+        let e = CompileError::Regex {
+            branch: None,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("target pattern"));
+        let e = CompileError::Regex {
+            branch: Some(1),
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("branch 1"));
+    }
+}

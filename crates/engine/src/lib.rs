@@ -1,0 +1,81 @@
+//! # clx-engine
+//!
+//! A compiled, parallel batch-transformation subsystem for CLX.
+//!
+//! The interactive `ClxSession` (in `clx-core`) drives the paper's
+//! Cluster–Label–Transform loop and re-interprets the synthesized UniFi
+//! program on every row — the right trade-off for a user study, the wrong
+//! one for serving large columns. This crate is the execution layer that
+//! consumes the session's output:
+//!
+//! * [`CompiledProgram::compile`] turns a UniFi [`Program`](clx_unifi::Program)
+//!   plus its labelled target pattern into an immutable, `Send + Sync`
+//!   executable: branch `Extract` bounds are validated up front, every
+//!   pattern gets a pre-built Pike-VM regex program (`clx-regex`), and a
+//!   transparency analysis marks the patterns whose match relation is a
+//!   function of a row's token-class signature;
+//! * execution dispatches rows by that signature — each distinct leaf
+//!   pattern is decided once (which branch fires and where its tokens sit)
+//!   and every further row with the same signature is rewritten with a few
+//!   slice copies, skipping full pattern matching entirely;
+//! * [`CompiledProgram::execute`] runs whole columns in parallel chunks
+//!   over `std::thread::scope` workers, merging per-chunk
+//!   [`ChunkReport`]s into an order-preserving [`BatchReport`];
+//! * [`CompiledProgram::stream`] (then [`StreamSession::push_chunk`] /
+//!   [`StreamSession::finish`]) processes columns larger than memory,
+//!   retaining only O(1) counters;
+//! * [`ProgramCache`] is a bounded, thread-safe LRU of compiled programs
+//!   keyed by the structural fingerprint of `(program, target)`.
+//!
+//! The executor's semantics are exactly those of the sequential path: rows
+//! already matching the target conform, the first matching branch rewrites,
+//! everything else is left unchanged and flagged (§6.1 of the paper).
+//!
+//! ```
+//! use clx_engine::CompiledProgram;
+//! use clx_pattern::tokenize;
+//! use clx_unifi::{Branch, Expr, Program, StringExpr};
+//!
+//! // dd/dd/dddd -> dd-dd-dddd
+//! let program = Program::new(vec![Branch::new(
+//!     tokenize("12/11/2017"),
+//!     Expr::concat(vec![
+//!         StringExpr::extract(1),
+//!         StringExpr::const_str("-"),
+//!         StringExpr::extract(3),
+//!         StringExpr::const_str("-"),
+//!         StringExpr::extract(5),
+//!     ]),
+//! )]);
+//! let compiled = CompiledProgram::compile(&program, &tokenize("12-11-2017")).unwrap();
+//!
+//! let column: Vec<String> = vec![
+//!     "12/11/2017".into(),
+//!     "03-04-2018".into(),
+//!     "unknown".into(),
+//! ];
+//! let report = compiled.execute(&column);
+//! assert_eq!(report.values(), vec!["12-11-2017", "03-04-2018", "unknown"]);
+//! assert_eq!(report.transformed_count(), 1);
+//! assert_eq!(report.conforming_count(), 1);
+//! assert_eq!(report.flagged_values(), vec!["unknown"]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod compiled;
+mod dispatch;
+mod error;
+mod parallel;
+mod report;
+mod stream;
+
+pub use cache::ProgramCache;
+pub use compiled::{CompiledBranch, CompiledProgram};
+pub use dispatch::DispatchCache;
+pub use error::CompileError;
+pub use parallel::ExecOptions;
+pub use report::{BatchReport, ChunkReport, ChunkStats, RowOutcome};
+pub use stream::{StreamSession, StreamSummary};

@@ -1,0 +1,285 @@
+//! Mergeable execution reports.
+//!
+//! The parallel executor produces one [`ChunkReport`] per chunk; chunk
+//! reports merge (in chunk order) into a column-level [`BatchReport`]. Both
+//! carry [`ChunkStats`], a small commutative summary that also powers the
+//! streaming API, where whole-column row storage is exactly what must be
+//! avoided.
+
+use clx_pattern::Pattern;
+
+/// The outcome of the batch executor for one input row.
+///
+/// Mirrors the sequential session semantics exactly: rows already in the
+/// target pattern are left untouched, rows matching a branch are rewritten,
+/// and rows matching nothing are left unchanged and flagged for review
+/// (§6.1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// The row already matched the target pattern.
+    Conforming {
+        /// The (unchanged) value.
+        value: String,
+    },
+    /// A branch of the compiled program transformed the row.
+    Transformed {
+        /// The original value.
+        from: String,
+        /// The transformed value.
+        to: String,
+    },
+    /// No branch matched; the row is left unchanged and flagged.
+    Flagged {
+        /// The (unchanged) value.
+        value: String,
+    },
+}
+
+impl RowOutcome {
+    /// The output value of the row.
+    pub fn value(&self) -> &str {
+        match self {
+            RowOutcome::Conforming { value } | RowOutcome::Flagged { value } => value,
+            RowOutcome::Transformed { to, .. } => to,
+        }
+    }
+
+    /// `true` if a branch rewrote the row.
+    pub fn is_transformed(&self) -> bool {
+        matches!(self, RowOutcome::Transformed { .. })
+    }
+
+    /// `true` if the row was flagged for manual review.
+    pub fn is_flagged(&self) -> bool {
+        matches!(self, RowOutcome::Flagged { .. })
+    }
+
+    /// `true` if the row already matched the target pattern.
+    pub fn is_conforming(&self) -> bool {
+        matches!(self, RowOutcome::Conforming { .. })
+    }
+}
+
+/// Commutative per-chunk counters; merging chunks sums them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChunkStats {
+    /// Rows rewritten by a branch.
+    pub transformed: usize,
+    /// Rows that already matched the target.
+    pub conforming: usize,
+    /// Rows flagged for review.
+    pub flagged: usize,
+}
+
+impl ChunkStats {
+    /// Total rows covered by these counters.
+    pub fn rows(&self) -> usize {
+        self.transformed + self.conforming + self.flagged
+    }
+
+    /// Count one outcome.
+    pub(crate) fn record(&mut self, outcome: &RowOutcome) {
+        match outcome {
+            RowOutcome::Conforming { .. } => self.conforming += 1,
+            RowOutcome::Transformed { .. } => self.transformed += 1,
+            RowOutcome::Flagged { .. } => self.flagged += 1,
+        }
+    }
+
+    /// Fold another chunk's counters into this one.
+    pub fn absorb(&mut self, other: &ChunkStats) {
+        self.transformed += other.transformed;
+        self.conforming += other.conforming;
+        self.flagged += other.flagged;
+    }
+}
+
+/// The outcome of executing a compiled program over one chunk of rows.
+#[derive(Debug, Clone)]
+pub struct ChunkReport {
+    /// Zero-based position of the chunk within the column (or stream).
+    pub index: usize,
+    /// One outcome per row of the chunk, in row order.
+    pub rows: Vec<RowOutcome>,
+    /// Counters over `rows`.
+    pub stats: ChunkStats,
+}
+
+impl ChunkReport {
+    /// Build a report from outcomes, computing the counters.
+    pub fn new(index: usize, rows: Vec<RowOutcome>) -> Self {
+        let mut stats = ChunkStats::default();
+        for row in &rows {
+            stats.record(row);
+        }
+        ChunkReport { index, rows, stats }
+    }
+}
+
+/// A column-level report: the merge of every chunk, in input order.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// The target pattern the program was compiled against.
+    pub target: Pattern,
+    /// One outcome per input row, in input order.
+    pub rows: Vec<RowOutcome>,
+    /// Counters over `rows`.
+    pub stats: ChunkStats,
+    /// Number of chunks merged into this report.
+    pub chunk_count: usize,
+}
+
+impl BatchReport {
+    /// An empty report for `target`.
+    pub fn empty(target: Pattern) -> Self {
+        BatchReport {
+            target,
+            rows: Vec::new(),
+            stats: ChunkStats::default(),
+            chunk_count: 0,
+        }
+    }
+
+    /// Merge chunk reports (sorted by `index`) into a column-level report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunks are not in ascending `index` order — that would
+    /// silently permute the output column.
+    pub fn from_chunks(target: Pattern, chunks: Vec<ChunkReport>) -> Self {
+        let mut report = BatchReport::empty(target);
+        for chunk in chunks {
+            report.push_chunk(chunk);
+        }
+        report
+    }
+
+    /// Append one chunk to this report, enforcing chunk order.
+    pub fn push_chunk(&mut self, chunk: ChunkReport) {
+        assert_eq!(
+            chunk.index, self.chunk_count,
+            "chunk reports must merge in index order"
+        );
+        self.stats.absorb(&chunk.stats);
+        self.rows.extend(chunk.rows);
+        self.chunk_count += 1;
+    }
+
+    /// The output column (one value per row, in input order).
+    pub fn values(&self) -> Vec<String> {
+        self.rows.iter().map(|r| r.value().to_string()).collect()
+    }
+
+    /// Rows rewritten by a branch.
+    pub fn transformed_count(&self) -> usize {
+        self.stats.transformed
+    }
+
+    /// Rows that already matched the target.
+    pub fn conforming_count(&self) -> usize {
+        self.stats.conforming
+    }
+
+    /// Rows flagged for review.
+    pub fn flagged_count(&self) -> usize {
+        self.stats.flagged
+    }
+
+    /// The flagged values, in input order.
+    pub fn flagged_values(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|r| r.is_flagged())
+            .map(|r| r.value())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::tokenize;
+
+    fn chunk(index: usize, values: &[&str]) -> ChunkReport {
+        ChunkReport::new(
+            index,
+            values
+                .iter()
+                .map(|v| RowOutcome::Flagged {
+                    value: v.to_string(),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn chunk_report_counts() {
+        let report = ChunkReport::new(
+            0,
+            vec![
+                RowOutcome::Conforming { value: "a".into() },
+                RowOutcome::Transformed {
+                    from: "b".into(),
+                    to: "c".into(),
+                },
+                RowOutcome::Flagged { value: "d".into() },
+            ],
+        );
+        assert_eq!(report.stats.conforming, 1);
+        assert_eq!(report.stats.transformed, 1);
+        assert_eq!(report.stats.flagged, 1);
+        assert_eq!(report.stats.rows(), 3);
+    }
+
+    #[test]
+    fn merge_preserves_chunk_order() {
+        let merged = BatchReport::from_chunks(
+            tokenize("1"),
+            vec![chunk(0, &["a", "b"]), chunk(1, &["c"]), chunk(2, &["d"])],
+        );
+        assert_eq!(merged.values(), vec!["a", "b", "c", "d"]);
+        assert_eq!(merged.chunk_count, 3);
+        assert_eq!(merged.flagged_count(), 4);
+        assert_eq!(merged.flagged_values(), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index order")]
+    fn out_of_order_chunks_are_rejected() {
+        BatchReport::from_chunks(tokenize("1"), vec![chunk(1, &["a"])]);
+    }
+
+    #[test]
+    fn row_outcome_accessors() {
+        let t = RowOutcome::Transformed {
+            from: "a".into(),
+            to: "b".into(),
+        };
+        assert_eq!(t.value(), "b");
+        assert!(t.is_transformed() && !t.is_flagged() && !t.is_conforming());
+        assert_eq!(RowOutcome::Conforming { value: "x".into() }.value(), "x");
+        assert_eq!(RowOutcome::Flagged { value: "y".into() }.value(), "y");
+    }
+
+    #[test]
+    fn stats_absorb_sums() {
+        let mut a = ChunkStats {
+            transformed: 1,
+            conforming: 2,
+            flagged: 3,
+        };
+        a.absorb(&ChunkStats {
+            transformed: 10,
+            conforming: 20,
+            flagged: 30,
+        });
+        assert_eq!(
+            a,
+            ChunkStats {
+                transformed: 11,
+                conforming: 22,
+                flagged: 33,
+            }
+        );
+    }
+}

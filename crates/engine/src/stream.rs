@@ -1,0 +1,192 @@
+//! Streaming execution for columns larger than memory.
+//!
+//! [`StreamSession::push_chunk`] transforms one chunk (in parallel) and
+//! *returns* its rows to the caller — to be written to a sink immediately —
+//! while the session itself retains only O(1) mergeable counters. A column
+//! of any size can therefore be processed with memory proportional to one
+//! chunk.
+
+use clx_pattern::Pattern;
+
+use crate::compiled::CompiledProgram;
+use crate::dispatch::DispatchCache;
+use crate::parallel::ExecOptions;
+use crate::report::{ChunkReport, ChunkStats};
+
+/// An in-progress streaming run over one compiled program.
+///
+/// The session owns its workers' dispatch caches, so leaf decisions made in
+/// one pushed chunk are reused by every later chunk of the stream.
+pub struct StreamSession<'p> {
+    program: &'p CompiledProgram,
+    options: ExecOptions,
+    caches: Vec<DispatchCache>,
+    stats: ChunkStats,
+    chunks: usize,
+}
+
+impl CompiledProgram {
+    /// Start a streaming run with default execution options.
+    pub fn stream(&self) -> StreamSession<'_> {
+        self.stream_with(ExecOptions::default())
+    }
+
+    /// Start a streaming run with explicit execution options.
+    pub fn stream_with(&self, options: ExecOptions) -> StreamSession<'_> {
+        StreamSession {
+            program: self,
+            options,
+            caches: Vec::new(),
+            stats: ChunkStats::default(),
+            chunks: 0,
+        }
+    }
+}
+
+impl StreamSession<'_> {
+    /// Transform the next chunk of the column and hand its rows back to the
+    /// caller. Only the counters are retained by the session.
+    pub fn push_chunk(&mut self, rows: &[String]) -> ChunkReport {
+        let batch = self
+            .program
+            .execute_pooled(rows, self.options, &mut self.caches);
+        let report = ChunkReport {
+            index: self.chunks,
+            rows: batch.rows,
+            stats: batch.stats,
+        };
+        self.stats.absorb(&report.stats);
+        self.chunks += 1;
+        report
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &ChunkStats {
+        &self.stats
+    }
+
+    /// Chunks pushed so far.
+    pub fn chunks_pushed(&self) -> usize {
+        self.chunks
+    }
+
+    /// Finish the run, returning the whole-stream summary.
+    pub fn finish(self) -> StreamSummary {
+        StreamSummary {
+            target: self.program.target().clone(),
+            chunks: self.chunks,
+            stats: self.stats,
+        }
+    }
+}
+
+/// The O(1)-sized result of a finished streaming run.
+#[derive(Debug, Clone)]
+pub struct StreamSummary {
+    /// The target pattern of the compiled program.
+    pub target: Pattern,
+    /// Number of chunks pushed.
+    pub chunks: usize,
+    /// Counters over every row pushed.
+    pub stats: ChunkStats,
+}
+
+impl StreamSummary {
+    /// Total rows processed.
+    pub fn rows(&self) -> usize {
+        self.stats.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::tokenize;
+    use clx_unifi::{Branch, Expr, Program, StringExpr};
+
+    fn compiled() -> CompiledProgram {
+        let program = Program::new(vec![Branch::new(
+            tokenize("734.236.3466"),
+            Expr::concat(vec![
+                StringExpr::extract(1),
+                StringExpr::const_str("-"),
+                StringExpr::extract(3),
+                StringExpr::const_str("-"),
+                StringExpr::extract(5),
+            ]),
+        )]);
+        CompiledProgram::compile(&program, &tokenize("734-422-8073")).unwrap()
+    }
+
+    #[test]
+    fn chunks_stream_through_without_whole_column_state() {
+        let program = compiled();
+        let mut stream = program.stream();
+        let mut written: Vec<String> = Vec::new();
+        for c in 0..10 {
+            let chunk: Vec<String> = (0..100)
+                .map(|i| match (c * 100 + i) % 3 {
+                    0 => format!("{:03}.{:03}.{:04}", 100 + i, 200 + i, 4000 + i),
+                    1 => format!("{:03}-{:03}-{:04}", 100 + i, 200 + i, 4000 + i),
+                    _ => "???".to_string(),
+                })
+                .collect();
+            let report = stream.push_chunk(&chunk);
+            assert_eq!(report.index, c);
+            assert_eq!(report.rows.len(), 100);
+            written.extend(report.rows.iter().map(|r| r.value().to_string()));
+        }
+        assert_eq!(stream.chunks_pushed(), 10);
+        let summary = stream.finish();
+        assert_eq!(summary.chunks, 10);
+        assert_eq!(summary.rows(), 1_000);
+        assert_eq!(written.len(), 1_000);
+        assert_eq!(
+            summary.stats.transformed + summary.stats.conforming + summary.stats.flagged,
+            1_000
+        );
+        assert!(summary.stats.flagged > 0 && summary.stats.transformed > 0);
+    }
+
+    #[test]
+    fn streamed_outcomes_equal_one_shot_execution() {
+        let program = compiled();
+        let column: Vec<String> = (0..500)
+            .map(|i| format!("{:03}.{:03}.{:04}", 100 + i % 800, 200 + i % 700, i))
+            .collect();
+        let one_shot = program.execute(&column);
+
+        let mut stream = program.stream();
+        let mut streamed = Vec::new();
+        for chunk in column.chunks(77) {
+            streamed.extend(stream.push_chunk(chunk).rows);
+        }
+        let summary = stream.finish();
+        assert_eq!(streamed, one_shot.rows);
+        assert_eq!(summary.stats, one_shot.stats);
+    }
+
+    #[test]
+    fn worker_caches_persist_across_chunks() {
+        let program = compiled();
+        let mut stream = program.stream_with(crate::ExecOptions {
+            threads: 1,
+            chunk_size: 0,
+        });
+        let rows: Vec<String> = (0..10).map(|i| format!("111.222.{:04}", i)).collect();
+        stream.push_chunk(&rows);
+        let decided_after_first = stream.caches[0].len();
+        assert!(decided_after_first > 0);
+        stream.push_chunk(&rows);
+        // Same leaves in the second chunk: no new plans were built.
+        assert_eq!(stream.caches[0].len(), decided_after_first);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let program = compiled();
+        let summary = program.stream().finish();
+        assert_eq!(summary.chunks, 0);
+        assert_eq!(summary.rows(), 0);
+    }
+}

@@ -202,7 +202,10 @@ mod tests {
 
     #[test]
     fn atom_eval() {
-        assert_eq!(Atom::ConstStr("x".into()).eval("whatever"), Some("x".into()));
+        assert_eq!(
+            Atom::ConstStr("x".into()).eval("whatever"),
+            Some("x".into())
+        );
         let a = substr("734-422-8073", 4, 7);
         assert_eq!(a.eval("734-422-8073"), Some("422".into()));
         assert_eq!(a.eval("555-936-2447"), Some("936".into()));

@@ -98,11 +98,7 @@ impl fmt::Display for PosExpr {
             PosExpr::BoundaryPos {
                 boundary,
                 occurrence,
-            } => write!(
-                f,
-                "Pos({}|{}, {occurrence})",
-                boundary.left, boundary.right
-            ),
+            } => write!(f, "Pos({}|{}, {occurrence})", boundary.left, boundary.right),
         }
     }
 }
@@ -115,7 +111,11 @@ fn char_count(input: &str) -> usize {
 /// The boundary signature at character position `pos` of `input`.
 pub fn boundary_at(input: &str, pos: usize) -> Boundary {
     let chars: Vec<char> = input.chars().collect();
-    let left_char = if pos == 0 { None } else { chars.get(pos - 1).copied() };
+    let left_char = if pos == 0 {
+        None
+    } else {
+        chars.get(pos - 1).copied()
+    };
     let right_char = chars.get(pos).copied();
     let left = left_char.map(CharKind::of).unwrap_or(CharKind::Start);
     let right = right_char.map(CharKind::of).unwrap_or(CharKind::End);

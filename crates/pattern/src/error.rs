@@ -35,7 +35,10 @@ impl fmt::Display for PatternError {
                 write!(f, "pattern parse error at byte {position}: {message}")
             }
             PatternError::TokenIndexOutOfBounds { index, len } => {
-                write!(f, "token index {index} out of bounds for pattern of {len} tokens")
+                write!(
+                    f,
+                    "token index {index} out of bounds for pattern of {len} tokens"
+                )
             }
             PatternError::NoMatch { pattern, value } => {
                 write!(f, "string {value:?} does not match pattern {pattern}")

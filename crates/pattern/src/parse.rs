@@ -112,7 +112,9 @@ pub fn parse_pattern(input: &str) -> Result<Pattern, PatternError> {
             other => {
                 return Err(PatternError::Parse {
                     position: byte_pos(input, i),
-                    message: format!("unexpected character {other:?} (tokens start with '<' or \"'\")"),
+                    message: format!(
+                        "unexpected character {other:?} (tokens start with '<' or \"'\")"
+                    ),
                 })
             }
         }

@@ -32,7 +32,34 @@ pub struct TokenizedString {
 ///            "<U><L>2<D>3'@'<L>5'.'<L>3");
 /// ```
 pub fn tokenize(s: &str) -> Pattern {
-    tokenize_detailed(s).pattern
+    // Single pass, no intermediate buffers: this is the hottest function of
+    // the whole system (clustering profiles every row with it, and the batch
+    // engine derives its dispatch signature from it).
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut run: Option<(TokenClass, usize)> = None;
+    for c in s.chars() {
+        match precise_class(c) {
+            Some(class) => match &mut run {
+                Some((current, len)) if *current == class => *len += 1,
+                _ => {
+                    if let Some((class, len)) = run.take() {
+                        tokens.push(Token::base(class, len));
+                    }
+                    run = Some((class, 1));
+                }
+            },
+            None => {
+                if let Some((class, len)) = run.take() {
+                    tokens.push(Token::base(class, len));
+                }
+                tokens.push(Token::literal(c.to_string()));
+            }
+        }
+    }
+    if let Some((class, len)) = run {
+        tokens.push(Token::base(class, len));
+    }
+    Pattern::new(tokens)
 }
 
 /// Like [`tokenize`] but also returns the character slices each token covers.
@@ -207,5 +234,23 @@ mod tests {
         let t = tokenize_detailed("CPT115");
         let split = t.pattern.split("CPT115").unwrap();
         assert_eq!(split, t.slices);
+    }
+
+    #[test]
+    fn fast_tokenize_agrees_with_detailed() {
+        for s in [
+            "",
+            "Bob123@gmail.com",
+            "(734) 645-8397",
+            "+1 724-285-5210",
+            "a€b",
+            "N/A",
+            "--",
+            "McMillan",
+            "aaaa1111BBBB",
+            "   ",
+        ] {
+            assert_eq!(tokenize(s), tokenize_detailed(s).pattern, "on {s:?}");
+        }
     }
 }

@@ -61,10 +61,7 @@ impl CharClass {
 
     /// Does the class contain `c`?
     pub fn contains(&self, c: char) -> bool {
-        let inside = self
-            .ranges
-            .iter()
-            .any(|&(lo, hi)| c >= lo && c <= hi);
+        let inside = self.ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
         inside != self.negated
     }
 
@@ -90,7 +87,13 @@ impl CharClass {
 
     /// The `[a-zA-Z0-9_-]` class (the paper's `<AN>`).
     pub fn alnum() -> Self {
-        CharClass::from_ranges(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_'), ('-', '-')])
+        CharClass::from_ranges(vec![
+            ('a', 'z'),
+            ('A', 'Z'),
+            ('0', '9'),
+            ('_', '_'),
+            ('-', '-'),
+        ])
     }
 
     /// The `\s` whitespace class.

@@ -42,11 +42,26 @@ pub use replace::{ReplacementTemplate, TemplatePart};
 use program::Program;
 
 /// A compiled regular expression.
+///
+/// Compilation happens once in [`Regex::new`]; matching never mutates the
+/// compiled Pike-VM program, so a `Regex` is immutable, `Send + Sync`, and
+/// can be shared freely across the worker threads of a batch executor such
+/// as `clx-engine` (compile once, match everywhere).
 #[derive(Debug, Clone)]
 pub struct Regex {
     pattern: String,
     program: Program,
 }
+
+// The batch-execution layer shares compiled regexes across threads; keep the
+// thread-safety guarantee compiler-checked rather than incidental.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Regex>();
+    assert_send_sync::<Match>();
+    assert_send_sync::<Captures>();
+    assert_send_sync::<ReplacementTemplate>();
+};
 
 /// A single match: its byte span within the haystack and the matched text.
 #[derive(Debug, Clone, PartialEq, Eq)]

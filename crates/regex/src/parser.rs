@@ -285,9 +285,7 @@ impl Parser<'_> {
                 }
             }
             Some(')') => Err(self.err("unexpected ')'")),
-            Some('*') | Some('+') | Some('?') => {
-                Err(self.err("quantifier with nothing to repeat"))
-            }
+            Some('*') | Some('+') | Some('?') => Err(self.err("quantifier with nothing to repeat")),
             Some(c) => {
                 self.bump();
                 Ok(Ast::Literal(c))
@@ -410,7 +408,11 @@ mod tests {
         assert_eq!(n, 0);
         assert_eq!(
             ast,
-            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b'), Ast::Literal('c')])
+            Ast::Concat(vec![
+                Ast::Literal('a'),
+                Ast::Literal('b'),
+                Ast::Literal('c')
+            ])
         );
     }
 
@@ -494,13 +496,17 @@ mod tests {
     #[test]
     fn quantifiers() {
         match ok("a+").0 {
-            Ast::Repeat { min, max, greedy, .. } => {
+            Ast::Repeat {
+                min, max, greedy, ..
+            } => {
                 assert_eq!((min, max, greedy), (1, None, true));
             }
             other => panic!("{other:?}"),
         }
         match ok("a*?").0 {
-            Ast::Repeat { min, max, greedy, .. } => {
+            Ast::Repeat {
+                min, max, greedy, ..
+            } => {
                 assert_eq!((min, max, greedy), (0, None, false));
             }
             other => panic!("{other:?}"),

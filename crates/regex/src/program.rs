@@ -118,7 +118,10 @@ impl Compiler {
         let mut end_jumps = Vec::new();
         for (i, branch) in branches.iter().enumerate() {
             if i + 1 < branches.len() {
-                let split_pc = self.push(Inst::Split { first: 0, second: 0 })?;
+                let split_pc = self.push(Inst::Split {
+                    first: 0,
+                    second: 0,
+                })?;
                 let branch_start = self.insts.len();
                 self.compile_ast(branch)?;
                 let jmp_pc = self.push(Inst::Jmp(0))?;
@@ -153,7 +156,10 @@ impl Compiler {
         match max {
             None => {
                 // `x*` loop after the mandatory prefix.
-                let split_pc = self.push(Inst::Split { first: 0, second: 0 })?;
+                let split_pc = self.push(Inst::Split {
+                    first: 0,
+                    second: 0,
+                })?;
                 let body_start = self.insts.len();
                 self.compile_ast(ast)?;
                 self.push(Inst::Jmp(split_pc))?;
@@ -175,7 +181,10 @@ impl Compiler {
                 // (max - min) optional copies.
                 let mut exit_splits = Vec::new();
                 for _ in min..max {
-                    let split_pc = self.push(Inst::Split { first: 0, second: 0 })?;
+                    let split_pc = self.push(Inst::Split {
+                        first: 0,
+                        second: 0,
+                    })?;
                     exit_splits.push(split_pc);
                     let body_start = self.insts.len();
                     self.compile_ast(ast)?;
@@ -246,10 +255,7 @@ mod tests {
     #[test]
     fn star_compiles_to_loop() {
         let p = compiled("a*");
-        assert!(p
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Split { .. })));
+        assert!(p.insts.iter().any(|i| matches!(i, Inst::Split { .. })));
         assert!(p.insts.iter().any(|i| matches!(i, Inst::Jmp(_))));
     }
 

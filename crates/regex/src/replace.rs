@@ -149,12 +149,7 @@ mod tests {
     #[test]
     fn expand_figure_4_style() {
         let t = ReplacementTemplate::parse("($1) $2-$3");
-        let out = t.expand(&[
-            Some("734-422-8073"),
-            Some("734"),
-            Some("422"),
-            Some("8073"),
-        ]);
+        let out = t.expand(&[Some("734-422-8073"), Some("734"), Some("422"), Some("8073")]);
         assert_eq!(out, "(734) 422-8073");
     }
 

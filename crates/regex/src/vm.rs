@@ -117,7 +117,10 @@ pub fn exec_at(program: &Program, chars: &[char], start: usize) -> Option<Slots>
                 }
                 // Epsilon instructions are resolved eagerly by `add_thread`,
                 // so encountering them here is impossible.
-                Inst::Jmp(_) | Inst::Split { .. } | Inst::Save(_) | Inst::AssertStart
+                Inst::Jmp(_)
+                | Inst::Split { .. }
+                | Inst::Save(_)
+                | Inst::AssertStart
                 | Inst::AssertEnd => {
                     unreachable!("epsilon instruction in character step")
                 }
@@ -182,16 +185,37 @@ fn add_thread(
         Inst::Save(slot) => {
             let mut slots = slots;
             slots[*slot] = Some(pos);
-            add_thread(program, list, seen, Thread { pc: pc + 1, slots }, chars, pos);
+            add_thread(
+                program,
+                list,
+                seen,
+                Thread { pc: pc + 1, slots },
+                chars,
+                pos,
+            );
         }
         Inst::AssertStart => {
             if pos == 0 {
-                add_thread(program, list, seen, Thread { pc: pc + 1, slots }, chars, pos);
+                add_thread(
+                    program,
+                    list,
+                    seen,
+                    Thread { pc: pc + 1, slots },
+                    chars,
+                    pos,
+                );
             }
         }
         Inst::AssertEnd => {
             if pos == chars.len() {
-                add_thread(program, list, seen, Thread { pc: pc + 1, slots }, chars, pos);
+                add_thread(
+                    program,
+                    list,
+                    seen,
+                    Thread { pc: pc + 1, slots },
+                    chars,
+                    pos,
+                );
             }
         }
         _ => list.push(Thread { pc, slots }),

@@ -76,19 +76,12 @@ impl AlignmentDag {
 
     /// The operations on the edge from node `i` to node `j`.
     pub fn edge(&self, i: usize, j: usize) -> &[StringExpr] {
-        self.edges
-            .get(&(i, j))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.edges.get(&(i, j)).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// All edges, as `((from, to), operations)` pairs sorted by position.
     pub fn edges(&self) -> Vec<((usize, usize), &[StringExpr])> {
-        let mut out: Vec<_> = self
-            .edges
-            .iter()
-            .map(|(&k, v)| (k, v.as_slice()))
-            .collect();
+        let mut out: Vec<_> = self.edges.iter().map(|(&k, v)| (k, v.as_slice())).collect();
         out.sort_by_key(|&(k, _)| k);
         out
     }
@@ -106,9 +99,9 @@ impl AlignmentDag {
             if !reachable[i] {
                 continue;
             }
-            for j in (i + 1)..=self.target_len {
+            for (j, slot) in reachable.iter_mut().enumerate().skip(i + 1) {
                 if !self.edge(i, j).is_empty() {
-                    reachable[j] = true;
+                    *slot = true;
                 }
             }
         }
@@ -198,11 +191,19 @@ pub fn align(source: &Pattern, target: &Pattern) -> AlignmentDag {
             .map(|ops| ops.iter().filter(|op| op.is_extract()).cloned().collect())
             .unwrap_or_default();
         for ((from_node, _), inc) in &incoming {
-            let StringExpr::Extract { from: src_from, to: src_to } = inc else {
+            let StringExpr::Extract {
+                from: src_from,
+                to: src_to,
+            } = inc
+            else {
                 continue;
             };
             for out in &outgoing {
-                let StringExpr::Extract { from: out_from, to: out_to } = out else {
+                let StringExpr::Extract {
+                    from: out_from,
+                    to: out_to,
+                } = out
+                else {
                     continue;
                 };
                 if src_to + 1 == *out_from {
@@ -253,8 +254,14 @@ mod tests {
         assert!(syntactically_similar(&dplus, &d4));
         assert!(syntactically_similar(&dplus, &dplus));
         assert!(!syntactically_similar(&d3, &l3));
-        assert!(syntactically_similar(&Token::literal("-"), &Token::literal("-")));
-        assert!(!syntactically_similar(&Token::literal("-"), &Token::literal(".")));
+        assert!(syntactically_similar(
+            &Token::literal("-"),
+            &Token::literal("-")
+        ));
+        assert!(!syntactically_similar(
+            &Token::literal("-"),
+            &Token::literal(".")
+        ));
         assert!(!syntactically_similar(&Token::literal("-"), &d3));
     }
 

@@ -124,7 +124,9 @@ mod tests {
             StringExpr::const_str("/"),
             StringExpr::extract(3),
         ]);
-        assert!(description_length(&extract_sep, &source) < description_length(&const_sep, &source));
+        assert!(
+            description_length(&extract_sep, &source) < description_length(&const_sep, &source)
+        );
     }
 
     #[test]
@@ -169,7 +171,10 @@ mod tests {
             ]),
         ];
         let ranked = rank_plans(plans.clone(), &source);
-        assert_eq!(ranked[0].0, Expr::concat(vec![StringExpr::extract_range(1, 3)]));
+        assert_eq!(
+            ranked[0].0,
+            Expr::concat(vec![StringExpr::extract_range(1, 3)])
+        );
         assert!(ranked.windows(2).all(|w| w[0].1 <= w[1].1));
         // Deterministic: ranking twice gives the same order.
         let ranked2 = rank_plans(plans, &source);

@@ -103,11 +103,7 @@ impl Synthesis {
     /// Select a different ranked plan for `pattern` (the repair interaction
     /// of §6.4). Returns `false` if the pattern or index is unknown.
     pub fn repair(&mut self, pattern: &Pattern, choice: usize) -> bool {
-        match self
-            .sources
-            .iter_mut()
-            .find(|s| &s.pattern == pattern)
-        {
+        match self.sources.iter_mut().find(|s| &s.pattern == pattern) {
             Some(s) if choice < s.plans.len() => {
                 s.chosen = choice;
                 true
@@ -182,7 +178,11 @@ pub fn synthesize(
     }
 
     // Present larger clusters first, like the pattern list shown to the user.
-    sources.sort_by(|a, b| b.rows.cmp(&a.rows).then_with(|| a.pattern.notation().cmp(&b.pattern.notation())));
+    sources.sort_by(|a, b| {
+        b.rows
+            .cmp(&a.rows)
+            .then_with(|| a.pattern.notation().cmp(&b.pattern.notation()))
+    });
 
     Synthesis {
         target: target.clone(),
@@ -219,10 +219,7 @@ mod tests {
         let synthesis = synthesize(&hierarchy, &target, &options());
 
         // The target-format cluster is recognized as already correct.
-        assert!(synthesis
-            .already_correct
-            .iter()
-            .any(|p| p == &target));
+        assert!(synthesis.already_correct.iter().any(|p| p == &target));
         // "N/A" can never reach the target.
         assert!(synthesis.rejected.iter().any(|p| p == &tokenize("N/A")));
 
@@ -325,7 +322,10 @@ mod tests {
         assert!(alts.len() >= 2, "expected repair alternatives");
 
         let before = synthesis.program();
-        let out_before = transform(&before, "12/11/2017").unwrap().value().to_string();
+        let out_before = transform(&before, "12/11/2017")
+            .unwrap()
+            .value()
+            .to_string();
 
         // Pick the first alternative that gives a *different* output.
         let mut repaired_output = None;

@@ -152,7 +152,10 @@ mod tests {
         assert_eq!(class_frequency(&p, &TokenClass::Lower), 0);
         // Pure base-token patterns reduce to the paper's Q exactly.
         let q = parse_pattern("<U>3'-'<D>5").unwrap();
-        assert_eq!(class_frequency(&q, &TokenClass::Upper), q.token_frequency(TokenClass::Upper));
+        assert_eq!(
+            class_frequency(&q, &TokenClass::Upper),
+            q.token_frequency(TokenClass::Upper)
+        );
     }
 
     #[test]

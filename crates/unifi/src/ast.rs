@@ -39,7 +39,10 @@ impl StringExpr {
 
     /// `Extract(i, j)` — a run of consecutive tokens.
     pub fn extract_range(from: usize, to: usize) -> Self {
-        debug_assert!(from >= 1 && to >= from, "extract range must be 1-based and ordered");
+        debug_assert!(
+            from >= 1 && to >= from,
+            "extract range must be 1-based and ordered"
+        );
         StringExpr::Extract { from, to }
     }
 
@@ -128,7 +131,7 @@ impl fmt::Display for Expr {
 }
 
 /// One `(Match(p), E)` pair of a `Switch`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Branch {
     /// The source pattern guarding this branch.
     pub pattern: Pattern,
@@ -141,6 +144,24 @@ impl Branch {
     pub fn new(pattern: Pattern, expr: Expr) -> Self {
         Branch { pattern, expr }
     }
+
+    /// Statically check that every `Extract` of the plan stays within the
+    /// source pattern (one-based, ordered, `to <= pattern.len()`).
+    ///
+    /// The evaluator reports the same violations lazily, row by row; batch
+    /// compilers (`clx-engine`) call this up front so an ill-formed program
+    /// is rejected before any data is touched.
+    pub fn validate(&self) -> Result<(), crate::eval::EvalError> {
+        for &(from, to) in &self.expr.extracted_tokens() {
+            if from == 0 || from > to || to > self.pattern.len() {
+                return Err(crate::eval::EvalError::ExtractOutOfBounds {
+                    index: to.max(from),
+                    pattern_len: self.pattern.len(),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for Branch {
@@ -151,7 +172,7 @@ impl fmt::Display for Branch {
 
 /// A UniFi program: a `Switch` over pattern-guarded atomic transformation
 /// plans. Strings matching no branch are left unchanged and flagged (§6.1).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
 pub struct Program {
     /// The branches, tried in order.
     pub branches: Vec<Branch>,
@@ -196,6 +217,21 @@ impl Program {
         }
     }
 
+    /// Statically [`Branch::validate`] every branch of the program.
+    pub fn validate(&self) -> Result<(), crate::eval::EvalError> {
+        self.branches.iter().try_for_each(Branch::validate)
+    }
+
+    /// A stable 64-bit structural hash of the program; programs that
+    /// compare equal have equal fingerprints. `clx-engine` combines this
+    /// with the labelled target pattern to key its compiled-program cache.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash as _, Hasher as _};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut hasher);
+        hasher.finish()
+    }
+
     /// Pretty-print in the paper's `Switch((Match(...), ...), ...)` form.
     pub fn pretty(&self) -> String {
         let mut out = String::from("Switch(");
@@ -223,7 +259,10 @@ mod tests {
 
     #[test]
     fn string_expr_constructors() {
-        assert_eq!(StringExpr::extract(3), StringExpr::Extract { from: 3, to: 3 });
+        assert_eq!(
+            StringExpr::extract(3),
+            StringExpr::Extract { from: 3, to: 3 }
+        );
         assert_eq!(
             StringExpr::extract_range(1, 4),
             StringExpr::Extract { from: 1, to: 4 }
@@ -239,7 +278,10 @@ mod tests {
         assert_eq!(StringExpr::extract(2).to_string(), "Extract(2)");
         assert_eq!(StringExpr::extract_range(1, 4).to_string(), "Extract(1,4)");
         assert_eq!(StringExpr::const_str("]").to_string(), "ConstStr(']')");
-        let e = Expr::concat(vec![StringExpr::extract_range(1, 4), StringExpr::const_str("]")]);
+        let e = Expr::concat(vec![
+            StringExpr::extract_range(1, 4),
+            StringExpr::const_str("]"),
+        ]);
         assert_eq!(e.to_string(), "Concat(Extract(1,4),ConstStr(']'))");
     }
 
@@ -284,18 +326,16 @@ mod tests {
 
     #[test]
     fn pretty_print_contains_all_branches() {
-        let program = Program::new(vec![
-            Branch::new(
-                tokenize("CPT115"),
-                Expr::concat(vec![
-                    StringExpr::const_str("["),
-                    StringExpr::extract(1),
-                    StringExpr::const_str("-"),
-                    StringExpr::extract(2),
-                    StringExpr::const_str("]"),
-                ]),
-            ),
-        ]);
+        let program = Program::new(vec![Branch::new(
+            tokenize("CPT115"),
+            Expr::concat(vec![
+                StringExpr::const_str("["),
+                StringExpr::extract(1),
+                StringExpr::const_str("-"),
+                StringExpr::extract(2),
+                StringExpr::const_str("]"),
+            ]),
+        )]);
         let s = program.pretty();
         assert!(s.starts_with("Switch("));
         assert!(s.contains("Match(\"<U>3<D>3\")"));
@@ -308,5 +348,62 @@ mod tests {
         let p = Program::empty();
         assert!(p.is_empty());
         assert_eq!(p.pretty(), "Switch()");
+    }
+
+    #[test]
+    fn branch_validation_catches_bad_extracts() {
+        let good = Branch::new(
+            tokenize("734-422-8073"),
+            Expr::concat(vec![
+                StringExpr::extract(1),
+                StringExpr::extract_range(3, 5),
+            ]),
+        );
+        assert!(good.validate().is_ok());
+
+        let past_end = Branch::new(tokenize("abc"), Expr::concat(vec![StringExpr::extract(2)]));
+        assert!(past_end.validate().is_err());
+
+        let inverted = Branch::new(
+            tokenize("a-b"),
+            Expr::concat(vec![StringExpr::Extract { from: 3, to: 1 }]),
+        );
+        assert!(inverted.validate().is_err());
+
+        let zero = Branch::new(
+            tokenize("a-b"),
+            Expr::concat(vec![StringExpr::Extract { from: 0, to: 1 }]),
+        );
+        assert!(zero.validate().is_err());
+    }
+
+    #[test]
+    fn program_validation_checks_every_branch() {
+        let mut program = Program::new(vec![Branch::new(
+            tokenize("abc"),
+            Expr::concat(vec![StringExpr::extract(1)]),
+        )]);
+        assert!(program.validate().is_ok());
+        program.branches.push(Branch::new(
+            tokenize("abc"),
+            Expr::concat(vec![StringExpr::extract(9)]),
+        ));
+        assert!(program.validate().is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_structural_equality() {
+        let make = |c: &str| {
+            Program::new(vec![Branch::new(
+                tokenize("abc"),
+                Expr::concat(vec![StringExpr::const_str(c), StringExpr::extract(1)]),
+            )])
+        };
+        assert_eq!(make("x").fingerprint(), make("x").fingerprint());
+        assert_ne!(make("x").fingerprint(), make("y").fingerprint());
+        assert_eq!(
+            Program::empty().fingerprint(),
+            Program::empty().fingerprint()
+        );
     }
 }

@@ -208,10 +208,7 @@ mod tests {
 
     #[test]
     fn eval_branch_nonmatching_is_none() {
-        let branch = Branch::new(
-            tokenize("123"),
-            Expr::concat(vec![StringExpr::extract(1)]),
-        );
+        let branch = Branch::new(tokenize("123"), Expr::concat(vec![StringExpr::extract(1)]));
         assert!(eval_branch(&branch, "abc").is_none());
         assert_eq!(eval_branch(&branch, "555").unwrap().unwrap(), "555");
     }
@@ -284,8 +281,14 @@ mod tests {
         let p_specific = tokenize("123");
         let p_general = parse_pattern("<D>+").unwrap();
         let program = Program::new(vec![
-            Branch::new(p_specific, Expr::concat(vec![StringExpr::const_str("specific")])),
-            Branch::new(p_general, Expr::concat(vec![StringExpr::const_str("general")])),
+            Branch::new(
+                p_specific,
+                Expr::concat(vec![StringExpr::const_str("specific")]),
+            ),
+            Branch::new(
+                p_general,
+                Expr::concat(vec![StringExpr::const_str("general")]),
+            ),
         ]);
         assert_eq!(transform(&program, "123").unwrap().value(), "specific");
         assert_eq!(transform(&program, "99999").unwrap().value(), "general");

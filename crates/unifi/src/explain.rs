@@ -195,7 +195,10 @@ pub fn explain_branch(branch: &Branch) -> Result<ReplaceOp, ExplainError> {
     for pair in ranges.windows(2) {
         let (a, b) = (pair[0], pair[1]);
         if b.0 <= a.1 {
-            return Err(ExplainError::OverlappingExtracts { first: a, second: b });
+            return Err(ExplainError::OverlappingExtracts {
+                first: a,
+                second: b,
+            });
         }
     }
 
@@ -232,8 +235,8 @@ pub fn explain_branch(branch: &Branch) -> Result<ReplaceOp, ExplainError> {
         }
     }
 
-    let regex = Regex::new(&format!("^{regex_body}$"))
-        .map_err(|e| ExplainError::Regex(e.to_string()))?;
+    let regex =
+        Regex::new(&format!("^{regex_body}$")).map_err(|e| ExplainError::Regex(e.to_string()))?;
 
     Ok(ReplaceOp {
         regex_display,
@@ -367,7 +370,7 @@ mod tests {
             ]),
         );
         let op = explain_branch(&branch).unwrap();
-        assert_eq!(op.regex_display.matches('(').count() - 0, 1 + 0);
+        assert_eq!(op.regex_display.matches('(').count(), 1);
         assert_eq!(op.replacement, "$1]");
     }
 
@@ -463,10 +466,7 @@ mod tests {
 
     #[test]
     fn out_of_bounds_extract_is_rejected() {
-        let branch = Branch::new(
-            tokenize("abc"),
-            Expr::concat(vec![StringExpr::extract(5)]),
-        );
+        let branch = Branch::new(tokenize("abc"), Expr::concat(vec![StringExpr::extract(5)]));
         assert!(matches!(
             explain_branch(&branch).unwrap_err(),
             ExplainError::ExtractOutOfBounds { .. }
@@ -475,10 +475,7 @@ mod tests {
 
     #[test]
     fn literal_tokens_with_regex_metacharacters_are_escaped() {
-        let branch = Branch::new(
-            tokenize("(1)"),
-            Expr::concat(vec![StringExpr::extract(2)]),
-        );
+        let branch = Branch::new(tokenize("(1)"), Expr::concat(vec![StringExpr::extract(2)]));
         let op = explain_branch(&branch).unwrap();
         assert!(op.regex_display.contains("\\("));
         assert!(op.regex_display.contains("\\)"));

@@ -25,7 +25,10 @@ fn main() {
     session.label(target).expect("label");
 
     println!("Suggested operations:");
-    println!("{}", session.suggested_operations("names").expect("explain"));
+    println!(
+        "{}",
+        session.suggested_operations("names").expect("explain")
+    );
 
     let report = session.apply().expect("apply");
     println!("\nInitial transformation:");
@@ -43,7 +46,10 @@ fn main() {
         .map(|s| s.pattern.clone())
         .find(|p| p.matches("Eran Yahav"))
         .expect("a source pattern covers the name rows");
-    let alternatives = session.alternatives(&source).expect("alternatives").to_vec();
+    let alternatives = session
+        .alternatives(&source)
+        .expect("alternatives")
+        .to_vec();
     println!("\nRanked alternative plans for {source}:");
     for (i, alt) in alternatives.iter().enumerate() {
         println!(

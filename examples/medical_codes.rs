@@ -28,7 +28,10 @@ fn main() {
 
     // ... explained as regexp Replace operations the user can verify.
     println!("\nExplained as Replace operations:");
-    println!("{}", session.suggested_operations("codes").expect("explain"));
+    println!(
+        "{}",
+        session.suggested_operations("codes").expect("explain")
+    );
 
     // Applying it reproduces Table 3 of the paper.
     let report = session.apply().expect("apply");

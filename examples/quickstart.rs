@@ -45,7 +45,10 @@ fn main() {
 
     // ---- Transform ---------------------------------------------------------
     println!("\nSuggested data transformation operations (Figure 4):");
-    println!("{}", session.suggested_operations("column1").expect("explain"));
+    println!(
+        "{}",
+        session.suggested_operations("column1").expect("explain")
+    );
 
     let report = session.apply().expect("apply");
     println!("\nTransformed column:");

@@ -12,6 +12,11 @@
 //!   pattern clusters, label the desired pattern, synthesize a UniFi
 //!   program, explain it as regexp `Replace` operations, repair it, and
 //!   apply it ([`core`]);
+//! * [`engine`] — the compiled batch-execution subsystem:
+//!   [`ClxSession::compile`](clx_core::ClxSession::compile) turns the
+//!   synthesized program into a thread-safe [`CompiledProgram`] for
+//!   parallel chunked execution, streaming over columns larger than
+//!   memory, and LRU caching ([`ProgramCache`]);
 //! * [`pattern`] — the token/pattern language and tokenizer;
 //! * [`regex`] — the Pike-VM regular-expression engine that executes the
 //!   explained `Replace` operations;
@@ -56,6 +61,7 @@ pub use clx_baselines as baselines;
 pub use clx_cluster as cluster;
 pub use clx_core as core;
 pub use clx_datagen as datagen;
+pub use clx_engine as engine;
 pub use clx_flashfill as flashfill;
 pub use clx_pattern as pattern;
 pub use clx_regex as regex;
@@ -63,5 +69,6 @@ pub use clx_synth as synth;
 pub use clx_unifi as unifi;
 
 pub use clx_core::{ClxError, ClxOptions, ClxSession, RowOutcome, TransformReport};
+pub use clx_engine::{BatchReport, CompiledProgram, ExecOptions, ProgramCache, StreamSession};
 pub use clx_pattern::{parse_pattern, tokenize, Pattern, Token, TokenClass};
 pub use clx_unifi::{Explanation, Program, ReplaceOp};

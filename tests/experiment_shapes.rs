@@ -110,7 +110,11 @@ mod clx_bench_report_smoke {
             .map(|case| {
                 let expected = super::phone_ground_truth(&case.data);
                 let trace = run_clx_user(&case.data, &expected, &tokenize("734-422-8073"));
-                format!("{} {:.0}\n", case.name, model.clx_times(&trace).verification_secs)
+                format!(
+                    "{} {:.0}\n",
+                    case.name,
+                    model.clx_times(&trace).verification_secs
+                )
             })
             .collect()
     }
