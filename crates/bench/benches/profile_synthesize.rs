@@ -1,0 +1,84 @@
+//! Latency of the *interactive* path — profile + synthesize — on a
+//! duplicate-heavy 100k-row column (≤1k distinct values), the workload the
+//! shared column data plane is built for.
+//!
+//! Two series:
+//!
+//! * `per_row_baseline` replays the pre-refactor pipeline's O(rows) phase:
+//!   every row is tokenized to find its cluster, and constant discovery
+//!   tokenizes every row again to collect per-position statistics. (The
+//!   pre-refactor hierarchy/synthesis work on top of this was O(distinct
+//!   patterns) and is omitted, so the baseline is a *lower bound* on the
+//!   old cost.)
+//! * `column_data_plane` runs the full current path end to end: build the
+//!   [`clx_column::Column`] (interning + dedup + one tokenization per
+//!   distinct value), profile it, and synthesize the program — everything
+//!   `ClxSession::new` + `label` do today.
+//!
+//! The refactor's acceptance bar is `column_data_plane` beating
+//! `per_row_baseline` by ≥5x on this workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+use clx_cluster::{discover_constants, ConstantDiscoveryOptions, PatternProfiler};
+use clx_column::Column;
+use clx_datagen::duplicate_heavy_case;
+use clx_pattern::{tokenize, Pattern};
+use clx_synth::{synthesize_column, SynthesisOptions};
+
+const ROWS: usize = 100_000;
+const DISTINCT: usize = 1_000;
+
+/// The pre-refactor O(rows) profiling work: per-row tokenization for the
+/// initial clustering, plus per-row re-tokenization inside constant
+/// discovery.
+fn per_row_phase1(data: &[String]) -> usize {
+    let mut clusters: HashMap<Pattern, Vec<usize>> = HashMap::new();
+    for (i, s) in data.iter().enumerate() {
+        clusters.entry(tokenize(s)).or_default().push(i);
+    }
+    let options = ConstantDiscoveryOptions::default();
+    let mut refined = 0usize;
+    for (pattern, rows) in &clusters {
+        let row_strs: Vec<&str> = rows.iter().map(|&i| data[i].as_str()).collect();
+        let (p, conforming) = discover_constants(pattern, &row_strs, &options);
+        refined += p.len() + conforming.len();
+    }
+    refined
+}
+
+/// The current interactive path: column build + profile + synthesize.
+fn column_data_plane(data: &[String], target: &Pattern) -> usize {
+    let column = Column::from_values(data);
+    let hierarchy = PatternProfiler::new().profile_column(&column);
+    let synthesis = synthesize_column(&hierarchy, &column, target, &SynthesisOptions::default());
+    synthesis.source_count() + hierarchy.leaves().len()
+}
+
+fn bench_profile_synthesize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_synthesize");
+    group.sample_size(10);
+
+    let case = duplicate_heavy_case(ROWS, DISTINCT, 7);
+    let target = case.target_pattern();
+    group.throughput(Throughput::Elements(ROWS as u64));
+
+    group.bench_with_input(
+        BenchmarkId::new("per_row_baseline", ROWS),
+        &case.data,
+        |b, data| b.iter(|| black_box(per_row_phase1(black_box(data)))),
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("column_data_plane", ROWS),
+        &case.data,
+        |b, data| b.iter(|| black_box(column_data_plane(black_box(data), &target))),
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile_synthesize);
+criterion_main!(benches);

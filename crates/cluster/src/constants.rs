@@ -6,31 +6,43 @@
 //! the synthesizer reproduce them with `ConstStr` operations. Following the
 //! paper (which adopts the statistics-over-tokenized-strings approach of
 //! LearnPADS), a token position is converted to a constant when the share
-//! of rows agreeing on one value reaches a threshold.
+//! of values agreeing on one concrete string reaches a threshold.
+//!
+//! The statistics are computed over the *distinct* values of a cluster, not
+//! its raw rows: a value repeated a thousand times contributes one
+//! observation, exactly like a value occurring once. Row-weighted counting
+//! let duplicates manufacture "constants" — a cluster holding one value N
+//! times agreed at every position, froze into a single giant literal, and
+//! became unsynthesizable (every row flagged). The distinct-value weighting
+//! restores the intent of the guard that already existed for single-row
+//! clusters: support below [`ConstantDiscoveryOptions::min_distinct_values`] distinct
+//! values is no evidence of constancy at all.
 
 use std::collections::HashMap;
 
-use clx_pattern::{tokenize_detailed, Pattern, Token};
+use clx_pattern::{tokenize_detailed, Pattern, Token, TokenizedString};
 
 /// Options controlling constant discovery.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConstantDiscoveryOptions {
-    /// Minimum fraction of a cluster's rows that must share the same value
-    /// at a token position for that position to become a literal token.
+    /// Minimum fraction of a cluster's *distinct* values that must share
+    /// the same concrete string at a token position for that position to
+    /// become a literal token.
     ///
-    /// The default of `1.0` only folds positions where *every* row agrees,
-    /// which never changes which rows a cluster matches. Lower values are
-    /// useful on noisy data but cause the non-conforming rows to be split
-    /// into their own cluster by the profiler.
+    /// The default of `1.0` only folds positions where *every* value
+    /// agrees, which never changes which rows a cluster matches. Lower
+    /// values are useful on noisy data but cause the non-conforming rows to
+    /// be split into their own cluster by the profiler.
     pub dominance_threshold: f64,
     /// Do not fold base tokens longer than this many characters (guards
     /// against turning an entire free-text column into one huge literal).
     pub max_constant_len: usize,
-    /// Minimum number of rows a cluster needs before constant discovery is
-    /// attempted. With a single row every position is trivially "constant",
-    /// which would freeze the whole value into one literal and defeat the
-    /// synthesizer, so the default requires at least 2 rows.
-    pub min_rows: usize,
+    /// Minimum number of *distinct* values a cluster needs before constant
+    /// discovery is attempted. With a single distinct value every position
+    /// is trivially "constant" — no matter how many rows repeat it — which
+    /// would freeze the whole value into one literal and defeat the
+    /// synthesizer, so the default requires at least 2 distinct values.
+    pub min_distinct_values: usize,
     /// Whether digit tokens may be folded into constants. Digits almost
     /// always carry the semantic payload of a value (phone numbers, ids,
     /// quantities), and freezing them into literals can make otherwise
@@ -44,47 +56,62 @@ impl Default for ConstantDiscoveryOptions {
         ConstantDiscoveryOptions {
             dominance_threshold: 1.0,
             max_constant_len: 16,
-            min_rows: 2,
+            min_distinct_values: 2,
             fold_digit_tokens: false,
         }
     }
 }
 
-/// Discover constant tokens within one cluster.
+/// Discover constant tokens within one cluster, reading raw strings.
 ///
-/// `pattern` is the cluster's leaf pattern and `rows` the raw strings of the
-/// cluster (all matching `pattern`). Returns the refined pattern (with
-/// constant positions folded to literal tokens and adjacent literals merged)
-/// and the indices of the rows that conform to it. With the default
-/// threshold of 1.0 all rows conform.
+/// `pattern` is the cluster's leaf pattern and `values` the **distinct**
+/// values of the cluster (all matching `pattern`). Returns the refined
+/// pattern (with constant positions folded to literal tokens and adjacent
+/// literals merged) and the indices into `values` of the values that
+/// conform to it. With the default threshold of 1.0 all values conform.
+///
+/// This entry point tokenizes each value; the profiler's column path calls
+/// [`discover_constants_cached`] with the token streams the
+/// [`clx_column::Column`] already carries, so nothing is tokenized twice.
 pub fn discover_constants(
     pattern: &Pattern,
-    rows: &[&str],
+    values: &[&str],
     options: &ConstantDiscoveryOptions,
 ) -> (Pattern, Vec<usize>) {
-    if rows.len() < options.min_rows.max(1) || pattern.is_empty() {
-        return (pattern.clone(), (0..rows.len()).collect());
+    let tokenized: Vec<TokenizedString> = values.iter().map(|v| tokenize_detailed(v)).collect();
+    let streams: Vec<&TokenizedString> = tokenized.iter().collect();
+    discover_constants_cached(pattern, &streams, options)
+}
+
+/// [`discover_constants`] over pre-tokenized value streams (the cached
+/// per-distinct-value tokenizations of a [`clx_column::Column`]).
+pub fn discover_constants_cached(
+    pattern: &Pattern,
+    values: &[&TokenizedString],
+    options: &ConstantDiscoveryOptions,
+) -> (Pattern, Vec<usize>) {
+    if values.len() < options.min_distinct_values.max(1) || pattern.is_empty() {
+        return (pattern.clone(), (0..values.len()).collect());
     }
 
-    // Collect, per token position, the value frequencies across rows.
-    let mut position_values: Vec<HashMap<String, usize>> = vec![HashMap::new(); pattern.len()];
-    let mut row_slices: Vec<Vec<String>> = Vec::with_capacity(rows.len());
-    for row in rows {
-        let detail = tokenize_detailed(row);
+    // Collect, per token position, the slice-text frequencies across the
+    // distinct values. Each distinct value counts once (see module docs).
+    let mut position_values: Vec<HashMap<&str, usize>> = vec![HashMap::new(); pattern.len()];
+    for value in values {
         debug_assert_eq!(
-            &detail.pattern, pattern,
-            "all rows of a cluster share its leaf pattern"
+            &value.pattern, pattern,
+            "all values of a cluster share its leaf pattern"
         );
-        let values: Vec<String> = detail.slices.iter().map(|s| s.text.clone()).collect();
-        for (i, v) in values.iter().enumerate() {
-            *position_values[i].entry(v.clone()).or_insert(0) += 1;
+        for slice in &value.slices {
+            *position_values[slice.token_index]
+                .entry(slice.text.as_str())
+                .or_insert(0) += 1;
         }
-        row_slices.push(values);
     }
 
     // Decide which base-token positions become constants.
-    let n = rows.len() as f64;
-    let mut constant_value: Vec<Option<String>> = vec![None; pattern.len()];
+    let n = values.len() as f64;
+    let mut constant_value: Vec<Option<&str>> = vec![None; pattern.len()];
     for (i, token) in pattern.iter().enumerate() {
         if !token.is_base() {
             continue;
@@ -94,19 +121,19 @@ pub fn discover_constants(
         }
         let Some((value, count)) = position_values[i]
             .iter()
-            .max_by_key(|(v, c)| (**c, std::cmp::Reverse((*v).clone())))
+            .max_by_key(|&(v, c)| (*c, std::cmp::Reverse(*v)))
         else {
             continue;
         };
         if value.chars().count() <= options.max_constant_len
             && (*count as f64) / n >= options.dominance_threshold
         {
-            constant_value[i] = Some(value.clone());
+            constant_value[i] = Some(*value);
         }
     }
 
     if constant_value.iter().all(Option::is_none) {
-        return (pattern.clone(), (0..rows.len()).collect());
+        return (pattern.clone(), (0..values.len()).collect());
     }
 
     // Build the refined pattern.
@@ -114,21 +141,22 @@ pub fn discover_constants(
         .iter()
         .enumerate()
         .map(|(i, t)| match &constant_value[i] {
-            Some(v) => Token::literal(v.clone()),
+            Some(v) => Token::literal(v.to_string()),
             None => t.clone(),
         })
         .collect();
     let refined = merge_adjacent_literals(&Pattern::new(tokens));
 
-    // Rows conform when they carry the constant value at every folded position.
-    let conforming: Vec<usize> = row_slices
+    // Values conform when they carry the constant at every folded position.
+    let conforming: Vec<usize> = values
         .iter()
         .enumerate()
-        .filter(|(_, values)| {
-            constant_value
-                .iter()
-                .enumerate()
-                .all(|(i, cv)| cv.as_ref().map(|v| &values[i] == v).unwrap_or(true))
+        .filter(|(_, value)| {
+            value.slices.iter().all(|slice| {
+                constant_value[slice.token_index]
+                    .map(|v| slice.text == v)
+                    .unwrap_or(true)
+            })
         })
         .map(|(i, _)| i)
         .collect();
@@ -242,18 +270,18 @@ mod tests {
         let rows = vec!["USD 100"];
         let pattern = tokenize(rows[0]);
         let (refined, conforming) = discover_constants(&pattern, &rows, &opts());
-        // Below min_rows: no folding, otherwise the whole value would freeze
+        // Below min_distinct_values: no folding, otherwise the whole value would freeze
         // into one literal.
         assert_eq!(refined, pattern);
         assert_eq!(conforming, vec![0]);
     }
 
     #[test]
-    fn min_rows_of_one_allows_single_row_folding() {
+    fn min_distinct_values_of_one_allows_single_value_folding() {
         let rows = vec!["USD 100"];
         let pattern = tokenize(rows[0]);
         let options = ConstantDiscoveryOptions {
-            min_rows: 1,
+            min_distinct_values: 1,
             ..opts()
         };
         let (refined, conforming) = discover_constants(&pattern, &rows, &options);

@@ -1,12 +1,20 @@
 //! The pattern profiler: the end-to-end "Clustering" component of CLX
 //! (Section 4), combining tokenization-based initial clustering, constant
 //! discovery and agglomerative refinement into one call.
+//!
+//! Profiling runs over the shared column data plane ([`clx_column::Column`]):
+//! only the column's *distinct* values are analyzed — their leaf patterns
+//! and token streams come straight from the column's cache — and the
+//! resulting cluster row sets are fanned back out to original row indices
+//! through the column's multiplicity lists. A duplicate-heavy column
+//! therefore profiles in O(distinct values), not O(rows).
 
 use std::collections::HashMap;
 
-use clx_pattern::{tokenize, Pattern};
+use clx_column::Column;
+use clx_pattern::{Pattern, TokenizedString};
 
-use crate::constants::{discover_constants, ConstantDiscoveryOptions};
+use crate::constants::{discover_constants_cached, ConstantDiscoveryOptions};
 use crate::hierarchy::{NodeId, PatternHierarchy};
 use crate::refine::{refine_level, GeneralizationStrategy, STANDARD_STRATEGIES};
 
@@ -67,64 +75,95 @@ impl PatternProfiler {
     }
 
     /// Profile `data` into a pattern-cluster hierarchy.
+    ///
+    /// Convenience wrapper that builds a [`Column`] (interning, dedup,
+    /// cached tokenization) and delegates to
+    /// [`PatternProfiler::profile_column`]. Callers that keep the column
+    /// around — like `ClxSession` — should build it once and use
+    /// `profile_column` directly so every later stage shares the cache.
     pub fn profile<S: AsRef<str>>(&self, data: &[S]) -> PatternHierarchy {
-        let mut hierarchy = PatternHierarchy::new(data.len());
+        self.profile_column(&Column::from_values(data))
+    }
+
+    /// Profile a [`Column`] into a pattern-cluster hierarchy.
+    ///
+    /// Phase 1 clusters the column's *distinct* values by their cached leaf
+    /// patterns and runs constant discovery over the cached token streams;
+    /// row sets are fanned back out through the column's multiplicity
+    /// lists. Phase 2 (agglomerative refinement) operates on patterns only.
+    pub fn profile_column(&self, column: &Column) -> PatternHierarchy {
+        let mut hierarchy = PatternHierarchy::new(column.len());
 
         // ---- Phase 1: initial clustering through tokenization (§4.1) ----
-        let mut clusters: HashMap<Pattern, Vec<usize>> = HashMap::new();
+        // Group distinct values by their cached leaf pattern. `clusters`
+        // holds indices into the column's distinct-value table.
+        let mut by_leaf: HashMap<&Pattern, usize> = HashMap::new();
         let mut order: Vec<Pattern> = Vec::new();
-        for (i, s) in data.iter().enumerate() {
-            let p = tokenize(s.as_ref());
-            let entry = clusters.entry(p.clone()).or_insert_with(|| {
-                order.push(p);
-                Vec::new()
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
+        for value in column.distinct_values() {
+            let slot = *by_leaf.entry(value.leaf()).or_insert_with(|| {
+                order.push(value.leaf().clone());
+                clusters.push(Vec::new());
+                clusters.len() - 1
             });
-            entry.push(i);
+            clusters[slot].push(value.index());
         }
 
-        // Constant discovery may refine each cluster's pattern; non-conforming
-        // rows (only possible with a dominance threshold below 1.0) are split
-        // off into a cluster keyed by the original pattern.
+        // Constant discovery may refine each cluster's pattern; it reads the
+        // cached token streams and counts each distinct value once.
+        // Non-conforming values (only possible with a dominance threshold
+        // below 1.0) are split off into a cluster keyed by the original
+        // pattern.
         let mut final_clusters: Vec<(Pattern, Vec<usize>)> = Vec::new();
-        for pattern in order {
-            let rows = clusters.remove(&pattern).expect("cluster present");
+        for (pattern, members) in order.into_iter().zip(clusters) {
             if self.options.discover_constants {
-                let row_strs: Vec<&str> = rows.iter().map(|&i| data[i].as_ref()).collect();
+                let streams: Vec<&TokenizedString> = members
+                    .iter()
+                    .map(|&v| column.distinct(v).tokenized())
+                    .collect();
                 let (refined, conforming) =
-                    discover_constants(&pattern, &row_strs, &self.options.constant_options);
-                if conforming.len() == rows.len() {
-                    final_clusters.push((refined, rows));
+                    discover_constants_cached(&pattern, &streams, &self.options.constant_options);
+                if conforming.len() == members.len() {
+                    final_clusters.push((refined, members));
                 } else {
-                    let conforming_rows: Vec<usize> = conforming.iter().map(|&i| rows[i]).collect();
-                    let rest: Vec<usize> = rows
+                    let conforming_values: Vec<usize> =
+                        conforming.iter().map(|&i| members[i]).collect();
+                    let rest: Vec<usize> = members
                         .iter()
                         .copied()
-                        .filter(|r| !conforming_rows.contains(r))
+                        .filter(|v| !conforming_values.contains(v))
                         .collect();
-                    final_clusters.push((refined, conforming_rows));
+                    final_clusters.push((refined, conforming_values));
                     final_clusters.push((pattern, rest));
                 }
             } else {
-                final_clusters.push((pattern, rows));
+                final_clusters.push((pattern, members));
             }
         }
 
         // Merge clusters whose refined patterns collide.
         let mut merged: Vec<(Pattern, Vec<usize>)> = Vec::new();
-        for (pattern, rows) in final_clusters {
+        for (pattern, members) in final_clusters {
             if let Some(existing) = merged.iter_mut().find(|(p, _)| *p == pattern) {
-                existing.1.extend(rows);
+                existing.1.extend(members);
             } else {
-                merged.push((pattern, rows));
+                merged.push((pattern, members));
             }
         }
 
+        // Materialize the leaf nodes: fan distinct-value membership back out
+        // to original row indices through the multiplicity lists.
         let mut current_level: Vec<NodeId> = Vec::new();
-        for (pattern, rows) in merged {
-            let examples = rows
+        for (pattern, members) in merged {
+            let mut rows: Vec<usize> = members
+                .iter()
+                .flat_map(|&v| column.distinct(v).rows())
+                .collect();
+            rows.sort_unstable();
+            let examples = members
                 .iter()
                 .take(self.options.examples_per_cluster)
-                .map(|&i| data[i].as_ref().to_string())
+                .map(|&v| column.distinct(v).text().to_string())
                 .collect();
             let id = hierarchy.add_node(pattern, 0, Vec::new(), rows, examples);
             current_level.push(id);
@@ -291,6 +330,43 @@ mod tests {
         let h = PatternProfiler::new().profile(&data);
         assert_eq!(h.leaves().len(), 1);
         assert_eq!(h.leaves()[0].size(), 3);
+    }
+
+    #[test]
+    fn repeated_values_do_not_fold_into_one_literal() {
+        // A single distinct value repeated N times is no evidence of
+        // constancy: the leaf must keep its base tokens (extractable by the
+        // synthesizer) instead of freezing into the literal 'Dr. Eran Yahav'.
+        let data = vec!["Dr. Eran Yahav"; 40];
+        let h = PatternProfiler::new().profile(&data);
+        assert_eq!(h.leaves().len(), 1);
+        let leaf = &h.leaves()[0];
+        assert_eq!(leaf.size(), 40);
+        assert_eq!(leaf.pattern, clx_pattern::tokenize("Dr. Eran Yahav"));
+    }
+
+    #[test]
+    fn profile_column_equals_profile_and_runs_on_distinct_values() {
+        let data: Vec<String> = (0..500)
+            .map(|i| match i % 5 {
+                0 | 1 => "(734) 645-8397".to_string(),
+                2 => "734-422-8073".to_string(),
+                3 => format!("73{}.236.3466", i % 7),
+                _ => "N/A".to_string(),
+            })
+            .collect();
+        let column = Column::from_rows(data.clone());
+        assert!(column.distinct_count() < 15);
+        let via_rows = PatternProfiler::new().profile(&data);
+        let via_column = PatternProfiler::new().profile_column(&column);
+        assert_eq!(via_rows.pattern_summary(), via_column.pattern_summary());
+        assert_eq!(via_column.total_rows(), 500);
+        via_column.check_invariants().unwrap();
+        // Every row index is fanned back out to its leaf.
+        for (i, s) in data.iter().enumerate() {
+            let leaf = via_column.leaf_of_row(i).expect("row in a leaf");
+            assert!(leaf.pattern.matches(s), "{s:?} vs {}", leaf.pattern);
+        }
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! # clx-column
+//!
+//! The shared column data plane of CLX: one representation of a column of
+//! string data that every layer of the stack — profiling (`clx-cluster`),
+//! synthesis (`clx-synth`), the interactive session (`clx-core`) and the
+//! batch engine (`clx-engine`) — reads instead of re-deriving its own.
+//!
+//! A [`Column`] does three things once, at construction:
+//!
+//! * **interns** every row string into a single arena (one contiguous
+//!   allocation instead of one `String` per row);
+//! * **deduplicates** identical values, keeping the original row indices of
+//!   every duplicate (real-world columns are duplicate-heavy: a million-row
+//!   phone column rarely holds more than a few thousand distinct values);
+//! * **caches**, per *distinct* value, the token stream and leaf pattern
+//!   produced by [`clx_pattern::tokenize_detailed`] — the signature every
+//!   downstream layer keys on.
+//!
+//! Everything downstream then works in O(distinct) instead of O(rows):
+//! the profiler clusters distinct values and fans counts back out to row
+//! indices, synthesis validates plans against cached token streams, and the
+//! engine dispatches on cached leaf signatures without ever re-tokenizing.
+//!
+//! ```
+//! use clx_column::Column;
+//!
+//! let column = Column::from_rows(vec![
+//!     "734-422-8073".to_string(),
+//!     "N/A".to_string(),
+//!     "734-422-8073".to_string(),
+//! ]);
+//! assert_eq!(column.len(), 3);
+//! assert_eq!(column.distinct_count(), 2);
+//!
+//! let first = column.distinct(0);
+//! assert_eq!(first.text(), "734-422-8073");
+//! assert_eq!(first.multiplicity(), 2);
+//! assert_eq!(first.leaf().to_string(), "<D>3'-'<D>3'-'<D>4");
+//! assert_eq!(column.row(2), "734-422-8073");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+use clx_pattern::{tokenize_detailed, Pattern, TokenSlice, TokenizedString};
+
+/// One distinct value's interned span and cached analysis.
+#[derive(Debug, Clone)]
+struct DistinctEntry {
+    /// Half-open byte span of the value inside the column arena.
+    span: (usize, usize),
+    /// Original row indices holding this value, in ascending order.
+    rows: Vec<u32>,
+    /// The cached token stream: leaf pattern plus per-token slices,
+    /// computed exactly once per distinct value.
+    tokenized: TokenizedString,
+}
+
+/// A column of string data with interned rows, deduplicated values and
+/// per-distinct-value cached token streams.
+///
+/// Construction tokenizes each *distinct* value exactly once; every later
+/// consumer (profiler, synthesizer, session, engine) reads the cached
+/// [`TokenizedString`] instead of re-deriving it.
+#[derive(Debug, Clone, Default)]
+pub struct Column {
+    /// All distinct values, concatenated; [`DistinctEntry::span`] slices it.
+    arena: String,
+    /// Distinct values in first-occurrence order.
+    values: Vec<DistinctEntry>,
+    /// Row index -> index into `values`.
+    rows: Vec<u32>,
+}
+
+impl Column {
+    /// Build a column from owned rows, interning and analyzing each
+    /// distinct value once.
+    pub fn from_rows(rows: Vec<String>) -> Self {
+        assert!(
+            rows.len() < u32::MAX as usize,
+            "column exceeds u32 row indexing"
+        );
+        let mut seen: HashMap<String, u32> = HashMap::new();
+        let mut column = Column {
+            arena: String::new(),
+            values: Vec::new(),
+            rows: Vec::with_capacity(rows.len()),
+        };
+        for (row_index, row) in rows.into_iter().enumerate() {
+            let value_index = match seen.get(row.as_str()) {
+                Some(&i) => i,
+                None => {
+                    let i = column.values.len() as u32;
+                    let start = column.arena.len();
+                    column.arena.push_str(&row);
+                    column.values.push(DistinctEntry {
+                        span: (start, column.arena.len()),
+                        rows: Vec::new(),
+                        tokenized: tokenize_detailed(&row),
+                    });
+                    // The row string itself becomes the dedup key, reusing
+                    // its allocation.
+                    seen.insert(row, i);
+                    i
+                }
+            };
+            column.values[value_index as usize]
+                .rows
+                .push(row_index as u32);
+            column.rows.push(value_index);
+        }
+        column
+    }
+
+    /// Build a column from borrowed values.
+    pub fn from_values<S: AsRef<str>>(values: &[S]) -> Self {
+        Self::from_rows(values.iter().map(|v| v.as_ref().to_string()).collect())
+    }
+
+    /// Number of rows (including duplicates).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of distinct values.
+    pub fn distinct_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The raw string of row `index` (a slice of the arena).
+    pub fn row(&self, index: usize) -> &str {
+        self.distinct(self.rows[index] as usize).text()
+    }
+
+    /// All rows, in original order.
+    pub fn iter(&self) -> RowIter<'_> {
+        RowIter {
+            column: self,
+            inner: self.rows.iter(),
+        }
+    }
+
+    /// Index (into the distinct-value table) of the value held by `row`.
+    pub fn distinct_index_of(&self, row: usize) -> usize {
+        self.rows[row] as usize
+    }
+
+    /// The distinct value at `index` (first-occurrence order).
+    ///
+    /// # Panics
+    /// If `index >= self.distinct_count()`.
+    pub fn distinct(&self, index: usize) -> DistinctValue<'_> {
+        assert!(index < self.values.len(), "distinct index out of bounds");
+        DistinctValue {
+            column: self,
+            index,
+        }
+    }
+
+    /// All distinct values, in first-occurrence order.
+    pub fn distinct_values(&self) -> impl Iterator<Item = DistinctValue<'_>> + '_ {
+        (0..self.values.len()).map(|i| self.distinct(i))
+    }
+
+    /// The rows as owned strings, in original order (for interop with APIs
+    /// that still take `&[String]`).
+    pub fn to_vec(&self) -> Vec<String> {
+        self.iter().map(str::to_string).collect()
+    }
+
+    /// Total bytes of interned distinct-value text (the arena size): the
+    /// memory the dedup actually pays for string storage.
+    pub fn interned_bytes(&self) -> usize {
+        self.arena.len()
+    }
+}
+
+/// Iterator over a column's rows (original order, interned text).
+#[derive(Debug, Clone)]
+pub struct RowIter<'a> {
+    column: &'a Column,
+    inner: std::slice::Iter<'a, u32>,
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        let &v = self.inner.next()?;
+        Some(self.column.distinct(v as usize).text())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for RowIter<'_> {}
+
+impl<'a> IntoIterator for &'a Column {
+    type Item = &'a str;
+    type IntoIter = RowIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl From<Vec<String>> for Column {
+    fn from(rows: Vec<String>) -> Self {
+        Column::from_rows(rows)
+    }
+}
+
+impl FromIterator<String> for Column {
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        Column::from_rows(iter.into_iter().collect())
+    }
+}
+
+/// A handle to one distinct value of a [`Column`]: its interned text, the
+/// original rows holding it, and its cached token stream.
+#[derive(Debug, Clone, Copy)]
+pub struct DistinctValue<'a> {
+    column: &'a Column,
+    index: usize,
+}
+
+impl<'a> DistinctValue<'a> {
+    fn entry(&self) -> &'a DistinctEntry {
+        &self.column.values[self.index]
+    }
+
+    /// Index of this value in the column's distinct-value table.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The value's text (a slice of the column arena).
+    pub fn text(&self) -> &'a str {
+        let (start, end) = self.entry().span;
+        &self.column.arena[start..end]
+    }
+
+    /// Number of rows holding this value.
+    pub fn multiplicity(&self) -> usize {
+        self.entry().rows.len()
+    }
+
+    /// Original row indices holding this value, ascending.
+    pub fn rows(&self) -> impl Iterator<Item = usize> + 'a {
+        self.entry().rows.iter().map(|&r| r as usize)
+    }
+
+    /// The cached leaf pattern (the value's `tokenize` signature).
+    pub fn leaf(&self) -> &'a Pattern {
+        &self.entry().tokenized.pattern
+    }
+
+    /// The cached per-token slices of the value.
+    pub fn token_slices(&self) -> &'a [TokenSlice] {
+        &self.entry().tokenized.slices
+    }
+
+    /// The full cached tokenization (raw text + leaf pattern + slices).
+    pub fn tokenized(&self) -> &'a TokenizedString {
+        &self.entry().tokenized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::tokenize;
+
+    fn sample() -> Column {
+        Column::from_rows(vec![
+            "(734) 645-8397".into(),
+            "N/A".into(),
+            "(734) 645-8397".into(),
+            "734-422-8073".into(),
+            "N/A".into(),
+            "(734) 645-8397".into(),
+        ])
+    }
+
+    #[test]
+    fn dedup_preserves_rows_and_order() {
+        let c = sample();
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.distinct_count(), 3);
+        // Distinct values in first-occurrence order.
+        let texts: Vec<&str> = c.distinct_values().map(|v| v.text()).collect();
+        assert_eq!(texts, vec!["(734) 645-8397", "N/A", "734-422-8073"]);
+        // Row access reconstructs the original column.
+        let rows: Vec<&str> = c.iter().collect();
+        assert_eq!(
+            rows,
+            vec![
+                "(734) 645-8397",
+                "N/A",
+                "(734) 645-8397",
+                "734-422-8073",
+                "N/A",
+                "(734) 645-8397"
+            ]
+        );
+        assert_eq!(c.to_vec(), rows);
+    }
+
+    #[test]
+    fn multiplicity_and_row_indices() {
+        let c = sample();
+        let phone = c.distinct(0);
+        assert_eq!(phone.multiplicity(), 3);
+        assert_eq!(phone.rows().collect::<Vec<_>>(), vec![0, 2, 5]);
+        let na = c.distinct(1);
+        assert_eq!(na.multiplicity(), 2);
+        assert_eq!(na.rows().collect::<Vec<_>>(), vec![1, 4]);
+        assert_eq!(c.distinct_index_of(3), 2);
+        // Every row is owned by exactly one distinct value.
+        let total: usize = c.distinct_values().map(|v| v.multiplicity()).sum();
+        assert_eq!(total, c.len());
+    }
+
+    #[test]
+    fn cached_tokenization_matches_tokenize() {
+        let c = sample();
+        for value in c.distinct_values() {
+            assert_eq!(value.leaf(), &tokenize(value.text()), "{}", value.text());
+            let rebuilt: String = value
+                .token_slices()
+                .iter()
+                .map(|s| s.text.as_str())
+                .collect();
+            assert_eq!(rebuilt, value.text());
+            assert_eq!(value.tokenized().raw, value.text());
+        }
+    }
+
+    #[test]
+    fn interning_stores_each_distinct_value_once() {
+        let c = sample();
+        assert_eq!(
+            c.interned_bytes(),
+            "(734) 645-8397".len() + "N/A".len() + "734-422-8073".len()
+        );
+    }
+
+    #[test]
+    fn empty_column_and_empty_strings() {
+        let c = Column::from_rows(Vec::new());
+        assert!(c.is_empty());
+        assert_eq!(c.distinct_count(), 0);
+        assert_eq!(c.distinct_values().count(), 0);
+
+        let c = Column::from_rows(vec!["".into(), "".into()]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.distinct_count(), 1);
+        assert_eq!(c.row(1), "");
+        assert!(c.distinct(0).leaf().is_empty());
+    }
+
+    #[test]
+    fn from_values_and_collect() {
+        let c = Column::from_values(&["a1", "a1", "b2"]);
+        assert_eq!(c.distinct_count(), 2);
+        let c2: Column = vec!["a1".to_string(), "b2".to_string()]
+            .into_iter()
+            .collect();
+        assert_eq!(c2.len(), 2);
+        let c3: Column = vec!["x".to_string()].into();
+        assert_eq!(c3.row(0), "x");
+    }
+
+    #[test]
+    fn unicode_values_intern_cleanly() {
+        let c = Column::from_values(&["a€b", "a€b", "π"]);
+        assert_eq!(c.distinct_count(), 2);
+        assert_eq!(c.row(1), "a€b");
+        assert_eq!(c.distinct(1).text(), "π");
+        assert_eq!(c.distinct(0).leaf().to_string(), "<L>'€'<L>");
+    }
+}

@@ -61,8 +61,10 @@ impl ClxSession {
         let report: TransformReport = self.apply()?;
         let mut rows = Vec::new();
         let mut per_pattern_seen: Vec<(String, usize)> = Vec::new();
-        for (input, outcome) in self.data().iter().zip(&report.rows) {
-            let key = clx_pattern::tokenize(input).notation();
+        for (row, outcome) in report.rows.iter().enumerate() {
+            let value = self.data().distinct(self.data().distinct_index_of(row));
+            // The row's leaf pattern is already cached by the column.
+            let key = value.leaf().notation();
             let seen = match per_pattern_seen.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, count)) => {
                     *count += 1;
@@ -76,7 +78,7 @@ impl ClxSession {
             // Keep at most `sample` examples per distinct pattern.
             if seen <= sample {
                 rows.push(PreviewRow {
-                    input: input.clone(),
+                    input: value.text().to_string(),
                     output: outcome.value().to_string(),
                     changed: outcome.is_transformed(),
                 });

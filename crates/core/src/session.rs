@@ -3,9 +3,10 @@
 use std::fmt;
 
 use clx_cluster::{PatternHierarchy, PatternProfiler, ProfilerOptions};
+use clx_column::Column;
 use clx_engine::CompiledProgram;
 use clx_pattern::{tokenize, Pattern};
-use clx_synth::{synthesize, RankedPlan, Synthesis, SynthesisOptions};
+use clx_synth::{synthesize_column, RankedPlan, Synthesis, SynthesisOptions};
 use clx_unifi::{explain_program, transform, Explanation, Program, TransformOutcome};
 
 use crate::report::{RowOutcome, TransformReport};
@@ -57,11 +58,13 @@ pub struct ClxOptions {
 /// A CLX session over one column of data.
 ///
 /// The session walks the user through the Cluster–Label–Transform loop and
-/// owns all intermediate state: the pattern hierarchy, the labelled target,
-/// the synthesized program and its repair alternatives.
+/// owns all intermediate state: the shared [`Column`] (interned rows with
+/// per-distinct-value cached token streams, which profiling, synthesis and
+/// execution all read), the pattern hierarchy, the labelled target, the
+/// synthesized program and its repair alternatives.
 #[derive(Debug, Clone)]
 pub struct ClxSession {
-    data: Vec<String>,
+    data: Column,
     options: ClxOptions,
     hierarchy: PatternHierarchy,
     target: Option<Pattern>,
@@ -76,7 +79,14 @@ impl ClxSession {
 
     /// Start a session with custom options.
     pub fn with_options(data: Vec<String>, options: ClxOptions) -> Self {
-        let hierarchy = PatternProfiler::with_options(options.profiler.clone()).profile(&data);
+        Self::from_column(Column::from_rows(data), options)
+    }
+
+    /// Start a session over an already-built [`Column`] (reusing its
+    /// interned values and cached token streams).
+    pub fn from_column(data: Column, options: ClxOptions) -> Self {
+        let hierarchy =
+            PatternProfiler::with_options(options.profiler.clone()).profile_column(&data);
         ClxSession {
             data,
             options,
@@ -86,8 +96,9 @@ impl ClxSession {
         }
     }
 
-    /// The raw input rows.
-    pub fn data(&self) -> &[String] {
+    /// The session's column: the raw rows plus the interned distinct
+    /// values and their cached token streams.
+    pub fn data(&self) -> &Column {
         &self.data
     }
 
@@ -114,7 +125,12 @@ impl ClxSession {
         if target.is_empty() {
             return Err(ClxError::EmptyTargetPattern);
         }
-        let synthesis = synthesize(&self.hierarchy, &target, &self.options.synthesis);
+        let synthesis = synthesize_column(
+            &self.hierarchy,
+            &self.data,
+            &target,
+            &self.options.synthesis,
+        );
         self.target = Some(target);
         self.synthesis = Some(synthesis);
         Ok(self.synthesis.as_ref().expect("just set"))
@@ -168,25 +184,33 @@ impl ClxSession {
     }
 
     /// **Transform** phase: apply the current program to the whole column.
+    ///
+    /// A program is a pure function of the row value, so each *distinct*
+    /// value is evaluated once and the outcome is fanned out to its
+    /// duplicate rows through the column's multiplicity mapping.
     pub fn apply(&self) -> Result<TransformReport, ClxError> {
         let target = self.target.as_ref().ok_or(ClxError::NotLabelled)?;
         let program = self.program()?;
-        let mut rows = Vec::with_capacity(self.data.len());
-        for value in &self.data {
-            if target.matches(value) {
-                rows.push(RowOutcome::AlreadyConforming {
-                    value: value.clone(),
+        let mut decided = Vec::with_capacity(self.data.distinct_count());
+        for value in self.data.distinct_values() {
+            let text = value.text();
+            if target.matches(text) {
+                decided.push(RowOutcome::AlreadyConforming {
+                    value: text.to_string(),
                 });
                 continue;
             }
-            match transform(&program, value).map_err(|e| ClxError::Eval(e.to_string()))? {
-                TransformOutcome::Transformed(out) => rows.push(RowOutcome::Transformed {
-                    from: value.clone(),
+            match transform(&program, text).map_err(|e| ClxError::Eval(e.to_string()))? {
+                TransformOutcome::Transformed(out) => decided.push(RowOutcome::Transformed {
+                    from: text.to_string(),
                     to: out,
                 }),
-                TransformOutcome::Flagged(v) => rows.push(RowOutcome::Flagged { value: v }),
+                TransformOutcome::Flagged(v) => decided.push(RowOutcome::Flagged { value: v }),
             }
         }
+        let rows = (0..self.data.len())
+            .map(|row| decided[self.data.distinct_index_of(row)].clone())
+            .collect();
         Ok(TransformReport {
             target: target.clone(),
             rows,
@@ -207,12 +231,16 @@ impl ClxSession {
         CompiledProgram::compile(&program, target).map_err(|e| ClxError::Compile(e.to_string()))
     }
 
-    /// [`ClxSession::apply`] through the compiled parallel engine: same
-    /// report, produced by chunked multi-threaded execution. Sessions over
-    /// large columns should prefer this.
+    /// [`ClxSession::apply`] through the compiled engine: same report,
+    /// produced by deciding each distinct value once via its cached leaf
+    /// signature ([`CompiledProgram::execute_column`]) — compile + execute
+    /// of a session column never re-tokenizes a row. Sessions over large
+    /// columns should prefer this.
     pub fn apply_parallel(&self) -> Result<TransformReport, ClxError> {
         let compiled = self.compile()?;
-        Ok(TransformReport::from_batch(compiled.execute(&self.data)))
+        Ok(TransformReport::from_batch(
+            compiled.execute_column(&self.data),
+        ))
     }
 
     /// The post-transformation pattern summary (Figure 2 of the paper): the
@@ -220,9 +248,9 @@ impl ClxSession {
     /// is what the user verifies after the transformation.
     pub fn result_patterns(&self) -> Result<Vec<(Pattern, usize)>, ClxError> {
         let report = self.apply()?;
-        let values = report.values();
+        let output = Column::from_rows(report.values());
         let hierarchy =
-            PatternProfiler::with_options(self.options.profiler.clone()).profile(&values);
+            PatternProfiler::with_options(self.options.profiler.clone()).profile_column(&output);
         Ok(hierarchy.pattern_summary())
     }
 
@@ -235,21 +263,24 @@ impl ClxSession {
         let program = self.program()?;
         let explanation = self.explanation()?;
         let mut checked = 0;
-        for value in &self.data {
-            if target.matches(value) {
+        // Both sides are pure functions of the value: checking each distinct
+        // value once covers all of its duplicate rows.
+        for value in self.data.distinct_values() {
+            let text = value.text();
+            if target.matches(text) {
                 continue;
             }
-            let via_dsl = transform(&program, value)
+            let via_dsl = transform(&program, text)
                 .map_err(|e| ClxError::Eval(e.to_string()))?
                 .value()
                 .to_string();
-            let via_replace = explanation.apply(value);
+            let via_replace = explanation.apply(text);
             if via_dsl != via_replace {
                 return Err(ClxError::Eval(format!(
-                    "explanation mismatch on {value:?}: DSL produced {via_dsl:?}, Replace produced {via_replace:?}"
+                    "explanation mismatch on {text:?}: DSL produced {via_dsl:?}, Replace produced {via_replace:?}"
                 )));
             }
-            checked += 1;
+            checked += value.multiplicity();
         }
         Ok(checked)
     }

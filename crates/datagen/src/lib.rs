@@ -28,7 +28,7 @@ mod phone_study;
 mod suite;
 
 pub use generators::{DataGenerator, PhoneFormat};
-pub use phone_study::{large_case, study_case, study_cases, PhoneStudyCase};
+pub use phone_study::{duplicate_heavy_case, large_case, study_case, study_cases, PhoneStudyCase};
 pub use suite::{
     benchmark_suite, explainability_tasks, suite_stats, BenchmarkTask, DataType, SuiteStats,
     TaskSource,

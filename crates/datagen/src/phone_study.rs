@@ -8,6 +8,7 @@
 //! sizes, the same six formats and a similar frequency skew.
 
 use clx_pattern::{tokenize, Pattern};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::generators::{DataGenerator, PhoneFormat};
 
@@ -74,6 +75,31 @@ pub fn large_case(rows: usize, seed: u64) -> PhoneStudyCase {
     study_case(rows, 6, seed)
 }
 
+/// A duplicate-heavy column: `rows` rows drawn (with the study's format
+/// skew) from a pool of at most `distinct` distinct values, plus the `N/A`
+/// noise value. Real-world columns repeat values constantly — a CRM export
+/// holds the same office number thousands of times — and this is the
+/// workload where the shared column data plane (dedup + cached token
+/// streams) turns O(rows) profiling into O(distinct).
+pub fn duplicate_heavy_case(rows: usize, distinct: usize, seed: u64) -> PhoneStudyCase {
+    assert!(distinct >= 2, "need at least one phone value plus noise");
+    let mut generator = DataGenerator::new(seed);
+    let mut pool =
+        generator.phone_column(distinct - 1, &PhoneFormat::STUDY_FORMATS, &STUDY_WEIGHTS);
+    pool.push("N/A".to_string());
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9e37_79b9));
+    let data = (0..rows)
+        .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+        .collect();
+    PhoneStudyCase {
+        name: format!("{rows}x{distinct}dup"),
+        rows,
+        pattern_count: PhoneFormat::STUDY_FORMATS.len(),
+        data,
+        target_example: "734-422-8073".to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +129,20 @@ mod tests {
                 case.pattern_count
             );
         }
+    }
+
+    #[test]
+    fn duplicate_heavy_case_bounds_distinct_values() {
+        let case = duplicate_heavy_case(10_000, 100, 3);
+        assert_eq!(case.data.len(), 10_000);
+        let distinct: HashSet<&String> = case.data.iter().collect();
+        assert!(distinct.len() <= 100, "{} distinct", distinct.len());
+        // Heavy duplication: far fewer distinct values than rows.
+        assert!(distinct.len() >= 50);
+        assert!(case.data.iter().any(|v| v == "N/A"));
+        // Deterministic per seed.
+        assert_eq!(case.data, duplicate_heavy_case(10_000, 100, 3).data);
+        assert_ne!(case.data, duplicate_heavy_case(10_000, 100, 4).data);
     }
 
     #[test]

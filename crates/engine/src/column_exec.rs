@@ -1,0 +1,126 @@
+//! Batch execution over the shared column data plane.
+//!
+//! [`CompiledProgram::execute`] tokenizes every row to dispatch it; a
+//! [`Column`] already carries each distinct value's leaf signature, and its
+//! multiplicity lists say where every duplicate lives. Executing a column
+//! therefore needs exactly one *decision* per distinct value — reusing the
+//! cached leaf for dispatch, never re-tokenizing — and one outcome clone
+//! per row to fan the decisions back out in input order.
+//!
+//! On duplicate-heavy columns (the common real-world case) this turns the
+//! O(rows) pattern-matching work of a batch run into O(distinct), leaving
+//! only the unavoidable O(rows) report materialization.
+
+use clx_column::Column;
+
+use crate::compiled::CompiledProgram;
+use crate::dispatch::DispatchCache;
+use crate::report::{BatchReport, ChunkReport, RowOutcome};
+
+/// Rows per [`ChunkReport`] produced by [`CompiledProgram::execute_column`]
+/// (mirrors the upper bound of the auto chunk size of parallel execution).
+const COLUMN_CHUNK_ROWS: usize = 65_536;
+
+impl CompiledProgram {
+    /// Execute the program over a [`Column`], transforming each *distinct*
+    /// value exactly once via its cached leaf signature and fanning the
+    /// outcomes back out to every row.
+    ///
+    /// The report is row-for-row identical to
+    /// [`CompiledProgram::execute`] over the same rows: a program is a pure
+    /// function of the row value, so duplicates share one outcome.
+    pub fn execute_column(&self, column: &Column) -> BatchReport {
+        if column.is_empty() {
+            return BatchReport::empty(self.target().clone());
+        }
+
+        // One decision per distinct value, keyed by the cached leaf.
+        let mut cache = DispatchCache::new();
+        let decided: Vec<RowOutcome> = column
+            .distinct_values()
+            .map(|v| self.transform_one_cached(&mut cache, v.text(), v.leaf()))
+            .collect();
+
+        // Fan back out to original row order, chunked so the report keeps
+        // the same mergeable shape as the parallel path.
+        let mut chunks = Vec::with_capacity(column.len().div_ceil(COLUMN_CHUNK_ROWS));
+        let mut outcomes: Vec<RowOutcome> = Vec::with_capacity(COLUMN_CHUNK_ROWS.min(column.len()));
+        for row in 0..column.len() {
+            outcomes.push(decided[column.distinct_index_of(row)].clone());
+            if outcomes.len() == COLUMN_CHUNK_ROWS {
+                chunks.push(ChunkReport::new(
+                    chunks.len(),
+                    std::mem::take(&mut outcomes),
+                ));
+            }
+        }
+        if !outcomes.is_empty() {
+            chunks.push(ChunkReport::new(chunks.len(), outcomes));
+        }
+        BatchReport::from_chunks(self.target().clone(), chunks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::tokenize;
+    use clx_unifi::{Branch, Expr, Program, StringExpr};
+
+    fn compiled() -> CompiledProgram {
+        let program = Program::new(vec![Branch::new(
+            tokenize("734.236.3466"),
+            Expr::concat(vec![
+                StringExpr::extract(1),
+                StringExpr::const_str("-"),
+                StringExpr::extract(3),
+                StringExpr::const_str("-"),
+                StringExpr::extract(5),
+            ]),
+        )]);
+        CompiledProgram::compile(&program, &tokenize("734-422-8073")).unwrap()
+    }
+
+    fn duplicate_heavy_rows(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| match i % 4 {
+                0 | 1 => format!("{:03}.{:03}.{:04}", 100 + i % 5, 200 + i % 5, 3000 + i % 5),
+                2 => format!("{:03}-{:03}-{:04}", 100 + i % 5, 200 + i % 5, 3000 + i % 5),
+                _ => "N/A".to_string(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn column_execution_equals_row_execution() {
+        let program = compiled();
+        let rows = duplicate_heavy_rows(1_000);
+        let column = Column::from_rows(rows.clone());
+        assert!(column.distinct_count() < rows.len() / 10);
+
+        let by_rows = program.execute(&rows);
+        let by_column = program.execute_column(&column);
+        assert_eq!(by_rows.rows, by_column.rows);
+        assert_eq!(by_rows.stats, by_column.stats);
+    }
+
+    #[test]
+    fn empty_column_reports_empty() {
+        let report = compiled().execute_column(&Column::default());
+        assert!(report.rows.is_empty());
+        assert_eq!(report.chunk_count, 0);
+    }
+
+    #[test]
+    fn outcomes_fan_out_to_duplicate_rows() {
+        let program = compiled();
+        let column = Column::from_values(&["111.222.3333", "N/A", "111.222.3333", "111.222.3333"]);
+        let report = program.execute_column(&column);
+        assert_eq!(report.transformed_count(), 3);
+        assert_eq!(report.flagged_count(), 1);
+        assert_eq!(
+            report.values(),
+            vec!["111-222-3333", "N/A", "111-222-3333", "111-222-3333"]
+        );
+    }
+}

@@ -145,6 +145,24 @@ impl CompiledProgram {
     /// Transform a single row, consulting (and populating) `cache`.
     pub fn transform_one(&self, cache: &mut DispatchCache, value: &str) -> RowOutcome {
         let leaf = tokenize(value);
+        self.transform_one_cached(cache, value, &leaf)
+    }
+
+    /// [`CompiledProgram::transform_one`] for a value whose leaf pattern is
+    /// already known — e.g. the cached signature a `clx-column` `Column`
+    /// carries per distinct value — so the row is never re-tokenized. The
+    /// leaf is only cloned when a plan for it is decided for the first time.
+    ///
+    /// `leaf` must be exactly `tokenize(value)`; the leaf-signature
+    /// dispatch (see the `dispatch` module docs) is only sound for leaves
+    /// produced by the same tokenizer rules.
+    pub fn transform_one_cached(
+        &self,
+        cache: &mut DispatchCache,
+        value: &str,
+        leaf: &Pattern,
+    ) -> RowOutcome {
+        debug_assert_eq!(leaf, &tokenize(value), "leaf must be the value's own");
         let plan = cache.plan_for(self.instance, leaf, |l| self.build_plan(l, value));
         for step in &plan.steps {
             match step {

@@ -30,6 +30,23 @@
 //! Patterns that are *not* transparent (a literal such as `'CPT'` or `'N/A'`
 //! can distinguish values with identical leaves) are never decided from the
 //! leaf; the plan records a per-row check for them instead.
+//!
+//! ## Cached leaves from the column data plane
+//!
+//! The argument above is a statement about leaves, not about *when* the
+//! leaf was computed. `clx-column`'s [`Column`](clx_column::Column) caches
+//! each distinct value's leaf at construction by calling the very same
+//! [`clx_pattern::tokenize`] — `tokenize_detailed` is tested to agree with
+//! `tokenize` token-for-token — so a cached leaf handed to
+//! [`crate::CompiledProgram::transform_one_cached`] is exactly the leaf
+//! `transform_one` would have derived itself, and every conclusion drawn
+//! from it (which branch fires, where the splits fall) carries over
+//! unchanged. If the tokenizer's class rules (`precise_class`, the
+//! ASCII-only `contains_char`) ever change, the column cache and the
+//! executor move together because both delegate to `clx-pattern`; what
+//! would break the argument is caching leaves produced by *different*
+//! rules, which is why `transform_one_cached` debug-asserts the leaf
+//! against a fresh tokenization.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -108,22 +125,24 @@ impl DispatchCache {
     }
 
     /// The plan for `leaf` under the program instance identified by
-    /// `instance`, building it with `build` on first sight.
+    /// `instance`, building it with `build` on first sight. The leaf is
+    /// borrowed for the (common) hit path and only cloned into the map when
+    /// a plan is decided for the first time.
     pub(crate) fn plan_for(
         &mut self,
         instance: u64,
-        leaf: Pattern,
+        leaf: &Pattern,
         build: impl FnOnce(&Pattern) -> LeafPlan,
     ) -> Arc<LeafPlan> {
         if self.program != Some(instance) {
             self.plans.clear();
             self.program = Some(instance);
         }
-        if let Some(plan) = self.plans.get(&leaf) {
+        if let Some(plan) = self.plans.get(leaf) {
             return Arc::clone(plan);
         }
-        let plan = Arc::new(build(&leaf));
-        self.plans.insert(leaf, Arc::clone(&plan));
+        let plan = Arc::new(build(leaf));
+        self.plans.insert(leaf.clone(), Arc::clone(&plan));
         plan
     }
 }

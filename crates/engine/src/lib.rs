@@ -24,6 +24,10 @@
 //! * [`CompiledProgram::stream`] (then [`StreamSession::push_chunk`] /
 //!   [`StreamSession::finish`]) processes columns larger than memory,
 //!   retaining only O(1) counters;
+//! * [`CompiledProgram::execute_column`] executes a `clx-column`
+//!   [`Column`](clx_column::Column) by deciding each *distinct* value once
+//!   through its cached leaf signature — no row of a session column is
+//!   ever tokenized twice;
 //! * [`ProgramCache`] is a bounded, thread-safe LRU of compiled programs
 //!   keyed by the structural fingerprint of `(program, target)`.
 //!
@@ -65,6 +69,7 @@
 #![forbid(unsafe_code)]
 
 mod cache;
+mod column_exec;
 mod compiled;
 mod dispatch;
 mod error;

@@ -1,0 +1,200 @@
+//! Direct coverage of the [`ProgramCache`] LRU eviction order and the
+//! streaming `push_chunk`/`finish` path (previously only exercised
+//! indirectly through the engine-equivalence suite).
+
+use std::sync::Arc;
+
+use clx_engine::{CompiledProgram, ExecOptions, ProgramCache};
+use clx_pattern::tokenize;
+use clx_unifi::{Branch, Expr, Program, StringExpr};
+
+/// A tiny one-branch program whose constant makes each fingerprint unique.
+fn program(constant: &str) -> Program {
+    Program::new(vec![Branch::new(
+        tokenize("12/11/2017"),
+        Expr::concat(vec![
+            StringExpr::const_str(constant.to_string()),
+            StringExpr::extract(1),
+            StringExpr::const_str("-"),
+            StringExpr::extract(3),
+        ]),
+    )])
+}
+
+fn target() -> clx_pattern::Pattern {
+    tokenize("#12-11")
+}
+
+/// `true` when `(program, target)` is currently resident (serving the
+/// lookup from cache, observable through the hit counter).
+fn resident(cache: &ProgramCache, p: &Program) -> bool {
+    let hits_before = cache.hits();
+    cache.get_or_compile(p, &target()).unwrap();
+    cache.hits() == hits_before + 1
+}
+
+#[test]
+fn lru_evicts_in_least_recently_used_order() {
+    let cache = ProgramCache::new(3);
+    let (a, b, c, d, e) = (
+        program("a"),
+        program("b"),
+        program("c"),
+        program("d"),
+        program("e"),
+    );
+    cache.get_or_compile(&a, &target()).unwrap();
+    cache.get_or_compile(&b, &target()).unwrap();
+    cache.get_or_compile(&c, &target()).unwrap();
+    assert_eq!(cache.len(), 3);
+
+    // Touch order is now a, b, c. Touch `a` so `b` is the LRU entry.
+    cache.get_or_compile(&a, &target()).unwrap();
+
+    // Inserting `d` must evict `b` (the least recently used), nothing else.
+    cache.get_or_compile(&d, &target()).unwrap();
+    assert_eq!(cache.len(), 3);
+    assert!(resident(&cache, &a), "a was touched, must survive");
+    assert!(!resident(&cache, &b), "b was LRU, must be evicted");
+    // The probe for `b` just reinserted it, evicting `c` (older than a/d).
+    assert!(!resident(&cache, &c));
+
+    // Eviction keeps following recency: now resident are d, a(?) — verify
+    // the exact survivor set by filling with one more fresh program.
+    cache.get_or_compile(&e, &target()).unwrap();
+    assert_eq!(cache.len(), 3);
+    assert!(resident(&cache, &e));
+}
+
+#[test]
+fn lru_capacity_one_always_holds_the_last_program() {
+    let cache = ProgramCache::new(1);
+    for constant in ["x", "y", "z"] {
+        cache.get_or_compile(&program(constant), &target()).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+    // Only the most recent program is resident.
+    assert!(resident(&cache, &program("z")));
+    assert!(!resident(&cache, &program("y")));
+}
+
+#[test]
+fn eviction_follows_recency_not_touch_frequency() {
+    // The cache is LRU, not LFU: ten touches of `a` do not pin it once `b`
+    // becomes more recent.
+    let cache = ProgramCache::new(2);
+    let a = program("a");
+    let b = program("b");
+    cache.get_or_compile(&a, &target()).unwrap();
+    for _ in 0..10 {
+        cache.get_or_compile(&a, &target()).unwrap();
+    }
+    cache.get_or_compile(&b, &target()).unwrap();
+    assert_eq!(cache.len(), 2);
+    assert_eq!(cache.hits(), 10);
+    // `b` is now the most recent entry; inserting a third program evicts
+    // `a` despite its touch count.
+    cache.get_or_compile(&program("c"), &target()).unwrap();
+    assert!(resident(&cache, &b));
+    assert!(!resident(&cache, &a));
+}
+
+#[test]
+fn cached_compilations_are_shared_not_recompiled() {
+    let cache = Arc::new(ProgramCache::new(4));
+    let p = program("#");
+    let first = cache.get_or_compile(&p, &target()).unwrap();
+    let second = cache.get_or_compile(&p, &target()).unwrap();
+    assert!(Arc::ptr_eq(&first, &second));
+}
+
+fn dotted_to_dashed() -> CompiledProgram {
+    let program = Program::new(vec![Branch::new(
+        tokenize("734.236.3466"),
+        Expr::concat(vec![
+            StringExpr::extract(1),
+            StringExpr::const_str("-"),
+            StringExpr::extract(3),
+            StringExpr::const_str("-"),
+            StringExpr::extract(5),
+        ]),
+    )]);
+    CompiledProgram::compile(&program, &tokenize("734-422-8073")).unwrap()
+}
+
+#[test]
+fn stream_counters_match_pushed_chunks() {
+    let program = dotted_to_dashed();
+    let mut stream = program.stream_with(ExecOptions {
+        threads: 1,
+        chunk_size: 0,
+    });
+    assert_eq!(stream.chunks_pushed(), 0);
+
+    let transformed: Vec<String> = (0..40).map(|i| format!("111.222.{:04}", i)).collect();
+    let conforming: Vec<String> = (0..25).map(|i| format!("111-222-{:04}", i)).collect();
+    let flagged: Vec<String> = (0..10).map(|_| "???".to_string()).collect();
+
+    let r1 = stream.push_chunk(&transformed);
+    assert_eq!(r1.index, 0);
+    assert_eq!(r1.stats.transformed, 40);
+    let r2 = stream.push_chunk(&conforming);
+    assert_eq!(r2.index, 1);
+    assert_eq!(r2.stats.conforming, 25);
+    let r3 = stream.push_chunk(&flagged);
+    assert_eq!(r3.index, 2);
+    assert_eq!(r3.stats.flagged, 10);
+
+    // Running totals absorb every chunk.
+    assert_eq!(stream.chunks_pushed(), 3);
+    assert_eq!(stream.stats().rows(), 75);
+
+    let summary = stream.finish();
+    assert_eq!(summary.chunks, 3);
+    assert_eq!(summary.rows(), 75);
+    assert_eq!(summary.stats.transformed, 40);
+    assert_eq!(summary.stats.conforming, 25);
+    assert_eq!(summary.stats.flagged, 10);
+    assert_eq!(summary.target, tokenize("734-422-8073"));
+}
+
+#[test]
+fn stream_handles_empty_chunks_and_empty_runs() {
+    let program = dotted_to_dashed();
+    let mut stream = program.stream();
+    let report = stream.push_chunk(&[]);
+    assert_eq!(report.rows.len(), 0);
+    assert_eq!(stream.chunks_pushed(), 1);
+    let summary = stream.finish();
+    assert_eq!(summary.rows(), 0);
+
+    // A run with no chunks at all.
+    let summary = dotted_to_dashed().stream().finish();
+    assert_eq!(summary.chunks, 0);
+    assert_eq!(summary.rows(), 0);
+}
+
+#[test]
+fn streamed_rows_equal_one_shot_and_column_execution() {
+    let program = dotted_to_dashed();
+    let rows: Vec<String> = (0..600)
+        .map(|i| match i % 3 {
+            0 => format!("{:03}.{:03}.{:04}", 100 + i % 9, 200 + i % 9, i % 9),
+            1 => format!("{:03}-{:03}-{:04}", 100 + i % 9, 200 + i % 9, i % 9),
+            _ => "N/A".to_string(),
+        })
+        .collect();
+
+    let one_shot = program.execute(&rows);
+    let by_column = program.execute_column(&clx_column::Column::from_values(&rows));
+    assert_eq!(one_shot.rows, by_column.rows);
+
+    let mut stream = program.stream();
+    let mut streamed = Vec::new();
+    for chunk in rows.chunks(128) {
+        streamed.extend(stream.push_chunk(chunk).rows);
+    }
+    let summary = stream.finish();
+    assert_eq!(streamed, one_shot.rows);
+    assert_eq!(summary.stats, one_shot.stats);
+}

@@ -9,7 +9,7 @@
 //! groups — exactly what is needed to run `Replace(regex, "$1-$2")`-style
 //! transformations safely over large messy columns.
 //!
-//! Supported syntax is documented on [`parser`](crate::parse); it notably
+//! Supported syntax is documented on the (private) `parser` module; it notably
 //! includes the Wrangler-style named classes (`{digit}`, `{alnum}`, ...) so
 //! the regex the CLX user *reads* is the regex that is *run*.
 //!

@@ -18,7 +18,7 @@ pub mod strategy {
     /// A generator of values of type `Self::Value`.
     ///
     /// Object-safe: combinator methods carry `where Self: Sized` so that
-    /// `Box<dyn Strategy<Value = T>>` works (needed by [`prop_oneof!`]).
+    /// `Box<dyn Strategy<Value = T>>` works (needed by `prop_oneof!`).
     pub trait Strategy {
         /// The type of generated values.
         type Value;
@@ -83,7 +83,7 @@ pub mod strategy {
     }
 
     /// A uniform choice between several strategies of the same value type;
-    /// built by [`prop_oneof!`].
+    /// built by `prop_oneof!`.
     pub struct Union<V> {
         arms: Vec<Box<dyn Strategy<Value = V>>>,
     }
@@ -119,7 +119,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,

@@ -47,5 +47,7 @@ mod validate;
 pub use align::{align, syntactically_similar, AlignmentDag};
 pub use dedup::{dedup_plans, plans_equivalent};
 pub use mdl::{data_length, description_length, model_length, rank_plans, source_reuse_penalty};
-pub use synthesize::{synthesize, RankedPlan, SourceSynthesis, Synthesis, SynthesisOptions};
+pub use synthesize::{
+    synthesize, synthesize_column, RankedPlan, SourceSynthesis, Synthesis, SynthesisOptions,
+};
 pub use validate::{class_frequency, validate, validate_report, ValidationReport};

@@ -8,9 +8,10 @@
 //! pattern forms the default UniFi program; the remaining ranked plans are
 //! kept as repair alternatives (§6.4).
 
-use clx_cluster::PatternHierarchy;
+use clx_cluster::{ClusterNode, PatternHierarchy};
+use clx_column::Column;
 use clx_pattern::Pattern;
-use clx_unifi::{Branch, Expr, Program};
+use clx_unifi::{eval_expr, eval_expr_on_slices, Branch, Expr, Program};
 
 use crate::align::align;
 use crate::dedup::dedup_plans;
@@ -125,6 +126,86 @@ pub fn synthesize(
     target: &Pattern,
     options: &SynthesisOptions,
 ) -> Synthesis {
+    synthesize_impl(hierarchy, None, target, options)
+}
+
+/// [`synthesize`] over the shared column data plane: identical search, plus
+/// a final *data check* of every ranked plan against the cluster's cached
+/// distinct values.
+///
+/// Alignment proves a plan maps the source **pattern** into the target
+/// pattern; the data check proves it maps the cluster's actual **values**
+/// there too, evaluating each candidate plan on a few cached distinct
+/// examples (through the column's cached token streams — nothing is
+/// re-tokenized) and dropping plans whose output fails to match the target.
+/// A source whose every plan fails the check is treated like a failed
+/// validation: the search descends to more specific children.
+pub fn synthesize_column(
+    hierarchy: &PatternHierarchy,
+    column: &Column,
+    target: &Pattern,
+    options: &SynthesisOptions,
+) -> Synthesis {
+    synthesize_impl(hierarchy, Some(column), target, options)
+}
+
+/// Number of cached distinct examples each candidate plan is checked
+/// against when a column is available.
+const DATA_CHECK_EXAMPLES: usize = 3;
+
+/// Evaluate `expr` on one distinct value of `column`, reusing the value's
+/// cached token stream when the source pattern *is* its leaf pattern (the
+/// common case; constant-folded patterns fall back to a fresh split).
+fn eval_on_distinct(
+    expr: &Expr,
+    pattern: &Pattern,
+    value: clx_column::DistinctValue<'_>,
+) -> Result<String, clx_unifi::EvalError> {
+    if pattern == value.leaf() {
+        eval_expr_on_slices(expr, value.token_slices())
+    } else {
+        eval_expr(expr, pattern, value.text())
+    }
+}
+
+/// The data check: keep only the plans that transform every sampled
+/// distinct value of `node`'s cluster into a target-matching string.
+fn data_checked_plans(
+    plans: Vec<RankedPlan>,
+    node: &ClusterNode,
+    column: &Column,
+    target: &Pattern,
+) -> Vec<RankedPlan> {
+    let mut sample: Vec<usize> = Vec::new();
+    for &row in &node.rows {
+        let v = column.distinct_index_of(row);
+        if !sample.contains(&v) {
+            sample.push(v);
+            if sample.len() >= DATA_CHECK_EXAMPLES {
+                break;
+            }
+        }
+    }
+    plans
+        .into_iter()
+        .filter(|plan| {
+            sample.iter().all(|&v| {
+                let value = column.distinct(v);
+                matches!(
+                    eval_on_distinct(&plan.expr, &node.pattern, value),
+                    Ok(out) if target.matches(&out)
+                )
+            })
+        })
+        .collect()
+}
+
+fn synthesize_impl(
+    hierarchy: &PatternHierarchy,
+    column: Option<&Column>,
+    target: &Pattern,
+    options: &SynthesisOptions,
+) -> Synthesis {
     let mut unsolved: Vec<usize> = hierarchy.roots().iter().map(|n| n.id).collect();
     let mut sources: Vec<SourceSynthesis> = Vec::new();
     let mut already_correct: Vec<Pattern> = Vec::new();
@@ -148,7 +229,7 @@ pub fn synthesize(
                 let ranked = rank_plans(plans, pattern);
                 let deduped = dedup_plans(ranked.into_iter().map(|(e, _)| e).collect(), pattern);
                 let ranked_deduped = rank_plans(deduped, pattern);
-                let plans: Vec<RankedPlan> = ranked_deduped
+                let mut plans: Vec<RankedPlan> = ranked_deduped
                     .into_iter()
                     .take(options.top_k)
                     .map(|(expr, description_length)| RankedPlan {
@@ -156,6 +237,9 @@ pub fn synthesize(
                         description_length,
                     })
                     .collect();
+                if let Some(column) = column {
+                    plans = data_checked_plans(plans, node, column, target);
+                }
                 if !plans.is_empty() {
                     sources.push(SourceSynthesis {
                         pattern: pattern.clone(),
@@ -396,6 +480,72 @@ mod tests {
         let synthesis = synthesize(&hierarchy, &target, &options());
         let rows: Vec<usize> = synthesis.sources.iter().map(|s| s.rows).collect();
         assert!(rows.windows(2).all(|w| w[0] >= w[1]), "{rows:?}");
+    }
+
+    #[test]
+    fn synthesize_column_agrees_with_synthesize_on_distinct_data() {
+        let data = vec![
+            "(734) 645-8397",
+            "(734)586-7252",
+            "734.236.3466",
+            "734-422-8073",
+            "N/A",
+        ];
+        let column = clx_column::Column::from_values(&data);
+        let hierarchy = PatternProfiler::new().profile_column(&column);
+        let target = tokenize("734-422-8073");
+        let plain = synthesize(&hierarchy, &target, &options());
+        let checked = synthesize_column(&hierarchy, &column, &target, &options());
+        // The data check can only drop plans, never add or reorder them;
+        // on this workload every aligned plan survives.
+        assert_eq!(plain.program(), checked.program());
+        assert_eq!(plain.rejected, checked.rejected);
+        assert_eq!(plain.already_correct, checked.already_correct);
+    }
+
+    #[test]
+    fn duplicated_values_synthesize_a_working_program() {
+        // Regression: a column holding one value many times used to
+        // constant-fold into a single literal and synthesize an *empty*
+        // program (every row flagged). With distinct-value statistics the
+        // leaf keeps its base tokens and synthesis succeeds.
+        let data = vec!["Dr. Eran Yahav"; 40];
+        let column = clx_column::Column::from_values(&data);
+        let hierarchy = PatternProfiler::new().profile_column(&column);
+        let target = tokenize("Eran Yahav");
+        let synthesis = synthesize_column(&hierarchy, &column, &target, &options());
+        assert!(
+            !synthesis.sources.is_empty(),
+            "repeated values must still synthesize, got rejected={:?}",
+            synthesis.rejected
+        );
+        let program = synthesis.program();
+        let out = transform(&program, "Dr. Eran Yahav").unwrap();
+        assert_eq!(out, TransformOutcome::Transformed("Eran Yahav".into()));
+    }
+
+    #[test]
+    fn data_check_reads_cached_token_streams() {
+        // The sampled plan evaluations run on the column's cached slices
+        // when the source pattern is the leaf; outputs must be identical to
+        // a fresh eval_expr on the raw text.
+        let data = vec!["(734) 645-8397", "(735) 646-8398", "734-422-8073"];
+        let column = clx_column::Column::from_values(&data);
+        let hierarchy = PatternProfiler::new().profile_column(&column);
+        let target = tokenize("734-422-8073");
+        let synthesis = synthesize_column(&hierarchy, &column, &target, &options());
+        for source in &synthesis.sources {
+            for plan in &source.plans {
+                for value in column.distinct_values() {
+                    if value.leaf() != &source.pattern {
+                        continue;
+                    }
+                    let cached = eval_expr_on_slices(&plan.expr, value.token_slices()).unwrap();
+                    let fresh = eval_expr(&plan.expr, &source.pattern, value.text()).unwrap();
+                    assert_eq!(cached, fresh);
+                }
+            }
+        }
     }
 
     #[test]

@@ -74,6 +74,17 @@ impl TransformOutcome {
 /// `source_pattern`.
 pub fn eval_expr(expr: &Expr, source_pattern: &Pattern, input: &str) -> Result<String, EvalError> {
     let slices = source_pattern.split(input)?;
+    eval_expr_on_slices(expr, &slices)
+}
+
+/// Evaluate an atomic transformation plan against a string already split
+/// into per-token slices (for example the cached token stream a
+/// `clx-column` `Column` carries per distinct value, when the source
+/// pattern is the value's leaf pattern). Skips the pattern split entirely.
+pub fn eval_expr_on_slices(
+    expr: &Expr,
+    slices: &[clx_pattern::TokenSlice],
+) -> Result<String, EvalError> {
     let mut out = String::new();
     for part in &expr.parts {
         match part {

@@ -45,5 +45,8 @@ mod eval;
 mod explain;
 
 pub use ast::{Branch, Expr, Program, StringExpr};
-pub use eval::{eval_branch, eval_expr, transform, transform_all, EvalError, TransformOutcome};
+pub use eval::{
+    eval_branch, eval_expr, eval_expr_on_slices, transform, transform_all, EvalError,
+    TransformOutcome,
+};
 pub use explain::{explain_branch, explain_program, ExplainError, Explanation, ReplaceOp};

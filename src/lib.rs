@@ -17,6 +17,9 @@
 //!   synthesized program into a thread-safe [`CompiledProgram`] for
 //!   parallel chunked execution, streaming over columns larger than
 //!   memory, and LRU caching ([`ProgramCache`]);
+//! * [`column`](mod@column) — the shared column data plane: interned, deduplicated
+//!   rows with cached token streams ([`Column`]) that profiler, synthesizer,
+//!   session and engine all read instead of re-tokenizing;
 //! * [`pattern`] — the token/pattern language and tokenizer;
 //! * [`regex`] — the Pike-VM regular-expression engine that executes the
 //!   explained `Replace` operations;
@@ -59,6 +62,7 @@
 
 pub use clx_baselines as baselines;
 pub use clx_cluster as cluster;
+pub use clx_column as column;
 pub use clx_core as core;
 pub use clx_datagen as datagen;
 pub use clx_engine as engine;
@@ -68,6 +72,7 @@ pub use clx_regex as regex;
 pub use clx_synth as synth;
 pub use clx_unifi as unifi;
 
+pub use clx_column::Column;
 pub use clx_core::{ClxError, ClxOptions, ClxSession, RowOutcome, TransformReport};
 pub use clx_engine::{BatchReport, CompiledProgram, ExecOptions, ProgramCache, StreamSession};
 pub use clx_pattern::{parse_pattern, tokenize, Pattern, Token, TokenClass};

@@ -107,6 +107,25 @@ fn streaming_path_matches_sequential_apply() {
 }
 
 #[test]
+fn column_execution_is_identical_to_row_execution() {
+    // The column path dispatches on cached leaf signatures and decides each
+    // distinct value once; the report must still be row-for-row identical
+    // to the per-row engine path and to sequential apply — flagged rows
+    // included.
+    let data = noisy_phone_column(2_500, 11);
+    let session = labelled_session(data.clone());
+    let compiled = session.compile().unwrap();
+
+    let sequential = session.apply().unwrap();
+    let per_row = TransformReport::from_batch(compiled.execute(&data));
+    let per_column = TransformReport::from_batch(compiled.execute_column(session.data()));
+
+    assert_eq!(sequential, per_row);
+    assert_eq!(sequential, per_column);
+    assert_eq!(per_row.flagged_values(), per_column.flagged_values());
+}
+
+#[test]
 fn program_cache_serves_repeat_sessions() {
     let cache = ProgramCache::new(8);
     let session = labelled_session(noisy_phone_column(200, 1));
