@@ -2,7 +2,7 @@
 //! §7.4 of the paper): select the target pattern, then verify each suggested
 //! atomic transformation plan and repair it when the default is wrong.
 
-use clx_core::{ClxSession, RowOutcome};
+use clx_core::{ClxSession, Labelled};
 use clx_pattern::Pattern;
 
 /// The trace of one simulated CLX run on one task.
@@ -54,9 +54,11 @@ impl ClxTrace {
 ///    and picks the first one that fixes the cluster (1 repair);
 /// 3. stops — rows that still mismatch count as punishment steps.
 pub fn run_clx_user(inputs: &[String], expected: &[String], target: &Pattern) -> ClxTrace {
-    let mut session = ClxSession::new(inputs.to_vec());
+    let session = ClxSession::new(inputs.to_vec());
     let patterns_shown = session.patterns().len();
-    session
+    // Labelling consumes the clustered session and unlocks the transform
+    // phase — from here on the simulated user drives a `Labelled` session.
+    let mut session = session
         .label(target.clone())
         .expect("target pattern must be non-empty");
 
@@ -66,7 +68,6 @@ pub fn run_clx_user(inputs: &[String], expected: &[String], target: &Pattern) ->
     // Verify-and-repair each suggested plan, cluster by cluster.
     let source_patterns: Vec<Pattern> = session
         .synthesis()
-        .expect("labelled")
         .sources
         .iter()
         .map(|s| s.pattern.clone())
@@ -82,7 +83,7 @@ pub fn run_clx_user(inputs: &[String], expected: &[String], target: &Pattern) ->
         let alternative_count = session.alternatives(source).map(|a| a.len()).unwrap_or(0);
         let mut fixed = false;
         for choice in 1..alternative_count {
-            session.repair(source, choice).expect("labelled");
+            session.repair(source, choice);
             if cluster_failures(&session, expected, source) == 0 {
                 fixed = true;
                 break;
@@ -90,7 +91,7 @@ pub fn run_clx_user(inputs: &[String], expected: &[String], target: &Pattern) ->
         }
         if !fixed {
             // No alternative fixes it: revert to the default plan.
-            session.repair(source, 0).expect("labelled");
+            session.repair(source, 0);
         }
         // Whether or not an alternative worked, the user spent one repair
         // interaction on this source pattern.
@@ -111,11 +112,10 @@ pub fn run_clx_user(inputs: &[String], expected: &[String], target: &Pattern) ->
 }
 
 /// Number of rows whose final output differs from the ground truth.
-fn count_failures(session: &ClxSession, expected: &[String]) -> usize {
-    let report = session.apply().expect("labelled session");
+fn count_failures(session: &ClxSession<Labelled>, expected: &[String]) -> usize {
+    let report = session.apply().expect("evaluating the program");
     report
-        .rows
-        .iter()
+        .iter_rows()
         .zip(expected)
         .filter(|(row, want)| row.value() != want.as_str())
         .count()
@@ -123,17 +123,18 @@ fn count_failures(session: &ClxSession, expected: &[String]) -> usize {
 
 /// Number of rows belonging to `source`'s cluster whose output differs from
 /// the ground truth.
-fn cluster_failures(session: &ClxSession, expected: &[String], source: &Pattern) -> usize {
-    let report = session.apply().expect("labelled session");
+fn cluster_failures(
+    session: &ClxSession<Labelled>,
+    expected: &[String],
+    source: &Pattern,
+) -> usize {
+    let report = session.apply().expect("evaluating the program");
     report
-        .rows
-        .iter()
+        .iter_rows()
         .zip(session.data())
         .zip(expected)
         .filter(|((row, input), want)| {
-            source.matches(input)
-                && !matches!(row, RowOutcome::AlreadyConforming { .. })
-                && row.value() != want.as_str()
+            source.matches(input) && !row.is_conforming() && row.value() != want.as_str()
         })
         .count()
 }

@@ -112,8 +112,9 @@ fn comprehension_for_task(task: &BenchmarkTask) -> ComprehensionResult {
     let target = task.target_pattern();
 
     // --- CLX: the user reads the explained Replace operations. ---
-    let mut session = ClxSession::new(task.inputs.clone());
-    session.label(target.clone()).expect("non-empty target");
+    let session = ClxSession::new(task.inputs.clone())
+        .label(target.clone())
+        .expect("non-empty target");
     let explanation = session.explanation().expect("explainable program");
     let clx_correct = questions
         .iter()

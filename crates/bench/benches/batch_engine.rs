@@ -18,8 +18,9 @@ fn bench_batch_engine(c: &mut Criterion) {
     group.sample_size(10);
 
     let case = large_case(ROWS, 7);
-    let mut session = ClxSession::new(case.data.clone());
-    session.label(tokenize("734-422-8073")).expect("label");
+    let session = ClxSession::new(case.data.clone())
+        .label(tokenize("734-422-8073"))
+        .expect("label");
     let compiled = session.compile().expect("compile");
 
     group.throughput(Throughput::Elements(ROWS as u64));

@@ -17,8 +17,9 @@ fn bench_end_to_end(c: &mut Criterion) {
             &case,
             |b, case| {
                 b.iter(|| {
-                    let mut session = ClxSession::new(black_box(case.data.clone()));
-                    session.label(case.target_pattern()).expect("label");
+                    let session = ClxSession::new(black_box(case.data.clone()))
+                        .label(case.target_pattern())
+                        .expect("label");
                     let report = session.apply().expect("apply");
                     black_box(report.transformed_count())
                 })

@@ -1,0 +1,82 @@
+//! Report construction cost vs. duplicate multiplicity.
+//!
+//! Before the columnar redesign, building a `TransformReport` cloned one
+//! `RowOutcome` per duplicate row — O(rows) time and memory even when the
+//! engine decided only O(distinct) values. The columnar report keeps the
+//! distinct decisions plus a reference-counted clone of the column's row
+//! map, so construction should no longer scale with multiplicity.
+//!
+//! Two series over the duplicate-heavy workload (≤1k distinct values):
+//!
+//! * `per_row_fanout` replays the pre-redesign construction: fan the
+//!   distinct decisions out to one cloned outcome per row, then merge.
+//! * `columnar` builds the report the engine builds today: the decisions
+//!   move in, the row map is shared.
+//!
+//! Growing the rows 10x (10k -> 100k) at fixed distinct count should grow
+//! `per_row_fanout` ~10x while `columnar` stays flat — that flatness *is*
+//! the acceptance bar of the redesign.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use clx_column::Column;
+use clx_core::ClxSession;
+use clx_datagen::duplicate_heavy_case;
+use clx_engine::{BatchReport, ChunkReport, RowOutcome};
+use clx_pattern::{tokenize, Pattern};
+
+const DISTINCT: usize = 1_000;
+
+/// The pre-redesign O(rows) construction: one cloned outcome per row.
+fn per_row_fanout(target: &Pattern, decided: &[RowOutcome], column: &Column) -> BatchReport {
+    let rows: Vec<RowOutcome> = (0..column.len())
+        .map(|row| decided[column.distinct_index_of(row)].clone())
+        .collect();
+    BatchReport::from_chunks(target.clone(), vec![ChunkReport::new(0, rows)])
+}
+
+fn bench_report_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("report_memory");
+    group.sample_size(10);
+
+    for &rows in &[10_000usize, 100_000] {
+        let case = duplicate_heavy_case(rows, DISTINCT, 7);
+        let target = tokenize(&case.target_example);
+        let session = ClxSession::new(case.data)
+            .label(target.clone())
+            .expect("label");
+        let compiled = session.compile().expect("compile");
+        let column = session.data();
+        // Decide each distinct value once, outside the measurement: both
+        // series measure pure report *construction* on top of the same
+        // decisions.
+        let decided = compiled.execute_column(column).outcomes().to_vec();
+        assert!(decided.len() <= DISTINCT);
+
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(
+            BenchmarkId::new("per_row_fanout", rows),
+            &decided,
+            |b, decided| b.iter(|| black_box(per_row_fanout(&target, black_box(decided), column))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("columnar", rows),
+            &decided,
+            |b, decided| {
+                b.iter(|| {
+                    black_box(BatchReport::columnar(
+                        target.clone(),
+                        black_box(decided.clone()),
+                        column,
+                    ))
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_report_memory);
+criterion_main!(benches);

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use clx_pattern::{tokenize_detailed, Pattern, TokenSlice, TokenizedString};
 
@@ -64,14 +65,25 @@ struct DistinctEntry {
 /// Construction tokenizes each *distinct* value exactly once; every later
 /// consumer (profiler, synthesizer, session, engine) reads the cached
 /// [`TokenizedString`] instead of re-deriving it.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Column {
     /// All distinct values, concatenated; [`DistinctEntry::span`] slices it.
     arena: String,
     /// Distinct values in first-occurrence order.
     values: Vec<DistinctEntry>,
-    /// Row index -> index into `values`.
-    rows: Vec<u32>,
+    /// Row index -> index into `values`. Shared (`Arc`) so that columnar
+    /// reports can reference the map without copying it per report.
+    rows: Arc<[u32]>,
+}
+
+impl Default for Column {
+    fn default() -> Self {
+        Column {
+            arena: String::new(),
+            values: Vec::new(),
+            rows: Arc::from(Vec::new()),
+        }
+    }
 }
 
 impl Column {
@@ -83,20 +95,18 @@ impl Column {
             "column exceeds u32 row indexing"
         );
         let mut seen: HashMap<String, u32> = HashMap::new();
-        let mut column = Column {
-            arena: String::new(),
-            values: Vec::new(),
-            rows: Vec::with_capacity(rows.len()),
-        };
+        let mut arena = String::new();
+        let mut values: Vec<DistinctEntry> = Vec::new();
+        let mut row_map: Vec<u32> = Vec::with_capacity(rows.len());
         for (row_index, row) in rows.into_iter().enumerate() {
             let value_index = match seen.get(row.as_str()) {
                 Some(&i) => i,
                 None => {
-                    let i = column.values.len() as u32;
-                    let start = column.arena.len();
-                    column.arena.push_str(&row);
-                    column.values.push(DistinctEntry {
-                        span: (start, column.arena.len()),
+                    let i = values.len() as u32;
+                    let start = arena.len();
+                    arena.push_str(&row);
+                    values.push(DistinctEntry {
+                        span: (start, arena.len()),
                         rows: Vec::new(),
                         tokenized: tokenize_detailed(&row),
                     });
@@ -106,12 +116,55 @@ impl Column {
                     i
                 }
             };
-            column.values[value_index as usize]
-                .rows
-                .push(row_index as u32);
-            column.rows.push(value_index);
+            values[value_index as usize].rows.push(row_index as u32);
+            row_map.push(value_index);
         }
-        column
+        Column {
+            arena,
+            values,
+            rows: Arc::from(row_map),
+        }
+    }
+
+    /// Build a column from already-distinct, already-tokenized values plus
+    /// the row→distinct map, skipping tokenization entirely.
+    ///
+    /// `values[k]` is the `k`-th distinct value (with its precomputed
+    /// [`TokenizedString`]), and `row_map[r]` names the distinct value held
+    /// by row `r`. This is how `result_patterns` builds the *output* column
+    /// of a transformation in O(distinct): transformed outputs derive their
+    /// token streams from the labelled target's split, so nothing needs to
+    /// be re-tokenized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `row_map` entry is out of bounds, or if `row_map` is
+    /// non-empty while `values` is empty.
+    pub fn from_distinct(values: Vec<TokenizedString>, row_map: Vec<u32>) -> Self {
+        let mut arena = String::new();
+        let mut entries: Vec<DistinctEntry> = Vec::with_capacity(values.len());
+        for tokenized in values {
+            let start = arena.len();
+            arena.push_str(&tokenized.raw);
+            entries.push(DistinctEntry {
+                span: (start, arena.len()),
+                rows: Vec::new(),
+                tokenized,
+            });
+        }
+        for (row_index, &value_index) in row_map.iter().enumerate() {
+            assert!(
+                (value_index as usize) < entries.len(),
+                "row map entry {value_index} out of bounds ({} distinct values)",
+                entries.len()
+            );
+            entries[value_index as usize].rows.push(row_index as u32);
+        }
+        Column {
+            arena,
+            values: entries,
+            rows: Arc::from(row_map),
+        }
     }
 
     /// Build a column from borrowed values.
@@ -150,6 +203,16 @@ impl Column {
     /// Index (into the distinct-value table) of the value held by `row`.
     pub fn distinct_index_of(&self, row: usize) -> usize {
         self.rows[row] as usize
+    }
+
+    /// The shared row→distinct map: entry `r` is the index (into the
+    /// distinct-value table) of the value held by row `r`.
+    ///
+    /// The map is reference-counted; cloning the returned `Arc` is O(1),
+    /// which is how columnar transform reports reference a column's row
+    /// structure without copying it.
+    pub fn row_map(&self) -> &Arc<[u32]> {
+        &self.rows
     }
 
     /// The distinct value at `index` (first-occurrence order).
@@ -378,6 +441,45 @@ mod tests {
         assert_eq!(c2.len(), 2);
         let c3: Column = vec!["x".to_string()].into();
         assert_eq!(c3.row(0), "x");
+    }
+
+    #[test]
+    fn row_map_is_shared_not_copied() {
+        let c = sample();
+        let map = c.row_map().clone();
+        assert_eq!(map.len(), c.len());
+        for (row, &v) in map.iter().enumerate() {
+            assert_eq!(v as usize, c.distinct_index_of(row));
+        }
+        // Cloning the Arc does not clone the map storage.
+        assert!(Arc::ptr_eq(&map, c.row_map()));
+    }
+
+    #[test]
+    fn from_distinct_skips_tokenization_but_matches_from_rows() {
+        let rows = vec![
+            "a-1".to_string(),
+            "b-2".to_string(),
+            "a-1".to_string(),
+            "a-1".to_string(),
+        ];
+        let baseline = Column::from_rows(rows.clone());
+        let values = vec![tokenize_detailed("a-1"), tokenize_detailed("b-2")];
+        let rebuilt = Column::from_distinct(values, vec![0, 1, 0, 0]);
+        assert_eq!(rebuilt.len(), baseline.len());
+        assert_eq!(rebuilt.distinct_count(), baseline.distinct_count());
+        assert_eq!(rebuilt.to_vec(), rows);
+        for (a, b) in rebuilt.distinct_values().zip(baseline.distinct_values()) {
+            assert_eq!(a.text(), b.text());
+            assert_eq!(a.leaf(), b.leaf());
+            assert_eq!(a.rows().collect::<Vec<_>>(), b.rows().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_distinct_rejects_bad_row_map() {
+        Column::from_distinct(vec![tokenize_detailed("x")], vec![0, 1]);
     }
 
     #[test]

@@ -1,24 +1,34 @@
 //! # clx-core
 //!
 //! The CLX engine: the *Cluster–Label–Transform* interaction paradigm of
-//! *CLX: Towards verifiable PBE data transformation* (Jin et al.), assembled
-//! from the lower-level crates:
+//! *CLX: Towards verifiable PBE data transformation* (Jin et al.),
+//! assembled from the lower-level crates — with the protocol itself encoded
+//! in the session types:
 //!
 //! * **Cluster** — [`ClxSession::new`] profiles the raw column into a
 //!   pattern-cluster hierarchy (`clx-cluster`), which is what the user
-//!   reviews instead of raw rows (Figure 3 of the paper);
-//! * **Label** — [`ClxSession::label`] (or [`ClxSession::label_by_example`])
-//!   records the desired target pattern;
-//! * **Transform** — the session synthesizes a UniFi program
-//!   (`clx-synth`), explains it as regexp `Replace` operations
-//!   (`clx-unifi`), lets the user *repair* individual atomic transformation
-//!   plans, and finally [`ClxSession::apply`]s the program to the column.
+//!   reviews instead of raw rows (Figure 3 of the paper). The session is a
+//!   [`ClxSession<Clustered>`]: only the clustering surface exists on it.
+//! * **Label** — [`ClxSession::label`] (or
+//!   [`ClxSession::label_by_example`]) *consumes* the clustered session and
+//!   returns a [`ClxSession<Labelled>`] carrying the target pattern and the
+//!   synthesized UniFi program (`clx-synth`).
+//! * **Transform** — every transform-phase method ([`ClxSession::apply`],
+//!   [`ClxSession::explanation`], [`ClxSession::repair`],
+//!   [`ClxSession::compile`], …) exists **only** on the labelled session.
+//!   Calling one before labelling is a compile error, not a runtime `Err` —
+//!   the strongest form of the paper's verifiability protocol.
 //!
-//! For bulk execution beyond the interactive loop, [`ClxSession::compile`]
-//! hands the synthesized program to the `clx-engine` batch subsystem
-//! (parallel chunked execution, streaming, program caching);
-//! [`ClxSession::apply_parallel`] is the drop-in parallel counterpart of
-//! [`ClxSession::apply`].
+//! Dynamic callers (REPLs, services) hold an [`AnySession`] and match on
+//! the phase at their boundary.
+//!
+//! Applying a program produces a **columnar** [`TransformReport`]: one
+//! [`RowOutcome`] per *distinct* value plus the column's shared row map, so
+//! reporting is O(distinct) end to end on duplicate-heavy columns. For bulk
+//! execution beyond the interactive loop, [`ClxSession::compile`] hands the
+//! program to the `clx-engine` batch subsystem (parallel chunked execution,
+//! streaming, program caching); [`ClxSession::apply_parallel`] is the
+//! drop-in engine-backed counterpart of [`ClxSession::apply`].
 //!
 //! ```
 //! use clx_core::ClxSession;
@@ -30,10 +40,11 @@
 //!     "734.236.3466".to_string(),
 //!     "N/A".to_string(),
 //! ];
-//! let mut session = ClxSession::new(data);
+//! let session = ClxSession::new(data);
 //!
-//! // The user reviews the pattern list and labels the desired pattern.
-//! session.label_by_example("734-422-8073").unwrap();
+//! // The user reviews the pattern list and labels the desired pattern;
+//! // labelling moves the session into the transform phase.
+//! let session = session.label_by_example("734-422-8073").unwrap();
 //!
 //! // The inferred program is shown as Replace operations...
 //! let ops = session.explanation().unwrap();
@@ -54,13 +65,17 @@ mod session;
 
 pub use preview::{PreviewRow, PreviewTable};
 pub use report::{RowOutcome, TransformReport};
-pub use session::{ClxError, ClxOptions, ClxSession};
+pub use session::{
+    AnySession, Clustered, ClxError, ClxOptions, ClxSession, LabelError, Labelled, Phase,
+};
 
 // Re-export the key types a downstream user needs so that `clx-core` (or the
 // `clx` facade) is a one-stop dependency.
 pub use clx_cluster::{ClusterNode, PatternHierarchy, PatternProfiler, ProfilerOptions};
 pub use clx_column::{Column, DistinctValue};
-pub use clx_engine::{BatchReport, CompiledProgram, ExecOptions, ProgramCache, StreamSession};
+pub use clx_engine::{
+    BatchReport, CompiledProgram, ExecOptions, ProgramCache, RowOutcomes, StreamSession,
+};
 pub use clx_pattern::{parse_pattern, tokenize, Pattern, Token, TokenClass};
 pub use clx_synth::{RankedPlan, Synthesis, SynthesisOptions};
 pub use clx_unifi::{Explanation, Program, ReplaceOp, TransformOutcome};

@@ -3,7 +3,7 @@
 //! suggested `Replace` operation before the user commits to it.
 
 use crate::report::TransformReport;
-use crate::session::{ClxError, ClxSession};
+use crate::session::{ClxError, ClxSession, Labelled};
 
 /// One row of a preview table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,16 +52,17 @@ impl PreviewTable {
     }
 }
 
-impl ClxSession {
-    /// Build a Preview Table over the first `sample` rows of the column
-    /// (requires a labelled target). Rows from every leaf cluster are
-    /// included so the preview shows the effect of each suggested operation,
-    /// as in Figure 8 of the paper.
+impl ClxSession<Labelled> {
+    /// Build a Preview Table over the first `sample` rows of the column.
+    /// Rows from every leaf cluster are included so the preview shows the
+    /// effect of each suggested operation, as in Figure 8 of the paper.
+    /// (Like every transform-phase method, `preview` exists only on a
+    /// labelled session.)
     pub fn preview(&self, sample: usize) -> Result<PreviewTable, ClxError> {
         let report: TransformReport = self.apply()?;
         let mut rows = Vec::new();
         let mut per_pattern_seen: Vec<(String, usize)> = Vec::new();
-        for (row, outcome) in report.rows.iter().enumerate() {
+        for (row, outcome) in report.iter_rows().enumerate() {
             let value = self.data().distinct(self.data().distinct_index_of(row));
             // The row's leaf pattern is already cached by the column.
             let key = value.leaf().notation();
@@ -93,7 +94,7 @@ mod tests {
     use super::*;
     use clx_pattern::tokenize;
 
-    fn session() -> ClxSession {
+    fn session() -> ClxSession<Labelled> {
         let data: Vec<String> = vec![
             "(734) 645-8397".into(),
             "(734) 763-1147".into(),
@@ -102,15 +103,9 @@ mod tests {
             "734.236.3466".into(),
             "N/A".into(),
         ];
-        let mut s = ClxSession::new(data);
-        s.label(tokenize("734-422-8073")).unwrap();
-        s
-    }
-
-    #[test]
-    fn preview_requires_label() {
-        let s = ClxSession::new(vec!["x".into()]);
-        assert!(s.preview(2).is_err());
+        ClxSession::new(data)
+            .label(tokenize("734-422-8073"))
+            .unwrap()
     }
 
     #[test]
@@ -149,8 +144,7 @@ mod tests {
 
     #[test]
     fn empty_preview_renders_header_only() {
-        let mut s = ClxSession::new(Vec::new());
-        s.label(tokenize("123")).unwrap();
+        let s = ClxSession::new(Vec::new()).label(tokenize("123")).unwrap();
         let preview = s.preview(3).unwrap();
         assert!(preview.is_empty());
         assert_eq!(preview.render().lines().count(), 2);

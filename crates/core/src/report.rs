@@ -1,137 +1,143 @@
 //! The result of applying a synthesized program to a whole column.
+//!
+//! A [`TransformReport`] is *columnar*: it wraps the engine's
+//! [`BatchReport`], which stores one [`RowOutcome`] per **distinct** value
+//! plus a reference-counted clone of the column's row→distinct map. On a
+//! duplicate-heavy column the report therefore costs O(distinct) to build
+//! and hold — no outcome is ever cloned per duplicate row — while the
+//! row-oriented accessors ([`TransformReport::iter_rows`],
+//! [`TransformReport::row`], [`TransformReport::values`]) remain
+//! row-for-row identical to the old one-outcome-per-row report.
 
+use clx_column::Column;
+use clx_engine::{BatchReport, ChunkReport, RowOutcomes};
 use clx_pattern::Pattern;
 
-/// The outcome for one input row.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RowOutcome {
-    /// The row already matched the target pattern and was left untouched.
-    AlreadyConforming {
-        /// The (unchanged) value.
-        value: String,
-    },
-    /// A branch of the synthesized program transformed the row.
-    Transformed {
-        /// The original value.
-        from: String,
-        /// The transformed value.
-        to: String,
-    },
-    /// No branch matched; the row is left unchanged and flagged for review
-    /// (§6.1 of the paper).
-    Flagged {
-        /// The (unchanged) value.
-        value: String,
-    },
-}
+pub use clx_engine::RowOutcome;
 
-impl RowOutcome {
-    /// The output value of the row after the transformation pass.
-    pub fn value(&self) -> &str {
-        match self {
-            RowOutcome::AlreadyConforming { value } | RowOutcome::Flagged { value } => value,
-            RowOutcome::Transformed { to, .. } => to,
-        }
-    }
-
-    /// `true` if the row was changed.
-    pub fn is_transformed(&self) -> bool {
-        matches!(self, RowOutcome::Transformed { .. })
-    }
-
-    /// `true` if the row was flagged for manual review.
-    pub fn is_flagged(&self) -> bool {
-        matches!(self, RowOutcome::Flagged { .. })
-    }
-
-    /// `true` if the row already matched the target pattern.
-    pub fn is_conforming(&self) -> bool {
-        matches!(self, RowOutcome::AlreadyConforming { .. })
-    }
-}
-
-/// A column-level transformation report: one [`RowOutcome`] per input row,
-/// plus the target pattern the run was labelled with.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A column-level transformation report: every row's outcome (stored once
+/// per distinct value), plus the target pattern the run was labelled with.
+#[derive(Debug, Clone)]
 pub struct TransformReport {
-    /// The labelled target pattern.
-    pub target: Pattern,
-    /// One outcome per input row, in input order.
-    pub rows: Vec<RowOutcome>,
+    batch: BatchReport,
 }
 
 impl TransformReport {
-    /// Convert a `clx-engine` batch report into a session report. The row
-    /// outcomes map one-to-one, so a parallel run and a sequential
-    /// [`crate::ClxSession::apply`] over the same data compare equal.
-    pub fn from_batch(batch: clx_engine::BatchReport) -> Self {
-        let rows = batch
-            .rows
-            .into_iter()
-            .map(|row| match row {
-                clx_engine::RowOutcome::Conforming { value } => {
-                    RowOutcome::AlreadyConforming { value }
-                }
-                clx_engine::RowOutcome::Transformed { from, to } => {
-                    RowOutcome::Transformed { from, to }
-                }
-                clx_engine::RowOutcome::Flagged { value } => RowOutcome::Flagged { value },
-            })
-            .collect();
+    /// Wrap a `clx-engine` batch report. This is **zero-copy**: the engine
+    /// and the session share one outcome representation, so the stored
+    /// outcomes and the row map move in unchanged — whether the batch came
+    /// from the chunked per-row path or the columnar path.
+    pub fn from_batch(batch: BatchReport) -> Self {
+        TransformReport { batch }
+    }
+
+    /// Build a columnar report: `outcomes[k]` is the decision for the
+    /// `k`-th distinct value of `column`. O(distinct): the row map is
+    /// shared with the column, not copied.
+    pub fn columnar(target: Pattern, outcomes: Vec<RowOutcome>, column: &Column) -> Self {
         TransformReport {
-            target: batch.target,
-            rows,
+            batch: BatchReport::columnar(target, outcomes, column),
         }
+    }
+
+    /// Build a report from one outcome per row (no dedup). Mostly useful
+    /// in tests and for callers that already hold per-row outcomes.
+    pub fn from_row_outcomes(target: Pattern, rows: Vec<RowOutcome>) -> Self {
+        let chunks = if rows.is_empty() {
+            Vec::new()
+        } else {
+            vec![ChunkReport::new(0, rows)]
+        };
+        TransformReport {
+            batch: BatchReport::from_chunks(target, chunks),
+        }
+    }
+
+    /// The labelled target pattern.
+    pub fn target(&self) -> &Pattern {
+        &self.batch.target
+    }
+
+    /// Number of rows covered by this report.
+    pub fn len(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// `true` when the report covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.batch.is_empty()
+    }
+
+    /// The stored outcomes: one per *distinct* value for columnar reports
+    /// (the usual session path), one per row for reports built from per-row
+    /// outcomes. `distinct_outcomes()[k]` is the decision for the `k`-th
+    /// distinct value of the session's column, in first-occurrence order.
+    pub fn distinct_outcomes(&self) -> &[RowOutcome] {
+        self.batch.outcomes()
+    }
+
+    /// The outcome of row `index`.
+    pub fn row(&self, index: usize) -> &RowOutcome {
+        self.batch.row(index)
+    }
+
+    /// Every row's outcome, in input order (duplicate rows yield the same
+    /// `&RowOutcome`).
+    pub fn iter_rows(&self) -> RowOutcomes<'_> {
+        self.batch.iter_rows()
     }
 
     /// The output column (one value per row, in input order).
     pub fn values(&self) -> Vec<String> {
-        self.rows.iter().map(|r| r.value().to_string()).collect()
+        self.batch.values()
     }
 
     /// Number of rows actively transformed.
     pub fn transformed_count(&self) -> usize {
-        self.rows.iter().filter(|r| r.is_transformed()).count()
+        self.batch.transformed_count()
     }
 
     /// Number of rows that already matched the target.
     pub fn conforming_count(&self) -> usize {
-        self.rows.iter().filter(|r| r.is_conforming()).count()
+        self.batch.conforming_count()
     }
 
     /// Number of rows flagged for review.
     pub fn flagged_count(&self) -> usize {
-        self.rows.iter().filter(|r| r.is_flagged()).count()
+        self.batch.flagged_count()
     }
 
-    /// The flagged values (for the review step the paper describes).
+    /// The flagged values, in input order (one entry per flagged row — the
+    /// review step the paper describes).
     pub fn flagged_values(&self) -> Vec<&str> {
-        self.rows
-            .iter()
-            .filter(|r| r.is_flagged())
-            .map(|r| r.value())
-            .collect()
+        self.batch.flagged_values()
     }
 
     /// `true` when every row now matches the target pattern (the paper's
-    /// definition of a "perfect" program, §7.4).
+    /// definition of a "perfect" program, §7.4). Checked once per stored
+    /// outcome, so O(distinct) on a columnar report.
     pub fn is_perfect(&self) -> bool {
-        self.rows.iter().all(|r| self.target.matches(r.value()))
+        self.batch.is_perfect()
     }
 
     /// Fraction of rows whose output matches the target pattern.
     pub fn conformance_ratio(&self) -> f64 {
-        if self.rows.is_empty() {
-            return 1.0;
-        }
-        let ok = self
-            .rows
-            .iter()
-            .filter(|r| self.target.matches(r.value()))
-            .count();
-        ok as f64 / self.rows.len() as f64
+        self.batch.conformance_ratio()
     }
 }
+
+/// Reports compare by what they say about every row: same target, same
+/// per-row outcomes in order — regardless of whether the outcomes are
+/// stored per row or per distinct value.
+impl PartialEq for TransformReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.target() == other.target()
+            && self.len() == other.len()
+            && self.iter_rows().eq(other.iter_rows())
+    }
+}
+
+impl Eq for TransformReport {}
 
 #[cfg(test)]
 mod tests {
@@ -139,10 +145,10 @@ mod tests {
     use clx_pattern::tokenize;
 
     fn report() -> TransformReport {
-        TransformReport {
-            target: tokenize("734-422-8073"),
-            rows: vec![
-                RowOutcome::AlreadyConforming {
+        TransformReport::from_row_outcomes(
+            tokenize("734-422-8073"),
+            vec![
+                RowOutcome::Conforming {
                     value: "734-422-8073".into(),
                 },
                 RowOutcome::Transformed {
@@ -153,7 +159,7 @@ mod tests {
                     value: "N/A".into(),
                 },
             ],
-        }
+        )
     }
 
     #[test]
@@ -162,7 +168,7 @@ mod tests {
         assert_eq!(r.transformed_count(), 1);
         assert_eq!(r.conforming_count(), 1);
         assert_eq!(r.flagged_count(), 1);
-        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.len(), 3);
     }
 
     #[test]
@@ -184,42 +190,40 @@ mod tests {
         assert!(!r.is_perfect());
         assert!((r.conformance_ratio() - 2.0 / 3.0).abs() < 1e-9);
 
-        let perfect = TransformReport {
-            target: tokenize("734-422-8073"),
-            rows: vec![RowOutcome::Transformed {
+        let perfect = TransformReport::from_row_outcomes(
+            tokenize("734-422-8073"),
+            vec![RowOutcome::Transformed {
                 from: "x".into(),
                 to: "555-111-2222".into(),
             }],
-        };
+        );
         assert!(perfect.is_perfect());
         assert_eq!(perfect.conformance_ratio(), 1.0);
     }
 
     #[test]
     fn empty_report_is_perfect() {
-        let r = TransformReport {
-            target: tokenize("1"),
-            rows: vec![],
-        };
+        let r = TransformReport::from_row_outcomes(tokenize("1"), vec![]);
         assert!(r.is_perfect());
+        assert!(r.is_empty());
         assert_eq!(r.conformance_ratio(), 1.0);
     }
 
     #[test]
-    fn from_batch_maps_rows_one_to_one() {
+    fn from_batch_is_row_identical() {
         let batch = clx_engine::BatchReport::from_chunks(
             tokenize("734-422-8073"),
             vec![clx_engine::ChunkReport::new(
                 0,
                 vec![
-                    clx_engine::RowOutcome::Conforming {
+                    RowOutcome::Conforming {
                         value: "734-422-8073".into(),
                     },
-                    clx_engine::RowOutcome::Transformed {
+                    RowOutcome::Transformed {
                         from: "(734) 645-8397".into(),
                         to: "734-645-8397".into(),
                     },
-                    clx_engine::RowOutcome::Flagged {
+                    RowOutcome::Flagged {
                         value: "N/A".into(),
                     },
                 ],
@@ -230,6 +234,44 @@ mod tests {
     }
 
     #[test]
+    fn columnar_and_row_reports_compare_equal() {
+        // Same logical rows, different storage: equality is by row.
+        let column = Column::from_values(&["a-1", "N/A", "a-1"]);
+        let columnar = TransformReport::columnar(
+            tokenize("a-1"),
+            vec![
+                RowOutcome::Conforming {
+                    value: "a-1".into(),
+                },
+                RowOutcome::Flagged {
+                    value: "N/A".into(),
+                },
+            ],
+            &column,
+        );
+        let per_row = TransformReport::from_row_outcomes(
+            tokenize("a-1"),
+            vec![
+                RowOutcome::Conforming {
+                    value: "a-1".into(),
+                },
+                RowOutcome::Flagged {
+                    value: "N/A".into(),
+                },
+                RowOutcome::Conforming {
+                    value: "a-1".into(),
+                },
+            ],
+        );
+        assert_eq!(columnar, per_row);
+        assert_eq!(columnar.distinct_outcomes().len(), 2);
+        assert_eq!(per_row.distinct_outcomes().len(), 3);
+        assert_eq!(columnar.row(2), per_row.row(2));
+        assert_eq!(columnar.conforming_count(), 2);
+        assert_eq!(columnar.flagged_count(), 1);
+    }
+
+    #[test]
     fn row_outcome_accessors() {
         let t = RowOutcome::Transformed {
             from: "a".into(),
@@ -237,7 +279,7 @@ mod tests {
         };
         assert_eq!(t.value(), "b");
         assert!(t.is_transformed() && !t.is_flagged() && !t.is_conforming());
-        let c = RowOutcome::AlreadyConforming { value: "x".into() };
+        let c = RowOutcome::Conforming { value: "x".into() };
         assert!(c.is_conforming());
         assert_eq!(c.value(), "x");
         let f = RowOutcome::Flagged { value: "y".into() };

@@ -1,21 +1,42 @@
-//! The CLX interaction session (Figure 5 of the paper).
+//! The CLX interaction session (Figure 5 of the paper), with the
+//! Cluster–Label–Transform protocol encoded in the type system.
+//!
+//! A session is parameterized by its *phase*: [`ClxSession<Clustered>`]
+//! exposes only the clustering surface (pattern list, hierarchy, data);
+//! labelling **consumes** it and returns a [`ClxSession<Labelled>`], which
+//! is the only type that has the transform-phase methods ([`apply`],
+//! [`compile`], [`explanation`], [`repair`], …). Calling a transform method
+//! before labelling is a *compile error*, not a runtime `Err` — the
+//! protocol the paper's verifiability argument rests on is checked by
+//! `rustc`, and the old `ClxError::NotLabelled` no longer exists.
+//!
+//! [`apply`]: ClxSession::apply
+//! [`compile`]: ClxSession::compile
+//! [`explanation`]: ClxSession::explanation
+//! [`repair`]: ClxSession::repair
+//!
+//! Dynamic callers that cannot pin the phase at compile time (a REPL loop,
+//! a service holding many sessions) use the type-erased [`AnySession`]
+//! enum and match on the phase at their boundary.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use clx_cluster::{PatternHierarchy, PatternProfiler, ProfilerOptions};
 use clx_column::Column;
 use clx_engine::CompiledProgram;
-use clx_pattern::{tokenize, Pattern};
+use clx_pattern::{tokenize, tokenize_detailed, Pattern, SplitTokenizer, TokenizedString};
 use clx_synth::{synthesize_column, RankedPlan, Synthesis, SynthesisOptions};
 use clx_unifi::{explain_program, transform, Explanation, Program, TransformOutcome};
 
 use crate::report::{RowOutcome, TransformReport};
 
 /// Errors produced by the session API.
+///
+/// Note there is no "not labelled" variant: phase ordering is enforced by
+/// the session types, so it cannot fail at runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClxError {
-    /// A transform-phase method was called before a target was labelled.
-    NotLabelled,
     /// The label supplied by example does not correspond to any pattern in
     /// the profiled data and could not be tokenized into a usable pattern.
     EmptyTargetPattern,
@@ -32,9 +53,6 @@ pub enum ClxError {
 impl fmt::Display for ClxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ClxError::NotLabelled => {
-                write!(f, "no target pattern labelled yet (call label() first)")
-            }
             ClxError::EmptyTargetPattern => write!(f, "the target pattern is empty"),
             ClxError::Explain(e) => write!(f, "failed to explain program: {e}"),
             ClxError::Eval(e) => write!(f, "failed to evaluate program: {e}"),
@@ -44,6 +62,31 @@ impl fmt::Display for ClxError {
 }
 
 impl std::error::Error for ClxError {}
+
+/// A failed phase transition: labelling rejected the target pattern.
+///
+/// Labelling consumes the clustered session, so the error hands it back —
+/// the (potentially expensive) profiling work is not lost. The session is
+/// boxed to keep the `Err` variant a pointer wide on the happy path.
+#[derive(Debug, Clone)]
+pub struct LabelError {
+    /// The clustered session, returned unchanged.
+    pub session: Box<ClxSession<Clustered>>,
+    /// Why labelling failed.
+    pub error: ClxError,
+}
+
+impl fmt::Display for LabelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "labelling failed: {}", self.error)
+    }
+}
+
+impl std::error::Error for LabelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 /// Options for a CLX session: profiling options for the clustering phase and
 /// synthesis options for the transform phase.
@@ -55,23 +98,112 @@ pub struct ClxOptions {
     pub synthesis: SynthesisOptions,
 }
 
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::Clustered {}
+    impl Sealed for super::Labelled {}
+}
+
+/// A session phase (sealed: exactly [`Clustered`] and [`Labelled`]).
+///
+/// Each phase type carries exactly the state that phase has earned:
+/// [`Clustered`] is zero-sized, [`Labelled`] holds the target pattern and
+/// the synthesis result. A `ClxSession<P>` therefore cannot even
+/// *represent* "transform state without a label".
+pub trait Phase: sealed::Sealed + fmt::Debug + Clone {}
+
+/// The cluster phase: the column is profiled, no target is labelled yet.
+/// Zero-sized — a `ClxSession<Clustered>` is just data + hierarchy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Clustered;
+
+impl Phase for Clustered {}
+
+/// The transform phase: a target pattern is labelled and a program has been
+/// synthesized for it.
+#[derive(Debug, Clone)]
+pub struct Labelled {
+    target: Pattern,
+    synthesis: Synthesis,
+}
+
+impl Phase for Labelled {}
+
 /// A CLX session over one column of data.
 ///
 /// The session walks the user through the Cluster–Label–Transform loop and
 /// owns all intermediate state: the shared [`Column`] (interned rows with
 /// per-distinct-value cached token streams, which profiling, synthesis and
-/// execution all read), the pattern hierarchy, the labelled target, the
-/// synthesized program and its repair alternatives.
+/// execution all read), the pattern hierarchy, and — once labelled — the
+/// target pattern, the synthesized program and its repair alternatives.
+///
+/// The phase parameter makes illegal orderings unrepresentable: transform
+/// methods exist only on `ClxSession<Labelled>`, which only
+/// [`ClxSession::label`] / [`ClxSession::label_by_example`] can produce.
+///
+/// ```compile_fail
+/// use clx_core::ClxSession;
+///
+/// let session = ClxSession::new(vec!["734-422-8073".to_string()]);
+/// // ERROR: `apply` exists only on `ClxSession<Labelled>`; an unlabelled
+/// // session cannot even name the transform phase.
+/// let _ = session.apply();
+/// ```
+///
+/// The same protocol, followed correctly:
+///
+/// ```
+/// use clx_core::ClxSession;
+///
+/// let session = ClxSession::new(vec![
+///     "(734) 645-8397".to_string(),
+///     "734-422-8073".to_string(),
+/// ]);
+/// let session = session.label_by_example("734-422-8073").unwrap();
+/// let report = session.apply().unwrap();
+/// assert_eq!(report.values(), vec!["734-645-8397", "734-422-8073"]);
+/// ```
 #[derive(Debug, Clone)]
-pub struct ClxSession {
+pub struct ClxSession<P: Phase = Clustered> {
     data: Column,
     options: ClxOptions,
     hierarchy: PatternHierarchy,
-    target: Option<Pattern>,
-    synthesis: Option<Synthesis>,
+    phase: P,
 }
 
-impl ClxSession {
+// ---------------------------------------------------------------------------
+// Every phase: the clustering surface.
+// ---------------------------------------------------------------------------
+
+impl<P: Phase> ClxSession<P> {
+    /// The session's column: the raw rows plus the interned distinct
+    /// values and their cached token streams.
+    pub fn data(&self) -> &Column {
+        &self.data
+    }
+
+    /// The options the session was created with.
+    pub fn options(&self) -> &ClxOptions {
+        &self.options
+    }
+
+    /// The pattern-cluster hierarchy produced by the clustering phase.
+    pub fn hierarchy(&self) -> &PatternHierarchy {
+        &self.hierarchy
+    }
+
+    /// The pattern list shown to the user for labelling: distinct leaf
+    /// patterns with cluster sizes, largest first (Figure 3 of the paper).
+    pub fn patterns(&self) -> Vec<(Pattern, usize)> {
+        self.hierarchy.pattern_summary()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster phase: construction and the Label transition.
+// ---------------------------------------------------------------------------
+
+impl ClxSession<Clustered> {
     /// Start a session: profiles (clusters) the data immediately.
     pub fn new(data: Vec<String>) -> Self {
         Self::with_options(data, ClxOptions::default())
@@ -91,39 +223,22 @@ impl ClxSession {
             data,
             options,
             hierarchy,
-            target: None,
-            synthesis: None,
+            phase: Clustered,
         }
     }
 
-    /// The session's column: the raw rows plus the interned distinct
-    /// values and their cached token streams.
-    pub fn data(&self) -> &Column {
-        &self.data
-    }
-
-    /// The pattern-cluster hierarchy produced by the clustering phase.
-    pub fn hierarchy(&self) -> &PatternHierarchy {
-        &self.hierarchy
-    }
-
-    /// The pattern list shown to the user for labelling: distinct leaf
-    /// patterns with cluster sizes, largest first (Figure 3 of the paper).
-    pub fn patterns(&self) -> Vec<(Pattern, usize)> {
-        self.hierarchy.pattern_summary()
-    }
-
-    /// The labelled target pattern, if any.
-    pub fn target(&self) -> Option<&Pattern> {
-        self.target.as_ref()
-    }
-
-    /// **Label** phase: record the desired target pattern and synthesize the
-    /// transformation program. Returns the synthesis result, which includes
-    /// the ranked alternatives used by [`ClxSession::repair`].
-    pub fn label(&mut self, target: Pattern) -> Result<&Synthesis, ClxError> {
+    /// **Label** phase transition: record the desired target pattern,
+    /// synthesize the transformation program, and return the labelled
+    /// session — the only type carrying the transform-phase methods.
+    ///
+    /// On failure the clustered session is handed back inside the
+    /// [`LabelError`], so profiling work is never lost.
+    pub fn label(self, target: Pattern) -> Result<ClxSession<Labelled>, LabelError> {
         if target.is_empty() {
-            return Err(ClxError::EmptyTargetPattern);
+            return Err(LabelError {
+                session: Box::new(self),
+                error: ClxError::EmptyTargetPattern,
+            });
         }
         let synthesis = synthesize_column(
             &self.hierarchy,
@@ -131,33 +246,64 @@ impl ClxSession {
             &target,
             &self.options.synthesis,
         );
-        self.target = Some(target);
-        self.synthesis = Some(synthesis);
-        Ok(self.synthesis.as_ref().expect("just set"))
+        Ok(ClxSession {
+            data: self.data,
+            options: self.options,
+            hierarchy: self.hierarchy,
+            phase: Labelled { target, synthesis },
+        })
     }
 
     /// Label the target by giving one example value in the desired format
     /// (the "alternatively specify the target data form manually" path of
     /// §3.2). The example is tokenized into its leaf pattern.
-    pub fn label_by_example(&mut self, example: &str) -> Result<&Synthesis, ClxError> {
-        let pattern = tokenize(example);
-        self.label(pattern)
+    pub fn label_by_example(self, example: &str) -> Result<ClxSession<Labelled>, LabelError> {
+        self.label(tokenize(example))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transform phase: everything that needs a labelled target.
+// ---------------------------------------------------------------------------
+
+impl ClxSession<Labelled> {
+    /// The labelled target pattern.
+    pub fn target(&self) -> &Pattern {
+        &self.phase.target
     }
 
-    /// The synthesis result of the transform phase.
-    pub fn synthesis(&self) -> Result<&Synthesis, ClxError> {
-        self.synthesis.as_ref().ok_or(ClxError::NotLabelled)
+    /// The synthesis result of the label transition, including the ranked
+    /// alternatives used by [`ClxSession::repair`].
+    pub fn synthesis(&self) -> &Synthesis {
+        &self.phase.synthesis
+    }
+
+    /// Drop the label (and its synthesized program), returning to the
+    /// cluster phase. Together with [`ClxSession::label`] this lets a
+    /// caller re-label without re-profiling.
+    pub fn unlabel(self) -> ClxSession<Clustered> {
+        ClxSession {
+            data: self.data,
+            options: self.options,
+            hierarchy: self.hierarchy,
+            phase: Clustered,
+        }
+    }
+
+    /// Re-label with a different target (an [`ClxSession::unlabel`]
+    /// followed by [`ClxSession::label`]).
+    pub fn relabel(self, target: Pattern) -> Result<ClxSession<Labelled>, LabelError> {
+        self.unlabel().label(target)
     }
 
     /// The currently selected UniFi program.
-    pub fn program(&self) -> Result<Program, ClxError> {
-        Ok(self.synthesis()?.program())
+    pub fn program(&self) -> Program {
+        self.phase.synthesis.program()
     }
 
     /// The program explained as regexp `Replace` operations (Figure 4).
     pub fn explanation(&self) -> Result<Explanation, ClxError> {
-        let program = self.program()?;
-        explain_program(&program).map_err(|e| ClxError::Explain(e.to_string()))
+        explain_program(&self.program()).map_err(|e| ClxError::Explain(e.to_string()))
     }
 
     /// The numbered operation list shown to the user, e.g.
@@ -166,36 +312,33 @@ impl ClxSession {
         Ok(self.explanation()?.render(column))
     }
 
-    /// Repair alternatives for one source pattern (§6.4).
-    pub fn alternatives(&self, pattern: &Pattern) -> Result<&[RankedPlan], ClxError> {
-        self.synthesis()?
-            .alternatives(pattern)
-            .ok_or(ClxError::NotLabelled)
+    /// Repair alternatives for one source pattern (§6.4), or `None` when
+    /// the pattern names no synthesized source.
+    pub fn alternatives(&self, pattern: &Pattern) -> Option<&[RankedPlan]> {
+        self.phase.synthesis.alternatives(pattern)
     }
 
     /// Repair: replace the selected plan of `pattern` with the `choice`-th
     /// ranked alternative. Returns `false` when the pattern or index is
     /// unknown.
-    pub fn repair(&mut self, pattern: &Pattern, choice: usize) -> Result<bool, ClxError> {
-        match self.synthesis.as_mut() {
-            Some(s) => Ok(s.repair(pattern, choice)),
-            None => Err(ClxError::NotLabelled),
-        }
+    pub fn repair(&mut self, pattern: &Pattern, choice: usize) -> bool {
+        self.phase.synthesis.repair(pattern, choice)
     }
 
     /// **Transform** phase: apply the current program to the whole column.
     ///
     /// A program is a pure function of the row value, so each *distinct*
-    /// value is evaluated once and the outcome is fanned out to its
-    /// duplicate rows through the column's multiplicity mapping.
+    /// value is evaluated once; the report is columnar (it shares the
+    /// column's row map), making the whole step O(distinct) in time and
+    /// memory.
     pub fn apply(&self) -> Result<TransformReport, ClxError> {
-        let target = self.target.as_ref().ok_or(ClxError::NotLabelled)?;
-        let program = self.program()?;
+        let target = &self.phase.target;
+        let program = self.program();
         let mut decided = Vec::with_capacity(self.data.distinct_count());
         for value in self.data.distinct_values() {
             let text = value.text();
             if target.matches(text) {
-                decided.push(RowOutcome::AlreadyConforming {
+                decided.push(RowOutcome::Conforming {
                     value: text.to_string(),
                 });
                 continue;
@@ -208,13 +351,11 @@ impl ClxSession {
                 TransformOutcome::Flagged(v) => decided.push(RowOutcome::Flagged { value: v }),
             }
         }
-        let rows = (0..self.data.len())
-            .map(|row| decided[self.data.distinct_index_of(row)].clone())
-            .collect();
-        Ok(TransformReport {
-            target: target.clone(),
-            rows,
-        })
+        Ok(TransformReport::columnar(
+            target.clone(),
+            decided,
+            &self.data,
+        ))
     }
 
     /// Compile the current program for high-throughput batch execution.
@@ -226,16 +367,16 @@ impl ClxSession {
     /// memory ([`CompiledProgram::stream`]). Its semantics on any column are
     /// exactly those of [`ClxSession::apply`].
     pub fn compile(&self) -> Result<CompiledProgram, ClxError> {
-        let target = self.target.as_ref().ok_or(ClxError::NotLabelled)?;
-        let program = self.program()?;
-        CompiledProgram::compile(&program, target).map_err(|e| ClxError::Compile(e.to_string()))
+        CompiledProgram::compile(&self.program(), &self.phase.target)
+            .map_err(|e| ClxError::Compile(e.to_string()))
     }
 
     /// [`ClxSession::apply`] through the compiled engine: same report,
     /// produced by deciding each distinct value once via its cached leaf
     /// signature ([`CompiledProgram::execute_column`]) — compile + execute
-    /// of a session column never re-tokenizes a row. Sessions over large
-    /// columns should prefer this.
+    /// of a session column never re-tokenizes a row, and the report shares
+    /// the column's row map. Sessions over large columns should prefer
+    /// this.
     pub fn apply_parallel(&self) -> Result<TransformReport, ClxError> {
         let compiled = self.compile()?;
         Ok(TransformReport::from_batch(
@@ -246,9 +387,63 @@ impl ClxSession {
     /// The post-transformation pattern summary (Figure 2 of the paper): the
     /// distinct patterns of the output column with their row counts, which
     /// is what the user verifies after the transformation.
+    ///
+    /// The output column is assembled without re-tokenizing: conforming and
+    /// flagged outputs *are* their input values (cached token streams), and
+    /// transformed outputs match the labelled target, so their token
+    /// streams are derived from the target's split
+    /// ([`clx_pattern::SplitTokenizer`]).
     pub fn result_patterns(&self) -> Result<Vec<(Pattern, usize)>, ClxError> {
         let report = self.apply()?;
-        let output = Column::from_rows(report.values());
+        // The positional indexing below relies on `apply` returning a
+        // columnar report aligned with this session's column: stored
+        // outcome `k` is the decision for `self.data.distinct(k)`.
+        debug_assert_eq!(
+            report.distinct_outcomes().len(),
+            self.data.distinct_count(),
+            "apply() must return a report columnar over the session column"
+        );
+        let tokenizer = SplitTokenizer::new(&self.phase.target);
+
+        // One output tokenization per *distinct input*; distinct inputs may
+        // collide on their output, so dedup by output text as we go.
+        let mut dedup: HashMap<String, u32> = HashMap::new();
+        let mut out_values: Vec<TokenizedString> = Vec::new();
+        let mut input_to_output: Vec<u32> = Vec::with_capacity(report.distinct_outcomes().len());
+        for (input_index, outcome) in report.distinct_outcomes().iter().enumerate() {
+            let text = outcome.value();
+            let output_index = match dedup.get(text) {
+                Some(&k) => k,
+                None => {
+                    let tokenized = match outcome {
+                        // Unchanged rows keep their cached tokenization.
+                        RowOutcome::Conforming { .. } | RowOutcome::Flagged { .. } => {
+                            self.data.distinct(input_index).tokenized().clone()
+                        }
+                        // Transformed rows match the target; derive. (The
+                        // fallback covers an output a repaired program sent
+                        // outside the target — rare, but must stay correct.)
+                        RowOutcome::Transformed { to, .. } => tokenizer
+                            .tokenize(to)
+                            .unwrap_or_else(|| tokenize_detailed(to)),
+                    };
+                    let k = out_values.len() as u32;
+                    out_values.push(tokenized);
+                    dedup.insert(text.to_string(), k);
+                    k
+                }
+            };
+            input_to_output.push(output_index);
+        }
+
+        // Compose the row map: row -> input distinct -> output distinct.
+        let row_map: Vec<u32> = self
+            .data
+            .row_map()
+            .iter()
+            .map(|&d| input_to_output[d as usize])
+            .collect();
+        let output = Column::from_distinct(out_values, row_map);
         let hierarchy =
             PatternProfiler::with_options(self.options.profiler.clone()).profile_column(&output);
         Ok(hierarchy.pattern_summary())
@@ -259,8 +454,8 @@ impl ClxSession {
     /// rows checked. This is the "what you read is what runs" guarantee the
     /// paper's verifiability argument rests on.
     pub fn verify_explanation(&self) -> Result<usize, ClxError> {
-        let target = self.target.as_ref().ok_or(ClxError::NotLabelled)?;
-        let program = self.program()?;
+        let target = &self.phase.target;
+        let program = self.program();
         let explanation = self.explanation()?;
         let mut checked = 0;
         // Both sides are pure functions of the value: checking each distinct
@@ -286,6 +481,157 @@ impl ClxSession {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Type-erased sessions for dynamic callers.
+// ---------------------------------------------------------------------------
+
+/// A type-erased session for callers that cannot pin the phase at compile
+/// time — a REPL loop, a service holding a map of live sessions.
+///
+/// The phase discipline does not disappear: it is concentrated into the one
+/// `match` (or [`AnySession::as_labelled`]) at the dynamic boundary,
+/// instead of being re-checked inside every method.
+///
+/// ```
+/// use clx_core::{AnySession, ClxSession};
+///
+/// let mut session = AnySession::from(ClxSession::new(vec![
+///     "(734) 645-8397".to_string(),
+///     "734-422-8073".to_string(),
+/// ]));
+/// assert!(!session.is_labelled());
+/// session.label_by_example("734-422-8073").unwrap();
+/// let labelled = session.as_labelled().expect("just labelled");
+/// assert!(labelled.apply().unwrap().is_perfect());
+/// ```
+#[derive(Debug, Clone)]
+pub enum AnySession {
+    /// A session in the cluster phase.
+    Clustered(ClxSession<Clustered>),
+    /// A session in the transform phase.
+    Labelled(ClxSession<Labelled>),
+}
+
+impl From<ClxSession<Clustered>> for AnySession {
+    fn from(session: ClxSession<Clustered>) -> Self {
+        AnySession::Clustered(session)
+    }
+}
+
+impl From<ClxSession<Labelled>> for AnySession {
+    fn from(session: ClxSession<Labelled>) -> Self {
+        AnySession::Labelled(session)
+    }
+}
+
+impl AnySession {
+    /// Start a clustered session (see [`ClxSession::new`]).
+    pub fn new(data: Vec<String>) -> Self {
+        AnySession::Clustered(ClxSession::new(data))
+    }
+
+    /// The session's column, in any phase.
+    pub fn data(&self) -> &Column {
+        match self {
+            AnySession::Clustered(s) => s.data(),
+            AnySession::Labelled(s) => s.data(),
+        }
+    }
+
+    /// The pattern-cluster hierarchy, in any phase.
+    pub fn hierarchy(&self) -> &PatternHierarchy {
+        match self {
+            AnySession::Clustered(s) => s.hierarchy(),
+            AnySession::Labelled(s) => s.hierarchy(),
+        }
+    }
+
+    /// The pattern list shown to the user, in any phase.
+    pub fn patterns(&self) -> Vec<(Pattern, usize)> {
+        match self {
+            AnySession::Clustered(s) => s.patterns(),
+            AnySession::Labelled(s) => s.patterns(),
+        }
+    }
+
+    /// `true` when the session is in the transform phase.
+    pub fn is_labelled(&self) -> bool {
+        matches!(self, AnySession::Labelled(_))
+    }
+
+    /// The clustered session, if the label transition has not happened.
+    pub fn as_clustered(&self) -> Option<&ClxSession<Clustered>> {
+        match self {
+            AnySession::Clustered(s) => Some(s),
+            AnySession::Labelled(_) => None,
+        }
+    }
+
+    /// The labelled session — the gateway to every transform-phase method.
+    pub fn as_labelled(&self) -> Option<&ClxSession<Labelled>> {
+        match self {
+            AnySession::Clustered(_) => None,
+            AnySession::Labelled(s) => Some(s),
+        }
+    }
+
+    /// Mutable access to the labelled session (for [`ClxSession::repair`]).
+    pub fn as_labelled_mut(&mut self) -> Option<&mut ClxSession<Labelled>> {
+        match self {
+            AnySession::Clustered(_) => None,
+            AnySession::Labelled(s) => Some(s),
+        }
+    }
+
+    /// A throwaway empty session used to take ownership of `self` during
+    /// in-place phase transitions (profiling zero rows is trivial).
+    fn placeholder() -> AnySession {
+        AnySession::Clustered(ClxSession::from_column(
+            Column::default(),
+            ClxOptions::default(),
+        ))
+    }
+
+    /// Label (or re-label) in place: transitions the session to the
+    /// transform phase and returns the synthesis result.
+    pub fn label(&mut self, target: Pattern) -> Result<&Synthesis, ClxError> {
+        if target.is_empty() {
+            return Err(ClxError::EmptyTargetPattern);
+        }
+        let clustered = match std::mem::replace(self, Self::placeholder()) {
+            AnySession::Clustered(s) => s,
+            AnySession::Labelled(s) => s.unlabel(),
+        };
+        match clustered.label(target) {
+            Ok(labelled) => {
+                *self = AnySession::Labelled(labelled);
+                match self {
+                    AnySession::Labelled(s) => Ok(s.synthesis()),
+                    AnySession::Clustered(_) => unreachable!("just set"),
+                }
+            }
+            Err(LabelError { session, error }) => {
+                *self = AnySession::Clustered(*session);
+                Err(error)
+            }
+        }
+    }
+
+    /// [`AnySession::label`] from one example value in the desired format.
+    pub fn label_by_example(&mut self, example: &str) -> Result<&Synthesis, ClxError> {
+        self.label(tokenize(example))
+    }
+
+    /// Drop the label (if any) in place, returning to the cluster phase.
+    pub fn unlabel(&mut self) {
+        if let AnySession::Labelled(_) = self {
+            if let AnySession::Labelled(s) = std::mem::replace(self, Self::placeholder()) {
+                *self = AnySession::Clustered(s.unlabel());
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,17 +649,22 @@ mod tests {
         ]
     }
 
+    fn labelled(data: Vec<String>, target: Pattern) -> ClxSession<Labelled> {
+        ClxSession::new(data).label(target).expect("valid target")
+    }
+
     #[test]
     fn full_cluster_label_transform_loop() {
-        let mut session = ClxSession::new(phone_data());
+        let session = ClxSession::new(phone_data());
         // Cluster: the pattern list is available immediately.
         let patterns = session.patterns();
         assert_eq!(patterns.len(), 5);
 
-        // Label by picking the target pattern from the list.
+        // Label by picking the target pattern from the list; the clustered
+        // session is consumed and a labelled one comes back.
         let target = tokenize("734-422-8073");
-        session.label(target.clone()).unwrap();
-        assert_eq!(session.target(), Some(&target));
+        let session = session.label(target.clone()).unwrap();
+        assert_eq!(session.target(), &target);
 
         // Transform.
         let report = session.apply().unwrap();
@@ -323,7 +674,7 @@ mod tests {
         assert_eq!(report.flagged_count(), 1);
         assert_eq!(report.flagged_values(), vec!["N/A"]);
         // Every non-flagged output matches the target.
-        for row in &report.rows {
+        for row in report.iter_rows() {
             if !row.is_flagged() {
                 assert!(target.matches(row.value()), "{row:?}");
             }
@@ -332,37 +683,53 @@ mod tests {
 
     #[test]
     fn label_by_example() {
-        let mut session = ClxSession::new(phone_data());
-        session.label_by_example("555-123-4567").unwrap();
+        let session = ClxSession::new(phone_data())
+            .label_by_example("555-123-4567")
+            .unwrap();
         let report = session.apply().unwrap();
         assert_eq!(report.transformed_count(), 4);
     }
 
     #[test]
-    fn transform_phase_requires_label() {
+    fn empty_target_rejected_and_session_returned() {
         let session = ClxSession::new(phone_data());
-        assert_eq!(session.program().unwrap_err(), ClxError::NotLabelled);
-        assert_eq!(session.apply().unwrap_err(), ClxError::NotLabelled);
-        assert_eq!(session.explanation().unwrap_err(), ClxError::NotLabelled);
-        assert!(session.synthesis().is_err());
-        assert!(session.verify_explanation().is_err());
+        let err = session.label(Pattern::empty()).unwrap_err();
+        assert_eq!(err.error, ClxError::EmptyTargetPattern);
+        // The clustered session comes back intact and can be re-labelled.
+        let recovered = err.session;
+        assert_eq!(recovered.patterns().len(), 5);
+        assert!(recovered.label(tokenize("734-422-8073")).is_ok());
     }
 
     #[test]
-    fn empty_target_rejected() {
-        let mut session = ClxSession::new(phone_data());
+    fn unlabel_and_relabel_reuse_profiling() {
+        let session = labelled(phone_data(), tokenize("734-422-8073"));
+        let report_dash = session.apply().unwrap();
+        let session = session.relabel(tokenize("(734) 645-8397")).unwrap();
+        assert_eq!(session.target(), &tokenize("(734) 645-8397"));
+        let report_paren = session.apply().unwrap();
+        assert_ne!(report_dash.values(), report_paren.values());
+        // And back to the cluster phase explicitly.
+        let clustered = session.unlabel();
+        assert_eq!(clustered.patterns().len(), 5);
+    }
+
+    #[test]
+    fn report_is_columnar_over_session_column() {
+        let session = labelled(phone_data(), tokenize("734-422-8073"));
+        let report = session.apply().unwrap();
         assert_eq!(
-            session.label(Pattern::empty()).unwrap_err(),
-            ClxError::EmptyTargetPattern
+            report.distinct_outcomes().len(),
+            session.data().distinct_count()
         );
+        assert_eq!(report.len(), session.data().len());
     }
 
     #[test]
     fn explanation_lists_one_replace_per_branch() {
-        let mut session = ClxSession::new(phone_data());
-        session.label(tokenize("734-422-8073")).unwrap();
+        let session = labelled(phone_data(), tokenize("734-422-8073"));
         let explanation = session.explanation().unwrap();
-        let program = session.program().unwrap();
+        let program = session.program();
         assert_eq!(explanation.operations.len(), program.len());
         let listing = session.suggested_operations("column1").unwrap();
         assert!(listing.contains("Replace '/^"));
@@ -371,22 +738,35 @@ mod tests {
 
     #[test]
     fn explained_operations_match_dsl_on_all_rows() {
-        let mut session = ClxSession::new(phone_data());
-        session.label(tokenize("734-422-8073")).unwrap();
+        let session = labelled(phone_data(), tokenize("734-422-8073"));
         let checked = session.verify_explanation().unwrap();
         assert_eq!(checked, 5); // 7 rows minus 2 already conforming
     }
 
     #[test]
     fn result_patterns_collapse_after_transformation() {
-        let mut session = ClxSession::new(phone_data());
-        session.label(tokenize("734-422-8073")).unwrap();
+        let session = ClxSession::new(phone_data());
         let before = session.patterns().len();
+        let session = session.label(tokenize("734-422-8073")).unwrap();
         let after = session.result_patterns().unwrap();
         assert!(after.len() < before);
         // The dominant output pattern is the target.
         assert_eq!(after[0].0, tokenize("734-422-8073"));
         assert_eq!(after[0].1, 6);
+    }
+
+    #[test]
+    fn result_patterns_match_a_freshly_profiled_output_column() {
+        // The derived-tokenization path must agree with profiling the raw
+        // output strings (which re-tokenizes everything).
+        for target in [tokenize("734-422-8073"), tokenize("(734) 645-8397")] {
+            let session = labelled(phone_data(), target);
+            let derived = session.result_patterns().unwrap();
+            let report = session.apply().unwrap();
+            let fresh = PatternProfiler::with_options(session.options().profiler.clone())
+                .profile_column(&Column::from_rows(report.values()));
+            assert_eq!(derived, fresh.pattern_summary());
+        }
     }
 
     #[test]
@@ -396,8 +776,7 @@ mod tests {
             "03/04/2018".to_string(),
             "11-12-2017".to_string(),
         ];
-        let mut session = ClxSession::new(data);
-        session.label(tokenize("11-12-2017")).unwrap();
+        let mut session = labelled(data, tokenize("11-12-2017"));
         let source = parse_pattern("<D>2'/'<D>2'/'<D>4").unwrap();
         let alternatives = session.alternatives(&source).unwrap().to_vec();
         assert!(alternatives.len() >= 2);
@@ -405,7 +784,7 @@ mod tests {
         // Find an alternative that changes the output and select it.
         let mut changed = false;
         for i in 1..alternatives.len() {
-            assert!(session.repair(&source, i).unwrap());
+            assert!(session.repair(&source, i));
             let after = session.apply().unwrap().values();
             if after != before {
                 changed = true;
@@ -417,9 +796,8 @@ mod tests {
 
     #[test]
     fn repair_of_unknown_pattern_returns_false() {
-        let mut session = ClxSession::new(phone_data());
-        session.label(tokenize("734-422-8073")).unwrap();
-        assert!(!session.repair(&tokenize("zzz"), 0).unwrap());
+        let mut session = labelled(phone_data(), tokenize("734-422-8073"));
+        assert!(!session.repair(&tokenize("zzz"), 0));
     }
 
     #[test]
@@ -430,10 +808,7 @@ mod tests {
             "[CPT-11536]".to_string(),
             "CPT115".to_string(),
         ];
-        let mut session = ClxSession::new(data);
-        session
-            .label(parse_pattern("'['<U>+'-'<D>+']'").unwrap())
-            .unwrap();
+        let session = labelled(data, parse_pattern("'['<U>+'-'<D>+']'").unwrap());
         let report = session.apply().unwrap();
         assert_eq!(
             report.values(),
@@ -443,16 +818,8 @@ mod tests {
     }
 
     #[test]
-    fn compile_requires_label() {
-        let session = ClxSession::new(phone_data());
-        assert_eq!(session.compile().unwrap_err(), ClxError::NotLabelled);
-        assert_eq!(session.apply_parallel().unwrap_err(), ClxError::NotLabelled);
-    }
-
-    #[test]
     fn apply_parallel_equals_apply() {
-        let mut session = ClxSession::new(phone_data());
-        session.label(tokenize("734-422-8073")).unwrap();
+        let session = labelled(phone_data(), tokenize("734-422-8073"));
         let sequential = session.apply().unwrap();
         let parallel = session.apply_parallel().unwrap();
         assert_eq!(sequential, parallel);
@@ -461,8 +828,7 @@ mod tests {
 
     #[test]
     fn compiled_program_reuses_across_columns() {
-        let mut session = ClxSession::new(phone_data());
-        session.label(tokenize("734-422-8073")).unwrap();
+        let session = labelled(phone_data(), tokenize("734-422-8073"));
         let compiled = session.compile().unwrap();
         assert_eq!(compiled.target(), &tokenize("734-422-8073"));
         // The compiled program serves a column the session never saw.
@@ -481,11 +847,11 @@ mod tests {
 
     #[test]
     fn empty_data_session() {
-        let mut session = ClxSession::new(Vec::new());
+        let session = ClxSession::new(Vec::new());
         assert!(session.patterns().is_empty());
-        session.label(tokenize("123")).unwrap();
+        let session = session.label(tokenize("123")).unwrap();
         let report = session.apply().unwrap();
-        assert!(report.rows.is_empty());
+        assert!(report.is_empty());
         assert!(report.is_perfect());
     }
 
@@ -494,10 +860,50 @@ mod tests {
         let mut options = ClxOptions::default();
         options.profiler.discover_constants = false;
         options.synthesis.top_k = 1;
-        let mut session = ClxSession::with_options(phone_data(), options);
-        session.label(tokenize("734-422-8073")).unwrap();
-        for source in &session.synthesis().unwrap().sources {
+        let session = ClxSession::with_options(phone_data(), options)
+            .label(tokenize("734-422-8073"))
+            .unwrap();
+        for source in &session.synthesis().sources {
             assert_eq!(source.plans.len(), 1);
         }
+    }
+
+    #[test]
+    fn any_session_walks_the_phases_dynamically() {
+        let mut session = AnySession::new(phone_data());
+        assert!(!session.is_labelled());
+        assert!(session.as_clustered().is_some());
+        assert!(session.as_labelled().is_none());
+        assert_eq!(session.patterns().len(), 5);
+        assert_eq!(session.data().len(), 7);
+
+        // Labelling an empty target fails and leaves the phase unchanged.
+        assert_eq!(
+            session.label(Pattern::empty()).unwrap_err(),
+            ClxError::EmptyTargetPattern
+        );
+        assert!(!session.is_labelled());
+
+        session.label(tokenize("734-422-8073")).unwrap();
+        assert!(session.is_labelled());
+        let report = session.as_labelled().unwrap().apply().unwrap();
+        assert_eq!(report.flagged_count(), 1);
+
+        // Re-labelling in place re-synthesizes against the new target.
+        session.label_by_example("(734) 645-8397").unwrap();
+        assert_eq!(
+            session.as_labelled().unwrap().target(),
+            &tokenize("(734) 645-8397")
+        );
+
+        // Repair goes through the mutable accessor.
+        assert!(!session
+            .as_labelled_mut()
+            .unwrap()
+            .repair(&tokenize("zzz"), 0));
+
+        session.unlabel();
+        assert!(!session.is_labelled());
+        assert_eq!(session.hierarchy().total_rows(), 7);
     }
 }

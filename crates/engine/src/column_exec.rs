@@ -2,62 +2,38 @@
 //!
 //! [`CompiledProgram::execute`] tokenizes every row to dispatch it; a
 //! [`Column`] already carries each distinct value's leaf signature, and its
-//! multiplicity lists say where every duplicate lives. Executing a column
+//! shared row map says where every duplicate lives. Executing a column
 //! therefore needs exactly one *decision* per distinct value — reusing the
-//! cached leaf for dispatch, never re-tokenizing — and one outcome clone
-//! per row to fan the decisions back out in input order.
+//! cached leaf for dispatch, never re-tokenizing — and the resulting
+//! [`BatchReport`] is columnar: it keeps the distinct decisions plus a
+//! reference-counted clone of the column's row map, so nothing is cloned
+//! per duplicate row.
 //!
-//! On duplicate-heavy columns (the common real-world case) this turns the
-//! O(rows) pattern-matching work of a batch run into O(distinct), leaving
-//! only the unavoidable O(rows) report materialization.
+//! On duplicate-heavy columns (the common real-world case) this makes the
+//! whole batch run — pattern matching *and* reporting — O(distinct).
 
 use clx_column::Column;
 
 use crate::compiled::CompiledProgram;
 use crate::dispatch::DispatchCache;
-use crate::report::{BatchReport, ChunkReport, RowOutcome};
-
-/// Rows per [`ChunkReport`] produced by [`CompiledProgram::execute_column`]
-/// (mirrors the upper bound of the auto chunk size of parallel execution).
-const COLUMN_CHUNK_ROWS: usize = 65_536;
+use crate::report::{BatchReport, RowOutcome};
 
 impl CompiledProgram {
     /// Execute the program over a [`Column`], transforming each *distinct*
-    /// value exactly once via its cached leaf signature and fanning the
-    /// outcomes back out to every row.
+    /// value exactly once via its cached leaf signature. The report shares
+    /// the column's row map instead of fanning outcomes out per row.
     ///
     /// The report is row-for-row identical to
     /// [`CompiledProgram::execute`] over the same rows: a program is a pure
     /// function of the row value, so duplicates share one outcome.
     pub fn execute_column(&self, column: &Column) -> BatchReport {
-        if column.is_empty() {
-            return BatchReport::empty(self.target().clone());
-        }
-
         // One decision per distinct value, keyed by the cached leaf.
         let mut cache = DispatchCache::new();
         let decided: Vec<RowOutcome> = column
             .distinct_values()
             .map(|v| self.transform_one_cached(&mut cache, v.text(), v.leaf()))
             .collect();
-
-        // Fan back out to original row order, chunked so the report keeps
-        // the same mergeable shape as the parallel path.
-        let mut chunks = Vec::with_capacity(column.len().div_ceil(COLUMN_CHUNK_ROWS));
-        let mut outcomes: Vec<RowOutcome> = Vec::with_capacity(COLUMN_CHUNK_ROWS.min(column.len()));
-        for row in 0..column.len() {
-            outcomes.push(decided[column.distinct_index_of(row)].clone());
-            if outcomes.len() == COLUMN_CHUNK_ROWS {
-                chunks.push(ChunkReport::new(
-                    chunks.len(),
-                    std::mem::take(&mut outcomes),
-                ));
-            }
-        }
-        if !outcomes.is_empty() {
-            chunks.push(ChunkReport::new(chunks.len(), outcomes));
-        }
-        BatchReport::from_chunks(self.target().clone(), chunks)
+        BatchReport::columnar(self.target().clone(), decided, column)
     }
 }
 
@@ -100,14 +76,21 @@ mod tests {
 
         let by_rows = program.execute(&rows);
         let by_column = program.execute_column(&column);
-        assert_eq!(by_rows.rows, by_column.rows);
+        assert!(by_column.is_columnar());
+        assert_eq!(
+            by_rows.iter_rows().collect::<Vec<_>>(),
+            by_column.iter_rows().collect::<Vec<_>>()
+        );
         assert_eq!(by_rows.stats, by_column.stats);
+        // The columnar report stores only the distinct decisions.
+        assert_eq!(by_column.outcomes().len(), column.distinct_count());
+        assert_eq!(by_rows.outcomes().len(), rows.len());
     }
 
     #[test]
     fn empty_column_reports_empty() {
         let report = compiled().execute_column(&Column::default());
-        assert!(report.rows.is_empty());
+        assert!(report.is_empty());
         assert_eq!(report.chunk_count, 0);
     }
 

@@ -82,5 +82,5 @@ pub use compiled::{CompiledBranch, CompiledProgram};
 pub use dispatch::DispatchCache;
 pub use error::CompileError;
 pub use parallel::ExecOptions;
-pub use report::{BatchReport, ChunkReport, ChunkStats, RowOutcome};
+pub use report::{BatchReport, ChunkReport, ChunkStats, RowOutcome, RowOutcomes};
 pub use stream::{StreamSession, StreamSummary};

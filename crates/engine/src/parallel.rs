@@ -194,7 +194,10 @@ mod tests {
                 chunk_size: 64,
             },
         );
-        assert_eq!(sequential.rows, parallel.rows);
+        assert_eq!(
+            sequential.iter_rows().collect::<Vec<_>>(),
+            parallel.iter_rows().collect::<Vec<_>>()
+        );
         assert_eq!(sequential.stats, parallel.stats);
         assert_eq!(parallel.chunk_count, data.len().div_ceil(64));
     }
@@ -211,8 +214,8 @@ mod tests {
                 chunk_size: 100,
             },
         );
-        assert_eq!(report.rows.len(), data.len());
-        for (row, input) in report.rows.iter().zip(&data) {
+        assert_eq!(report.len(), data.len());
+        for (row, input) in report.iter_rows().zip(&data) {
             match input.chars().next() {
                 Some('(') => assert!(row.is_transformed(), "{input} -> {row:?}"),
                 Some('N') => assert!(row.is_flagged(), "{input} -> {row:?}"),
@@ -230,7 +233,7 @@ mod tests {
         let (program, target) = dash_program();
         let compiled = CompiledProgram::compile(&program, &target).unwrap();
         let report = compiled.execute(&[]);
-        assert!(report.rows.is_empty());
+        assert!(report.is_empty());
         assert_eq!(report.chunk_count, 0);
     }
 
@@ -240,7 +243,7 @@ mod tests {
         let compiled = CompiledProgram::compile(&program, &target).unwrap();
         for n in [1, 2, 255, 256, 257, 5_000] {
             let report = compiled.execute(&column(n));
-            assert_eq!(report.rows.len(), n, "size {n}");
+            assert_eq!(report.len(), n, "size {n}");
         }
     }
 }

@@ -1,11 +1,24 @@
-//! Mergeable execution reports.
+//! Mergeable, columnar execution reports.
 //!
 //! The parallel executor produces one [`ChunkReport`] per chunk; chunk
 //! reports merge (in chunk order) into a column-level [`BatchReport`]. Both
 //! carry [`ChunkStats`], a small commutative summary that also powers the
 //! streaming API, where whole-column row storage is exactly what must be
 //! avoided.
+//!
+//! A [`BatchReport`] stores its outcomes *columnar*: a list of stored
+//! [`RowOutcome`]s plus a row→outcome map. The chunked path stores one
+//! outcome per row (an identity map, costing nothing extra); the column
+//! path ([`crate::CompiledProgram::execute_column`]) stores one outcome per
+//! **distinct** value and shares the column's row map by reference count,
+//! so a duplicate-heavy report costs O(distinct) — no outcome is ever
+//! cloned per duplicate row. Row-oriented access ([`BatchReport::iter_rows`],
+//! [`BatchReport::row`], [`BatchReport::values`]) is identical for both
+//! representations.
 
+use std::sync::Arc;
+
+use clx_column::Column;
 use clx_pattern::Pattern;
 
 /// The outcome of the batch executor for one input row.
@@ -79,10 +92,16 @@ impl ChunkStats {
 
     /// Count one outcome.
     pub(crate) fn record(&mut self, outcome: &RowOutcome) {
+        self.record_weighted(outcome, 1);
+    }
+
+    /// Count one outcome standing for `weight` rows (the multiplicity of a
+    /// distinct value in a columnar report).
+    pub(crate) fn record_weighted(&mut self, outcome: &RowOutcome, weight: usize) {
         match outcome {
-            RowOutcome::Conforming { .. } => self.conforming += 1,
-            RowOutcome::Transformed { .. } => self.transformed += 1,
-            RowOutcome::Flagged { .. } => self.flagged += 1,
+            RowOutcome::Conforming { .. } => self.conforming += weight,
+            RowOutcome::Transformed { .. } => self.transformed += weight,
+            RowOutcome::Flagged { .. } => self.flagged += weight,
         }
     }
 
@@ -116,16 +135,35 @@ impl ChunkReport {
     }
 }
 
-/// A column-level report: the merge of every chunk, in input order.
+/// The row→outcome map of a [`BatchReport`].
+#[derive(Debug, Clone)]
+enum RowMap {
+    /// Stored outcome `i` *is* row `i` (the chunked per-row paths).
+    Identity,
+    /// Row `r` holds stored outcome `map[r]` (the columnar path); the map
+    /// is the column's own row→distinct map, shared by reference count.
+    Shared(Arc<[u32]>),
+}
+
+/// A column-level report: every row's outcome, stored columnar.
+///
+/// Reports from the chunked paths ([`crate::CompiledProgram::execute`],
+/// [`BatchReport::from_chunks`]) store one outcome per row. Reports from
+/// [`crate::CompiledProgram::execute_column`] store one outcome per
+/// *distinct* value plus the column's shared row map — O(distinct) space,
+/// no per-duplicate clones. Both answer row-oriented queries identically.
 #[derive(Debug, Clone)]
 pub struct BatchReport {
     /// The target pattern the program was compiled against.
     pub target: Pattern,
-    /// One outcome per input row, in input order.
-    pub rows: Vec<RowOutcome>,
-    /// Counters over `rows`.
+    /// Stored outcomes: per row (identity map) or per distinct value.
+    outcomes: Vec<RowOutcome>,
+    /// Row index -> stored outcome index.
+    row_map: RowMap,
+    /// Counters over all rows (multiplicity-weighted for columnar reports).
     pub stats: ChunkStats,
-    /// Number of chunks merged into this report.
+    /// Number of chunks merged into this report (1 for a non-empty columnar
+    /// report, which is built whole).
     pub chunk_count: usize,
 }
 
@@ -134,7 +172,8 @@ impl BatchReport {
     pub fn empty(target: Pattern) -> Self {
         BatchReport {
             target,
-            rows: Vec::new(),
+            outcomes: Vec::new(),
+            row_map: RowMap::Identity,
             stats: ChunkStats::default(),
             chunk_count: 0,
         }
@@ -154,20 +193,117 @@ impl BatchReport {
         report
     }
 
+    /// Build a columnar report: `outcomes[k]` is the decision for the
+    /// `k`-th distinct value of `column`, fanned out to every duplicate row
+    /// through the column's shared row map. Construction is O(distinct):
+    /// the row map is reference-counted, not copied, and the stats are
+    /// multiplicity-weighted instead of being counted row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` does not have exactly one entry per distinct
+    /// value of `column`.
+    pub fn columnar(target: Pattern, outcomes: Vec<RowOutcome>, column: &Column) -> Self {
+        assert_eq!(
+            outcomes.len(),
+            column.distinct_count(),
+            "one outcome per distinct value"
+        );
+        let mut stats = ChunkStats::default();
+        for (outcome, value) in outcomes.iter().zip(column.distinct_values()) {
+            stats.record_weighted(outcome, value.multiplicity());
+        }
+        BatchReport {
+            target,
+            outcomes,
+            row_map: RowMap::Shared(column.row_map().clone()),
+            stats,
+            chunk_count: usize::from(!column.is_empty()),
+        }
+    }
+
     /// Append one chunk to this report, enforcing chunk order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-order chunks, or if the report is columnar (those
+    /// are built whole by [`BatchReport::columnar`]).
     pub fn push_chunk(&mut self, chunk: ChunkReport) {
+        assert!(
+            matches!(self.row_map, RowMap::Identity),
+            "cannot append chunks to a columnar report"
+        );
         assert_eq!(
             chunk.index, self.chunk_count,
             "chunk reports must merge in index order"
         );
         self.stats.absorb(&chunk.stats);
-        self.rows.extend(chunk.rows);
+        self.outcomes.extend(chunk.rows);
         self.chunk_count += 1;
+    }
+
+    /// Number of rows covered by this report.
+    pub fn len(&self) -> usize {
+        match &self.row_map {
+            RowMap::Identity => self.outcomes.len(),
+            RowMap::Shared(map) => map.len(),
+        }
+    }
+
+    /// `true` when the report covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when outcomes are stored per distinct value (one entry shared
+    /// by all duplicate rows) rather than per row.
+    pub fn is_columnar(&self) -> bool {
+        matches!(self.row_map, RowMap::Shared(_))
+    }
+
+    /// The stored outcomes: one per *distinct* value for columnar reports,
+    /// one per row otherwise.
+    pub fn outcomes(&self) -> &[RowOutcome] {
+        &self.outcomes
+    }
+
+    /// The outcome of row `index`.
+    pub fn row(&self, index: usize) -> &RowOutcome {
+        match &self.row_map {
+            RowMap::Identity => &self.outcomes[index],
+            RowMap::Shared(map) => &self.outcomes[map[index] as usize],
+        }
+    }
+
+    /// Every row's outcome, in input order (duplicate rows yield the same
+    /// `&RowOutcome` in a columnar report).
+    pub fn iter_rows(&self) -> RowOutcomes<'_> {
+        RowOutcomes {
+            outcomes: &self.outcomes,
+            map: match &self.row_map {
+                RowMap::Identity => None,
+                RowMap::Shared(map) => Some(map),
+            },
+            next: 0,
+            len: self.len(),
+        }
+    }
+
+    /// Materialize one owned outcome per row, in input order (cloning per
+    /// duplicate row — the explicitly row-oriented escape hatch).
+    pub fn into_row_outcomes(self) -> Vec<RowOutcome> {
+        match self.row_map {
+            RowMap::Identity => self.outcomes,
+            RowMap::Shared(map) => map
+                .iter()
+                .map(|&i| self.outcomes[i as usize].clone())
+                .collect(),
+        }
     }
 
     /// The output column (one value per row, in input order).
     pub fn values(&self) -> Vec<String> {
-        self.rows.iter().map(|r| r.value().to_string()).collect()
+        self.iter_rows().map(|r| r.value().to_string()).collect()
     }
 
     /// Rows rewritten by a branch.
@@ -185,15 +321,71 @@ impl BatchReport {
         self.stats.flagged
     }
 
-    /// The flagged values, in input order.
+    /// The flagged values, in input order (one entry per flagged row).
     pub fn flagged_values(&self) -> Vec<&str> {
-        self.rows
-            .iter()
+        self.iter_rows()
             .filter(|r| r.is_flagged())
             .map(|r| r.value())
             .collect()
     }
+
+    /// `true` when every row's output matches the target pattern. Checked
+    /// once per *stored* outcome, so O(distinct) on a columnar report.
+    pub fn is_perfect(&self) -> bool {
+        self.outcomes.iter().all(|o| self.target.matches(o.value()))
+    }
+
+    /// Fraction of rows whose output matches the target pattern. Pattern
+    /// matching runs once per stored outcome; only the row-weighting pass
+    /// touches every row.
+    pub fn conformance_ratio(&self) -> f64 {
+        if self.is_empty() {
+            return 1.0;
+        }
+        let ok: Vec<bool> = self
+            .outcomes
+            .iter()
+            .map(|o| self.target.matches(o.value()))
+            .collect();
+        let matching = match &self.row_map {
+            RowMap::Identity => ok.iter().filter(|&&b| b).count(),
+            RowMap::Shared(map) => map.iter().filter(|&&i| ok[i as usize]).count(),
+        };
+        matching as f64 / self.len() as f64
+    }
 }
+
+/// Iterator over every row's outcome of a [`BatchReport`], in input order.
+#[derive(Debug, Clone)]
+pub struct RowOutcomes<'a> {
+    outcomes: &'a [RowOutcome],
+    map: Option<&'a [u32]>,
+    next: usize,
+    len: usize,
+}
+
+impl<'a> Iterator for RowOutcomes<'a> {
+    type Item = &'a RowOutcome;
+
+    fn next(&mut self) -> Option<&'a RowOutcome> {
+        if self.next >= self.len {
+            return None;
+        }
+        let stored = match self.map {
+            Some(map) => map[self.next] as usize,
+            None => self.next,
+        };
+        self.next += 1;
+        Some(&self.outcomes[stored])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.len - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for RowOutcomes<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -239,6 +431,8 @@ mod tests {
         );
         assert_eq!(merged.values(), vec!["a", "b", "c", "d"]);
         assert_eq!(merged.chunk_count, 3);
+        assert_eq!(merged.len(), 4);
+        assert!(!merged.is_columnar());
         assert_eq!(merged.flagged_count(), 4);
         assert_eq!(merged.flagged_values(), vec!["a", "b", "c", "d"]);
     }
@@ -247,6 +441,68 @@ mod tests {
     #[should_panic(expected = "index order")]
     fn out_of_order_chunks_are_rejected() {
         BatchReport::from_chunks(tokenize("1"), vec![chunk(1, &["a"])]);
+    }
+
+    #[test]
+    fn columnar_report_stores_one_outcome_per_distinct_value() {
+        let column = Column::from_values(&["a", "b", "a", "a", "b"]);
+        let outcomes = vec![
+            RowOutcome::Transformed {
+                from: "a".into(),
+                to: "A".into(),
+            },
+            RowOutcome::Flagged { value: "b".into() },
+        ];
+        let report = BatchReport::columnar(tokenize("X"), outcomes, &column);
+        assert!(report.is_columnar());
+        assert_eq!(report.outcomes().len(), 2);
+        assert_eq!(report.len(), 5);
+        // Stats are multiplicity-weighted.
+        assert_eq!(report.transformed_count(), 3);
+        assert_eq!(report.flagged_count(), 2);
+        // Row-oriented access fans the decisions back out in input order.
+        assert_eq!(report.values(), vec!["A", "b", "A", "A", "b"]);
+        assert_eq!(report.row(3).value(), "A");
+        assert_eq!(report.flagged_values(), vec!["b", "b"]);
+        // Materializing rows clones per duplicate.
+        assert_eq!(report.clone().into_row_outcomes().len(), 5);
+        // The row map is shared with the column, not copied.
+        let shared = match &report.row_map {
+            RowMap::Shared(map) => map,
+            RowMap::Identity => panic!("columnar report must share the map"),
+        };
+        assert!(Arc::ptr_eq(shared, column.row_map()));
+    }
+
+    #[test]
+    fn columnar_report_of_empty_column_is_empty() {
+        let report = BatchReport::columnar(tokenize("X"), Vec::new(), &Column::default());
+        assert!(report.is_empty());
+        assert_eq!(report.chunk_count, 0);
+        assert_eq!(report.iter_rows().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot append chunks")]
+    fn columnar_reports_reject_chunks() {
+        let column = Column::from_values(&["a"]);
+        let outcomes = vec![RowOutcome::Flagged { value: "a".into() }];
+        let mut report = BatchReport::columnar(tokenize("X"), outcomes, &column);
+        report.push_chunk(chunk(1, &["b"]));
+    }
+
+    #[test]
+    fn iter_rows_is_exact_size() {
+        let column = Column::from_values(&["a", "a", "b"]);
+        let outcomes = vec![
+            RowOutcome::Conforming { value: "a".into() },
+            RowOutcome::Conforming { value: "b".into() },
+        ];
+        let report = BatchReport::columnar(tokenize("X"), outcomes, &column);
+        let mut iter = report.iter_rows();
+        assert_eq!(iter.len(), 3);
+        iter.next();
+        assert_eq!(iter.len(), 2);
     }
 
     #[test]

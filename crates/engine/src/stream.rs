@@ -50,10 +50,11 @@ impl StreamSession<'_> {
         let batch = self
             .program
             .execute_pooled(rows, self.options, &mut self.caches);
+        let stats = batch.stats;
         let report = ChunkReport {
             index: self.chunks,
-            rows: batch.rows,
-            stats: batch.stats,
+            rows: batch.into_row_outcomes(),
+            stats,
         };
         self.stats.absorb(&report.stats);
         self.chunks += 1;
@@ -162,7 +163,7 @@ mod tests {
             streamed.extend(stream.push_chunk(chunk).rows);
         }
         let summary = stream.finish();
-        assert_eq!(streamed, one_shot.rows);
+        assert_eq!(streamed, one_shot.clone().into_row_outcomes());
         assert_eq!(summary.stats, one_shot.stats);
     }
 

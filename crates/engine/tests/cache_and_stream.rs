@@ -187,7 +187,10 @@ fn streamed_rows_equal_one_shot_and_column_execution() {
 
     let one_shot = program.execute(&rows);
     let by_column = program.execute_column(&clx_column::Column::from_values(&rows));
-    assert_eq!(one_shot.rows, by_column.rows);
+    assert_eq!(
+        one_shot.iter_rows().collect::<Vec<_>>(),
+        by_column.iter_rows().collect::<Vec<_>>()
+    );
 
     let mut stream = program.stream();
     let mut streamed = Vec::new();
@@ -195,6 +198,7 @@ fn streamed_rows_equal_one_shot_and_column_execution() {
         streamed.extend(stream.push_chunk(chunk).rows);
     }
     let summary = stream.finish();
-    assert_eq!(streamed, one_shot.rows);
-    assert_eq!(summary.stats, one_shot.stats);
+    let one_shot_stats = one_shot.stats;
+    assert_eq!(streamed, one_shot.into_row_outcomes());
+    assert_eq!(summary.stats, one_shot_stats);
 }

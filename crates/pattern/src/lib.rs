@@ -55,7 +55,7 @@ pub use error::PatternError;
 pub use parse::parse_pattern;
 pub use pattern::{Pattern, TokenSlice};
 pub use token::{Quantifier, Token, TokenClass};
-pub use tokenizer::{tokenize, tokenize_detailed, TokenizedString};
+pub use tokenizer::{tokenize, tokenize_detailed, SplitTokenizer, TokenizedString};
 
 /// All base token classes, in the fixed order used by the paper
 /// (`T = [<D>, <L>, <U>, <A>, <AN>]`, Section 6.1).

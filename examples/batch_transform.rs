@@ -15,8 +15,9 @@ use clx::{tokenize, ClxSession, TransformReport};
 fn main() {
     // ---- Interactive phase: one labelled session ------------------------
     let case = large_case(50_000, 7);
-    let mut session = ClxSession::new(case.data.clone());
-    session.label(tokenize("734-422-8073")).expect("label");
+    let session = ClxSession::new(case.data.clone())
+        .label(tokenize("734-422-8073"))
+        .expect("label");
     println!(
         "session over {} rows, {} pattern clusters",
         case.data.len(),
@@ -57,8 +58,8 @@ fn main() {
 
     // ---- Cache compiled programs across requests ------------------------
     let cache = ProgramCache::new(32);
-    let program = session.program().expect("program");
-    let target = session.target().expect("target").clone();
+    let program = session.program();
+    let target = session.target().clone();
     for _ in 0..3 {
         let served = cache.get_or_compile(&program, &target).expect("compile");
         let _ = served.execute(&case.data[..1_000]);

@@ -19,10 +19,11 @@ fn main() {
     .map(|s| s.to_string())
     .collect();
 
-    let mut session = ClxSession::new(column.clone());
     // Target: "<U><L>+, <U>."  — e.g. "Yahav, E."
     let target = parse_pattern("<U><L>+','' '<U>'.'").expect("valid pattern");
-    session.label(target).expect("label");
+    let mut session = ClxSession::new(column.clone())
+        .label(target)
+        .expect("label");
 
     println!("Suggested operations:");
     println!(
@@ -32,7 +33,7 @@ fn main() {
 
     let report = session.apply().expect("apply");
     println!("\nInitial transformation:");
-    for (input, row) in column.iter().zip(&report.rows) {
+    for (input, row) in column.iter().zip(report.iter_rows()) {
         println!("  {:<18} -> {}", input, row.value());
     }
 
@@ -40,7 +41,6 @@ fn main() {
     // fields? If not, repair it by picking a ranked alternative.
     let source = session
         .synthesis()
-        .expect("labelled")
         .sources
         .iter()
         .map(|s| s.pattern.clone())
@@ -60,11 +60,11 @@ fn main() {
     // Find the alternative that puts the *last* name first.
     let want = "Yahav, E.";
     for i in 0..alternatives.len() {
-        session.repair(&source, i).expect("repair");
+        session.repair(&source, i);
         let out = session.apply().expect("apply");
-        if out.rows[0].value() == want {
+        if out.row(0).value() == want {
             println!("\nRepaired with alternative [{i}]:");
-            for (input, row) in column.iter().zip(&out.rows) {
+            for (input, row) in column.iter().zip(out.iter_rows()) {
                 println!("  {:<18} -> {}", input, row.value());
             }
             break;

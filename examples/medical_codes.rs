@@ -12,7 +12,7 @@ fn main() {
         .map(|s| s.to_string())
         .collect();
 
-    let mut session = ClxSession::new(column);
+    let session = ClxSession::new(column);
     println!("Raw pattern clusters:");
     for (pattern, count) in session.patterns() {
         println!("  {pattern}   ({count} rows)");
@@ -20,11 +20,11 @@ fn main() {
 
     // The user labels the generalized target pattern [ '[', <U>+, '-', <D>+, ']' ].
     let target = parse_pattern("'['<U>+'-'<D>+']'").expect("valid pattern");
-    session.label(target).expect("label");
+    let session = session.label(target).expect("label");
 
     // The UniFi program of Example 5 (a Switch over Match guards).
     println!("\nSynthesized UniFi program:");
-    println!("{}", session.program().expect("program").pretty());
+    println!("{}", session.program().pretty());
 
     // ... explained as regexp Replace operations the user can verify.
     println!("\nExplained as Replace operations:");
@@ -36,7 +36,7 @@ fn main() {
     // Applying it reproduces Table 3 of the paper.
     let report = session.apply().expect("apply");
     println!("\nRaw data          Transformed data");
-    for (input, row) in session.data().iter().zip(&report.rows) {
+    for (input, row) in session.data().iter().zip(report.iter_rows()) {
         println!("{:<17} {}", input, row.value());
     }
     assert!(report.is_perfect());

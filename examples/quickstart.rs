@@ -24,7 +24,7 @@ fn main() {
     .collect();
 
     // ---- Cluster ----------------------------------------------------------
-    let mut session = ClxSession::new(column);
+    let session = ClxSession::new(column);
     println!("Pattern clusters in the raw data (Figure 3):");
     for (pattern, count) in session.patterns() {
         println!(
@@ -40,8 +40,9 @@ fn main() {
     }
 
     // ---- Label -------------------------------------------------------------
-    // Bob clicks the pattern he wants everything to look like.
-    session.label_by_example("734-422-8073").expect("label");
+    // Bob clicks the pattern he wants everything to look like; labelling
+    // consumes the clustered session and unlocks the transform phase.
+    let session = session.label_by_example("734-422-8073").expect("label");
 
     // ---- Transform ---------------------------------------------------------
     println!("\nSuggested data transformation operations (Figure 4):");
@@ -52,7 +53,7 @@ fn main() {
 
     let report = session.apply().expect("apply");
     println!("\nTransformed column:");
-    for row in &report.rows {
+    for row in report.iter_rows() {
         println!("  {:<20} {:?}", row.value(), row);
     }
     println!(

@@ -8,15 +8,20 @@
 //! This facade crate re-exports the whole workspace so a downstream user can
 //! depend on `clx` alone:
 //!
-//! * [`ClxSession`] — the end-to-end engine: cluster a messy column into
-//!   pattern clusters, label the desired pattern, synthesize a UniFi
-//!   program, explain it as regexp `Replace` operations, repair it, and
-//!   apply it ([`core`]);
+//! * [`ClxSession`] — the end-to-end engine, with the protocol in its
+//!   types: a [`ClxSession<Clustered>`](ClxSession) clusters a messy column
+//!   into pattern clusters; labelling *consumes* it and returns a
+//!   [`ClxSession<Labelled>`](ClxSession), the only type carrying the
+//!   transform-phase methods (synthesize, explain as `Replace` operations,
+//!   repair, apply). Phase misuse is a compile error, not a runtime check
+//!   ([`core`]). Dynamic callers hold an [`AnySession`].
 //! * [`engine`] — the compiled batch-execution subsystem:
 //!   [`ClxSession::compile`](clx_core::ClxSession::compile) turns the
 //!   synthesized program into a thread-safe [`CompiledProgram`] for
 //!   parallel chunked execution, streaming over columns larger than
-//!   memory, and LRU caching ([`ProgramCache`]);
+//!   memory, and LRU caching ([`ProgramCache`]). Reports are columnar
+//!   ([`TransformReport`]): one outcome per *distinct* value plus the
+//!   column's shared row map — O(distinct), never per-duplicate clones;
 //! * [`column`](mod@column) — the shared column data plane: interned, deduplicated
 //!   rows with cached token streams ([`Column`]) that profiler, synthesizer,
 //!   session and engine all read instead of re-tokenizing;
@@ -42,16 +47,18 @@
 //!     "734-422-8073".to_string(),
 //!     "734.236.3466".to_string(),
 //! ];
-//! let mut session = ClxSession::new(column);
 //!
 //! // 1. Cluster: review the pattern list instead of the raw rows.
+//! let session = ClxSession::new(column);
 //! assert_eq!(session.patterns().len(), 4);
 //!
-//! // 2. Label: pick the desired pattern (here, by example).
-//! session.label_by_example("734-422-8073").unwrap();
+//! // 2. Label: pick the desired pattern (here, by example). Labelling
+//! //    consumes the clustered session and returns the labelled one — the
+//! //    only type with `apply`, `explanation`, `repair`, `compile`, …
+//! let session = session.label_by_example("734-422-8073").unwrap();
 //!
 //! // 3. Transform: the program is explained as Replace operations and
-//! //    applied to the whole column.
+//! //    applied to the whole column (one decision per distinct value).
 //! println!("{}", session.suggested_operations("column1").unwrap());
 //! let report = session.apply().unwrap();
 //! assert!(report.is_perfect());
@@ -73,7 +80,10 @@ pub use clx_synth as synth;
 pub use clx_unifi as unifi;
 
 pub use clx_column::Column;
-pub use clx_core::{ClxError, ClxOptions, ClxSession, RowOutcome, TransformReport};
+pub use clx_core::{
+    AnySession, Clustered, ClxError, ClxOptions, ClxSession, LabelError, Labelled, RowOutcome,
+    TransformReport,
+};
 pub use clx_engine::{BatchReport, CompiledProgram, ExecOptions, ProgramCache, StreamSession};
 pub use clx_pattern::{parse_pattern, tokenize, Pattern, Token, TokenClass};
 pub use clx_unifi::{Explanation, Program, ReplaceOp};

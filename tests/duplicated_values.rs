@@ -12,13 +12,16 @@ use clx::{tokenize, ClxSession, Column, TransformReport};
 #[test]
 fn repeated_value_column_synthesizes_a_working_program() {
     // One value, many rows: the degenerate case that used to flag everything.
-    let mut session = ClxSession::new(vec!["Dr. Eran Yahav".to_string(); 100]);
-    session.label(tokenize("Eran Yahav")).unwrap();
+    let session = ClxSession::new(vec!["Dr. Eran Yahav".to_string(); 100])
+        .label(tokenize("Eran Yahav"))
+        .unwrap();
 
     let report = session.apply().unwrap();
     assert_eq!(report.flagged_count(), 0, "no row may be flagged");
     assert_eq!(report.transformed_count(), 100);
-    assert!(report.rows.iter().all(|r| r.value() == "Eran Yahav"));
+    assert!(report.iter_rows().all(|r| r.value() == "Eran Yahav"));
+    // Columnar reporting: 100 rows, one stored outcome.
+    assert_eq!(report.distinct_outcomes().len(), 1);
 }
 
 #[test]
@@ -32,8 +35,9 @@ fn duplicate_heavy_phone_column_transforms_every_repeat() {
             _ => "734.236.3466".to_string(),
         });
     }
-    let mut session = ClxSession::new(data);
-    session.label(tokenize("734-422-8073")).unwrap();
+    let session = ClxSession::new(data)
+        .label(tokenize("734-422-8073"))
+        .unwrap();
     let report = session.apply().unwrap();
     assert!(
         report.is_perfect(),
@@ -55,8 +59,9 @@ fn engine_and_sequential_agree_on_duplicated_columns() {
             _ => "555.123.4567".to_string(),
         })
         .collect();
-    let mut session = ClxSession::new(data.clone());
-    session.label(tokenize("734-422-8073")).unwrap();
+    let session = ClxSession::new(data.clone())
+        .label(tokenize("734-422-8073"))
+        .unwrap();
 
     let sequential = session.apply().unwrap();
     let via_column = session.apply_parallel().unwrap();

@@ -18,10 +18,10 @@ fn motivating_example_phone_numbers() {
     .map(|s| s.to_string())
     .collect();
 
-    let mut session = ClxSession::new(column);
+    let session = ClxSession::new(column);
     assert_eq!(session.patterns().len(), 5);
 
-    session.label(tokenize("734-422-8073")).unwrap();
+    let session = session.label(tokenize("734-422-8073")).unwrap();
     let report = session.apply().unwrap();
 
     assert_eq!(report.transformed_count(), 4);
@@ -56,8 +56,9 @@ fn explained_program_is_what_runs() {
     .iter()
     .map(|s| s.to_string())
     .collect();
-    let mut session = ClxSession::new(column);
-    session.label(tokenize("734-422-8073")).unwrap();
+    let session = ClxSession::new(column)
+        .label(tokenize("734-422-8073"))
+        .unwrap();
     let checked = session.verify_explanation().unwrap();
     assert_eq!(checked, 4);
 
@@ -74,8 +75,7 @@ fn example_5_medical_codes_with_generalized_label() {
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let mut session = ClxSession::new(column);
-    session
+    let session = ClxSession::new(column)
         .label(parse_pattern("'['<U>+'-'<D>+']'").unwrap())
         .unwrap();
     let report = session.apply().unwrap();
@@ -106,8 +106,9 @@ fn repair_interaction_fixes_ambiguous_dates() {
         .collect();
     let expected = ["12-25-2017", "04-13-2018", "02-28-2019", "12-25-2017"];
 
-    let mut session = ClxSession::new(column);
-    session.label(tokenize("12-25-2017")).unwrap();
+    let mut session = ClxSession::new(column)
+        .label(tokenize("12-25-2017"))
+        .unwrap();
 
     let source = parse_pattern("<D>2'/'<D>2'/'<D>4").unwrap();
     let alternatives = session.alternatives(&source).unwrap().len();
@@ -115,7 +116,7 @@ fn repair_interaction_fixes_ambiguous_dates() {
 
     let mut fixed = false;
     for choice in 0..alternatives {
-        session.repair(&source, choice).unwrap();
+        session.repair(&source, choice);
         let out = session.apply().unwrap();
         if out.values() == expected {
             fixed = true;
@@ -131,10 +132,11 @@ fn flagged_rows_are_never_modified() {
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let mut session = ClxSession::new(column.clone());
-    session.label(tokenize("734-422-8073")).unwrap();
+    let session = ClxSession::new(column.clone())
+        .label(tokenize("734-422-8073"))
+        .unwrap();
     let report = session.apply().unwrap();
-    for (input, row) in column.iter().zip(&report.rows) {
+    for (input, row) in column.iter().zip(report.iter_rows()) {
         if row.is_flagged() {
             assert_eq!(row.value(), input);
         }
@@ -157,11 +159,12 @@ fn benchmark_suite_tasks_run_end_to_end() {
     let suite = clx::datagen::benchmark_suite(0);
     for name in ["ff-phone", "bf-medical-ex3", "ff-date", "sygus-car-1"] {
         let task = suite.iter().find(|t| t.name == name).unwrap();
-        let mut session = ClxSession::new(task.inputs.clone());
-        session.label(task.target_pattern()).unwrap();
+        let session = ClxSession::new(task.inputs.clone())
+            .label(task.target_pattern())
+            .unwrap();
         let report = session.apply().unwrap();
         // Every non-flagged output matches the labelled target pattern.
-        for row in &report.rows {
+        for row in report.iter_rows() {
             if !row.is_flagged() {
                 assert!(
                     task.target_pattern().matches(row.value()),

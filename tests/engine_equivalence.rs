@@ -5,7 +5,7 @@
 
 use clx::datagen::{DataGenerator, PhoneFormat};
 use clx::engine::ExecOptions;
-use clx::{tokenize, ClxSession, ProgramCache, TransformReport};
+use clx::{tokenize, ClxSession, Labelled, ProgramCache, TransformReport};
 
 /// The §7.2 study formats plus the paper's noise formats (`N/A`, `+1 ...`),
 /// so the column exercises conforming, transformed and flagged rows.
@@ -18,10 +18,10 @@ fn noisy_phone_column(rows: usize, seed: u64) -> Vec<String> {
     generator.phone_column(rows, &formats, &weights)
 }
 
-fn labelled_session(data: Vec<String>) -> ClxSession {
-    let mut session = ClxSession::new(data);
-    session.label(tokenize("734-422-8073")).unwrap();
-    session
+fn labelled_session(data: Vec<String>) -> ClxSession<Labelled> {
+    ClxSession::new(data)
+        .label(tokenize("734-422-8073"))
+        .unwrap()
 }
 
 #[test]
@@ -56,7 +56,7 @@ fn flagged_rows_match_exactly() {
         .all(|v| *v == "N/A" || v.chars().all(|c| c.is_ascii_digit())));
     assert_eq!(flagged, parallel.flagged_values());
     assert_eq!(sequential.flagged_count(), parallel.flagged_count());
-    for (s, p) in sequential.rows.iter().zip(&parallel.rows) {
+    for (s, p) in sequential.iter_rows().zip(parallel.iter_rows()) {
         assert_eq!(s.is_flagged(), p.is_flagged());
         assert_eq!(s.value(), p.value());
     }
@@ -129,8 +129,8 @@ fn column_execution_is_identical_to_row_execution() {
 fn program_cache_serves_repeat_sessions() {
     let cache = ProgramCache::new(8);
     let session = labelled_session(noisy_phone_column(200, 1));
-    let program = session.program().unwrap();
-    let target = session.target().unwrap().clone();
+    let program = session.program();
+    let target = session.target().clone();
 
     let first = cache.get_or_compile(&program, &target).unwrap();
     let second = cache.get_or_compile(&program, &target).unwrap();
