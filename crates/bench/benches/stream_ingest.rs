@@ -1,0 +1,128 @@
+//! Streaming ingest throughput: the `&[String]` re-tokenizing path vs the
+//! columnar `push_rows` path through the persistent interner, plus sharded
+//! vs single-threaded `Column` construction.
+//!
+//! Workload: 100k rows / ≤1k distinct values (datagen `duplicate_heavy_case`),
+//! streamed in 8,192-row chunks. Each iteration runs a whole stream
+//! (fresh interner and caches), so the columnar numbers *include* the
+//! interning cost — the win is purely "tokenize + decide once per distinct
+//! value per stream" vs "re-tokenize every row of every chunk".
+//!
+//! Numbers from this container (1 CPU, `cargo bench --bench stream_ingest`,
+//! release profile):
+//!
+//! ```text
+//! stream_ingest/push_chunk_strings/100000   ~50.6 ms/iter   (~2.0M rows/s)
+//! stream_ingest/push_column_chunk/100000    ~7.0 ms/iter    (~14.4M rows/s)   ~7.3x
+//! from_rows/sequential/100000               ~7.9 ms/iter
+//! from_rows/builder_2_shards/100000         ~10.6 ms/iter
+//! from_rows/builder_4_shards/100000         ~10.3 ms/iter
+//! ```
+//!
+//! `push_column_chunk` beats the `&[String]` path ~7x on this workload, as
+//! required: the string path tokenizes all 100k rows of every stream while
+//! the columnar path tokenizes ≤1k distinct values once and then only
+//! hashes row text against the interner.
+//!
+//! The sharded builder numbers need a caveat this container cannot remove:
+//! it has **one** CPU, so the parallel phases (per-block dedup, then
+//! per-distinct tokenization) time-slice a single core and pay the merge +
+//! row-translation overhead (~2.5 ms here, flat in the shard count) with
+//! zero parallel speedup — sequential construction wins on this box and
+//! the ≥2-shard acceptance target is not reachable without real cores. The
+//! sharded work itself splits evenly (each distinct value is tokenized
+//! exactly once, in whichever shard owns it), so on a multi-core host the
+//! ≥2-shard build overtakes sequential as soon as the per-shard work
+//! outweighs the constant merge cost; the 1-vs-N byte-identity is locked
+//! by `tests/column_builder.rs` either way. Re-run this bench on a
+//! multi-core machine to record the crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use clx_column::{Column, ColumnBuilder};
+use clx_core::ClxSession;
+use clx_datagen::duplicate_heavy_case;
+use clx_engine::{ColumnStream, CompiledProgram};
+
+const ROWS: usize = 100_000;
+const DISTINCT: usize = 1_000;
+const CHUNK: usize = 8_192;
+
+fn compile_for(case_data: &[String], target_example: &str) -> CompiledProgram {
+    let sample: Vec<String> = case_data.iter().take(2_000).cloned().collect();
+    ClxSession::new(sample)
+        .label_by_example(target_example)
+        .expect("label")
+        .compile()
+        .expect("compile")
+}
+
+/// One whole stream over the `&[String]` path: every row of every chunk is
+/// re-tokenized to dispatch it.
+fn stream_strings(program: &CompiledProgram, data: &[String]) -> usize {
+    let mut stream = program.stream();
+    for chunk in data.chunks(CHUNK) {
+        black_box(stream.push_chunk(chunk));
+    }
+    stream.finish().rows()
+}
+
+/// One whole stream over the columnar path: chunks intern into a persistent
+/// id space; distinct values tokenize and decide once per stream.
+fn stream_columns(program: &Arc<CompiledProgram>, data: &[String]) -> usize {
+    let mut stream = ColumnStream::new(Arc::clone(program));
+    for chunk in data.chunks(CHUNK) {
+        black_box(stream.push_rows(chunk));
+    }
+    stream.finish().rows()
+}
+
+fn bench_stream_ingest(c: &mut Criterion) {
+    let case = duplicate_heavy_case(ROWS, DISTINCT, 7);
+    let program = Arc::new(compile_for(&case.data, &case.target_example));
+
+    let mut group = c.benchmark_group("stream_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ROWS as u64));
+
+    group.bench_with_input(
+        BenchmarkId::new("push_chunk_strings", ROWS),
+        &case.data,
+        |b, data| b.iter(|| black_box(stream_strings(&program, black_box(data)))),
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("push_column_chunk", ROWS),
+        &case.data,
+        |b, data| b.iter(|| black_box(stream_columns(&program, black_box(data)))),
+    );
+
+    group.finish();
+
+    let mut group = c.benchmark_group("from_rows");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ROWS as u64));
+
+    group.bench_with_input(
+        BenchmarkId::new("sequential", ROWS),
+        &case.data,
+        |b, data| b.iter(|| black_box(Column::from_rows(black_box(data).clone()))),
+    );
+    for shards in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("builder_{shards}_shards"), ROWS),
+            &case.data,
+            |b, data| {
+                let builder = ColumnBuilder::new().shards(shards);
+                b.iter(|| black_box(builder.build(black_box(data).clone())))
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_ingest);
+criterion_main!(benches);

@@ -5,21 +5,28 @@
 //! synthesis (`clx-synth`), the interactive session (`clx-core`) and the
 //! batch engine (`clx-engine`) — reads instead of re-deriving its own.
 //!
-//! A [`Column`] does three things once, at construction:
+//! The plane is built from three pieces:
 //!
-//! * **interns** every row string into a single arena (one contiguous
-//!   allocation instead of one `String` per row);
-//! * **deduplicates** identical values, keeping the original row indices of
-//!   every duplicate (real-world columns are duplicate-heavy: a million-row
-//!   phone column rarely holds more than a few thousand distinct values);
-//! * **caches**, per *distinct* value, the token stream and leaf pattern
-//!   produced by [`clx_pattern::tokenize_detailed`] — the signature every
-//!   downstream layer keys on.
+//! * [`ColumnInterner`] — the persistent heart of the crate: an arena, a
+//!   dedup map and a token-stream cache that hand out **dense integer ids**.
+//!   Every distinct value gets a *distinct-id* (its index in the interner)
+//!   and every distinct leaf pattern gets a *leaf-id*; both id spaces are
+//!   append-only, so ids stay stable as more data streams in.
+//! * [`Column`] — a finished column: the interner's distinct values plus a
+//!   row→distinct map. Construction tokenizes each *distinct* value exactly
+//!   once; [`ColumnBuilder`] shards that work across threads for multi-core
+//!   construction of very large columns (row-for-row identical output).
+//! * [`ColumnChunk`] — one streamed slice of a column, interned through a
+//!   shared [`ColumnInterner`] so its distinct-ids are **stable across
+//!   chunks**: a value seen in chunk 0 keeps its id in chunk 9, which is
+//!   what lets a streaming executor decide every distinct value once per
+//!   stream instead of once per chunk.
 //!
 //! Everything downstream then works in O(distinct) instead of O(rows):
 //! the profiler clusters distinct values and fans counts back out to row
 //! indices, synthesis validates plans against cached token streams, and the
-//! engine dispatches on cached leaf signatures without ever re-tokenizing.
+//! engine dispatches on cached leaf signatures — by integer leaf-id, an
+//! array index — without ever re-tokenizing.
 //!
 //! ```
 //! use clx_column::Column;
@@ -38,16 +45,565 @@
 //! assert_eq!(first.leaf().to_string(), "<D>3'-'<D>3'-'<D>4");
 //! assert_eq!(column.row(2), "734-422-8073");
 //! ```
+//!
+//! Streaming ingest through the persistent interner:
+//!
+//! ```
+//! use clx_column::ColumnInterner;
+//!
+//! let mut interner = ColumnInterner::new();
+//! let a = interner.chunk(&["x-1", "y-2", "x-1"]);
+//! assert_eq!(a.distinct_count(), 2);
+//! assert_eq!(a.distinct_ids(), &[0, 1]);
+//! drop(a);
+//! // The same value in a later chunk keeps its id — and "z-3" extends the
+//! // id space instead of restarting it.
+//! let b = interner.chunk(&["z-3", "x-1"]);
+//! assert_eq!(b.distinct_ids(), &[2, 0]);
+//! // All three values share one leaf pattern, so one leaf-id.
+//! assert_eq!(interner.leaf_count(), 1);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use clx_pattern::{tokenize_detailed, Pattern, TokenSlice, TokenizedString};
 
-/// One distinct value's interned span and cached analysis.
+/// Source of process-unique [`ColumnInterner::instance`] ids (also used for
+/// columns built without an explicit interner, which own a fresh id space).
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(0);
+
+fn next_instance() -> u64 {
+    NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One interned distinct value: its arena span, cached token stream and the
+/// dense id of its leaf pattern.
+#[derive(Debug, Clone)]
+struct InternedEntry {
+    /// Half-open byte span of the value inside the arena.
+    span: (usize, usize),
+    /// The cached token stream: leaf pattern plus per-token slices,
+    /// computed exactly once per distinct value.
+    tokenized: TokenizedString,
+    /// Dense id of this value's leaf pattern (shared by every distinct
+    /// value with the same leaf).
+    leaf_id: u32,
+}
+
+/// A persistent, reusable value interner: the arena + dedup map +
+/// token-stream cache that used to live inside `Column::from_rows`,
+/// extracted so it can outlive any single column.
+///
+/// The interner hands out two dense integer id spaces:
+///
+/// * **distinct-ids** — `intern` returns the index of the value in the
+///   interner (a value seen before keeps its id), and
+/// * **leaf-ids** — every distinct *leaf pattern* gets its own dense id;
+///   distinct values sharing a leaf share a leaf-id, which is what lets an
+///   executor's dispatch cache be a plain `Vec` indexed by leaf-id instead
+///   of a `Pattern`-keyed hash map.
+///
+/// Both spaces are append-only: interning more values never renumbers
+/// existing ids. [`ColumnInterner::chunk`] interns one streamed slice of
+/// rows and returns a [`ColumnChunk`] whose ids are therefore stable across
+/// every chunk of the stream. Each interner also carries a process-unique
+/// [`instance`](ColumnInterner::instance) id so consumers caching by
+/// distinct-id or leaf-id can detect when they are handed ids from a
+/// different id space.
+#[derive(Debug)]
+pub struct ColumnInterner {
+    instance: u64,
+    /// All distinct values, concatenated; [`InternedEntry::span`] slices it.
+    arena: String,
+    /// Distinct values in first-intern order; a value's distinct-id is its
+    /// index here.
+    entries: Vec<InternedEntry>,
+    /// Dedup map: value text -> distinct-id.
+    seen: HashMap<String, u32>,
+    /// Dedup map: leaf pattern -> leaf-id.
+    leaves: HashMap<Pattern, u32>,
+}
+
+impl Default for ColumnInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A clone owns a **fresh id space** (new instance id): the copy starts with
+/// the same value→id mapping, but the two interners diverge independently
+/// from then on, so sharing the original's instance id would let a consumer
+/// cache (keyed by instance) alias one id to two different values. The
+/// fresh id forces such consumers to re-decide, which is always sound.
+impl Clone for ColumnInterner {
+    fn clone(&self) -> Self {
+        ColumnInterner {
+            instance: next_instance(),
+            arena: self.arena.clone(),
+            entries: self.entries.clone(),
+            seen: self.seen.clone(),
+            leaves: self.leaves.clone(),
+        }
+    }
+}
+
+impl ColumnInterner {
+    /// An empty interner with a fresh process-unique id space.
+    pub fn new() -> Self {
+        ColumnInterner {
+            instance: next_instance(),
+            arena: String::new(),
+            entries: Vec::new(),
+            seen: HashMap::new(),
+            leaves: HashMap::new(),
+        }
+    }
+
+    /// The process-unique id of this interner's id space. Two interners
+    /// never share an instance id, so a consumer caching per distinct-id or
+    /// per leaf-id can key its cache validity on this value.
+    pub fn instance(&self) -> u64 {
+        self.instance
+    }
+
+    /// Number of distinct values interned so far.
+    pub fn distinct_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of distinct leaf patterns interned so far (the size of the
+    /// leaf-id space; never larger than [`ColumnInterner::distinct_count`]).
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes of interned distinct-value text (the arena size).
+    pub fn interned_bytes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// The text of distinct value `id` (a slice of the arena).
+    ///
+    /// # Panics
+    /// If `id` was not handed out by this interner.
+    pub fn value(&self, id: u32) -> &str {
+        let (start, end) = self.entries[id as usize].span;
+        &self.arena[start..end]
+    }
+
+    /// The cached tokenization of distinct value `id`.
+    pub fn tokenized(&self, id: u32) -> &TokenizedString {
+        &self.entries[id as usize].tokenized
+    }
+
+    /// The cached leaf pattern of distinct value `id`.
+    pub fn leaf(&self, id: u32) -> &Pattern {
+        &self.entries[id as usize].tokenized.pattern
+    }
+
+    /// The dense leaf-id of distinct value `id`'s leaf pattern.
+    pub fn leaf_id(&self, id: u32) -> u32 {
+        self.entries[id as usize].leaf_id
+    }
+
+    /// Intern one value, tokenizing it only on first sight. Returns the
+    /// value's dense distinct-id (stable for the interner's lifetime).
+    pub fn intern(&mut self, value: &str) -> u32 {
+        if let Some(&id) = self.seen.get(value) {
+            return id;
+        }
+        let tokenized = tokenize_detailed(value);
+        self.insert_new(value.to_string(), tokenized)
+    }
+
+    /// [`ColumnInterner::intern`] taking ownership, so a first-seen value's
+    /// allocation is reused as the dedup key instead of being cloned.
+    pub fn intern_owned(&mut self, value: String) -> u32 {
+        if let Some(&id) = self.seen.get(value.as_str()) {
+            return id;
+        }
+        let tokenized = tokenize_detailed(&value);
+        self.insert_new(value, tokenized)
+    }
+
+    /// Intern a value whose tokenization was already computed (the sharded
+    /// builder tokenizes in worker threads and merges here). The prepared
+    /// tokenization is dropped if the value is already interned.
+    fn intern_prepared(&mut self, value: &str, tokenized: TokenizedString) -> u32 {
+        if let Some(&id) = self.seen.get(value) {
+            return id;
+        }
+        self.insert_new(value.to_string(), tokenized)
+    }
+
+    fn insert_new(&mut self, value: String, tokenized: TokenizedString) -> u32 {
+        assert!(
+            self.entries.len() < u32::MAX as usize,
+            "interner exceeds u32 distinct-value indexing"
+        );
+        let id = self.entries.len() as u32;
+        let leaf_id = match self.leaves.get(&tokenized.pattern) {
+            Some(&l) => l,
+            None => {
+                let l = self.leaves.len() as u32;
+                self.leaves.insert(tokenized.pattern.clone(), l);
+                l
+            }
+        };
+        let start = self.arena.len();
+        self.arena.push_str(&value);
+        self.entries.push(InternedEntry {
+            span: (start, self.arena.len()),
+            tokenized,
+            leaf_id,
+        });
+        self.seen.insert(value, id);
+        id
+    }
+
+    /// Intern one streamed slice of rows and return it as a [`ColumnChunk`].
+    ///
+    /// The chunk's distinct-ids come from this interner, so they are stable
+    /// across every chunk of the stream: a value first seen three chunks ago
+    /// resolves to the same id here, letting a streaming consumer reuse any
+    /// per-id decision it already made.
+    pub fn chunk<S: AsRef<str>>(&mut self, rows: &[S]) -> ColumnChunk<'_> {
+        assert!(
+            rows.len() < u32::MAX as usize,
+            "chunk exceeds u32 row indexing"
+        );
+        let before = self.distinct_count();
+        let mut distinct_ids: Vec<u32> = Vec::new();
+        // Global distinct-id -> local (chunk) index, for ids in this chunk.
+        let mut local_of: HashMap<u32, u32> = HashMap::new();
+        let mut rows_local: Vec<u32> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let id = self.intern(row.as_ref());
+            let local = match local_of.get(&id) {
+                Some(&l) => l,
+                None => {
+                    let l = distinct_ids.len() as u32;
+                    distinct_ids.push(id);
+                    local_of.insert(id, l);
+                    l
+                }
+            };
+            rows_local.push(local);
+        }
+        let newly_interned = self.distinct_count() - before;
+        ColumnChunk {
+            interner: self,
+            distinct_ids,
+            rows_local,
+            newly_interned,
+        }
+    }
+
+    /// Consume the interner into a [`Column`]: `row_map[r]` names the
+    /// distinct value (by distinct-id) held by row `r`. The column inherits
+    /// the interner's id space (distinct order, leaf-ids and
+    /// [`instance`](ColumnInterner::instance) id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `row_map` entry is not an id handed out by this interner.
+    pub fn into_column(self, row_map: Vec<u32>) -> Column {
+        let mut values: Vec<DistinctEntry> = self
+            .entries
+            .into_iter()
+            .map(|e| DistinctEntry {
+                span: e.span,
+                rows: Vec::new(),
+                tokenized: e.tokenized,
+                leaf_id: e.leaf_id,
+            })
+            .collect();
+        for (row_index, &value_index) in row_map.iter().enumerate() {
+            assert!(
+                (value_index as usize) < values.len(),
+                "row map entry {value_index} out of bounds ({} distinct values)",
+                values.len()
+            );
+            values[value_index as usize].rows.push(row_index as u32);
+        }
+        Column {
+            arena: self.arena,
+            values,
+            rows: Arc::from(row_map),
+            source: self.instance,
+            leaf_count: self.leaves.len(),
+        }
+    }
+}
+
+/// One streamed slice of a column, interned through a shared
+/// [`ColumnInterner`].
+///
+/// A chunk stores no strings of its own: every row is a dense distinct-id
+/// into the interner, and the ids are stable across chunks of the same
+/// stream. The chunk keeps two maps:
+///
+/// * [`distinct_ids`](ColumnChunk::distinct_ids) — the (global) ids
+///   appearing in this chunk, in chunk-first-occurrence order, and
+/// * [`row_map`](ColumnChunk::row_map) — row → index into `distinct_ids`,
+///   which is exactly the shape a columnar chunk report needs.
+#[derive(Debug)]
+pub struct ColumnChunk<'a> {
+    interner: &'a ColumnInterner,
+    /// Interner distinct-ids appearing in this chunk, first-occurrence order.
+    distinct_ids: Vec<u32>,
+    /// Row index -> index into `distinct_ids`.
+    rows_local: Vec<u32>,
+    /// How many of `distinct_ids` were first interned by this chunk.
+    newly_interned: usize,
+}
+
+impl<'a> ColumnChunk<'a> {
+    /// The interner this chunk's ids live in.
+    pub fn interner(&self) -> &'a ColumnInterner {
+        self.interner
+    }
+
+    /// Number of rows in the chunk.
+    pub fn len(&self) -> usize {
+        self.rows_local.len()
+    }
+
+    /// `true` when the chunk has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows_local.is_empty()
+    }
+
+    /// Number of distinct values appearing in the chunk.
+    pub fn distinct_count(&self) -> usize {
+        self.distinct_ids.len()
+    }
+
+    /// Number of the chunk's distinct values that had never been interned
+    /// before this chunk (the per-chunk growth of the stream's id space).
+    pub fn newly_interned(&self) -> usize {
+        self.newly_interned
+    }
+
+    /// The interner distinct-ids appearing in this chunk, in
+    /// chunk-first-occurrence order.
+    pub fn distinct_ids(&self) -> &[u32] {
+        &self.distinct_ids
+    }
+
+    /// Row index -> index into [`ColumnChunk::distinct_ids`] (a *local*
+    /// index, not the global id — ready to serve as a columnar report's
+    /// row→outcome map).
+    pub fn row_map(&self) -> &[u32] {
+        &self.rows_local
+    }
+
+    /// The text of row `index`.
+    pub fn row(&self, index: usize) -> &'a str {
+        self.interner
+            .value(self.distinct_ids[self.rows_local[index] as usize])
+    }
+
+    /// All rows of the chunk, in order (interned text).
+    pub fn rows(&self) -> impl Iterator<Item = &'a str> + '_ {
+        self.rows_local
+            .iter()
+            .map(move |&l| self.interner.value(self.distinct_ids[l as usize]))
+    }
+}
+
+/// Minimum rows per shard before auto-sharding bothers spawning threads.
+const AUTO_MIN_BLOCK: usize = 8_192;
+
+/// Sharded, multi-threaded column construction.
+///
+/// `Column::from_rows` is sequential; for very large columns (10M+ rows)
+/// the builder runs construction in parallel phases: contiguous row blocks
+/// are deduplicated on worker threads, a cheap sequential merge assigns
+/// global distinct-ids and the row map, and per-distinct tokenization (the
+/// expensive part) is sharded across workers again — each distinct value
+/// tokenized exactly once, no matter how many blocks contained it. The
+/// merge processes blocks in row order and each block's distinct values in
+/// block-first-occurrence order, so the output is **row-for-row identical**
+/// to the sequential path: same distinct order (global first occurrence),
+/// same row map, same leaf signatures, same leaf-id assignment.
+///
+/// ```
+/// use clx_column::{Column, ColumnBuilder};
+///
+/// let rows: Vec<String> = (0..1000).map(|i| format!("{:03}", i % 7)).collect();
+/// let sequential = Column::from_rows(rows.clone());
+/// let sharded = ColumnBuilder::new().shards(4).build(rows);
+/// assert_eq!(sequential.to_vec(), sharded.to_vec());
+/// assert_eq!(sequential.distinct_count(), sharded.distinct_count());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColumnBuilder {
+    shards: usize,
+}
+
+/// One worker's dedup of a contiguous block of rows.
+struct BlockDedup<'a> {
+    /// Block-distinct values in block-first-occurrence order.
+    entries: Vec<&'a str>,
+    /// Block row index -> index into `entries`.
+    rows_local: Vec<u32>,
+}
+
+fn dedup_block(block: &[String]) -> BlockDedup<'_> {
+    let mut seen: HashMap<&str, u32> = HashMap::new();
+    let mut entries: Vec<&str> = Vec::new();
+    let mut rows_local: Vec<u32> = Vec::with_capacity(block.len());
+    for row in block {
+        let local = match seen.get(row.as_str()) {
+            Some(&l) => l,
+            None => {
+                let l = entries.len() as u32;
+                entries.push(row.as_str());
+                seen.insert(row, l);
+                l
+            }
+        };
+        rows_local.push(local);
+    }
+    BlockDedup {
+        entries,
+        rows_local,
+    }
+}
+
+impl ColumnBuilder {
+    /// A builder with automatic shard selection (one shard per available
+    /// CPU for large columns, sequential for small ones).
+    pub fn new() -> Self {
+        ColumnBuilder { shards: 0 }
+    }
+
+    /// Set the number of shards explicitly; `0` restores automatic
+    /// selection. Explicit shard counts are honored even for small inputs
+    /// (clamped to the row count so every block is non-empty).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    fn resolved_shards(&self, rows: usize) -> usize {
+        if rows == 0 {
+            return 1;
+        }
+        if self.shards > 0 {
+            return self.shards.min(rows);
+        }
+        if rows < 2 * AUTO_MIN_BLOCK {
+            return 1;
+        }
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        cpus.min(rows / AUTO_MIN_BLOCK).max(1)
+    }
+
+    /// Build a [`Column`] from owned rows, sharding the interning and
+    /// per-distinct tokenization across worker threads.
+    pub fn build(&self, rows: Vec<String>) -> Column {
+        assert!(
+            rows.len() < u32::MAX as usize,
+            "column exceeds u32 row indexing"
+        );
+        let shards = self.resolved_shards(rows.len());
+        if shards <= 1 {
+            let mut interner = ColumnInterner::new();
+            let mut row_map = Vec::with_capacity(rows.len());
+            for row in rows {
+                row_map.push(interner.intern_owned(row));
+            }
+            return interner.into_column(row_map);
+        }
+
+        // Phase 1 (parallel): per-block dedup. No tokenization yet — a
+        // value spanning several blocks must only be tokenized once, and
+        // which values those are is not known until the merge.
+        let block_size = rows.len().div_ceil(shards);
+        let blocks: Vec<&[String]> = rows.chunks(block_size).collect();
+        let deduped: Vec<BlockDedup<'_>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = blocks
+                .iter()
+                .map(|&block| scope.spawn(move || dedup_block(block)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("column shard worker panicked"))
+                .collect()
+        });
+
+        // Phase 2 (sequential, cheap — O(block distinct) hashing plus
+        // O(rows) integer translation): merge blocks in row order. Each
+        // block's entries are in block-first-occurrence order, so walking
+        // them block by block reproduces the global first-occurrence order
+        // exactly — and with it the sequential path's id assignment.
+        let mut seen: HashMap<&str, u32> = HashMap::new();
+        let mut distinct: Vec<&str> = Vec::new();
+        let mut row_map: Vec<u32> = Vec::with_capacity(rows.len());
+        for block in &deduped {
+            let mut global: Vec<u32> = Vec::with_capacity(block.entries.len());
+            for &text in &block.entries {
+                let id = match seen.get(text) {
+                    Some(&i) => i,
+                    None => {
+                        let i = distinct.len() as u32;
+                        distinct.push(text);
+                        seen.insert(text, i);
+                        i
+                    }
+                };
+                global.push(id);
+            }
+            row_map.extend(block.rows_local.iter().map(|&l| global[l as usize]));
+        }
+
+        // Phase 3 (parallel): per-distinct tokenization — each worker takes
+        // a slice of the global distinct list, so every distinct value is
+        // tokenized exactly once no matter how many blocks contained it.
+        let tokenize_block = distinct.len().div_ceil(shards).max(1);
+        let tokenized: Vec<TokenizedString> = std::thread::scope(|scope| {
+            let handles: Vec<_> = distinct
+                .chunks(tokenize_block)
+                .map(|texts| {
+                    scope.spawn(move || {
+                        texts
+                            .iter()
+                            .map(|t| tokenize_detailed(t))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("tokenize shard worker panicked"))
+                .collect()
+        });
+
+        // Phase 4 (sequential, O(distinct)): assemble the interner in
+        // global first-occurrence order with the prepared tokenizations.
+        let mut interner = ColumnInterner::new();
+        for (text, tokenized) in distinct.iter().zip(tokenized) {
+            interner.intern_prepared(text, tokenized);
+        }
+        interner.into_column(row_map)
+    }
+}
+
+/// One distinct value's interned span, row list and cached analysis.
 #[derive(Debug, Clone)]
 struct DistinctEntry {
     /// Half-open byte span of the value inside the column arena.
@@ -57,6 +613,8 @@ struct DistinctEntry {
     /// The cached token stream: leaf pattern plus per-token slices,
     /// computed exactly once per distinct value.
     tokenized: TokenizedString,
+    /// Dense id of this value's leaf pattern within the column's id space.
+    leaf_id: u32,
 }
 
 /// A column of string data with interned rows, deduplicated values and
@@ -64,7 +622,10 @@ struct DistinctEntry {
 ///
 /// Construction tokenizes each *distinct* value exactly once; every later
 /// consumer (profiler, synthesizer, session, engine) reads the cached
-/// [`TokenizedString`] instead of re-deriving it.
+/// [`TokenizedString`] instead of re-deriving it. Each distinct value also
+/// carries the dense [`leaf_id`](DistinctValue::leaf_id) of its leaf
+/// pattern, so executors can dispatch by array index
+/// (see [`Column::interner_id`] for the id-space guard).
 #[derive(Debug, Clone)]
 pub struct Column {
     /// All distinct values, concatenated; [`DistinctEntry::span`] slices it.
@@ -74,6 +635,11 @@ pub struct Column {
     /// Row index -> index into `values`. Shared (`Arc`) so that columnar
     /// reports can reference the map without copying it per report.
     rows: Arc<[u32]>,
+    /// The id space the distinct-ids / leaf-ids of this column belong to
+    /// (the building interner's instance id).
+    source: u64,
+    /// Number of distinct leaf patterns (the size of the leaf-id space).
+    leaf_count: usize,
 }
 
 impl Default for Column {
@@ -82,48 +648,27 @@ impl Default for Column {
             arena: String::new(),
             values: Vec::new(),
             rows: Arc::from(Vec::new()),
+            source: next_instance(),
+            leaf_count: 0,
         }
     }
 }
 
 impl Column {
     /// Build a column from owned rows, interning and analyzing each
-    /// distinct value once.
+    /// distinct value once (sequentially; see [`ColumnBuilder`] for the
+    /// sharded multi-core equivalent).
     pub fn from_rows(rows: Vec<String>) -> Self {
         assert!(
             rows.len() < u32::MAX as usize,
             "column exceeds u32 row indexing"
         );
-        let mut seen: HashMap<String, u32> = HashMap::new();
-        let mut arena = String::new();
-        let mut values: Vec<DistinctEntry> = Vec::new();
-        let mut row_map: Vec<u32> = Vec::with_capacity(rows.len());
-        for (row_index, row) in rows.into_iter().enumerate() {
-            let value_index = match seen.get(row.as_str()) {
-                Some(&i) => i,
-                None => {
-                    let i = values.len() as u32;
-                    let start = arena.len();
-                    arena.push_str(&row);
-                    values.push(DistinctEntry {
-                        span: (start, arena.len()),
-                        rows: Vec::new(),
-                        tokenized: tokenize_detailed(&row),
-                    });
-                    // The row string itself becomes the dedup key, reusing
-                    // its allocation.
-                    seen.insert(row, i);
-                    i
-                }
-            };
-            values[value_index as usize].rows.push(row_index as u32);
-            row_map.push(value_index);
+        let mut interner = ColumnInterner::new();
+        let mut row_map = Vec::with_capacity(rows.len());
+        for row in rows {
+            row_map.push(interner.intern_owned(row));
         }
-        Column {
-            arena,
-            values,
-            rows: Arc::from(row_map),
-        }
+        interner.into_column(row_map)
     }
 
     /// Build a column from already-distinct, already-tokenized values plus
@@ -134,7 +679,8 @@ impl Column {
     /// by row `r`. This is how `result_patterns` builds the *output* column
     /// of a transformation in O(distinct): transformed outputs derive their
     /// token streams from the labelled target's split, so nothing needs to
-    /// be re-tokenized.
+    /// be re-tokenized. The column owns a fresh id space (leaf-ids are
+    /// assigned by deduplicating the given values' leaf patterns).
     ///
     /// # Panics
     ///
@@ -142,14 +688,24 @@ impl Column {
     /// non-empty while `values` is empty.
     pub fn from_distinct(values: Vec<TokenizedString>, row_map: Vec<u32>) -> Self {
         let mut arena = String::new();
+        let mut leaves: HashMap<Pattern, u32> = HashMap::new();
         let mut entries: Vec<DistinctEntry> = Vec::with_capacity(values.len());
         for tokenized in values {
+            let leaf_id = match leaves.get(&tokenized.pattern) {
+                Some(&l) => l,
+                None => {
+                    let l = leaves.len() as u32;
+                    leaves.insert(tokenized.pattern.clone(), l);
+                    l
+                }
+            };
             let start = arena.len();
             arena.push_str(&tokenized.raw);
             entries.push(DistinctEntry {
                 span: (start, arena.len()),
                 rows: Vec::new(),
                 tokenized,
+                leaf_id,
             });
         }
         for (row_index, &value_index) in row_map.iter().enumerate() {
@@ -164,6 +720,8 @@ impl Column {
             arena,
             values: entries,
             rows: Arc::from(row_map),
+            source: next_instance(),
+            leaf_count: leaves.len(),
         }
     }
 
@@ -185,6 +743,21 @@ impl Column {
     /// Number of distinct values.
     pub fn distinct_count(&self) -> usize {
         self.values.len()
+    }
+
+    /// Number of distinct leaf patterns across the column's distinct values
+    /// (the size of the column's leaf-id space).
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// The process-unique id of the id space this column's distinct-ids and
+    /// leaf-ids belong to — the building [`ColumnInterner`]'s
+    /// [`instance`](ColumnInterner::instance) id. A consumer caching per
+    /// leaf-id (e.g. an executor's dense dispatch cache) keys cache validity
+    /// on this value: columns from different interners never share ids.
+    pub fn interner_id(&self) -> u64 {
+        self.source
     }
 
     /// The raw string of row `index` (a slice of the arena).
@@ -327,6 +900,13 @@ impl<'a> DistinctValue<'a> {
         &self.entry().tokenized.pattern
     }
 
+    /// The dense leaf-id of this value's leaf pattern within the column's
+    /// id space (see [`Column::interner_id`]). Distinct values sharing a
+    /// leaf share a leaf-id.
+    pub fn leaf_id(&self) -> u32 {
+        self.entry().leaf_id
+    }
+
     /// The cached per-token slices of the value.
     pub fn token_slices(&self) -> &'a [TokenSlice] {
         &self.entry().tokenized.slices
@@ -423,6 +1003,7 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.distinct_count(), 0);
         assert_eq!(c.distinct_values().count(), 0);
+        assert_eq!(c.leaf_count(), 0);
 
         let c = Column::from_rows(vec!["".into(), "".into()]);
         assert_eq!(c.len(), 2);
@@ -468,10 +1049,12 @@ mod tests {
         let rebuilt = Column::from_distinct(values, vec![0, 1, 0, 0]);
         assert_eq!(rebuilt.len(), baseline.len());
         assert_eq!(rebuilt.distinct_count(), baseline.distinct_count());
+        assert_eq!(rebuilt.leaf_count(), baseline.leaf_count());
         assert_eq!(rebuilt.to_vec(), rows);
         for (a, b) in rebuilt.distinct_values().zip(baseline.distinct_values()) {
             assert_eq!(a.text(), b.text());
             assert_eq!(a.leaf(), b.leaf());
+            assert_eq!(a.leaf_id(), b.leaf_id());
             assert_eq!(a.rows().collect::<Vec<_>>(), b.rows().collect::<Vec<_>>());
         }
     }
@@ -489,5 +1072,186 @@ mod tests {
         assert_eq!(c.row(1), "a€b");
         assert_eq!(c.distinct(1).text(), "π");
         assert_eq!(c.distinct(0).leaf().to_string(), "<L>'€'<L>");
+    }
+
+    // ---- interner ---------------------------------------------------------
+
+    #[test]
+    fn interner_hands_out_stable_distinct_ids() {
+        let mut interner = ColumnInterner::new();
+        let a = interner.intern("734-422-8073");
+        let b = interner.intern("N/A");
+        assert_eq!((a, b), (0, 1));
+        // Re-interning returns the existing id.
+        assert_eq!(interner.intern("734-422-8073"), 0);
+        assert_eq!(interner.intern_owned("N/A".to_string()), 1);
+        assert_eq!(interner.distinct_count(), 2);
+        assert_eq!(interner.value(0), "734-422-8073");
+        assert_eq!(interner.leaf(0), &tokenize("734-422-8073"));
+        assert_eq!(interner.tokenized(1).raw, "N/A");
+        assert_eq!(
+            interner.interned_bytes(),
+            "734-422-8073".len() + "N/A".len()
+        );
+    }
+
+    #[test]
+    fn interner_leaf_ids_are_dense_and_shared() {
+        let mut interner = ColumnInterner::new();
+        // Same leaf <D>3'-'<D>4 for the first two, a new leaf for the third.
+        let a = interner.intern("111-2222");
+        let b = interner.intern("999-8888");
+        let c = interner.intern("N/A");
+        assert_eq!(interner.leaf_id(a), interner.leaf_id(b));
+        assert_ne!(interner.leaf_id(a), interner.leaf_id(c));
+        assert_eq!(interner.leaf_count(), 2);
+        // Leaf ids are dense: 0 and 1.
+        assert_eq!(interner.leaf_id(a), 0);
+        assert_eq!(interner.leaf_id(c), 1);
+    }
+
+    #[test]
+    fn interner_instances_are_unique() {
+        let a = ColumnInterner::new();
+        let b = ColumnInterner::new();
+        assert_ne!(a.instance(), b.instance());
+    }
+
+    #[test]
+    fn cloned_interner_owns_a_fresh_id_space() {
+        let mut a = ColumnInterner::new();
+        a.intern("x-1");
+        let mut b = a.clone();
+        // The clone keeps the existing mapping but not the instance id:
+        // after divergence the same new id names different values in each,
+        // so instance-keyed caches must be forced to reset.
+        assert_ne!(a.instance(), b.instance());
+        assert_eq!(b.value(0), "x-1");
+        let in_a = a.intern("qqq");
+        let in_b = b.intern("zzz");
+        assert_eq!(in_a, in_b, "diverged clones alias ids...");
+        assert_ne!(a.value(in_a), b.value(in_b), "...naming different values");
+    }
+
+    #[test]
+    fn chunks_share_the_interner_id_space() {
+        let mut interner = ColumnInterner::new();
+        let first = interner.chunk(&["a-1", "b-2", "a-1", "a-1"]);
+        assert_eq!(first.len(), 4);
+        assert_eq!(first.distinct_count(), 2);
+        assert_eq!(first.newly_interned(), 2);
+        assert_eq!(first.distinct_ids(), &[0, 1]);
+        assert_eq!(first.row_map(), &[0, 1, 0, 0]);
+        assert_eq!(first.row(1), "b-2");
+        assert_eq!(
+            first.rows().collect::<Vec<_>>(),
+            vec!["a-1", "b-2", "a-1", "a-1"]
+        );
+        drop(first);
+
+        // The second chunk repeats "a-1" (same id 0) and adds "c-3" (id 2).
+        let second = interner.chunk(&["c-3", "a-1", "c-3"]);
+        assert_eq!(second.distinct_ids(), &[2, 0]);
+        assert_eq!(second.row_map(), &[0, 1, 0]);
+        assert_eq!(second.newly_interned(), 1);
+        assert_eq!(second.interner().distinct_count(), 3);
+    }
+
+    #[test]
+    fn empty_chunk_is_fine() {
+        let mut interner = ColumnInterner::new();
+        let chunk = interner.chunk::<&str>(&[]);
+        assert!(chunk.is_empty());
+        assert_eq!(chunk.distinct_count(), 0);
+        assert_eq!(chunk.newly_interned(), 0);
+    }
+
+    #[test]
+    fn interner_into_column_matches_from_rows() {
+        let rows = vec![
+            "(734) 645-8397".to_string(),
+            "N/A".to_string(),
+            "(734) 645-8397".to_string(),
+        ];
+        let baseline = Column::from_rows(rows.clone());
+        let mut interner = ColumnInterner::new();
+        let row_map: Vec<u32> = rows.iter().map(|r| interner.intern(r)).collect();
+        let column = interner.into_column(row_map);
+        assert_eq!(column.to_vec(), baseline.to_vec());
+        assert_eq!(column.distinct_count(), baseline.distinct_count());
+        assert_eq!(column.leaf_count(), baseline.leaf_count());
+        for (a, b) in column.distinct_values().zip(baseline.distinct_values()) {
+            assert_eq!(a.text(), b.text());
+            assert_eq!(a.leaf_id(), b.leaf_id());
+            assert_eq!(a.rows().collect::<Vec<_>>(), b.rows().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn into_column_rejects_foreign_ids() {
+        let mut interner = ColumnInterner::new();
+        interner.intern("x");
+        interner.into_column(vec![0, 7]);
+    }
+
+    // ---- builder ----------------------------------------------------------
+
+    fn assert_columns_identical(a: &Column, b: &Column) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.distinct_count(), b.distinct_count());
+        assert_eq!(a.leaf_count(), b.leaf_count());
+        assert_eq!(a.interned_bytes(), b.interned_bytes());
+        assert_eq!(a.row_map().as_ref(), b.row_map().as_ref());
+        for (va, vb) in a.distinct_values().zip(b.distinct_values()) {
+            assert_eq!(va.text(), vb.text());
+            assert_eq!(va.leaf(), vb.leaf());
+            assert_eq!(va.leaf_id(), vb.leaf_id());
+            assert_eq!(va.tokenized().slices.len(), vb.tokenized().slices.len());
+            assert_eq!(va.rows().collect::<Vec<_>>(), vb.rows().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn sharded_build_is_identical_to_sequential() {
+        // Values deliberately straddle shard boundaries.
+        let rows: Vec<String> = (0..4_000)
+            .map(|i| match i % 5 {
+                0 | 1 => format!("{:03}-{:03}-{:04}", i % 13, i % 7, i % 23),
+                2 => format!("({:03}) {:03}-{:04}", i % 13, i % 7, i % 23),
+                3 => "N/A".to_string(),
+                _ => format!("{:02}", i % 9),
+            })
+            .collect();
+        let sequential = Column::from_rows(rows.clone());
+        for shards in [1, 2, 3, 4, 7, 16] {
+            let sharded = ColumnBuilder::new().shards(shards).build(rows.clone());
+            assert_columns_identical(&sequential, &sharded);
+        }
+    }
+
+    #[test]
+    fn builder_handles_edge_sizes() {
+        // Empty column.
+        let empty = ColumnBuilder::new().shards(4).build(Vec::new());
+        assert!(empty.is_empty());
+        // Fewer rows than shards.
+        let tiny = ColumnBuilder::new()
+            .shards(8)
+            .build(vec!["a".into(), "a".into()]);
+        assert_eq!(tiny.len(), 2);
+        assert_eq!(tiny.distinct_count(), 1);
+        // Auto selection on a small column stays sequential and correct.
+        let auto = ColumnBuilder::new().build(vec!["a".into(), "b".into()]);
+        assert_eq!(auto.distinct_count(), 2);
+    }
+
+    #[test]
+    fn columns_own_distinct_id_spaces() {
+        let a = Column::from_values(&["x"]);
+        let b = Column::from_values(&["x"]);
+        assert_ne!(a.interner_id(), b.interner_id());
+        // A clone shares the id space of its original.
+        assert_eq!(a.clone().interner_id(), a.interner_id());
     }
 }

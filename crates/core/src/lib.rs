@@ -72,9 +72,10 @@ pub use session::{
 // Re-export the key types a downstream user needs so that `clx-core` (or the
 // `clx` facade) is a one-stop dependency.
 pub use clx_cluster::{ClusterNode, PatternHierarchy, PatternProfiler, ProfilerOptions};
-pub use clx_column::{Column, DistinctValue};
+pub use clx_column::{Column, ColumnBuilder, ColumnChunk, ColumnInterner, DistinctValue};
 pub use clx_engine::{
-    BatchReport, CompiledProgram, ExecOptions, ProgramCache, RowOutcomes, StreamSession,
+    BatchReport, ChunkReport, ColumnStream, CompiledProgram, ExecOptions, ProgramCache,
+    RowOutcomes, StreamSession,
 };
 pub use clx_pattern::{parse_pattern, tokenize, Pattern, Token, TokenClass};
 pub use clx_synth::{RankedPlan, Synthesis, SynthesisOptions};

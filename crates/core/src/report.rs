@@ -92,6 +92,16 @@ impl TransformReport {
         self.batch.values()
     }
 
+    /// Borrowing iterator over every row's *output value*, in input order.
+    ///
+    /// Unlike [`TransformReport::values`] this materializes no `String`s:
+    /// duplicate rows yield the same `&str` out of the stored outcome, so a
+    /// serving path can write the whole output column through without one
+    /// allocation per row.
+    pub fn iter_values(&self) -> impl ExactSizeIterator<Item = &str> + '_ {
+        self.batch.iter_values()
+    }
+
     /// Number of rows actively transformed.
     pub fn transformed_count(&self) -> usize {
         self.batch.transformed_count()

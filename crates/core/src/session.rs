@@ -22,9 +22,11 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use std::sync::Arc;
+
 use clx_cluster::{PatternHierarchy, PatternProfiler, ProfilerOptions};
-use clx_column::Column;
-use clx_engine::CompiledProgram;
+use clx_column::{Column, ColumnBuilder};
+use clx_engine::{ColumnStream, CompiledProgram};
 use clx_pattern::{tokenize, tokenize_detailed, Pattern, SplitTokenizer, TokenizedString};
 use clx_synth::{synthesize_column, RankedPlan, Synthesis, SynthesisOptions};
 use clx_unifi::{explain_program, transform, Explanation, Program, TransformOutcome};
@@ -210,8 +212,13 @@ impl ClxSession<Clustered> {
     }
 
     /// Start a session with custom options.
+    ///
+    /// The column is built through the sharded [`ColumnBuilder`]
+    /// (automatic shard selection): interning and per-distinct-value
+    /// tokenization run across worker threads for very large inputs, with
+    /// output row-for-row identical to the sequential path.
     pub fn with_options(data: Vec<String>, options: ClxOptions) -> Self {
-        Self::from_column(Column::from_rows(data), options)
+        Self::from_column(ColumnBuilder::new().build(data), options)
     }
 
     /// Start a session over an already-built [`Column`] (reusing its
@@ -373,15 +380,34 @@ impl ClxSession<Labelled> {
 
     /// [`ClxSession::apply`] through the compiled engine: same report,
     /// produced by deciding each distinct value once via its cached leaf
-    /// signature ([`CompiledProgram::execute_column`]) — compile + execute
-    /// of a session column never re-tokenizes a row, and the report shares
-    /// the column's row map. Sessions over large columns should prefer
-    /// this.
+    /// signature ([`CompiledProgram::execute_column`], dispatching on the
+    /// dense integer leaf-ids the column's interner assigned) — compile +
+    /// execute of a session column never re-tokenizes a row and never
+    /// hashes a pattern, and the report shares the column's row map. The
+    /// column itself was built by the sharded [`ColumnBuilder`] (see
+    /// [`ClxSession::with_options`]), so on a multi-core host the whole
+    /// path from raw rows to report runs parallel. Sessions over large
+    /// columns should prefer this.
     pub fn apply_parallel(&self) -> Result<TransformReport, ClxError> {
         let compiled = self.compile()?;
         Ok(TransformReport::from_batch(
             compiled.execute_column(&self.data),
         ))
+    }
+
+    /// Open a columnar ingest stream executing this session's program:
+    /// chunks pushed through the returned [`ColumnStream`] are interned
+    /// into a persistent, cross-chunk id space, so streaming inherits the
+    /// O(distinct) execute path — a distinct value is tokenized and decided
+    /// once per stream, no matter how many chunks repeat it — and each
+    /// pushed chunk comes back as a columnar
+    /// [`ChunkReport`](clx_engine::ChunkReport).
+    ///
+    /// The stream owns its compiled program, so it is independent of the
+    /// session's lifetime and can ingest columns the session never saw
+    /// (the semantics on any rows are exactly [`ClxSession::apply`]'s).
+    pub fn stream_columns(&self) -> Result<ColumnStream, ClxError> {
+        Ok(ColumnStream::new(Arc::new(self.compile()?)))
     }
 
     /// The post-transformation pattern summary (Figure 2 of the paper): the
@@ -824,6 +850,42 @@ mod tests {
         let parallel = session.apply_parallel().unwrap();
         assert_eq!(sequential, parallel);
         assert_eq!(parallel.flagged_values(), vec!["N/A"]);
+    }
+
+    #[test]
+    fn stream_columns_matches_apply_chunk_by_chunk() {
+        let session = labelled(phone_data(), tokenize("734-422-8073"));
+        let report = session.apply().unwrap();
+
+        let mut stream = session.stream_columns().unwrap();
+        let data = session.data().to_vec();
+        let mut streamed: Vec<String> = Vec::new();
+        for chunk in data.chunks(3) {
+            let chunk_report = stream.push_rows(chunk);
+            assert!(chunk_report.is_columnar());
+            streamed.extend(chunk_report.iter_values().map(str::to_string));
+        }
+        assert_eq!(streamed, report.values());
+        let summary = stream.finish();
+        assert_eq!(summary.rows(), report.len());
+        assert_eq!(summary.stats.flagged, report.flagged_count());
+        assert_eq!(summary.stats.transformed, report.transformed_count());
+    }
+
+    #[test]
+    fn iter_values_borrows_the_report() {
+        let session = labelled(phone_data(), tokenize("734-422-8073"));
+        let report = session.apply().unwrap();
+        let borrowed: Vec<&str> = report.iter_values().collect();
+        assert_eq!(report.iter_values().len(), report.len());
+        assert_eq!(
+            borrowed,
+            report
+                .values()
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -27,11 +27,41 @@ impl CompiledProgram {
     /// [`CompiledProgram::execute`] over the same rows: a program is a pure
     /// function of the row value, so duplicates share one outcome.
     pub fn execute_column(&self, column: &Column) -> BatchReport {
-        // One decision per distinct value, keyed by the cached leaf.
         let mut cache = DispatchCache::new();
+        self.execute_column_pooled(column, &mut cache)
+    }
+
+    /// [`CompiledProgram::execute_column`] reusing a caller-owned dispatch
+    /// cache across calls.
+    ///
+    /// Dispatch runs on the cache's **dense leaf-id tier**: every distinct
+    /// value carries the integer leaf-id its building interner assigned
+    /// ([`clx_column::DistinctValue::leaf_id`]), so a plan lookup is an
+    /// array index — no `Pattern` is hashed or compared anywhere on this
+    /// path.
+    ///
+    /// Because leaf-ids are only meaningful within one id space, the dense
+    /// tier carries over between calls only for columns sharing an
+    /// [`interner_id`](clx_column::Column::interner_id) — re-executing the
+    /// same column (or its clones). Handing in a column from a different
+    /// interner resets the tier and re-decides its leaves; for cross-chunk
+    /// reuse over a *stream* of data, intern the chunks through one
+    /// persistent interner and use
+    /// [`StreamSession::push_column_chunk`](crate::StreamSession::push_column_chunk)
+    /// or [`ColumnStream`](crate::ColumnStream) instead.
+    pub fn execute_column_pooled(&self, column: &Column, cache: &mut DispatchCache) -> BatchReport {
+        // One decision per distinct value, dispatched by dense leaf-id.
         let decided: Vec<RowOutcome> = column
             .distinct_values()
-            .map(|v| self.transform_one_cached(&mut cache, v.text(), v.leaf()))
+            .map(|v| {
+                self.transform_one_by_leaf_id(
+                    cache,
+                    column.interner_id(),
+                    v.leaf_id(),
+                    v.text(),
+                    v.leaf(),
+                )
+            })
             .collect();
         BatchReport::columnar(self.target().clone(), decided, column)
     }
@@ -92,6 +122,28 @@ mod tests {
         let report = compiled().execute_column(&Column::default());
         assert!(report.is_empty());
         assert_eq!(report.chunk_count, 0);
+    }
+
+    #[test]
+    fn column_dispatch_is_dense_only() {
+        // The column path must never touch the hashed (Pattern-keyed) tier
+        // of the dispatch cache: every plan is decided and replayed through
+        // the dense leaf-id index.
+        let program = compiled();
+        let column = Column::from_rows(duplicate_heavy_rows(500));
+        let mut cache = DispatchCache::new();
+        let report = program.execute_column_pooled(&column, &mut cache);
+        assert_eq!(report.len(), 500);
+        assert_eq!(cache.len(), 0, "no Pattern was hashed on the column path");
+        assert_eq!(cache.dense_len(), column.leaf_count());
+        assert!(cache.dense_len() > 0);
+
+        // A second column from a different interner resets the dense tier
+        // instead of aliasing its ids.
+        let other = Column::from_values(&["N/A"]);
+        assert_ne!(other.interner_id(), column.interner_id());
+        program.execute_column_pooled(&other, &mut cache);
+        assert_eq!(cache.dense_len(), other.leaf_count());
     }
 
     #[test]

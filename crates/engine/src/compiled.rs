@@ -164,6 +164,36 @@ impl CompiledProgram {
     ) -> RowOutcome {
         debug_assert_eq!(leaf, &tokenize(value), "leaf must be the value's own");
         let plan = cache.plan_for(self.instance, leaf, |l| self.build_plan(l, value));
+        self.run_plan(&plan, value)
+    }
+
+    /// [`CompiledProgram::transform_one_cached`] dispatching by the dense
+    /// integer `leaf_id` a [`clx_column::ColumnInterner`] assigned to
+    /// `leaf` — the cache lookup is an array index; no `Pattern` is hashed
+    /// or compared on the hit path.
+    ///
+    /// `source` names the id space `leaf_id` belongs to (the interner's
+    /// instance id — [`clx_column::Column::interner_id`] for columns); the
+    /// cache resets its dense tier when handed ids from a different space,
+    /// so a stale plan can never be replayed under an aliased id. As with
+    /// `transform_one_cached`, `leaf` must be exactly `tokenize(value)`.
+    pub fn transform_one_by_leaf_id(
+        &self,
+        cache: &mut DispatchCache,
+        source: u64,
+        leaf_id: u32,
+        value: &str,
+        leaf: &Pattern,
+    ) -> RowOutcome {
+        debug_assert_eq!(leaf, &tokenize(value), "leaf must be the value's own");
+        let plan = cache.plan_for_leaf_id(self.instance, source, leaf_id, || {
+            self.build_plan(leaf, value)
+        });
+        self.run_plan(&plan, value)
+    }
+
+    /// Replay one leaf's decision sequence against a concrete row.
+    fn run_plan(&self, plan: &LeafPlan, value: &str) -> RowOutcome {
         for step in &plan.steps {
             match step {
                 Step::Conforming => {

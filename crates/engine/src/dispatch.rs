@@ -47,6 +47,18 @@
 //! would break the argument is caching leaves produced by *different*
 //! rules, which is why `transform_one_cached` debug-asserts the leaf
 //! against a fresh tokenization.
+//!
+//! ## Integer leaf-ids
+//!
+//! The same reasoning extends from cached leaves to cached leaf *ids*: a
+//! `clx-column` interner assigns one dense integer per distinct leaf
+//! pattern, so "two values share a leaf" becomes "two values carry the same
+//! leaf-id" — an integer comparison. [`DispatchCache`] therefore keeps a
+//! second, dense tier indexed by leaf-id; the column executors look plans
+//! up by array index and never hash a `Pattern` at all. The id is only
+//! meaningful within the interner that assigned it, so the dense tier is
+//! bound to the interner's process-unique instance id and resets when ids
+//! from a different id space appear.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -96,16 +108,35 @@ pub(crate) struct SplitPlan {
 /// The per-worker dispatch cache mapping leaf patterns to their plans.
 ///
 /// Each executor thread owns one cache; real columns have a handful of
-/// distinct leaves, so the map stays tiny and never needs synchronization.
+/// distinct leaves, so the state stays tiny and never needs synchronization.
+/// The cache has two tiers:
+///
+/// * the **hashed path** — a `Pattern`-keyed map, used by the `&[String]`
+///   executors that derive each row's leaf themselves; and
+/// * the **dense path** — a plain `Vec` indexed by the integer *leaf-id* a
+///   [`clx_column::ColumnInterner`] hands out per distinct leaf pattern.
+///   The column executors ([`crate::CompiledProgram::execute_column`],
+///   [`crate::StreamSession::push_column_chunk`]) dispatch through it, so a
+///   plan lookup on the column path is an array index: no `Pattern` is ever
+///   hashed or compared.
 ///
 /// Plans are only meaningful for the program that built them, so the cache
 /// remembers that program's process-unique instance id and transparently
 /// resets itself when it is handed to a different compiled program — a
-/// stale plan can never be replayed against the wrong branch list.
+/// stale plan can never be replayed against the wrong branch list. The
+/// dense tier is additionally bound to the interner instance that handed
+/// out its leaf-ids ([`clx_column::Column::interner_id`]): ids from a
+/// different id space clear the dense slots instead of aliasing them.
 #[derive(Debug, Default)]
 pub struct DispatchCache {
     program: Option<u64>,
     plans: HashMap<Pattern, Arc<LeafPlan>>,
+    /// The interner instance whose leaf-ids index `dense`.
+    source: Option<u64>,
+    /// Leaf-id -> plan; the column-path fast tier.
+    dense: Vec<Option<Arc<LeafPlan>>>,
+    /// Number of `Some` slots in `dense`.
+    dense_decided: usize,
 }
 
 impl DispatchCache {
@@ -114,14 +145,33 @@ impl DispatchCache {
         DispatchCache::default()
     }
 
-    /// Number of distinct leaf patterns decided so far.
+    /// Number of distinct leaf patterns decided via the hashed
+    /// (`Pattern`-keyed) path.
     pub fn len(&self) -> usize {
         self.plans.len()
     }
 
-    /// `true` if no leaf has been decided yet.
+    /// Number of distinct leaf-ids decided via the dense (integer-indexed)
+    /// path.
+    pub fn dense_len(&self) -> usize {
+        self.dense_decided
+    }
+
+    /// `true` if no leaf has been decided yet on either path.
     pub fn is_empty(&self) -> bool {
-        self.plans.is_empty()
+        self.plans.is_empty() && self.dense_decided == 0
+    }
+
+    /// Reset everything if the cache is handed to a different compiled
+    /// program.
+    fn rebind(&mut self, instance: u64) {
+        if self.program != Some(instance) {
+            self.plans.clear();
+            self.dense.clear();
+            self.dense_decided = 0;
+            self.source = None;
+            self.program = Some(instance);
+        }
     }
 
     /// The plan for `leaf` under the program instance identified by
@@ -134,15 +184,42 @@ impl DispatchCache {
         leaf: &Pattern,
         build: impl FnOnce(&Pattern) -> LeafPlan,
     ) -> Arc<LeafPlan> {
-        if self.program != Some(instance) {
-            self.plans.clear();
-            self.program = Some(instance);
-        }
+        self.rebind(instance);
         if let Some(plan) = self.plans.get(leaf) {
             return Arc::clone(plan);
         }
         let plan = Arc::new(build(leaf));
         self.plans.insert(leaf.clone(), Arc::clone(&plan));
+        plan
+    }
+
+    /// The plan for the leaf with dense id `leaf_id` (handed out by the
+    /// interner instance `source`) under program `instance`, building it on
+    /// first sight. Pure array indexing on the hit path — the leaf pattern
+    /// itself is never hashed or compared.
+    pub(crate) fn plan_for_leaf_id(
+        &mut self,
+        instance: u64,
+        source: u64,
+        leaf_id: u32,
+        build: impl FnOnce() -> LeafPlan,
+    ) -> Arc<LeafPlan> {
+        self.rebind(instance);
+        if self.source != Some(source) {
+            self.dense.clear();
+            self.dense_decided = 0;
+            self.source = Some(source);
+        }
+        let slot = leaf_id as usize;
+        if slot >= self.dense.len() {
+            self.dense.resize(slot + 1, None);
+        }
+        if let Some(plan) = &self.dense[slot] {
+            return Arc::clone(plan);
+        }
+        let plan = Arc::new(build());
+        self.dense[slot] = Some(Arc::clone(&plan));
+        self.dense_decided += 1;
         plan
     }
 }

@@ -23,7 +23,12 @@
 //!   [`ChunkReport`]s into an order-preserving [`BatchReport`];
 //! * [`CompiledProgram::stream`] (then [`StreamSession::push_chunk`] /
 //!   [`StreamSession::finish`]) processes columns larger than memory,
-//!   retaining only O(1) counters;
+//!   retaining only O(1) counters; [`ColumnStream`] (and
+//!   [`StreamSession::push_column_chunk`]) is the columnar ingest variant —
+//!   chunks are interned through a persistent
+//!   [`ColumnInterner`](clx_column::ColumnInterner), so a distinct value is
+//!   tokenized and decided once per *stream* and dispatch is an integer
+//!   leaf-id array index;
 //! * [`CompiledProgram::execute_column`] executes a `clx-column`
 //!   [`Column`](clx_column::Column) by deciding each *distinct* value once
 //!   through its cached leaf signature — no row of a session column is
@@ -83,4 +88,4 @@ pub use dispatch::DispatchCache;
 pub use error::CompileError;
 pub use parallel::ExecOptions;
 pub use report::{BatchReport, ChunkReport, ChunkStats, RowOutcome, RowOutcomes};
-pub use stream::{StreamSession, StreamSummary};
+pub use stream::{ColumnStream, StreamSession, StreamSummary};

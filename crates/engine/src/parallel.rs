@@ -1,4 +1,11 @@
-//! Chunked parallel execution over whole columns.
+//! Chunked parallel execution over whole `&[String]` columns.
+//!
+//! This is the per-row half of the executor: every row is tokenized to
+//! dispatch it. Callers holding a [`clx_column::Column`] (or streaming
+//! interned chunks) should prefer the column paths
+//! ([`CompiledProgram::execute_column`],
+//! [`crate::StreamSession::push_column_chunk`]), which decide each
+//! *distinct* value once and dispatch by dense integer leaf-id.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

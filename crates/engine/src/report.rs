@@ -114,24 +114,149 @@ impl ChunkStats {
 }
 
 /// The outcome of executing a compiled program over one chunk of rows.
+///
+/// Like [`BatchReport`], a chunk report stores its outcomes *columnar*: the
+/// per-row paths store one outcome per row (an identity map), while the
+/// column-chunk path ([`crate::StreamSession::push_column_chunk`]) stores
+/// one outcome per distinct value appearing in the chunk plus the chunk's
+/// row→distinct map — O(distinct-in-chunk), no per-duplicate clones.
+/// Row-oriented access ([`ChunkReport::iter_rows`], [`ChunkReport::row`],
+/// [`ChunkReport::into_row_outcomes`]) is identical for both.
 #[derive(Debug, Clone)]
 pub struct ChunkReport {
     /// Zero-based position of the chunk within the column (or stream).
     pub index: usize,
-    /// One outcome per row of the chunk, in row order.
-    pub rows: Vec<RowOutcome>,
-    /// Counters over `rows`.
+    /// Stored outcomes: per row (identity map) or per distinct-in-chunk.
+    outcomes: Vec<RowOutcome>,
+    /// Row index -> stored outcome index, for columnar chunks.
+    map: Option<Vec<u32>>,
+    /// Counters over the chunk's rows (multiplicity-weighted when columnar).
     pub stats: ChunkStats,
 }
 
 impl ChunkReport {
-    /// Build a report from outcomes, computing the counters.
+    /// Build a per-row report from one outcome per row, computing the
+    /// counters.
     pub fn new(index: usize, rows: Vec<RowOutcome>) -> Self {
         let mut stats = ChunkStats::default();
         for row in &rows {
             stats.record(row);
         }
-        ChunkReport { index, rows, stats }
+        ChunkReport {
+            index,
+            outcomes: rows,
+            map: None,
+            stats,
+        }
+    }
+
+    /// Reassemble a per-row report whose counters are already known (the
+    /// streaming `&[String]` path re-wraps a merged batch).
+    pub(crate) fn from_rows_with_stats(
+        index: usize,
+        rows: Vec<RowOutcome>,
+        stats: ChunkStats,
+    ) -> Self {
+        ChunkReport {
+            index,
+            outcomes: rows,
+            map: None,
+            stats,
+        }
+    }
+
+    /// Build a columnar report: `outcomes[k]` is the decision for the
+    /// `k`-th distinct value appearing in the chunk, and `row_map[r]` names
+    /// the outcome of row `r`. Stats are multiplicity-weighted, so
+    /// construction is O(rows) integer work plus O(distinct-in-chunk)
+    /// outcomes — never a per-duplicate outcome clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `row_map` entry does not index `outcomes`.
+    pub fn columnar(index: usize, outcomes: Vec<RowOutcome>, row_map: Vec<u32>) -> Self {
+        let mut multiplicity = vec![0usize; outcomes.len()];
+        for &stored in &row_map {
+            assert!(
+                (stored as usize) < outcomes.len(),
+                "row map entry {stored} out of bounds ({} outcomes)",
+                outcomes.len()
+            );
+            multiplicity[stored as usize] += 1;
+        }
+        let mut stats = ChunkStats::default();
+        for (outcome, &weight) in outcomes.iter().zip(&multiplicity) {
+            stats.record_weighted(outcome, weight);
+        }
+        ChunkReport {
+            index,
+            outcomes,
+            map: Some(row_map),
+            stats,
+        }
+    }
+
+    /// Number of rows covered by this chunk.
+    pub fn len(&self) -> usize {
+        match &self.map {
+            None => self.outcomes.len(),
+            Some(map) => map.len(),
+        }
+    }
+
+    /// `true` when the chunk covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when outcomes are stored per distinct value rather than per
+    /// row.
+    pub fn is_columnar(&self) -> bool {
+        self.map.is_some()
+    }
+
+    /// The stored outcomes: one per distinct-in-chunk value for columnar
+    /// chunks, one per row otherwise.
+    pub fn outcomes(&self) -> &[RowOutcome] {
+        &self.outcomes
+    }
+
+    /// The outcome of row `index` within the chunk.
+    pub fn row(&self, index: usize) -> &RowOutcome {
+        match &self.map {
+            None => &self.outcomes[index],
+            Some(map) => &self.outcomes[map[index] as usize],
+        }
+    }
+
+    /// Every row's outcome, in chunk row order (duplicate rows yield the
+    /// same `&RowOutcome` in a columnar chunk).
+    pub fn iter_rows(&self) -> RowOutcomes<'_> {
+        RowOutcomes {
+            outcomes: &self.outcomes,
+            map: self.map.as_deref(),
+            next: 0,
+            len: self.len(),
+        }
+    }
+
+    /// Borrowing iterator over every row's *output value*, in chunk row
+    /// order — the allocation-free way to hand streamed rows to a sink.
+    pub fn iter_values(&self) -> impl ExactSizeIterator<Item = &str> + '_ {
+        self.iter_rows().map(RowOutcome::value)
+    }
+
+    /// Materialize one owned outcome per row, in chunk row order (cloning
+    /// per duplicate row for columnar chunks — the row-oriented escape
+    /// hatch).
+    pub fn into_row_outcomes(self) -> Vec<RowOutcome> {
+        match self.map {
+            None => self.outcomes,
+            Some(map) => map
+                .iter()
+                .map(|&i| self.outcomes[i as usize].clone())
+                .collect(),
+        }
     }
 }
 
@@ -238,7 +363,7 @@ impl BatchReport {
             "chunk reports must merge in index order"
         );
         self.stats.absorb(&chunk.stats);
-        self.outcomes.extend(chunk.rows);
+        self.outcomes.extend(chunk.into_row_outcomes());
         self.chunk_count += 1;
     }
 
@@ -304,6 +429,13 @@ impl BatchReport {
     /// The output column (one value per row, in input order).
     pub fn values(&self) -> Vec<String> {
         self.iter_rows().map(|r| r.value().to_string()).collect()
+    }
+
+    /// Borrowing iterator over every row's *output value*, in input order.
+    /// Unlike [`BatchReport::values`] this materializes nothing: serving
+    /// paths can stream the output column without one `String` per row.
+    pub fn iter_values(&self) -> impl ExactSizeIterator<Item = &str> + '_ {
+        self.iter_rows().map(RowOutcome::value)
     }
 
     /// Rows rewritten by a branch.

@@ -1,26 +1,106 @@
 //! Streaming execution for columns larger than memory.
 //!
-//! [`StreamSession::push_chunk`] transforms one chunk (in parallel) and
-//! *returns* its rows to the caller — to be written to a sink immediately —
-//! while the session itself retains only O(1) mergeable counters. A column
-//! of any size can therefore be processed with memory proportional to one
-//! chunk.
+//! Two ingest paths share the machinery here:
+//!
+//! * [`StreamSession::push_chunk`] takes `&[String]`, re-tokenizing every
+//!   row to dispatch it — the zero-setup path for callers that only hold
+//!   raw strings;
+//! * [`StreamSession::push_column_chunk`] takes a
+//!   [`ColumnChunk`](clx_column::ColumnChunk) interned through a persistent
+//!   [`ColumnInterner`](clx_column::ColumnInterner), so streaming inherits
+//!   the whole O(distinct) column path: a distinct value is tokenized once
+//!   per *stream* (by the interner), decided once per stream (the session
+//!   caches the outcome per distinct-id), and dispatched by integer leaf-id
+//!   (a dense array index — no `Pattern` hashing). [`ColumnStream`] bundles
+//!   the interner and a session into one owning handle.
+//!
+//! Either way each pushed chunk is transformed and *returned* to the caller
+//! — to be written to a sink immediately — while the session retains only
+//! mergeable counters plus (on the column path) the O(distinct) per-id
+//! decision cache.
 
+use std::sync::Arc;
+
+use clx_column::{ColumnChunk, ColumnInterner};
 use clx_pattern::Pattern;
 
 use crate::compiled::CompiledProgram;
 use crate::dispatch::DispatchCache;
 use crate::parallel::ExecOptions;
-use crate::report::{ChunkReport, ChunkStats};
+use crate::report::{ChunkReport, ChunkStats, RowOutcome};
+
+/// The per-stream cache of distinct-value decisions, indexed by the
+/// interner's dense distinct-ids.
+///
+/// A value repeated across chunks is transformed exactly once per stream;
+/// every later chunk containing it replays the stored outcome. The cache is
+/// bound to the interner instance whose ids index it and resets if a chunk
+/// from a different interner appears.
+#[derive(Debug, Default)]
+struct DistinctDecisions {
+    source: Option<u64>,
+    decided: Vec<Option<RowOutcome>>,
+    /// Number of `Some` entries in `decided`.
+    count: usize,
+}
+
+impl DistinctDecisions {
+    /// Decisions made so far (distinct values transformed this stream).
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Execute one interned chunk, reusing stored decisions for already-seen
+    /// distinct-ids and recording new ones.
+    fn execute_chunk(
+        &mut self,
+        program: &CompiledProgram,
+        cache: &mut DispatchCache,
+        chunk: &ColumnChunk<'_>,
+        index: usize,
+    ) -> ChunkReport {
+        let interner = chunk.interner();
+        if self.source != Some(interner.instance()) {
+            self.decided.clear();
+            self.count = 0;
+            self.source = Some(interner.instance());
+        }
+        if self.decided.len() < interner.distinct_count() {
+            self.decided.resize(interner.distinct_count(), None);
+        }
+        let outcomes: Vec<RowOutcome> = chunk
+            .distinct_ids()
+            .iter()
+            .map(|&id| {
+                if let Some(outcome) = &self.decided[id as usize] {
+                    return outcome.clone();
+                }
+                let outcome = program.transform_one_by_leaf_id(
+                    cache,
+                    interner.instance(),
+                    interner.leaf_id(id),
+                    interner.value(id),
+                    interner.leaf(id),
+                );
+                self.decided[id as usize] = Some(outcome.clone());
+                self.count += 1;
+                outcome
+            })
+            .collect();
+        ChunkReport::columnar(index, outcomes, chunk.row_map().to_vec())
+    }
+}
 
 /// An in-progress streaming run over one compiled program.
 ///
-/// The session owns its workers' dispatch caches, so leaf decisions made in
-/// one pushed chunk are reused by every later chunk of the stream.
+/// The session owns its workers' dispatch caches and its per-distinct-id
+/// decision cache, so leaf decisions *and* per-value outcomes made in one
+/// pushed chunk are reused by every later chunk of the stream.
 pub struct StreamSession<'p> {
     program: &'p CompiledProgram,
     options: ExecOptions,
     caches: Vec<DispatchCache>,
+    decisions: DistinctDecisions,
     stats: ChunkStats,
     chunks: usize,
 }
@@ -37,6 +117,7 @@ impl CompiledProgram {
             program: self,
             options,
             caches: Vec::new(),
+            decisions: DistinctDecisions::default(),
             stats: ChunkStats::default(),
             chunks: 0,
         }
@@ -46,19 +127,163 @@ impl CompiledProgram {
 impl StreamSession<'_> {
     /// Transform the next chunk of the column and hand its rows back to the
     /// caller. Only the counters are retained by the session.
+    ///
+    /// Every row is re-tokenized to dispatch it; callers that can intern
+    /// their chunks through a persistent
+    /// [`ColumnInterner`](clx_column::ColumnInterner) should push
+    /// [`StreamSession::push_column_chunk`] (or use [`ColumnStream`])
+    /// instead and skip that work entirely.
     pub fn push_chunk(&mut self, rows: &[String]) -> ChunkReport {
         let batch = self
             .program
             .execute_pooled(rows, self.options, &mut self.caches);
         let stats = batch.stats;
-        let report = ChunkReport {
-            index: self.chunks,
-            rows: batch.into_row_outcomes(),
-            stats,
-        };
+        let report =
+            ChunkReport::from_rows_with_stats(self.chunks, batch.into_row_outcomes(), stats);
         self.stats.absorb(&report.stats);
         self.chunks += 1;
         report
+    }
+
+    /// Transform the next chunk of an *interned* stream: each distinct-id
+    /// appearing in the chunk is decided at most once per stream (cached
+    /// outcomes replay for ids seen in earlier chunks), dispatch runs on
+    /// the dense leaf-id tier of the [`DispatchCache`], and the returned
+    /// [`ChunkReport`] is columnar — one stored outcome per distinct value
+    /// in the chunk, sharing the chunk's row map shape.
+    ///
+    /// The rows the report describes are exactly what
+    /// [`StreamSession::push_chunk`] would produce for the same text; the
+    /// session's counters absorb the chunk either way.
+    pub fn push_column_chunk(&mut self, chunk: &ColumnChunk<'_>) -> ChunkReport {
+        if self.caches.is_empty() {
+            self.caches.push(DispatchCache::new());
+        }
+        let report =
+            self.decisions
+                .execute_chunk(self.program, &mut self.caches[0], chunk, self.chunks);
+        self.stats.absorb(&report.stats);
+        self.chunks += 1;
+        report
+    }
+
+    /// Distinct values decided so far on the column path (the size of the
+    /// per-stream outcome cache; `0` for pure `&[String]` streams).
+    pub fn distinct_decided(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &ChunkStats {
+        &self.stats
+    }
+
+    /// Chunks pushed so far.
+    pub fn chunks_pushed(&self) -> usize {
+        self.chunks
+    }
+
+    /// Finish the run, returning the whole-stream summary.
+    pub fn finish(self) -> StreamSummary {
+        StreamSummary {
+            target: self.program.target().clone(),
+            chunks: self.chunks,
+            stats: self.stats,
+        }
+    }
+}
+
+/// An owning columnar ingest stream: a persistent
+/// [`ColumnInterner`](clx_column::ColumnInterner) plus the per-stream
+/// execution state, bundled so callers can push raw string chunks and get
+/// the full O(distinct) path without managing the interner themselves.
+///
+/// ```
+/// use std::sync::Arc;
+/// use clx_engine::{ColumnStream, CompiledProgram};
+/// use clx_pattern::tokenize;
+/// use clx_unifi::{Branch, Expr, Program, StringExpr};
+///
+/// let program = Program::new(vec![Branch::new(
+///     tokenize("734.236.3466"),
+///     Expr::concat(vec![
+///         StringExpr::extract(1),
+///         StringExpr::const_str("-"),
+///         StringExpr::extract(3),
+///         StringExpr::const_str("-"),
+///         StringExpr::extract(5),
+///     ]),
+/// )]);
+/// let compiled = CompiledProgram::compile(&program, &tokenize("734-422-8073")).unwrap();
+///
+/// let mut stream = ColumnStream::from_program(compiled);
+/// let report = stream.push_rows(&["111.222.3333", "111.222.3333", "N/A"]);
+/// assert_eq!(report.len(), 3);
+/// assert_eq!(report.outcomes().len(), 2); // columnar: one per distinct
+/// let summary = stream.finish();
+/// assert_eq!(summary.rows(), 3);
+/// ```
+pub struct ColumnStream {
+    program: Arc<CompiledProgram>,
+    interner: ColumnInterner,
+    cache: DispatchCache,
+    decisions: DistinctDecisions,
+    stats: ChunkStats,
+    chunks: usize,
+}
+
+impl ColumnStream {
+    /// Start a columnar stream over a shared compiled program.
+    pub fn new(program: Arc<CompiledProgram>) -> Self {
+        ColumnStream {
+            program,
+            interner: ColumnInterner::new(),
+            cache: DispatchCache::new(),
+            decisions: DistinctDecisions::default(),
+            stats: ChunkStats::default(),
+            chunks: 0,
+        }
+    }
+
+    /// [`ColumnStream::new`] taking ownership of the program.
+    pub fn from_program(program: CompiledProgram) -> Self {
+        Self::new(Arc::new(program))
+    }
+
+    /// The compiled program this stream executes.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// The stream's persistent interner (distinct values and leaf patterns
+    /// seen so far, with their dense ids).
+    pub fn interner(&self) -> &ColumnInterner {
+        &self.interner
+    }
+
+    /// The stream's dispatch cache (exposes the dense leaf-id tier via
+    /// [`DispatchCache::dense_len`]).
+    pub fn dispatch_cache(&self) -> &DispatchCache {
+        &self.cache
+    }
+
+    /// Intern the next chunk of rows into the stream's id space and
+    /// transform it, returning a columnar [`ChunkReport`]. Distinct values
+    /// seen in earlier chunks keep their ids, so they are neither
+    /// re-tokenized nor re-transformed.
+    pub fn push_rows<S: AsRef<str>>(&mut self, rows: &[S]) -> ChunkReport {
+        let chunk = self.interner.chunk(rows);
+        let report =
+            self.decisions
+                .execute_chunk(&self.program, &mut self.cache, &chunk, self.chunks);
+        self.stats.absorb(&report.stats);
+        self.chunks += 1;
+        report
+    }
+
+    /// Distinct values decided so far this stream.
+    pub fn distinct_decided(&self) -> usize {
+        self.decisions.len()
     }
 
     /// Counters accumulated so far.
@@ -134,8 +359,8 @@ mod tests {
                 .collect();
             let report = stream.push_chunk(&chunk);
             assert_eq!(report.index, c);
-            assert_eq!(report.rows.len(), 100);
-            written.extend(report.rows.iter().map(|r| r.value().to_string()));
+            assert_eq!(report.len(), 100);
+            written.extend(report.iter_values().map(str::to_string));
         }
         assert_eq!(stream.chunks_pushed(), 10);
         let summary = stream.finish();
@@ -160,7 +385,7 @@ mod tests {
         let mut stream = program.stream();
         let mut streamed = Vec::new();
         for chunk in column.chunks(77) {
-            streamed.extend(stream.push_chunk(chunk).rows);
+            streamed.extend(stream.push_chunk(chunk).into_row_outcomes());
         }
         let summary = stream.finish();
         assert_eq!(streamed, one_shot.clone().into_row_outcomes());
@@ -189,5 +414,109 @@ mod tests {
         let summary = program.stream().finish();
         assert_eq!(summary.chunks, 0);
         assert_eq!(summary.rows(), 0);
+    }
+
+    // ---- column path ------------------------------------------------------
+
+    #[test]
+    fn column_chunks_match_string_chunks_row_for_row() {
+        let program = compiled();
+        let rows: Vec<String> = (0..600)
+            .map(|i| match i % 3 {
+                0 => format!("{:03}.{:03}.{:04}", 100 + i % 7, 200 + i % 7, i % 7),
+                1 => format!("{:03}-{:03}-{:04}", 100 + i % 7, 200 + i % 7, i % 7),
+                _ => "N/A".to_string(),
+            })
+            .collect();
+
+        let mut by_strings = program.stream();
+        let mut by_columns = ColumnStream::from_program(compiled());
+        for chunk in rows.chunks(128) {
+            let s = by_strings.push_chunk(chunk);
+            let c = by_columns.push_rows(chunk);
+            assert!(c.is_columnar() && !s.is_columnar());
+            assert_eq!(s.len(), c.len());
+            assert_eq!(
+                s.iter_rows().collect::<Vec<_>>(),
+                c.iter_rows().collect::<Vec<_>>()
+            );
+            assert_eq!(s.stats, c.stats);
+        }
+        let s = by_strings.finish();
+        let c = by_columns.finish();
+        assert_eq!(s.stats, c.stats);
+        assert_eq!(s.chunks, c.chunks);
+    }
+
+    #[test]
+    fn cross_chunk_repeats_are_decided_once() {
+        let program = compiled();
+        let mut stream = ColumnStream::from_program(program);
+        let first = stream.push_rows(&["111.222.3333", "444.555.6666", "111.222.3333"]);
+        assert_eq!(first.outcomes().len(), 2);
+        assert_eq!(stream.distinct_decided(), 2);
+        assert_eq!(stream.interner().distinct_count(), 2);
+
+        // The second chunk holds only repeats: no new decisions, no new
+        // interned values — but the report still covers every row.
+        let second = stream.push_rows(&["444.555.6666", "111.222.3333", "444.555.6666"]);
+        assert_eq!(second.len(), 3);
+        assert_eq!(second.outcomes().len(), 2);
+        assert_eq!(stream.distinct_decided(), 2);
+        assert_eq!(stream.interner().distinct_count(), 2);
+        assert_eq!(
+            second.iter_values().collect::<Vec<_>>(),
+            vec!["444-555-6666", "111-222-3333", "444-555-6666"]
+        );
+    }
+
+    #[test]
+    fn column_path_never_hashes_a_pattern() {
+        let program = compiled();
+        let mut stream = ColumnStream::from_program(program);
+        stream.push_rows(&["111.222.3333", "N/A", "777-888-9999"]);
+        stream.push_rows(&["111.222.3333", "000.111.2222"]);
+        // Three distinct leaves decided, all on the dense integer tier; the
+        // hashed tier was never touched.
+        assert_eq!(stream.dispatch_cache().dense_len(), 3);
+        assert_eq!(stream.dispatch_cache().len(), 0);
+    }
+
+    #[test]
+    fn push_column_chunk_with_external_interner() {
+        let program = compiled();
+        let mut interner = clx_column::ColumnInterner::new();
+        let mut session = program.stream();
+        let chunk = interner.chunk(&["111.222.3333", "111.222.3333"]);
+        let report = session.push_column_chunk(&chunk);
+        assert_eq!(report.len(), 2);
+        assert_eq!(report.outcomes().len(), 1);
+        assert_eq!(session.distinct_decided(), 1);
+        drop(chunk);
+        let chunk = interner.chunk(&["111.222.3333", "N/A"]);
+        let report = session.push_column_chunk(&chunk);
+        assert_eq!(report.stats.flagged, 1);
+        assert_eq!(session.distinct_decided(), 2);
+        let summary = session.finish();
+        assert_eq!(summary.rows(), 4);
+        assert_eq!(summary.chunks, 2);
+    }
+
+    #[test]
+    fn switching_interners_resets_the_decision_cache() {
+        let program = compiled();
+        let mut session = program.stream();
+        let mut a = clx_column::ColumnInterner::new();
+        let chunk = a.chunk(&["111.222.3333"]);
+        session.push_column_chunk(&chunk);
+        assert_eq!(session.distinct_decided(), 1);
+
+        // A chunk from a different interner carries ids from a different id
+        // space; the per-id decision cache must not alias them.
+        let mut b = clx_column::ColumnInterner::new();
+        let chunk = b.chunk(&["N/A", "N/A"]);
+        let report = session.push_column_chunk(&chunk);
+        assert_eq!(report.stats.flagged, 2);
+        assert_eq!(session.distinct_decided(), 1);
     }
 }

@@ -163,7 +163,7 @@ fn stream_handles_empty_chunks_and_empty_runs() {
     let program = dotted_to_dashed();
     let mut stream = program.stream();
     let report = stream.push_chunk(&[]);
-    assert_eq!(report.rows.len(), 0);
+    assert_eq!(report.len(), 0);
     assert_eq!(stream.chunks_pushed(), 1);
     let summary = stream.finish();
     assert_eq!(summary.rows(), 0);
@@ -195,7 +195,7 @@ fn streamed_rows_equal_one_shot_and_column_execution() {
     let mut stream = program.stream();
     let mut streamed = Vec::new();
     for chunk in rows.chunks(128) {
-        streamed.extend(stream.push_chunk(chunk).rows);
+        streamed.extend(stream.push_chunk(chunk).into_row_outcomes());
     }
     let summary = stream.finish();
     let one_shot_stats = one_shot.stats;

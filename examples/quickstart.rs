@@ -53,8 +53,10 @@ fn main() {
 
     let report = session.apply().expect("apply");
     println!("\nTransformed column:");
-    for row in report.iter_rows() {
-        println!("  {:<20} {:?}", row.value(), row);
+    // `iter_values` borrows straight out of the columnar report — no owned
+    // `String` per row, unlike `values()`.
+    for (value, row) in report.iter_values().zip(report.iter_rows()) {
+        println!("  {:<20} {:?}", value, row);
     }
     println!(
         "\n{} transformed, {} already correct, {} flagged for review",

@@ -95,7 +95,7 @@ fn streaming_path_matches_sequential_apply() {
     let mut streamed_values = Vec::new();
     for chunk in data.chunks(500) {
         let report = stream.push_chunk(chunk);
-        streamed_values.extend(report.rows.into_iter().map(|r| r.value().to_string()));
+        streamed_values.extend(report.iter_values().map(str::to_string));
     }
     let summary = stream.finish();
 
