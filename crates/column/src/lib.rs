@@ -63,11 +63,46 @@
 //! // All three values share one leaf pattern, so one leaf-id.
 //! assert_eq!(interner.leaf_count(), 1);
 //! ```
+//!
+//! # Bounded streams for untrusted input
+//!
+//! A persistent interner is O(distinct): an adversarial, high-cardinality
+//! stream (every row a new value) grows it without bound. For untrusted
+//! input, construct the interner with a [`StreamBudget`]:
+//!
+//! ```
+//! use clx_column::{ColumnInterner, StreamBudget};
+//!
+//! let mut interner = ColumnInterner::with_budget(StreamBudget::max_distinct(2));
+//! let a = interner.chunk(&["a-1", "b-2", "c-3"]); // over budget, but pinned
+//! assert_eq!(a.distinct_count(), 3);
+//! drop(a);
+//! // The next chunk boundary evicts the coldest values down to the budget.
+//! let b = interner.chunk(&["d-4"]);
+//! drop(b);
+//! assert!(interner.live_distinct_count() <= 3);
+//! assert!(interner.evictions() > 0);
+//! ```
+//!
+//! Eviction recycles distinct-id slots, so two invariants the unbounded
+//! interner offers ("ids are append-only" and "a leaf-id always names the
+//! same leaf") are replaced by explicit **versioning**: every eviction
+//! batch bumps the interner's [`generation`](ColumnInterner::generation),
+//! and every recycled slot bumps its own
+//! [`distinct_generation`](ColumnInterner::distinct_generation). Consumers
+//! caching per distinct-id or per leaf-id key their entries on those
+//! counters and can never be served a stale decision under a reused id.
+//! Budgets are enforced at **chunk boundaries** ([`ColumnInterner::chunk`]
+//! runs [`ColumnInterner::enforce_budget`] before interning, and a live
+//! [`ColumnChunk`] borrow keeps the interner immutable), so a chunk's own
+//! rows are always resolvable while its report is built: peak memory is
+//! bounded by the budget plus one chunk's distinct values.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::collections::HashMap;
+use std::mem::{size_of, size_of_val};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -79,6 +114,85 @@ static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(0);
 
 fn next_instance() -> u64 {
     NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// How a bounded [`ColumnInterner`] reacts when a stream exceeds its
+/// [`StreamBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetPolicy {
+    /// Evict the coldest (least-recently-interned) distinct values at the
+    /// next chunk boundary, recycling their id slots. Evicted values are
+    /// transparently re-interned if they reappear (under a fresh slot
+    /// generation). The default.
+    #[default]
+    Evict,
+    /// Never evict. The interner itself only *reports* the condition via
+    /// [`ColumnInterner::over_budget`] — by itself it keeps interning
+    /// whatever it is handed, because degrading needs a per-row execution
+    /// path the interner does not have. Enforcement is the chunk
+    /// producer's job: `clx-engine`'s `ColumnStream` checks
+    /// `over_budget()` after each chunk, stops interning, and degrades to
+    /// the per-row `&[String]` path. Callers driving a `Fallback` interner
+    /// by hand must do the same, or the budget is inert.
+    Fallback,
+}
+
+/// A memory budget for streaming ingest over untrusted input.
+///
+/// The default budget is unbounded — exactly the pre-budget behavior. A
+/// bounded interner enforces the budget at chunk boundaries; see the
+/// crate-level *bounded streams* docs for the versioning this implies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamBudget {
+    /// Maximum live distinct values retained between chunks.
+    pub max_distinct: usize,
+    /// Maximum bytes of live interned distinct-value text (the arena size)
+    /// retained between chunks.
+    pub max_arena_bytes: usize,
+    /// What to do when the stream exceeds the budget.
+    pub policy: BudgetPolicy,
+}
+
+impl Default for StreamBudget {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl StreamBudget {
+    /// No limits: the interner never evicts and never reports over-budget.
+    pub fn unbounded() -> Self {
+        StreamBudget {
+            max_distinct: usize::MAX,
+            max_arena_bytes: usize::MAX,
+            policy: BudgetPolicy::Evict,
+        }
+    }
+
+    /// A budget capping the live distinct-value count (arena unbounded).
+    pub fn max_distinct(max_distinct: usize) -> Self {
+        StreamBudget {
+            max_distinct,
+            ..Self::unbounded()
+        }
+    }
+
+    /// Additionally cap the live interned text bytes.
+    pub fn with_max_arena_bytes(mut self, max_arena_bytes: usize) -> Self {
+        self.max_arena_bytes = max_arena_bytes;
+        self
+    }
+
+    /// Select the [`BudgetPolicy::Fallback`] degradation policy.
+    pub fn fallback(mut self) -> Self {
+        self.policy = BudgetPolicy::Fallback;
+        self
+    }
+
+    /// `true` when neither limit can ever bind.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_distinct == usize::MAX && self.max_arena_bytes == usize::MAX
+    }
 }
 
 /// One interned distinct value: its arena span, cached token stream and the
@@ -93,6 +207,34 @@ struct InternedEntry {
     /// Dense id of this value's leaf pattern (shared by every distinct
     /// value with the same leaf).
     leaf_id: u32,
+    /// LRU clock reading of the last intern touching this value.
+    last_touch: u64,
+}
+
+/// One distinct-id slot: its recycle generation plus the live entry, if any.
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Bumped every time the slot's entry is evicted, so a consumer cache
+    /// keyed by `(id, generation)` can never alias two values.
+    generation: u64,
+    entry: Option<InternedEntry>,
+}
+
+/// One leaf-id slot: the leaf pattern plus how many live distinct values
+/// carry it (the id is recycled when the count reaches zero).
+#[derive(Debug, Clone)]
+struct LeafSlot {
+    pattern: Pattern,
+    refs: u32,
+}
+
+/// Estimated heap bytes retained by one cached tokenization.
+fn tokenized_footprint(t: &TokenizedString) -> usize {
+    size_of::<TokenizedString>()
+        + t.raw.len()
+        + t.slices.len() * size_of::<TokenSlice>()
+        + t.slices.iter().map(|s| s.text.len()).sum::<usize>()
+        + size_of_val(t.pattern.tokens())
 }
 
 /// A persistent, reusable value interner: the arena + dedup map +
@@ -118,15 +260,37 @@ struct InternedEntry {
 #[derive(Debug)]
 pub struct ColumnInterner {
     instance: u64,
-    /// All distinct values, concatenated; [`InternedEntry::span`] slices it.
+    /// Bumped once per eviction batch; consumers caching per *leaf-id* key
+    /// their cache on `(instance, generation)`.
+    generation: u64,
+    /// The LRU clock: bumped on every intern (hit or miss).
+    clock: u64,
+    /// The memory budget enforced at chunk boundaries.
+    budget: StreamBudget,
+    /// All live distinct values, concatenated; [`InternedEntry::span`]
+    /// slices it. Compacted after each eviction batch.
     arena: String,
-    /// Distinct values in first-intern order; a value's distinct-id is its
-    /// index here.
-    entries: Vec<InternedEntry>,
-    /// Dedup map: value text -> distinct-id.
+    /// Distinct-id slots, in first-intern order; a value's distinct-id is
+    /// its slot index. Evicted slots are recycled via `free`.
+    entries: Vec<Slot>,
+    /// Recycled distinct-id slots awaiting reuse.
+    free: Vec<u32>,
+    /// Dedup map: live value text -> distinct-id.
     seen: HashMap<String, u32>,
-    /// Dedup map: leaf pattern -> leaf-id.
+    /// Dedup map: live leaf pattern -> leaf-id.
     leaves: HashMap<Pattern, u32>,
+    /// Leaf-id slots (pattern + live refcount); `None` when recycled.
+    leaf_slots: Vec<Option<LeafSlot>>,
+    /// Recycled leaf-id slots awaiting reuse.
+    leaf_free: Vec<u32>,
+    /// Live distinct values (slots minus tombstones).
+    live: usize,
+    /// Bytes of live interned text (equals `arena.len()` after compaction).
+    live_bytes: usize,
+    /// Estimated heap bytes of the live cached tokenizations.
+    token_bytes: usize,
+    /// Total distinct values evicted over the interner's lifetime.
+    evicted: u64,
 }
 
 impl Default for ColumnInterner {
@@ -144,24 +308,55 @@ impl Clone for ColumnInterner {
     fn clone(&self) -> Self {
         ColumnInterner {
             instance: next_instance(),
+            generation: self.generation,
+            clock: self.clock,
+            budget: self.budget,
             arena: self.arena.clone(),
             entries: self.entries.clone(),
+            free: self.free.clone(),
             seen: self.seen.clone(),
             leaves: self.leaves.clone(),
+            leaf_slots: self.leaf_slots.clone(),
+            leaf_free: self.leaf_free.clone(),
+            live: self.live,
+            live_bytes: self.live_bytes,
+            token_bytes: self.token_bytes,
+            evicted: self.evicted,
         }
     }
 }
 
 impl ColumnInterner {
-    /// An empty interner with a fresh process-unique id space.
+    /// An empty interner with a fresh process-unique id space and no
+    /// memory budget.
     pub fn new() -> Self {
+        Self::with_budget(StreamBudget::unbounded())
+    }
+
+    /// An empty interner enforcing `budget` at every chunk boundary.
+    pub fn with_budget(budget: StreamBudget) -> Self {
         ColumnInterner {
             instance: next_instance(),
+            generation: 0,
+            clock: 0,
+            budget,
             arena: String::new(),
             entries: Vec::new(),
+            free: Vec::new(),
             seen: HashMap::new(),
             leaves: HashMap::new(),
+            leaf_slots: Vec::new(),
+            leaf_free: Vec::new(),
+            live: 0,
+            live_bytes: 0,
+            token_bytes: 0,
+            evicted: 0,
         }
+    }
+
+    /// The memory budget this interner enforces at chunk boundaries.
+    pub fn budget(&self) -> &StreamBudget {
+        &self.budget
     }
 
     /// The process-unique id of this interner's id space. Two interners
@@ -171,55 +366,133 @@ impl ColumnInterner {
         self.instance
     }
 
-    /// Number of distinct values interned so far.
+    /// Size of the distinct-id space: live values plus recycled (evicted)
+    /// slots. Equal to the number of distinct values interned so far for an
+    /// unbounded interner; see [`ColumnInterner::live_distinct_count`] for
+    /// the live count.
     pub fn distinct_count(&self) -> usize {
         self.entries.len()
     }
 
-    /// Number of distinct leaf patterns interned so far (the size of the
-    /// leaf-id space; never larger than [`ColumnInterner::distinct_count`]).
+    /// Number of distinct values currently retained (excludes evicted
+    /// slots). Never exceeds the budget's `max_distinct` at a chunk
+    /// boundary, plus the current chunk's own distinct values while one is
+    /// being interned.
+    pub fn live_distinct_count(&self) -> usize {
+        self.live
+    }
+
+    /// Number of live distinct leaf patterns (the leaf-id space size; never
+    /// larger than [`ColumnInterner::live_distinct_count`]).
     pub fn leaf_count(&self) -> usize {
         self.leaves.len()
     }
 
-    /// `true` when nothing has been interned.
+    /// `true` when no value is currently interned.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
-    /// Total bytes of interned distinct-value text (the arena size).
+    /// Total bytes of live interned distinct-value text (the arena size
+    /// after compaction).
     pub fn interned_bytes(&self) -> usize {
-        self.arena.len()
+        self.live_bytes
+    }
+
+    /// The eviction-batch counter. Bumped once per batch; a consumer
+    /// caching per *leaf-id* keys its cache on
+    /// `(instance, generation)`, because an eviction batch may recycle
+    /// leaf-ids. Always `0` for unbounded interners.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The recycle generation of distinct-id slot `id`. Bumped each time
+    /// the slot's value is evicted, so a consumer caching per
+    /// *distinct-id* can validate an entry with an integer comparison: a
+    /// decision recorded at `(id, g)` is valid iff
+    /// `distinct_generation(id) == g` — slot reuse can never replay it for
+    /// a different value.
+    pub fn distinct_generation(&self, id: u32) -> u64 {
+        self.entries[id as usize].generation
+    }
+
+    /// `true` while distinct-id `id` holds a live (non-evicted) value.
+    pub fn is_live(&self, id: u32) -> bool {
+        self.entries
+            .get(id as usize)
+            .is_some_and(|s| s.entry.is_some())
+    }
+
+    /// Total distinct values evicted over the interner's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Estimated heap bytes retained by the interner: arena text, cached
+    /// tokenizations, slot tables and dedup maps (whose owned keys
+    /// duplicate the live text). An estimate — allocator overhead and map
+    /// table capacity are approximated — but it is monotone under
+    /// interning and decreases when an eviction batch runs, which is what
+    /// budget monitoring needs.
+    pub fn memory_used(&self) -> usize {
+        self.arena.capacity()
+            + self.token_bytes
+            + self.entries.capacity() * size_of::<Slot>()
+            + self.free.capacity() * size_of::<u32>()
+            + self.leaf_free.capacity() * size_of::<u32>()
+            + self.leaf_slots.len() * size_of::<Option<LeafSlot>>()
+            // `seen` owns one String key per live value (text duplicated).
+            + self.live_bytes
+            + self.seen.len() * size_of::<(String, u32)>()
+            + self.leaves.len() * size_of::<(Pattern, u32)>()
+    }
+
+    /// `true` when the live state exceeds the budget. Under
+    /// [`BudgetPolicy::Evict`] the next chunk boundary clears this; under
+    /// [`BudgetPolicy::Fallback`] it is the owning stream's signal to stop
+    /// interning and degrade to a per-row path.
+    pub fn over_budget(&self) -> bool {
+        self.live > self.budget.max_distinct || self.live_bytes > self.budget.max_arena_bytes
     }
 
     /// The text of distinct value `id` (a slice of the arena).
     ///
     /// # Panics
-    /// If `id` was not handed out by this interner.
+    /// If `id` was not handed out by this interner, or was evicted.
     pub fn value(&self, id: u32) -> &str {
-        let (start, end) = self.entries[id as usize].span;
+        let (start, end) = self.live_entry(id).span;
         &self.arena[start..end]
     }
 
     /// The cached tokenization of distinct value `id`.
     pub fn tokenized(&self, id: u32) -> &TokenizedString {
-        &self.entries[id as usize].tokenized
+        &self.live_entry(id).tokenized
     }
 
     /// The cached leaf pattern of distinct value `id`.
     pub fn leaf(&self, id: u32) -> &Pattern {
-        &self.entries[id as usize].tokenized.pattern
+        &self.live_entry(id).tokenized.pattern
     }
 
     /// The dense leaf-id of distinct value `id`'s leaf pattern.
     pub fn leaf_id(&self, id: u32) -> u32 {
-        self.entries[id as usize].leaf_id
+        self.live_entry(id).leaf_id
+    }
+
+    fn live_entry(&self, id: u32) -> &InternedEntry {
+        self.entries[id as usize]
+            .entry
+            .as_ref()
+            .expect("distinct-id was evicted")
     }
 
     /// Intern one value, tokenizing it only on first sight. Returns the
-    /// value's dense distinct-id (stable for the interner's lifetime).
+    /// value's dense distinct-id, stable until (and unless) a budget
+    /// eviction recycles it — see [`ColumnInterner::distinct_generation`].
     pub fn intern(&mut self, value: &str) -> u32 {
         if let Some(&id) = self.seen.get(value) {
+            self.touch(id);
             return id;
         }
         let tokenized = tokenize_detailed(value);
@@ -230,6 +503,7 @@ impl ColumnInterner {
     /// allocation is reused as the dedup key instead of being cloned.
     pub fn intern_owned(&mut self, value: String) -> u32 {
         if let Some(&id) = self.seen.get(value.as_str()) {
+            self.touch(id);
             return id;
         }
         let tokenized = tokenize_detailed(&value);
@@ -241,34 +515,168 @@ impl ColumnInterner {
     /// tokenization is dropped if the value is already interned.
     fn intern_prepared(&mut self, value: &str, tokenized: TokenizedString) -> u32 {
         if let Some(&id) = self.seen.get(value) {
+            self.touch(id);
             return id;
         }
         self.insert_new(value.to_string(), tokenized)
     }
 
-    fn insert_new(&mut self, value: String, tokenized: TokenizedString) -> u32 {
-        assert!(
-            self.entries.len() < u32::MAX as usize,
-            "interner exceeds u32 distinct-value indexing"
-        );
-        let id = self.entries.len() as u32;
-        let leaf_id = match self.leaves.get(&tokenized.pattern) {
-            Some(&l) => l,
-            None => {
-                let l = self.leaves.len() as u32;
-                self.leaves.insert(tokenized.pattern.clone(), l);
+    /// Record an LRU touch on a live distinct value.
+    fn touch(&mut self, id: u32) {
+        self.clock += 1;
+        self.entries[id as usize]
+            .entry
+            .as_mut()
+            .expect("touched distinct-id must be live")
+            .last_touch = self.clock;
+    }
+
+    /// Intern the leaf pattern, recycling a freed leaf-id slot if one is
+    /// available, and count one live reference to it.
+    fn intern_leaf(&mut self, pattern: &Pattern) -> u32 {
+        if let Some(&l) = self.leaves.get(pattern) {
+            self.leaf_slots[l as usize]
+                .as_mut()
+                .expect("mapped leaf-id must be live")
+                .refs += 1;
+            return l;
+        }
+        let slot = LeafSlot {
+            pattern: pattern.clone(),
+            refs: 1,
+        };
+        let l = match self.leaf_free.pop() {
+            Some(l) => {
+                self.leaf_slots[l as usize] = Some(slot);
                 l
             }
+            None => {
+                assert!(
+                    self.leaf_slots.len() < u32::MAX as usize,
+                    "interner exceeds u32 leaf indexing"
+                );
+                self.leaf_slots.push(Some(slot));
+                (self.leaf_slots.len() - 1) as u32
+            }
         };
+        self.leaves.insert(pattern.clone(), l);
+        l
+    }
+
+    fn insert_new(&mut self, value: String, tokenized: TokenizedString) -> u32 {
+        let leaf_id = self.intern_leaf(&tokenized.pattern);
         let start = self.arena.len();
         self.arena.push_str(&value);
-        self.entries.push(InternedEntry {
+        self.live += 1;
+        self.live_bytes += value.len();
+        self.token_bytes += tokenized_footprint(&tokenized);
+        self.clock += 1;
+        let entry = InternedEntry {
             span: (start, self.arena.len()),
             tokenized,
             leaf_id,
-        });
+            last_touch: self.clock,
+        };
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.entries[id as usize].entry = Some(entry);
+                id
+            }
+            None => {
+                assert!(
+                    self.entries.len() < u32::MAX as usize,
+                    "interner exceeds u32 distinct-value indexing"
+                );
+                self.entries.push(Slot {
+                    generation: 0,
+                    entry: Some(entry),
+                });
+                (self.entries.len() - 1) as u32
+            }
+        };
         self.seen.insert(value, id);
         id
+    }
+
+    /// Evict cold distinct values until the live state fits the budget,
+    /// returning how many were evicted. A no-op for unbounded budgets, for
+    /// [`BudgetPolicy::Fallback`] (which never evicts), and while within
+    /// budget. Runs automatically at every [`ColumnInterner::chunk`]
+    /// boundary; callers driving [`ColumnInterner::intern`] directly can
+    /// invoke it at their own batch boundaries.
+    ///
+    /// Eviction order is coldest-first (least recently interned). Each
+    /// batch bumps the evicted slots' recycle generations and the
+    /// interner-wide [`generation`](ColumnInterner::generation), and
+    /// compacts the arena so the freed text bytes are actually released.
+    pub fn enforce_budget(&mut self) -> usize {
+        if self.budget.policy != BudgetPolicy::Evict || !self.over_budget() {
+            return 0;
+        }
+        // Coldest-first victim order over the live slots.
+        let mut order: Vec<(u64, u32)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.entry.as_ref().map(|e| (e.last_touch, i as u32)))
+            .collect();
+        order.sort_unstable();
+        let mut evicted = 0;
+        for &(_, id) in &order {
+            if !self.over_budget() {
+                break;
+            }
+            self.evict_slot(id);
+            evicted += 1;
+        }
+        if evicted > 0 {
+            self.generation += 1;
+            self.compact_arena();
+        }
+        evicted
+    }
+
+    /// Evict one live slot: drop its entry and dedup key, release its leaf
+    /// reference (recycling the leaf-id when it was the last), and queue
+    /// the slot for reuse under a bumped generation.
+    fn evict_slot(&mut self, id: u32) {
+        let slot = &mut self.entries[id as usize];
+        let entry = slot.entry.take().expect("evicting a live slot");
+        slot.generation += 1;
+        let (start, end) = entry.span;
+        self.seen.remove(&self.arena[start..end]);
+        self.live -= 1;
+        self.live_bytes -= end - start;
+        self.token_bytes -= tokenized_footprint(&entry.tokenized);
+        let leaf = self.leaf_slots[entry.leaf_id as usize]
+            .as_mut()
+            .expect("evicted value's leaf must be live");
+        leaf.refs -= 1;
+        if leaf.refs == 0 {
+            let pattern = self.leaf_slots[entry.leaf_id as usize]
+                .take()
+                .expect("leaf slot present")
+                .pattern;
+            self.leaves.remove(&pattern);
+            self.leaf_free.push(entry.leaf_id);
+        }
+        self.free.push(id);
+        self.evicted += 1;
+    }
+
+    /// Rebuild the arena from the live entries, updating their spans, so
+    /// evicted text is released rather than stranded.
+    fn compact_arena(&mut self) {
+        let old = std::mem::take(&mut self.arena);
+        let mut arena = String::with_capacity(self.live_bytes);
+        for slot in &mut self.entries {
+            if let Some(entry) = &mut slot.entry {
+                let start = arena.len();
+                arena.push_str(&old[entry.span.0..entry.span.1]);
+                entry.span = (start, arena.len());
+            }
+        }
+        self.arena = arena;
     }
 
     /// Intern one streamed slice of rows and return it as a [`ColumnChunk`].
@@ -277,12 +685,19 @@ impl ColumnInterner {
     /// across every chunk of the stream: a value first seen three chunks ago
     /// resolves to the same id here, letting a streaming consumer reuse any
     /// per-id decision it already made.
+    ///
+    /// A bounded interner enforces its budget here, *before* interning the
+    /// chunk: cold values from earlier chunks may be evicted, but every id
+    /// this chunk resolves to stays live while the returned [`ColumnChunk`]
+    /// exists (the chunk borrows the interner, so no eviction can run under
+    /// it).
     pub fn chunk<S: AsRef<str>>(&mut self, rows: &[S]) -> ColumnChunk<'_> {
         assert!(
             rows.len() < u32::MAX as usize,
             "chunk exceeds u32 row indexing"
         );
-        let before = self.distinct_count();
+        self.enforce_budget();
+        let before = self.live_distinct_count();
         let mut distinct_ids: Vec<u32> = Vec::new();
         // Global distinct-id -> local (chunk) index, for ids in this chunk.
         let mut local_of: HashMap<u32, u32> = HashMap::new();
@@ -300,7 +715,9 @@ impl ColumnInterner {
             };
             rows_local.push(local);
         }
-        let newly_interned = self.distinct_count() - before;
+        // No eviction can run while the chunk is being interned, so the
+        // live count only grew: the delta is exactly the new interns.
+        let newly_interned = self.live_distinct_count() - before;
         ColumnChunk {
             interner: self,
             distinct_ids,
@@ -316,16 +733,29 @@ impl ColumnInterner {
     ///
     /// # Panics
     ///
-    /// Panics if a `row_map` entry is not an id handed out by this interner.
+    /// Panics if a `row_map` entry is not an id handed out by this
+    /// interner, or if the interner has ever evicted (a bounded interner
+    /// that evicted no longer holds every row's value — it serves streams,
+    /// not whole columns).
     pub fn into_column(self, row_map: Vec<u32>) -> Column {
+        assert!(
+            self.evicted == 0,
+            "cannot consume an interner that has evicted distinct values into a Column"
+        );
+        let generation = self.generation;
         let mut values: Vec<DistinctEntry> = self
             .entries
             .into_iter()
-            .map(|e| DistinctEntry {
-                span: e.span,
-                rows: Vec::new(),
-                tokenized: e.tokenized,
-                leaf_id: e.leaf_id,
+            .map(|slot| {
+                let e = slot
+                    .entry
+                    .expect("eviction-free interner has no tombstones");
+                DistinctEntry {
+                    span: e.span,
+                    rows: Vec::new(),
+                    tokenized: e.tokenized,
+                    leaf_id: e.leaf_id,
+                }
             })
             .collect();
         for (row_index, &value_index) in row_map.iter().enumerate() {
@@ -341,6 +771,7 @@ impl ColumnInterner {
             values,
             rows: Arc::from(row_map),
             source: self.instance,
+            source_generation: generation,
             leaf_count: self.leaves.len(),
         }
     }
@@ -638,6 +1069,9 @@ pub struct Column {
     /// The id space the distinct-ids / leaf-ids of this column belong to
     /// (the building interner's instance id).
     source: u64,
+    /// The building interner's generation when the column was assembled
+    /// (always `0` today: only eviction-free interners can become columns).
+    source_generation: u64,
     /// Number of distinct leaf patterns (the size of the leaf-id space).
     leaf_count: usize,
 }
@@ -649,6 +1083,7 @@ impl Default for Column {
             values: Vec::new(),
             rows: Arc::from(Vec::new()),
             source: next_instance(),
+            source_generation: 0,
             leaf_count: 0,
         }
     }
@@ -721,6 +1156,7 @@ impl Column {
             values: entries,
             rows: Arc::from(row_map),
             source: next_instance(),
+            source_generation: 0,
             leaf_count: leaves.len(),
         }
     }
@@ -758,6 +1194,16 @@ impl Column {
     /// on this value: columns from different interners never share ids.
     pub fn interner_id(&self) -> u64 {
         self.source
+    }
+
+    /// The building interner's eviction
+    /// [`generation`](ColumnInterner::generation) at assembly time. Paired
+    /// with [`Column::interner_id`] by consumers whose leaf-id caches must
+    /// also survive *streaming* interners, where the generation moves on
+    /// eviction; a column's generation is fixed (and currently always `0`,
+    /// since only eviction-free interners can be consumed into columns).
+    pub fn interner_generation(&self) -> u64 {
+        self.source_generation
     }
 
     /// The raw string of row `index` (a slice of the arena).
@@ -1193,6 +1639,138 @@ mod tests {
         let mut interner = ColumnInterner::new();
         interner.intern("x");
         interner.into_column(vec![0, 7]);
+    }
+
+    // ---- budgets & eviction ------------------------------------------------
+
+    #[test]
+    fn bounded_interner_evicts_coldest_at_chunk_boundaries() {
+        let mut interner = ColumnInterner::with_budget(StreamBudget::max_distinct(2));
+        let a = interner.chunk(&["a-1", "b-2", "c-3"]);
+        assert_eq!(a.distinct_count(), 3);
+        drop(a);
+        // The chunk's own values are pinned: nothing is evicted until the
+        // next chunk boundary.
+        assert_eq!(interner.live_distinct_count(), 3);
+        assert!(interner.over_budget());
+
+        let b = interner.chunk(&["c-3"]);
+        assert_eq!(b.row(0), "c-3");
+        drop(b);
+        // Only the coldest value was evicted; its slot generation and the
+        // interner generation both moved.
+        assert_eq!(interner.evictions(), 1);
+        assert_eq!(interner.generation(), 1);
+        assert!(!interner.is_live(0));
+        assert!(interner.is_live(1) && interner.is_live(2));
+        assert_eq!(interner.distinct_generation(0), 1);
+        assert_eq!(interner.distinct_generation(1), 0);
+
+        // The evicted value re-interns into the recycled slot.
+        let c = interner.chunk(&["a-1"]);
+        assert_eq!(c.distinct_ids(), &[0]);
+        drop(c);
+        assert_eq!(interner.value(0), "a-1");
+        assert_eq!(interner.distinct_generation(0), 1);
+    }
+
+    #[test]
+    fn eviction_order_is_least_recently_interned() {
+        let mut interner = ColumnInterner::with_budget(StreamBudget::max_distinct(1));
+        drop(interner.chunk(&["a-1", "b-2"]));
+        // Touch a-1 again: b-2 becomes the coldest.
+        drop(interner.chunk(&["a-1"]));
+        drop(interner.chunk(&["x-9"]));
+        assert_eq!(interner.value(0), "a-1");
+        assert_eq!(interner.value(1), "x-9");
+        assert_eq!(interner.distinct_generation(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "evicted")]
+    fn evicted_ids_are_not_served() {
+        let mut interner = ColumnInterner::with_budget(StreamBudget::max_distinct(1));
+        drop(interner.chunk(&["a-1", "b-2"]));
+        drop(interner.chunk(&["b-2"]));
+        assert!(!interner.is_live(0));
+        interner.value(0);
+    }
+
+    #[test]
+    fn leaf_ids_are_recycled_with_their_last_value() {
+        let mut interner = ColumnInterner::with_budget(StreamBudget::max_distinct(1));
+        drop(interner.chunk(&["abc"])); // leaf <L>3 -> leaf-id 0
+        drop(interner.chunk(&["12345"])); // leaf <D>5 -> leaf-id 1
+                                          // The next boundary evicts "abc"; its leaf had no other holder, so
+                                          // leaf-id 0 is freed and handed to the next new leaf.
+        let c = interner.chunk(&["zz"]);
+        let id = c.distinct_ids()[0];
+        assert_eq!(c.interner().leaf_id(id), 0);
+        drop(c);
+        assert_eq!(interner.leaf_count(), 2);
+        assert!(interner.generation() > 0);
+    }
+
+    #[test]
+    fn arena_byte_budget_binds_and_compacts() {
+        let budget = StreamBudget::unbounded().with_max_arena_bytes(10);
+        let mut interner = ColumnInterner::with_budget(budget);
+        drop(interner.chunk(&["aaaa-1111", "bbbb-2222"])); // 18 live bytes
+        assert!(interner.over_budget());
+        drop(interner.chunk(&["c"]));
+        // The coldest value was evicted and the arena compacted down.
+        assert!(interner.interned_bytes() <= 10);
+        assert_eq!(interner.evictions(), 1);
+    }
+
+    #[test]
+    fn memory_used_is_monotone_under_pushes_and_drops_after_eviction() {
+        let mut interner = ColumnInterner::with_budget(StreamBudget::max_distinct(8));
+        let mut last = interner.memory_used();
+        for k in 0..8 {
+            interner.intern(&format!("value-{k:03}"));
+            let now = interner.memory_used();
+            assert!(now >= last, "memory_used must be monotone under pushes");
+            last = now;
+        }
+        for k in 8..64 {
+            interner.intern(&format!("value-{k:03}"));
+        }
+        let peak = interner.memory_used();
+        assert!(interner.enforce_budget() > 0);
+        assert!(interner.memory_used() < peak);
+        assert!(interner.live_distinct_count() <= 8);
+        assert_eq!(interner.interned_bytes(), 8 * "value-000".len());
+    }
+
+    #[test]
+    fn fallback_budget_never_evicts() {
+        let mut interner = ColumnInterner::with_budget(StreamBudget::max_distinct(1).fallback());
+        drop(interner.chunk(&["a-1", "b-2"]));
+        assert!(interner.over_budget());
+        drop(interner.chunk(&["c-3"]));
+        assert_eq!(interner.evictions(), 0);
+        assert_eq!(interner.live_distinct_count(), 3);
+        assert_eq!(interner.enforce_budget(), 0);
+        assert_eq!(interner.generation(), 0);
+    }
+
+    #[test]
+    fn unbounded_budget_is_the_default_and_never_binds() {
+        let interner = ColumnInterner::new();
+        assert!(interner.budget().is_unbounded());
+        assert!(!interner.over_budget());
+        assert_eq!(StreamBudget::default(), StreamBudget::unbounded());
+    }
+
+    #[test]
+    #[should_panic(expected = "has evicted")]
+    fn evicted_interner_cannot_become_a_column() {
+        let mut interner = ColumnInterner::with_budget(StreamBudget::max_distinct(1));
+        drop(interner.chunk(&["a-1", "b-2"]));
+        drop(interner.chunk(&["c-3"]));
+        assert!(interner.evictions() > 0);
+        interner.into_column(vec![1]);
     }
 
     // ---- builder ----------------------------------------------------------

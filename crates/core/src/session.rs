@@ -25,7 +25,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use clx_cluster::{PatternHierarchy, PatternProfiler, ProfilerOptions};
-use clx_column::{Column, ColumnBuilder};
+use clx_column::{Column, ColumnBuilder, StreamBudget};
 use clx_engine::{ColumnStream, CompiledProgram};
 use clx_pattern::{tokenize, tokenize_detailed, Pattern, SplitTokenizer, TokenizedString};
 use clx_synth::{synthesize_column, RankedPlan, Synthesis, SynthesisOptions};
@@ -406,8 +406,48 @@ impl ClxSession<Labelled> {
     /// The stream owns its compiled program, so it is independent of the
     /// session's lifetime and can ingest columns the session never saw
     /// (the semantics on any rows are exactly [`ClxSession::apply`]'s).
+    ///
+    /// The returned stream retains O(distinct) state (interner + decision
+    /// cache) and is meant for *trusted* input; for untrusted,
+    /// possibly-adversarial streams use
+    /// [`ClxSession::stream_columns_with_budget`].
     pub fn stream_columns(&self) -> Result<ColumnStream, ClxError> {
         Ok(ColumnStream::new(Arc::new(self.compile()?)))
+    }
+
+    /// [`ClxSession::stream_columns`] with a memory budget, for untrusted
+    /// high-cardinality streams whose distinct values would otherwise grow
+    /// the stream's interned state without bound.
+    ///
+    /// Under the default [`BudgetPolicy::Evict`](clx_column::BudgetPolicy)
+    /// the stream evicts its coldest interned values at each chunk
+    /// boundary (re-interning them if they reappear); under
+    /// [`BudgetPolicy::Fallback`](clx_column::BudgetPolicy) it degrades to
+    /// the per-row path once over budget. Either way every pushed row's
+    /// outcome is row-for-row identical to the unbounded stream — only the
+    /// retained memory changes, observable via
+    /// [`ColumnStream::memory_used`], [`ColumnStream::evictions`] and the
+    /// final [`StreamSummary`](clx_engine::StreamSummary)'s
+    /// memory/eviction fields.
+    ///
+    /// ```
+    /// use clx_column::StreamBudget;
+    /// # use clx_core::ClxSession;
+    /// # let session = ClxSession::new(vec!["734-422-8073".to_string()])
+    /// #     .label_by_example("734-422-8073").unwrap();
+    /// let mut stream = session
+    ///     .stream_columns_with_budget(StreamBudget::max_distinct(10_000))
+    ///     .unwrap();
+    /// stream.push_rows(&["734.236.3466"]);
+    /// assert!(stream.memory_used() > 0);
+    /// let summary = stream.finish();
+    /// assert_eq!(summary.evictions, 0); // budget never bound
+    /// ```
+    pub fn stream_columns_with_budget(
+        &self,
+        budget: StreamBudget,
+    ) -> Result<ColumnStream, ClxError> {
+        Ok(ColumnStream::with_budget(Arc::new(self.compile()?), budget))
     }
 
     /// The post-transformation pattern summary (Figure 2 of the paper): the
@@ -870,6 +910,29 @@ mod tests {
         assert_eq!(summary.rows(), report.len());
         assert_eq!(summary.stats.flagged, report.flagged_count());
         assert_eq!(summary.stats.transformed, report.transformed_count());
+    }
+
+    #[test]
+    fn budgeted_stream_matches_apply_and_bounds_state() {
+        let session = labelled(phone_data(), tokenize("734-422-8073"));
+        let report = session.apply().unwrap();
+
+        let mut stream = session
+            .stream_columns_with_budget(StreamBudget::max_distinct(1))
+            .unwrap();
+        let data = session.data().to_vec();
+        let mut streamed: Vec<String> = Vec::new();
+        for chunk in data.chunks(2) {
+            streamed.extend(stream.push_rows(chunk).iter_values().map(str::to_string));
+        }
+        // Row-for-row identical to the in-memory apply, at bounded state.
+        assert_eq!(streamed, report.values());
+        assert!(stream.evictions() > 0);
+        assert!(stream.interner().live_distinct_count() <= 1 + 2);
+        let summary = stream.finish();
+        assert!(summary.evictions > 0);
+        assert!(summary.peak_memory_bytes > 0);
+        assert_eq!(summary.stats.flagged, report.flagged_count());
     }
 
     #[test]

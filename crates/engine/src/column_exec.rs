@@ -57,6 +57,7 @@ impl CompiledProgram {
                 self.transform_one_by_leaf_id(
                     cache,
                     column.interner_id(),
+                    column.interner_generation(),
                     v.leaf_id(),
                     v.text(),
                     v.leaf(),

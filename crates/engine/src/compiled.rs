@@ -173,22 +173,29 @@ impl CompiledProgram {
     /// or compared on the hit path.
     ///
     /// `source` names the id space `leaf_id` belongs to (the interner's
-    /// instance id — [`clx_column::Column::interner_id`] for columns); the
-    /// cache resets its dense tier when handed ids from a different space,
-    /// so a stale plan can never be replayed under an aliased id. As with
-    /// `transform_one_cached`, `leaf` must be exactly `tokenize(value)`.
+    /// instance id — [`clx_column::Column::interner_id`] for columns) and
+    /// `source_generation` that interner's eviction generation
+    /// ([`clx_column::ColumnInterner::generation`];
+    /// [`clx_column::Column::interner_generation`] for columns). The cache
+    /// resets its dense tier when handed ids from a different space *or* a
+    /// different generation — a bounded interner recycles leaf-ids when it
+    /// evicts — so a stale plan can never be replayed under an aliased id.
+    /// As with `transform_one_cached`, `leaf` must be exactly
+    /// `tokenize(value)`.
     pub fn transform_one_by_leaf_id(
         &self,
         cache: &mut DispatchCache,
         source: u64,
+        source_generation: u64,
         leaf_id: u32,
         value: &str,
         leaf: &Pattern,
     ) -> RowOutcome {
         debug_assert_eq!(leaf, &tokenize(value), "leaf must be the value's own");
-        let plan = cache.plan_for_leaf_id(self.instance, source, leaf_id, || {
-            self.build_plan(leaf, value)
-        });
+        let plan =
+            cache.plan_for_leaf_id(self.instance, source, source_generation, leaf_id, || {
+                self.build_plan(leaf, value)
+            });
         self.run_plan(&plan, value)
     }
 

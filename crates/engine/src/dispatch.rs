@@ -124,19 +124,52 @@ pub(crate) struct SplitPlan {
 /// remembers that program's process-unique instance id and transparently
 /// resets itself when it is handed to a different compiled program — a
 /// stale plan can never be replayed against the wrong branch list. The
-/// dense tier is additionally bound to the interner instance that handed
-/// out its leaf-ids ([`clx_column::Column::interner_id`]): ids from a
-/// different id space clear the dense slots instead of aliasing them.
-#[derive(Debug, Default)]
+/// dense tier is additionally bound to the id space that handed out its
+/// leaf-ids: the interner **instance**
+/// ([`clx_column::Column::interner_id`]) *and* that interner's eviction
+/// [`generation`](clx_column::ColumnInterner::generation). A bounded
+/// interner ([`clx_column::StreamBudget`]) recycles leaf-ids when it
+/// evicts, bumping its generation; the generation binding guarantees a
+/// recycled leaf-id is never served the evicted leaf's plan — the tier
+/// resets instead of aliasing. Ids from a different interner instance
+/// likewise clear the dense slots.
+///
+/// The hashed tier is capped (at 2^16 plans by default): an adversarial
+/// `&[String]` stream in which every row carries a fresh leaf would
+/// otherwise grow the map without bound. A miss on a full tier flushes and
+/// restarts it — identical outcomes either way, and leaves arriving after
+/// a junk burst are cached again within one flush cycle.
+#[derive(Debug)]
 pub struct DispatchCache {
     program: Option<u64>,
     plans: HashMap<Pattern, Arc<LeafPlan>>,
-    /// The interner instance whose leaf-ids index `dense`.
-    source: Option<u64>,
+    /// Upper bound on `plans` entries (tests shrink it to exercise the cap).
+    hashed_cap: usize,
+    /// The id space binding of the dense tier: the interner instance whose
+    /// leaf-ids index `dense`, plus that interner's eviction generation.
+    source: Option<(u64, u64)>,
     /// Leaf-id -> plan; the column-path fast tier.
     dense: Vec<Option<Arc<LeafPlan>>>,
     /// Number of `Some` slots in `dense`.
     dense_decided: usize,
+}
+
+/// Default bound on the hashed (`Pattern`-keyed) tier: far above any real
+/// column's leaf diversity, small enough that adversarial all-new-leaf
+/// streams stay bounded.
+const HASHED_PLAN_CAP: usize = 1 << 16;
+
+impl Default for DispatchCache {
+    fn default() -> Self {
+        DispatchCache {
+            program: None,
+            plans: HashMap::new(),
+            hashed_cap: HASHED_PLAN_CAP,
+            source: None,
+            dense: Vec::new(),
+            dense_decided: 0,
+        }
+    }
 }
 
 impl DispatchCache {
@@ -189,26 +222,39 @@ impl DispatchCache {
             return Arc::clone(plan);
         }
         let plan = Arc::new(build(leaf));
+        // Bounded retention: a miss on a full map flushes the tier and
+        // restarts it. Adversarial all-new-leaf streams stay bounded, and
+        // — unlike a fill-once cap — legitimate leaves arriving *after* a
+        // junk burst get cached again within one flush cycle.
+        if self.plans.len() >= self.hashed_cap {
+            self.plans.clear();
+        }
         self.plans.insert(leaf.clone(), Arc::clone(&plan));
         plan
     }
 
     /// The plan for the leaf with dense id `leaf_id` (handed out by the
-    /// interner instance `source`) under program `instance`, building it on
-    /// first sight. Pure array indexing on the hit path — the leaf pattern
+    /// interner instance `source` at eviction generation
+    /// `source_generation`) under program `instance`, building it on first
+    /// sight. Pure array indexing on the hit path — the leaf pattern
     /// itself is never hashed or compared.
+    ///
+    /// A generation change (the interner evicted, possibly recycling
+    /// leaf-ids) resets the dense tier, so a stale plan is never served
+    /// under a reused id.
     pub(crate) fn plan_for_leaf_id(
         &mut self,
         instance: u64,
         source: u64,
+        source_generation: u64,
         leaf_id: u32,
         build: impl FnOnce() -> LeafPlan,
     ) -> Arc<LeafPlan> {
         self.rebind(instance);
-        if self.source != Some(source) {
+        if self.source != Some((source, source_generation)) {
             self.dense.clear();
             self.dense_decided = 0;
-            self.source = Some(source);
+            self.source = Some((source, source_generation));
         }
         let slot = leaf_id as usize;
         if slot >= self.dense.len() {
@@ -221,5 +267,83 @@ impl DispatchCache {
         self.dense[slot] = Some(Arc::clone(&plan));
         self.dense_decided += 1;
         plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::tokenize;
+
+    /// A sentinel plan recognizable by its step shape: serving it after its
+    /// id space moved would be the eviction-aliasing bug this module's
+    /// generation binding exists to prevent.
+    fn poisoned() -> LeafPlan {
+        LeafPlan {
+            steps: vec![Step::CheckTarget, Step::CheckTarget, Step::CheckTarget],
+        }
+    }
+
+    fn benign() -> LeafPlan {
+        LeafPlan {
+            steps: vec![Step::Conforming],
+        }
+    }
+
+    fn is_poisoned(plan: &LeafPlan) -> bool {
+        plan.steps.len() == 3
+    }
+
+    #[test]
+    fn generation_bump_invalidates_dense_entries() {
+        let mut cache = DispatchCache::new();
+        // Decide leaf-id 0 under (source 7, generation 0) with the sentinel.
+        let plan = cache.plan_for_leaf_id(1, 7, 0, 0, poisoned);
+        assert!(is_poisoned(&plan));
+        assert_eq!(cache.dense_len(), 1);
+        // Same generation: served from the dense tier, builder not run.
+        let plan = cache.plan_for_leaf_id(1, 7, 0, 0, || panic!("must be cached"));
+        assert!(is_poisoned(&plan));
+        // The interner evicted (generation bumped, leaf-id 0 possibly
+        // recycled for a different leaf): the stale sentinel must never be
+        // served — the tier resets and the builder runs again.
+        let plan = cache.plan_for_leaf_id(1, 7, 1, 0, benign);
+        assert!(!is_poisoned(&plan));
+        assert_eq!(cache.dense_len(), 1);
+        // The poisoned plan is gone for good, even if generation 0 ids
+        // were ever replayed.
+        let plan = cache.plan_for_leaf_id(1, 7, 0, 0, benign);
+        assert!(!is_poisoned(&plan));
+    }
+
+    #[test]
+    fn interner_switch_still_resets_the_dense_tier() {
+        let mut cache = DispatchCache::new();
+        cache.plan_for_leaf_id(1, 7, 0, 0, poisoned);
+        let plan = cache.plan_for_leaf_id(1, 8, 0, 0, benign);
+        assert!(!is_poisoned(&plan));
+        assert_eq!(cache.dense_len(), 1);
+    }
+
+    #[test]
+    fn hashed_tier_is_capped_and_recovers_after_a_flush() {
+        let mut cache = DispatchCache::new();
+        cache.hashed_cap = 2;
+        let leaves = [tokenize("a"), tokenize("ab"), tokenize("abc")];
+        for leaf in &leaves {
+            cache.plan_for(1, leaf, |_| benign());
+        }
+        // The third insert flushed the full tier and restarted it: the map
+        // never exceeds the cap, and caching keeps working afterwards.
+        assert_eq!(cache.len(), 1);
+        cache.plan_for(1, &leaves[2], |_| panic!("must be cached post-flush"));
+        // A pre-flush leaf was dropped and is simply rebuilt on next sight.
+        let mut rebuilt = false;
+        cache.plan_for(1, &leaves[0], |_| {
+            rebuilt = true;
+            benign()
+        });
+        assert!(rebuilt);
+        assert_eq!(cache.len(), 2);
     }
 }

@@ -19,9 +19,10 @@
 //! mergeable counters plus (on the column path) the O(distinct) per-id
 //! decision cache.
 
+use std::mem::size_of;
 use std::sync::Arc;
 
-use clx_column::{ColumnChunk, ColumnInterner};
+use clx_column::{ColumnChunk, ColumnInterner, StreamBudget};
 use clx_pattern::Pattern;
 
 use crate::compiled::CompiledProgram;
@@ -29,25 +30,70 @@ use crate::dispatch::DispatchCache;
 use crate::parallel::ExecOptions;
 use crate::report::{ChunkReport, ChunkStats, RowOutcome};
 
+/// Estimated heap bytes retained by one stored outcome.
+fn outcome_footprint(outcome: &RowOutcome) -> usize {
+    match outcome {
+        RowOutcome::Conforming { value } | RowOutcome::Flagged { value } => value.len(),
+        RowOutcome::Transformed { from, to } => from.len() + to.len(),
+    }
+}
+
 /// The per-stream cache of distinct-value decisions, indexed by the
 /// interner's dense distinct-ids.
 ///
 /// A value repeated across chunks is transformed exactly once per stream;
-/// every later chunk containing it replays the stored outcome. The cache is
-/// bound to the interner instance whose ids index it and resets if a chunk
-/// from a different interner appears.
+/// every later chunk containing it replays the stored outcome. Validity is
+/// versioned at two levels: the cache is bound to the interner *instance*
+/// whose ids index it (a chunk from a different interner resets it), and
+/// every stored decision carries the distinct-id slot's recycle
+/// [`generation`](clx_column::ColumnInterner::distinct_generation) — a
+/// bounded interner that evicted and recycled a slot can therefore never
+/// replay the old value's outcome for the new value. Stale entries are
+/// pruned whenever the interner's eviction generation moves, so the cache
+/// footprint tracks the interner's live set.
 #[derive(Debug, Default)]
 struct DistinctDecisions {
     source: Option<u64>,
-    decided: Vec<Option<RowOutcome>>,
+    /// The interner eviction generation the cache was last pruned at.
+    generation: u64,
+    /// Slot -> (slot generation at decision time, outcome).
+    decided: Vec<Option<(u64, RowOutcome)>>,
     /// Number of `Some` entries in `decided`.
     count: usize,
+    /// Estimated heap bytes of the stored outcomes' strings.
+    bytes: usize,
 }
 
 impl DistinctDecisions {
-    /// Decisions made so far (distinct values transformed this stream).
+    /// Decisions currently held (live distinct values decided this stream).
     fn len(&self) -> usize {
         self.count
+    }
+
+    /// Estimated heap bytes retained by the decision cache.
+    fn memory_used(&self) -> usize {
+        self.decided.capacity() * size_of::<Option<(u64, RowOutcome)>>() + self.bytes
+    }
+
+    fn clear(&mut self) {
+        self.decided.clear();
+        self.count = 0;
+        self.bytes = 0;
+    }
+
+    /// Drop decisions whose slot was evicted (or recycled) since they were
+    /// recorded, so evicted values release their outcome storage too.
+    fn prune(&mut self, interner: &ColumnInterner) {
+        for (id, slot) in self.decided.iter_mut().enumerate() {
+            let stale = slot.as_ref().is_some_and(|(gen, _)| {
+                !interner.is_live(id as u32) || *gen != interner.distinct_generation(id as u32)
+            });
+            if stale {
+                let (_, outcome) = slot.take().expect("checked above");
+                self.count -= 1;
+                self.bytes -= outcome_footprint(&outcome);
+            }
+        }
     }
 
     /// Execute one interned chunk, reusing stored decisions for already-seen
@@ -61,9 +107,14 @@ impl DistinctDecisions {
     ) -> ChunkReport {
         let interner = chunk.interner();
         if self.source != Some(interner.instance()) {
-            self.decided.clear();
-            self.count = 0;
+            self.clear();
             self.source = Some(interner.instance());
+            self.generation = interner.generation();
+        } else if self.generation != interner.generation() {
+            // The interner evicted since the last chunk: release the
+            // evicted slots' outcomes before serving this one.
+            self.prune(interner);
+            self.generation = interner.generation();
         }
         if self.decided.len() < interner.distinct_count() {
             self.decided.resize(interner.distinct_count(), None);
@@ -72,18 +123,28 @@ impl DistinctDecisions {
             .distinct_ids()
             .iter()
             .map(|&id| {
-                if let Some(outcome) = &self.decided[id as usize] {
-                    return outcome.clone();
+                let slot_generation = interner.distinct_generation(id);
+                if let Some((gen, outcome)) = &self.decided[id as usize] {
+                    if *gen == slot_generation {
+                        return outcome.clone();
+                    }
                 }
                 let outcome = program.transform_one_by_leaf_id(
                     cache,
                     interner.instance(),
+                    interner.generation(),
                     interner.leaf_id(id),
                     interner.value(id),
                     interner.leaf(id),
                 );
-                self.decided[id as usize] = Some(outcome.clone());
-                self.count += 1;
+                self.bytes += outcome_footprint(&outcome);
+                match self.decided[id as usize].replace((slot_generation, outcome.clone())) {
+                    // Overwrote a stale decision prune() had not seen
+                    // (unreachable through chunk(), which always steps the
+                    // generation when it evicts — kept for safety).
+                    Some((_, stale)) => self.bytes -= outcome_footprint(&stale),
+                    None => self.count += 1,
+                }
                 outcome
             })
             .collect();
@@ -103,6 +164,12 @@ pub struct StreamSession<'p> {
     decisions: DistinctDecisions,
     stats: ChunkStats,
     chunks: usize,
+    /// Eviction count reported by the last pushed chunk's interner (the
+    /// session does not own the interner; the caller does).
+    evictions: u64,
+    /// Peak of `decisions.memory_used()` + the pushed interners'
+    /// `memory_used()` across the stream.
+    peak_memory: usize,
 }
 
 impl CompiledProgram {
@@ -120,6 +187,8 @@ impl CompiledProgram {
             decisions: DistinctDecisions::default(),
             stats: ChunkStats::default(),
             chunks: 0,
+            evictions: 0,
+            peak_memory: 0,
         }
     }
 }
@@ -155,6 +224,18 @@ impl StreamSession<'_> {
     /// The rows the report describes are exactly what
     /// [`StreamSession::push_chunk`] would produce for the same text; the
     /// session's counters absorb the chunk either way.
+    ///
+    /// Chunks from a bounded ([`BudgetPolicy::Evict`](clx_column::BudgetPolicy))
+    /// interner are fully supported: the per-id decision cache validates
+    /// every replay against the id's slot generation and prunes decisions
+    /// for evicted values, so the session's retained state tracks the
+    /// interner's live set instead of growing without bound. Note the
+    /// session only follows the interner it is handed — under a
+    /// [`Fallback`](clx_column::BudgetPolicy::Fallback) budget the
+    /// *caller* owns the interner and must watch
+    /// [`over_budget`](clx_column::ColumnInterner::over_budget) and stop
+    /// pushing interned chunks itself (or use [`ColumnStream`], which
+    /// does).
     pub fn push_column_chunk(&mut self, chunk: &ColumnChunk<'_>) -> ChunkReport {
         if self.caches.is_empty() {
             self.caches.push(DispatchCache::new());
@@ -164,6 +245,10 @@ impl StreamSession<'_> {
                 .execute_chunk(self.program, &mut self.caches[0], chunk, self.chunks);
         self.stats.absorb(&report.stats);
         self.chunks += 1;
+        self.evictions = chunk.interner().evictions();
+        self.peak_memory = self
+            .peak_memory
+            .max(self.decisions.memory_used() + chunk.interner().memory_used());
         report
     }
 
@@ -171,6 +256,15 @@ impl StreamSession<'_> {
     /// per-stream outcome cache; `0` for pure `&[String]` streams).
     pub fn distinct_decided(&self) -> usize {
         self.decisions.len()
+    }
+
+    /// Estimated heap bytes retained by the session's per-distinct-id
+    /// decision cache (`0` for pure `&[String]` streams). The interner's
+    /// own footprint is its owner's to report
+    /// ([`clx_column::ColumnInterner::memory_used`]); [`ColumnStream`]
+    /// owns both and sums them.
+    pub fn memory_used(&self) -> usize {
+        self.decisions.memory_used()
     }
 
     /// Counters accumulated so far.
@@ -189,6 +283,9 @@ impl StreamSession<'_> {
             target: self.program.target().clone(),
             chunks: self.chunks,
             stats: self.stats,
+            evictions: self.evictions,
+            peak_memory_bytes: self.peak_memory,
+            degraded: false,
         }
     }
 }
@@ -223,6 +320,26 @@ impl StreamSession<'_> {
 /// let summary = stream.finish();
 /// assert_eq!(summary.rows(), 3);
 /// ```
+///
+/// # Bounded streams for untrusted input
+///
+/// The interner and decision cache are O(distinct) — unbounded on
+/// adversarial high-cardinality streams. [`ColumnStream::with_budget`]
+/// caps them with a [`StreamBudget`]:
+///
+/// * under [`BudgetPolicy::Evict`](clx_column::BudgetPolicy::Evict) (the
+///   default), each pushed chunk first evicts the coldest interned values
+///   down to the budget — evicted values are re-interned (and re-decided)
+///   if they reappear, so outcomes are row-for-row identical to the
+///   unbounded stream, at bounded memory;
+/// * under [`BudgetPolicy::Fallback`](clx_column::BudgetPolicy::Fallback),
+///   the stream stops interning once over budget and degrades to the
+///   per-row `&[String]` path — same outcomes, per-row reports, frozen
+///   interner.
+///
+/// [`ColumnStream::memory_used`], [`ColumnStream::evictions`] and
+/// [`ColumnStream::is_degraded`] expose the bounded-stream state; the
+/// final [`StreamSummary`] records the eviction count and peak memory.
 pub struct ColumnStream {
     program: Arc<CompiledProgram>,
     interner: ColumnInterner,
@@ -230,18 +347,32 @@ pub struct ColumnStream {
     decisions: DistinctDecisions,
     stats: ChunkStats,
     chunks: usize,
+    /// `true` once a `Fallback`-policy stream exceeded its budget and
+    /// switched to the per-row path.
+    degraded: bool,
+    /// Peak of [`ColumnStream::memory_used`] across the stream.
+    peak_memory: usize,
 }
 
 impl ColumnStream {
-    /// Start a columnar stream over a shared compiled program.
+    /// Start a columnar stream over a shared compiled program, with no
+    /// memory budget.
     pub fn new(program: Arc<CompiledProgram>) -> Self {
+        Self::with_budget(program, StreamBudget::unbounded())
+    }
+
+    /// Start a columnar stream whose interned state is capped by `budget`
+    /// (see the type-level *bounded streams* docs).
+    pub fn with_budget(program: Arc<CompiledProgram>, budget: StreamBudget) -> Self {
         ColumnStream {
             program,
-            interner: ColumnInterner::new(),
+            interner: ColumnInterner::with_budget(budget),
             cache: DispatchCache::new(),
             decisions: DistinctDecisions::default(),
             stats: ChunkStats::default(),
             chunks: 0,
+            degraded: false,
+            peak_memory: 0,
         }
     }
 
@@ -271,19 +402,78 @@ impl ColumnStream {
     /// transform it, returning a columnar [`ChunkReport`]. Distinct values
     /// seen in earlier chunks keep their ids, so they are neither
     /// re-tokenized nor re-transformed.
+    ///
+    /// On a budgeted stream the interner enforces the budget at this chunk
+    /// boundary first (under `Evict`), or the stream degrades to the
+    /// per-row path once over budget (under `Fallback`); either way the
+    /// report's rows are exactly the unbounded stream's.
     pub fn push_rows<S: AsRef<str>>(&mut self, rows: &[S]) -> ChunkReport {
+        if self.degraded {
+            return self.push_rows_degraded(rows);
+        }
+        // chunk() runs enforce_budget() before interning a single row.
         let chunk = self.interner.chunk(rows);
         let report =
             self.decisions
                 .execute_chunk(&self.program, &mut self.cache, &chunk, self.chunks);
+        drop(chunk);
         self.stats.absorb(&report.stats);
         self.chunks += 1;
+        if self.interner.budget().policy == clx_column::BudgetPolicy::Fallback
+            && self.interner.over_budget()
+        {
+            self.degraded = true;
+        }
+        self.peak_memory = self.peak_memory.max(self.memory_used());
         report
     }
 
-    /// Distinct values decided so far this stream.
+    /// The per-row path a `Fallback`-policy stream degrades to: nothing new
+    /// is interned or cached per distinct value, so retained memory stops
+    /// growing. Outcomes are identical ([`CompiledProgram::transform_one`]
+    /// is the same pure function of the row text); the report is per-row
+    /// rather than columnar.
+    fn push_rows_degraded<S: AsRef<str>>(&mut self, rows: &[S]) -> ChunkReport {
+        let outcomes: Vec<RowOutcome> = rows
+            .iter()
+            .map(|row| self.program.transform_one(&mut self.cache, row.as_ref()))
+            .collect();
+        let report = ChunkReport::new(self.chunks, outcomes);
+        self.stats.absorb(&report.stats);
+        self.chunks += 1;
+        self.peak_memory = self.peak_memory.max(self.memory_used());
+        report
+    }
+
+    /// Distinct values decided and currently retained this stream.
     pub fn distinct_decided(&self) -> usize {
         self.decisions.len()
+    }
+
+    /// The stream's memory budget (unbounded unless constructed with
+    /// [`ColumnStream::with_budget`]).
+    pub fn budget(&self) -> &StreamBudget {
+        self.interner.budget()
+    }
+
+    /// Estimated heap bytes retained by the stream's interner and
+    /// per-distinct-id decision cache — the two O(distinct) structures a
+    /// [`StreamBudget`] bounds. Monotone under pushes between evictions;
+    /// decreases when an eviction batch runs.
+    pub fn memory_used(&self) -> usize {
+        self.interner.memory_used() + self.decisions.memory_used()
+    }
+
+    /// Distinct values evicted by the interner so far (always `0` for
+    /// unbounded and `Fallback` streams).
+    pub fn evictions(&self) -> u64 {
+        self.interner.evictions()
+    }
+
+    /// `true` once a [`BudgetPolicy::Fallback`](clx_column::BudgetPolicy)
+    /// stream has exceeded its budget and switched to the per-row path.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Counters accumulated so far.
@@ -302,6 +492,9 @@ impl ColumnStream {
             target: self.program.target().clone(),
             chunks: self.chunks,
             stats: self.stats,
+            evictions: self.interner.evictions(),
+            peak_memory_bytes: self.peak_memory,
+            degraded: self.degraded,
         }
     }
 }
@@ -315,6 +508,16 @@ pub struct StreamSummary {
     pub chunks: usize,
     /// Counters over every row pushed.
     pub stats: ChunkStats,
+    /// Distinct values evicted under the stream's [`StreamBudget`] (`0`
+    /// for unbounded streams; for a [`StreamSession`], the owning
+    /// interner's count as of the last pushed chunk).
+    pub evictions: u64,
+    /// Peak estimated bytes retained by the stream's O(distinct) state
+    /// (interner + decision cache) across the run.
+    pub peak_memory_bytes: usize,
+    /// `true` if a `Fallback`-policy stream exceeded its budget and
+    /// finished on the per-row path.
+    pub degraded: bool,
 }
 
 impl StreamSummary {
@@ -500,6 +703,160 @@ mod tests {
         let summary = session.finish();
         assert_eq!(summary.rows(), 4);
         assert_eq!(summary.chunks, 2);
+    }
+
+    // ---- bounded streams ---------------------------------------------------
+
+    /// A workload with conforming, transformed and flagged rows, with
+    /// enough cardinality to overflow small budgets and enough repetition
+    /// to straddle chunk boundaries.
+    fn mixed_rows(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| match i % 4 {
+                0 => format!(
+                    "{:03}.{:03}.{:04}",
+                    100 + i % 23,
+                    200 + i % 7,
+                    3000 + i % 11
+                ),
+                1 => format!("{:03}-{:03}-{:04}", 100 + i % 5, 200 + i % 5, 4000 + i % 5),
+                2 => "N/A".to_string(),
+                _ => format!("{:03}.999.{:04}", i % 750, 9000 + i % 13),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bounded_streams_match_unbounded_row_for_row() {
+        let rows = mixed_rows(400);
+        for budget in [
+            StreamBudget::max_distinct(1),
+            StreamBudget::max_distinct(7),
+            StreamBudget::max_distinct(64).with_max_arena_bytes(256),
+            StreamBudget::unbounded(),
+            StreamBudget::max_distinct(5).fallback(),
+        ] {
+            let mut bounded = ColumnStream::with_budget(Arc::new(compiled()), budget);
+            let mut unbounded = ColumnStream::from_program(compiled());
+            for chunk in rows.chunks(37) {
+                let b = bounded.push_rows(chunk);
+                let u = unbounded.push_rows(chunk);
+                assert_eq!(
+                    b.iter_rows().collect::<Vec<_>>(),
+                    u.iter_rows().collect::<Vec<_>>(),
+                    "budget {budget:?} diverged"
+                );
+                assert_eq!(b.stats, u.stats);
+            }
+            let b = bounded.finish();
+            let u = unbounded.finish();
+            assert_eq!(b.stats, u.stats);
+            assert_eq!(u.evictions, 0);
+        }
+    }
+
+    #[test]
+    fn evicting_stream_stays_within_budget_and_reports_stats() {
+        let mut stream =
+            ColumnStream::with_budget(Arc::new(compiled()), StreamBudget::max_distinct(8));
+        for c in 0..20usize {
+            let rows: Vec<String> = (0..32)
+                .map(|i| format!("{:03}.{:03}.{:04}", c % 1000, i, (c * 32 + i) % 10_000))
+                .collect();
+            stream.push_rows(&rows);
+            // Budget + the pinned chunk bound the live set at every boundary.
+            assert!(stream.interner().live_distinct_count() <= 8 + 32);
+            assert!(stream.distinct_decided() <= stream.interner().live_distinct_count());
+        }
+        assert!(stream.evictions() > 0);
+        let summary = stream.finish();
+        assert!(summary.evictions > 0);
+        assert!(summary.peak_memory_bytes > 0);
+        assert!(!summary.degraded);
+    }
+
+    #[test]
+    fn column_stream_memory_is_monotone_and_drops_after_eviction() {
+        let mut stream =
+            ColumnStream::with_budget(Arc::new(compiled()), StreamBudget::max_distinct(16));
+        let mut last = stream.memory_used();
+        for c in 0..4 {
+            let rows: Vec<String> = (0..4)
+                .map(|i| format!("111.222.{:04}", c * 4 + i))
+                .collect();
+            stream.push_rows(&rows);
+            let now = stream.memory_used();
+            assert!(now >= last, "memory_used must be monotone under pushes");
+            last = now;
+        }
+        // Blow past the budget, then push again: the boundary eviction
+        // shrinks retained memory (interner *and* decision cache).
+        let big: Vec<String> = (0..64).map(|i| format!("333.444.{:04}", i)).collect();
+        stream.push_rows(&big);
+        let peak = stream.memory_used();
+        stream.push_rows(&["111.222.0000"]);
+        assert!(stream.evictions() > 0);
+        assert!(stream.memory_used() < peak);
+    }
+
+    #[test]
+    fn fallback_stream_degrades_to_the_per_row_path() {
+        let rows = mixed_rows(120);
+        let mut bounded = ColumnStream::with_budget(
+            Arc::new(compiled()),
+            StreamBudget::max_distinct(10).fallback(),
+        );
+        let mut reference = ColumnStream::from_program(compiled());
+        for chunk in rows.chunks(40) {
+            let b = bounded.push_rows(chunk);
+            let r = reference.push_rows(chunk);
+            assert_eq!(
+                b.iter_rows().collect::<Vec<_>>(),
+                r.iter_rows().collect::<Vec<_>>()
+            );
+        }
+        assert!(bounded.is_degraded());
+        assert_eq!(bounded.evictions(), 0);
+        // Degraded chunks are per-row, and the interner is frozen: memory
+        // stops growing no matter how many fresh values stream in.
+        let frozen = bounded.interner().live_distinct_count();
+        let report = bounded.push_rows(&["555.666.7777"]);
+        assert!(!report.is_columnar());
+        assert_eq!(
+            report.iter_values().collect::<Vec<_>>(),
+            vec!["555-666-7777"]
+        );
+        assert_eq!(bounded.interner().live_distinct_count(), frozen);
+        let summary = bounded.finish();
+        assert!(summary.degraded);
+    }
+
+    #[test]
+    fn session_tolerates_bounded_interner_evictions() {
+        let program = compiled();
+        let mut session = program.stream();
+        let mut interner = clx_column::ColumnInterner::with_budget(StreamBudget::max_distinct(2));
+        let chunk = interner.chunk(&["111.222.3333", "444.555.6666", "777.888.9999"]);
+        let report = session.push_column_chunk(&chunk);
+        assert_eq!(report.stats.transformed, 3);
+        drop(chunk);
+        assert_eq!(session.distinct_decided(), 3);
+        assert!(session.memory_used() > 0);
+
+        // The next boundary evicts the coldest value; the session prunes
+        // its decision and re-decides on reappearance, identically.
+        let chunk = interner.chunk(&["111.222.3333"]);
+        let report = session.push_column_chunk(&chunk);
+        assert_eq!(
+            report.iter_values().collect::<Vec<_>>(),
+            vec!["111-222-3333"]
+        );
+        drop(chunk);
+        assert!(interner.evictions() > 0);
+        assert!(session.distinct_decided() <= interner.live_distinct_count());
+        let summary = session.finish();
+        assert!(summary.evictions > 0);
+        assert!(summary.peak_memory_bytes > 0);
     }
 
     #[test]

@@ -4,10 +4,17 @@
 //! The build environment has no access to crates.io, so this shim implements
 //! the `proptest!` test macro, the assertion/assumption macros, and the
 //! strategy combinators the workspace's property tests rely on
-//! (`prop_oneof!`, `Just`, `prop_map`, `collection::vec`, `char::range`).
+//! (`prop_oneof!`, `Just`, `prop_map`, `collection::vec`, `char::range`,
+//! `usize` ranges).
 //!
 //! Generation is a deterministic SplitMix64 stream per test; there is no
 //! shrinking. Failures report the generated inputs via the assertion message.
+//!
+//! Like the real crate, the `PROPTEST_CASES` environment variable controls
+//! the case count — with one shim simplification: when set, it overrides
+//! the per-block `ProptestConfig` too (the real crate only overrides the
+//! default). That is exactly what CI wants: one env var raising every
+//! suite's case count without touching the sources.
 
 #![forbid(unsafe_code)]
 
@@ -50,6 +57,35 @@ pub mod strategy {
         S: Strategy + 'static,
     {
         Box::new(s)
+    }
+
+    /// Like the real crate, a `usize` range is itself a strategy drawing
+    /// uniformly from it (used for shard counts, chunk lengths, …).
+    impl Strategy for ::std::ops::Range<usize> {
+        type Value = usize;
+
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    /// Like the real crate, tuples of strategies are strategies over
+    /// tuples, sampled component-wise.
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
     }
 
     /// A strategy that always yields a clone of a fixed value.
@@ -182,6 +218,16 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
         }
+
+        /// The case count to actually run: the `PROPTEST_CASES` environment
+        /// variable when set (and parseable), the configured count
+        /// otherwise. See the crate docs for the shim's override semantics.
+        pub fn resolved_cases(&self) -> u32 {
+            match ::std::env::var("PROPTEST_CASES") {
+                Ok(v) => v.parse().unwrap_or(self.cases),
+                Err(_) => self.cases,
+            }
+        }
     }
 
     impl Default for ProptestConfig {
@@ -262,11 +308,12 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let __config = $config;
+                let __cases = __config.resolved_cases();
                 let mut __rng = $crate::test_runner::TestRng::deterministic();
                 let mut __passed: u32 = 0;
                 let mut __attempts: u32 = 0;
-                let __max_attempts = __config.cases.saturating_mul(16).max(16);
-                while __passed < __config.cases && __attempts < __max_attempts {
+                let __max_attempts = __cases.saturating_mul(16).max(16);
+                while __passed < __cases && __attempts < __max_attempts {
                     __attempts += 1;
                     $(
                         let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
@@ -292,7 +339,7 @@ macro_rules! __proptest_impl {
                     }
                 }
                 assert!(
-                    __passed >= __config.cases,
+                    __passed >= __cases,
                     "property {} exhausted {} attempts with only {} accepted cases",
                     stringify!($name), __max_attempts, __passed
                 );

@@ -79,13 +79,16 @@ pub use clx_regex as regex;
 pub use clx_synth as synth;
 pub use clx_unifi as unifi;
 
-pub use clx_column::{Column, ColumnBuilder, ColumnChunk, ColumnInterner};
+pub use clx_column::{
+    BudgetPolicy, Column, ColumnBuilder, ColumnChunk, ColumnInterner, StreamBudget,
+};
 pub use clx_core::{
     AnySession, Clustered, ClxError, ClxOptions, ClxSession, LabelError, Labelled, RowOutcome,
     TransformReport,
 };
 pub use clx_engine::{
     BatchReport, ColumnStream, CompiledProgram, ExecOptions, ProgramCache, StreamSession,
+    StreamSummary,
 };
 pub use clx_pattern::{parse_pattern, tokenize, Pattern, Token, TokenClass};
 pub use clx_unifi::{Explanation, Program, ReplaceOp};

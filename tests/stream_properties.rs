@@ -1,0 +1,273 @@
+//! Property tests locking down the streaming data plane — in particular
+//! the bounded-memory paths added for untrusted input.
+//!
+//! The core equivalence: for *random* row sets, *random* chunk splits and
+//! *random* [`StreamBudget`]s (including `max_distinct: 1`, arena-byte
+//! caps, the `Fallback` policy and unbounded), pushing the rows through a
+//! [`ColumnStream`] chunk by chunk is row-for-row identical to one-shot
+//! [`CompiledProgram::execute_column`] over the whole column. Eviction and
+//! fallback may only change *retained memory*, never an outcome.
+//!
+//! Also here: the sharded [`ColumnBuilder`] byte-identity property on
+//! random inputs (empty values, Unicode, single-distinct, all-distinct —
+//! not just the curated duplicate-heavy workload of
+//! `tests/column_builder.rs`), and the adversarial 1M-row bounded-memory
+//! acceptance test.
+//!
+//! Run with `PROPTEST_CASES=256` (CI does, in release) for real coverage;
+//! the default is 64 cases per property.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+
+use clx::pattern::tokenize;
+use clx::unifi::{Branch, Expr, Program, StringExpr};
+use clx::{Column, ColumnBuilder, ColumnStream, CompiledProgram, RowOutcome, StreamBudget};
+
+/// The phone-rewrite program every streaming test in the workspace uses:
+/// `ddd.ddd.dddd` rewrites to `ddd-ddd-dddd`, dashed rows conform,
+/// everything else is flagged — so random rows exercise all three
+/// [`RowOutcome`] variants.
+fn program() -> Arc<CompiledProgram> {
+    static PROGRAM: OnceLock<Arc<CompiledProgram>> = OnceLock::new();
+    Arc::clone(PROGRAM.get_or_init(|| {
+        let program = Program::new(vec![Branch::new(
+            tokenize("734.236.3466"),
+            Expr::concat(vec![
+                StringExpr::extract(1),
+                StringExpr::const_str("-"),
+                StringExpr::extract(3),
+                StringExpr::const_str("-"),
+                StringExpr::extract(5),
+            ]),
+        )]);
+        Arc::new(CompiledProgram::compile(&program, &tokenize("734-422-8073")).unwrap())
+    }))
+}
+
+/// Strings over the characters CLX columns contain, plus multi-byte
+/// Unicode; may be empty.
+fn data_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::char::range('a', 'z'),
+            proptest::char::range('A', 'Z'),
+            proptest::char::range('0', '9'),
+            Just('-'),
+            Just('.'),
+            Just(' '),
+            Just('/'),
+            Just('€'),
+            Just('π'),
+        ],
+        0..14,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// A phone-shaped string: frequently transformed or conforming, so the
+/// interesting outcome variants are well represented.
+fn phone_string() -> impl Strategy<Value = String> {
+    (0..2usize).prop_map(|sep| {
+        if sep == 0 {
+            "734.236.3466".to_string()
+        } else {
+            "734-422-8073".to_string()
+        }
+    })
+}
+
+/// Random row sets of every shape the bounded paths must survive: mixed
+/// random text, phone-heavy duplicates, a single distinct value repeated,
+/// and all-distinct (the adversarial shape that forces eviction).
+fn workload() -> impl Strategy<Value = Vec<String>> {
+    prop_oneof![
+        proptest::collection::vec(data_string(), 0..60),
+        proptest::collection::vec(prop_oneof![phone_string(), data_string()], 1..60),
+        // Single distinct value, many rows.
+        (data_string(), 1..40usize).prop_map(|(s, n)| vec![s; n]),
+        // All-distinct: suffix every generated string with its row index.
+        proptest::collection::vec(data_string(), 1..40).prop_map(|rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, s)| format!("{s}#{i:03}"))
+                .collect()
+        }),
+    ]
+}
+
+/// Random chunk lengths; the stream consumes them in order, with one final
+/// chunk for whatever remains (possibly empty splits included).
+fn chunk_splits() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..9usize, 0..12)
+}
+
+/// Random budgets, including the degenerate `max_distinct: 1`, byte caps,
+/// the `Fallback` policy, and fully unbounded.
+fn budgets() -> impl Strategy<Value = StreamBudget> {
+    prop_oneof![
+        Just(StreamBudget::unbounded()),
+        Just(StreamBudget::max_distinct(1)),
+        Just(StreamBudget::max_distinct(2)),
+        Just(StreamBudget::max_distinct(5)),
+        Just(StreamBudget::max_distinct(8).with_max_arena_bytes(64)),
+        Just(StreamBudget::unbounded().with_max_arena_bytes(24)),
+        Just(StreamBudget::max_distinct(1).fallback()),
+        Just(StreamBudget::max_distinct(4).fallback()),
+    ]
+}
+
+/// Split `rows` into chunks of the generated lengths (remainder last) and
+/// push them through a stream with `budget`, returning every row outcome
+/// in order.
+fn stream_in_chunks(
+    rows: &[String],
+    splits: &[usize],
+    budget: StreamBudget,
+) -> (Vec<RowOutcome>, clx::StreamSummary) {
+    let mut stream = ColumnStream::with_budget(program(), budget);
+    let mut streamed: Vec<RowOutcome> = Vec::new();
+    let mut rest = rows;
+    for &len in splits {
+        let take = len.min(rest.len());
+        let (chunk, tail) = rest.split_at(take);
+        rest = tail;
+        streamed.extend(stream.push_rows(chunk).iter_rows().cloned());
+        // The bounded invariant: at every chunk boundary the live set is
+        // capped by the budget plus the chunk's own (pinned) values.
+        if budget.policy == clx::BudgetPolicy::Evict {
+            assert!(
+                stream.interner().live_distinct_count()
+                    <= budget.max_distinct.saturating_add(chunk.len()),
+                "live set exceeded budget + pinned chunk"
+            );
+        }
+    }
+    streamed.extend(stream.push_rows(rest).iter_rows().cloned());
+    (streamed, stream.finish())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// K-chunk bounded streaming == one-shot column execution, for every
+    /// budget. The columnar one-shot report is the reference the paper's
+    /// verifiability story rests on; a budget may only change memory.
+    #[test]
+    fn chunked_budgeted_stream_equals_one_shot(
+        rows in workload(),
+        splits in chunk_splits(),
+        budget in budgets(),
+    ) {
+        let one_shot = program().execute_column(&Column::from_rows(rows.clone()));
+        let reference: Vec<RowOutcome> = one_shot.iter_rows().cloned().collect();
+        let (streamed, summary) = stream_in_chunks(&rows, &splits, budget);
+        prop_assert!(streamed == reference, "budget {:?} diverged", budget);
+        prop_assert_eq!(summary.stats, one_shot.stats);
+        prop_assert_eq!(summary.rows(), rows.len());
+        if budget.is_unbounded() {
+            prop_assert_eq!(summary.evictions, 0);
+            prop_assert!(!summary.degraded);
+        }
+    }
+
+    /// Bounded and unbounded streams are row-for-row identical over the
+    /// *same* chunking — the direct statement that eviction/fallback never
+    /// changes an outcome, independent of the one-shot reference.
+    #[test]
+    fn bounded_stream_equals_unbounded_stream(
+        rows in workload(),
+        splits in chunk_splits(),
+        budget in budgets(),
+    ) {
+        let (bounded, bounded_summary) = stream_in_chunks(&rows, &splits, budget);
+        let (unbounded, unbounded_summary) =
+            stream_in_chunks(&rows, &splits, StreamBudget::unbounded());
+        prop_assert_eq!(bounded, unbounded);
+        prop_assert_eq!(bounded_summary.stats, unbounded_summary.stats);
+    }
+
+    /// Sharded column construction is byte-identical to sequential on
+    /// random inputs: same distinct order, row map, interned bytes, leaf
+    /// ids and cached token streams — for every shard count.
+    #[test]
+    fn sharded_builder_matches_sequential(rows in workload(), shards in 1..9usize) {
+        let sequential = Column::from_rows(rows.clone());
+        let sharded = ColumnBuilder::new().shards(shards).build(rows);
+        prop_assert_eq!(sequential.len(), sharded.len());
+        prop_assert_eq!(sequential.distinct_count(), sharded.distinct_count());
+        prop_assert_eq!(sequential.leaf_count(), sharded.leaf_count());
+        prop_assert_eq!(sequential.interned_bytes(), sharded.interned_bytes());
+        prop_assert_eq!(sequential.row_map().as_ref(), sharded.row_map().as_ref());
+        for (a, b) in sequential.distinct_values().zip(sharded.distinct_values()) {
+            prop_assert_eq!(a.text(), b.text());
+            prop_assert_eq!(a.leaf(), b.leaf());
+            prop_assert_eq!(a.leaf_id(), b.leaf_id());
+            prop_assert_eq!(a.token_slices().len(), b.token_slices().len());
+            prop_assert_eq!(
+                a.rows().collect::<Vec<_>>(),
+                b.rows().collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+/// The acceptance lock for the tentpole: an adversarial all-distinct
+/// 1M-row stream under `StreamBudget { max_distinct: 10_000, .. }`
+/// completes with flat, bounded interner + decision-cache memory, while
+/// producing exactly the outcomes the unbounded semantics dictate.
+#[test]
+fn adversarial_all_distinct_million_row_stream_is_memory_bounded() {
+    const ROWS: usize = 1_000_000;
+    const CHUNK: usize = 10_000;
+    const BUDGET: usize = 10_000;
+
+    let mut stream = ColumnStream::with_budget(program(), StreamBudget::max_distinct(BUDGET));
+    let mut peak = 0usize;
+    let mut early_peak = 0usize; // peak over the first 10% of the stream
+    let mut transformed = 0usize;
+    for c in 0..(ROWS / CHUNK) {
+        // Every row is a brand-new distinct value; most are phone-shaped
+        // (transformed), every 7th is junk (flagged).
+        let rows: Vec<String> = (0..CHUNK)
+            .map(|i| {
+                let n = c * CHUNK + i;
+                if n % 7 == 3 {
+                    format!("junk!{n:08}")
+                } else {
+                    format!("{:03}.{:03}.{:04}", n % 1000, (n / 1000) % 1000, n % 10_000)
+                }
+            })
+            .collect();
+        let report = stream.push_rows(&rows);
+        transformed += report.stats.transformed;
+        peak = peak.max(stream.memory_used());
+        if c == ROWS / CHUNK / 10 - 1 {
+            early_peak = peak;
+        }
+        assert!(
+            stream.interner().live_distinct_count() <= BUDGET + CHUNK,
+            "live set exceeded budget + pinned chunk at chunk {c}"
+        );
+    }
+
+    // Flat memory: the peak over the whole stream is within 1.5x of the
+    // peak after the first 10% — O(budget + chunk), not O(distinct).
+    assert!(
+        peak <= early_peak + early_peak / 2,
+        "memory grew with stream length: early {early_peak}B, final {peak}B"
+    );
+    // Absolute sanity bound: ~20k live values of ~13 bytes plus caches
+    // must stay in the single-digit-MB range, nowhere near the ~100s of
+    // MB the unbounded interner would retain for 1M distinct values.
+    assert!(peak < 32 << 20, "peak {peak}B not bounded");
+
+    assert!(stream.evictions() >= (ROWS - BUDGET - CHUNK) as u64);
+    let summary = stream.finish();
+    assert_eq!(summary.rows(), ROWS);
+    assert_eq!(summary.stats.transformed, transformed);
+    assert!(summary.stats.flagged >= ROWS / 7);
+    assert_eq!(summary.peak_memory_bytes, peak);
+    assert!(!summary.degraded);
+}
