@@ -107,6 +107,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use clx_pattern::{tokenize_detailed, Pattern, TokenSlice, TokenizedString};
+use clx_telemetry::{MetricSink, Span};
 
 /// Source of process-unique [`ColumnInterner::instance`] ids (also used for
 /// columns built without an explicit interner, which own a fresh id space).
@@ -291,6 +292,27 @@ pub struct ColumnInterner {
     token_bytes: usize,
     /// Total distinct values evicted over the interner's lifetime.
     evicted: u64,
+    /// Lifetime intern/eviction tallies (plain `u64`s bumped inline — the
+    /// hot path never touches a sink).
+    stats: InternerStats,
+    /// Optional metrics destination, published at chunk boundaries only.
+    telemetry: Option<Arc<dyn MetricSink>>,
+    /// The tallies already published to the sink (delta basis).
+    published: InternerStats,
+}
+
+/// Lifetime counters of a [`ColumnInterner`], readable via
+/// [`ColumnInterner::stats`] with or without a telemetry sink attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InternerStats {
+    /// Interns that resolved to an already-live distinct value.
+    pub intern_hits: u64,
+    /// Interns that stored a new distinct value (tokenizing it).
+    pub intern_misses: u64,
+    /// Eviction batches run (boundaries at which the generation bumped).
+    pub eviction_batches: u64,
+    /// Distinct values evicted across all batches.
+    pub evicted_values: u64,
 }
 
 impl Default for ColumnInterner {
@@ -322,6 +344,9 @@ impl Clone for ColumnInterner {
             live_bytes: self.live_bytes,
             token_bytes: self.token_bytes,
             evicted: self.evicted,
+            stats: self.stats,
+            telemetry: self.telemetry.clone(),
+            published: self.published,
         }
     }
 }
@@ -351,7 +376,24 @@ impl ColumnInterner {
             live_bytes: 0,
             token_bytes: 0,
             evicted: 0,
+            stats: InternerStats::default(),
+            telemetry: None,
+            published: InternerStats::default(),
         }
+    }
+
+    /// Attach a telemetry sink. The hot intern path still only bumps plain
+    /// `u64` tallies; the sink is touched once per
+    /// [`ColumnInterner::chunk`] boundary, publishing the
+    /// `column.interner.*` counter deltas and gauges.
+    pub fn attach_telemetry(&mut self, sink: Arc<dyn MetricSink>) {
+        self.telemetry = Some(sink);
+    }
+
+    /// Lifetime intern/eviction tallies — available with or without a
+    /// telemetry sink attached.
+    pub fn stats(&self) -> InternerStats {
+        self.stats
     }
 
     /// The memory budget this interner enforces at chunk boundaries.
@@ -492,6 +534,7 @@ impl ColumnInterner {
     /// eviction recycles it — see [`ColumnInterner::distinct_generation`].
     pub fn intern(&mut self, value: &str) -> u32 {
         if let Some(&id) = self.seen.get(value) {
+            self.stats.intern_hits += 1;
             self.touch(id);
             return id;
         }
@@ -503,6 +546,7 @@ impl ColumnInterner {
     /// allocation is reused as the dedup key instead of being cloned.
     pub fn intern_owned(&mut self, value: String) -> u32 {
         if let Some(&id) = self.seen.get(value.as_str()) {
+            self.stats.intern_hits += 1;
             self.touch(id);
             return id;
         }
@@ -515,6 +559,7 @@ impl ColumnInterner {
     /// tokenization is dropped if the value is already interned.
     fn intern_prepared(&mut self, value: &str, tokenized: TokenizedString) -> u32 {
         if let Some(&id) = self.seen.get(value) {
+            self.stats.intern_hits += 1;
             self.touch(id);
             return id;
         }
@@ -564,6 +609,7 @@ impl ColumnInterner {
     }
 
     fn insert_new(&mut self, value: String, tokenized: TokenizedString) -> u32 {
+        self.stats.intern_misses += 1;
         let leaf_id = self.intern_leaf(&tokenized.pattern);
         let start = self.arena.len();
         self.arena.push_str(&value);
@@ -631,6 +677,8 @@ impl ColumnInterner {
         }
         if evicted > 0 {
             self.generation += 1;
+            self.stats.eviction_batches += 1;
+            self.stats.evicted_values += evicted as u64;
             self.compact_arena();
         }
         evicted
@@ -718,12 +766,37 @@ impl ColumnInterner {
         // No eviction can run while the chunk is being interned, so the
         // live count only grew: the delta is exactly the new interns.
         let newly_interned = self.live_distinct_count() - before;
+        self.publish_metrics();
         ColumnChunk {
             interner: self,
             distinct_ids,
             rows_local,
             newly_interned,
         }
+    }
+
+    /// Publish the `column.interner.*` series: tally deltas since the last
+    /// publication plus current-state gauges. One `Option` branch when no
+    /// sink is attached.
+    fn publish_metrics(&mut self) {
+        let Some(sink) = &self.telemetry else {
+            return;
+        };
+        let delta = InternerStats {
+            intern_hits: self.stats.intern_hits - self.published.intern_hits,
+            intern_misses: self.stats.intern_misses - self.published.intern_misses,
+            eviction_batches: self.stats.eviction_batches - self.published.eviction_batches,
+            evicted_values: self.stats.evicted_values - self.published.evicted_values,
+        };
+        self.published = self.stats;
+        sink.counter("column.interner.intern_hits", delta.intern_hits);
+        sink.counter("column.interner.intern_misses", delta.intern_misses);
+        sink.counter("column.interner.eviction_batches", delta.eviction_batches);
+        sink.counter("column.interner.evicted_values", delta.evicted_values);
+        sink.gauge("column.interner.arena_bytes", self.live_bytes as u64);
+        sink.gauge("column.interner.memory_bytes", self.memory_used() as u64);
+        sink.gauge("column.interner.live_distinct", self.live as u64);
+        sink.gauge("column.interner.leaf_count", self.leaves.len() as u64);
     }
 
     /// Consume the interner into a [`Column`]: `row_map[r]` names the
@@ -878,9 +951,11 @@ const AUTO_MIN_BLOCK: usize = 8_192;
 /// assert_eq!(sequential.to_vec(), sharded.to_vec());
 /// assert_eq!(sequential.distinct_count(), sharded.distinct_count());
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ColumnBuilder {
     shards: usize,
+    /// Optional metrics destination for per-phase build timings.
+    telemetry: Option<Arc<dyn MetricSink>>,
 }
 
 /// One worker's dedup of a contiguous block of rows.
@@ -917,7 +992,10 @@ impl ColumnBuilder {
     /// A builder with automatic shard selection (one shard per available
     /// CPU for large columns, sequential for small ones).
     pub fn new() -> Self {
-        ColumnBuilder { shards: 0 }
+        ColumnBuilder {
+            shards: 0,
+            telemetry: None,
+        }
     }
 
     /// Set the number of shards explicitly; `0` restores automatic
@@ -925,6 +1003,15 @@ impl ColumnBuilder {
     /// (clamped to the row count so every block is non-empty).
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Attach a telemetry sink: each [`ColumnBuilder::build`] records the
+    /// whole-build latency plus (on the sharded path) per-phase
+    /// `column.builder.*_ns` histograms — dedup, merge, tokenize,
+    /// assemble. Without a sink no clock is ever read.
+    pub fn with_telemetry(mut self, sink: Arc<dyn MetricSink>) -> Self {
+        self.telemetry = Some(sink);
         self
     }
 
@@ -952,6 +1039,7 @@ impl ColumnBuilder {
             "column exceeds u32 row indexing"
         );
         let shards = self.resolved_shards(rows.len());
+        let _build_span = Span::start(self.telemetry.as_ref(), "column.builder.build_ns");
         if shards <= 1 {
             let mut interner = ColumnInterner::new();
             let mut row_map = Vec::with_capacity(rows.len());
@@ -964,6 +1052,7 @@ impl ColumnBuilder {
         // Phase 1 (parallel): per-block dedup. No tokenization yet — a
         // value spanning several blocks must only be tokenized once, and
         // which values those are is not known until the merge.
+        let dedup_span = Span::start(self.telemetry.as_ref(), "column.builder.dedup_ns");
         let block_size = rows.len().div_ceil(shards);
         let blocks: Vec<&[String]> = rows.chunks(block_size).collect();
         let deduped: Vec<BlockDedup<'_>> = std::thread::scope(|scope| {
@@ -976,6 +1065,8 @@ impl ColumnBuilder {
                 .map(|h| h.join().expect("column shard worker panicked"))
                 .collect()
         });
+        drop(dedup_span);
+        let merge_span = Span::start(self.telemetry.as_ref(), "column.builder.merge_ns");
 
         // Phase 2 (sequential, cheap — O(block distinct) hashing plus
         // O(rows) integer translation): merge blocks in row order. Each
@@ -1001,10 +1092,12 @@ impl ColumnBuilder {
             }
             row_map.extend(block.rows_local.iter().map(|&l| global[l as usize]));
         }
+        drop(merge_span);
 
         // Phase 3 (parallel): per-distinct tokenization — each worker takes
         // a slice of the global distinct list, so every distinct value is
         // tokenized exactly once no matter how many blocks contained it.
+        let tokenize_span = Span::start(self.telemetry.as_ref(), "column.builder.tokenize_ns");
         let tokenize_block = distinct.len().div_ceil(shards).max(1);
         let tokenized: Vec<TokenizedString> = std::thread::scope(|scope| {
             let handles: Vec<_> = distinct
@@ -1024,8 +1117,11 @@ impl ColumnBuilder {
                 .collect()
         });
 
+        drop(tokenize_span);
+
         // Phase 4 (sequential, O(distinct)): assemble the interner in
         // global first-occurrence order with the prepared tokenizations.
+        let _assemble_span = Span::start(self.telemetry.as_ref(), "column.builder.assemble_ns");
         let mut interner = ColumnInterner::new();
         for (text, tokenized) in distinct.iter().zip(tokenized) {
             interner.intern_prepared(text, tokenized);
@@ -1561,6 +1657,75 @@ mod tests {
         let a = ColumnInterner::new();
         let b = ColumnInterner::new();
         assert_ne!(a.instance(), b.instance());
+    }
+
+    #[test]
+    fn interner_stats_track_hits_misses_and_evictions() {
+        let mut interner = ColumnInterner::with_budget(StreamBudget::max_distinct(2));
+        assert_eq!(interner.stats(), InternerStats::default());
+        drop(interner.chunk(&["a-1", "b-2", "c-3", "a-1"])); // 3 misses, 1 hit
+        drop(interner.chunk(&["d-4"])); // boundary evicts down to 2, 1 miss
+        let stats = interner.stats();
+        assert_eq!(stats.intern_hits, 1);
+        assert_eq!(stats.intern_misses, 4);
+        assert_eq!(stats.eviction_batches, 1);
+        assert_eq!(stats.evicted_values, interner.evictions());
+        assert!(stats.evicted_values > 0);
+    }
+
+    #[test]
+    fn interner_publishes_metrics_at_chunk_boundaries() {
+        let sink = clx_telemetry::InMemorySink::shared();
+        let mut interner = ColumnInterner::with_budget(StreamBudget::max_distinct(2));
+        interner.attach_telemetry(sink.clone());
+        drop(interner.chunk(&["a-1", "b-2", "a-1", "c-3"]));
+        drop(interner.chunk(&["d-4"]));
+        let snap = MetricSink::snapshot(&*sink);
+        let stats = interner.stats();
+        assert_eq!(
+            snap.counter("column.interner.intern_hits"),
+            Some(stats.intern_hits)
+        );
+        assert_eq!(
+            snap.counter("column.interner.intern_misses"),
+            Some(stats.intern_misses)
+        );
+        assert_eq!(
+            snap.counter("column.interner.evicted_values"),
+            Some(stats.evicted_values)
+        );
+        assert_eq!(
+            snap.gauge("column.interner.arena_bytes"),
+            Some(interner.interned_bytes() as u64)
+        );
+        assert_eq!(
+            snap.gauge("column.interner.live_distinct"),
+            Some(interner.live_distinct_count() as u64)
+        );
+    }
+
+    #[test]
+    fn builder_with_telemetry_records_phase_timings() {
+        let sink = clx_telemetry::InMemorySink::shared();
+        let rows: Vec<String> = (0..200).map(|i| format!("{:03}", i % 17)).collect();
+        let plain = ColumnBuilder::new().shards(3).build(rows.clone());
+        let timed = ColumnBuilder::new()
+            .shards(3)
+            .with_telemetry(sink.clone())
+            .build(rows);
+        // Telemetry never changes the built column.
+        assert_eq!(plain.to_vec(), timed.to_vec());
+        assert_eq!(plain.distinct_count(), timed.distinct_count());
+        let snap = MetricSink::snapshot(&*sink);
+        for phase in [
+            "column.builder.build_ns",
+            "column.builder.dedup_ns",
+            "column.builder.merge_ns",
+            "column.builder.tokenize_ns",
+            "column.builder.assemble_ns",
+        ] {
+            assert_eq!(snap.histogram(phase).map(|h| h.count), Some(1), "{phase}");
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@ use clx_column::{Column, ColumnBuilder, StreamBudget};
 use clx_engine::{ColumnStream, CompiledProgram};
 use clx_pattern::{tokenize, tokenize_detailed, Pattern, SplitTokenizer, TokenizedString};
 use clx_synth::{synthesize_column, RankedPlan, Synthesis, SynthesisOptions};
+use clx_telemetry::{MetricSink, Span};
 use clx_unifi::{explain_program, transform, Explanation, Program, TransformOutcome};
 
 use crate::report::{RowOutcome, TransformReport};
@@ -171,6 +172,7 @@ pub struct ClxSession<P: Phase = Clustered> {
     options: ClxOptions,
     hierarchy: PatternHierarchy,
     phase: P,
+    telemetry: Option<Arc<dyn MetricSink>>,
 }
 
 // ---------------------------------------------------------------------------
@@ -199,6 +201,24 @@ impl<P: Phase> ClxSession<P> {
     pub fn patterns(&self) -> Vec<(Pattern, usize)> {
         self.hierarchy.pattern_summary()
     }
+
+    /// The metric sink observing this session, if one is attached.
+    pub fn telemetry(&self) -> Option<&Arc<dyn MetricSink>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Attach a metric sink to an existing session (builder style).
+    ///
+    /// Phases that ran before the sink was attached are not retroactively
+    /// recorded; prefer [`ClxSession::with_telemetry`] to observe the
+    /// cluster phase too. The sink survives every phase transition
+    /// ([`label`](ClxSession::label), [`unlabel`](ClxSession::unlabel),
+    /// [`relabel`](ClxSession::relabel)) and is propagated into streams
+    /// opened by [`stream_columns`](ClxSession::stream_columns).
+    pub fn attach_telemetry(mut self, sink: Arc<dyn MetricSink>) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -221,16 +241,44 @@ impl ClxSession<Clustered> {
         Self::from_column(ColumnBuilder::new().build(data), options)
     }
 
+    /// Start an *observed* session: every phase of the CLX loop reports to
+    /// `sink` as `core.phase.*` latency histograms (`cluster_ns`,
+    /// `label_ns`, `synthesize_ns`, `compile_ns`, `apply_ns`), the column
+    /// build reports its `column.builder.*` shard timings, and streams
+    /// opened by [`ClxSession::stream_columns`] /
+    /// [`ClxSession::stream_columns_with_budget`] inherit the sink for
+    /// their per-chunk `engine.stream.*` / `column.interner.*` series.
+    ///
+    /// Sessions without a sink pay no telemetry cost at all — no clock
+    /// reads, no atomic traffic, just one `Option` branch per phase.
+    pub fn with_telemetry(
+        data: Vec<String>,
+        options: ClxOptions,
+        sink: Arc<dyn MetricSink>,
+    ) -> Self {
+        let column = ColumnBuilder::new()
+            .with_telemetry(Arc::clone(&sink))
+            .build(data);
+        Self::build(column, options, Some(sink))
+    }
+
     /// Start a session over an already-built [`Column`] (reusing its
     /// interned values and cached token streams).
     pub fn from_column(data: Column, options: ClxOptions) -> Self {
-        let hierarchy =
-            PatternProfiler::with_options(options.profiler.clone()).profile_column(&data);
+        Self::build(data, options, None)
+    }
+
+    fn build(data: Column, options: ClxOptions, telemetry: Option<Arc<dyn MetricSink>>) -> Self {
+        let hierarchy = {
+            let _cluster = Span::start(telemetry.as_ref(), "core.phase.cluster_ns");
+            PatternProfiler::with_options(options.profiler.clone()).profile_column(&data)
+        };
         ClxSession {
             data,
             options,
             hierarchy,
             phase: Clustered,
+            telemetry,
         }
     }
 
@@ -247,17 +295,22 @@ impl ClxSession<Clustered> {
                 error: ClxError::EmptyTargetPattern,
             });
         }
-        let synthesis = synthesize_column(
-            &self.hierarchy,
-            &self.data,
-            &target,
-            &self.options.synthesis,
-        );
+        let _label = Span::start(self.telemetry.as_ref(), "core.phase.label_ns");
+        let synthesis = {
+            let _synth = Span::start(self.telemetry.as_ref(), "core.phase.synthesize_ns");
+            synthesize_column(
+                &self.hierarchy,
+                &self.data,
+                &target,
+                &self.options.synthesis,
+            )
+        };
         Ok(ClxSession {
             data: self.data,
             options: self.options,
             hierarchy: self.hierarchy,
             phase: Labelled { target, synthesis },
+            telemetry: self.telemetry,
         })
     }
 
@@ -294,6 +347,7 @@ impl ClxSession<Labelled> {
             options: self.options,
             hierarchy: self.hierarchy,
             phase: Clustered,
+            telemetry: self.telemetry,
         }
     }
 
@@ -339,6 +393,7 @@ impl ClxSession<Labelled> {
     /// column's row map), making the whole step O(distinct) in time and
     /// memory.
     pub fn apply(&self) -> Result<TransformReport, ClxError> {
+        let _apply = Span::start(self.telemetry.as_ref(), "core.phase.apply_ns");
         let target = &self.phase.target;
         let program = self.program();
         let mut decided = Vec::with_capacity(self.data.distinct_count());
@@ -374,6 +429,7 @@ impl ClxSession<Labelled> {
     /// memory ([`CompiledProgram::stream`]). Its semantics on any column are
     /// exactly those of [`ClxSession::apply`].
     pub fn compile(&self) -> Result<CompiledProgram, ClxError> {
+        let _compile = Span::start(self.telemetry.as_ref(), "core.phase.compile_ns");
         CompiledProgram::compile(&self.program(), &self.phase.target)
             .map_err(|e| ClxError::Compile(e.to_string()))
     }
@@ -390,6 +446,7 @@ impl ClxSession<Labelled> {
     /// columns should prefer this.
     pub fn apply_parallel(&self) -> Result<TransformReport, ClxError> {
         let compiled = self.compile()?;
+        let _apply = Span::start(self.telemetry.as_ref(), "core.phase.apply_ns");
         Ok(TransformReport::from_batch(
             compiled.execute_column(&self.data),
         ))
@@ -412,7 +469,11 @@ impl ClxSession<Labelled> {
     /// possibly-adversarial streams use
     /// [`ClxSession::stream_columns_with_budget`].
     pub fn stream_columns(&self) -> Result<ColumnStream, ClxError> {
-        Ok(ColumnStream::new(Arc::new(self.compile()?)))
+        let mut stream = ColumnStream::new(Arc::new(self.compile()?));
+        if let Some(sink) = &self.telemetry {
+            stream = stream.with_telemetry(Arc::clone(sink));
+        }
+        Ok(stream)
     }
 
     /// [`ClxSession::stream_columns`] with a memory budget, for untrusted
@@ -447,7 +508,11 @@ impl ClxSession<Labelled> {
         &self,
         budget: StreamBudget,
     ) -> Result<ColumnStream, ClxError> {
-        Ok(ColumnStream::with_budget(Arc::new(self.compile()?), budget))
+        let mut stream = ColumnStream::with_budget(Arc::new(self.compile()?), budget);
+        if let Some(sink) = &self.telemetry {
+            stream = stream.with_telemetry(Arc::clone(sink));
+        }
+        Ok(stream)
     }
 
     /// The post-transformation pattern summary (Figure 2 of the paper): the
@@ -1030,5 +1095,58 @@ mod tests {
         session.unlabel();
         assert!(!session.is_labelled());
         assert_eq!(session.hierarchy().total_rows(), 7);
+    }
+
+    #[test]
+    fn observed_session_records_every_phase() {
+        let sink = clx_telemetry::InMemorySink::shared();
+        let session = ClxSession::with_telemetry(
+            phone_data(),
+            ClxOptions::default(),
+            Arc::clone(&sink) as Arc<dyn MetricSink>,
+        );
+        assert!(session.telemetry().is_some());
+        let session = session.label(tokenize("734-422-8073")).unwrap();
+        session.apply().unwrap();
+        session.apply_parallel().unwrap();
+        let mut stream = session.stream_columns().unwrap();
+        stream.push_rows(&["(111) 222-3333", "(111) 222-3333"]);
+        stream.finish();
+
+        let snap = sink.snapshot();
+        for phase in [
+            "core.phase.cluster_ns",
+            "core.phase.label_ns",
+            "core.phase.synthesize_ns",
+            "core.phase.compile_ns",
+            "core.phase.apply_ns",
+        ] {
+            let h = snap
+                .histogram(phase)
+                .unwrap_or_else(|| panic!("missing phase histogram {phase}; snapshot: {snap:?}"));
+            assert!(h.count >= 1, "{phase} recorded no samples");
+        }
+        // apply + apply_parallel both time the apply phase.
+        assert_eq!(snap.histogram("core.phase.apply_ns").unwrap().count, 2);
+        // The column build and the stream reported through the same sink.
+        assert!(snap.histogram("column.builder.build_ns").is_some());
+        assert_eq!(snap.counter("engine.stream.rows"), Some(2));
+    }
+
+    #[test]
+    fn telemetry_survives_phase_transitions() {
+        let sink = clx_telemetry::InMemorySink::shared();
+        let session = ClxSession::new(phone_data())
+            .attach_telemetry(Arc::clone(&sink) as Arc<dyn MetricSink>);
+        // No cluster span: the sink was attached after profiling.
+        assert!(sink.snapshot().histogram("core.phase.cluster_ns").is_none());
+        let session = session.label(tokenize("734-422-8073")).unwrap();
+        let session = session.relabel(tokenize("(734) 645-8397")).unwrap();
+        let session = session.unlabel();
+        assert!(session.telemetry().is_some());
+        // label ran twice (label + relabel), each with a nested synthesis.
+        let snap = sink.snapshot();
+        assert_eq!(snap.histogram("core.phase.label_ns").unwrap().count, 2);
+        assert_eq!(snap.histogram("core.phase.synthesize_ns").unwrap().count, 2);
     }
 }

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use clx_pattern::Pattern;
+use clx_telemetry::{MetricSink, Span};
 use clx_unifi::Program;
 
 use crate::compiled::{fingerprint, CompiledProgram};
@@ -28,14 +29,40 @@ struct CacheEntry {
 struct Inner {
     entries: HashMap<u64, CacheEntry>,
     tick: u64,
-    hits: u64,
-    misses: u64,
+    stats: ProgramCacheStats,
+}
+
+/// Lifetime counters of a [`ProgramCache`], readable via
+/// [`ProgramCache::stats`] with or without a telemetry sink attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgramCacheStats {
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// Lookups that required compilation.
+    pub misses: u64,
+    /// Entries dropped to enforce the capacity bound.
+    pub evictions: u64,
+}
+
+impl ProgramCacheStats {
+    /// Fraction of lookups served from cache, in `[0, 1]`; 0 before any
+    /// lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// A thread-safe, bounded LRU cache of [`CompiledProgram`]s.
 pub struct ProgramCache {
     capacity: usize,
     inner: Mutex<Inner>,
+    /// Optional metrics destination; `None` keeps every lookup sink-free.
+    telemetry: Option<Arc<dyn MetricSink>>,
 }
 
 // A single cache instance is meant to be shared by every request handler.
@@ -51,6 +78,17 @@ impl ProgramCache {
         ProgramCache {
             capacity: capacity.max(1),
             inner: Mutex::new(Inner::default()),
+            telemetry: None,
+        }
+    }
+
+    /// A cache that additionally publishes `engine.program_cache.*`
+    /// hit/miss/eviction counters and a compile-latency histogram to
+    /// `sink`. [`ProgramCache::stats`] works either way.
+    pub fn with_telemetry(capacity: usize, sink: Arc<dyn MetricSink>) -> Self {
+        ProgramCache {
+            telemetry: Some(sink),
+            ..ProgramCache::new(capacity)
         }
     }
 
@@ -69,7 +107,12 @@ impl ProgramCache {
         if let Some(compiled) = self.lookup(key, program, target) {
             return Ok(compiled);
         }
-        let compiled = Arc::new(CompiledProgram::compile(program, target)?);
+        let compiled = {
+            // Times the compilation (including failed ones) when a sink is
+            // attached; inert — no clock read — otherwise.
+            let _span = Span::start(self.telemetry.as_ref(), "engine.program_cache.compile_ns");
+            Arc::new(CompiledProgram::compile(program, target)?)
+        };
 
         let mut inner = self.inner.lock().expect("program cache poisoned");
         inner.tick += 1;
@@ -92,6 +135,7 @@ impl ProgramCache {
                 last_used: tick,
             },
         );
+        let mut evicted = 0u64;
         while inner.entries.len() > self.capacity {
             let oldest = inner
                 .entries
@@ -100,6 +144,14 @@ impl ProgramCache {
                 .map(|(k, _)| *k)
                 .expect("non-empty map has a minimum");
             inner.entries.remove(&oldest);
+            evicted += 1;
+        }
+        inner.stats.evictions += evicted;
+        drop(inner);
+        if evicted > 0 {
+            if let Some(sink) = &self.telemetry {
+                sink.counter("engine.program_cache.evictions", evicted);
+            }
         }
         Ok(compiled)
     }
@@ -123,9 +175,17 @@ impl ProgramCache {
             _ => None,
         };
         if hit.is_some() {
-            inner.hits += 1;
+            inner.stats.hits += 1;
         } else {
-            inner.misses += 1;
+            inner.stats.misses += 1;
+        }
+        drop(inner);
+        if let Some(sink) = &self.telemetry {
+            if hit.is_some() {
+                sink.counter("engine.program_cache.hits", 1);
+            } else {
+                sink.counter("engine.program_cache.misses", 1);
+            }
         }
         hit
     }
@@ -151,12 +211,23 @@ impl ProgramCache {
 
     /// Lookups served from cache.
     pub fn hits(&self) -> u64 {
-        self.inner.lock().expect("program cache poisoned").hits
+        self.stats().hits
     }
 
     /// Lookups that required compilation.
     pub fn misses(&self) -> u64 {
-        self.inner.lock().expect("program cache poisoned").misses
+        self.stats().misses
+    }
+
+    /// Entries dropped to enforce the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.stats().evictions
+    }
+
+    /// One consistent read of the lifetime hit/miss/eviction counters —
+    /// available with or without a telemetry sink attached.
+    pub fn stats(&self) -> ProgramCacheStats {
+        self.inner.lock().expect("program cache poisoned").stats
     }
 
     /// Drop every cached program (counters are kept).
@@ -171,11 +242,12 @@ impl ProgramCache {
 
 impl std::fmt::Debug for ProgramCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
         f.debug_struct("ProgramCache")
             .field("capacity", &self.capacity)
             .field("len", &self.len())
-            .field("hits", &self.hits())
-            .field("misses", &self.misses())
+            .field("stats", &stats)
+            .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
 }
@@ -270,6 +342,45 @@ mod tests {
             .get_or_compile(&program("x"), &tokenize("#1"))
             .unwrap();
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stats_count_hits_misses_and_evictions() {
+        let cache = ProgramCache::new(1);
+        let target = tokenize("#1");
+        assert_eq!(cache.stats(), ProgramCacheStats::default());
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+
+        cache.get_or_compile(&program("a"), &target).unwrap(); // miss
+        cache.get_or_compile(&program("a"), &target).unwrap(); // hit
+        cache.get_or_compile(&program("b"), &target).unwrap(); // miss, evicts "a"
+        cache.get_or_compile(&program("c"), &target).unwrap(); // miss, evicts "b"
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(stats.hit_rate(), 0.25);
+    }
+
+    #[test]
+    fn telemetry_sink_sees_cache_traffic() {
+        let sink = clx_telemetry::InMemorySink::shared();
+        let cache = ProgramCache::with_telemetry(1, sink.clone());
+        let target = tokenize("#1");
+        cache.get_or_compile(&program("a"), &target).unwrap();
+        cache.get_or_compile(&program("a"), &target).unwrap();
+        cache.get_or_compile(&program("b"), &target).unwrap();
+
+        let snap = clx_telemetry::MetricSink::snapshot(&*sink);
+        assert_eq!(snap.counter("engine.program_cache.hits"), Some(1));
+        assert_eq!(snap.counter("engine.program_cache.misses"), Some(2));
+        assert_eq!(snap.counter("engine.program_cache.evictions"), Some(1));
+        let compile = snap
+            .histogram("engine.program_cache.compile_ns")
+            .expect("compile latency recorded");
+        assert_eq!(compile.count, 2);
     }
 
     #[test]

@@ -152,6 +152,38 @@ pub struct DispatchCache {
     dense: Vec<Option<Arc<LeafPlan>>>,
     /// Number of `Some` slots in `dense`.
     dense_decided: usize,
+    /// Lifetime hit/miss tallies per tier; survives rebinds and resets.
+    stats: DispatchStats,
+}
+
+/// Lifetime hit/miss counters for the two [`DispatchCache`] tiers.
+///
+/// Plain `u64` fields bumped inline (never atomics — each cache is
+/// thread-owned), cumulative across program rebinds and dense-tier
+/// resets, so stream-long ratios survive eviction generations. A *hit*
+/// replayed an existing plan; a *miss* ran the plan builder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Dense-tier (leaf-id indexed) lookups served from the cache.
+    pub dense_hits: u64,
+    /// Dense-tier lookups that had to build a plan.
+    pub dense_misses: u64,
+    /// Hashed-tier (`Pattern`-keyed) lookups served from the cache.
+    pub hashed_hits: u64,
+    /// Hashed-tier lookups that had to build a plan.
+    pub hashed_misses: u64,
+}
+
+impl DispatchStats {
+    /// Total lookups across both tiers.
+    pub fn lookups(&self) -> u64 {
+        self.dense_hits + self.dense_misses + self.hashed_hits + self.hashed_misses
+    }
+
+    /// Total hits across both tiers.
+    pub fn hits(&self) -> u64 {
+        self.dense_hits + self.hashed_hits
+    }
 }
 
 /// Default bound on the hashed (`Pattern`-keyed) tier: far above any real
@@ -168,6 +200,7 @@ impl Default for DispatchCache {
             source: None,
             dense: Vec::new(),
             dense_decided: 0,
+            stats: DispatchStats::default(),
         }
     }
 }
@@ -195,6 +228,13 @@ impl DispatchCache {
         self.plans.is_empty() && self.dense_decided == 0
     }
 
+    /// Lifetime per-tier hit/miss counters. Cumulative over the cache's
+    /// whole life — rebinding to another program or resetting the dense
+    /// tier clears the *plans*, never the tallies.
+    pub fn stats(&self) -> DispatchStats {
+        self.stats
+    }
+
     /// Reset everything if the cache is handed to a different compiled
     /// program.
     fn rebind(&mut self, instance: u64) {
@@ -219,8 +259,10 @@ impl DispatchCache {
     ) -> Arc<LeafPlan> {
         self.rebind(instance);
         if let Some(plan) = self.plans.get(leaf) {
+            self.stats.hashed_hits += 1;
             return Arc::clone(plan);
         }
+        self.stats.hashed_misses += 1;
         let plan = Arc::new(build(leaf));
         // Bounded retention: a miss on a full map flushes the tier and
         // restarts it. Adversarial all-new-leaf streams stay bounded, and
@@ -261,8 +303,10 @@ impl DispatchCache {
             self.dense.resize(slot + 1, None);
         }
         if let Some(plan) = &self.dense[slot] {
+            self.stats.dense_hits += 1;
             return Arc::clone(plan);
         }
+        self.stats.dense_misses += 1;
         let plan = Arc::new(build());
         self.dense[slot] = Some(Arc::clone(&plan));
         self.dense_decided += 1;
@@ -345,5 +389,29 @@ mod tests {
         });
         assert!(rebuilt);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn stats_survive_rebinds_and_resets() {
+        let mut cache = DispatchCache::new();
+        assert_eq!(cache.stats(), DispatchStats::default());
+
+        cache.plan_for_leaf_id(1, 7, 0, 0, benign); // dense miss
+        cache.plan_for_leaf_id(1, 7, 0, 0, benign); // dense hit
+        cache.plan_for(1, &tokenize("a"), |_| benign()); // hashed miss
+        cache.plan_for(1, &tokenize("a"), |_| benign()); // hashed hit
+
+        // Generation bump resets the dense *tier*, not the tallies; a new
+        // program instance resets every plan, still not the tallies.
+        cache.plan_for_leaf_id(1, 7, 1, 0, benign); // dense miss (reset)
+        cache.plan_for(2, &tokenize("a"), |_| benign()); // hashed miss (rebind)
+
+        let stats = cache.stats();
+        assert_eq!(stats.dense_hits, 1);
+        assert_eq!(stats.dense_misses, 2);
+        assert_eq!(stats.hashed_hits, 1);
+        assert_eq!(stats.hashed_misses, 2);
+        assert_eq!(stats.lookups(), 6);
+        assert_eq!(stats.hits(), 2);
     }
 }

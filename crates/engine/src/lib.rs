@@ -82,9 +82,9 @@ mod parallel;
 mod report;
 mod stream;
 
-pub use cache::ProgramCache;
+pub use cache::{ProgramCache, ProgramCacheStats};
 pub use compiled::{CompiledBranch, CompiledProgram};
-pub use dispatch::DispatchCache;
+pub use dispatch::{DispatchCache, DispatchStats};
 pub use error::CompileError;
 pub use parallel::ExecOptions;
 pub use report::{BatchReport, ChunkReport, ChunkStats, RowOutcome, RowOutcomes};

@@ -21,9 +21,11 @@
 
 use std::mem::size_of;
 use std::sync::Arc;
+use std::time::Instant;
 
 use clx_column::{ColumnChunk, ColumnInterner, StreamBudget};
 use clx_pattern::Pattern;
+use clx_telemetry::MetricSink;
 
 use crate::compiled::CompiledProgram;
 use crate::dispatch::DispatchCache;
@@ -62,6 +64,11 @@ struct DistinctDecisions {
     count: usize,
     /// Estimated heap bytes of the stored outcomes' strings.
     bytes: usize,
+    /// Lifetime replays of a stored decision (cumulative — survives
+    /// interner switches and prunes).
+    hits: u64,
+    /// Lifetime decisions that had to run the program.
+    misses: u64,
 }
 
 impl DistinctDecisions {
@@ -126,9 +133,11 @@ impl DistinctDecisions {
                 let slot_generation = interner.distinct_generation(id);
                 if let Some((gen, outcome)) = &self.decided[id as usize] {
                     if *gen == slot_generation {
+                        self.hits += 1;
                         return outcome.clone();
                     }
                 }
+                self.misses += 1;
                 let outcome = program.transform_one_by_leaf_id(
                     cache,
                     interner.instance(),
@@ -286,6 +295,8 @@ impl StreamSession<'_> {
             evictions: self.evictions,
             peak_memory_bytes: self.peak_memory,
             degraded: false,
+            decision_cache_hits: self.decisions.hits,
+            decision_cache_misses: self.decisions.misses,
         }
     }
 }
@@ -352,6 +363,14 @@ pub struct ColumnStream {
     degraded: bool,
     /// Peak of [`ColumnStream::memory_used`] across the stream.
     peak_memory: usize,
+    /// Optional metrics destination. `None` (the default) keeps every push
+    /// clock-free and sink-free: per-chunk publishing is gated on one
+    /// `Option` branch.
+    telemetry: Option<Arc<dyn MetricSink>>,
+    /// Dispatch-tier tallies already published to the sink (delta basis).
+    published_dispatch: crate::dispatch::DispatchStats,
+    /// Decision-cache tallies already published to the sink (delta basis).
+    published_decisions: (u64, u64),
 }
 
 impl ColumnStream {
@@ -373,12 +392,27 @@ impl ColumnStream {
             chunks: 0,
             degraded: false,
             peak_memory: 0,
+            telemetry: None,
+            published_dispatch: crate::dispatch::DispatchStats::default(),
+            published_decisions: (0, 0),
         }
     }
 
     /// [`ColumnStream::new`] taking ownership of the program.
     pub fn from_program(program: CompiledProgram) -> Self {
         Self::new(Arc::new(program))
+    }
+
+    /// Attach a telemetry sink: every pushed chunk publishes
+    /// `engine.stream.*` latency/throughput histograms,
+    /// `engine.dispatch.*` tier counters and memory gauges, and the
+    /// stream's interner publishes its `column.interner.*` series at each
+    /// chunk boundary. Without this call the stream never reads a clock or
+    /// touches a sink.
+    pub fn with_telemetry(mut self, sink: Arc<dyn MetricSink>) -> Self {
+        self.interner.attach_telemetry(Arc::clone(&sink));
+        self.telemetry = Some(sink);
+        self
     }
 
     /// The compiled program this stream executes.
@@ -411,6 +445,8 @@ impl ColumnStream {
         if self.degraded {
             return self.push_rows_degraded(rows);
         }
+        // The only disabled-path cost of telemetry: this `is_some()`.
+        let start = self.telemetry.is_some().then(Instant::now);
         // chunk() runs enforce_budget() before interning a single row.
         let chunk = self.interner.chunk(rows);
         let report =
@@ -425,6 +461,7 @@ impl ColumnStream {
             self.degraded = true;
         }
         self.peak_memory = self.peak_memory.max(self.memory_used());
+        self.publish_chunk_metrics(rows.len(), start);
         report
     }
 
@@ -434,6 +471,7 @@ impl ColumnStream {
     /// is the same pure function of the row text); the report is per-row
     /// rather than columnar.
     fn push_rows_degraded<S: AsRef<str>>(&mut self, rows: &[S]) -> ChunkReport {
+        let start = self.telemetry.is_some().then(Instant::now);
         let outcomes: Vec<RowOutcome> = rows
             .iter()
             .map(|row| self.program.transform_one(&mut self.cache, row.as_ref()))
@@ -442,7 +480,59 @@ impl ColumnStream {
         self.stats.absorb(&report.stats);
         self.chunks += 1;
         self.peak_memory = self.peak_memory.max(self.memory_used());
+        self.publish_chunk_metrics(rows.len(), start);
         report
+    }
+
+    /// Publish the per-chunk telemetry series. `start` is `Some` exactly
+    /// when a sink is attached, so the disabled path reduces to one failed
+    /// pattern match — no clock read, no arithmetic.
+    fn publish_chunk_metrics(&mut self, rows: usize, start: Option<Instant>) {
+        let (Some(sink), Some(start)) = (&self.telemetry, start) else {
+            return;
+        };
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        sink.observe("engine.stream.chunk_ns", nanos);
+        if rows > 0 && nanos > 0 {
+            let rps = (rows as u128 * 1_000_000_000) / u128::from(nanos);
+            sink.observe(
+                "engine.stream.rows_per_sec",
+                u64::try_from(rps).unwrap_or(u64::MAX),
+            );
+        }
+        sink.counter("engine.stream.chunks", 1);
+        sink.counter("engine.stream.rows", rows as u64);
+
+        // Hot loops tally plain u64s; only the since-last-chunk deltas
+        // touch the sink here.
+        let decisions = (self.decisions.hits, self.decisions.misses);
+        let (prev_hits, prev_misses) = self.published_decisions;
+        sink.counter("engine.stream.decision_hits", decisions.0 - prev_hits);
+        sink.counter("engine.stream.decision_misses", decisions.1 - prev_misses);
+        self.published_decisions = decisions;
+
+        let dispatch = self.cache.stats();
+        let prev = self.published_dispatch;
+        sink.counter(
+            "engine.dispatch.dense_hits",
+            dispatch.dense_hits - prev.dense_hits,
+        );
+        sink.counter(
+            "engine.dispatch.dense_misses",
+            dispatch.dense_misses - prev.dense_misses,
+        );
+        sink.counter(
+            "engine.dispatch.hashed_hits",
+            dispatch.hashed_hits - prev.hashed_hits,
+        );
+        sink.counter(
+            "engine.dispatch.hashed_misses",
+            dispatch.hashed_misses - prev.hashed_misses,
+        );
+        self.published_dispatch = dispatch;
+
+        sink.gauge("engine.stream.memory_bytes", self.memory_used() as u64);
+        sink.gauge("engine.stream.peak_memory_bytes", self.peak_memory as u64);
     }
 
     /// Distinct values decided and currently retained this stream.
@@ -495,6 +585,8 @@ impl ColumnStream {
             evictions: self.interner.evictions(),
             peak_memory_bytes: self.peak_memory,
             degraded: self.degraded,
+            decision_cache_hits: self.decisions.hits,
+            decision_cache_misses: self.decisions.misses,
         }
     }
 }
@@ -518,12 +610,32 @@ pub struct StreamSummary {
     /// `true` if a `Fallback`-policy stream exceeded its budget and
     /// finished on the per-row path.
     pub degraded: bool,
+    /// Column-path decisions replayed from the per-distinct cache (`0`
+    /// for pure `&[String]` streams). A repeated value costs a replay,
+    /// not a transform — this over
+    /// [`decision_cache_misses`](StreamSummary::decision_cache_misses)
+    /// is the stream's headline reuse ratio.
+    pub decision_cache_hits: u64,
+    /// Column-path decisions that had to run the program (first sight of
+    /// a distinct value, or re-decision after its slot was evicted).
+    pub decision_cache_misses: u64,
 }
 
 impl StreamSummary {
     /// Total rows processed.
     pub fn rows(&self) -> usize {
         self.stats.rows()
+    }
+
+    /// Fraction of column-path decisions served from the per-distinct
+    /// cache, in `[0, 1]`; 0 before any decision.
+    pub fn decision_cache_hit_rate(&self) -> f64 {
+        let total = self.decision_cache_hits + self.decision_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.decision_cache_hits as f64 / total as f64
+        }
     }
 }
 
@@ -857,6 +969,124 @@ mod tests {
         let summary = session.finish();
         assert!(summary.evictions > 0);
         assert!(summary.peak_memory_bytes > 0);
+    }
+
+    #[test]
+    fn summary_reports_decision_cache_hit_ratio() {
+        let mut stream = ColumnStream::from_program(compiled());
+        // Decisions are per distinct value per chunk (duplicates within a
+        // chunk share one decision via the row map): both values are
+        // misses in the first chunk, replays in the second and third.
+        stream.push_rows(&["111.222.3333", "N/A", "111.222.3333"]);
+        stream.push_rows(&["N/A", "111.222.3333", "N/A"]);
+        stream.push_rows(&["N/A", "111.222.3333"]);
+        let summary = stream.finish();
+        assert_eq!(summary.decision_cache_misses, 2);
+        assert_eq!(summary.decision_cache_hits, 4);
+        assert!((summary.decision_cache_hit_rate() - 4.0 / 6.0).abs() < 1e-9);
+
+        // The `&[String]` path never touches the decision cache.
+        let program = compiled();
+        let mut session = program.stream();
+        session.push_chunk(&["111.222.3333".to_string()]);
+        let summary = session.finish();
+        assert_eq!(summary.decision_cache_hits, 0);
+        assert_eq!(summary.decision_cache_misses, 0);
+        assert_eq!(summary.decision_cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn decision_counters_survive_eviction_prunes() {
+        let mut stream =
+            ColumnStream::with_budget(Arc::new(compiled()), StreamBudget::max_distinct(2));
+        for c in 0..10usize {
+            let rows: Vec<String> = (0..8).map(|i| format!("{:03}.222.{:04}", c, i)).collect();
+            stream.push_rows(&rows);
+        }
+        assert!(stream.evictions() > 0);
+        let summary = stream.finish();
+        // 80 all-distinct rows: every decision was a first sight (or a
+        // re-decision, still a miss); the tallies must not shrink when
+        // the cache prunes evicted slots.
+        assert_eq!(summary.decision_cache_misses, 80);
+        assert_eq!(summary.decision_cache_hits, 0);
+    }
+
+    #[test]
+    fn telemetry_sink_sees_per_chunk_series() {
+        let sink = clx_telemetry::InMemorySink::shared();
+        let mut stream =
+            ColumnStream::with_budget(Arc::new(compiled()), StreamBudget::max_distinct(4))
+                .with_telemetry(sink.clone());
+        for c in 0..6usize {
+            let rows: Vec<String> = (0..16)
+                .map(|i| format!("{:03}.333.{:04}", c, i % 12))
+                .collect();
+            stream.push_rows(&rows);
+        }
+        let summary = stream.finish();
+
+        let snap = MetricSink::snapshot(&*sink);
+        assert_eq!(snap.counter("engine.stream.chunks"), Some(6));
+        assert_eq!(snap.counter("engine.stream.rows"), Some(96));
+        assert_eq!(
+            snap.counter("engine.stream.decision_hits"),
+            Some(summary.decision_cache_hits)
+        );
+        assert_eq!(
+            snap.counter("engine.stream.decision_misses"),
+            Some(summary.decision_cache_misses)
+        );
+        // The column path dispatches on the dense tier only, and the
+        // sink's cumulative deltas must agree with the cache's tallies.
+        assert_eq!(snap.counter("engine.dispatch.hashed_misses"), Some(0));
+        assert!(snap.counter("engine.dispatch.dense_misses").unwrap() > 0);
+        assert_eq!(snap.histogram("engine.stream.chunk_ns").unwrap().count, 6);
+        assert_eq!(
+            snap.histogram("engine.stream.rows_per_sec").unwrap().count,
+            6
+        );
+        assert_eq!(
+            snap.gauge("engine.stream.peak_memory_bytes"),
+            Some(summary.peak_memory_bytes as u64)
+        );
+        // The interner published its own series at the chunk boundaries.
+        assert_eq!(
+            snap.counter("column.interner.evicted_values"),
+            Some(summary.evictions)
+        );
+        assert!(snap.gauge("column.interner.arena_bytes").is_some());
+    }
+
+    #[test]
+    fn streams_with_and_without_telemetry_are_byte_identical() {
+        let rows = mixed_rows(300);
+        let sink = clx_telemetry::InMemorySink::shared();
+        let budget = StreamBudget::max_distinct(8);
+        let mut plain = ColumnStream::with_budget(Arc::new(compiled()), budget);
+        let mut noop = ColumnStream::with_budget(Arc::new(compiled()), budget)
+            .with_telemetry(Arc::new(clx_telemetry::NoopSink::new()));
+        let mut live = ColumnStream::with_budget(Arc::new(compiled()), budget).with_telemetry(sink);
+        for chunk in rows.chunks(50) {
+            let p = plain.push_rows(chunk);
+            let n = noop.push_rows(chunk);
+            let l = live.push_rows(chunk);
+            assert_eq!(
+                p.iter_rows().collect::<Vec<_>>(),
+                n.iter_rows().collect::<Vec<_>>()
+            );
+            assert_eq!(
+                p.iter_rows().collect::<Vec<_>>(),
+                l.iter_rows().collect::<Vec<_>>()
+            );
+        }
+        let p = plain.finish();
+        let n = noop.finish();
+        let l = live.finish();
+        assert_eq!(p.stats, n.stats);
+        assert_eq!(p.stats, l.stats);
+        assert_eq!(p.evictions, n.evictions);
+        assert_eq!(p.evictions, l.evictions);
     }
 
     #[test]

@@ -34,7 +34,12 @@
 //!   Algorithm-2 synthesizer;
 //! * [`flashfill`] — the FlashFill-style PBE baseline of the evaluation;
 //! * [`baselines`] — simulated users, the Step metric and the user studies;
-//! * [`datagen`] — seeded workload generators and the 47-task benchmark.
+//! * [`datagen`] — seeded workload generators and the 47-task benchmark;
+//! * [`telemetry`] — the zero-overhead-when-off metrics plane:
+//!   [`MetricSink`] counters/gauges/latency histograms, [`InMemorySink`],
+//!   [`Span`] guards and the [`TelemetrySnapshot`] JSON/Prometheus export.
+//!   Attach with [`ClxSession::with_telemetry`](clx_core::ClxSession::with_telemetry)
+//!   or [`ColumnStream::with_telemetry`](clx_engine::ColumnStream::with_telemetry).
 //!
 //! # Quickstart
 //!
@@ -77,18 +82,20 @@ pub use clx_flashfill as flashfill;
 pub use clx_pattern as pattern;
 pub use clx_regex as regex;
 pub use clx_synth as synth;
+pub use clx_telemetry as telemetry;
 pub use clx_unifi as unifi;
 
 pub use clx_column::{
-    BudgetPolicy, Column, ColumnBuilder, ColumnChunk, ColumnInterner, StreamBudget,
+    BudgetPolicy, Column, ColumnBuilder, ColumnChunk, ColumnInterner, InternerStats, StreamBudget,
 };
 pub use clx_core::{
     AnySession, Clustered, ClxError, ClxOptions, ClxSession, LabelError, Labelled, RowOutcome,
     TransformReport,
 };
 pub use clx_engine::{
-    BatchReport, ColumnStream, CompiledProgram, ExecOptions, ProgramCache, StreamSession,
-    StreamSummary,
+    BatchReport, ColumnStream, CompiledProgram, DispatchStats, ExecOptions, ProgramCache,
+    ProgramCacheStats, StreamSession, StreamSummary,
 };
 pub use clx_pattern::{parse_pattern, tokenize, Pattern, Token, TokenClass};
+pub use clx_telemetry::{InMemorySink, MetricSink, NoopSink, Span, TelemetrySnapshot};
 pub use clx_unifi::{Explanation, Program, ReplaceOp};

@@ -23,7 +23,10 @@ use proptest::prelude::*;
 
 use clx::pattern::tokenize;
 use clx::unifi::{Branch, Expr, Program, StringExpr};
-use clx::{Column, ColumnBuilder, ColumnStream, CompiledProgram, RowOutcome, StreamBudget};
+use clx::{
+    Column, ColumnBuilder, ColumnStream, CompiledProgram, InMemorySink, MetricSink, NoopSink,
+    RowOutcome, StreamBudget,
+};
 
 /// The phone-rewrite program every streaming test in the workspace uses:
 /// `ddd.ddd.dddd` rewrites to `ddd-ddd-dddd`, dashed rows conform,
@@ -126,7 +129,21 @@ fn stream_in_chunks(
     splits: &[usize],
     budget: StreamBudget,
 ) -> (Vec<RowOutcome>, clx::StreamSummary) {
+    stream_in_chunks_observed(rows, splits, budget, None)
+}
+
+/// [`stream_in_chunks`] with an optional metric sink attached, for the
+/// telemetry-identity property.
+fn stream_in_chunks_observed(
+    rows: &[String],
+    splits: &[usize],
+    budget: StreamBudget,
+    sink: Option<Arc<dyn MetricSink>>,
+) -> (Vec<RowOutcome>, clx::StreamSummary) {
     let mut stream = ColumnStream::with_budget(program(), budget);
+    if let Some(sink) = sink {
+        stream = stream.with_telemetry(sink);
+    }
     let mut streamed: Vec<RowOutcome> = Vec::new();
     let mut rest = rows;
     for &len in splits {
@@ -186,6 +203,46 @@ proptest! {
             stream_in_chunks(&rows, &splits, StreamBudget::unbounded());
         prop_assert_eq!(bounded, unbounded);
         prop_assert_eq!(bounded_summary.stats, unbounded_summary.stats);
+    }
+
+    /// Attaching telemetry never changes an outcome: over the same random
+    /// rows, chunking and budget, the bare stream, a `NoopSink` stream and
+    /// an `InMemorySink` stream are row-for-row identical — sinks observe,
+    /// they do not participate. The sink's own row counter must agree with
+    /// the summary it observed.
+    #[test]
+    fn telemetry_never_changes_outcomes(
+        rows in workload(),
+        splits in chunk_splits(),
+        budget in budgets(),
+    ) {
+        let (bare, bare_summary) = stream_in_chunks(&rows, &splits, budget);
+        let (noop, noop_summary) = stream_in_chunks_observed(
+            &rows, &splits, budget, Some(Arc::new(NoopSink)),
+        );
+        let observer = InMemorySink::shared();
+        let (observed, observed_summary) = stream_in_chunks_observed(
+            &rows, &splits, budget, Some(Arc::clone(&observer) as Arc<dyn MetricSink>),
+        );
+        prop_assert_eq!(&bare, &noop);
+        prop_assert_eq!(&bare, &observed);
+        prop_assert_eq!(bare_summary.stats, noop_summary.stats);
+        prop_assert_eq!(bare_summary.stats, observed_summary.stats);
+        prop_assert_eq!(bare_summary.evictions, observed_summary.evictions);
+        prop_assert_eq!(
+            bare_summary.decision_cache_hits,
+            observed_summary.decision_cache_hits
+        );
+
+        let snap = observer.snapshot();
+        prop_assert_eq!(
+            snap.counter("engine.stream.rows").unwrap_or(0),
+            rows.len() as u64
+        );
+        prop_assert_eq!(
+            snap.counter("engine.stream.decision_misses").unwrap_or(0),
+            observed_summary.decision_cache_misses
+        );
     }
 
     /// Sharded column construction is byte-identical to sequential on
