@@ -101,7 +101,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::mem::{size_of, size_of_val};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -659,19 +660,24 @@ impl ColumnInterner {
         if self.budget.policy != BudgetPolicy::Evict || !self.over_budget() {
             return 0;
         }
-        // Coldest-first victim order over the live slots.
-        let mut order: Vec<(u64, u32)> = self
+        // Coldest-first victim selection over the live slots via a
+        // min-heap on `(last_touch, id)`: heapifying is O(live) and each
+        // pop O(log live), so a batch costs O(live + evicted·log live)
+        // instead of sorting the whole live set (O(live·log live)) when
+        // only a few victims are needed. Pop order — coldest first, ties
+        // by slot id — is exactly the order the former full sort evicted
+        // in, so victim choice is byte-identical.
+        let mut coldest: BinaryHeap<Reverse<(u64, u32)>> = self
             .entries
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.entry.as_ref().map(|e| (e.last_touch, i as u32)))
+            .filter_map(|(i, s)| s.entry.as_ref().map(|e| Reverse((e.last_touch, i as u32))))
             .collect();
-        order.sort_unstable();
         let mut evicted = 0;
-        for &(_, id) in &order {
-            if !self.over_budget() {
+        while self.over_budget() {
+            let Some(Reverse((_, id))) = coldest.pop() else {
                 break;
-            }
+            };
             self.evict_slot(id);
             evicted += 1;
         }

@@ -430,8 +430,14 @@ impl ClxSession<Labelled> {
     /// exactly those of [`ClxSession::apply`].
     pub fn compile(&self) -> Result<CompiledProgram, ClxError> {
         let _compile = Span::start(self.telemetry.as_ref(), "core.phase.compile_ns");
-        CompiledProgram::compile(&self.program(), &self.phase.target)
-            .map_err(|e| ClxError::Compile(e.to_string()))
+        // Under a session sink the fused-automaton construction also
+        // reports `engine.fused.build_ns` / `engine.fused.fallbacks`.
+        CompiledProgram::compile_observed(
+            &self.program(),
+            &self.phase.target,
+            self.telemetry.as_ref(),
+        )
+        .map_err(|e| ClxError::Compile(e.to_string()))
     }
 
     /// [`ClxSession::apply`] through the compiled engine: same report,

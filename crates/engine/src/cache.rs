@@ -109,9 +109,15 @@ impl ProgramCache {
         }
         let compiled = {
             // Times the compilation (including failed ones) when a sink is
-            // attached; inert — no clock read — otherwise.
+            // attached; inert — no clock read — otherwise. The nested
+            // `engine.fused.build_ns` span and `engine.fused.fallbacks`
+            // counter flow to the same sink.
             let _span = Span::start(self.telemetry.as_ref(), "engine.program_cache.compile_ns");
-            Arc::new(CompiledProgram::compile(program, target)?)
+            Arc::new(CompiledProgram::compile_observed(
+                program,
+                target,
+                self.telemetry.as_ref(),
+            )?)
         };
 
         let mut inner = self.inner.lock().expect("program cache poisoned");

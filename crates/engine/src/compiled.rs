@@ -2,14 +2,17 @@
 //! executable form.
 
 use std::hash::{Hash as _, Hasher as _};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use clx_pattern::{tokenize, Pattern};
 use clx_regex::Regex;
+use clx_telemetry::{MetricSink, Span};
 use clx_unifi::{eval_expr, Expr, Program, StringExpr};
 
 use crate::dispatch::{DispatchCache, LeafPlan, SplitPlan, Step};
 use crate::error::CompileError;
+use crate::fused::{FusedFallback, FusedMatcher};
 use crate::report::RowOutcome;
 
 /// One compiled branch: the source pattern, its plan, and the pre-built
@@ -73,6 +76,49 @@ pub struct CompiledProgram {
     /// bind to it, so a cached plan can never be replayed against another
     /// program — not even under a fingerprint collision.
     instance: u64,
+    /// The fused multi-pattern decision automaton (see the `fused` module
+    /// docs): one pass over a new leaf signature decides every transparent
+    /// pattern at once, instead of up to k+1 per-branch matcher runs.
+    /// `None` when construction fell back ([`CompiledProgram::fused_fallback`]).
+    fused: Option<FusedMatcher>,
+    /// Why `fused` is `None`, when it is.
+    fused_fallback: Option<FusedFallback>,
+    /// Cold-path decision tallies (relaxed atomics: the program is shared
+    /// across executor threads; plan builds are per distinct leaf, so the
+    /// increment never sits on the per-row path).
+    tallies: FusedTallies,
+}
+
+/// The decision class of one value under a [`CompiledProgram`] — the §6.1
+/// outcome without the rewritten string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The value already matches the target pattern.
+    Conforming,
+    /// The branch at this index rewrites the value (first match wins).
+    Branch(usize),
+    /// No branch applies: the value is left unchanged and flagged.
+    Flagged,
+}
+
+/// Lifetime tallies of cold-path (plan-building) decisions, split by which
+/// machinery answered. Read via [`CompiledProgram::fused_stats`];
+/// [`crate::ColumnStream`] publishes the deltas as `engine.fused.*`
+/// counters at chunk boundaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusedStats {
+    /// Cold decisions answered by the fused automaton in one leaf pass.
+    pub fused_decisions: u64,
+    /// Cold decisions that ran the per-branch matching loop — every
+    /// decision of a fallback program, or a non-leaf signature handed to a
+    /// fused one.
+    pub pike_vm_decisions: u64,
+}
+
+#[derive(Debug, Default)]
+struct FusedTallies {
+    fused: AtomicU64,
+    pike_vm: AtomicU64,
 }
 
 /// Source of [`CompiledProgram::instance`] ids.
@@ -88,6 +134,18 @@ const _: () = {
 impl CompiledProgram {
     /// Compile `program` for execution against `target`.
     pub fn compile(program: &Program, target: &Pattern) -> Result<Self, CompileError> {
+        Self::compile_observed(program, target, None)
+    }
+
+    /// [`CompiledProgram::compile`] under an optional telemetry sink: the
+    /// fused-automaton construction is timed as `engine.fused.build_ns`
+    /// and a per-program fallback is counted as `engine.fused.fallbacks`.
+    /// With `None` this never reads a clock.
+    pub fn compile_observed(
+        program: &Program,
+        target: &Pattern,
+        telemetry: Option<&Arc<dyn MetricSink>>,
+    ) -> Result<Self, CompileError> {
         let target_regex = Regex::new(&target.to_regex()).map_err(|e| CompileError::Regex {
             branch: None,
             message: e.to_string(),
@@ -109,14 +167,102 @@ impl CompiledProgram {
                 transparent: is_transparent(&branch.pattern),
             });
         }
+        let target_transparent = is_transparent(target);
+        let (fused, fused_fallback) = {
+            let _span = Span::start(telemetry, "engine.fused.build_ns");
+            let branch_patterns: Vec<Option<&Pattern>> = branches
+                .iter()
+                .map(|b| b.transparent.then_some(&b.pattern))
+                .collect();
+            match FusedMatcher::build(target_transparent.then_some(target), &branch_patterns) {
+                Ok(matcher) => (Some(matcher), None),
+                Err(fallback) => (None, Some(fallback)),
+            }
+        };
+        if fused_fallback.is_some() {
+            if let Some(sink) = telemetry {
+                sink.counter("engine.fused.fallbacks", 1);
+            }
+        }
         Ok(CompiledProgram {
             target: target.clone(),
             target_regex,
-            target_transparent: is_transparent(target),
+            target_transparent,
             branches,
             fingerprint: fingerprint(program, target),
             instance: NEXT_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            fused,
+            fused_fallback,
+            tallies: FusedTallies::default(),
         })
+    }
+
+    /// This compilation with fused dispatch turned off: every cold-path
+    /// decision runs the per-branch matching loop, with behavior
+    /// guaranteed identical (the property suite locks this). For
+    /// benchmarking and differential testing of the two cold paths.
+    pub fn without_fused(mut self) -> Self {
+        if self.fused.take().is_some() {
+            self.fused_fallback = Some(FusedFallback::Disabled);
+        }
+        self
+    }
+
+    /// `true` when cold-path decisions go through the fused automaton.
+    pub fn fused_active(&self) -> bool {
+        self.fused.is_some()
+    }
+
+    /// Why this program has no fused automaton (`None` when it has one).
+    pub fn fused_fallback(&self) -> Option<FusedFallback> {
+        self.fused_fallback
+    }
+
+    /// One consistent read of the cold-path decision tallies.
+    pub fn fused_stats(&self) -> FusedStats {
+        FusedStats {
+            fused_decisions: self.tallies.fused.load(Ordering::Relaxed),
+            pike_vm_decisions: self.tallies.pike_vm.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The decision class of `value` — conforming, which branch rewrites
+    /// it, or flagged — without building the rewritten string.
+    ///
+    /// Consults the fused automaton first: one pass over the value's leaf
+    /// signature decides every transparent pattern at once. Opaque
+    /// patterns are checked per value exactly as in execution, and a
+    /// fallback program ([`CompiledProgram::fused_fallback`]) walks the
+    /// per-branch loop — the decision is identical either way, and
+    /// consistent with [`CompiledProgram::transform_one`]'s outcome.
+    pub fn decide(&self, value: &str) -> Decision {
+        self.decide_cached(&tokenize(value), value)
+    }
+
+    /// [`CompiledProgram::decide`] for a value whose leaf pattern is
+    /// already known; `leaf` must be exactly `tokenize(value)`.
+    pub fn decide_cached(&self, leaf: &Pattern, value: &str) -> Decision {
+        debug_assert_eq!(leaf, &tokenize(value), "leaf must be the value's own");
+        let plan = self.build_plan(leaf, value);
+        for step in &plan.steps {
+            match step {
+                Step::Conforming => return Decision::Conforming,
+                Step::Apply { branch, .. } => return Decision::Branch(*branch),
+                Step::CheckTarget => {
+                    if self.target_regex.is_full_match(value) {
+                        return Decision::Conforming;
+                    }
+                }
+                Step::CheckBranch { branch } => {
+                    let b = &self.branches[*branch];
+                    if b.regex.is_full_match(value) && eval_expr(&b.expr, &b.pattern, value).is_ok()
+                    {
+                        return Decision::Branch(*branch);
+                    }
+                }
+            }
+        }
+        Decision::Flagged
     }
 
     /// The target pattern this program was compiled against.
@@ -191,10 +337,36 @@ impl CompiledProgram {
         value: &str,
         leaf: &Pattern,
     ) -> RowOutcome {
+        self.transform_one_by_leaf_id_observed(
+            cache,
+            source,
+            source_generation,
+            leaf_id,
+            value,
+            leaf,
+            None,
+        )
+    }
+
+    /// [`CompiledProgram::transform_one_by_leaf_id`] under an optional
+    /// telemetry sink: a first-sight decision times its fused classify as
+    /// `engine.fused.decide_ns`. With `None` (and on every plan replay)
+    /// no clock is read.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn transform_one_by_leaf_id_observed(
+        &self,
+        cache: &mut DispatchCache,
+        source: u64,
+        source_generation: u64,
+        leaf_id: u32,
+        value: &str,
+        leaf: &Pattern,
+        telemetry: Option<&Arc<dyn MetricSink>>,
+    ) -> RowOutcome {
         debug_assert_eq!(leaf, &tokenize(value), "leaf must be the value's own");
         let plan =
             cache.plan_for_leaf_id(self.instance, source, source_generation, leaf_id, || {
-                self.build_plan(leaf, value)
+                self.build_plan_observed(leaf, value, telemetry)
             });
         self.run_plan(&plan, value)
     }
@@ -245,6 +417,89 @@ impl CompiledProgram {
     /// Build the decision plan for one leaf; `value` is a representative
     /// row with that leaf (used to precompute split boundaries).
     fn build_plan(&self, leaf: &Pattern, value: &str) -> LeafPlan {
+        self.build_plan_observed(leaf, value, None)
+    }
+
+    /// [`CompiledProgram::build_plan`], routing through the fused
+    /// automaton when the program has one: a single pass over the leaf's
+    /// tokens decides every transparent pattern, so the only per-branch
+    /// work left is one `split` on the winning branch (to precompute its
+    /// token boundaries). Falls back to the per-branch loop for fallback
+    /// programs and for non-leaf signatures.
+    fn build_plan_observed(
+        &self,
+        leaf: &Pattern,
+        value: &str,
+        telemetry: Option<&Arc<dyn MetricSink>>,
+    ) -> LeafPlan {
+        if let Some(fused) = &self.fused {
+            let matches = {
+                let _span = Span::start(telemetry, "engine.fused.decide_ns");
+                fused.classify(leaf)
+            };
+            if let Some(matches) = matches {
+                self.tallies.fused.fetch_add(1, Ordering::Relaxed);
+                return self.build_plan_fused(fused, &matches, value);
+            }
+        }
+        self.tallies.pike_vm.fetch_add(1, Ordering::Relaxed);
+        self.build_plan_per_branch(leaf, value)
+    }
+
+    /// Turn one fused classification into a plan, preserving the §6.1
+    /// step order exactly: transparent target match → `Conforming`; opaque
+    /// patterns keep per-row `Check*` steps in dispatch order; the first
+    /// matching transparent branch becomes the `Apply` step.
+    fn build_plan_fused(
+        &self,
+        fused: &FusedMatcher,
+        matches: &crate::fused::FusedMatches,
+        value: &str,
+    ) -> LeafPlan {
+        let mut steps = Vec::new();
+        if self.target_transparent {
+            if fused.target_matches(matches) {
+                steps.push(Step::Conforming);
+                return LeafPlan { steps };
+            }
+        } else {
+            steps.push(Step::CheckTarget);
+        }
+        for (index, branch) in self.branches.iter().enumerate() {
+            if !branch.transparent {
+                steps.push(Step::CheckBranch { branch: index });
+                continue;
+            }
+            if !fused.branch_matches(matches, index) {
+                continue;
+            }
+            // One split on the winning branch precomputes the reusable
+            // token boundaries (the automaton proved it matches, so this
+            // cannot fail; treated as a non-match if it ever did, which is
+            // what the per-branch loop would conclude).
+            let Ok(slices) = branch.pattern.split(value) else {
+                debug_assert!(
+                    false,
+                    "fused automaton and Pattern::split disagree on {value:?}"
+                );
+                continue;
+            };
+            steps.push(Step::Apply {
+                branch: index,
+                split: Arc::new(SplitPlan {
+                    ranges: char_ranges(value, &slices),
+                }),
+            });
+            return LeafPlan { steps };
+        }
+        LeafPlan { steps }
+    }
+
+    /// The pre-fused cold path: walk the branches, one full backtracking
+    /// match each until one fires. Kept as the recorded per-program
+    /// fallback ([`CompiledProgram::fused_fallback`]) and as the per-value
+    /// fallback for non-leaf signatures.
+    fn build_plan_per_branch(&self, leaf: &Pattern, value: &str) -> LeafPlan {
         let mut steps = Vec::new();
         if self.target_transparent {
             if self.target.matches(value) {
@@ -350,6 +605,7 @@ fn apply_split(expr: &Expr, split: &SplitPlan, value: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fused::FUSED_MAX_WIDTH;
     use clx_pattern::{parse_pattern, Token};
     use clx_unifi::{transform, Branch};
 
@@ -583,5 +839,91 @@ mod tests {
         assert_eq!(c1.fingerprint(), c1b.fingerprint());
         assert_ne!(c1.fingerprint(), c2.fingerprint());
         assert_ne!(c1.fingerprint(), c3.fingerprint());
+    }
+
+    #[test]
+    fn decide_agrees_with_and_without_fused() {
+        let fused = CompiledProgram::compile(&phone_program(), &phone_target()).unwrap();
+        assert!(fused.fused_active());
+        assert!(fused.fused_fallback().is_none());
+        let plain = CompiledProgram::compile(&phone_program(), &phone_target())
+            .unwrap()
+            .without_fused();
+        assert!(!plain.fused_active());
+        assert_eq!(plain.fused_fallback(), Some(FusedFallback::Disabled));
+
+        let cases = [
+            ("734-422-8073", Decision::Branch(0)),
+            ("(734)586-7252", Decision::Branch(1)),
+            ("(734) 645-8397", Decision::Conforming),
+            ("N/A", Decision::Flagged),
+            ("", Decision::Flagged),
+        ];
+        for (value, want) in cases {
+            assert_eq!(fused.decide(value), want, "fused on {value:?}");
+            assert_eq!(plain.decide(value), want, "per-branch on {value:?}");
+        }
+    }
+
+    #[test]
+    fn wide_program_falls_back_with_recorded_reason() {
+        // A 300-position pattern cannot be encoded in the automaton's bit
+        // budget; the per-branch path must take over with the reason kept.
+        let wide = parse_pattern("<D>300").unwrap();
+        let program = Program::new(vec![Branch::new(
+            wide,
+            Expr::concat(vec![StringExpr::extract(1)]),
+        )]);
+        let compiled = CompiledProgram::compile(&program, &tokenize("123")).unwrap();
+        assert!(!compiled.fused_active());
+        assert!(matches!(
+            compiled.fused_fallback(),
+            Some(FusedFallback::WidthExceeded { required }) if required > FUSED_MAX_WIDTH
+        ));
+        // The fallback path still transforms correctly.
+        let row = "7".repeat(300);
+        let mut cache = DispatchCache::new();
+        assert_eq!(compiled.transform_one(&mut cache, &row).value(), row);
+        assert_eq!(compiled.decide(&row), Decision::Branch(0));
+        let stats = compiled.fused_stats();
+        assert_eq!(stats.fused_decisions, 0);
+        assert!(stats.pike_vm_decisions > 0);
+    }
+
+    #[test]
+    fn opaque_only_program_falls_back_with_recorded_reason() {
+        // Opaque target, no branches: nothing for the automaton to encode.
+        let target = Pattern::new(vec![Token::literal("N/A")]);
+        let compiled = CompiledProgram::compile(&Program::empty(), &target).unwrap();
+        assert!(!compiled.fused_active());
+        assert_eq!(
+            compiled.fused_fallback(),
+            Some(FusedFallback::NothingTransparent)
+        );
+        assert_eq!(compiled.decide("N/A"), Decision::Conforming);
+        assert_eq!(compiled.decide("X/Y"), Decision::Flagged);
+    }
+
+    #[test]
+    fn fused_stats_tally_cold_decisions() {
+        let compiled = CompiledProgram::compile(&phone_program(), &phone_target()).unwrap();
+        let mut cache = DispatchCache::new();
+        // Two distinct leaves, three rows: only first sight of each leaf
+        // builds a plan, and the phone program's leaves are all fusable.
+        for row in ["734-422-8073", "555-111-2222", "(734)586-7252"] {
+            compiled.transform_one(&mut cache, row);
+        }
+        let stats = compiled.fused_stats();
+        assert_eq!(stats.fused_decisions, 2);
+        assert_eq!(stats.pike_vm_decisions, 0);
+
+        let plain = CompiledProgram::compile(&phone_program(), &phone_target())
+            .unwrap()
+            .without_fused();
+        let mut cache = DispatchCache::new();
+        plain.transform_one(&mut cache, "734-422-8073");
+        let stats = plain.fused_stats();
+        assert_eq!(stats.fused_decisions, 0);
+        assert_eq!(stats.pike_vm_decisions, 1);
     }
 }

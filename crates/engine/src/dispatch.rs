@@ -59,6 +59,17 @@
 //! meaningful within the interner that assigned it, so the dense tier is
 //! bound to the interner's process-unique instance id and resets when ids
 //! from a different id space appear.
+//!
+//! ## The full cascade
+//!
+//! Altogether a row's decision falls through four tiers, most-specific
+//! first: the dense leaf-id array (columnar paths), this cache's hashed
+//! leaf map (`&[String]` paths), and — on a genuine first sight — the
+//! fused decision automaton (see the `fused` module), which classifies the
+//! new leaf against the target and every transparent branch in one pass,
+//! with the per-branch Pike-VM loop as the recorded per-program fallback
+//! and the per-value check for opaque patterns. Tiers 1 and 2 replay what
+//! tiers 3 and 4 decided.
 
 use std::collections::HashMap;
 use std::sync::Arc;

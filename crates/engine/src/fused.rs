@@ -1,0 +1,577 @@
+//! The fused multi-pattern decision automaton behind cold-path dispatch.
+//!
+//! Deciding a *new* leaf signature used to walk the program's branches and
+//! run one full backtracking pattern match per branch until one fired —
+//! up to k+1 matcher runs (target + k branches) per distinct leaf, the
+//! exact cost profile adversarial all-new-leaf streams maximize (the dense
+//! leaf-id tier makes *repeat* leaves free, but can do nothing for a leaf
+//! it has never seen). [`FusedMatcher`] compiles the target pattern plus
+//! every transparent branch pattern into **one** bit-parallel shift-and
+//! automaton (Baeza-Yates–Gonnet; the compiled-pattern-buffer +
+//! single-pass-scan design of the classic DECUS grep): each pattern
+//! becomes a contiguous run of bit positions, each position a character
+//! predicate, and one pass over the leaf signature simulates every pattern
+//! simultaneously with a handful of word-wide shift/AND/OR operations per
+//! consumed character — returning which patterns match, i.e. the
+//! Conforming / branch-index / Flagged decision, in a single scan.
+//!
+//! # The abstract alphabet
+//!
+//! The automaton never inspects concrete alphanumeric characters — only
+//! the tokenizer's *leaf alphabet* ([`TokenClass::leaf_class_index`]): a
+//! digit run of length n is n abstract `<D>` symbols (likewise `<L>` and
+//! `<U>`), and every other character is its own concrete symbol. The
+//! patterns admitted into the automaton are exactly the *transparent* ones
+//! (no ASCII alphanumerics inside literal tokens — see the `dispatch`
+//! module docs), whose match relation is provably a function of that
+//! abstract string; opaque patterns keep their per-row `Check*` plan steps
+//! exactly as before. Position predicates map onto the alphabet as:
+//!
+//! * a `<D>`/`<L>`/`<U>` position accepts its own class symbol;
+//! * an `<A>` position accepts `<L>` and `<U>`;
+//! * an `<AN>` position accepts `<D>`, `<L>`, `<U>` and the concrete
+//!   symbols `-` and `_` (matching [`TokenClass::contains_char`]);
+//! * a literal position accepts exactly its concrete character.
+//!
+//! # Simulation
+//!
+//! Bit i of the state word(s) means "some prefix of the input ends a match
+//! of positions `start(segment)..=i`". A step shifts the state left by one
+//! (advancing every thread), re-seeds segment start bits only on the first
+//! consumed character (the automaton is anchored — bits carried across a
+//! segment boundary are masked off), ANDs with the symbol's transition
+//! mask, and ORs back the self-loop threads of `+`-quantified positions.
+//! Class runs apply the same step `n` times but exit early on a fixed
+//! point, so a `<D>4000` leaf token costs O(automaton width) steps, not
+//! 4000. A pattern matches iff its last position's bit is set after the
+//! final symbol (an empty pattern matches iff the value is empty).
+//!
+//! Construction is per-program and falls back — recorded, never silently
+//! wrong — to the per-branch loop when the program cannot be encoded
+//! ([`FusedFallback`]): combined width beyond [`FUSED_MAX_WIDTH`]
+//! positions, or nothing transparent to decide.
+
+use std::collections::HashMap;
+
+use clx_pattern::{Pattern, Quantifier, TokenClass, LEAF_CLASS_COUNT};
+
+/// Bit-state word count of the automaton. Four words cover every
+/// realistic synthesized program (one bit position per pattern character)
+/// while the whole state still fits in two cache lines.
+const WORDS: usize = 4;
+
+/// Maximum combined automaton width, in bit positions: the sum over the
+/// target and every transparent branch of their character positions. A
+/// program needing more (e.g. a `<D>300` branch) compiles with
+/// [`FusedFallback::WidthExceeded`] and keeps the per-branch loop.
+pub const FUSED_MAX_WIDTH: usize = WORDS * 64;
+
+type BitRow = [u64; WORDS];
+
+const ZERO: BitRow = [0; WORDS];
+
+/// Sentinel for "character outside the automaton's alphabet"; its
+/// transition mask is all-zero, so one step kills every thread.
+const NO_SYMBOL: u16 = u16::MAX;
+
+/// Why a compiled program runs cold-path decisions on the per-branch
+/// matching loop instead of the fused automaton. Recorded per program at
+/// compile time ([`crate::CompiledProgram::fused_fallback`]) and counted
+/// as `engine.fused.fallbacks` when compiled under a telemetry sink.
+/// Behavior is identical either way — only the cold-path cost differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedFallback {
+    /// The target plus transparent branches need more than
+    /// [`FUSED_MAX_WIDTH`] bit positions.
+    WidthExceeded {
+        /// Positions the program would need.
+        required: usize,
+    },
+    /// Neither the target nor any branch is transparent, so the automaton
+    /// would decide nothing.
+    NothingTransparent,
+    /// Fused dispatch was explicitly turned off
+    /// ([`crate::CompiledProgram::without_fused`]).
+    Disabled,
+}
+
+impl std::fmt::Display for FusedFallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FusedFallback::WidthExceeded { required } => write!(
+                f,
+                "patterns need {required} automaton positions (limit {FUSED_MAX_WIDTH})"
+            ),
+            FusedFallback::NothingTransparent => write!(f, "no transparent pattern to fuse"),
+            FusedFallback::Disabled => write!(f, "fused dispatch disabled"),
+        }
+    }
+}
+
+/// Where one fused pattern accepts.
+#[derive(Debug, Clone, Copy)]
+struct SegmentAccept {
+    /// The segment's final bit position; `None` for a zero-width (empty)
+    /// pattern, which matches exactly the empty value.
+    last_bit: Option<u32>,
+}
+
+/// The state of one classification pass: which automaton threads survived
+/// the whole leaf. Produced by [`FusedMatcher::classify`], consumed by the
+/// per-pattern accept tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FusedMatches {
+    state: BitRow,
+    /// `false` iff the leaf was empty (no character consumed), which is
+    /// what zero-width segments accept.
+    consumed: bool,
+}
+
+/// One decision automaton over a program's target + transparent branch
+/// patterns. Immutable after construction; safe to share across executor
+/// threads.
+#[derive(Debug)]
+pub(crate) struct FusedMatcher {
+    /// Live state words (`ceil(width / 64)`, at least 1).
+    words: usize,
+    /// Bit set at every non-empty segment's first position.
+    starts: BitRow,
+    /// Bit set at every `+`-quantified (self-looping) position.
+    plus: BitRow,
+    /// Per-symbol transition masks: bit i set iff position i's predicate
+    /// accepts the symbol. Ids `0..LEAF_CLASS_COUNT` are the abstract
+    /// class symbols; the rest are concrete characters.
+    masks: Vec<BitRow>,
+    /// ASCII character -> symbol id (`NO_SYMBOL` when absent).
+    ascii_symbol: [u16; 128],
+    /// Non-ASCII character -> symbol id.
+    other_symbol: HashMap<char, u16>,
+    /// Accept position of the target segment; `None` when the target is
+    /// opaque (kept out of the automaton).
+    target: Option<SegmentAccept>,
+    /// Accept position per branch, in dispatch order; `None` for opaque
+    /// branches.
+    branches: Vec<Option<SegmentAccept>>,
+}
+
+impl FusedMatcher {
+    /// Compile the automaton for a program: `target` is `Some` iff the
+    /// target pattern is transparent, and `branches[i]` is `Some` iff
+    /// branch i is. Errors name the recorded per-program fallback.
+    pub(crate) fn build(
+        target: Option<&Pattern>,
+        branches: &[Option<&Pattern>],
+    ) -> Result<FusedMatcher, FusedFallback> {
+        let included = || target.iter().chain(branches.iter().flatten());
+        if included().next().is_none() {
+            return Err(FusedFallback::NothingTransparent);
+        }
+        // Width check first — O(tokens), before any O(width) allocation.
+        let required: usize = included().map(|p| pattern_width(p)).sum();
+        if required > FUSED_MAX_WIDTH {
+            return Err(FusedFallback::WidthExceeded { required });
+        }
+
+        let mut matcher = FusedMatcher {
+            words: required.div_ceil(64).max(1),
+            starts: ZERO,
+            plus: ZERO,
+            masks: vec![ZERO; LEAF_CLASS_COUNT],
+            ascii_symbol: [NO_SYMBOL; 128],
+            other_symbol: HashMap::new(),
+            target: None,
+            branches: Vec::with_capacity(branches.len()),
+        };
+        let mut next_bit = 0u32;
+        matcher.target = target.map(|p| matcher_segment(&mut matcher, p, &mut next_bit));
+        for branch in branches {
+            let accept = branch.map(|p| matcher_segment(&mut matcher, p, &mut next_bit));
+            matcher.branches.push(accept);
+        }
+        debug_assert_eq!(next_bit as usize, required);
+        Ok(matcher)
+    }
+
+    /// Which fused patterns match `leaf`, in one pass over its tokens.
+    ///
+    /// Returns `None` when `leaf` is not a leaf signature the tokenizer
+    /// can produce (a `+` quantifier or an `<A>`/`<AN>` class) — callers
+    /// fall back to per-branch matching for that value, counted as a
+    /// fallback decision.
+    pub(crate) fn classify(&self, leaf: &Pattern) -> Option<FusedMatches> {
+        let mut state = ZERO;
+        let mut consumed = false;
+        for token in leaf.iter() {
+            match token.literal_value() {
+                Some(s) => {
+                    for c in s.chars() {
+                        self.step(&mut state, self.symbol(c), !consumed);
+                        consumed = true;
+                        if state == ZERO {
+                            return Some(FusedMatches { state, consumed });
+                        }
+                    }
+                }
+                None => {
+                    let class = token.class.leaf_class_index()? as u16;
+                    let Quantifier::Exact(n) = token.quantifier else {
+                        return None;
+                    };
+                    self.step(&mut state, class, !consumed);
+                    consumed = true;
+                    if state == ZERO {
+                        return Some(FusedMatches { state, consumed });
+                    }
+                    let mut prev = state;
+                    for _ in 1..n {
+                        self.step(&mut state, class, false);
+                        if state == prev {
+                            // Fixed point: repeating the same symbol can
+                            // no longer change the state (steps are a pure
+                            // function of it), so a long run costs
+                            // O(width), not O(run length).
+                            break;
+                        }
+                        if state == ZERO {
+                            return Some(FusedMatches { state, consumed });
+                        }
+                        prev = state;
+                    }
+                }
+            }
+        }
+        Some(FusedMatches { state, consumed })
+    }
+
+    /// Did the (transparent) target pattern match? Always `false` when the
+    /// target is opaque — callers gate on the transparency flag.
+    pub(crate) fn target_matches(&self, m: &FusedMatches) -> bool {
+        self.target.is_some_and(|acc| accepts(m, acc))
+    }
+
+    /// Did (transparent) branch `index` match? Always `false` for opaque
+    /// branches.
+    pub(crate) fn branch_matches(&self, m: &FusedMatches, index: usize) -> bool {
+        self.branches[index].is_some_and(|acc| accepts(m, acc))
+    }
+
+    /// Advance every thread by one abstract character.
+    #[inline]
+    fn step(&self, state: &mut BitRow, sym: u16, inject: bool) {
+        let mask = if sym == NO_SYMBOL {
+            &ZERO
+        } else {
+            &self.masks[sym as usize]
+        };
+        let mut carry = 0u64;
+        for w in 0..self.words {
+            let shifted = (state[w] << 1) | carry;
+            carry = state[w] >> 63;
+            // A bit shifted onto a start position crossed a segment
+            // boundary from the previous pattern's accept position; mask
+            // it off. Starts are seeded only on the first character: the
+            // automaton is anchored at both ends.
+            let mut entering = shifted & !self.starts[w];
+            if inject {
+                entering |= self.starts[w];
+            }
+            state[w] = (entering & mask[w]) | (state[w] & mask[w] & self.plus[w]);
+        }
+    }
+
+    /// The symbol id of one concrete (non-alphanumeric) leaf character.
+    #[inline]
+    fn symbol(&self, c: char) -> u16 {
+        if (c as u32) < 128 {
+            self.ascii_symbol[c as usize]
+        } else {
+            self.other_symbol.get(&c).copied().unwrap_or(NO_SYMBOL)
+        }
+    }
+
+    /// The symbol id of `c`, interning it on first sight.
+    fn intern_symbol(&mut self, c: char) -> u16 {
+        let next = self.masks.len() as u16;
+        let id = if (c as u32) < 128 {
+            let slot = &mut self.ascii_symbol[c as usize];
+            if *slot == NO_SYMBOL {
+                *slot = next;
+            }
+            *slot
+        } else {
+            *self.other_symbol.entry(c).or_insert(next)
+        };
+        if id == next {
+            self.masks.push(ZERO);
+        }
+        id
+    }
+
+    /// Set transition bit `bit` for every symbol `pred` accepts.
+    fn set_position(&mut self, bit: u32, pred: &TokenClass) {
+        match pred {
+            TokenClass::Literal(_) => unreachable!("literals are laid out per character"),
+            class => {
+                if matches!(class, TokenClass::Digit | TokenClass::AlphaNumeric) {
+                    set_bit(&mut self.masks[0], bit);
+                }
+                if matches!(
+                    class,
+                    TokenClass::Lower | TokenClass::Alpha | TokenClass::AlphaNumeric
+                ) {
+                    set_bit(&mut self.masks[1], bit);
+                }
+                if matches!(
+                    class,
+                    TokenClass::Upper | TokenClass::Alpha | TokenClass::AlphaNumeric
+                ) {
+                    set_bit(&mut self.masks[2], bit);
+                }
+                if matches!(class, TokenClass::AlphaNumeric) {
+                    // <AN> also consumes the concrete '-' and '_' symbols
+                    // (TokenClass::contains_char).
+                    for c in ['-', '_'] {
+                        let sym = self.intern_symbol(c);
+                        set_bit(&mut self.masks[sym as usize], bit);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lay out one pattern as the next contiguous run of bit positions.
+fn matcher_segment(
+    matcher: &mut FusedMatcher,
+    pattern: &Pattern,
+    next_bit: &mut u32,
+) -> SegmentAccept {
+    let offset = *next_bit;
+    for token in pattern.iter() {
+        match token.literal_value() {
+            Some(s) => {
+                for c in s.chars() {
+                    let sym = matcher.intern_symbol(c);
+                    set_bit(&mut matcher.masks[sym as usize], *next_bit);
+                    *next_bit += 1;
+                }
+            }
+            None => {
+                let positions = match token.quantifier {
+                    Quantifier::Exact(n) => n,
+                    Quantifier::OneOrMore => {
+                        set_bit(&mut matcher.plus, *next_bit);
+                        1
+                    }
+                };
+                for _ in 0..positions {
+                    matcher.set_position(*next_bit, &token.class);
+                    *next_bit += 1;
+                }
+            }
+        }
+    }
+    if *next_bit > offset {
+        set_bit(&mut matcher.starts, offset);
+        SegmentAccept {
+            last_bit: Some(*next_bit - 1),
+        }
+    } else {
+        SegmentAccept { last_bit: None }
+    }
+}
+
+/// Automaton positions a pattern needs: one per literal character, n per
+/// `Exact(n)` class token, one (self-looping) per `+` class token.
+fn pattern_width(pattern: &Pattern) -> usize {
+    pattern
+        .iter()
+        .map(|t| match t.literal_value() {
+            Some(s) => s.chars().count(),
+            None => match t.quantifier {
+                Quantifier::Exact(n) => n,
+                Quantifier::OneOrMore => 1,
+            },
+        })
+        .sum()
+}
+
+fn accepts(m: &FusedMatches, acc: SegmentAccept) -> bool {
+    match acc.last_bit {
+        Some(bit) => (m.state[(bit / 64) as usize] >> (bit % 64)) & 1 == 1,
+        None => !m.consumed,
+    }
+}
+
+#[inline]
+fn set_bit(row: &mut BitRow, bit: u32) {
+    row[(bit / 64) as usize] |= 1 << (bit % 64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clx_pattern::{parse_pattern, tokenize};
+
+    /// Single-pattern automaton acceptance must agree with the
+    /// backtracking `Pattern::matches` on transparent patterns.
+    fn assert_agrees(pattern_text: &str, values: &[&str]) {
+        let pattern = parse_pattern(pattern_text).unwrap();
+        let matcher = FusedMatcher::build(Some(&pattern), &[]).unwrap();
+        for value in values {
+            let leaf = tokenize(value);
+            let m = matcher.classify(&leaf).expect("leaves always classify");
+            assert_eq!(
+                matcher.target_matches(&m),
+                pattern.matches(value),
+                "pattern {pattern_text} on {value:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_counts_match_like_the_backtracker() {
+        assert_agrees(
+            "<D>3'-'<D>4",
+            &[
+                "123-4567",
+                "123-456",
+                "1234567",
+                "123-45678",
+                "",
+                "abc-defg",
+            ],
+        );
+    }
+
+    #[test]
+    fn plus_quantifiers_self_loop() {
+        assert_agrees(
+            "<U>+'-'<D>+",
+            &["A-1", "ABC-123", "-1", "A-", "A-1-2", "ABC-123X", "a-1"],
+        );
+    }
+
+    #[test]
+    fn alpha_positions_accept_both_cases() {
+        assert_agrees("<A>3", &["abc", "ABC", "aBc", "ab1", "abcd", "ab"]);
+    }
+
+    #[test]
+    fn alphanumeric_positions_accept_dash_and_underscore() {
+        assert_agrees(
+            "<AN>+",
+            &["a1-B_2", "a b", "a.b", "---", "___", "x", "", "€"],
+        );
+    }
+
+    #[test]
+    fn adjacent_same_class_tokens_keep_their_counts() {
+        // The leaf of "12345" is <D>5; the pattern still splits it 2+3.
+        assert_agrees("<D>2<D>3", &["12345", "1234", "123456"]);
+    }
+
+    #[test]
+    fn non_ascii_literals_are_symbols() {
+        let pattern = tokenize("€42"); // '€' literal + <D>2
+        let matcher = FusedMatcher::build(Some(&pattern), &[]).unwrap();
+        for (value, want) in [("€42", true), ("€4", false), ("$42", false), ("42", false)] {
+            let m = matcher.classify(&tokenize(value)).unwrap();
+            assert_eq!(matcher.target_matches(&m), want, "on {value:?}");
+        }
+    }
+
+    #[test]
+    fn empty_pattern_matches_only_the_empty_value() {
+        let empty = tokenize("");
+        let matcher = FusedMatcher::build(Some(&empty), &[]).unwrap();
+        let m = matcher.classify(&tokenize("")).unwrap();
+        assert!(matcher.target_matches(&m));
+        let m = matcher.classify(&tokenize("x")).unwrap();
+        assert!(!matcher.target_matches(&m));
+    }
+
+    #[test]
+    fn multi_word_automata_carry_across_word_boundaries() {
+        // Two ~40-position patterns force the second segment to straddle
+        // the first/second state words.
+        let a = parse_pattern("<D>40'-'<D>2").unwrap();
+        let b = parse_pattern("<L>38'.'<L>3").unwrap();
+        let matcher = FusedMatcher::build(Some(&a), &[Some(&b)]).unwrap();
+        assert!(matcher.words >= 2);
+        let a_val = format!("{}-12", "7".repeat(40));
+        let b_val = format!("{}.abc", "x".repeat(38));
+        let m = matcher.classify(&tokenize(&a_val)).unwrap();
+        assert!(matcher.target_matches(&m) && !matcher.branch_matches(&m, 0));
+        let m = matcher.classify(&tokenize(&b_val)).unwrap();
+        assert!(!matcher.target_matches(&m) && matcher.branch_matches(&m, 0));
+        // One digit short: neither.
+        let short = format!("{}-12", "7".repeat(39));
+        let m = matcher.classify(&tokenize(&short)).unwrap();
+        assert!(!matcher.target_matches(&m) && !matcher.branch_matches(&m, 0));
+    }
+
+    #[test]
+    fn segment_boundaries_do_not_leak_threads() {
+        // Back-to-back segments where the first's accept feeds directly
+        // into a position that would accept the next symbol if the
+        // boundary leaked: '12' must not make branch '2' (pattern <D>)
+        // match via the target's ('<D><D>') overflow.
+        let target = parse_pattern("<D><D>").unwrap();
+        let branch = parse_pattern("<D>").unwrap();
+        let matcher = FusedMatcher::build(Some(&target), &[Some(&branch)]).unwrap();
+        let m = matcher.classify(&tokenize("12")).unwrap();
+        assert!(matcher.target_matches(&m));
+        assert!(!matcher.branch_matches(&m, 0), "boundary leaked a thread");
+        let m = matcher.classify(&tokenize("1")).unwrap();
+        assert!(!matcher.target_matches(&m));
+        assert!(matcher.branch_matches(&m, 0));
+    }
+
+    #[test]
+    fn long_runs_hit_the_fixed_point_early() {
+        // <D>+ saturates after one step; a 100k-digit leaf must classify
+        // without 100k steps (this test is the regression guard: it runs
+        // in microseconds on the fixed-point path, seconds without it).
+        let pattern = parse_pattern("<D>+").unwrap();
+        let matcher = FusedMatcher::build(Some(&pattern), &[]).unwrap();
+        let long = "9".repeat(100_000);
+        let m = matcher.classify(&tokenize(&long)).unwrap();
+        assert!(matcher.target_matches(&m));
+    }
+
+    #[test]
+    fn non_leaf_patterns_decline_to_classify() {
+        let matcher = FusedMatcher::build(Some(&parse_pattern("<D>3").unwrap()), &[]).unwrap();
+        assert!(matcher.classify(&parse_pattern("<D>+").unwrap()).is_none());
+        assert!(matcher.classify(&parse_pattern("<AN>2").unwrap()).is_none());
+        assert!(matcher.classify(&parse_pattern("<A>").unwrap()).is_none());
+    }
+
+    #[test]
+    fn width_overflow_is_a_recorded_fallback() {
+        let wide = parse_pattern("<D>300").unwrap();
+        let err = FusedMatcher::build(Some(&wide), &[]).unwrap_err();
+        assert_eq!(err, FusedFallback::WidthExceeded { required: 300 });
+        // Also when the *sum* overflows.
+        let half = parse_pattern("<D>200").unwrap();
+        let err = FusedMatcher::build(Some(&half), &[Some(&half)]).unwrap_err();
+        assert_eq!(err, FusedFallback::WidthExceeded { required: 400 });
+        assert!(err.to_string().contains("400"));
+    }
+
+    #[test]
+    fn nothing_transparent_is_a_recorded_fallback() {
+        let err = FusedMatcher::build(None, &[None, None]).unwrap_err();
+        assert_eq!(err, FusedFallback::NothingTransparent);
+    }
+
+    #[test]
+    fn opaque_branches_never_match_through_the_automaton() {
+        let target = parse_pattern("<D>2").unwrap();
+        let matcher = FusedMatcher::build(Some(&target), &[None]).unwrap();
+        let m = matcher.classify(&tokenize("42")).unwrap();
+        assert!(matcher.target_matches(&m));
+        assert!(!matcher.branch_matches(&m, 0));
+    }
+}

@@ -18,6 +18,14 @@
 //!   pattern is decided once (which branch fires and where its tokens sit)
 //!   and every further row with the same signature is rewritten with a few
 //!   slice copies, skipping full pattern matching entirely;
+//! * first-sight decisions themselves are fused: compilation builds one
+//!   bit-parallel decision automaton over the target plus every
+//!   transparent branch pattern (see the `fused` module), so classifying a
+//!   *new* leaf is a single pass over its tokens instead of up to k+1
+//!   per-branch matcher runs — with a recorded, behavior-identical
+//!   fallback ([`CompiledProgram::fused_fallback`]) when a program cannot
+//!   be encoded, and [`CompiledProgram::decide`] exposing the decision
+//!   directly;
 //! * [`CompiledProgram::execute`] runs whole columns in parallel chunks
 //!   over `std::thread::scope` workers, merging per-chunk
 //!   [`ChunkReport`]s into an order-preserving [`BatchReport`];
@@ -78,14 +86,16 @@ mod column_exec;
 mod compiled;
 mod dispatch;
 mod error;
+mod fused;
 mod parallel;
 mod report;
 mod stream;
 
 pub use cache::{ProgramCache, ProgramCacheStats};
-pub use compiled::{CompiledBranch, CompiledProgram};
+pub use compiled::{CompiledBranch, CompiledProgram, Decision, FusedStats};
 pub use dispatch::{DispatchCache, DispatchStats};
 pub use error::CompileError;
+pub use fused::{FusedFallback, FUSED_MAX_WIDTH};
 pub use parallel::ExecOptions;
 pub use report::{BatchReport, ChunkReport, ChunkStats, RowOutcome, RowOutcomes};
 pub use stream::{ColumnStream, StreamSession, StreamSummary};

@@ -104,13 +104,15 @@ impl DistinctDecisions {
     }
 
     /// Execute one interned chunk, reusing stored decisions for already-seen
-    /// distinct-ids and recording new ones.
+    /// distinct-ids and recording new ones. `telemetry` (if any) times each
+    /// first-sight fused classification as `engine.fused.decide_ns`.
     fn execute_chunk(
         &mut self,
         program: &CompiledProgram,
         cache: &mut DispatchCache,
         chunk: &ColumnChunk<'_>,
         index: usize,
+        telemetry: Option<&Arc<dyn MetricSink>>,
     ) -> ChunkReport {
         let interner = chunk.interner();
         if self.source != Some(interner.instance()) {
@@ -138,13 +140,14 @@ impl DistinctDecisions {
                     }
                 }
                 self.misses += 1;
-                let outcome = program.transform_one_by_leaf_id(
+                let outcome = program.transform_one_by_leaf_id_observed(
                     cache,
                     interner.instance(),
                     interner.generation(),
                     interner.leaf_id(id),
                     interner.value(id),
                     interner.leaf(id),
+                    telemetry,
                 );
                 self.bytes += outcome_footprint(&outcome);
                 match self.decided[id as usize].replace((slot_generation, outcome.clone())) {
@@ -249,9 +252,13 @@ impl StreamSession<'_> {
         if self.caches.is_empty() {
             self.caches.push(DispatchCache::new());
         }
-        let report =
-            self.decisions
-                .execute_chunk(self.program, &mut self.caches[0], chunk, self.chunks);
+        let report = self.decisions.execute_chunk(
+            self.program,
+            &mut self.caches[0],
+            chunk,
+            self.chunks,
+            None,
+        );
         self.stats.absorb(&report.stats);
         self.chunks += 1;
         self.evictions = chunk.interner().evictions();
@@ -371,6 +378,11 @@ pub struct ColumnStream {
     published_dispatch: crate::dispatch::DispatchStats,
     /// Decision-cache tallies already published to the sink (delta basis).
     published_decisions: (u64, u64),
+    /// Fused cold-path tallies already published to the sink (delta
+    /// basis). The tallies live on the shared program, so a program
+    /// driven by several streams attributes each delta to whichever
+    /// stream publishes first — totals stay exact.
+    published_fused: crate::compiled::FusedStats,
 }
 
 impl ColumnStream {
@@ -383,6 +395,9 @@ impl ColumnStream {
     /// Start a columnar stream whose interned state is capped by `budget`
     /// (see the type-level *bounded streams* docs).
     pub fn with_budget(program: Arc<CompiledProgram>, budget: StreamBudget) -> Self {
+        // Snapshot the shared program's tallies so this stream only
+        // publishes decisions made after it was opened.
+        let published_fused = program.fused_stats();
         ColumnStream {
             program,
             interner: ColumnInterner::with_budget(budget),
@@ -395,6 +410,7 @@ impl ColumnStream {
             telemetry: None,
             published_dispatch: crate::dispatch::DispatchStats::default(),
             published_decisions: (0, 0),
+            published_fused,
         }
     }
 
@@ -449,9 +465,13 @@ impl ColumnStream {
         let start = self.telemetry.is_some().then(Instant::now);
         // chunk() runs enforce_budget() before interning a single row.
         let chunk = self.interner.chunk(rows);
-        let report =
-            self.decisions
-                .execute_chunk(&self.program, &mut self.cache, &chunk, self.chunks);
+        let report = self.decisions.execute_chunk(
+            &self.program,
+            &mut self.cache,
+            &chunk,
+            self.chunks,
+            self.telemetry.as_ref(),
+        );
         drop(chunk);
         self.stats.absorb(&report.stats);
         self.chunks += 1;
@@ -530,6 +550,18 @@ impl ColumnStream {
             dispatch.hashed_misses - prev.hashed_misses,
         );
         self.published_dispatch = dispatch;
+
+        let fused = self.program.fused_stats();
+        let prev = self.published_fused;
+        sink.counter(
+            "engine.fused.decisions",
+            fused.fused_decisions - prev.fused_decisions,
+        );
+        sink.counter(
+            "engine.fused.pike_vm_decisions",
+            fused.pike_vm_decisions - prev.pike_vm_decisions,
+        );
+        self.published_fused = fused;
 
         sink.gauge("engine.stream.memory_bytes", self.memory_used() as u64);
         sink.gauge("engine.stream.peak_memory_bytes", self.peak_memory as u64);
@@ -1056,6 +1088,15 @@ mod tests {
             Some(summary.evictions)
         );
         assert!(snap.gauge("column.interner.arena_bytes").is_some());
+        // Every dense-tier miss builds a plan — a cold decision — and this
+        // program's leaves all fuse: the published fused tally must cover
+        // exactly those builds, with the per-branch loop never consulted.
+        assert_eq!(
+            snap.counter("engine.fused.decisions"),
+            snap.counter("engine.dispatch.dense_misses")
+        );
+        assert_eq!(snap.counter("engine.fused.pike_vm_decisions"), Some(0));
+        assert!(snap.histogram("engine.fused.decide_ns").unwrap().count > 0);
     }
 
     #[test]

@@ -66,3 +66,9 @@ pub const BASE_TOKEN_CLASSES: [TokenClass; 5] = [
     TokenClass::Alpha,
     TokenClass::AlphaNumeric,
 ];
+
+/// Size of the tokenizer's leaf class alphabet: the number of base classes
+/// a leaf pattern can carry (`<D>`, `<L>`, `<U>` — see
+/// [`TokenClass::leaf_class_index`]). `<A>` and `<AN>` only appear in
+/// generalized (parent) patterns.
+pub const LEAF_CLASS_COUNT: usize = 3;

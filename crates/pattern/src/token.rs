@@ -135,6 +135,26 @@ impl TokenClass {
         }
     }
 
+    /// The dense id of this class within the tokenizer's *leaf alphabet*,
+    /// or `None` for the classes leaves never carry.
+    ///
+    /// [`tokenize`](crate::tokenize) describes a string using exactly three
+    /// base classes — a maximal run of digits becomes a `<D>` token, of
+    /// lowercase a `<L>` token, of uppercase a `<U>` token — and every
+    /// other character becomes a literal token. Ids are assigned in that
+    /// order (`<D>` = 0, `<L>` = 1, `<U>` = 2; see
+    /// [`LEAF_CLASS_COUNT`](crate::LEAF_CLASS_COUNT)), giving matchers that
+    /// operate on leaf signatures a ready-made dense index — `clx-engine`'s
+    /// fused dispatch automaton keys its class transition masks by it.
+    pub fn leaf_class_index(&self) -> Option<usize> {
+        match self {
+            TokenClass::Digit => Some(0),
+            TokenClass::Lower => Some(1),
+            TokenClass::Upper => Some(2),
+            _ => None,
+        }
+    }
+
     /// The immediate parent of this class in the generalization lattice, if
     /// any (`<L>`/`<U>` → `<A>`, `<A>`/`<D>` → `<AN>`).
     pub fn parent_class(&self) -> Option<TokenClass> {

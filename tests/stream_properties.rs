@@ -21,11 +21,12 @@ use std::sync::{Arc, OnceLock};
 
 use proptest::prelude::*;
 
-use clx::pattern::tokenize;
+use clx::engine::{Decision, DispatchCache};
+use clx::pattern::{tokenize, Quantifier};
 use clx::unifi::{Branch, Expr, Program, StringExpr};
 use clx::{
     Column, ColumnBuilder, ColumnStream, CompiledProgram, InMemorySink, MetricSink, NoopSink,
-    RowOutcome, StreamBudget,
+    Pattern, RowOutcome, StreamBudget, Token, TokenClass,
 };
 
 /// The phone-rewrite program every streaming test in the workspace uses:
@@ -267,6 +268,205 @@ proptest! {
                 b.rows().collect::<Vec<_>>()
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused-dispatch identity: for random programs and values, the fused
+// decision automaton and the per-branch Pike-VM loop are the same function.
+// ---------------------------------------------------------------------------
+
+/// A random pattern token: base classes (including the `<A>`/`<AN>` parent
+/// classes and `+` quantifiers the refinement produces) and literals —
+/// transparent separators as well as alphanumeric literals like `CPT`,
+/// which make the pattern opaque and exercise the per-value check steps.
+fn any_token() -> impl Strategy<Value = Token> {
+    let class = || {
+        prop_oneof![
+            Just(TokenClass::Digit),
+            Just(TokenClass::Lower),
+            Just(TokenClass::Upper),
+            Just(TokenClass::Alpha),
+            Just(TokenClass::AlphaNumeric),
+        ]
+    };
+    prop_oneof![
+        (class(), 1..4usize).prop_map(|(c, n)| Token::base(c, n)),
+        class().prop_map(Token::plus),
+        prop_oneof![
+            Just("-"),
+            Just("."),
+            Just("/"),
+            Just(" "),
+            Just("€"),
+            Just("CPT"),
+            Just("x"),
+        ]
+        .prop_map(Token::literal),
+    ]
+}
+
+/// Random patterns, occasionally too wide for the automaton's bit budget
+/// (`<D>300`), so the recorded width fallback is part of the tested space
+/// (the shim's `prop_oneof!` is unweighted; repeating the random arm keeps
+/// the wide pattern at ~1 in 6).
+fn any_pattern() -> impl Strategy<Value = Pattern> {
+    let tokens = || proptest::collection::vec(any_token(), 0..5).prop_map(Pattern::new);
+    prop_oneof![
+        tokens(),
+        tokens(),
+        tokens(),
+        tokens(),
+        tokens(),
+        Just(Pattern::new(vec![Token::base(TokenClass::Digit, 300)])),
+    ]
+}
+
+/// A random `(program, target)` pair that always compiles: every branch
+/// rewrite is either a constant or `extract(1)` (valid for any non-empty
+/// source pattern).
+fn any_program() -> impl Strategy<Value = (Program, Pattern)> {
+    let branch = (any_pattern(), 0..2usize).prop_map(|(pattern, extract)| {
+        let expr = if extract == 1 && !pattern.is_empty() {
+            Expr::concat(vec![StringExpr::extract(1), StringExpr::const_str("!")])
+        } else {
+            Expr::concat(vec![StringExpr::const_str("X")])
+        };
+        Branch::new(pattern, expr)
+    });
+    (proptest::collection::vec(branch, 1..4), any_pattern())
+        .prop_map(|(branches, target)| (Program::new(branches), target))
+}
+
+/// A string matching `pattern` (runs of `reps` characters for `+` tokens),
+/// so generated values hit Conforming/Branch decisions, not just Flagged.
+fn sample_value(pattern: &Pattern, reps: usize) -> String {
+    let mut out = String::new();
+    for token in pattern.tokens() {
+        if let Some(lit) = token.literal_value() {
+            out.push_str(lit);
+            continue;
+        }
+        let n = match token.quantifier {
+            Quantifier::Exact(n) => n,
+            Quantifier::OneOrMore => reps,
+        };
+        let c = match token.class {
+            TokenClass::Digit => '7',
+            TokenClass::Lower => 'k',
+            TokenClass::Upper => 'Q',
+            TokenClass::Alpha => 'm',
+            TokenClass::AlphaNumeric => '5',
+            TokenClass::Literal(_) => continue,
+        };
+        out.extend(std::iter::repeat_n(c, n));
+    }
+    out
+}
+
+/// [`stream_in_chunks`] over an explicit program instead of the shared
+/// phone program.
+fn stream_program_in_chunks(
+    program: &Arc<CompiledProgram>,
+    rows: &[String],
+    splits: &[usize],
+    budget: StreamBudget,
+) -> (Vec<RowOutcome>, clx::StreamSummary) {
+    let mut stream = ColumnStream::with_budget(Arc::clone(program), budget);
+    let mut streamed: Vec<RowOutcome> = Vec::new();
+    let mut rest = rows;
+    for &len in splits {
+        let take = len.min(rest.len());
+        let (chunk, tail) = rest.split_at(take);
+        rest = tail;
+        streamed.extend(stream.push_rows(chunk).iter_rows().cloned());
+    }
+    streamed.extend(stream.push_rows(rest).iter_rows().cloned());
+    (streamed, stream.finish())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fused automaton and the per-branch loop are the same decision
+    /// function: for random programs (transparent, opaque, `+`-quantified,
+    /// fallback-forcing wide) and random values — pattern-derived matches
+    /// and arbitrary junk — `decide` and `transform_one` agree exactly,
+    /// each side deciding cold through its own fresh [`DispatchCache`].
+    #[test]
+    fn fused_decisions_equal_per_branch_decisions(
+        program_and_target in any_program(),
+        extra in proptest::collection::vec(data_string(), 0..12),
+        reps in 1..3usize,
+    ) {
+        let (program, target) = program_and_target;
+        let fused = CompiledProgram::compile(&program, &target).unwrap();
+        let plain = CompiledProgram::compile(&program, &target)
+            .unwrap()
+            .without_fused();
+        prop_assert!(!plain.fused_active());
+
+        let mut values: Vec<String> = program
+            .branches
+            .iter()
+            .map(|b| sample_value(&b.pattern, reps))
+            .collect();
+        values.push(sample_value(&target, reps));
+        values.push(String::new());
+        values.extend(extra);
+
+        let mut fused_cache = DispatchCache::new();
+        let mut plain_cache = DispatchCache::new();
+        for value in &values {
+            let fd = fused.decide(value);
+            let pd = plain.decide(value);
+            prop_assert!(fd == pd, "decide diverged on {:?}: {:?} vs {:?}", value, fd, pd);
+            if fused.fused_active() {
+                // Transparent branches decide identically for every value
+                // sharing a leaf, so a fused Branch/Conforming decision on
+                // a transparent program is exactly the automaton's word.
+                prop_assert!(matches!(fd, Decision::Conforming | Decision::Branch(_) | Decision::Flagged));
+            }
+            let ft = fused.transform_one(&mut fused_cache, value);
+            let pt = plain.transform_one(&mut plain_cache, value);
+            prop_assert!(ft == pt, "transform diverged on {:?}: {:?} vs {:?}", value, ft, pt);
+        }
+    }
+
+    /// Fused-on and fused-off streams are row-for-row identical over the
+    /// same rows, chunking and budget — the automaton is an optimization
+    /// of the cold path, never a behavior change, end to end through
+    /// interning, eviction and decision caching.
+    #[test]
+    fn fused_stream_equals_per_branch_stream(
+        program_and_target in any_program(),
+        rows in workload(),
+        splits in chunk_splits(),
+        budget in budgets(),
+        reps in 1..3usize,
+    ) {
+        let (program, target) = program_and_target;
+        let fused =
+            Arc::new(CompiledProgram::compile(&program, &target).unwrap());
+        let plain = Arc::new(
+            CompiledProgram::compile(&program, &target)
+                .unwrap()
+                .without_fused(),
+        );
+
+        // Mix pattern-derived matching values into the random rows so the
+        // streams exercise Branch/Conforming decisions too.
+        let mut rows = rows;
+        for branch in &program.branches {
+            rows.push(sample_value(&branch.pattern, reps));
+        }
+        rows.push(sample_value(&target, reps));
+
+        let (a, a_summary) = stream_program_in_chunks(&fused, &rows, &splits, budget);
+        let (b, b_summary) = stream_program_in_chunks(&plain, &rows, &splits, budget);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a_summary.stats, b_summary.stats);
+        prop_assert_eq!(a_summary.rows(), rows.len());
     }
 }
 
