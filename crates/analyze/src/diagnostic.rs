@@ -1,0 +1,346 @@
+//! The diagnostic data model: codes, severities, machine-readable
+//! evidence, and the per-program report.
+
+use std::fmt;
+
+use clx_pattern::Pattern;
+use clx_unifi::ExtractRule;
+
+/// How serious a diagnostic is.
+///
+/// Ordered `Info < Warning < Error`: `Error` findings are *proofs* of a
+/// defect (the branch can never fire, or a matching row is guaranteed to
+/// raise an evaluation error), `Warning` findings are properties the
+/// analyzer could not prove (the checks over-approximate, so "cannot
+/// prove conforming" is not "proven non-conforming"), and `Info` records
+/// analysis limitations (a pass that had to skip or truncate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Analysis bookkeeping; no program defect implied.
+    Info,
+    /// A property the analyzer could not prove; worth reviewing.
+    Warning,
+    /// A proven defect: the program should not ship as-is.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One diagnostic code per analysis pass. Codes are stable identifiers
+/// (documented in the README's diagnostic-code table) so downstream
+/// tooling can filter on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagnosticCode {
+    /// `CLX000` — a pass could not run to completion (automaton width
+    /// overflow or search budget exceeded); verdicts that depend on it
+    /// default to "no finding".
+    AnalysisIncomplete,
+    /// `CLX001` — the branch can never fire: its language is empty, or
+    /// every string it matches is claimed by the union of earlier
+    /// branches (with no *single* earlier branch responsible).
+    DeadBranch,
+    /// `CLX002` — one specific earlier branch matches everything this
+    /// branch matches, so first-match semantics starve it.
+    ShadowedBranch,
+    /// `CLX003` — two live branches share at least one input; which one
+    /// fires depends on branch order, so reordering repairs changes
+    /// behavior.
+    AmbiguousOverlap,
+    /// `CLX004` — every string the branch matches already conforms to the
+    /// target, so the transform should be the identity (or the branch
+    /// dropped).
+    RedundantBranch,
+    /// `CLX005` — an `Extract` range is out of bounds for the branch's
+    /// own pattern: every matching row would raise an evaluation error.
+    UnsafeExtract,
+    /// `CLX006` — the analyzer could not prove the branch's output always
+    /// conforms to the target pattern.
+    UnprovenConformance,
+}
+
+impl DiagnosticCode {
+    /// The stable textual code, e.g. `"CLX002"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DiagnosticCode::AnalysisIncomplete => "CLX000",
+            DiagnosticCode::DeadBranch => "CLX001",
+            DiagnosticCode::ShadowedBranch => "CLX002",
+            DiagnosticCode::AmbiguousOverlap => "CLX003",
+            DiagnosticCode::RedundantBranch => "CLX004",
+            DiagnosticCode::UnsafeExtract => "CLX005",
+            DiagnosticCode::UnprovenConformance => "CLX006",
+        }
+    }
+
+    /// The fixed severity of this code's findings.
+    pub fn severity(&self) -> Severity {
+        match self {
+            DiagnosticCode::AnalysisIncomplete => Severity::Info,
+            DiagnosticCode::DeadBranch => Severity::Error,
+            DiagnosticCode::ShadowedBranch => Severity::Error,
+            DiagnosticCode::AmbiguousOverlap => Severity::Warning,
+            DiagnosticCode::RedundantBranch => Severity::Warning,
+            DiagnosticCode::UnsafeExtract => Severity::Error,
+            DiagnosticCode::UnprovenConformance => Severity::Warning,
+        }
+    }
+
+    /// All codes, in numeric order.
+    pub const ALL: [DiagnosticCode; 7] = [
+        DiagnosticCode::AnalysisIncomplete,
+        DiagnosticCode::DeadBranch,
+        DiagnosticCode::ShadowedBranch,
+        DiagnosticCode::AmbiguousOverlap,
+        DiagnosticCode::RedundantBranch,
+        DiagnosticCode::UnsafeExtract,
+        DiagnosticCode::UnprovenConformance,
+    ];
+}
+
+impl fmt::Display for DiagnosticCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Machine-readable evidence backing one diagnostic: enough structure for
+/// tooling (the synthesizer's pruning, a future repair UI) to act without
+/// parsing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Evidence {
+    /// The branch pattern's language is empty.
+    EmptyLanguage,
+    /// The union of these earlier branches covers the branch's whole
+    /// language (dead branch with no single shadower).
+    Unreachable {
+        /// Indices of the earlier branches whose union covers this one.
+        earlier: Vec<usize>,
+    },
+    /// This single earlier branch covers the branch's whole language.
+    ShadowedBy {
+        /// Index of the shadowing branch.
+        earlier: usize,
+    },
+    /// The branch shares `witness` with branch `other`.
+    Overlap {
+        /// Index of the other (earlier) overlapping branch.
+        other: usize,
+        /// A concrete input both branches match.
+        witness: String,
+    },
+    /// Every string the branch matches already conforms to the target.
+    CoveredByTarget,
+    /// Part `part` of the branch expression has an out-of-bounds range.
+    ExtractBounds {
+        /// Zero-based index of the offending `Extract` within the plan.
+        part: usize,
+        /// The range's one-based start index.
+        from: usize,
+        /// The range's one-based (inclusive) end index.
+        to: usize,
+        /// Token count of the branch's own pattern.
+        pattern_len: usize,
+        /// Which bounds rule the range broke.
+        rule: ExtractRule,
+    },
+    /// The branch's abstract output pattern is not covered by the target.
+    OutputDiverges {
+        /// The abstracted output pattern.
+        output: Pattern,
+        /// An output the branch can produce that the target rejects, when
+        /// the automaton search found one (`None` when only the cheaper
+        /// cover check failed).
+        witness: Option<String>,
+    },
+    /// The pattern list needs more automaton positions than the limit.
+    WidthExceeded {
+        /// Positions the pattern list would need.
+        required: usize,
+    },
+    /// A language search gave up after visiting its state budget.
+    SearchBudgetExceeded,
+}
+
+/// One finding of one analysis pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The pass's stable code.
+    pub code: DiagnosticCode,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// The branch the finding is about, or `None` for program-level
+    /// findings (e.g. analysis incompleteness).
+    pub branch: Option<usize>,
+    /// Human-readable one-line description.
+    pub message: String,
+    /// Machine-readable backing evidence.
+    pub evidence: Evidence,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.branch {
+            Some(b) => write!(
+                f,
+                "{} [{}] branch {}: {}",
+                self.severity, self.code, b, self.message
+            ),
+            None => write!(
+                f,
+                "{} [{}] program: {}",
+                self.severity, self.code, self.message
+            ),
+        }
+    }
+}
+
+/// Per-branch facts the passes establish along the way. These are the
+/// change-impact substrate for incremental re-verification (ROADMAP open
+/// item 5): a repair that edits branch i invalidates exactly the facts
+/// that mention i.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchFacts {
+    /// `false` iff the branch is proven to never fire (dead or shadowed).
+    pub reachable: bool,
+    /// Every `Extract` is proven in bounds for every matching string.
+    pub extract_safe: bool,
+    /// The branch's output is proven to always conform to the target.
+    pub proven_conforming: bool,
+}
+
+/// The full analysis report for one program against one target pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramDiagnostics {
+    /// All findings, in pass order (extract safety, reachability,
+    /// redundancy, conformance), then branch order within a pass.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-branch facts, indexed like the program's branches.
+    pub facts: Vec<BranchFacts>,
+}
+
+impl ProgramDiagnostics {
+    /// `true` iff any finding is `Error`-severity (what strict-mode
+    /// compilation rejects on).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// The `Error`-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// The `Warning`-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Findings about branch `index`.
+    pub fn for_branch(&self, index: usize) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.branch == Some(index))
+    }
+
+    /// Findings with the given code.
+    pub fn by_code(&self, code: DiagnosticCode) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// The facts for branch `index`.
+    pub fn branch_facts(&self, index: usize) -> BranchFacts {
+        self.facts[index]
+    }
+
+    /// `true` when no pass found anything.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+impl fmt::Display for ProgramDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return write!(f, "no findings ({} branches analyzed)", self.facts.len());
+        }
+        // Most severe first; pass order is preserved within a severity.
+        let mut by_severity: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        by_severity.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        for (i, d) in by_severity.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_severities_fixed() {
+        let rendered: Vec<&str> = DiagnosticCode::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(
+            rendered,
+            ["CLX000", "CLX001", "CLX002", "CLX003", "CLX004", "CLX005", "CLX006"]
+        );
+        assert_eq!(DiagnosticCode::DeadBranch.severity(), Severity::Error);
+        assert_eq!(DiagnosticCode::ShadowedBranch.severity(), Severity::Error);
+        assert_eq!(DiagnosticCode::UnsafeExtract.severity(), Severity::Error);
+        assert_eq!(
+            DiagnosticCode::AmbiguousOverlap.severity(),
+            Severity::Warning
+        );
+        assert_eq!(
+            DiagnosticCode::RedundantBranch.severity(),
+            Severity::Warning
+        );
+        assert_eq!(
+            DiagnosticCode::UnprovenConformance.severity(),
+            Severity::Warning
+        );
+        assert_eq!(
+            DiagnosticCode::AnalysisIncomplete.severity(),
+            Severity::Info
+        );
+    }
+
+    #[test]
+    fn severity_orders_error_highest() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn display_names_code_branch_and_severity() {
+        let d = Diagnostic {
+            code: DiagnosticCode::ShadowedBranch,
+            severity: DiagnosticCode::ShadowedBranch.severity(),
+            branch: Some(2),
+            message: "never fires".into(),
+            evidence: Evidence::ShadowedBy { earlier: 0 },
+        };
+        let s = d.to_string();
+        assert!(
+            s.contains("error") && s.contains("CLX002") && s.contains("branch 2"),
+            "{s}"
+        );
+    }
+}

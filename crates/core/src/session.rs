@@ -51,6 +51,10 @@ pub enum ClxError {
     /// Compiling the program for batch execution failed; this indicates an
     /// ill-formed program (see `clx-engine`), not bad input data.
     Compile(String),
+    /// Strict compilation rejected the program: the static analyzer
+    /// ([`clx_analyze`]) proved an `Error`-severity defect (dead branch,
+    /// shadowed branch, or unsafe `Extract`) before any row ran.
+    Analysis(String),
 }
 
 impl fmt::Display for ClxError {
@@ -60,6 +64,7 @@ impl fmt::Display for ClxError {
             ClxError::Explain(e) => write!(f, "failed to explain program: {e}"),
             ClxError::Eval(e) => write!(f, "failed to evaluate program: {e}"),
             ClxError::Compile(e) => write!(f, "failed to compile program: {e}"),
+            ClxError::Analysis(e) => write!(f, "program rejected by static analysis: {e}"),
         }
     }
 }
@@ -438,6 +443,44 @@ impl ClxSession<Labelled> {
             self.telemetry.as_ref(),
         )
         .map_err(|e| ClxError::Compile(e.to_string()))
+    }
+
+    /// Statically analyze the current program against the labelled target
+    /// (see [`clx_analyze`]): six language-level passes proving per-branch
+    /// properties — reachability, extract safety, output conformance —
+    /// before any row runs. `Error`-severity findings are proofs of a
+    /// defect; `Warning` findings are properties the analyzer could not
+    /// prove. Purely observational: the session and program are unchanged.
+    ///
+    /// Under a session sink the pass timings and per-code finding counts
+    /// are reported as `engine.analyze.*` metrics.
+    pub fn analyze(&self) -> clx_analyze::ProgramDiagnostics {
+        let _analyze = Span::start(self.telemetry.as_ref(), "core.phase.analyze_ns");
+        clx_analyze::analyze_observed(&self.program(), &self.phase.target, self.telemetry.as_ref())
+    }
+
+    /// [`ClxSession::compile`] with the static analyzer in the loop:
+    /// compilation fails with [`ClxError::Analysis`] when [`analyze`]
+    /// (run as part of compilation) proves an `Error`-severity defect.
+    /// The default [`compile`] only *records* diagnostics via telemetry;
+    /// strict mode is the opt-in gate for callers that want provably
+    /// defect-free programs before execution.
+    ///
+    /// [`analyze`]: ClxSession::analyze
+    /// [`compile`]: ClxSession::compile
+    pub fn compile_strict(&self) -> Result<CompiledProgram, ClxError> {
+        let _compile = Span::start(self.telemetry.as_ref(), "core.phase.compile_ns");
+        CompiledProgram::compile_strict(
+            &self.program(),
+            &self.phase.target,
+            self.telemetry.as_ref(),
+        )
+        .map_err(|e| match e {
+            clx_engine::CompileError::RejectedByAnalysis { .. } => {
+                ClxError::Analysis(e.to_string())
+            }
+            other => ClxError::Compile(other.to_string()),
+        })
     }
 
     /// [`ClxSession::apply`] through the compiled engine: same report,
@@ -825,6 +868,48 @@ mod tests {
             .unwrap();
         let report = session.apply().unwrap();
         assert_eq!(report.transformed_count(), 4);
+    }
+
+    #[test]
+    fn analyze_reports_a_clean_synthesized_program() {
+        let session = labelled(phone_data(), tokenize("734-422-8073"));
+        let report = session.analyze();
+        assert!(
+            !report.has_errors(),
+            "synthesized program has error findings: {report}"
+        );
+        // Every branch of the synthesized program is reachable and its
+        // extracts are in bounds — the analyzer proves what synthesis
+        // guaranteed by construction.
+        for (index, _) in session.program().branches.iter().enumerate() {
+            let facts = report.branch_facts(index);
+            assert!(facts.reachable, "branch {index} unreachable");
+            assert!(facts.extract_safe, "branch {index} extract-unsafe");
+        }
+        // And a clean program passes the strict compile gate.
+        let compiled = session.compile_strict().expect("strict compile");
+        let batch = compiled.execute_column(session.data());
+        assert_eq!(
+            TransformReport::from_batch(batch).values(),
+            session.apply().unwrap().values()
+        );
+    }
+
+    #[test]
+    fn analyze_is_observed_under_a_session_sink() {
+        let sink = Arc::new(clx_telemetry::InMemorySink::new());
+        let session = ClxSession::with_telemetry(
+            phone_data(),
+            ClxOptions::default(),
+            Arc::clone(&sink) as Arc<dyn MetricSink>,
+        )
+        .label_by_example("734-422-8073")
+        .unwrap();
+        session.analyze();
+        let snapshot = clx_telemetry::MetricSink::snapshot(sink.as_ref());
+        assert!(snapshot.histogram("core.phase.analyze_ns").is_some());
+        assert!(snapshot.histogram("engine.analyze.total_ns").is_some());
+        assert_eq!(snapshot.counter("engine.analyze.runs"), Some(1));
     }
 
     #[test]

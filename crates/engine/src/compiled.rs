@@ -197,6 +197,28 @@ impl CompiledProgram {
         })
     }
 
+    /// [`CompiledProgram::compile_observed`] plus a strict static-analysis
+    /// gate: the program is analyzed (`clx-analyze`) and rejected with
+    /// [`CompileError::RejectedByAnalysis`] when any `Error`-severity
+    /// diagnostic is found (a proven-dead or shadowed branch, or an
+    /// `Extract` that errors on every matching row). Warnings never
+    /// reject. The default entry points only *record* diagnostics — this
+    /// is the opt-in described in the README's "Static program
+    /// diagnostics" section.
+    pub fn compile_strict(
+        program: &Program,
+        target: &Pattern,
+        telemetry: Option<&Arc<dyn MetricSink>>,
+    ) -> Result<Self, CompileError> {
+        let report = clx_analyze::analyze_observed(program, target, telemetry);
+        if report.has_errors() {
+            return Err(CompileError::RejectedByAnalysis {
+                findings: report.errors().map(|d| d.to_string()).collect(),
+            });
+        }
+        Self::compile_observed(program, target, telemetry)
+    }
+
     /// This compilation with fused dispatch turned off: every cold-path
     /// decision runs the per-branch matching loop, with behavior
     /// guaranteed identical (the property suite locks this). For
@@ -453,7 +475,7 @@ impl CompiledProgram {
     fn build_plan_fused(
         &self,
         fused: &FusedMatcher,
-        matches: &crate::fused::FusedMatches,
+        matches: &clx_pattern::automaton::SegmentMatches,
         value: &str,
     ) -> LeafPlan {
         let mut steps = Vec::new();
@@ -701,6 +723,47 @@ mod tests {
         // And back again.
         let via_a = a.transform_one(&mut cache, "555-111-2222");
         assert_eq!(via_a.value(), "(555) 111-2222");
+    }
+
+    #[test]
+    fn strict_compile_rejects_error_diagnostics_default_records_only() {
+        // Branch 1 (<D>2) is shadowed by branch 0 (<D>+): an
+        // Error-severity CLX002 finding.
+        let program = Program::new(vec![
+            Branch::new(
+                clx_pattern::parse_pattern("<D>+").unwrap(),
+                Expr::concat(vec![StringExpr::const_str("000")]),
+            ),
+            Branch::new(
+                clx_pattern::parse_pattern("<D>2").unwrap(),
+                Expr::concat(vec![StringExpr::const_str("000")]),
+            ),
+        ]);
+        let target = tokenize("123");
+
+        // Default compilation only records diagnostics; it still accepts.
+        assert!(CompiledProgram::compile(&program, &target).is_ok());
+
+        // Strict compilation rejects, naming the finding.
+        let err = CompiledProgram::compile_strict(&program, &target, None).unwrap_err();
+        let CompileError::RejectedByAnalysis { findings } = &err else {
+            panic!("wrong error: {err:?}");
+        };
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("CLX002"), "{findings:?}");
+        assert!(err.to_string().contains("static analysis rejected"));
+
+        // A warnings-only program passes strict compilation.
+        let warn_only = Program::new(vec![Branch::new(
+            clx_pattern::parse_pattern("<D>3").unwrap(),
+            Expr::concat(vec![StringExpr::extract(1)]),
+        )]);
+        let strict = CompiledProgram::compile_strict(
+            &warn_only,
+            &clx_pattern::parse_pattern("<D>+").unwrap(),
+            None,
+        );
+        assert!(strict.is_ok());
     }
 
     #[test]

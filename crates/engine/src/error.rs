@@ -28,6 +28,15 @@ pub enum CompileError {
         /// The regex engine's error message.
         message: String,
     },
+    /// Strict-mode compilation
+    /// ([`compile_strict`](crate::CompiledProgram::compile_strict)) found
+    /// `Error`-severity static diagnostics. The default compile entry
+    /// points only *record* diagnostics; this variant exists solely for
+    /// callers that opted into rejection.
+    RejectedByAnalysis {
+        /// One rendered line per `Error`-severity diagnostic.
+        findings: Vec<String>,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -44,6 +53,15 @@ impl fmt::Display for CompileError {
                 branch: None,
                 message,
             } => write!(f, "target pattern regex failed to compile: {message}"),
+            CompileError::RejectedByAnalysis { findings } => {
+                write!(
+                    f,
+                    "static analysis rejected the program ({} error finding{}): {}",
+                    findings.len(),
+                    if findings.len() == 1 { "" } else { "s" },
+                    findings.join("; ")
+                )
+            }
         }
     }
 }
@@ -59,8 +77,10 @@ mod tests {
         let e = CompileError::InvalidBranch {
             index: 3,
             source: EvalError::ExtractOutOfBounds {
-                index: 7,
+                from: 7,
+                to: 7,
                 pattern_len: 2,
+                rule: clx_unifi::ExtractRule::PastEnd,
             },
         };
         let msg = e.to_string();

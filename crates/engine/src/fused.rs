@@ -7,72 +7,40 @@
 //! leaf-id tier makes *repeat* leaves free, but can do nothing for a leaf
 //! it has never seen). [`FusedMatcher`] compiles the target pattern plus
 //! every transparent branch pattern into **one** bit-parallel shift-and
-//! automaton (Baeza-Yates–Gonnet; the compiled-pattern-buffer +
-//! single-pass-scan design of the classic DECUS grep): each pattern
-//! becomes a contiguous run of bit positions, each position a character
-//! predicate, and one pass over the leaf signature simulates every pattern
-//! simultaneously with a handful of word-wide shift/AND/OR operations per
-//! consumed character — returning which patterns match, i.e. the
-//! Conforming / branch-index / Flagged decision, in a single scan.
+//! automaton — the shared [`clx_pattern::automaton::MultiPatternAutomaton`]
+//! (also the substrate of `clx-analyze`'s language-level diagnostics) —
+//! returning which patterns match, i.e. the Conforming / branch-index /
+//! Flagged decision, in a single scan over the leaf signature.
 //!
 //! # The abstract alphabet
 //!
-//! The automaton never inspects concrete alphanumeric characters — only
-//! the tokenizer's *leaf alphabet* ([`TokenClass::leaf_class_index`]): a
-//! digit run of length n is n abstract `<D>` symbols (likewise `<L>` and
-//! `<U>`), and every other character is its own concrete symbol. The
-//! patterns admitted into the automaton are exactly the *transparent* ones
-//! (no ASCII alphanumerics inside literal tokens — see the `dispatch`
-//! module docs), whose match relation is provably a function of that
-//! abstract string; opaque patterns keep their per-row `Check*` plan steps
-//! exactly as before. Position predicates map onto the alphabet as:
+//! The automaton's classify entry point never inspects concrete
+//! alphanumeric characters — only the tokenizer's *leaf alphabet*
+//! ([`TokenClass::leaf_class_index`]): a digit run of length n is n
+//! abstract `<D>` symbols (likewise `<L>` and `<U>`), and every other
+//! character is its own concrete symbol. The patterns admitted into the
+//! automaton are exactly the *transparent* ones (no ASCII alphanumerics
+//! inside literal tokens — see the `dispatch` module docs), whose match
+//! relation is provably a function of that abstract string; opaque
+//! patterns keep their per-row `Check*` plan steps exactly as before. See
+//! the [`clx_pattern::automaton`] module docs for the position-predicate
+//! layout and the step simulation.
 //!
-//! * a `<D>`/`<L>`/`<U>` position accepts its own class symbol;
-//! * an `<A>` position accepts `<L>` and `<U>`;
-//! * an `<AN>` position accepts `<D>`, `<L>`, `<U>` and the concrete
-//!   symbols `-` and `_` (matching [`TokenClass::contains_char`]);
-//! * a literal position accepts exactly its concrete character.
-//!
-//! # Simulation
-//!
-//! Bit i of the state word(s) means "some prefix of the input ends a match
-//! of positions `start(segment)..=i`". A step shifts the state left by one
-//! (advancing every thread), re-seeds segment start bits only on the first
-//! consumed character (the automaton is anchored — bits carried across a
-//! segment boundary are masked off), ANDs with the symbol's transition
-//! mask, and ORs back the self-loop threads of `+`-quantified positions.
-//! Class runs apply the same step `n` times but exit early on a fixed
-//! point, so a `<D>4000` leaf token costs O(automaton width) steps, not
-//! 4000. A pattern matches iff its last position's bit is set after the
-//! final symbol (an empty pattern matches iff the value is empty).
+//! [`TokenClass::leaf_class_index`]: clx_pattern::TokenClass::leaf_class_index
 //!
 //! Construction is per-program and falls back — recorded, never silently
 //! wrong — to the per-branch loop when the program cannot be encoded
 //! ([`FusedFallback`]): combined width beyond [`FUSED_MAX_WIDTH`]
 //! positions, or nothing transparent to decide.
 
-use std::collections::HashMap;
-
-use clx_pattern::{Pattern, Quantifier, TokenClass, LEAF_CLASS_COUNT};
-
-/// Bit-state word count of the automaton. Four words cover every
-/// realistic synthesized program (one bit position per pattern character)
-/// while the whole state still fits in two cache lines.
-const WORDS: usize = 4;
+use clx_pattern::automaton::{MultiPatternAutomaton, SegmentMatches};
+use clx_pattern::Pattern;
 
 /// Maximum combined automaton width, in bit positions: the sum over the
 /// target and every transparent branch of their character positions. A
 /// program needing more (e.g. a `<D>300` branch) compiles with
 /// [`FusedFallback::WidthExceeded`] and keeps the per-branch loop.
-pub const FUSED_MAX_WIDTH: usize = WORDS * 64;
-
-type BitRow = [u64; WORDS];
-
-const ZERO: BitRow = [0; WORDS];
-
-/// Sentinel for "character outside the automaton's alphabet"; its
-/// transition mask is all-zero, so one step kills every thread.
-const NO_SYMBOL: u16 = u16::MAX;
+pub const FUSED_MAX_WIDTH: usize = clx_pattern::automaton::MAX_WIDTH;
 
 /// Why a compiled program runs cold-path decisions on the per-branch
 /// matching loop instead of the fused automaton. Recorded per program at
@@ -108,50 +76,13 @@ impl std::fmt::Display for FusedFallback {
     }
 }
 
-/// Where one fused pattern accepts.
-#[derive(Debug, Clone, Copy)]
-struct SegmentAccept {
-    /// The segment's final bit position; `None` for a zero-width (empty)
-    /// pattern, which matches exactly the empty value.
-    last_bit: Option<u32>,
-}
-
-/// The state of one classification pass: which automaton threads survived
-/// the whole leaf. Produced by [`FusedMatcher::classify`], consumed by the
-/// per-pattern accept tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct FusedMatches {
-    state: BitRow,
-    /// `false` iff the leaf was empty (no character consumed), which is
-    /// what zero-width segments accept.
-    consumed: bool,
-}
-
 /// One decision automaton over a program's target + transparent branch
-/// patterns. Immutable after construction; safe to share across executor
-/// threads.
+/// patterns: segment 0 is the target, segment i+1 is branch i (opaque
+/// slots stay in the layout as absent segments that never match).
+/// Immutable after construction; safe to share across executor threads.
 #[derive(Debug)]
 pub(crate) struct FusedMatcher {
-    /// Live state words (`ceil(width / 64)`, at least 1).
-    words: usize,
-    /// Bit set at every non-empty segment's first position.
-    starts: BitRow,
-    /// Bit set at every `+`-quantified (self-looping) position.
-    plus: BitRow,
-    /// Per-symbol transition masks: bit i set iff position i's predicate
-    /// accepts the symbol. Ids `0..LEAF_CLASS_COUNT` are the abstract
-    /// class symbols; the rest are concrete characters.
-    masks: Vec<BitRow>,
-    /// ASCII character -> symbol id (`NO_SYMBOL` when absent).
-    ascii_symbol: [u16; 128],
-    /// Non-ASCII character -> symbol id.
-    other_symbol: HashMap<char, u16>,
-    /// Accept position of the target segment; `None` when the target is
-    /// opaque (kept out of the automaton).
-    target: Option<SegmentAccept>,
-    /// Accept position per branch, in dispatch order; `None` for opaque
-    /// branches.
-    branches: Vec<Option<SegmentAccept>>,
+    automaton: MultiPatternAutomaton,
 }
 
 impl FusedMatcher {
@@ -162,34 +93,18 @@ impl FusedMatcher {
         target: Option<&Pattern>,
         branches: &[Option<&Pattern>],
     ) -> Result<FusedMatcher, FusedFallback> {
-        let included = || target.iter().chain(branches.iter().flatten());
-        if included().next().is_none() {
+        if target.is_none() && branches.iter().all(Option::is_none) {
             return Err(FusedFallback::NothingTransparent);
         }
-        // Width check first — O(tokens), before any O(width) allocation.
-        let required: usize = included().map(|p| pattern_width(p)).sum();
-        if required > FUSED_MAX_WIDTH {
-            return Err(FusedFallback::WidthExceeded { required });
+        let mut slots: Vec<Option<&Pattern>> = Vec::with_capacity(branches.len() + 1);
+        slots.push(target);
+        slots.extend_from_slice(branches);
+        match MultiPatternAutomaton::build(&slots) {
+            Ok(automaton) => Ok(FusedMatcher { automaton }),
+            Err(overflow) => Err(FusedFallback::WidthExceeded {
+                required: overflow.required,
+            }),
         }
-
-        let mut matcher = FusedMatcher {
-            words: required.div_ceil(64).max(1),
-            starts: ZERO,
-            plus: ZERO,
-            masks: vec![ZERO; LEAF_CLASS_COUNT],
-            ascii_symbol: [NO_SYMBOL; 128],
-            other_symbol: HashMap::new(),
-            target: None,
-            branches: Vec::with_capacity(branches.len()),
-        };
-        let mut next_bit = 0u32;
-        matcher.target = target.map(|p| matcher_segment(&mut matcher, p, &mut next_bit));
-        for branch in branches {
-            let accept = branch.map(|p| matcher_segment(&mut matcher, p, &mut next_bit));
-            matcher.branches.push(accept);
-        }
-        debug_assert_eq!(next_bit as usize, required);
-        Ok(matcher)
     }
 
     /// Which fused patterns match `leaf`, in one pass over its tokens.
@@ -198,214 +113,21 @@ impl FusedMatcher {
     /// can produce (a `+` quantifier or an `<A>`/`<AN>` class) — callers
     /// fall back to per-branch matching for that value, counted as a
     /// fallback decision.
-    pub(crate) fn classify(&self, leaf: &Pattern) -> Option<FusedMatches> {
-        let mut state = ZERO;
-        let mut consumed = false;
-        for token in leaf.iter() {
-            match token.literal_value() {
-                Some(s) => {
-                    for c in s.chars() {
-                        self.step(&mut state, self.symbol(c), !consumed);
-                        consumed = true;
-                        if state == ZERO {
-                            return Some(FusedMatches { state, consumed });
-                        }
-                    }
-                }
-                None => {
-                    let class = token.class.leaf_class_index()? as u16;
-                    let Quantifier::Exact(n) = token.quantifier else {
-                        return None;
-                    };
-                    self.step(&mut state, class, !consumed);
-                    consumed = true;
-                    if state == ZERO {
-                        return Some(FusedMatches { state, consumed });
-                    }
-                    let mut prev = state;
-                    for _ in 1..n {
-                        self.step(&mut state, class, false);
-                        if state == prev {
-                            // Fixed point: repeating the same symbol can
-                            // no longer change the state (steps are a pure
-                            // function of it), so a long run costs
-                            // O(width), not O(run length).
-                            break;
-                        }
-                        if state == ZERO {
-                            return Some(FusedMatches { state, consumed });
-                        }
-                        prev = state;
-                    }
-                }
-            }
-        }
-        Some(FusedMatches { state, consumed })
+    pub(crate) fn classify(&self, leaf: &Pattern) -> Option<SegmentMatches> {
+        self.automaton.classify(leaf)
     }
 
     /// Did the (transparent) target pattern match? Always `false` when the
     /// target is opaque — callers gate on the transparency flag.
-    pub(crate) fn target_matches(&self, m: &FusedMatches) -> bool {
-        self.target.is_some_and(|acc| accepts(m, acc))
+    pub(crate) fn target_matches(&self, m: &SegmentMatches) -> bool {
+        self.automaton.matches(m, 0)
     }
 
     /// Did (transparent) branch `index` match? Always `false` for opaque
     /// branches.
-    pub(crate) fn branch_matches(&self, m: &FusedMatches, index: usize) -> bool {
-        self.branches[index].is_some_and(|acc| accepts(m, acc))
+    pub(crate) fn branch_matches(&self, m: &SegmentMatches, index: usize) -> bool {
+        self.automaton.matches(m, index + 1)
     }
-
-    /// Advance every thread by one abstract character.
-    #[inline]
-    fn step(&self, state: &mut BitRow, sym: u16, inject: bool) {
-        let mask = if sym == NO_SYMBOL {
-            &ZERO
-        } else {
-            &self.masks[sym as usize]
-        };
-        let mut carry = 0u64;
-        for w in 0..self.words {
-            let shifted = (state[w] << 1) | carry;
-            carry = state[w] >> 63;
-            // A bit shifted onto a start position crossed a segment
-            // boundary from the previous pattern's accept position; mask
-            // it off. Starts are seeded only on the first character: the
-            // automaton is anchored at both ends.
-            let mut entering = shifted & !self.starts[w];
-            if inject {
-                entering |= self.starts[w];
-            }
-            state[w] = (entering & mask[w]) | (state[w] & mask[w] & self.plus[w]);
-        }
-    }
-
-    /// The symbol id of one concrete (non-alphanumeric) leaf character.
-    #[inline]
-    fn symbol(&self, c: char) -> u16 {
-        if (c as u32) < 128 {
-            self.ascii_symbol[c as usize]
-        } else {
-            self.other_symbol.get(&c).copied().unwrap_or(NO_SYMBOL)
-        }
-    }
-
-    /// The symbol id of `c`, interning it on first sight.
-    fn intern_symbol(&mut self, c: char) -> u16 {
-        let next = self.masks.len() as u16;
-        let id = if (c as u32) < 128 {
-            let slot = &mut self.ascii_symbol[c as usize];
-            if *slot == NO_SYMBOL {
-                *slot = next;
-            }
-            *slot
-        } else {
-            *self.other_symbol.entry(c).or_insert(next)
-        };
-        if id == next {
-            self.masks.push(ZERO);
-        }
-        id
-    }
-
-    /// Set transition bit `bit` for every symbol `pred` accepts.
-    fn set_position(&mut self, bit: u32, pred: &TokenClass) {
-        match pred {
-            TokenClass::Literal(_) => unreachable!("literals are laid out per character"),
-            class => {
-                if matches!(class, TokenClass::Digit | TokenClass::AlphaNumeric) {
-                    set_bit(&mut self.masks[0], bit);
-                }
-                if matches!(
-                    class,
-                    TokenClass::Lower | TokenClass::Alpha | TokenClass::AlphaNumeric
-                ) {
-                    set_bit(&mut self.masks[1], bit);
-                }
-                if matches!(
-                    class,
-                    TokenClass::Upper | TokenClass::Alpha | TokenClass::AlphaNumeric
-                ) {
-                    set_bit(&mut self.masks[2], bit);
-                }
-                if matches!(class, TokenClass::AlphaNumeric) {
-                    // <AN> also consumes the concrete '-' and '_' symbols
-                    // (TokenClass::contains_char).
-                    for c in ['-', '_'] {
-                        let sym = self.intern_symbol(c);
-                        set_bit(&mut self.masks[sym as usize], bit);
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Lay out one pattern as the next contiguous run of bit positions.
-fn matcher_segment(
-    matcher: &mut FusedMatcher,
-    pattern: &Pattern,
-    next_bit: &mut u32,
-) -> SegmentAccept {
-    let offset = *next_bit;
-    for token in pattern.iter() {
-        match token.literal_value() {
-            Some(s) => {
-                for c in s.chars() {
-                    let sym = matcher.intern_symbol(c);
-                    set_bit(&mut matcher.masks[sym as usize], *next_bit);
-                    *next_bit += 1;
-                }
-            }
-            None => {
-                let positions = match token.quantifier {
-                    Quantifier::Exact(n) => n,
-                    Quantifier::OneOrMore => {
-                        set_bit(&mut matcher.plus, *next_bit);
-                        1
-                    }
-                };
-                for _ in 0..positions {
-                    matcher.set_position(*next_bit, &token.class);
-                    *next_bit += 1;
-                }
-            }
-        }
-    }
-    if *next_bit > offset {
-        set_bit(&mut matcher.starts, offset);
-        SegmentAccept {
-            last_bit: Some(*next_bit - 1),
-        }
-    } else {
-        SegmentAccept { last_bit: None }
-    }
-}
-
-/// Automaton positions a pattern needs: one per literal character, n per
-/// `Exact(n)` class token, one (self-looping) per `+` class token.
-fn pattern_width(pattern: &Pattern) -> usize {
-    pattern
-        .iter()
-        .map(|t| match t.literal_value() {
-            Some(s) => s.chars().count(),
-            None => match t.quantifier {
-                Quantifier::Exact(n) => n,
-                Quantifier::OneOrMore => 1,
-            },
-        })
-        .sum()
-}
-
-fn accepts(m: &FusedMatches, acc: SegmentAccept) -> bool {
-    match acc.last_bit {
-        Some(bit) => (m.state[(bit / 64) as usize] >> (bit % 64)) & 1 == 1,
-        None => !m.consumed,
-    }
-}
-
-#[inline]
-fn set_bit(row: &mut BitRow, bit: u32) {
-    row[(bit / 64) as usize] |= 1 << (bit % 64);
 }
 
 #[cfg(test)]
@@ -498,7 +220,7 @@ mod tests {
         let a = parse_pattern("<D>40'-'<D>2").unwrap();
         let b = parse_pattern("<L>38'.'<L>3").unwrap();
         let matcher = FusedMatcher::build(Some(&a), &[Some(&b)]).unwrap();
-        assert!(matcher.words >= 2);
+        assert!(matcher.automaton.words() >= 2);
         let a_val = format!("{}-12", "7".repeat(40));
         let b_val = format!("{}.abc", "x".repeat(38));
         let m = matcher.classify(&tokenize(&a_val)).unwrap();

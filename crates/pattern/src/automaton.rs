@@ -1,0 +1,932 @@
+//! A bit-parallel multi-pattern automaton over patterns, with bounded
+//! language analysis.
+//!
+//! One [`MultiPatternAutomaton`] compiles a list of [`Pattern`] *segments*
+//! into a single shift-and automaton (Baeza-Yates–Gonnet; the
+//! compiled-pattern-buffer + single-pass-scan design of the classic DECUS
+//! grep): each pattern becomes a contiguous run of bit positions, each
+//! position a character predicate, and one pass over an input simulates
+//! every pattern simultaneously with a handful of word-wide shift/AND/OR
+//! operations per consumed character.
+//!
+//! The automaton serves two consumers with **one** implementation:
+//!
+//! * `clx-engine`'s fused cold-path dispatch ([`classify`]): deciding which
+//!   of a program's patterns match a new leaf signature in one scan instead
+//!   of one backtracking matcher run per pattern;
+//! * `clx-analyze`'s static program diagnostics: *language-level* facts —
+//!   emptiness, pairwise intersection, and subsumption of one segment by a
+//!   union of others — computed by a bounded breadth-first exploration of
+//!   the automaton's reachable bit-states ([`language_empty`],
+//!   [`intersection_witness`], [`uncovered_witness`]).
+//!
+//! [`classify`]: MultiPatternAutomaton::classify
+//! [`language_empty`]: MultiPatternAutomaton::language_empty
+//! [`intersection_witness`]: MultiPatternAutomaton::intersection_witness
+//! [`uncovered_witness`]: MultiPatternAutomaton::uncovered_witness
+//!
+//! # Position predicates
+//!
+//! Bit positions map onto pattern tokens as one position per literal
+//! character, `n` positions for an `Exact(n)` class token, and one
+//! self-looping position for a `+`-quantified class token. A position's
+//! predicate is exactly [`TokenClass::contains_char`]:
+//!
+//! * a `<D>`/`<L>`/`<U>` position accepts its class's characters;
+//! * an `<A>` position accepts both letter classes;
+//! * an `<AN>` position accepts `<D>`, `<L>`, `<U>` and the concrete
+//!   characters `-` and `_`;
+//! * a literal position accepts exactly its concrete character.
+//!
+//! Because [`Pattern`]'s backtracking matcher recognizes precisely the
+//! anchored concatenation of these per-position predicates (an `Exact(n)`
+//! class token consumes exactly `n` class characters, a `+` token any
+//! non-empty run, a literal its characters verbatim), the automaton's
+//! language over concrete strings **equals** `Pattern::matches` — for
+//! *every* pattern, including "opaque" ones whose literals contain
+//! alphanumerics. The engine's leaf-classification entry point
+//! ([`classify`]) additionally restricts itself to the tokenizer's leaf
+//! alphabet, where a digit run of length n is n abstract `<D>` symbols;
+//! that abstraction is only sound for transparent patterns, which is why
+//! [`classify`] is a separate, narrower API than the language operations.
+//!
+//! # Simulation
+//!
+//! Bit i of the state word(s) means "some prefix of the input ends a match
+//! of positions `start(segment)..=i`". A step shifts the state left by one
+//! (advancing every thread), re-seeds segment start bits only on the first
+//! consumed character (the automaton is anchored — bits carried across a
+//! segment boundary are masked off), ANDs with the symbol's transition
+//! mask, and ORs back the self-loop threads of `+`-quantified positions. A
+//! pattern matches iff its last position's bit is set after the final
+//! symbol (an empty pattern matches iff the value is empty).
+//!
+//! # Language analysis
+//!
+//! Segments never interact: the only cross-bit flow is the shift by one,
+//! and a bit shifted onto another segment's first position is masked off
+//! (every non-empty segment's first position is a start bit, seeded only
+//! before the first character). The whole-automaton bit-state is therefore
+//! the product of the per-segment NFA subset-states, and breadth-first
+//! search over the reachable bit-states *is* exact simultaneous language
+//! exploration of all segments. The search alphabet is finite because
+//! concrete characters fall into finitely many equivalence classes
+//! ("atoms") under the position predicates: each character interned by
+//! some literal (or by `<AN>`'s `-`/`_`) is its own atom, and all
+//! remaining characters of one leaf class are indistinguishable, so one
+//! representative per class suffices ([`TokenClass::contains_char`] is
+//! ASCII-exact, making the residue classes finite and non-empty checks
+//! trivial). Characters accepted by no position can never contribute to
+//! any match and are ignored. The search is bounded by
+//! [`SEARCH_STATE_LIMIT`] reachable states; overflow is reported as
+//! "inconclusive" (`None`), never as a wrong verdict.
+
+use std::collections::HashMap;
+
+use crate::{Pattern, Quantifier, TokenClass, LEAF_CLASS_COUNT};
+
+/// Bit-state word count of the automaton. Four words cover every realistic
+/// synthesized program (one bit position per pattern character) while the
+/// whole state still fits in two cache lines.
+const WORDS: usize = 4;
+
+/// Maximum combined automaton width, in bit positions: the sum over all
+/// segments of their character positions. Pattern lists needing more fail
+/// to build with [`WidthOverflow`].
+pub const MAX_WIDTH: usize = WORDS * 64;
+
+/// Cap on the number of distinct bit-states a language-analysis search may
+/// visit before reporting "inconclusive". Reachable state counts are tiny
+/// for synthesized programs (segments are short concatenations); the cap
+/// exists so adversarial pattern lists degrade to an honest `None` instead
+/// of an exponential walk.
+pub const SEARCH_STATE_LIMIT: usize = 4096;
+
+type BitRow = [u64; WORDS];
+
+const ZERO: BitRow = [0; WORDS];
+
+/// Sentinel for "character outside the automaton's alphabet"; its
+/// transition mask is all-zero, so one step kills every thread.
+const NO_SYMBOL: u16 = u16::MAX;
+
+/// The pattern list needs more than [`MAX_WIDTH`] bit positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthOverflow {
+    /// Positions the pattern list would need.
+    pub required: usize,
+}
+
+impl std::fmt::Display for WidthOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "patterns need {} automaton positions (limit {MAX_WIDTH})",
+            self.required
+        )
+    }
+}
+
+impl std::error::Error for WidthOverflow {}
+
+/// Where one segment's pattern lives in the bit-state.
+#[derive(Debug, Clone, Copy)]
+enum Segment {
+    /// No pattern was supplied for this slot (`None` at build time); it
+    /// matches nothing and has the empty language.
+    Absent,
+    /// A zero-width pattern (no positions), which matches exactly the
+    /// empty string.
+    Empty,
+    /// A non-empty pattern occupying bits `first..=last`.
+    Span {
+        /// The segment's first bit position (a start bit).
+        first: u32,
+        /// The segment's final (accept) bit position.
+        last: u32,
+    },
+}
+
+/// The state of one classification pass: which automaton threads survived
+/// the whole input. Produced by [`MultiPatternAutomaton::classify`],
+/// consumed by [`MultiPatternAutomaton::matches`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMatches {
+    state: BitRow,
+    /// `false` iff the input was empty (no character consumed), which is
+    /// what zero-width segments accept.
+    consumed: bool,
+}
+
+/// One equivalence class of concrete characters under the automaton's
+/// position predicates, with a representative character used to build
+/// witness strings.
+struct Atom {
+    rep: char,
+    mask: BitRow,
+}
+
+/// One shift-and automaton over a list of pattern segments. Immutable
+/// after construction; safe to share across threads.
+#[derive(Debug)]
+pub struct MultiPatternAutomaton {
+    /// Live state words (`ceil(width / 64)`, at least 1).
+    words: usize,
+    /// Bit set at every non-empty segment's first position.
+    starts: BitRow,
+    /// Bit set at every `+`-quantified (self-looping) position.
+    plus: BitRow,
+    /// Per-symbol transition masks: bit i set iff position i's predicate
+    /// accepts the symbol. Ids `0..LEAF_CLASS_COUNT` are the abstract
+    /// class symbols; the rest are concrete characters.
+    masks: Vec<BitRow>,
+    /// ASCII character -> symbol id (`NO_SYMBOL` when absent).
+    ascii_symbol: [u16; 128],
+    /// Non-ASCII character -> symbol id.
+    other_symbol: HashMap<char, u16>,
+    /// Interned concrete characters, in id order (`id - LEAF_CLASS_COUNT`
+    /// indexes this). The language-analysis atom alphabet is derived from
+    /// this list.
+    interned: Vec<char>,
+    /// Per-slot segment layout, in build order.
+    segments: Vec<Segment>,
+}
+
+impl MultiPatternAutomaton {
+    /// Compile the automaton for a list of pattern segments. A `None` slot
+    /// is kept (so slot indices line up with the caller's numbering) but
+    /// matches nothing. Errors when the combined width exceeds
+    /// [`MAX_WIDTH`].
+    pub fn build(patterns: &[Option<&Pattern>]) -> Result<MultiPatternAutomaton, WidthOverflow> {
+        // Width check first — O(tokens), before any O(width) allocation.
+        let required: usize = patterns.iter().flatten().map(|p| pattern_width(p)).sum();
+        if required > MAX_WIDTH {
+            return Err(WidthOverflow { required });
+        }
+
+        let mut automaton = MultiPatternAutomaton {
+            words: required.div_ceil(64).max(1),
+            starts: ZERO,
+            plus: ZERO,
+            masks: vec![ZERO; LEAF_CLASS_COUNT],
+            ascii_symbol: [NO_SYMBOL; 128],
+            other_symbol: HashMap::new(),
+            interned: Vec::new(),
+            segments: Vec::with_capacity(patterns.len()),
+        };
+        let mut next_bit = 0u32;
+        for pattern in patterns {
+            let segment = match pattern {
+                None => Segment::Absent,
+                Some(p) => layout_segment(&mut automaton, p, &mut next_bit),
+            };
+            automaton.segments.push(segment);
+        }
+        debug_assert_eq!(next_bit as usize, required);
+        Ok(automaton)
+    }
+
+    /// Number of live state words.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Number of segments (pattern slots, including absent ones).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Which segments match `leaf`, in one pass over its tokens.
+    ///
+    /// `leaf` is interpreted over the tokenizer's *leaf alphabet*: a digit
+    /// run of length n is n abstract `<D>` symbols (likewise `<L>` and
+    /// `<U>`), every other character its own concrete symbol. That
+    /// abstraction is only exact for transparent segment patterns (no
+    /// ASCII alphanumerics inside literals) — `clx-engine` guarantees it
+    /// by keeping opaque patterns out of the fused automaton.
+    ///
+    /// Returns `None` when `leaf` is not a leaf signature the tokenizer
+    /// can produce (a `+` quantifier or an `<A>`/`<AN>` class) — callers
+    /// fall back to per-pattern matching for that value.
+    ///
+    /// Class runs apply the same step `n` times but exit early on a fixed
+    /// point, so a `<D>4000` leaf token costs O(automaton width) steps,
+    /// not 4000.
+    pub fn classify(&self, leaf: &Pattern) -> Option<SegmentMatches> {
+        let mut state = ZERO;
+        let mut consumed = false;
+        for token in leaf.iter() {
+            match token.literal_value() {
+                Some(s) => {
+                    for c in s.chars() {
+                        self.step(&mut state, self.symbol(c), !consumed);
+                        consumed = true;
+                        if state == ZERO {
+                            return Some(SegmentMatches { state, consumed });
+                        }
+                    }
+                }
+                None => {
+                    let class = token.class.leaf_class_index()? as u16;
+                    let Quantifier::Exact(n) = token.quantifier else {
+                        return None;
+                    };
+                    self.step(&mut state, class, !consumed);
+                    consumed = true;
+                    if state == ZERO {
+                        return Some(SegmentMatches { state, consumed });
+                    }
+                    let mut prev = state;
+                    for _ in 1..n {
+                        self.step(&mut state, class, false);
+                        if state == prev {
+                            // Fixed point: repeating the same symbol can
+                            // no longer change the state (steps are a pure
+                            // function of it), so a long run costs
+                            // O(width), not O(run length).
+                            break;
+                        }
+                        if state == ZERO {
+                            return Some(SegmentMatches { state, consumed });
+                        }
+                        prev = state;
+                    }
+                }
+            }
+        }
+        Some(SegmentMatches { state, consumed })
+    }
+
+    /// Did segment `index` match? Always `false` for absent segments.
+    pub fn matches(&self, m: &SegmentMatches, index: usize) -> bool {
+        match self.segments[index] {
+            Segment::Absent => false,
+            Segment::Empty => !m.consumed,
+            Segment::Span { last, .. } => bit_set(&m.state, last),
+        }
+    }
+
+    /// Is segment `index`'s language empty (no string at all matches)?
+    ///
+    /// `None` means inconclusive: the segment is absent, or the bounded
+    /// state search overflowed. (For well-formed patterns the language is
+    /// never empty — every position predicate is satisfiable — so this
+    /// check exists for completeness of the algebra, not because the
+    /// answer is ever expected to be `true`.)
+    pub fn language_empty(&self, index: usize) -> Option<bool> {
+        match self.segments[index] {
+            Segment::Absent => None,
+            Segment::Empty => Some(false),
+            Segment::Span { last, .. } => {
+                let rel = self.segment_bits(index);
+                match self.search(&rel, |state| bit_set(state, last)) {
+                    Ok(witness) => Some(witness.is_none()),
+                    Err(SearchOverflow) => None,
+                }
+            }
+        }
+    }
+
+    /// A string in the intersection of segments `a` and `b`'s languages.
+    ///
+    /// Returns `Some(Some(witness))` with a concrete string both patterns
+    /// match, `Some(None)` when the languages are provably disjoint, and
+    /// `None` when inconclusive (an absent segment, or the bounded state
+    /// search overflowed).
+    pub fn intersection_witness(&self, a: usize, b: usize) -> Option<Option<String>> {
+        let (sa, sb) = (self.segments[a], self.segments[b]);
+        match (sa, sb) {
+            (Segment::Absent, _) | (_, Segment::Absent) => None,
+            // A zero-width pattern matches only the empty string.
+            (Segment::Empty, Segment::Empty) => Some(Some(String::new())),
+            (Segment::Empty, Segment::Span { .. }) | (Segment::Span { .. }, Segment::Empty) => {
+                Some(None)
+            }
+            (Segment::Span { last: la, .. }, Segment::Span { last: lb, .. }) => {
+                let mut rel = self.segment_bits(a);
+                or_rows(&mut rel, &self.segment_bits(b));
+                self.search(&rel, |state| bit_set(state, la) && bit_set(state, lb))
+                    .ok()
+            }
+        }
+    }
+
+    /// A string in segment `sub`'s language that **no** segment of
+    /// `covers` matches — a counterexample to `L(sub) ⊆ ∪ L(covers)`.
+    ///
+    /// Returns `Some(Some(witness))` with such a string, `Some(None)` when
+    /// `sub`'s language is provably covered by the union, and `None` when
+    /// inconclusive (`sub` absent, or the bounded state search
+    /// overflowed). Absent segments in `covers` contribute the empty
+    /// language.
+    pub fn uncovered_witness(&self, sub: usize, covers: &[usize]) -> Option<Option<String>> {
+        let accepts_of = |indices: &[usize]| -> Vec<u32> {
+            indices
+                .iter()
+                .filter_map(|&i| match self.segments[i] {
+                    Segment::Span { last, .. } => Some(last),
+                    _ => None,
+                })
+                .collect()
+        };
+        match self.segments[sub] {
+            Segment::Absent => None,
+            // L(sub) = {""}: covered iff some cover also matches "".
+            Segment::Empty => {
+                let covered = covers
+                    .iter()
+                    .any(|&i| matches!(self.segments[i], Segment::Empty));
+                Some(if covered { None } else { Some(String::new()) })
+            }
+            Segment::Span { last, .. } => {
+                let mut rel = self.segment_bits(sub);
+                for &i in covers {
+                    or_rows(&mut rel, &self.segment_bits(i));
+                }
+                // Zero-width covers match only "", never a searched
+                // (non-empty) string, so only Span covers get accept bits.
+                let cover_bits = accepts_of(covers);
+                self.search(&rel, |state| {
+                    bit_set(state, last) && !cover_bits.iter().any(|&b| bit_set(state, b))
+                })
+                .ok()
+            }
+        }
+    }
+
+    /// Bounded breadth-first search over the reachable bit-states,
+    /// restricted to the bits in `rel` (the involved segments' positions —
+    /// sound because segments never interact; see the module docs).
+    /// Returns the witness string of the first state satisfying `hit`,
+    /// `Ok(None)` when the reachable states are exhausted without a hit,
+    /// or `Err` when more than [`SEARCH_STATE_LIMIT`] states were visited.
+    ///
+    /// The empty string is never tested: callers handle zero-width
+    /// segments (the only ε-acceptors) before searching.
+    fn search(
+        &self,
+        rel: &BitRow,
+        hit: impl Fn(&BitRow) -> bool,
+    ) -> Result<Option<String>, SearchOverflow> {
+        let atoms = self.atoms();
+        // (state, parent index or usize::MAX, consumed character).
+        let mut nodes: Vec<(BitRow, usize, char)> = Vec::new();
+        let mut seen: HashMap<BitRow, ()> = HashMap::new();
+        let mut head = 0usize;
+
+        let push = |nodes: &mut Vec<(BitRow, usize, char)>,
+                    seen: &mut HashMap<BitRow, ()>,
+                    state: BitRow,
+                    parent: usize,
+                    rep: char|
+         -> Result<Option<usize>, SearchOverflow> {
+            if state == ZERO || seen.contains_key(&state) {
+                return Ok(None);
+            }
+            if nodes.len() >= SEARCH_STATE_LIMIT {
+                return Err(SearchOverflow);
+            }
+            seen.insert(state, ());
+            nodes.push((state, parent, rep));
+            Ok(Some(nodes.len() - 1))
+        };
+
+        // Seed: every atom applied to the pre-input state (start bits
+        // injected, exactly like the first consumed character).
+        for atom in &atoms {
+            let mut state = ZERO;
+            self.step_mask(&mut state, &atom.mask, true);
+            and_rows(&mut state, rel);
+            if let Some(i) = push(&mut nodes, &mut seen, state, usize::MAX, atom.rep)? {
+                if hit(&nodes[i].0) {
+                    return Ok(Some(reconstruct(&nodes, i)));
+                }
+            }
+        }
+        while head < nodes.len() {
+            let from = nodes[head].0;
+            for atom in &atoms {
+                let mut state = from;
+                self.step_mask(&mut state, &atom.mask, false);
+                and_rows(&mut state, rel);
+                if let Some(i) = push(&mut nodes, &mut seen, state, head, atom.rep)? {
+                    if hit(&nodes[i].0) {
+                        return Ok(Some(reconstruct(&nodes, i)));
+                    }
+                }
+            }
+            head += 1;
+        }
+        Ok(None)
+    }
+
+    /// The atom alphabet: every interned concrete character is its own
+    /// atom (an alphanumeric one additionally triggers its class's
+    /// positions), plus one representative per leaf class for the
+    /// characters of that class no literal mentions. Characters accepted
+    /// by no position are omitted — they kill every thread and can never
+    /// contribute to a match.
+    fn atoms(&self) -> Vec<Atom> {
+        let mut atoms = Vec::with_capacity(self.interned.len() + LEAF_CLASS_COUNT);
+        for (k, &c) in self.interned.iter().enumerate() {
+            let mut mask = self.masks[LEAF_CLASS_COUNT + k];
+            if let Some(class) = char_leaf_class(c) {
+                or_rows(&mut mask, &self.masks[class]);
+            }
+            if mask != ZERO {
+                atoms.push(Atom { rep: c, mask });
+            }
+        }
+        let residues: [(usize, std::ops::RangeInclusive<char>); LEAF_CLASS_COUNT] =
+            [(0, '0'..='9'), (1, 'a'..='z'), (2, 'A'..='Z')];
+        for (class, range) in residues {
+            if self.masks[class] == ZERO {
+                continue;
+            }
+            // contains_char is ASCII-exact, so the class residue is
+            // non-empty iff some canonical character is un-interned; all
+            // residue characters behave identically (class positions only).
+            if let Some(rep) = range.into_iter().find(|&c| self.symbol(c) == NO_SYMBOL) {
+                atoms.push(Atom {
+                    rep,
+                    mask: self.masks[class],
+                });
+            }
+        }
+        atoms
+    }
+
+    /// Bit mask of the positions belonging to segment `index`.
+    fn segment_bits(&self, index: usize) -> BitRow {
+        let mut row = ZERO;
+        if let Segment::Span { first, last } = self.segments[index] {
+            for bit in first..=last {
+                set_bit(&mut row, bit);
+            }
+        }
+        row
+    }
+
+    /// Advance every thread by one abstract character.
+    #[inline]
+    fn step(&self, state: &mut BitRow, sym: u16, inject: bool) {
+        let mask = if sym == NO_SYMBOL {
+            ZERO
+        } else {
+            self.masks[sym as usize]
+        };
+        self.step_mask(state, &mask, inject);
+    }
+
+    /// Advance every thread by one character whose transition mask is
+    /// `mask` (a single symbol's mask, or the union mask of an atom).
+    #[inline]
+    fn step_mask(&self, state: &mut BitRow, mask: &BitRow, inject: bool) {
+        let mut carry = 0u64;
+        for w in 0..self.words {
+            let shifted = (state[w] << 1) | carry;
+            carry = state[w] >> 63;
+            // A bit shifted onto a start position crossed a segment
+            // boundary from the previous pattern's accept position; mask
+            // it off. Starts are seeded only on the first character: the
+            // automaton is anchored at both ends.
+            let mut entering = shifted & !self.starts[w];
+            if inject {
+                entering |= self.starts[w];
+            }
+            state[w] = (entering & mask[w]) | (state[w] & mask[w] & self.plus[w]);
+        }
+    }
+
+    /// The symbol id of one concrete character.
+    #[inline]
+    fn symbol(&self, c: char) -> u16 {
+        if (c as u32) < 128 {
+            self.ascii_symbol[c as usize]
+        } else {
+            self.other_symbol.get(&c).copied().unwrap_or(NO_SYMBOL)
+        }
+    }
+
+    /// The symbol id of `c`, interning it on first sight.
+    fn intern_symbol(&mut self, c: char) -> u16 {
+        let next = self.masks.len() as u16;
+        let id = if (c as u32) < 128 {
+            let slot = &mut self.ascii_symbol[c as usize];
+            if *slot == NO_SYMBOL {
+                *slot = next;
+            }
+            *slot
+        } else {
+            *self.other_symbol.entry(c).or_insert(next)
+        };
+        if id == next {
+            self.masks.push(ZERO);
+            self.interned.push(c);
+        }
+        id
+    }
+
+    /// Set transition bit `bit` for every symbol `pred` accepts.
+    fn set_position(&mut self, bit: u32, pred: &TokenClass) {
+        match pred {
+            TokenClass::Literal(_) => unreachable!("literals are laid out per character"),
+            class => {
+                if matches!(class, TokenClass::Digit | TokenClass::AlphaNumeric) {
+                    set_bit(&mut self.masks[0], bit);
+                }
+                if matches!(
+                    class,
+                    TokenClass::Lower | TokenClass::Alpha | TokenClass::AlphaNumeric
+                ) {
+                    set_bit(&mut self.masks[1], bit);
+                }
+                if matches!(
+                    class,
+                    TokenClass::Upper | TokenClass::Alpha | TokenClass::AlphaNumeric
+                ) {
+                    set_bit(&mut self.masks[2], bit);
+                }
+                if matches!(class, TokenClass::AlphaNumeric) {
+                    // <AN> also consumes the concrete '-' and '_' symbols
+                    // (TokenClass::contains_char).
+                    for c in ['-', '_'] {
+                        let sym = self.intern_symbol(c);
+                        set_bit(&mut self.masks[sym as usize], bit);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Marker for "the bounded state search overflowed".
+struct SearchOverflow;
+
+/// Is `L(sub) ⊆ L(covers[0]) ∪ … ∪ L(covers[n-1])`, as a one-shot
+/// convenience over a freshly built automaton?
+///
+/// `None` means inconclusive (combined width beyond [`MAX_WIDTH`], or the
+/// bounded state search overflowed) — callers must not conclude anything.
+/// Used by `clx-synth` to prune candidate source patterns that earlier
+/// branches already cover, and by `clx-analyze` tests.
+pub fn patterns_subsumed(sub: &Pattern, covers: &[&Pattern]) -> Option<bool> {
+    let mut slots: Vec<Option<&Pattern>> = Vec::with_capacity(covers.len() + 1);
+    slots.push(Some(sub));
+    slots.extend(covers.iter().map(|p| Some(*p)));
+    let automaton = MultiPatternAutomaton::build(&slots).ok()?;
+    let cover_indices: Vec<usize> = (1..slots.len()).collect();
+    automaton
+        .uncovered_witness(0, &cover_indices)
+        .map(|witness| witness.is_none())
+}
+
+/// Lay out one pattern as the next contiguous run of bit positions.
+fn layout_segment(
+    automaton: &mut MultiPatternAutomaton,
+    pattern: &Pattern,
+    next_bit: &mut u32,
+) -> Segment {
+    let offset = *next_bit;
+    for token in pattern.iter() {
+        match token.literal_value() {
+            Some(s) => {
+                for c in s.chars() {
+                    let sym = automaton.intern_symbol(c);
+                    set_bit(&mut automaton.masks[sym as usize], *next_bit);
+                    *next_bit += 1;
+                }
+            }
+            None => {
+                let positions = match token.quantifier {
+                    Quantifier::Exact(n) => n,
+                    Quantifier::OneOrMore => {
+                        set_bit(&mut automaton.plus, *next_bit);
+                        1
+                    }
+                };
+                for _ in 0..positions {
+                    automaton.set_position(*next_bit, &token.class);
+                    *next_bit += 1;
+                }
+            }
+        }
+    }
+    if *next_bit > offset {
+        set_bit(&mut automaton.starts, offset);
+        Segment::Span {
+            first: offset,
+            last: *next_bit - 1,
+        }
+    } else {
+        Segment::Empty
+    }
+}
+
+/// Automaton positions a pattern needs: one per literal character, n per
+/// `Exact(n)` class token, one (self-looping) per `+` class token.
+fn pattern_width(pattern: &Pattern) -> usize {
+    pattern
+        .iter()
+        .map(|t| match t.literal_value() {
+            Some(s) => s.chars().count(),
+            None => match t.quantifier {
+                Quantifier::Exact(n) => n,
+                Quantifier::OneOrMore => 1,
+            },
+        })
+        .sum()
+}
+
+/// The leaf-class index of a concrete character, mirroring
+/// [`TokenClass::leaf_class_index`]'s `<D>`=0, `<L>`=1, `<U>`=2 order.
+fn char_leaf_class(c: char) -> Option<usize> {
+    if c.is_ascii_digit() {
+        Some(0)
+    } else if c.is_ascii_lowercase() {
+        Some(1)
+    } else if c.is_ascii_uppercase() {
+        Some(2)
+    } else {
+        None
+    }
+}
+
+/// Rebuild the witness string of BFS node `index` from the parent chain.
+fn reconstruct(nodes: &[(BitRow, usize, char)], index: usize) -> String {
+    let mut chars = Vec::new();
+    let mut at = index;
+    loop {
+        let (_, parent, rep) = nodes[at];
+        chars.push(rep);
+        if parent == usize::MAX {
+            break;
+        }
+        at = parent;
+    }
+    chars.into_iter().rev().collect()
+}
+
+#[inline]
+fn bit_set(row: &BitRow, bit: u32) -> bool {
+    (row[(bit / 64) as usize] >> (bit % 64)) & 1 == 1
+}
+
+#[inline]
+fn set_bit(row: &mut BitRow, bit: u32) {
+    row[(bit / 64) as usize] |= 1 << (bit % 64);
+}
+
+#[inline]
+fn or_rows(into: &mut BitRow, from: &BitRow) {
+    for w in 0..WORDS {
+        into[w] |= from[w];
+    }
+}
+
+#[inline]
+fn and_rows(into: &mut BitRow, with: &BitRow) {
+    for w in 0..WORDS {
+        into[w] &= with[w];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_pattern, tokenize};
+
+    fn auto(patterns: &[&str]) -> MultiPatternAutomaton {
+        let parsed: Vec<Pattern> = patterns.iter().map(|p| parse_pattern(p).unwrap()).collect();
+        let slots: Vec<Option<&Pattern>> = parsed.iter().map(Some).collect();
+        MultiPatternAutomaton::build(&slots).unwrap()
+    }
+
+    fn subsumed(sub: &str, covers: &[&str]) -> Option<bool> {
+        let sub = parse_pattern(sub).unwrap();
+        let covers: Vec<Pattern> = covers.iter().map(|p| parse_pattern(p).unwrap()).collect();
+        let refs: Vec<&Pattern> = covers.iter().collect();
+        patterns_subsumed(&sub, &refs)
+    }
+
+    #[test]
+    fn classification_agrees_with_the_backtracker() {
+        let a = parse_pattern("<D>3'-'<D>4").unwrap();
+        let b = parse_pattern("<U>+'-'<D>+").unwrap();
+        let automaton = MultiPatternAutomaton::build(&[Some(&a), Some(&b)]).unwrap();
+        for value in ["123-4567", "AB-99", "123-456", "-1", "", "abc"] {
+            let m = automaton.classify(&tokenize(value)).unwrap();
+            assert_eq!(automaton.matches(&m, 0), a.matches(value), "a on {value:?}");
+            assert_eq!(automaton.matches(&m, 1), b.matches(value), "b on {value:?}");
+        }
+    }
+
+    #[test]
+    fn absent_segments_match_nothing_and_answer_nothing() {
+        let p = parse_pattern("<D>2").unwrap();
+        let automaton = MultiPatternAutomaton::build(&[None, Some(&p)]).unwrap();
+        let m = automaton.classify(&tokenize("42")).unwrap();
+        assert!(!automaton.matches(&m, 0));
+        assert!(automaton.matches(&m, 1));
+        assert_eq!(automaton.language_empty(0), None);
+        assert_eq!(automaton.intersection_witness(0, 1), None);
+        assert_eq!(automaton.uncovered_witness(0, &[1]), None);
+        // An absent *cover* contributes the empty language.
+        assert_eq!(
+            automaton.uncovered_witness(1, &[0]),
+            Some(Some("00".into()))
+        );
+    }
+
+    #[test]
+    fn languages_of_well_formed_patterns_are_never_empty() {
+        let automaton = auto(&["<D>3'-'<D>4", "<AN>+", "'('<U>2')'", ""]);
+        for i in 0..4 {
+            assert_eq!(automaton.language_empty(i), Some(false), "segment {i}");
+        }
+    }
+
+    #[test]
+    fn quantifier_splits_are_language_equal() {
+        // "12345" splits as 2+3: the languages of <D>2<D>3 and <D>5 are
+        // equal even though Pattern::covers cannot see it.
+        assert_eq!(subsumed("<D>2<D>3", &["<D>5"]), Some(true));
+        assert_eq!(subsumed("<D>5", &["<D>2<D>3"]), Some(true));
+        assert_eq!(subsumed("<D>5", &["<D>2<D>4"]), Some(false));
+    }
+
+    #[test]
+    fn plus_quantifiers_subsume_exact_counts() {
+        assert_eq!(subsumed("<D>3", &["<D>+"]), Some(true));
+        assert_eq!(subsumed("<D>+", &["<D>3"]), Some(false));
+        assert_eq!(subsumed("<D>2'-'<D>2", &["<D>+'-'<D>+"]), Some(true));
+        assert_eq!(subsumed("<D>+'-'<D>+", &["<D>2'-'<D>2"]), Some(false));
+    }
+
+    #[test]
+    fn alphanumeric_covers_classes_and_dash_underscore() {
+        assert_eq!(subsumed("<D>3", &["<AN>+"]), Some(true));
+        assert_eq!(subsumed("'-''_'", &["<AN>+"]), Some(true));
+        assert_eq!(subsumed("<AN>+", &["<D>+"]), Some(false));
+        // <AN> is exactly the union of the leaf classes plus '-' and '_':
+        // covered by the union, but by no single member.
+        assert_eq!(
+            subsumed("<AN>", &["<D>", "<L>", "<U>", "'-'", "'_'"]),
+            Some(true)
+        );
+        for single in ["<D>", "<L>", "<U>", "'-'", "'_'"] {
+            assert_eq!(subsumed("<AN>", &[single]), Some(false), "vs {single}");
+        }
+    }
+
+    #[test]
+    fn opaque_literals_participate_in_language_analysis() {
+        // 'abc' (an opaque literal) is one string of <L>3's language.
+        assert_eq!(subsumed("'abc'", &["<L>3"]), Some(true));
+        assert_eq!(subsumed("<L>3", &["'abc'"]), Some(false));
+        // The counterexample must be a real <L>3 string other than "abc".
+        let a = parse_pattern("<L>3").unwrap();
+        let b = parse_pattern("'abc'").unwrap();
+        let automaton = MultiPatternAutomaton::build(&[Some(&a), Some(&b)]).unwrap();
+        let witness = automaton.uncovered_witness(0, &[1]).unwrap().unwrap();
+        assert!(a.matches(&witness), "witness {witness:?}");
+        assert!(!b.matches(&witness), "witness {witness:?}");
+    }
+
+    #[test]
+    fn intersection_witnesses_match_both_patterns() {
+        let a = parse_pattern("<D>+").unwrap();
+        let b = parse_pattern("<D>2").unwrap();
+        let automaton = MultiPatternAutomaton::build(&[Some(&a), Some(&b)]).unwrap();
+        let witness = automaton.intersection_witness(0, 1).unwrap().unwrap();
+        assert!(a.matches(&witness) && b.matches(&witness), "{witness:?}");
+
+        let disjoint = auto(&["<D>", "<L>"]);
+        assert_eq!(disjoint.intersection_witness(0, 1), Some(None));
+    }
+
+    #[test]
+    fn partial_overlap_is_neither_subsumption() {
+        let automaton = auto(&["<D><AN>", "<AN><D>"]);
+        let witness = automaton.intersection_witness(0, 1).unwrap();
+        assert!(witness.is_some());
+        assert_eq!(
+            automaton.uncovered_witness(0, &[1]),
+            Some(Some("0-".into()))
+        );
+        assert_eq!(
+            automaton.uncovered_witness(1, &[0]),
+            Some(Some("-0".into()))
+        );
+    }
+
+    #[test]
+    fn zero_width_patterns_accept_exactly_the_empty_string() {
+        let empty = tokenize("");
+        let digit = parse_pattern("<D>").unwrap();
+        let automaton =
+            MultiPatternAutomaton::build(&[Some(&empty), Some(&digit), Some(&empty)]).unwrap();
+        let m = automaton.classify(&tokenize("")).unwrap();
+        assert!(automaton.matches(&m, 0));
+        assert!(!automaton.matches(&m, 1));
+        assert_eq!(
+            automaton.intersection_witness(0, 2),
+            Some(Some(String::new()))
+        );
+        assert_eq!(automaton.intersection_witness(0, 1), Some(None));
+        assert_eq!(automaton.uncovered_witness(0, &[2]), Some(None));
+        assert_eq!(
+            automaton.uncovered_witness(0, &[1]),
+            Some(Some(String::new()))
+        );
+        assert_eq!(automaton.uncovered_witness(1, &[0]), Some(Some("0".into())));
+    }
+
+    #[test]
+    fn width_overflow_is_an_error_not_a_verdict() {
+        let wide = parse_pattern("<D>300").unwrap();
+        let err = MultiPatternAutomaton::build(&[Some(&wide)]).unwrap_err();
+        assert_eq!(err, WidthOverflow { required: 300 });
+        assert!(err.to_string().contains("300"));
+        let sub = parse_pattern("<D>200").unwrap();
+        assert_eq!(patterns_subsumed(&sub, &[&wide]), None);
+    }
+
+    #[test]
+    fn multi_word_language_analysis_carries_across_words() {
+        // Force the second segment past the first 64-bit word.
+        assert_eq!(subsumed("<D>40'-'<D>30", &["<D>+'-'<D>+"]), Some(true));
+        assert_eq!(subsumed("<D>+'-'<D>+", &["<D>40'-'<D>30"]), Some(false));
+    }
+
+    #[test]
+    fn non_ascii_literals_are_their_own_atoms() {
+        assert_eq!(subsumed("'€'<D>2", &["'€'<D>+"]), Some(true));
+        assert_eq!(subsumed("'€'<D>+", &["'€'<D>2"]), Some(false));
+        assert_eq!(subsumed("'€'", &["'$'"]), Some(false));
+    }
+
+    #[test]
+    fn witnesses_always_match_their_own_segment() {
+        // The uncovered witness is a concrete string: it must really match
+        // sub and really not match any cover, per the backtracker.
+        let cases = [
+            ("<D>+'-'<D>+", vec!["<D>3'-'<D>4"]),
+            ("<AN>+", vec!["<D>+", "<L>+"]),
+            ("<U>2<D>2", vec!["<U>+<D>3"]),
+        ];
+        for (sub, covers) in cases {
+            let sub = parse_pattern(sub).unwrap();
+            let covers: Vec<Pattern> = covers.iter().map(|p| parse_pattern(p).unwrap()).collect();
+            let mut slots = vec![Some(&sub)];
+            slots.extend(covers.iter().map(Some));
+            let automaton = MultiPatternAutomaton::build(&slots).unwrap();
+            let indices: Vec<usize> = (1..slots.len()).collect();
+            let witness = automaton.uncovered_witness(0, &indices).unwrap().unwrap();
+            assert!(sub.matches(&witness), "{witness:?} vs {sub}");
+            for cover in &covers {
+                assert!(!cover.matches(&witness), "{witness:?} vs {cover}");
+            }
+        }
+    }
+}

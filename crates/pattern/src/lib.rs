@@ -23,7 +23,10 @@
 //!   per-token slices a pattern describes;
 //! * rendering into the "natural-language-like" regular expression syntax of
 //!   Wrangler/Trifacta ([`wrangler`]) and into the concrete regex syntax
-//!   consumed by the `clx-regex` engine.
+//!   consumed by the `clx-regex` engine;
+//! * a bit-parallel multi-pattern [`automaton`] (shift-and) shared by the
+//!   engine's fused cold-path dispatch and the static analyzer's
+//!   language-level checks (emptiness, intersection, subsumption).
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod automaton;
 mod error;
 mod parse;
 mod pattern;

@@ -27,6 +27,13 @@ pub struct SynthesisOptions {
     /// Number of ranked, deduplicated alternative plans kept per source
     /// pattern for the repair interaction.
     pub top_k: usize,
+    /// Drop candidate source patterns whose whole language is already
+    /// claimed by branches that precede them in the synthesized program
+    /// (first-match semantics would starve such a branch, so skipping it —
+    /// and its children, whose languages are subsets — changes no output;
+    /// see [`Synthesis::pruned`]). On by default; turn off to see every
+    /// candidate the hierarchy offered.
+    pub prune_unreachable: bool,
 }
 
 impl Default for SynthesisOptions {
@@ -34,6 +41,7 @@ impl Default for SynthesisOptions {
         SynthesisOptions {
             max_plans_per_source: 2_000,
             top_k: 5,
+            prune_unreachable: true,
         }
     }
 }
@@ -80,6 +88,12 @@ pub struct Synthesis {
     /// Leaf patterns for which no transformation could be synthesized; their
     /// rows are left unchanged and flagged for review (§6.1).
     pub rejected: Vec<Pattern>,
+    /// Candidate source patterns dropped before MDL ranking because the
+    /// branches ordered ahead of them already claim their whole language
+    /// (the static dead/shadow verdict): such a branch could never fire,
+    /// so its rows are transformed by the covering branches either way.
+    /// Empty when [`SynthesisOptions::prune_unreachable`] is off.
+    pub pruned: Vec<Pattern>,
 }
 
 impl Synthesis {
@@ -210,6 +224,7 @@ fn synthesize_impl(
     let mut sources: Vec<SourceSynthesis> = Vec::new();
     let mut already_correct: Vec<Pattern> = Vec::new();
     let mut rejected: Vec<Pattern> = Vec::new();
+    let mut pruned: Vec<Pattern> = Vec::new();
 
     while let Some(id) = unsolved.pop() {
         let node = hierarchy.node(id);
@@ -219,6 +234,33 @@ fn synthesize_impl(
         if target.covers(pattern) || pattern == target {
             already_correct.push(pattern.clone());
             continue;
+        }
+
+        // Static reachability pruning, before any alignment or MDL work:
+        // if the already-accepted sources that will *definitely* sort
+        // ahead of this candidate (more rows, or equal rows and an
+        // earlier notation — the final presentation order) jointly cover
+        // its whole language, the candidate's branch could never fire
+        // under first-match semantics, and every one of its rows is
+        // transformed by those covering branches instead. Its children
+        // are language subsets, so the whole subtree is skipped. (Sources
+        // accepted *later* can also end up ahead of a candidate; the
+        // final sweep below catches those.)
+        if options.prune_unreachable {
+            let preceding: Vec<&Pattern> = sources
+                .iter()
+                .filter(|s| {
+                    s.rows > node.size()
+                        || (s.rows == node.size() && s.pattern.notation() < pattern.notation())
+                })
+                .map(|s| &s.pattern)
+                .collect();
+            if !preceding.is_empty()
+                && clx_pattern::automaton::patterns_subsumed(pattern, &preceding) == Some(true)
+            {
+                pruned.push(pattern.clone());
+                continue;
+            }
         }
 
         let mut accepted = false;
@@ -268,12 +310,38 @@ fn synthesize_impl(
             .then_with(|| a.pattern.notation().cmp(&b.pattern.notation()))
     });
 
+    if options.prune_unreachable {
+        prune_unreachable_sources(&mut sources, &mut pruned);
+    }
+
     Synthesis {
         target: target.clone(),
         sources,
         already_correct,
         rejected,
+        pruned,
     }
+}
+
+/// The order-exact half of reachability pruning: with the final branch
+/// order known, drop every source whose language the kept sources ahead
+/// of it jointly cover. Such a branch can never fire (first-match), so
+/// removing it is output-identical — the covering branches' plans were
+/// handling its rows already. Sound on `Some(true)` only: an inconclusive
+/// automaton verdict (width or search budget) keeps the source.
+fn prune_unreachable_sources(sources: &mut Vec<SourceSynthesis>, pruned: &mut Vec<Pattern>) {
+    let mut kept: Vec<SourceSynthesis> = Vec::with_capacity(sources.len());
+    for source in sources.drain(..) {
+        let ahead: Vec<&Pattern> = kept.iter().map(|k| &k.pattern).collect();
+        let subsumed = !ahead.is_empty()
+            && clx_pattern::automaton::patterns_subsumed(&source.pattern, &ahead) == Some(true);
+        if subsumed {
+            pruned.push(source.pattern);
+        } else {
+            kept.push(source);
+        }
+    }
+    *sources = kept;
 }
 
 #[cfg(test)]
@@ -544,6 +612,92 @@ mod tests {
                     let fresh = eval_expr(&plan.expr, &source.pattern, value.text()).unwrap();
                     assert_eq!(cached, fresh);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn prune_sweep_drops_sources_covered_by_branches_ahead() {
+        let source = |p: &str, rows: usize| SourceSynthesis {
+            pattern: parse_pattern(p).unwrap(),
+            plans: vec![RankedPlan {
+                expr: Expr::concat(vec![clx_unifi::StringExpr::const_str("0")]),
+                description_length: 1.0,
+            }],
+            chosen: 0,
+            rows,
+        };
+        // Presentation order: <AN>+ first. <D>+ and <L>2 are language
+        // subsets of it (shadowed at runtime); <D>'.'<D> is not ('.' is
+        // outside <AN>).
+        let mut sources = vec![
+            source("<AN>+", 5),
+            source("<D>+", 3),
+            source("<D>'.'<D>", 2),
+            source("<L>2", 1),
+        ];
+        let mut pruned = Vec::new();
+        prune_unreachable_sources(&mut sources, &mut pruned);
+        let kept: Vec<String> = sources.iter().map(|s| s.pattern.to_string()).collect();
+        assert_eq!(kept, ["<AN>+", "<D>'.'<D>"]);
+        let dropped: Vec<String> = pruned.iter().map(|p| p.to_string()).collect();
+        assert_eq!(dropped, ["<D>+", "<L>2"]);
+    }
+
+    #[test]
+    fn pruning_on_and_off_produce_identical_transformations() {
+        // Pruning only removes branches that can never fire, so the two
+        // programs must transform every input identically — on workloads
+        // with and without actual subsumption.
+        let workloads: [(&[&str], &str); 3] = [
+            (
+                &[
+                    "(734) 645-8397",
+                    "(734)586-7252",
+                    "734.236.3466",
+                    "734-422-8073",
+                    "N/A",
+                ],
+                "734-422-8073",
+            ),
+            (
+                &["CPT-00350", "[CPT-00340", "[CPT-11536]", "CPT115"],
+                "[CPT-00350]",
+            ),
+            (&["1.2.3", "11.22.33", "111.222.333"], "1-2-3"),
+        ];
+        for (data, target_text) in workloads {
+            let hierarchy = PatternProfiler::new().profile(data);
+            let target = tokenize(target_text);
+            let with_prune = synthesize(&hierarchy, &target, &options());
+            let without_prune = synthesize(
+                &hierarchy,
+                &target,
+                &SynthesisOptions {
+                    prune_unreachable: false,
+                    ..options()
+                },
+            );
+            assert!(without_prune.pruned.is_empty());
+            let a = with_prune.program();
+            let b = without_prune.program();
+            for input in data {
+                assert_eq!(
+                    transform(&a, input).unwrap(),
+                    transform(&b, input).unwrap(),
+                    "on {input:?} (target {target_text:?})"
+                );
+            }
+            // Every pruned pattern really is covered by kept branches
+            // ordered ahead of it — the runtime guarantee behind the
+            // output identity above.
+            for (i, p) in with_prune.pruned.iter().enumerate() {
+                let ahead: Vec<&Pattern> = with_prune.sources.iter().map(|s| &s.pattern).collect();
+                assert_eq!(
+                    clx_pattern::automaton::patterns_subsumed(p, &ahead),
+                    Some(true),
+                    "pruned[{i}] = {p} not covered (target {target_text:?})"
+                );
             }
         }
     }

@@ -146,17 +146,28 @@ impl Branch {
     }
 
     /// Statically check that every `Extract` of the plan stays within the
-    /// source pattern (one-based, ordered, `to <= pattern.len()`).
+    /// source pattern (one-based, ordered, `to <= pattern.len()`), via the
+    /// shared [`crate::eval::extract_bounds_violation`] rules — the same
+    /// check the evaluator applies lazily, row by row; batch compilers
+    /// (`clx-engine`) call this up front so an ill-formed program is
+    /// rejected before any data is touched.
     ///
-    /// The evaluator reports the same violations lazily, row by row; batch
-    /// compilers (`clx-engine`) call this up front so an ill-formed program
-    /// is rejected before any data is touched.
+    /// This static check is *complete* for every quantifier: for any
+    /// string a pattern matches, `Pattern::split` yields exactly one slice
+    /// per token (a `+` token yields one slice covering its whole run), so
+    /// the per-row slice count always equals `pattern.len()` and a branch
+    /// passing this check can never raise
+    /// [`ExtractOutOfBounds`](crate::eval::EvalError::ExtractOutOfBounds)
+    /// on a matching input.
     pub fn validate(&self) -> Result<(), crate::eval::EvalError> {
         for &(from, to) in &self.expr.extracted_tokens() {
-            if from == 0 || from > to || to > self.pattern.len() {
+            if let Some(rule) = crate::eval::extract_bounds_violation(from, to, self.pattern.len())
+            {
                 return Err(crate::eval::EvalError::ExtractOutOfBounds {
-                    index: to.max(from),
+                    from,
+                    to,
                     pattern_len: self.pattern.len(),
+                    rule,
                 });
             }
         }
@@ -361,20 +372,48 @@ mod tests {
         );
         assert!(good.validate().is_ok());
 
+        use crate::eval::{EvalError, ExtractRule};
+
+        // Each violation names its offending bounds and the broken rule,
+        // not a synthesized (possibly in-bounds) index.
         let past_end = Branch::new(tokenize("abc"), Expr::concat(vec![StringExpr::extract(2)]));
-        assert!(past_end.validate().is_err());
+        assert_eq!(
+            past_end.validate().unwrap_err(),
+            EvalError::ExtractOutOfBounds {
+                from: 2,
+                to: 2,
+                pattern_len: 1,
+                rule: ExtractRule::PastEnd,
+            }
+        );
 
         let inverted = Branch::new(
             tokenize("a-b"),
             Expr::concat(vec![StringExpr::Extract { from: 3, to: 1 }]),
         );
-        assert!(inverted.validate().is_err());
+        assert_eq!(
+            inverted.validate().unwrap_err(),
+            EvalError::ExtractOutOfBounds {
+                from: 3,
+                to: 1,
+                pattern_len: 3,
+                rule: ExtractRule::InvertedRange,
+            }
+        );
 
         let zero = Branch::new(
             tokenize("a-b"),
             Expr::concat(vec![StringExpr::Extract { from: 0, to: 1 }]),
         );
-        assert!(zero.validate().is_err());
+        assert_eq!(
+            zero.validate().unwrap_err(),
+            EvalError::ExtractOutOfBounds {
+                from: 0,
+                to: 1,
+                pattern_len: 3,
+                rule: ExtractRule::ZeroIndex,
+            }
+        );
     }
 
     #[test]

@@ -6,17 +6,56 @@ use clx_pattern::{Pattern, PatternError};
 
 use crate::ast::{Branch, Expr, Program, StringExpr};
 
+/// Which well-formedness rule an `Extract { from, to }` range violated.
+/// Token indices are one-based and inclusive, so a valid range satisfies
+/// `1 <= from <= to <= pattern_len` — one variant per way to break that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractRule {
+    /// `from == 0`: token indices are one-based.
+    ZeroIndex,
+    /// `from > to`: the range is inverted (empty ranges are not a thing in
+    /// UniFi — dropping tokens is expressed by omitting them).
+    InvertedRange,
+    /// `to > pattern_len`: the range reaches past the source pattern's
+    /// last token.
+    PastEnd,
+}
+
+/// The first rule (checked in [`ExtractRule`] declaration order) that
+/// `Extract { from, to }` violates against a source pattern of
+/// `pattern_len` tokens, or `None` when the range is well-formed.
+///
+/// This is the single bounds check shared by [`eval_expr_on_slices`],
+/// `Branch::validate` and the static analyzer's extract-safety pass, so a
+/// range can never be "valid" to one consumer and out-of-bounds to
+/// another.
+pub fn extract_bounds_violation(from: usize, to: usize, pattern_len: usize) -> Option<ExtractRule> {
+    if from == 0 {
+        Some(ExtractRule::ZeroIndex)
+    } else if from > to {
+        Some(ExtractRule::InvertedRange)
+    } else if to > pattern_len {
+        Some(ExtractRule::PastEnd)
+    } else {
+        None
+    }
+}
+
 /// Errors produced while evaluating a UniFi expression.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvalError {
     /// The input string does not match the branch's source pattern.
     PatternMismatch(PatternError),
-    /// An `Extract` referenced a token index outside the source pattern.
+    /// An `Extract` range is ill-formed for the source pattern.
     ExtractOutOfBounds {
-        /// The offending one-based token index.
-        index: usize,
+        /// The range's one-based start index.
+        from: usize,
+        /// The range's one-based (inclusive) end index.
+        to: usize,
         /// The number of tokens in the source pattern.
         pattern_len: usize,
+        /// Which well-formedness rule the range broke.
+        rule: ExtractRule,
     },
 }
 
@@ -24,10 +63,25 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::PatternMismatch(e) => write!(f, "pattern mismatch: {e}"),
-            EvalError::ExtractOutOfBounds { index, pattern_len } => write!(
-                f,
-                "Extract references token {index} but the source pattern has {pattern_len} tokens"
-            ),
+            EvalError::ExtractOutOfBounds {
+                from,
+                to,
+                pattern_len,
+                rule,
+            } => match rule {
+                ExtractRule::ZeroIndex => write!(
+                    f,
+                    "Extract starts at token 0 but token indices are one-based"
+                ),
+                ExtractRule::InvertedRange => write!(
+                    f,
+                    "Extract range is inverted: it starts at token {from} but ends at token {to}"
+                ),
+                ExtractRule::PastEnd => write!(
+                    f,
+                    "Extract references token {to} but the source pattern has {pattern_len} tokens"
+                ),
+            },
         }
     }
 }
@@ -90,10 +144,12 @@ pub fn eval_expr_on_slices(
         match part {
             StringExpr::ConstStr(s) => out.push_str(s),
             StringExpr::Extract { from, to } => {
-                if *from == 0 || *to > slices.len() || from > to {
+                if let Some(rule) = extract_bounds_violation(*from, *to, slices.len()) {
                     return Err(EvalError::ExtractOutOfBounds {
-                        index: (*to).max(*from),
+                        from: *from,
+                        to: *to,
                         pattern_len: slices.len(),
+                        rule,
                     });
                 }
                 for slice in &slices[from - 1..*to] {
@@ -205,8 +261,72 @@ mod tests {
         let p = tokenize("abc");
         let e = Expr::concat(vec![StringExpr::extract(2)]);
         let err = eval_expr(&e, &p, "abc").unwrap_err();
-        assert!(matches!(err, EvalError::ExtractOutOfBounds { .. }));
+        assert_eq!(
+            err,
+            EvalError::ExtractOutOfBounds {
+                from: 2,
+                to: 2,
+                pattern_len: 1,
+                rule: ExtractRule::PastEnd,
+            }
+        );
         assert!(err.to_string().contains("token 2"));
+    }
+
+    #[test]
+    fn eval_expr_zero_index_names_the_one_based_rule() {
+        // extract_range debug-asserts validity, so an ill-formed range is
+        // built as the raw variant — exactly what a buggy caller would do.
+        let p = tokenize("a-b");
+        let e = Expr::concat(vec![StringExpr::Extract { from: 0, to: 1 }]);
+        let err = eval_expr(&e, &p, "a-b").unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::ExtractOutOfBounds {
+                from: 0,
+                to: 1,
+                pattern_len: 3,
+                rule: ExtractRule::ZeroIndex,
+            }
+        );
+        assert!(err.to_string().contains("one-based"));
+    }
+
+    #[test]
+    fn eval_expr_inverted_range_names_both_bounds() {
+        let p = tokenize("a-b");
+        let e = Expr::concat(vec![StringExpr::Extract { from: 3, to: 1 }]);
+        let err = eval_expr(&e, &p, "a-b").unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::ExtractOutOfBounds {
+                from: 3,
+                to: 1,
+                pattern_len: 3,
+                rule: ExtractRule::InvertedRange,
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("token 3") && msg.contains("token 1"), "{msg}");
+    }
+
+    #[test]
+    fn bounds_violation_rule_order_is_zero_then_inverted_then_past_end() {
+        // A range can break several rules at once; the reported rule is
+        // the first in declaration order, so messages stay deterministic.
+        assert_eq!(
+            extract_bounds_violation(0, 9, 1),
+            Some(ExtractRule::ZeroIndex)
+        );
+        assert_eq!(
+            extract_bounds_violation(9, 2, 1),
+            Some(ExtractRule::InvertedRange)
+        );
+        assert_eq!(
+            extract_bounds_violation(2, 2, 1),
+            Some(ExtractRule::PastEnd)
+        );
+        assert_eq!(extract_bounds_violation(1, 1, 1), None);
     }
 
     #[test]

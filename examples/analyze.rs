@@ -1,0 +1,139 @@
+//! Static program diagnostics: proving properties before any row runs.
+//!
+//! The first half runs the normal CLX loop on a datagen workload and asks
+//! the analyzer to certify the synthesized program — six language-level
+//! passes (reachability, shadowing, overlap, redundancy, extract safety,
+//! output conformance) over the same bit-parallel automaton the compiled
+//! engine dispatches with. A program CLX synthesized is clean by
+//! construction, and the report proves it: every branch reachable, every
+//! extract in bounds.
+//!
+//! The second half hand-builds a deliberately flawed program — a shadowed
+//! branch, an out-of-bounds extract, an output the target provably
+//! rejects — and shows the findings, each with a stable `CLX00x` code and
+//! machine-readable evidence. `compile` accepts it (default mode only
+//! records); `compile_strict` rejects it with the proofs in the error.
+//!
+//! Run with: `cargo run --release --example analyze`
+
+use std::sync::Arc;
+
+use clx::analyze::analyze_program;
+use clx::datagen::duplicate_heavy_case;
+use clx::unifi::{Branch, Expr, StringExpr};
+use clx::{
+    parse_pattern, ClxOptions, ClxSession, DiagnosticCode, InMemorySink, MetricSink, Program,
+    Severity,
+};
+
+fn main() {
+    let case = duplicate_heavy_case(100_000, 1_000, 42);
+    let sink = InMemorySink::shared();
+
+    // ---- Certify the synthesized program -----------------------------------
+    let sample: Vec<String> = case.data.iter().take(2_000).cloned().collect();
+    let session = ClxSession::with_telemetry(
+        sample,
+        ClxOptions::default(),
+        Arc::clone(&sink) as Arc<dyn MetricSink>,
+    )
+    .label_by_example(&case.target_example)
+    .expect("label");
+
+    let report = session.analyze();
+    println!("== synthesized program ({} branches) ==", {
+        session.program().branches.len()
+    });
+    println!("{report}");
+    assert!(!report.has_errors(), "synthesis produced a flawed program");
+
+    // The strict gate is a no-op for a clean program.
+    let compiled = session.compile_strict().expect("clean program compiles");
+    let batch = compiled.execute_column(session.data());
+    println!(
+        "strict compile ok: {} rows transformed, {} flagged\n",
+        batch.stats.transformed, batch.stats.flagged
+    );
+
+    // ---- Diagnose a hand-built flawed program ------------------------------
+    let target = parse_pattern("<D>3'-'<D>4").expect("target");
+    let flawed = Program::new(vec![
+        // Fires on "NNN.NNNN" rows; its plan rewrites them to the target.
+        Branch::new(
+            parse_pattern("<D>3'.'<D>4").expect("pattern"),
+            Expr::concat(vec![
+                StringExpr::extract(1),
+                StringExpr::const_str("-"),
+                StringExpr::extract(3),
+            ]),
+        ),
+        // Shadowed: every <D>3'.'<D>4 row is taken by the branch above.
+        Branch::new(
+            parse_pattern("<D>3'.'<D>4").expect("pattern"),
+            Expr::concat(vec![StringExpr::const_str("000-0000")]),
+        ),
+        // Extract(5) is out of bounds: the source has three tokens.
+        Branch::new(
+            parse_pattern("<D>+'/'<D>+").expect("pattern"),
+            Expr::concat(vec![StringExpr::extract(5)]),
+        ),
+        // Output is <D>+'-'<D>+, which the <D>3'-'<D>4 target can reject.
+        Branch::new(
+            parse_pattern("<D>+' '<D>+").expect("pattern"),
+            Expr::concat(vec![
+                StringExpr::extract(1),
+                StringExpr::const_str("-"),
+                StringExpr::extract(3),
+            ]),
+        ),
+    ]);
+
+    let findings = analyze_program(&flawed, &target);
+    println!("== hand-built flawed program ==");
+    println!("{findings}");
+    assert!(findings.has_errors());
+    assert!(findings.by_code(DiagnosticCode::ShadowedBranch).count() > 0);
+    assert!(findings.by_code(DiagnosticCode::UnsafeExtract).count() > 0);
+    assert!(
+        findings
+            .by_code(DiagnosticCode::UnprovenConformance)
+            .count()
+            > 0
+    );
+
+    // Default compile records; strict compile rejects with the proofs.
+    // (The shadowed branch is invisible to ordinary compilation — only the
+    // out-of-bounds extract would be caught without the analyzer, so the
+    // comparison uses the shadow-only half of the program.)
+    let shadowed = Program::new(flawed.branches[..2].to_vec());
+    assert!(clx::CompiledProgram::compile(&shadowed, &target).is_ok());
+    let rejection = clx::CompiledProgram::compile_strict(&shadowed, &target, None)
+        .expect_err("strict mode rejects error findings");
+    println!("strict compile says: {rejection}\n");
+
+    // ---- The analyzer's own telemetry --------------------------------------
+    let snapshot = sink.snapshot();
+    println!("== analyzer metrics ==");
+    for (name, h) in &snapshot.histograms {
+        if name.starts_with("engine.analyze.") {
+            println!("{name:<32} count {:>3}  p50 {:>10} ns", h.count, h.p50);
+        }
+    }
+    for (name, value) in &snapshot.counters {
+        if name.starts_with("engine.analyze.") {
+            println!("{name:<32} {value}");
+        }
+    }
+
+    // Live evidence the example exists to demonstrate.
+    assert!(snapshot.histogram("engine.analyze.total_ns").is_some());
+    assert!(snapshot.counter("engine.analyze.runs").unwrap_or(0) > 0);
+    assert_eq!(
+        report.errors().count() + report.warnings().count(),
+        report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity >= Severity::Warning)
+            .count()
+    );
+}

@@ -30,6 +30,13 @@
 //!   explained `Replace` operations;
 //! * [`cluster`] — pattern profiling and the cluster hierarchy;
 //! * [`unifi`] — the UniFi DSL, its evaluator and the program explainer;
+//! * [`analyze`] — static program diagnostics:
+//!   [`ClxSession::analyze`](clx_core::ClxSession::analyze) proves
+//!   language-level properties of the synthesized program (dead/shadowed
+//!   branches, unsafe extracts, output conformance) before any row runs,
+//!   returning a [`ProgramDiagnostics`] report with stable `CLX00x` codes;
+//!   [`ClxSession::compile_strict`](clx_core::ClxSession::compile_strict)
+//!   turns `Error` findings into compile rejections;
 //! * [`synth`] — source validation, token alignment, MDL ranking and the
 //!   Algorithm-2 synthesizer;
 //! * [`flashfill`] — the FlashFill-style PBE baseline of the evaluation;
@@ -72,6 +79,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use clx_analyze as analyze;
 pub use clx_baselines as baselines;
 pub use clx_cluster as cluster;
 pub use clx_column as column;
@@ -85,6 +93,10 @@ pub use clx_synth as synth;
 pub use clx_telemetry as telemetry;
 pub use clx_unifi as unifi;
 
+pub use clx_analyze::{
+    analyze_program, BranchFacts, Diagnostic, DiagnosticCode, Evidence, ProgramDiagnostics,
+    Severity,
+};
 pub use clx_column::{
     BudgetPolicy, Column, ColumnBuilder, ColumnChunk, ColumnInterner, InternerStats, StreamBudget,
 };
@@ -97,5 +109,6 @@ pub use clx_engine::{
     ProgramCacheStats, StreamSession, StreamSummary,
 };
 pub use clx_pattern::{parse_pattern, tokenize, Pattern, Token, TokenClass};
+pub use clx_synth::{validate_report, ValidationReport};
 pub use clx_telemetry::{InMemorySink, MetricSink, NoopSink, Span, TelemetrySnapshot};
 pub use clx_unifi::{Explanation, Program, ReplaceOp};

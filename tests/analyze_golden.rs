@@ -1,0 +1,212 @@
+//! Golden test for the static analyzer: one hand-built program exhibiting
+//! every diagnostic the analyzer can emit, with exact codes, branches,
+//! severities and machine-readable evidence asserted.
+//!
+//! The program's branches, against target `<D>3'-'<D>4`:
+//!
+//! | # | pattern | plan | expected finding |
+//! |---|---------|------|------------------|
+//! | 0 | `<D>+'.'<D>+` | `x1 "-" x3` | CLX006 (output `<D>+'-'<D>+` diverges) |
+//! | 1 | `<D>2'.'<D>2` | const | CLX002 (shadowed by 0) |
+//! | 2 | `<D>3'-'<D>4` | `x1 "-" x3` | CLX004 (target already covers it) |
+//! | 3 | `'('<D>3')'<D>4` | 3 bad extracts | CLX005 × 3 (one per rule) |
+//! | 4 | `<D><AN>` | const | — (overlap partner) |
+//! | 5 | `<AN><D>` | const | CLX003 (overlaps 4) |
+//! | 6–10 | `<D>` `<L>` `<U>` `'-'` `'_'` | const | clean, proven conforming |
+//! | 11 | `<AN>` | const | CLX001 (union of 6–10 starves it) |
+
+use clx::analyze::{analyze_program, DiagnosticCode, Evidence, Severity};
+use clx::unifi::{Branch, Expr, ExtractRule, StringExpr};
+use clx::{parse_pattern, Pattern, Program};
+
+fn pat(notation: &str) -> Pattern {
+    parse_pattern(notation).expect("pattern notation")
+}
+
+fn rewrite_1_dash_3() -> Expr {
+    Expr::concat(vec![
+        StringExpr::extract(1),
+        StringExpr::const_str("-"),
+        StringExpr::extract(3),
+    ])
+}
+
+fn const_expr(s: &str) -> Expr {
+    Expr::concat(vec![StringExpr::const_str(s)])
+}
+
+fn golden_program() -> (Program, Pattern) {
+    let target = pat("<D>3'-'<D>4");
+    let program = Program::new(vec![
+        Branch::new(pat("<D>+'.'<D>+"), rewrite_1_dash_3()), // 0: CLX006
+        Branch::new(pat("<D>2'.'<D>2"), const_expr("000-0000")), // 1: CLX002
+        Branch::new(pat("<D>3'-'<D>4"), rewrite_1_dash_3()), // 2: CLX004
+        Branch::new(
+            // 3: CLX005 × 3 — source has 4 tokens.
+            pat("'('<D>3')'<D>4"),
+            // Built as raw variants: `extract_range` debug-asserts the
+            // well-formedness this branch deliberately violates.
+            Expr::concat(vec![
+                StringExpr::Extract { from: 0, to: 1 }, // ZeroIndex
+                StringExpr::Extract { from: 3, to: 2 }, // InvertedRange
+                StringExpr::Extract { from: 1, to: 9 }, // PastEnd
+            ]),
+        ),
+        Branch::new(pat("<D><AN>"), const_expr("111-1111")), // 4
+        Branch::new(pat("<AN><D>"), const_expr("111-1111")), // 5: CLX003 vs 4
+        Branch::new(pat("<D>"), const_expr("123-4567")),     // 6
+        Branch::new(pat("<L>"), const_expr("123-4567")),     // 7
+        Branch::new(pat("<U>"), const_expr("123-4567")),     // 8
+        Branch::new(pat("'-'"), const_expr("123-4567")),     // 9
+        Branch::new(pat("'_'"), const_expr("123-4567")),     // 10
+        Branch::new(pat("<AN>"), const_expr("123-4567")),    // 11: CLX001
+    ]);
+    (program, target)
+}
+
+#[test]
+fn every_diagnostic_code_fires_exactly_where_designed() {
+    let (program, target) = golden_program();
+    let report = analyze_program(&program, &target);
+
+    // The analysis is complete: small automaton, small search space.
+    assert_eq!(
+        report.by_code(DiagnosticCode::AnalysisIncomplete).count(),
+        0
+    );
+    assert!(report.has_errors());
+
+    // CLX006 — branch 0's output language escapes the target.
+    let diverging: Vec<_> = report
+        .by_code(DiagnosticCode::UnprovenConformance)
+        .collect();
+    assert_eq!(diverging.len(), 1);
+    let d = diverging[0];
+    assert_eq!(d.branch, Some(0));
+    assert_eq!(d.severity, Severity::Warning);
+    match &d.evidence {
+        Evidence::OutputDiverges { output, witness } => {
+            assert_eq!(output, &pat("<D>+'-'<D>+"));
+            let w = witness.as_deref().expect("concrete witness");
+            assert!(output.matches(w), "witness {w:?} must match the output");
+            assert!(!target.matches(w), "witness {w:?} must escape the target");
+        }
+        other => panic!("wrong evidence: {other:?}"),
+    }
+
+    // CLX002 — branch 1 is starved by branch 0 alone.
+    let shadowed: Vec<_> = report.by_code(DiagnosticCode::ShadowedBranch).collect();
+    assert_eq!(shadowed.len(), 1);
+    assert_eq!(shadowed[0].branch, Some(1));
+    assert_eq!(shadowed[0].severity, Severity::Error);
+    assert_eq!(shadowed[0].evidence, Evidence::ShadowedBy { earlier: 0 });
+
+    // CLX004 — branch 2 duplicates the target's language.
+    let redundant: Vec<_> = report.by_code(DiagnosticCode::RedundantBranch).collect();
+    assert_eq!(redundant.len(), 1);
+    assert_eq!(redundant[0].branch, Some(2));
+    assert_eq!(redundant[0].severity, Severity::Warning);
+    assert_eq!(redundant[0].evidence, Evidence::CoveredByTarget);
+
+    // CLX005 — branch 3, one finding per plan part, each naming its rule.
+    let unsafe_extracts: Vec<_> = report.by_code(DiagnosticCode::UnsafeExtract).collect();
+    assert_eq!(unsafe_extracts.len(), 3);
+    let expected = [
+        (0, 0, 1, ExtractRule::ZeroIndex),
+        (1, 3, 2, ExtractRule::InvertedRange),
+        (2, 1, 9, ExtractRule::PastEnd),
+    ];
+    for (diag, (part, from, to, rule)) in unsafe_extracts.iter().zip(expected) {
+        assert_eq!(diag.branch, Some(3));
+        assert_eq!(diag.severity, Severity::Error);
+        assert_eq!(
+            diag.evidence,
+            Evidence::ExtractBounds {
+                part,
+                from,
+                to,
+                pattern_len: 4,
+                rule,
+            }
+        );
+    }
+
+    // CLX003 — branches 4 and 5 overlap; the later one carries the warning
+    // with a concrete string both patterns accept.
+    let overlaps: Vec<_> = report.by_code(DiagnosticCode::AmbiguousOverlap).collect();
+    assert_eq!(overlaps.len(), 1);
+    assert_eq!(overlaps[0].branch, Some(5));
+    assert_eq!(overlaps[0].severity, Severity::Warning);
+    match &overlaps[0].evidence {
+        Evidence::Overlap { other, witness } => {
+            assert_eq!(*other, 4);
+            assert!(pat("<D><AN>").matches(witness), "witness {witness:?}");
+            assert!(pat("<AN><D>").matches(witness), "witness {witness:?}");
+        }
+        other => panic!("wrong evidence: {other:?}"),
+    }
+
+    // CLX001 — branch 11 dies under the union of 6–10 (no single culprit).
+    let dead: Vec<_> = report.by_code(DiagnosticCode::DeadBranch).collect();
+    assert_eq!(dead.len(), 1);
+    assert_eq!(dead[0].branch, Some(11));
+    assert_eq!(dead[0].severity, Severity::Error);
+    assert_eq!(
+        dead[0].evidence,
+        Evidence::Unreachable {
+            earlier: (0..11).collect()
+        }
+    );
+
+    // No finding fired anywhere it was not designed to.
+    for diag in &report.diagnostics {
+        let expected_branches: &[usize] = match diag.code {
+            DiagnosticCode::UnprovenConformance => &[0],
+            DiagnosticCode::ShadowedBranch => &[1],
+            DiagnosticCode::RedundantBranch => &[2],
+            DiagnosticCode::UnsafeExtract => &[3],
+            DiagnosticCode::AmbiguousOverlap => &[5],
+            DiagnosticCode::DeadBranch => &[11],
+            DiagnosticCode::AnalysisIncomplete => &[],
+        };
+        assert!(
+            expected_branches.contains(&diag.branch.expect("branch-level finding")),
+            "unexpected finding: {diag}"
+        );
+    }
+}
+
+#[test]
+fn branch_facts_summarize_the_whole_report() {
+    let (program, target) = golden_program();
+    let report = analyze_program(&program, &target);
+
+    let reachable: Vec<usize> = (0..12)
+        .filter(|&i| report.branch_facts(i).reachable)
+        .collect();
+    let extract_safe: Vec<usize> = (0..12)
+        .filter(|&i| report.branch_facts(i).extract_safe)
+        .collect();
+    let proven: Vec<usize> = (0..12)
+        .filter(|&i| report.branch_facts(i).proven_conforming)
+        .collect();
+
+    assert_eq!(reachable, vec![0, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    assert_eq!(extract_safe, vec![0, 1, 2, 4, 5, 6, 7, 8, 9, 10, 11]);
+    // Conformance is proven exactly where the branch is live, extract-safe
+    // and its output language is contained in the target's.
+    assert_eq!(proven, vec![2, 4, 5, 6, 7, 8, 9, 10]);
+}
+
+#[test]
+fn rendered_report_lists_errors_before_warnings() {
+    let (program, target) = golden_program();
+    let report = analyze_program(&program, &target);
+    let rendered = report.to_string();
+    let first_warning = rendered.find("warning [").expect("has warnings");
+    let last_error = rendered.rfind("error [").expect("has errors");
+    assert!(
+        last_error < first_warning,
+        "errors must render first:\n{rendered}"
+    );
+}

@@ -1,0 +1,284 @@
+//! Property tests locking the static analyzer's verdicts to runtime truth:
+//! every per-branch fact (`reachable`, `extract_safe`, `proven_conforming`)
+//! and every language-level claim (`patterns_subsumed`) is checked against
+//! the actual first-match/eval behaviour of randomly generated programs on
+//! strings generated *from the branch patterns themselves* — the strings a
+//! wrong verdict would mis-predict.
+
+use proptest::prelude::*;
+
+use clx::analyze::{analyze_program, DiagnosticCode, Evidence};
+use clx::pattern::automaton::patterns_subsumed;
+use clx::pattern::{tokenize, Pattern, Quantifier, Token, TokenClass};
+use clx::unifi::{eval_expr, Branch, Expr, Program, StringExpr};
+
+/// Strategy: strings drawn from the kind of characters CLX columns contain.
+fn data_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::char::range('a', 'z'),
+            proptest::char::range('A', 'Z'),
+            proptest::char::range('0', '9'),
+            Just('-'),
+            Just('.'),
+            Just('_'),
+            Just('/'),
+        ],
+        0..10,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Strategy: a pattern — a tokenized data string with per-token mutations
+/// (quantifier loosened to `+`, class generalized up the lattice) so the
+/// generated programs exercise subsumption, not just equality.
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    (data_string(), proptest::collection::vec(0usize..4, 0..10)).prop_map(|(s, mutations)| {
+        let mut tokens: Vec<Token> = tokenize(&s).tokens().to_vec();
+        for (token, m) in tokens.iter_mut().zip(mutations) {
+            if token.class.is_literal() {
+                continue;
+            }
+            match m {
+                1 => token.quantifier = Quantifier::OneOrMore,
+                2 if matches!(token.class, TokenClass::Lower | TokenClass::Upper) => {
+                    token.class = TokenClass::Alpha;
+                }
+                3 => token.class = TokenClass::AlphaNumeric,
+                _ => {}
+            }
+        }
+        Pattern::new(tokens)
+    })
+}
+
+/// Raw plan ingredients: `(kind, a, b)` triples materialized against the
+/// source pattern's token count later (the shim has no `prop_flat_map`).
+fn arb_expr_spec() -> impl Strategy<Value = Vec<(usize, usize, usize)>> {
+    proptest::collection::vec((0usize..2, 0usize..12, 0usize..12), 1..4)
+}
+
+/// A transformation plan over a `len`-token source — constants and
+/// extracts, with deliberately sometimes-invalid extract bounds.
+fn materialize_expr(spec: &[(usize, usize, usize)], len: usize) -> Expr {
+    const CONSTS: [&str; 4] = ["-", "0", "ab", "X."];
+    let bound = len + 2;
+    let parts = spec
+        .iter()
+        .map(|&(kind, a, b)| {
+            if kind == 0 {
+                StringExpr::const_str(CONSTS[a % CONSTS.len()])
+            } else {
+                StringExpr::Extract {
+                    from: a % bound,
+                    to: b % bound,
+                }
+            }
+        })
+        .collect();
+    Expr::concat(parts)
+}
+
+/// Strategy: a program of such branches plus a target pattern.
+fn arb_program() -> impl Strategy<Value = (Program, Pattern)> {
+    let branch = (arb_pattern(), arb_expr_spec()).prop_map(|(pattern, spec)| {
+        let expr = materialize_expr(&spec, pattern.len());
+        Branch::new(pattern, expr)
+    });
+    (proptest::collection::vec(branch, 1..6), arb_pattern())
+        .prop_map(|(branches, target)| (Program::new(branches), target))
+}
+
+/// A concrete string the pattern matches, with `+` runs expanded to `reps`
+/// and the character for each class varied by `pick`.
+fn witness(pattern: &Pattern, reps: usize, pick: usize) -> String {
+    let mut out = String::new();
+    for (i, token) in pattern.tokens().iter().enumerate() {
+        if let Some(text) = token.class.literal_value() {
+            out.push_str(text);
+            continue;
+        }
+        let choices: &[char] = match token.class {
+            TokenClass::Digit => &['7', '0'],
+            TokenClass::Lower => &['x', 'a'],
+            TokenClass::Upper => &['X', 'A'],
+            TokenClass::Alpha => &['x', 'X'],
+            TokenClass::AlphaNumeric => &['x', '7', 'X', '-', '_'],
+            TokenClass::Literal(_) => unreachable!(),
+        };
+        let c = choices[(pick + i) % choices.len()];
+        let n = match token.quantifier {
+            Quantifier::Exact(n) => n,
+            Quantifier::OneOrMore => reps,
+        };
+        for _ in 0..n {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Probe strings that stress the program: witnesses of every branch pattern
+/// and the target (several shapes each), plus a random string.
+fn probes(program: &Program, target: &Pattern, random: String) -> Vec<String> {
+    let mut probes = vec![random];
+    for pattern in program
+        .branches
+        .iter()
+        .map(|b| &b.pattern)
+        .chain(std::iter::once(target))
+    {
+        for (reps, pick) in [(1, 0), (2, 1), (3, 2)] {
+            probes.push(witness(pattern, reps, pick));
+        }
+    }
+    probes
+}
+
+/// The branch that actually decides `input` under first-match semantics.
+fn first_match(program: &Program, input: &str) -> Option<usize> {
+    program
+        .branches
+        .iter()
+        .position(|b| b.pattern.matches(input))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Witnesses really are members of their pattern's language — the
+    /// generator the other properties stand on.
+    #[test]
+    fn witnesses_match_their_pattern(pattern in arb_pattern(), reps in 1usize..4, pick in 0usize..8) {
+        let w = witness(&pattern, reps, pick);
+        prop_assert!(pattern.matches(&w), "{:?} rejects witness {w:?}", pattern.notation());
+    }
+
+    /// A branch the analyzer marked unreachable (dead or shadowed) never
+    /// wins first-match; conversely every fired branch is marked reachable.
+    #[test]
+    fn unreachable_branches_never_fire(case in arb_program(), random in data_string()) {
+        let (program, target) = case;
+        let report = analyze_program(&program, &target);
+        for probe in probes(&program, &target, random) {
+            if let Some(fired) = first_match(&program, &probe) {
+                prop_assert!(
+                    report.branch_facts(fired).reachable,
+                    "branch {fired} fired on {probe:?} but was marked unreachable"
+                );
+            }
+        }
+    }
+
+    /// `extract_safe` is exact on matching rows: safe branches always
+    /// evaluate, and branches with a CLX005 finding never do (the analyzer
+    /// claims *every* matching row raises).
+    #[test]
+    fn extract_safety_agrees_with_eval(case in arb_program(), random in data_string()) {
+        let (program, target) = case;
+        let report = analyze_program(&program, &target);
+        for probe in probes(&program, &target, random) {
+            for (index, branch) in program.branches.iter().enumerate() {
+                if !branch.pattern.matches(&probe) {
+                    continue;
+                }
+                let result = eval_expr(&branch.expr, &branch.pattern, &probe);
+                if report.branch_facts(index).extract_safe {
+                    prop_assert!(
+                        result.is_ok(),
+                        "safe branch {index} failed on {probe:?}: {result:?}"
+                    );
+                } else {
+                    prop_assert!(
+                        result.is_err(),
+                        "unsafe branch {index} evaluated {probe:?} to {result:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `proven_conforming` is sound: whenever such a branch decides a row,
+    /// the produced output matches the target pattern.
+    #[test]
+    fn proven_conformance_holds_at_runtime(case in arb_program(), random in data_string()) {
+        let (program, target) = case;
+        let report = analyze_program(&program, &target);
+        for probe in probes(&program, &target, random) {
+            let Some(fired) = first_match(&program, &probe) else { continue };
+            if !report.branch_facts(fired).proven_conforming {
+                continue;
+            }
+            let branch = &program.branches[fired];
+            let out = eval_expr(&branch.expr, &branch.pattern, &probe)
+                .expect("proven-conforming branches are extract-safe");
+            prop_assert!(
+                target.matches(&out),
+                "branch {fired} proved conforming but {probe:?} -> {out:?} escapes the target"
+            );
+        }
+    }
+
+    /// A CLX004 (redundant) branch only ever fires on rows the target
+    /// already accepts — rewriting them was unnecessary by definition.
+    #[test]
+    fn redundant_branches_only_match_conforming_rows(case in arb_program(), random in data_string()) {
+        let (program, target) = case;
+        let report = analyze_program(&program, &target);
+        let redundant: Vec<usize> = report
+            .by_code(DiagnosticCode::RedundantBranch)
+            .filter_map(|d| d.branch)
+            .collect();
+        for probe in probes(&program, &target, random) {
+            for &index in &redundant {
+                if program.branches[index].pattern.matches(&probe) {
+                    prop_assert!(
+                        target.matches(&probe),
+                        "redundant branch {index} matched non-conforming {probe:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Diagnostic witnesses are concrete evidence, not guesses: an overlap
+    /// witness matches both patterns, a divergence witness matches the
+    /// abstract output pattern and escapes the target.
+    #[test]
+    fn diagnostic_witnesses_are_verifiable(case in arb_program()) {
+        let (program, target) = case;
+        let report = analyze_program(&program, &target);
+        for diag in &report.diagnostics {
+            match &diag.evidence {
+                Evidence::Overlap { other, witness } => {
+                    let branch = diag.branch.unwrap();
+                    prop_assert!(program.branches[branch].pattern.matches(witness));
+                    prop_assert!(program.branches[*other].pattern.matches(witness));
+                }
+                Evidence::OutputDiverges { output, witness: Some(w) } => {
+                    prop_assert!(output.matches(w));
+                    prop_assert!(!target.matches(w));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The language-inclusion primitive everything rests on: a `Some(true)`
+    /// subsumption verdict means every witness of the subsumed pattern is
+    /// claimed by at least one of the covers.
+    #[test]
+    fn subsumption_verdicts_agree_with_matching(sub in arb_pattern(), covers in proptest::collection::vec(arb_pattern(), 1..4)) {
+        let cover_refs: Vec<&Pattern> = covers.iter().collect();
+        if patterns_subsumed(&sub, &cover_refs) == Some(true) {
+            for (reps, pick) in [(1, 0), (2, 1), (3, 2), (2, 3)] {
+                let w = witness(&sub, reps, pick);
+                prop_assert!(
+                    covers.iter().any(|c| c.matches(&w)),
+                    "witness {w:?} of subsumed {:?} escapes all covers",
+                    sub.notation()
+                );
+            }
+        }
+    }
+}
