@@ -1,27 +1,35 @@
 //! Bounded streaming: flat memory on adversarial input, near-zero overhead
 //! on well-behaved input.
 //!
-//! Two workloads, both streamed in 8,192-row chunks through `ColumnStream`:
+//! Three workloads, streamed through `ColumnStream`:
 //!
 //! * **zipf** — 100k rows over 1k distinct values with a Zipf-ish (harmonic)
-//!   frequency skew, the well-behaved shape real columns have. A
-//!   `max_distinct: 10_000` budget never binds here, so the bounded stream
-//!   must run within ~5% of the unbounded one (the budget costs one
+//!   frequency skew in 8,192-row chunks, the well-behaved shape real columns
+//!   have. A `max_distinct: 10_000` budget never binds here, so the bounded
+//!   stream must run within ~5% of the unbounded one (the budget costs one
 //!   over-budget check per chunk plus memory accounting per intern).
-//! * **adversarial** — 1M rows, every one a brand-new distinct value: the
-//!   shape that grows an unbounded interner without bound. Under
-//!   `max_distinct: 10_000` the stream completes with flat memory (peak =
-//!   budget + one chunk, reported below), trading throughput for the
-//!   per-boundary evict + re-intern work.
+//! * **adversarial** — 1M rows, every one a brand-new distinct value, in
+//!   8,192-row chunks: the shape that grows an unbounded interner without
+//!   bound. Under `max_distinct: 10_000` the stream completes with flat
+//!   memory (peak = budget + one chunk, reported below), trading throughput
+//!   for the per-boundary evict + re-intern work.
+//! * **churn_small_chunks** — the first 100k of those all-distinct rows in
+//!   64-row chunks under the same 10k budget: ~1.5k chunk boundaries, each
+//!   evicting a ~64-victim batch out of a ~10k-slot decision table. This is
+//!   the shape that isolates the decision-cache prune: the old prune walked
+//!   every slot at every boundary (O(live)), the incremental one reads the
+//!   interner's per-batch eviction log (`evicted_since`) and touches only
+//!   the ~64 actual victims.
 //!
 //! Numbers from this container (1 CPU, `cargo bench --bench bounded_stream`,
-//! release profile):
+//! release profile; ranges span same-day runs):
 //!
 //! ```text
-//! bounded_stream/zipf_unbounded/100000        ~6.0 ms/iter  (~16.7M rows/s)
-//! bounded_stream/zipf_bounded_10000/100000    ~6.1 ms/iter  (~16.4M rows/s)  +1.7%
-//! bounded_stream/zipf_bounded_500/100000     ~14.4 ms/iter   (~6.9M rows/s)  (evicts every boundary)
-//! bounded_stream/adversarial_bounded/1000000  ~1.9 s/iter    (~0.5M rows/s)
+//! bounded_stream/zipf_unbounded/100000        ~5.8-8.9 ms/iter   (~11-17M rows/s)
+//! bounded_stream/zipf_bounded_10000/100000    ~6.0-8.1 ms/iter   (~12-17M rows/s)
+//! bounded_stream/zipf_bounded_500/100000     ~14.3-19.8 ms/iter (~5.1-7.0M rows/s)  (evicts every boundary)
+//! bounded_stream/churn_small_chunks/100000      ~499 ms/iter      (~200k rows/s)    (~653 ms with the full-walk prune)
+//! bounded_stream/adversarial_bounded/1000000  ~3.9-4.0 s/iter    (~250k rows/s)
 //! adversarial bounded peak memory ~15.5 MB (evictions 989424, live 10576)
 //! unbounded stream at just 100k of those rows: ~78 MB and growing
 //! linearly (~780 MB across the full 1M-row stream)
@@ -31,6 +39,19 @@
 //! costs ~2.4x when it forces an eviction batch at every boundary of a
 //! well-behaved stream (budget 500 < 1k distinct), and turns an O(distinct)
 //! blow-up into flat O(budget + chunk) memory on adversarial input.
+//!
+//! The churn row is the honest A/B for the incremental prune: ~653 ms was
+//! measured in the same build with the eviction-log path disabled (forcing
+//! the pre-existing full-table walk), ~499 ms with it on — ~1.3x from prune
+//! work alone. `zipf_bounded_500` does *not* move outside run-to-run noise
+//! from this change: with 8,192-row chunks its per-boundary cost is
+//! dominated by evict + re-intern + re-decide, not the prune walk. Absolute
+//! numbers drift hard on this box — a same-day rebuild of the pre-change
+//! tree measured `zipf_bounded_500` at ~32 ms and `adversarial_bounded` at
+//! ~5.6 s (single runs, consistent with the derived-split win on cold
+//! decisions measured in `cold_dispatch`, but too noisy to quote as a
+//! precise speedup) — so compare rows within one run, not against
+//! historical tables.
 //!
 //! The acceptance criterion — bounded memory on the adversarial stream,
 //! asserted via `memory_used()` — is locked by
@@ -50,6 +71,10 @@ const DISTINCT: usize = 1_000;
 const CHUNK: usize = 8_192;
 const ADVERSARIAL_ROWS: usize = 1_000_000;
 const BUDGET: usize = 10_000;
+/// Chunk size for the eviction-churn variant: small enough that the
+/// stream crosses ~1.5k chunk boundaries, every one of which evicts a
+/// small batch from a ~10k-slot table.
+const CHURN_CHUNK: usize = 64;
 
 fn compile() -> Arc<CompiledProgram> {
     let case = duplicate_heavy_case(2_000, 200, 11);
@@ -97,8 +122,17 @@ fn adversarial_rows(rows: usize) -> Vec<String> {
 
 /// One whole stream over the data; returns rows processed.
 fn run_stream(program: &Arc<CompiledProgram>, data: &[String], budget: StreamBudget) -> usize {
+    run_stream_chunked(program, data, budget, CHUNK)
+}
+
+fn run_stream_chunked(
+    program: &Arc<CompiledProgram>,
+    data: &[String],
+    budget: StreamBudget,
+    chunk_rows: usize,
+) -> usize {
     let mut stream = ColumnStream::with_budget(Arc::clone(program), budget);
-    for chunk in data.chunks(CHUNK) {
+    for chunk in data.chunks(chunk_rows) {
         black_box(stream.push_rows(chunk));
     }
     stream.finish().rows()
@@ -108,6 +142,7 @@ fn bench_bounded_stream(c: &mut Criterion) {
     let program = compile();
     let zipf = zipf_rows(ROWS, DISTINCT);
     let adversarial = adversarial_rows(ADVERSARIAL_ROWS);
+    let churn: Vec<String> = adversarial[..ROWS].to_vec();
 
     // Report the adversarial stream's memory profile once, outside timing.
     {
@@ -160,6 +195,26 @@ fn bench_bounded_stream(c: &mut Criterion) {
         BenchmarkId::new("zipf_bounded_500", ROWS),
         &zipf,
         |b, data| b.iter(|| run_stream(&program, data, StreamBudget::max_distinct(500))),
+    );
+    // Eviction *churn*: all-distinct rows in tiny chunks over a large
+    // budget, so every one of ~1.5k boundaries evicts a ~chunk-sized batch
+    // from a ~10k-slot table. Per-boundary cache maintenance — the
+    // decision cache's prune in particular — is the shape the incremental
+    // (eviction-log) prune targets: O(evicted)=64 per boundary instead of
+    // a full O(slots)=10k walk.
+    group.bench_with_input(
+        BenchmarkId::new("churn_small_chunks", ROWS),
+        &churn,
+        |b, data| {
+            b.iter(|| {
+                run_stream_chunked(
+                    &program,
+                    data,
+                    StreamBudget::max_distinct(BUDGET),
+                    CHURN_CHUNK,
+                )
+            })
+        },
     );
 
     group.throughput(Throughput::Elements(ADVERSARIAL_ROWS as u64));

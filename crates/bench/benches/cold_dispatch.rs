@@ -20,24 +20,43 @@
 //!   well-behaved shape where cold decisions happen only ~1k times and the
 //!   warm leaf-id path (identical in both variants) dominates.
 //!
-//! Both run twice: `fused` (default compilation) and `pike_vm`
+//! Each workload runs three ways: `fused` (default compilation — the
+//! winner's split boundaries are *derived from the accepting path*, so a
+//! cold decision is one pass over the tokens), `fused_split`
+//! (`CompiledProgram::without_derived_splits()`: fused classify, but the
+//! winner re-runs `Pattern::split` — PR 7's shape), and `pike_vm`
 //! (`CompiledProgram::without_fused()`, the pre-fused per-branch loop).
 //!
 //! Numbers from this container (1 CPU, `cargo bench --bench cold_dispatch`,
-//! release profile):
+//! release profile; the shared box is noisy, so two back-to-back full runs
+//! are reported as ranges — the *ordering* below held in both):
 //!
 //! ```text
-//! cold_dispatch/all_new_leaf_pike_vm/1000000  ~27.8 s/iter  (~36k rows/s)
-//! cold_dispatch/all_new_leaf_fused/1000000    ~18.9 s/iter  (~53k rows/s)  1.47x
-//! cold_dispatch/zipf_pike_vm/100000          ~22.3 ms/iter  (~4.5M rows/s)
-//! cold_dispatch/zipf_fused/100000            ~17.9 ms/iter  (~5.6M rows/s)  1.24x
+//! cold_dispatch/all_new_leaf_pike_vm/1000000     19.7-20.4 s/iter  (~49-51k rows/s)
+//! cold_dispatch/all_new_leaf_fused_split/1000000 14.9-16.1 s/iter  (~62-67k rows/s)
+//! cold_dispatch/all_new_leaf_fused/1000000       12.5-15.8 s/iter  (~63-80k rows/s)
+//! cold_dispatch/zipf_pike_vm/100000              18.7-23.0 ms/iter (~4.3-5.4M rows/s)
+//! cold_dispatch/zipf_fused_split/100000          11.8-19.1 ms/iter (~5.2-8.4M rows/s)
+//! cold_dispatch/zipf_fused/100000                10.7-14.1 ms/iter (~7.1-9.4M rows/s)
 //! ```
 //!
-//! So fusing the decision buys ~1.5x end-to-end on the all-new-leaf stream
-//! even though every row also pays tokenize + intern + evict + rewrite on
-//! long (up to 163-char) values, and the zipf stream — where only the ~1k
-//! first sights are cold — still picks up ~1.2x from those decisions alone,
-//! with the warm path untouched.
+//! So fusing the decision buys ~1.3-1.6x end-to-end on the all-new-leaf
+//! stream even though every row also pays tokenize + intern + evict +
+//! rewrite on long (up to 163-char) values, and deriving the winner's
+//! split from the accepting path instead of re-running `Pattern::split`
+//! came in faster in every paired run — ~2-19% end-to-end on the
+//! all-new-leaf stream depending on the run (the spread is container
+//! noise; the single-pass variant was never slower). Modest as a
+//! whole-pipeline number because split was one of many per-row costs, but
+//! it is the structural point: the second matcher pass is now gone from
+//! first sight. The zipf stream, where only the ~1k first sights are
+//! cold, is dominated by the warm leaf-id path; the fused variants still
+//! ordered derived < split in both runs.
+//!
+//! `CLX_BENCH_SMOKE=1` shrinks both workloads (~20k/10k rows) so CI can
+//! execute the bench binary end to end on every PR without paying the
+//! multi-minute full run; the printed numbers are then *not* comparable to
+//! the table above.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -53,6 +72,13 @@ const ZIPF_DISTINCT: usize = 1_000;
 const CHUNK: usize = 8_192;
 const COLD_ROWS: usize = 1_000_000;
 const BUDGET: usize = 10_000;
+
+/// `CLX_BENCH_SMOKE=1`: tiny workloads so CI can execute (not just
+/// compile) this binary on every PR. Numbers from a smoke run are not
+/// comparable to the doc table.
+fn smoke() -> bool {
+    std::env::var_os("CLX_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
 
 /// Four transparent branches; the generated rows all match the last one,
 /// maximizing the per-branch loop's wasted attempts.
@@ -76,14 +102,27 @@ fn program() -> Program {
     ])
 }
 
-fn compile(fused: bool) -> Arc<CompiledProgram> {
+/// The three decision-path variants under test.
+enum Variant {
+    /// Default compilation: fused classify + splits derived from the
+    /// accepting path (single-pass first sight).
+    FusedDerived,
+    /// Fused classify, winner re-runs `Pattern::split` (PR 7's shape).
+    FusedSplit,
+    /// The pre-fused per-branch Pike-VM loop.
+    PikeVm,
+}
+
+fn compile(variant: Variant) -> Arc<CompiledProgram> {
     let target = parse_pattern("'['<D>+']'").expect("target");
     let compiled = CompiledProgram::compile(&program(), &target).expect("compile");
-    Arc::new(if fused {
-        assert!(compiled.fused_active(), "program must fuse");
-        compiled
-    } else {
-        compiled.without_fused()
+    Arc::new(match variant {
+        Variant::FusedDerived => {
+            assert!(compiled.fused_active(), "program must fuse");
+            compiled
+        }
+        Variant::FusedSplit => compiled.without_derived_splits(),
+        Variant::PikeVm => compiled.without_fused(),
     })
 }
 
@@ -135,31 +174,57 @@ fn run_stream(program: &Arc<CompiledProgram>, data: &[String]) -> usize {
 }
 
 fn bench_cold_dispatch(c: &mut Criterion) {
-    let fused = compile(true);
-    let pike_vm = compile(false);
-    let cold = all_new_leaf_rows(COLD_ROWS);
-    let zipf = zipf_rows(ZIPF_ROWS, ZIPF_DISTINCT);
+    let (cold_rows, zipf_total) = if smoke() {
+        (20_000, 10_000)
+    } else {
+        (COLD_ROWS, ZIPF_ROWS)
+    };
+    let fused = compile(Variant::FusedDerived);
+    let fused_split = compile(Variant::FusedSplit);
+    let pike_vm = compile(Variant::PikeVm);
+    let cold = all_new_leaf_rows(cold_rows);
+    let zipf = zipf_rows(zipf_total, ZIPF_DISTINCT);
 
-    // Sanity outside timing: the two variants agree row-for-row, every cold
-    // row really is a fresh leaf, and the cold path is the one measured.
+    // Sanity outside timing: the three variants agree row-for-row, every
+    // cold row really is a fresh leaf, the cold path is the one measured —
+    // and on the derived variant *every* cold decision got its split from
+    // the accepting path, with `Pattern::split` structurally absent.
     {
-        let sample = &cold[..CHUNK];
+        let sample = &cold[..CHUNK.min(cold.len())];
         let mut a = ColumnStream::with_budget(Arc::clone(&fused), StreamBudget::unbounded());
         let mut b = ColumnStream::with_budget(Arc::clone(&pike_vm), StreamBudget::unbounded());
-        let (ra, rb) = (a.push_rows(sample), b.push_rows(sample));
+        let mut s = ColumnStream::with_budget(Arc::clone(&fused_split), StreamBudget::unbounded());
+        let (ra, rb, rs) = (
+            a.push_rows(sample),
+            b.push_rows(sample),
+            s.push_rows(sample),
+        );
         assert!(
             ra.iter_rows().eq(rb.iter_rows()),
             "fused and per-branch streams must agree row-for-row"
+        );
+        assert!(
+            ra.iter_rows().eq(rs.iter_rows()),
+            "derived-split and Pattern::split streams must agree row-for-row"
         );
         let stats = fused.fused_stats();
         assert!(
             stats.fused_decisions >= sample.len() as u64,
             "all-new-leaf rows must be cold decisions (got {stats:?})"
         );
+        assert_eq!(
+            stats.split_derived, stats.fused_decisions,
+            "every cold decision must derive its split from the path"
+        );
+        assert_eq!(stats.split_fallbacks, 0, "no fallback on this program");
+        let split_stats = fused_split.fused_stats();
+        assert_eq!(split_stats.split_derived, 0);
+        assert_eq!(split_stats.split_fallbacks, split_stats.fused_decisions);
         println!(
-            "cold sample: {} rows, fused decided {}, pike_vm decided {}",
+            "cold sample: {} rows, fused decided {} (splits derived {}), pike_vm decided {}",
             sample.len(),
             stats.fused_decisions,
+            stats.split_derived,
             pike_vm.fused_stats().pike_vm_decisions
         );
     }
@@ -167,26 +232,36 @@ fn bench_cold_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("cold_dispatch");
     group.sample_size(10);
 
-    group.throughput(Throughput::Elements(COLD_ROWS as u64));
+    group.throughput(Throughput::Elements(cold_rows as u64));
     group.bench_with_input(
-        BenchmarkId::new("all_new_leaf_pike_vm", COLD_ROWS),
+        BenchmarkId::new("all_new_leaf_pike_vm", cold_rows),
         &cold,
         |b, data| b.iter(|| run_stream(&pike_vm, data)),
     );
     group.bench_with_input(
-        BenchmarkId::new("all_new_leaf_fused", COLD_ROWS),
+        BenchmarkId::new("all_new_leaf_fused_split", cold_rows),
+        &cold,
+        |b, data| b.iter(|| run_stream(&fused_split, data)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("all_new_leaf_fused", cold_rows),
         &cold,
         |b, data| b.iter(|| run_stream(&fused, data)),
     );
 
-    group.throughput(Throughput::Elements(ZIPF_ROWS as u64));
+    group.throughput(Throughput::Elements(zipf_total as u64));
     group.bench_with_input(
-        BenchmarkId::new("zipf_pike_vm", ZIPF_ROWS),
+        BenchmarkId::new("zipf_pike_vm", zipf_total),
         &zipf,
         |b, data| b.iter(|| run_stream(&pike_vm, data)),
     );
     group.bench_with_input(
-        BenchmarkId::new("zipf_fused", ZIPF_ROWS),
+        BenchmarkId::new("zipf_fused_split", zipf_total),
+        &zipf,
+        |b, data| b.iter(|| run_stream(&fused_split, data)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("zipf_fused", zipf_total),
         &zipf,
         |b, data| b.iter(|| run_stream(&fused, data)),
     );

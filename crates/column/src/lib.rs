@@ -102,7 +102,7 @@
 #![forbid(unsafe_code)]
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::mem::{size_of, size_of_val};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -300,7 +300,23 @@ pub struct ColumnInterner {
     telemetry: Option<Arc<dyn MetricSink>>,
     /// The tallies already published to the sink (delta basis).
     published: InternerStats,
+    /// Recent eviction batches as `(generation after the batch, victim
+    /// distinct-ids)`, bounded by [`EVICTION_LOG_BATCHES`] /
+    /// [`EVICTION_LOG_IDS`]. The dirty list behind
+    /// [`ColumnInterner::evicted_since`].
+    eviction_log: VecDeque<(u64, Vec<u32>)>,
+    /// The newest generation *not* covered by `eviction_log`: the log holds
+    /// every batch with generation in `(log_floor, generation]`.
+    log_floor: u64,
 }
+
+/// Max eviction batches retained in the dirty-list log.
+const EVICTION_LOG_BATCHES: usize = 8;
+/// Max total victim ids retained across all logged batches. A single batch
+/// larger than this is not logged at all (the floor advances instead):
+/// applying it incrementally would cost as much as a full cache walk anyway,
+/// so consumers fall back without the log paying the memory.
+const EVICTION_LOG_IDS: usize = 4096;
 
 /// Lifetime counters of a [`ColumnInterner`], readable via
 /// [`ColumnInterner::stats`] with or without a telemetry sink attached.
@@ -348,6 +364,8 @@ impl Clone for ColumnInterner {
             stats: self.stats,
             telemetry: self.telemetry.clone(),
             published: self.published,
+            eviction_log: self.eviction_log.clone(),
+            log_floor: self.log_floor,
         }
     }
 }
@@ -380,6 +398,8 @@ impl ColumnInterner {
             stats: InternerStats::default(),
             telemetry: None,
             published: InternerStats::default(),
+            eviction_log: VecDeque::new(),
+            log_floor: 0,
         }
     }
 
@@ -489,6 +509,11 @@ impl ColumnInterner {
             + self.live_bytes
             + self.seen.len() * size_of::<(String, u32)>()
             + self.leaves.len() * size_of::<(Pattern, u32)>()
+            + self
+                .eviction_log
+                .iter()
+                .map(|(_, ids)| ids.capacity() * size_of::<u32>())
+                .sum::<usize>()
     }
 
     /// `true` when the live state exceeds the budget. Under
@@ -673,21 +698,68 @@ impl ColumnInterner {
             .enumerate()
             .filter_map(|(i, s)| s.entry.as_ref().map(|e| Reverse((e.last_touch, i as u32))))
             .collect();
-        let mut evicted = 0;
+        let mut victims: Vec<u32> = Vec::new();
         while self.over_budget() {
             let Some(Reverse((_, id))) = coldest.pop() else {
                 break;
             };
             self.evict_slot(id);
-            evicted += 1;
+            victims.push(id);
         }
+        let evicted = victims.len();
         if evicted > 0 {
             self.generation += 1;
             self.stats.eviction_batches += 1;
             self.stats.evicted_values += evicted as u64;
             self.compact_arena();
+            self.record_eviction_batch(victims);
         }
         evicted
+    }
+
+    /// Append one eviction batch to the bounded dirty-list log, retiring
+    /// old batches (and advancing `log_floor` past them) to stay within
+    /// [`EVICTION_LOG_BATCHES`] / [`EVICTION_LOG_IDS`]. Must run after the
+    /// batch's generation bump so the entry carries the post-batch
+    /// generation.
+    fn record_eviction_batch(&mut self, victims: Vec<u32>) {
+        if victims.len() > EVICTION_LOG_IDS {
+            self.eviction_log.clear();
+            self.log_floor = self.generation;
+            return;
+        }
+        self.eviction_log.push_back((self.generation, victims));
+        let mut retained: usize = self.eviction_log.iter().map(|(_, v)| v.len()).sum();
+        while self.eviction_log.len() > EVICTION_LOG_BATCHES || retained > EVICTION_LOG_IDS {
+            let (generation, ids) = self
+                .eviction_log
+                .pop_front()
+                .expect("log is non-empty while over its caps");
+            retained -= ids.len();
+            self.log_floor = generation;
+        }
+    }
+
+    /// The distinct-ids evicted since `generation` (a value previously read
+    /// from [`ColumnInterner::generation`]), oldest batch first. Repeats are
+    /// possible — a recycled slot re-evicted later appears once per batch —
+    /// so per-id invalidation must be idempotent. Returns `None` when the
+    /// bounded log no longer reaches back that far (or `generation` is from
+    /// the future, i.e. another interner); the consumer must then fall back
+    /// to a full walk of its per-id cache. The contract: when this returns
+    /// `Some`, every id whose slot was evicted or recycled after
+    /// `generation` is yielded, so ids *not* yielded are guaranteed
+    /// unchanged.
+    pub fn evicted_since(&self, generation: u64) -> Option<impl Iterator<Item = u32> + '_> {
+        if generation < self.log_floor || generation > self.generation {
+            return None;
+        }
+        Some(
+            self.eviction_log
+                .iter()
+                .filter(move |(batch, _)| *batch > generation)
+                .flat_map(|(_, ids)| ids.iter().copied()),
+        )
     }
 
     /// Evict one live slot: drop its entry and dedup key, release its leaf
@@ -1855,6 +1927,75 @@ mod tests {
         assert_eq!(interner.value(0), "a-1");
         assert_eq!(interner.value(1), "x-9");
         assert_eq!(interner.distinct_generation(1), 1);
+    }
+
+    #[test]
+    fn evicted_since_reports_exactly_the_batch_victims() {
+        let mut interner = ColumnInterner::with_budget(StreamBudget::max_distinct(2));
+        drop(interner.chunk(&["a-1", "b-2", "c-3"]));
+        let synced = interner.generation();
+        // Nothing evicted yet: the log answers for the synced generation
+        // with an empty dirty list.
+        assert_eq!(interner.evicted_since(synced).unwrap().count(), 0);
+
+        // The boundary evicts the coldest value (id 0).
+        drop(interner.chunk(&["c-3"]));
+        let dirty: Vec<u32> = interner.evicted_since(synced).unwrap().collect();
+        assert_eq!(dirty, vec![0]);
+        // A consumer already at the current generation sees nothing dirty.
+        assert_eq!(
+            interner
+                .evicted_since(interner.generation())
+                .unwrap()
+                .count(),
+            0
+        );
+        // A generation this interner has not reached is a foreign sync
+        // point: decline rather than under-report.
+        assert!(interner.evicted_since(interner.generation() + 1).is_none());
+    }
+
+    #[test]
+    fn evicted_since_accumulates_across_batches_and_forgets_old_ones() {
+        let mut interner = ColumnInterner::with_budget(StreamBudget::max_distinct(1));
+        drop(interner.chunk(&["v-0"]));
+        // Each boundary past the second evicts the coldest value: one
+        // batch per chunk, ping-ponging between the two slots.
+        for i in 1..=3u32 {
+            drop(interner.chunk(&[format!("v-{i}")]));
+        }
+        let dirty: Vec<u32> = interner.evicted_since(0).unwrap().collect();
+        assert_eq!(dirty, vec![0, 1]);
+
+        // Push past the batch cap: the floor advances and a stale sync
+        // point falls off the log.
+        for i in 4..=20u32 {
+            drop(interner.chunk(&[format!("v-{i}")]));
+        }
+        assert!(interner.evicted_since(0).is_none());
+        let recent = interner.generation() - 1;
+        assert_eq!(interner.evicted_since(recent).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn oversized_eviction_batches_clear_the_log_instead_of_storing_it() {
+        let mut interner = ColumnInterner::with_budget(StreamBudget::max_distinct(1));
+        let huge: Vec<String> = (0..(EVICTION_LOG_IDS + 2))
+            .map(|i| format!("r-{i}"))
+            .collect();
+        drop(interner.chunk(&huge));
+        drop(interner.chunk(&["after"]));
+        // The batch that evicted the huge chunk was too large to log:
+        // pre-batch sync points must fall back to a full walk...
+        assert!(interner.evicted_since(0).is_none());
+        // ...but the log resumes cleanly from the post-batch generation.
+        assert_eq!(
+            interner
+                .evicted_since(interner.generation())
+                .unwrap()
+                .count(),
+            0
+        );
     }
 
     #[test]

@@ -83,6 +83,11 @@ pub struct CompiledProgram {
     fused: Option<FusedMatcher>,
     /// Why `fused` is `None`, when it is.
     fused_fallback: Option<FusedFallback>,
+    /// Build the winning branch's split boundaries from the automaton's
+    /// accepting path instead of re-running `Pattern::split` (the default;
+    /// [`CompiledProgram::without_derived_splits`] turns it off for
+    /// differential testing and benchmarking).
+    derive_splits: bool,
     /// Cold-path decision tallies (relaxed atomics: the program is shared
     /// across executor threads; plan builds are per distinct leaf, so the
     /// increment never sits on the per-row path).
@@ -113,12 +118,22 @@ pub struct FusedStats {
     /// decision of a fallback program, or a non-leaf signature handed to a
     /// fused one.
     pub pike_vm_decisions: u64,
+    /// Fused branch decisions whose split boundaries were derived from the
+    /// automaton's accepting path — first sight stayed single-pass, no
+    /// `Pattern::split` ran.
+    pub split_derived: u64,
+    /// Fused branch decisions that fell back to `Pattern::split` for the
+    /// boundaries ([`FusedFallback::SplitUnderived`]): derived splits
+    /// turned off, or the defensive reconstruction walk declined.
+    pub split_fallbacks: u64,
 }
 
 #[derive(Debug, Default)]
 struct FusedTallies {
     fused: AtomicU64,
     pike_vm: AtomicU64,
+    split_derived: AtomicU64,
+    split_fallbacks: AtomicU64,
 }
 
 /// Source of [`CompiledProgram::instance`] ids.
@@ -193,6 +208,7 @@ impl CompiledProgram {
             instance: NEXT_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             fused,
             fused_fallback,
+            derive_splits: true,
             tallies: FusedTallies::default(),
         })
     }
@@ -230,6 +246,18 @@ impl CompiledProgram {
         self
     }
 
+    /// This compilation with derived split boundaries turned off: the
+    /// fused automaton still classifies every cold decision, but the
+    /// winning branch re-runs `Pattern::split` for its token boundaries
+    /// (the pre-single-pass cold path, each counted as a
+    /// [`FusedFallback::SplitUnderived`] split fallback). Behavior is
+    /// guaranteed identical — the derived ranges equal `split`'s, locked
+    /// by the property suite. For benchmarking and differential testing.
+    pub fn without_derived_splits(mut self) -> Self {
+        self.derive_splits = false;
+        self
+    }
+
     /// `true` when cold-path decisions go through the fused automaton.
     pub fn fused_active(&self) -> bool {
         self.fused.is_some()
@@ -240,11 +268,25 @@ impl CompiledProgram {
         self.fused_fallback
     }
 
+    /// Why fused branch decisions (if any) re-ran `Pattern::split` for
+    /// their boundaries: `Some(SplitUnderived)` when derived splits are
+    /// turned off or any decision's reconstruction declined, `None` while
+    /// every fused branch decision stayed single-pass.
+    pub fn split_fallback(&self) -> Option<FusedFallback> {
+        if !self.derive_splits || self.tallies.split_fallbacks.load(Ordering::Relaxed) > 0 {
+            Some(FusedFallback::SplitUnderived)
+        } else {
+            None
+        }
+    }
+
     /// One consistent read of the cold-path decision tallies.
     pub fn fused_stats(&self) -> FusedStats {
         FusedStats {
             fused_decisions: self.tallies.fused.load(Ordering::Relaxed),
             pike_vm_decisions: self.tallies.pike_vm.load(Ordering::Relaxed),
+            split_derived: self.tallies.split_derived.load(Ordering::Relaxed),
+            split_fallbacks: self.tallies.split_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -444,10 +486,11 @@ impl CompiledProgram {
 
     /// [`CompiledProgram::build_plan`], routing through the fused
     /// automaton when the program has one: a single pass over the leaf's
-    /// tokens decides every transparent pattern, so the only per-branch
-    /// work left is one `split` on the winning branch (to precompute its
-    /// token boundaries). Falls back to the per-branch loop for fallback
-    /// programs and for non-leaf signatures.
+    /// tokens decides every transparent pattern *and* records the frontier
+    /// journal from which the winning branch's split boundaries are
+    /// reconstructed — first sight never re-runs `Pattern::split` on the
+    /// fused path. Falls back to the per-branch loop for fallback programs
+    /// and for non-leaf signatures.
     fn build_plan_observed(
         &self,
         leaf: &Pattern,
@@ -455,13 +498,13 @@ impl CompiledProgram {
         telemetry: Option<&Arc<dyn MetricSink>>,
     ) -> LeafPlan {
         if let Some(fused) = &self.fused {
-            let matches = {
+            let run = {
                 let _span = Span::start(telemetry, "engine.fused.decide_ns");
                 fused.classify(leaf)
             };
-            if let Some(matches) = matches {
+            if let Some(run) = run {
                 self.tallies.fused.fetch_add(1, Ordering::Relaxed);
-                return self.build_plan_fused(fused, &matches, value);
+                return self.build_plan_fused(fused, &run, value, telemetry);
             }
         }
         self.tallies.pike_vm.fetch_add(1, Ordering::Relaxed);
@@ -475,12 +518,13 @@ impl CompiledProgram {
     fn build_plan_fused(
         &self,
         fused: &FusedMatcher,
-        matches: &clx_pattern::automaton::SegmentMatches,
+        run: &clx_pattern::automaton::ClassifyRun,
         value: &str,
+        telemetry: Option<&Arc<dyn MetricSink>>,
     ) -> LeafPlan {
         let mut steps = Vec::new();
         if self.target_transparent {
-            if fused.target_matches(matches) {
+            if fused.target_matches(run) {
                 steps.push(Step::Conforming);
                 return LeafPlan { steps };
             }
@@ -492,25 +536,57 @@ impl CompiledProgram {
                 steps.push(Step::CheckBranch { branch: index });
                 continue;
             }
-            if !fused.branch_matches(matches, index) {
+            if !fused.branch_matches(run, index) {
                 continue;
             }
-            // One split on the winning branch precomputes the reusable
-            // token boundaries (the automaton proved it matches, so this
-            // cannot fail; treated as a non-match if it ever did, which is
-            // what the per-branch loop would conclude).
-            let Ok(slices) = branch.pattern.split(value) else {
-                debug_assert!(
-                    false,
-                    "fused automaton and Pattern::split disagree on {value:?}"
-                );
-                continue;
+            // The winning branch's token boundaries come straight from the
+            // accepting path — the classification pass the automaton just
+            // ran — so first sight is one pass over the tokens, no second
+            // `Pattern::split` match.
+            let derived = if self.derive_splits {
+                let _span = Span::start(telemetry, "engine.fused.split_ns");
+                fused.split_ranges(run, index)
+            } else {
+                None
+            };
+            let ranges = match derived {
+                Some(ranges) => {
+                    self.tallies.split_derived.fetch_add(1, Ordering::Relaxed);
+                    #[cfg(debug_assertions)]
+                    {
+                        let slices = branch
+                            .pattern
+                            .split(value)
+                            .expect("fused automaton proved the branch matches");
+                        debug_assert_eq!(
+                            ranges,
+                            char_ranges(value, &slices),
+                            "derived boundaries diverge from Pattern::split on {value:?}"
+                        );
+                    }
+                    ranges
+                }
+                None => {
+                    // Never silent, never wrong: an underived boundary
+                    // ([`FusedFallback::SplitUnderived`]) re-runs the
+                    // backtracking split and is tallied. The automaton
+                    // proved the branch matches, so the split cannot fail;
+                    // treated as a non-match if it ever did, which is what
+                    // the per-branch loop would conclude.
+                    self.tallies.split_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    let Ok(slices) = branch.pattern.split(value) else {
+                        debug_assert!(
+                            false,
+                            "fused automaton and Pattern::split disagree on {value:?}"
+                        );
+                        continue;
+                    };
+                    char_ranges(value, &slices)
+                }
             };
             steps.push(Step::Apply {
                 branch: index,
-                split: Arc::new(SplitPlan {
-                    ranges: char_ranges(value, &slices),
-                }),
+                split: Arc::new(SplitPlan { ranges }),
             });
             return LeafPlan { steps };
         }
@@ -988,5 +1064,43 @@ mod tests {
         let stats = plain.fused_stats();
         assert_eq!(stats.fused_decisions, 0);
         assert_eq!(stats.pike_vm_decisions, 1);
+    }
+
+    #[test]
+    fn branch_decisions_derive_splits_from_the_accepting_path() {
+        let derived = CompiledProgram::compile(&phone_program(), &phone_target()).unwrap();
+        let split = CompiledProgram::compile(&phone_program(), &phone_target())
+            .unwrap()
+            .without_derived_splits();
+        let mut derived_cache = DispatchCache::new();
+        let mut split_cache = DispatchCache::new();
+        let rows = [
+            "734-422-8073",
+            "555-111-2222",
+            "(734)586-7252",
+            "(734) 645-8397",
+            "N/A",
+        ];
+        for row in rows {
+            assert_eq!(
+                derived.transform_one(&mut derived_cache, row),
+                split.transform_one(&mut split_cache, row),
+                "derived and split boundaries must agree on {row:?}"
+            );
+        }
+        // Three distinct branch-winning leaves were decided once each
+        // ("734-..." and "555-..." share one); the conforming and flagged
+        // leaves derive nothing.
+        let stats = derived.fused_stats();
+        assert_eq!(stats.split_derived, 2);
+        assert_eq!(stats.split_fallbacks, 0);
+        assert_eq!(derived.split_fallback(), None);
+
+        // With derived splits off, the same branch decisions are recorded
+        // as split fallbacks instead.
+        let stats = split.fused_stats();
+        assert_eq!(stats.split_derived, 0);
+        assert_eq!(stats.split_fallbacks, 2);
+        assert_eq!(split.split_fallback(), Some(FusedFallback::SplitUnderived));
     }
 }

@@ -66,10 +66,12 @@
 //! first: the dense leaf-id array (columnar paths), this cache's hashed
 //! leaf map (`&[String]` paths), and — on a genuine first sight — the
 //! fused decision automaton (see the `fused` module), which classifies the
-//! new leaf against the target and every transparent branch in one pass,
-//! with the per-branch Pike-VM loop as the recorded per-program fallback
-//! and the per-value check for opaque patterns. Tiers 1 and 2 replay what
-//! tiers 3 and 4 decided.
+//! new leaf against the target and every transparent branch in one pass
+//! *and* derives the winning branch's split boundaries from that pass's
+//! accepting path — single-pass first sight, no second `Pattern::split`
+//! run over the tokens — with the per-branch Pike-VM loop as the recorded
+//! per-program fallback and the per-value check for opaque patterns.
+//! Tiers 1 and 2 replay what tiers 3 and 4 decided.
 
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -33,7 +33,7 @@
 //! ([`FusedFallback`]): combined width beyond [`FUSED_MAX_WIDTH`]
 //! positions, or nothing transparent to decide.
 
-use clx_pattern::automaton::{MultiPatternAutomaton, SegmentMatches};
+use clx_pattern::automaton::{ClassifyRun, MultiPatternAutomaton};
 use clx_pattern::Pattern;
 
 /// Maximum combined automaton width, in bit positions: the sum over the
@@ -61,6 +61,14 @@ pub enum FusedFallback {
     /// Fused dispatch was explicitly turned off
     /// ([`crate::CompiledProgram::without_fused`]).
     Disabled,
+    /// The winning branch's split boundaries were not derived from the
+    /// accepting path — either derived splits were explicitly turned off
+    /// ([`crate::CompiledProgram::without_derived_splits`]) or the
+    /// defensive reconstruction walk declined. Unlike the other variants
+    /// this is per *decision*, not per program: classification itself
+    /// stayed fused, only that decision re-ran `Pattern::split`, counted
+    /// as `engine.fused.split_fallbacks`.
+    SplitUnderived,
 }
 
 impl std::fmt::Display for FusedFallback {
@@ -72,6 +80,9 @@ impl std::fmt::Display for FusedFallback {
             ),
             FusedFallback::NothingTransparent => write!(f, "no transparent pattern to fuse"),
             FusedFallback::Disabled => write!(f, "fused dispatch disabled"),
+            FusedFallback::SplitUnderived => {
+                write!(f, "split boundaries not derived from the accepting path")
+            }
         }
     }
 }
@@ -107,26 +118,42 @@ impl FusedMatcher {
         }
     }
 
-    /// Which fused patterns match `leaf`, in one pass over its tokens.
+    /// Which fused patterns match `leaf`, in one pass over its tokens,
+    /// keeping the per-unit frontier journal [`split_ranges`] reads.
     ///
     /// Returns `None` when `leaf` is not a leaf signature the tokenizer
     /// can produce (a `+` quantifier or an `<A>`/`<AN>` class) — callers
     /// fall back to per-branch matching for that value, counted as a
     /// fallback decision.
-    pub(crate) fn classify(&self, leaf: &Pattern) -> Option<SegmentMatches> {
-        self.automaton.classify(leaf)
+    ///
+    /// [`split_ranges`]: FusedMatcher::split_ranges
+    pub(crate) fn classify(&self, leaf: &Pattern) -> Option<ClassifyRun> {
+        self.automaton.classify_recorded(leaf)
     }
 
     /// Did the (transparent) target pattern match? Always `false` when the
     /// target is opaque — callers gate on the transparency flag.
-    pub(crate) fn target_matches(&self, m: &SegmentMatches) -> bool {
-        self.automaton.matches(m, 0)
+    pub(crate) fn target_matches(&self, run: &ClassifyRun) -> bool {
+        self.automaton.matches(run.matches(), 0)
     }
 
     /// Did (transparent) branch `index` match? Always `false` for opaque
     /// branches.
-    pub(crate) fn branch_matches(&self, m: &SegmentMatches, index: usize) -> bool {
-        self.automaton.matches(m, index + 1)
+    pub(crate) fn branch_matches(&self, run: &ClassifyRun, index: usize) -> bool {
+        self.automaton.matches(run.matches(), index + 1)
+    }
+
+    /// Branch `index`'s token slices as half-open character ranges,
+    /// reconstructed from the classification pass's accepting path —
+    /// byte-for-byte the ranges `Pattern::split` would produce, without
+    /// running it. `None` when the branch did not match or the defensive
+    /// reconstruction walk declined ([`FusedFallback::SplitUnderived`]).
+    pub(crate) fn split_ranges(
+        &self,
+        run: &ClassifyRun,
+        index: usize,
+    ) -> Option<Vec<(usize, usize)>> {
+        self.automaton.split_boundaries(run, index + 1)
     }
 }
 

@@ -90,16 +90,39 @@ impl DistinctDecisions {
 
     /// Drop decisions whose slot was evicted (or recycled) since they were
     /// recorded, so evicted values release their outcome storage too.
+    ///
+    /// Incremental when the interner's bounded eviction log still covers
+    /// the generation this cache last synced at: only the logged victim ids
+    /// are probed, O(evicted) instead of O(slots). When the log has been
+    /// outrun (many batches, or one oversized batch), falls back to the
+    /// full walk — which is also what the log's caps guarantee is then the
+    /// cheaper of the two.
     fn prune(&mut self, interner: &ColumnInterner) {
-        for (id, slot) in self.decided.iter_mut().enumerate() {
-            let stale = slot.as_ref().is_some_and(|(gen, _)| {
-                !interner.is_live(id as u32) || *gen != interner.distinct_generation(id as u32)
-            });
-            if stale {
-                let (_, outcome) = slot.take().expect("checked above");
-                self.count -= 1;
-                self.bytes -= outcome_footprint(&outcome);
+        if let Some(dirty) = interner.evicted_since(self.generation) {
+            for id in dirty {
+                self.invalidate_if_stale(id, interner);
             }
+            return;
+        }
+        for id in 0..self.decided.len() {
+            self.invalidate_if_stale(id as u32, interner);
+        }
+    }
+
+    /// Drop the decision stored for `id` if its slot was evicted or
+    /// recycled since it was recorded. Idempotent, so repeated ids in the
+    /// eviction log are harmless.
+    fn invalidate_if_stale(&mut self, id: u32, interner: &ColumnInterner) {
+        let Some(slot) = self.decided.get_mut(id as usize) else {
+            return;
+        };
+        let stale = slot.as_ref().is_some_and(|(gen, _)| {
+            !interner.is_live(id) || *gen != interner.distinct_generation(id)
+        });
+        if stale {
+            let (_, outcome) = slot.take().expect("checked above");
+            self.count -= 1;
+            self.bytes -= outcome_footprint(&outcome);
         }
     }
 
@@ -560,6 +583,14 @@ impl ColumnStream {
         sink.counter(
             "engine.fused.pike_vm_decisions",
             fused.pike_vm_decisions - prev.pike_vm_decisions,
+        );
+        sink.counter(
+            "engine.fused.split_derived",
+            fused.split_derived - prev.split_derived,
+        );
+        sink.counter(
+            "engine.fused.split_fallbacks",
+            fused.split_fallbacks - prev.split_fallbacks,
         );
         self.published_fused = fused;
 
@@ -1097,6 +1128,37 @@ mod tests {
         );
         assert_eq!(snap.counter("engine.fused.pike_vm_decisions"), Some(0));
         assert!(snap.histogram("engine.fused.decide_ns").unwrap().count > 0);
+    }
+
+    #[test]
+    fn fused_streams_derive_every_split_from_the_accepting_path() {
+        let sink = clx_telemetry::InMemorySink::shared();
+        let mut stream =
+            ColumnStream::with_budget(Arc::new(compiled()), StreamBudget::max_distinct(4))
+                .with_telemetry(sink.clone());
+        // Every row matches the branch, and evictions force re-decisions,
+        // so each cold decision builds an Apply plan through the fused
+        // automaton.
+        for c in 0..6usize {
+            let rows: Vec<String> = (0..16)
+                .map(|i| format!("{:03}.333.{:04}", c, i % 12))
+                .collect();
+            stream.push_rows(&rows);
+        }
+        stream.finish();
+
+        let snap = MetricSink::snapshot(&*sink);
+        // Single-pass first sight: every cold branch decision derived its
+        // split boundaries from the automaton's accepting path — zero
+        // `Pattern::split` runs anywhere on the fused path.
+        let decisions = snap.counter("engine.fused.decisions").unwrap();
+        assert!(decisions > 0);
+        assert_eq!(snap.counter("engine.fused.split_derived"), Some(decisions));
+        assert_eq!(snap.counter("engine.fused.split_fallbacks"), Some(0));
+        assert_eq!(
+            snap.histogram("engine.fused.split_ns").unwrap().count,
+            decisions
+        );
     }
 
     #[test]

@@ -158,6 +158,47 @@ pub struct SegmentMatches {
     consumed: bool,
 }
 
+/// One consumed unit of a recorded classification pass: a whole class run
+/// (all `n` characters of an `Exact(n)` leaf token) or a single literal
+/// character, plus the frontier after consuming it.
+#[derive(Debug, Clone, Copy)]
+struct JournalStep {
+    /// The symbol consumed: a leaf-class id for a class run, a concrete
+    /// symbol id for a literal character.
+    sym: u16,
+    /// Characters the unit consumed (the class run length; 1 for a
+    /// literal character).
+    len: u32,
+    /// Automaton state after the whole unit. Exact even when the run
+    /// exited early on a fixed point: past the fixed point further steps
+    /// cannot change the state, so this equals the state after all `len`
+    /// characters.
+    state: BitRow,
+}
+
+/// A classification pass that kept its per-unit frontier journal, produced
+/// by [`MultiPatternAutomaton::classify_recorded`]. Besides answering
+/// [`matches`] like a plain [`SegmentMatches`], it can reconstruct the
+/// split boundaries of any accepting segment via
+/// [`split_boundaries`] — the same slices `Pattern::split` produces,
+/// recovered from the accepting path without a second matcher run.
+///
+/// [`matches`]: MultiPatternAutomaton::matches
+/// [`split_boundaries`]: MultiPatternAutomaton::split_boundaries
+#[derive(Debug, Clone)]
+pub struct ClassifyRun {
+    matches: SegmentMatches,
+    journal: Vec<JournalStep>,
+}
+
+impl ClassifyRun {
+    /// The thread-survival state of the pass, for
+    /// [`MultiPatternAutomaton::matches`].
+    pub fn matches(&self) -> &SegmentMatches {
+        &self.matches
+    }
+}
+
 /// One equivalence class of concrete characters under the automaton's
 /// position predicates, with a representative character used to build
 /// witness strings.
@@ -190,6 +231,15 @@ pub struct MultiPatternAutomaton {
     interned: Vec<char>,
     /// Per-slot segment layout, in build order.
     segments: Vec<Segment>,
+    /// Per bit position, the zero-based token index (within its segment's
+    /// pattern) the position belongs to. Split-boundary reconstruction
+    /// turns accepting-path positions into per-token character counts
+    /// through this map.
+    token_of: Vec<u16>,
+    /// Per segment, the token count of its pattern (0 for absent slots).
+    /// Zero-width tokens own no bit position, so this cannot be recovered
+    /// from `token_of`.
+    token_counts: Vec<u32>,
 }
 
 impl MultiPatternAutomaton {
@@ -213,6 +263,8 @@ impl MultiPatternAutomaton {
             other_symbol: HashMap::new(),
             interned: Vec::new(),
             segments: Vec::with_capacity(patterns.len()),
+            token_of: Vec::with_capacity(required),
+            token_counts: Vec::with_capacity(patterns.len()),
         };
         let mut next_bit = 0u32;
         for pattern in patterns {
@@ -221,6 +273,9 @@ impl MultiPatternAutomaton {
                 Some(p) => layout_segment(&mut automaton, p, &mut next_bit),
             };
             automaton.segments.push(segment);
+            automaton
+                .token_counts
+                .push(pattern.map_or(0, |p| p.len() as u32));
         }
         debug_assert_eq!(next_bit as usize, required);
         Ok(automaton)
@@ -253,14 +308,43 @@ impl MultiPatternAutomaton {
     /// point, so a `<D>4000` leaf token costs O(automaton width) steps,
     /// not 4000.
     pub fn classify(&self, leaf: &Pattern) -> Option<SegmentMatches> {
+        self.classify_inner(leaf, None)
+    }
+
+    /// [`classify`], but keeping a per-unit frontier journal so that
+    /// [`split_boundaries`] can afterwards reconstruct any accepting
+    /// segment's token slices from the accepting path. One extra
+    /// journal step (34 bytes) per leaf token character-run; the step
+    /// loop itself is identical to the plain pass.
+    ///
+    /// [`classify`]: MultiPatternAutomaton::classify
+    /// [`split_boundaries`]: MultiPatternAutomaton::split_boundaries
+    pub fn classify_recorded(&self, leaf: &Pattern) -> Option<ClassifyRun> {
+        let mut journal = Vec::with_capacity(leaf.len());
+        let matches = self.classify_inner(leaf, Some(&mut journal))?;
+        Some(ClassifyRun { matches, journal })
+    }
+
+    /// The shared classification loop. `journal`, when present, receives
+    /// one entry per consumed unit (a whole class run, or one literal
+    /// character) holding the frontier after that unit.
+    fn classify_inner(
+        &self,
+        leaf: &Pattern,
+        mut journal: Option<&mut Vec<JournalStep>>,
+    ) -> Option<SegmentMatches> {
         let mut state = ZERO;
         let mut consumed = false;
         for token in leaf.iter() {
             match token.literal_value() {
                 Some(s) => {
                     for c in s.chars() {
-                        self.step(&mut state, self.symbol(c), !consumed);
+                        let sym = self.symbol(c);
+                        self.step(&mut state, sym, !consumed);
                         consumed = true;
+                        if let Some(j) = journal.as_deref_mut() {
+                            j.push(JournalStep { sym, len: 1, state });
+                        }
                         if state == ZERO {
                             return Some(SegmentMatches { state, consumed });
                         }
@@ -273,28 +357,164 @@ impl MultiPatternAutomaton {
                     };
                     self.step(&mut state, class, !consumed);
                     consumed = true;
+                    if state != ZERO {
+                        let mut prev = state;
+                        for _ in 1..n {
+                            self.step(&mut state, class, false);
+                            if state == prev || state == ZERO {
+                                // Fixed point: repeating the same symbol
+                                // can no longer change the state (steps
+                                // are a pure function of it), so a long
+                                // run costs O(width), not O(run length).
+                                break;
+                            }
+                            prev = state;
+                        }
+                    }
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.push(JournalStep {
+                            sym: class,
+                            len: n as u32,
+                            state,
+                        });
+                    }
                     if state == ZERO {
                         return Some(SegmentMatches { state, consumed });
-                    }
-                    let mut prev = state;
-                    for _ in 1..n {
-                        self.step(&mut state, class, false);
-                        if state == prev {
-                            // Fixed point: repeating the same symbol can
-                            // no longer change the state (steps are a pure
-                            // function of it), so a long run costs
-                            // O(width), not O(run length).
-                            break;
-                        }
-                        if state == ZERO {
-                            return Some(SegmentMatches { state, consumed });
-                        }
-                        prev = state;
                     }
                 }
             }
         }
         Some(SegmentMatches { state, consumed })
+    }
+
+    /// Reconstruct segment `index`'s token slices — the same split
+    /// `Pattern::split` computes — from a recorded classification pass.
+    ///
+    /// Returns one half-open **character** range per pattern token
+    /// (zero-width tokens get empty ranges), or `None` when the segment
+    /// did not match or the walk cannot pin a boundary down. For matching
+    /// fused-eligible segments the walk never declines — valid paths of a
+    /// shift/stay thread are closed under pointwise minimum, so the
+    /// minimal-predecessor walk below always reconstructs the pointwise
+    /// lowest accepting path, which assigns every character to the
+    /// earliest token able to take it: exactly `Pattern::split`'s
+    /// greedy-longest-first backtracking result. The `None` arm is
+    /// defensive; callers surface it as an explicit fallback, never a
+    /// wrong answer.
+    pub fn split_boundaries(&self, run: &ClassifyRun, index: usize) -> Option<Vec<(usize, usize)>> {
+        let tokens = self.token_counts[index] as usize;
+        let (first, last) = match self.segments[index] {
+            Segment::Absent => return None,
+            Segment::Empty => {
+                // A zero-width pattern matches only the empty input; every
+                // token (all zero-width) covers the empty range.
+                return (!run.matches.consumed).then(|| vec![(0, 0); tokens]);
+            }
+            Segment::Span { first, last } => (first, last),
+        };
+        if !bit_set(&run.matches.state, last) {
+            return None;
+        }
+
+        // Walk the journal backward from the accept bit, choosing at each
+        // unit the minimal position in the previous frontier that can reach
+        // the current one. `counts[t]` accumulates how many characters the
+        // reconstructed path spends on token `t`.
+        let mut counts = vec![0usize; tokens];
+        let mut q = last;
+        for (j, unit) in run.journal.iter().enumerate().rev() {
+            if unit.sym == NO_SYMBOL || unit.len == 0 {
+                return None;
+            }
+            let mask = &self.masks[unit.sym as usize];
+            let n = unit.len;
+            if j == 0 {
+                // First unit: injection seeds the segment start, so the
+                // path's first character lands exactly on `first`.
+                if !bit_set(mask, first) || q < first || q - first > n - 1 {
+                    return None;
+                }
+                if !self.run_contiguous(mask, first, q) {
+                    return None;
+                }
+                for pos in first..=q {
+                    counts[self.token_of[pos as usize] as usize] += 1;
+                }
+                let stays = (n - 1) - (q - first);
+                if stays > 0 {
+                    let r = self.lowest_loop(mask, first, q)?;
+                    counts[self.token_of[r as usize] as usize] += stays as usize;
+                }
+            } else {
+                let frontier = &run.journal[j - 1].state;
+                if n == 1 {
+                    // Shift from q-1 beats staying at q: smaller
+                    // predecessor, hence the pointwise-minimal path.
+                    counts[self.token_of[q as usize] as usize] += 1;
+                    if q > first && bit_set(frontier, q - 1) {
+                        q -= 1;
+                    } else if !(bit_set(&self.plus, q) && bit_set(frontier, q)) {
+                        return None;
+                    }
+                } else {
+                    // A class run of n characters: the thread moved from
+                    // some predecessor p up to q, shifting through
+                    // class-accepting positions p+1..=q and spending the
+                    // remaining n-(q-p) characters looping on a
+                    // `+` position in p..=q. Scan candidate predecessors
+                    // from the lowest.
+                    let lo = first.max(q.saturating_sub(n));
+                    let mut p = None;
+                    for cand in lo..=q {
+                        if !bit_set(frontier, cand) {
+                            continue;
+                        }
+                        if !self.run_contiguous(mask, cand + 1, q) {
+                            continue;
+                        }
+                        if q - cand == n || self.lowest_loop(mask, cand, q).is_some() {
+                            p = Some(cand);
+                            break;
+                        }
+                    }
+                    let p = p?;
+                    for pos in (p + 1)..=q {
+                        counts[self.token_of[pos as usize] as usize] += 1;
+                    }
+                    let stays = n - (q - p);
+                    if stays > 0 {
+                        let r = self.lowest_loop(mask, p, q)?;
+                        counts[self.token_of[r as usize] as usize] += stays as usize;
+                    }
+                    q = p;
+                }
+            }
+        }
+        debug_assert_eq!(
+            counts.iter().sum::<usize>(),
+            run.journal.iter().map(|u| u.len as usize).sum::<usize>(),
+            "reconstructed path must spend every consumed character"
+        );
+
+        let mut ranges = Vec::with_capacity(tokens);
+        let mut at = 0usize;
+        for &count in &counts {
+            ranges.push((at, at + count));
+            at += count;
+        }
+        Some(ranges)
+    }
+
+    /// Do positions `lo..=hi` all accept `mask`'s symbol? (Trivially true
+    /// for an empty range, i.e. `lo > hi`.)
+    fn run_contiguous(&self, mask: &BitRow, lo: u32, hi: u32) -> bool {
+        (lo..=hi).all(|pos| bit_set(mask, pos))
+    }
+
+    /// The lowest `+`-looping position in `lo..=hi` accepting `mask`'s
+    /// symbol — where the pointwise-minimal path parks its stay steps.
+    fn lowest_loop(&self, mask: &BitRow, lo: u32, hi: u32) -> Option<u32> {
+        (lo..=hi).find(|&pos| bit_set(&self.plus, pos) && bit_set(mask, pos))
     }
 
     /// Did segment `index` match? Always `false` for absent segments.
@@ -628,12 +848,13 @@ fn layout_segment(
     next_bit: &mut u32,
 ) -> Segment {
     let offset = *next_bit;
-    for token in pattern.iter() {
+    for (ti, token) in pattern.iter().enumerate() {
         match token.literal_value() {
             Some(s) => {
                 for c in s.chars() {
                     let sym = automaton.intern_symbol(c);
                     set_bit(&mut automaton.masks[sym as usize], *next_bit);
+                    automaton.token_of.push(ti as u16);
                     *next_bit += 1;
                 }
             }
@@ -647,6 +868,7 @@ fn layout_segment(
                 };
                 for _ in 0..positions {
                     automaton.set_position(*next_bit, &token.class);
+                    automaton.token_of.push(ti as u16);
                     *next_bit += 1;
                 }
             }
@@ -747,6 +969,101 @@ mod tests {
         let covers: Vec<Pattern> = covers.iter().map(|p| parse_pattern(p).unwrap()).collect();
         let refs: Vec<&Pattern> = covers.iter().collect();
         patterns_subsumed(&sub, &refs)
+    }
+
+    /// `Pattern::split`'s slices as half-open character ranges, the
+    /// reference for split-boundary reconstruction.
+    fn reference_ranges(pattern: &Pattern, value: &str) -> Vec<(usize, usize)> {
+        let mut char_of_byte = HashMap::new();
+        let mut count = 0usize;
+        for (i, (byte, _)) in value.char_indices().enumerate() {
+            char_of_byte.insert(byte, i);
+            count = i + 1;
+        }
+        char_of_byte.insert(value.len(), count);
+        pattern
+            .split(value)
+            .unwrap()
+            .iter()
+            .map(|s| (char_of_byte[&s.start], char_of_byte[&s.end]))
+            .collect()
+    }
+
+    #[test]
+    fn split_boundaries_match_pattern_split() {
+        let patterns = [
+            "<D>3'-'<D>4",
+            "<U>+'-'<D>+",
+            "<AN>+'-'<AN>+",
+            "<D>+<D>+",
+            "<D>2<D>3",
+            "<D>5",
+            "<AN>+",
+            "'('<U>2')'",
+            "<L><AN>+<D>2",
+            "<D>+'.'<D>+'.'<D>+",
+        ];
+        let values = [
+            "123-4567", "AB-99", "a-b-c", "12345", "123", "---", "a_b-c_d", "(AB)", "x-_-12",
+            "1.2.3", "10.20.30", "Z-1", "_", "",
+        ];
+        let parsed: Vec<Pattern> = patterns.iter().map(|p| parse_pattern(p).unwrap()).collect();
+        let slots: Vec<Option<&Pattern>> = parsed.iter().map(Some).collect();
+        let automaton = MultiPatternAutomaton::build(&slots).unwrap();
+        for value in values {
+            let run = automaton.classify_recorded(&tokenize(value)).unwrap();
+            for (i, pattern) in parsed.iter().enumerate() {
+                if !automaton.matches(run.matches(), i) {
+                    continue;
+                }
+                assert_eq!(
+                    automaton.split_boundaries(&run, i),
+                    Some(reference_ranges(pattern, value)),
+                    "pattern {pattern} on {value:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_boundaries_cross_word_carries() {
+        // A 71-position segment: boundaries span the first two state words.
+        let pattern = parse_pattern("<D>40'-'<D>30").unwrap();
+        let automaton = MultiPatternAutomaton::build(&[Some(&pattern)]).unwrap();
+        let value = format!("{}-{}", "4".repeat(40), "3".repeat(30));
+        let run = automaton.classify_recorded(&tokenize(&value)).unwrap();
+        assert!(automaton.matches(run.matches(), 0));
+        assert_eq!(
+            automaton.split_boundaries(&run, 0),
+            Some(reference_ranges(&pattern, &value))
+        );
+    }
+
+    #[test]
+    fn split_boundaries_of_zero_width_patterns_and_absent_slots() {
+        let empty = Pattern::empty();
+        let digit = parse_pattern("<D>").unwrap();
+        let automaton = MultiPatternAutomaton::build(&[Some(&empty), None, Some(&digit)]).unwrap();
+        let run = automaton.classify_recorded(&tokenize("")).unwrap();
+        assert_eq!(automaton.split_boundaries(&run, 0), Some(Vec::new()));
+        assert_eq!(automaton.split_boundaries(&run, 1), None);
+        assert_eq!(automaton.split_boundaries(&run, 2), None);
+        let run = automaton.classify_recorded(&tokenize("7")).unwrap();
+        assert_eq!(automaton.split_boundaries(&run, 0), None);
+        assert_eq!(automaton.split_boundaries(&run, 2), Some(vec![(0, 1)]));
+    }
+
+    #[test]
+    fn recorded_classification_agrees_with_plain() {
+        let a = parse_pattern("<D>3'-'<D>4").unwrap();
+        let b = parse_pattern("<U>+'-'<D>+").unwrap();
+        let automaton = MultiPatternAutomaton::build(&[Some(&a), Some(&b)]).unwrap();
+        for value in ["123-4567", "AB-99", "123-456", "-1", "", "abc"] {
+            let leaf = tokenize(value);
+            let plain = automaton.classify(&leaf).unwrap();
+            let recorded = automaton.classify_recorded(&leaf).unwrap();
+            assert_eq!(&plain, recorded.matches(), "on {value:?}");
+        }
     }
 
     #[test]

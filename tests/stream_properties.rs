@@ -22,7 +22,8 @@ use std::sync::{Arc, OnceLock};
 use proptest::prelude::*;
 
 use clx::engine::{Decision, DispatchCache};
-use clx::pattern::{tokenize, Quantifier};
+use clx::pattern::automaton::MultiPatternAutomaton;
+use clx::pattern::{tokenize, Quantifier, TokenSlice};
 use clx::unifi::{Branch, Expr, Program, StringExpr};
 use clx::{
     Column, ColumnBuilder, ColumnStream, CompiledProgram, InMemorySink, MetricSink, NoopSink,
@@ -364,6 +365,52 @@ fn sample_value(pattern: &Pattern, reps: usize) -> String {
     out
 }
 
+/// A random *fused-eligible* (transparent) pattern token: any class —
+/// including the `<A>`/`<AN>` parents and `+` quantifiers — but only
+/// non-alphanumeric literals, since opaque patterns are kept out of the
+/// fused automaton. The wide arm (runs of 30–45) pushes segments across
+/// 64-bit word boundaries so reconstruction must follow cross-word
+/// carries.
+fn transparent_token() -> impl Strategy<Value = Token> {
+    let class = || {
+        prop_oneof![
+            Just(TokenClass::Digit),
+            Just(TokenClass::Lower),
+            Just(TokenClass::Upper),
+            Just(TokenClass::Alpha),
+            Just(TokenClass::AlphaNumeric),
+        ]
+    };
+    prop_oneof![
+        // Short exact runs, often adjacent and same-class.
+        (class(), 1..5usize).prop_map(|(c, n)| Token::base(c, n)),
+        (class(), 1..5usize).prop_map(|(c, n)| Token::base(c, n)),
+        (class(), 1..5usize).prop_map(|(c, n)| Token::base(c, n)),
+        // Wide exact runs: multi-word carry coverage.
+        (class(), 30..45usize).prop_map(|(c, n)| Token::base(c, n)),
+        class().prop_map(Token::plus),
+        class().prop_map(Token::plus),
+        prop_oneof![Just("-"), Just("."), Just("/"), Just(" "), Just("€")].prop_map(Token::literal),
+        prop_oneof![Just("-"), Just("."), Just("/"), Just(" "), Just("€")].prop_map(Token::literal),
+    ]
+}
+
+/// Random fused-eligible patterns (non-empty; width may still overflow the
+/// automaton when several are combined — callers skip that draw).
+fn transparent_pattern() -> impl Strategy<Value = Pattern> {
+    proptest::collection::vec(transparent_token(), 1..6).prop_map(Pattern::new)
+}
+
+/// Convert `Pattern::split` byte-offset slices to the char-index ranges
+/// [`MultiPatternAutomaton::split_boundaries`] reports.
+fn split_char_ranges(value: &str, slices: &[TokenSlice]) -> Vec<(usize, usize)> {
+    let to_char = |byte: usize| value[..byte].chars().count();
+    slices
+        .iter()
+        .map(|s| (to_char(s.start), to_char(s.end)))
+        .collect()
+}
+
 /// [`stream_in_chunks`] over an explicit program instead of the shared
 /// phone program.
 fn stream_program_in_chunks(
@@ -467,6 +514,82 @@ proptest! {
         prop_assert_eq!(a, b);
         prop_assert_eq!(a_summary.stats, b_summary.stats);
         prop_assert_eq!(a_summary.rows(), rows.len());
+    }
+
+    /// The tentpole lock: boundaries reconstructed from the automaton's
+    /// accepting path equal `Pattern::split` token for token — over random
+    /// fused-eligible multi-segment programs (adjacent same-class tokens,
+    /// plus-runs, wide multi-word segments, segment-boundary offsets) and
+    /// both pattern-derived and junk values. And the reconstruction never
+    /// declines on an accepted transparent segment: `Some` exactly when the
+    /// segment accepts, `None` exactly when `Pattern::split` fails.
+    #[test]
+    fn derived_split_boundaries_equal_pattern_split(
+        patterns in proptest::collection::vec(transparent_pattern(), 1..4),
+        junk in proptest::collection::vec(data_string(), 0..6),
+        reps in 1..5usize,
+    ) {
+        let slots: Vec<Option<&Pattern>> = patterns.iter().map(Some).collect();
+        let Ok(automaton) = MultiPatternAutomaton::build(&slots) else {
+            // Combined width overflow: the engine would not fuse this
+            // program at all, so there is no derived path to test.
+            return Ok(());
+        };
+        let mut values: Vec<String> =
+            patterns.iter().map(|p| sample_value(p, reps)).collect();
+        values.extend(junk);
+        values.push(String::new());
+        for value in &values {
+            let leaf = tokenize(value);
+            let Some(run) = automaton.classify_recorded(&leaf) else {
+                continue;
+            };
+            for (index, pattern) in patterns.iter().enumerate() {
+                let derived = automaton.split_boundaries(&run, index);
+                let reference = pattern
+                    .split(value)
+                    .ok()
+                    .map(|slices| split_char_ranges(value, &slices));
+                prop_assert!(
+                    derived == reference,
+                    "segment {} of {:?} on {:?}: derived {:?} vs split {:?}",
+                    index, pattern, value, derived, reference
+                );
+            }
+        }
+    }
+
+    /// Deriving splits from the accepting path is an optimization, never a
+    /// behavior change: over the same random programs, rows, chunking and
+    /// budget, a derived-splits stream and a `Pattern::split` stream are
+    /// row-for-row identical end to end.
+    #[test]
+    fn derived_split_stream_equals_pattern_split_stream(
+        program_and_target in any_program(),
+        rows in workload(),
+        splits in chunk_splits(),
+        budget in budgets(),
+        reps in 1..3usize,
+    ) {
+        let (program, target) = program_and_target;
+        let derived =
+            Arc::new(CompiledProgram::compile(&program, &target).unwrap());
+        let split = Arc::new(
+            CompiledProgram::compile(&program, &target)
+                .unwrap()
+                .without_derived_splits(),
+        );
+
+        let mut rows = rows;
+        for branch in &program.branches {
+            rows.push(sample_value(&branch.pattern, reps));
+        }
+        rows.push(sample_value(&target, reps));
+
+        let (a, a_summary) = stream_program_in_chunks(&derived, &rows, &splits, budget);
+        let (b, b_summary) = stream_program_in_chunks(&split, &rows, &splits, budget);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a_summary.stats, b_summary.stats);
     }
 }
 
