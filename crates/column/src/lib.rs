@@ -548,6 +548,19 @@ impl ColumnInterner {
         self.live_entry(id).leaf_id
     }
 
+    /// The leaf pattern behind live leaf-id `leaf_id`, or `None` when the
+    /// id is out of range or currently recycled (all its distinct values
+    /// were evicted). The inverse of [`ColumnInterner::leaf_id`]'s id
+    /// space; consumers holding per-leaf-id state (e.g. a dense dispatch
+    /// tier) use this to ask pattern-level questions about a slot without
+    /// tracking any value of their own.
+    pub fn leaf_pattern(&self, leaf_id: u32) -> Option<&Pattern> {
+        self.leaf_slots
+            .get(leaf_id as usize)?
+            .as_ref()
+            .map(|slot| &slot.pattern)
+    }
+
     fn live_entry(&self, id: u32) -> &InternedEntry {
         self.entries[id as usize]
             .entry

@@ -12,6 +12,7 @@
 use clx_column::Column;
 use clx_engine::{BatchReport, ChunkReport, RowOutcomes};
 use clx_pattern::Pattern;
+use clx_unifi::Program;
 
 pub use clx_engine::RowOutcome;
 
@@ -20,6 +21,13 @@ pub use clx_engine::RowOutcome;
 #[derive(Debug, Clone)]
 pub struct TransformReport {
     batch: BatchReport,
+    /// The UniFi program that produced the outcomes, recorded by the
+    /// session's apply paths so [`ClxSession::reverify`] can later diff it
+    /// against the session's current (possibly repaired) program. `None`
+    /// for reports assembled outside a session.
+    ///
+    /// [`ClxSession::reverify`]: crate::ClxSession::reverify
+    provenance: Option<Program>,
 }
 
 impl TransformReport {
@@ -28,7 +36,10 @@ impl TransformReport {
     /// outcomes and the row map move in unchanged — whether the batch came
     /// from the chunked per-row path or the columnar path.
     pub fn from_batch(batch: BatchReport) -> Self {
-        TransformReport { batch }
+        TransformReport {
+            batch,
+            provenance: None,
+        }
     }
 
     /// Build a columnar report: `outcomes[k]` is the decision for the
@@ -37,6 +48,7 @@ impl TransformReport {
     pub fn columnar(target: Pattern, outcomes: Vec<RowOutcome>, column: &Column) -> Self {
         TransformReport {
             batch: BatchReport::columnar(target, outcomes, column),
+            provenance: None,
         }
     }
 
@@ -50,7 +62,26 @@ impl TransformReport {
         };
         TransformReport {
             batch: BatchReport::from_chunks(target, chunks),
+            provenance: None,
         }
+    }
+
+    /// The program that produced this report, when it was produced by a
+    /// session apply path; `None` for hand-assembled reports. This is what
+    /// [`ClxSession::reverify`](crate::ClxSession::reverify) diffs the
+    /// current program against.
+    pub fn provenance(&self) -> Option<&Program> {
+        self.provenance.as_ref()
+    }
+
+    /// Record the program that produced this report.
+    pub(crate) fn set_provenance(&mut self, program: Program) {
+        self.provenance = Some(program);
+    }
+
+    /// The wrapped engine report (for the in-crate patch path).
+    pub(crate) fn batch(&self) -> &BatchReport {
+        &self.batch
     }
 
     /// The labelled target pattern.
@@ -138,7 +169,9 @@ impl TransformReport {
 
 /// Reports compare by what they say about every row: same target, same
 /// per-row outcomes in order — regardless of whether the outcomes are
-/// stored per row or per distinct value.
+/// stored per row or per distinct value. Provenance does not participate:
+/// a patched report and a fresh full recompute compare equal even though
+/// they record different originating programs.
 impl PartialEq for TransformReport {
     fn eq(&self, other: &Self) -> bool {
         self.target() == other.target()

@@ -26,11 +26,12 @@ use std::sync::Arc;
 
 use clx_cluster::{PatternHierarchy, PatternProfiler, ProfilerOptions};
 use clx_column::{Column, ColumnBuilder, StreamBudget};
+use clx_engine::ProgramDelta;
 use clx_engine::{ColumnStream, CompiledProgram};
 use clx_pattern::{tokenize, tokenize_detailed, Pattern, SplitTokenizer, TokenizedString};
 use clx_synth::{synthesize_column, RankedPlan, Synthesis, SynthesisOptions};
 use clx_telemetry::{MetricSink, Span};
-use clx_unifi::{explain_program, transform, Explanation, Program, TransformOutcome};
+use clx_unifi::{explain_program, transform_lenient, Explanation, Program, TransformOutcome};
 
 use crate::report::{RowOutcome, TransformReport};
 
@@ -55,6 +56,10 @@ pub enum ClxError {
     /// ([`clx_analyze`]) proved an `Error`-severity defect (dead branch,
     /// shadowed branch, or unsafe `Extract`) before any row ran.
     Analysis(String),
+    /// [`ClxSession::reverify`] was handed a report that records no
+    /// originating program (one assembled outside the session's apply
+    /// paths) — there is nothing to diff the current program against.
+    MissingProvenance,
 }
 
 impl fmt::Display for ClxError {
@@ -65,6 +70,9 @@ impl fmt::Display for ClxError {
             ClxError::Eval(e) => write!(f, "failed to evaluate program: {e}"),
             ClxError::Compile(e) => write!(f, "failed to compile program: {e}"),
             ClxError::Analysis(e) => write!(f, "program rejected by static analysis: {e}"),
+            ClxError::MissingProvenance => {
+                write!(f, "the report records no originating program to re-verify")
+            }
         }
     }
 }
@@ -391,12 +399,78 @@ impl ClxSession<Labelled> {
         self.phase.synthesis.repair(pattern, choice)
     }
 
+    /// Re-verify a previously produced report against the session's
+    /// *current* program, re-deciding **only the distinct values the
+    /// program change can affect** — the interactive repair loop's
+    /// O(affected-distincts) path (ROADMAP item 5).
+    ///
+    /// The report must carry provenance (be a product of
+    /// [`ClxSession::apply`] or [`ClxSession::apply_parallel`]);
+    /// otherwise [`ClxError::MissingProvenance`] is returned. Both the
+    /// originating and the current program are compiled, a
+    /// [`ProgramDelta`] is built between them, and a clone of the report
+    /// is patched in place: distinct values the delta proves unaffected
+    /// keep their stored outcome verbatim, everything else is re-decided
+    /// through the new program. The result is row-for-row equal to a
+    /// fresh [`ClxSession::apply`] — at a cost proportional to the number
+    /// of *affected* distincts, not the number of rows.
+    ///
+    /// Under a session sink the step is timed as `core.phase.reverify_ns`
+    /// and the delta publishes
+    /// `engine.delta.{branches_changed,distincts_redecided,outcomes_patched}`.
+    ///
+    /// [`ClxError::Compile`] is returned when either program fails to
+    /// compile. The *originating* side can hit this because `apply` is
+    /// lenient: it will run an ill-formed program (skipping branches that
+    /// error per value) that the compiler rejects outright. Such reports
+    /// cannot be incrementally re-verified — re-run `apply` instead.
+    pub fn reverify(&self, report: &TransformReport) -> Result<TransformReport, ClxError> {
+        let _reverify = Span::start(self.telemetry.as_ref(), "core.phase.reverify_ns");
+        let old_program = report.provenance().ok_or(ClxError::MissingProvenance)?;
+        let old = CompiledProgram::compile_observed(
+            old_program,
+            report.target(),
+            self.telemetry.as_ref(),
+        )
+        .map_err(|e| ClxError::Compile(e.to_string()))?;
+        let new = self.compile()?;
+        let delta = ProgramDelta::between_observed(&old, &new, self.telemetry.as_ref());
+        let mut batch = report.batch().clone();
+        batch.patch_columnar_observed(&delta, &new, &self.data, self.telemetry.as_ref());
+        let mut patched = TransformReport::from_batch(batch);
+        patched.set_provenance(self.program());
+        Ok(patched)
+    }
+
+    /// [`ClxSession::repair`] immediately followed by
+    /// [`ClxSession::reverify`] of `report`: the one-call interactive
+    /// repair loop. A rejected repair (unknown pattern or out-of-range
+    /// choice) leaves the program unchanged, so the re-verification then
+    /// degenerates to an identity patch and the returned report equals
+    /// `report` row for row.
+    pub fn repair_and_reverify(
+        &mut self,
+        pattern: &Pattern,
+        choice: usize,
+        report: &TransformReport,
+    ) -> Result<TransformReport, ClxError> {
+        self.repair(pattern, choice);
+        self.reverify(report)
+    }
+
     /// **Transform** phase: apply the current program to the whole column.
     ///
     /// A program is a pure function of the row value, so each *distinct*
     /// value is evaluated once; the report is columnar (it shares the
     /// column's row map), making the whole step O(distinct) in time and
     /// memory.
+    ///
+    /// A branch whose expression fails to evaluate on some value (possible
+    /// only for programs repaired by hand into an ill-formed state) is
+    /// skipped for that value, exactly as the compiled engine's plan
+    /// interpreter skips it — `apply`, [`ClxSession::apply_parallel`] and
+    /// [`ClxSession::compile`] agree row for row; the worst case is a
+    /// `Flagged` outcome, never an aborted column.
     pub fn apply(&self) -> Result<TransformReport, ClxError> {
         let _apply = Span::start(self.telemetry.as_ref(), "core.phase.apply_ns");
         let target = &self.phase.target;
@@ -410,7 +484,7 @@ impl ClxSession<Labelled> {
                 });
                 continue;
             }
-            match transform(&program, text).map_err(|e| ClxError::Eval(e.to_string()))? {
+            match transform_lenient(&program, text) {
                 TransformOutcome::Transformed(out) => decided.push(RowOutcome::Transformed {
                     from: text.to_string(),
                     to: out,
@@ -418,11 +492,9 @@ impl ClxSession<Labelled> {
                 TransformOutcome::Flagged(v) => decided.push(RowOutcome::Flagged { value: v }),
             }
         }
-        Ok(TransformReport::columnar(
-            target.clone(),
-            decided,
-            &self.data,
-        ))
+        let mut report = TransformReport::columnar(target.clone(), decided, &self.data);
+        report.set_provenance(program);
+        Ok(report)
     }
 
     /// Compile the current program for high-throughput batch execution.
@@ -496,9 +568,9 @@ impl ClxSession<Labelled> {
     pub fn apply_parallel(&self) -> Result<TransformReport, ClxError> {
         let compiled = self.compile()?;
         let _apply = Span::start(self.telemetry.as_ref(), "core.phase.apply_ns");
-        Ok(TransformReport::from_batch(
-            compiled.execute_column(&self.data),
-        ))
+        let mut report = TransformReport::from_batch(compiled.execute_column(&self.data));
+        report.set_provenance(self.program());
+        Ok(report)
     }
 
     /// Open a columnar ingest stream executing this session's program:
@@ -645,10 +717,8 @@ impl ClxSession<Labelled> {
             if target.matches(text) {
                 continue;
             }
-            let via_dsl = transform(&program, text)
-                .map_err(|e| ClxError::Eval(e.to_string()))?
-                .value()
-                .to_string();
+            // Lenient, like `apply`: what runs is what is checked.
+            let via_dsl = transform_lenient(&program, text).value().to_string();
             let via_replace = explanation.apply(text);
             if via_dsl != via_replace {
                 return Err(ClxError::Eval(format!(
@@ -1020,6 +1090,191 @@ mod tests {
     fn repair_of_unknown_pattern_returns_false() {
         let mut session = labelled(phone_data(), tokenize("734-422-8073"));
         assert!(!session.repair(&tokenize("zzz"), 0));
+    }
+
+    /// A session whose program was hand-repaired into an ill-formed state:
+    /// one branch's plan (`Extract(99)`) errors on every value it matches,
+    /// one branch is fine.
+    fn ill_formed_session() -> (ClxSession<Labelled>, Pattern) {
+        use clx_synth::{RankedPlan, SourceSynthesis};
+        use clx_unifi::{Expr, StringExpr};
+
+        let data = vec![
+            "12/11/2017".to_string(),
+            "12.11.2017".to_string(),
+            "11-12-2017".to_string(),
+            "N/A".to_string(),
+        ];
+        let target = tokenize("11-12-2017");
+        let bad_source = parse_pattern("<D>2'/'<D>2'/'<D>4").unwrap();
+        let good_source = parse_pattern("<D>2'.'<D>2'.'<D>4").unwrap();
+        let good_expr = Expr::concat(vec![
+            StringExpr::extract(1),
+            StringExpr::const_str("-"),
+            StringExpr::extract(3),
+            StringExpr::const_str("-"),
+            StringExpr::extract(5),
+        ]);
+        let plan = |expr: Expr| {
+            vec![RankedPlan {
+                expr,
+                description_length: 0.0,
+            }]
+        };
+        let synthesis = Synthesis {
+            target: target.clone(),
+            sources: vec![
+                SourceSynthesis {
+                    pattern: bad_source,
+                    plans: plan(Expr::concat(vec![StringExpr::extract(99)])),
+                    chosen: 0,
+                    rows: 1,
+                },
+                SourceSynthesis {
+                    pattern: good_source,
+                    plans: plan(good_expr),
+                    chosen: 0,
+                    rows: 1,
+                },
+            ],
+            already_correct: Vec::new(),
+            rejected: Vec::new(),
+            pruned: Vec::new(),
+        };
+        let clustered = ClxSession::new(data);
+        let session = ClxSession {
+            data: clustered.data,
+            options: clustered.options,
+            hierarchy: clustered.hierarchy,
+            phase: Labelled {
+                target: target.clone(),
+                synthesis,
+            },
+            telemetry: None,
+        };
+        (session, target)
+    }
+
+    /// Regression: `apply` used to abort the whole column with
+    /// `ClxError::Eval` when any one distinct value hit an evaluation
+    /// error, while the compiled engine skipped the erroring branch for
+    /// that value and flagged the row. The two paths must agree: flag,
+    /// don't abort.
+    #[test]
+    fn apply_flags_instead_of_aborting_on_an_erroring_branch() {
+        use clx_unifi::{Expr, StringExpr};
+
+        let (session, target) = ill_formed_session();
+        let report = session.apply().expect("lenient apply never aborts");
+        assert_eq!(
+            report.values(),
+            vec!["12/11/2017", "12-11-2017", "11-12-2017", "N/A"]
+        );
+        assert_eq!(report.flagged_values(), vec!["12/11/2017", "N/A"]);
+
+        // Differential check: skipping an always-erroring branch per value
+        // is semantically removing it. The equivalent well-formed program
+        // (bad branch dropped) compiles, and its engine run matches the
+        // lenient apply row for row.
+        let equivalent = Program::new(vec![clx_unifi::Branch::new(
+            parse_pattern("<D>2'.'<D>2'.'<D>4").unwrap(),
+            Expr::concat(vec![
+                StringExpr::extract(1),
+                StringExpr::const_str("-"),
+                StringExpr::extract(3),
+                StringExpr::const_str("-"),
+                StringExpr::extract(5),
+            ]),
+        )]);
+        let compiled = CompiledProgram::compile(&equivalent, &target).unwrap();
+        let engine_report = TransformReport::from_batch(compiled.execute_column(session.data()));
+        assert_eq!(report, engine_report);
+    }
+
+    #[test]
+    fn reverify_equals_a_fresh_apply_for_every_repair_alternative() {
+        let data = vec![
+            "12/11/2017".to_string(),
+            "03/04/2018".to_string(),
+            "11-12-2017".to_string(),
+        ];
+        let mut session = labelled(data, tokenize("11-12-2017"));
+        let source = parse_pattern("<D>2'/'<D>2'/'<D>4").unwrap();
+        let baseline = session.apply().unwrap();
+        assert!(baseline.provenance().is_some(), "apply records provenance");
+        let alternatives = session.alternatives(&source).unwrap().len();
+        assert!(alternatives >= 2);
+        // `baseline` carries the original program, so each iteration diffs
+        // original → current alternative — including back to choice 0.
+        for choice in (0..alternatives).rev() {
+            assert!(session.repair(&source, choice));
+            let patched = session.reverify(&baseline).unwrap();
+            let fresh = session.apply().unwrap();
+            assert_eq!(patched, fresh, "choice {choice}");
+            // The patched report can itself seed the next reverify.
+            assert!(patched.provenance().is_some());
+        }
+    }
+
+    #[test]
+    fn reverify_redecides_only_affected_distincts() {
+        let sink = clx_telemetry::InMemorySink::shared();
+        let data = vec![
+            "12/11/2017".to_string(),
+            "03/04/2018".to_string(),
+            "11-12-2017".to_string(),
+        ];
+        let mut session = ClxSession::with_telemetry(
+            data,
+            ClxOptions::default(),
+            Arc::clone(&sink) as Arc<dyn MetricSink>,
+        )
+        .label(tokenize("11-12-2017"))
+        .unwrap();
+        let source = parse_pattern("<D>2'/'<D>2'/'<D>4").unwrap();
+        let baseline = session.apply().unwrap();
+        assert!(session.repair(&source, 1));
+        let patched = session.reverify(&baseline).unwrap();
+        assert_eq!(patched, session.apply().unwrap());
+
+        let snap = sink.snapshot();
+        assert!(snap.histogram("core.phase.reverify_ns").is_some());
+        let redecided = snap
+            .counter("engine.delta.distincts_redecided")
+            .expect("delta published");
+        // Only the two slash-date distincts sit behind the repaired
+        // branch; the conforming distinct is proven unaffected.
+        assert_eq!(redecided, 2);
+        assert!(snap.counter("engine.delta.branches_changed").is_some());
+    }
+
+    #[test]
+    fn reverify_without_provenance_is_rejected() {
+        let session = labelled(phone_data(), tokenize("734-422-8073"));
+        let hand_built = TransformReport::from_row_outcomes(tokenize("734-422-8073"), Vec::new());
+        assert_eq!(
+            session.reverify(&hand_built).unwrap_err(),
+            ClxError::MissingProvenance
+        );
+    }
+
+    #[test]
+    fn repair_and_reverify_is_the_one_call_loop() {
+        let data = vec![
+            "12/11/2017".to_string(),
+            "03/04/2018".to_string(),
+            "11-12-2017".to_string(),
+        ];
+        let mut session = labelled(data, tokenize("11-12-2017"));
+        let source = parse_pattern("<D>2'/'<D>2'/'<D>4").unwrap();
+        let baseline = session.apply().unwrap();
+        let patched = session.repair_and_reverify(&source, 1, &baseline).unwrap();
+        assert_eq!(patched, session.apply().unwrap());
+        // A rejected repair degenerates to an identity patch.
+        let unchanged = session
+            .repair_and_reverify(&tokenize("zzz"), 0, &patched)
+            .unwrap();
+        assert_eq!(unchanged, patched);
     }
 
     #[test]

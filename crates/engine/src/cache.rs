@@ -389,6 +389,57 @@ mod tests {
         assert_eq!(compile.count, 2);
     }
 
+    /// The repair-round-trip staleness scenario: a repair that lands back
+    /// on a previously-compiled program is served the *same* `Arc` from
+    /// the cache (same fingerprint, cache hit) — but any dispatch state
+    /// decided under that instance before the column's interner stepped
+    /// generations must still be invalidated. The program-instance check
+    /// alone cannot catch this (the instance never changed); the dense
+    /// tier's `(source, generation)` binding must.
+    #[test]
+    fn repair_round_trip_cache_hit_does_not_resurrect_stale_plans() {
+        use crate::dispatch::{DispatchCache, LeafPlan, Step};
+
+        let cache = ProgramCache::new(4);
+        let target = tokenize("#1");
+        let mut p = program("#");
+        let original_expr = Expr::concat(vec![
+            StringExpr::const_str("#".to_string()),
+            StringExpr::extract(1),
+        ]);
+        let compiled = cache.get_or_compile(&p, &target).unwrap();
+
+        // A stream decided leaf-id 0 under this instance at generation 0;
+        // the sentinel plan stands in for that decision.
+        let poisoned = || LeafPlan {
+            steps: vec![Step::CheckTarget, Step::CheckTarget, Step::CheckTarget],
+        };
+        let mut dispatch = DispatchCache::new();
+        let plan = dispatch.plan_for_leaf_id(compiled.instance(), 7, 0, 0, poisoned);
+        assert_eq!(plan.steps.len(), 3);
+
+        // Repair away and back: the final program is structurally identical
+        // to the first compilation, so the cache serves the resident Arc.
+        assert!(p.repair(
+            &tokenize("123"),
+            Expr::concat(vec![StringExpr::const_str("!".to_string())]),
+        ));
+        cache.get_or_compile(&p, &target).unwrap();
+        assert!(p.repair(&tokenize("123"), original_expr));
+        let hits_before = cache.hits();
+        let again = cache.get_or_compile(&p, &target).unwrap();
+        assert_eq!(cache.hits(), hits_before + 1, "identical repair is a hit");
+        assert!(Arc::ptr_eq(&compiled, &again), "same compilation object");
+
+        // Meanwhile the interner evicted (generation 0 → 1), so leaf-id 0
+        // may now name a different leaf. Same program instance — but the
+        // poisoned plan must not be served for the recycled id.
+        let plan = dispatch.plan_for_leaf_id(again.instance(), 7, 1, 0, || LeafPlan {
+            steps: vec![Step::Conforming],
+        });
+        assert_eq!(plan.steps.len(), 1, "stale plan not served after eviction");
+    }
+
     #[test]
     fn concurrent_access_is_safe() {
         let cache = std::sync::Arc::new(ProgramCache::new(2));

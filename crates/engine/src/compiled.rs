@@ -339,6 +339,12 @@ impl CompiledProgram {
         &self.branches
     }
 
+    /// The process-unique instance id of this compilation (distinct even
+    /// for equal programs recompiled — it keys per-instance caches).
+    pub(crate) fn instance(&self) -> u64 {
+        self.instance
+    }
+
     /// The structural hash of `(program, target)`, the key under which
     /// [`crate::ProgramCache`] stores this compilation.
     pub fn fingerprint(&self) -> u64 {

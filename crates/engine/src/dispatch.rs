@@ -72,6 +72,23 @@
 //! run over the tokens — with the per-branch Pike-VM loop as the recorded
 //! per-program fallback and the per-value check for opaque patterns.
 //! Tiers 1 and 2 replay what tiers 3 and 4 decided.
+//!
+//! ## Rebinding without a reset
+//!
+//! Handing the cache to a *different* program normally clears both plan
+//! tiers ([`DispatchCache::rebind`]): plans embed branch indices and
+//! split boundaries of the program that built them. But a program *swap*
+//! mid-stream ([`crate::ColumnStream::swap_program`]) usually changes only
+//! a few branches, and a [`crate::ProgramDelta`] can prove, per leaf, that
+//! the old plan's every step is still valid under the new program — same
+//! target verdict, identical branches at identical indices, and no changed
+//! branch able to match the leaf. For those leaves
+//! [`DispatchCache::rebind_retaining`] re-binds the cache to the new
+//! program instance while keeping the proven plans in place, dense tier
+//! included: only affected leaf-ids lose their slot and rebuild (through
+//! the new program's fused automaton, built once at compile time) on next
+//! sight. The interner binding (`source`) is untouched — the id space did
+//! not move, only the program did.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -258,6 +275,49 @@ impl DispatchCache {
             self.source = None;
             self.program = Some(instance);
         }
+    }
+
+    /// Re-bind the cache to program `new_instance` keeping every plan the
+    /// caller can prove still valid — the mid-stream program-swap path
+    /// (see "Rebinding without a reset" in the module docs).
+    ///
+    /// `retain_hashed` is asked once per hashed-tier leaf pattern and
+    /// `retain_dense` once per decided dense slot (by leaf-id); answering
+    /// `true` keeps the plan for the new program, `false` drops it so the
+    /// next sight rebuilds it. The interner binding and the lifetime
+    /// hit/miss tallies are preserved either way. Returns
+    /// `(dense_retained, dense_dropped)`.
+    ///
+    /// Soundness is the caller's obligation: retain a plan only when every
+    /// step in it replays identically under the new program —
+    /// [`crate::ProgramDelta::affects_leaf`] answering `false` is exactly
+    /// that proof.
+    pub(crate) fn rebind_retaining(
+        &mut self,
+        new_instance: u64,
+        retain_hashed: impl Fn(&Pattern) -> bool,
+        retain_dense: impl Fn(u32) -> bool,
+    ) -> (usize, usize) {
+        if self.program == Some(new_instance) {
+            return (self.dense_decided, 0);
+        }
+        self.program = Some(new_instance);
+        self.plans.retain(|leaf, _| retain_hashed(leaf));
+        let mut retained = 0;
+        let mut dropped = 0;
+        for (leaf_id, slot) in self.dense.iter_mut().enumerate() {
+            if slot.is_none() {
+                continue;
+            }
+            if retain_dense(leaf_id as u32) {
+                retained += 1;
+            } else {
+                *slot = None;
+                self.dense_decided -= 1;
+                dropped += 1;
+            }
+        }
+        (retained, dropped)
     }
 
     /// The plan for `leaf` under the program instance identified by

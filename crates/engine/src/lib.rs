@@ -84,6 +84,7 @@
 mod cache;
 mod column_exec;
 mod compiled;
+mod delta;
 mod dispatch;
 mod error;
 mod fused;
@@ -93,9 +94,10 @@ mod stream;
 
 pub use cache::{ProgramCache, ProgramCacheStats};
 pub use compiled::{CompiledBranch, CompiledProgram, Decision, FusedStats};
+pub use delta::ProgramDelta;
 pub use dispatch::{DispatchCache, DispatchStats};
 pub use error::CompileError;
 pub use fused::{FusedFallback, FUSED_MAX_WIDTH};
 pub use parallel::ExecOptions;
-pub use report::{BatchReport, ChunkReport, ChunkStats, RowOutcome, RowOutcomes};
-pub use stream::{ColumnStream, StreamSession, StreamSummary};
+pub use report::{BatchReport, ChunkReport, ChunkStats, PatchStats, RowOutcome, RowOutcomes};
+pub use stream::{ColumnStream, StreamSession, StreamSummary, SwapSummary};

@@ -20,6 +20,26 @@ use std::sync::Arc;
 
 use clx_column::Column;
 use clx_pattern::Pattern;
+use clx_telemetry::MetricSink;
+
+use crate::compiled::CompiledProgram;
+use crate::delta::ProgramDelta;
+use crate::dispatch::DispatchCache;
+
+/// What [`BatchReport::patch`] did: how much of the report the
+/// [`ProgramDelta`] let it keep, and how much it had to re-decide.
+///
+/// Published (by the `_observed` variant) as the
+/// `engine.delta.{distincts_redecided,outcomes_patched}` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatchStats {
+    /// Changed branch slots in the delta (after the facts intersection).
+    pub branches_changed: usize,
+    /// Stored outcomes the delta could not prove stable, hence re-decided.
+    pub distincts_redecided: usize,
+    /// Re-decided outcomes that actually changed and were rewritten.
+    pub outcomes_patched: usize,
+}
 
 /// The outcome of the batch executor for one input row.
 ///
@@ -102,6 +122,17 @@ impl ChunkStats {
             RowOutcome::Conforming { .. } => self.conforming += weight,
             RowOutcome::Transformed { .. } => self.transformed += weight,
             RowOutcome::Flagged { .. } => self.flagged += weight,
+        }
+    }
+
+    /// Un-count one outcome standing for `weight` rows — the inverse of
+    /// [`ChunkStats::record_weighted`], used when a patched report rewrites
+    /// a stored outcome in place.
+    pub(crate) fn discount_weighted(&mut self, outcome: &RowOutcome, weight: usize) {
+        match outcome {
+            RowOutcome::Conforming { .. } => self.conforming -= weight,
+            RowOutcome::Transformed { .. } => self.transformed -= weight,
+            RowOutcome::Flagged { .. } => self.flagged -= weight,
         }
     }
 
@@ -290,6 +321,11 @@ pub struct BatchReport {
     /// Number of chunks merged into this report (1 for a non-empty columnar
     /// report, which is built whole).
     pub chunk_count: usize,
+    /// Per-stored-outcome row multiplicities for columnar reports (`None`
+    /// for identity-mapped reports, whose weight is always 1). Kept so
+    /// [`BatchReport::patch`] can adjust `stats` in O(1) per rewritten
+    /// outcome instead of re-scanning the row map.
+    multiplicities: Option<Arc<[u32]>>,
 }
 
 impl BatchReport {
@@ -301,6 +337,7 @@ impl BatchReport {
             row_map: RowMap::Identity,
             stats: ChunkStats::default(),
             chunk_count: 0,
+            multiplicities: None,
         }
     }
 
@@ -335,8 +372,10 @@ impl BatchReport {
             "one outcome per distinct value"
         );
         let mut stats = ChunkStats::default();
+        let mut multiplicities = Vec::with_capacity(outcomes.len());
         for (outcome, value) in outcomes.iter().zip(column.distinct_values()) {
             stats.record_weighted(outcome, value.multiplicity());
+            multiplicities.push(value.multiplicity() as u32);
         }
         BatchReport {
             target,
@@ -344,6 +383,7 @@ impl BatchReport {
             row_map: RowMap::Shared(column.row_map().clone()),
             stats,
             chunk_count: usize::from(!column.is_empty()),
+            multiplicities: Some(multiplicities.into()),
         }
     }
 
@@ -365,6 +405,174 @@ impl BatchReport {
         self.stats.absorb(&chunk.stats);
         self.outcomes.extend(chunk.into_row_outcomes());
         self.chunk_count += 1;
+    }
+
+    /// Re-verify this report against `new_program`, rewriting in place
+    /// only the stored outcomes `delta` cannot prove stable.
+    ///
+    /// Every stored outcome keeps the original input recoverable
+    /// (`Conforming`/`Flagged` carry the value, `Transformed` carries
+    /// `from`), so an affected outcome is re-decided by running the new
+    /// program on that input; unaffected outcomes — and the shared row
+    /// map — are untouched. Cost is O(stored outcomes) cheap delta checks
+    /// plus a full decide for the affected ones only; the multiplicity
+    /// weights captured at construction make each stats adjustment O(1).
+    ///
+    /// `delta` must have been built with [`ProgramDelta::between`] from
+    /// the program that produced this report to `new_program`; when the
+    /// delta reports a target change the report's `target` follows the new
+    /// program's.
+    pub fn patch(&mut self, delta: &ProgramDelta, new_program: &CompiledProgram) -> PatchStats {
+        self.patch_observed(delta, new_program, None)
+    }
+
+    /// [`BatchReport::patch`], additionally publishing the
+    /// `engine.delta.{distincts_redecided,outcomes_patched}` counters.
+    pub fn patch_observed(
+        &mut self,
+        delta: &ProgramDelta,
+        new_program: &CompiledProgram,
+        sink: Option<&Arc<dyn MetricSink>>,
+    ) -> PatchStats {
+        self.patch_inner(delta, new_program, sink, None)
+    }
+
+    /// [`BatchReport::patch`] for a columnar report still paired with the
+    /// [`Column`] it was built over — the session's re-verification path.
+    ///
+    /// The column's per-distinct *cached leaf signatures* replace the
+    /// patch's per-value tokenization: the affected-screen memoizes by
+    /// dense leaf-id (one fused classification per distinct *leaf*, an
+    /// integer map lookup per distinct value) and each re-decide
+    /// dispatches through [`CompiledProgram::transform_one_by_leaf_id`]
+    /// without re-tokenizing the input. Falls back to the self-contained
+    /// [`BatchReport::patch_observed`] when `column` is not the report's
+    /// own (different row map or distinct count) — answers are identical
+    /// either way.
+    pub fn patch_columnar(
+        &mut self,
+        delta: &ProgramDelta,
+        new_program: &CompiledProgram,
+        column: &Column,
+    ) -> PatchStats {
+        self.patch_columnar_observed(delta, new_program, column, None)
+    }
+
+    /// [`BatchReport::patch_columnar`], additionally publishing the
+    /// `engine.delta.{distincts_redecided,outcomes_patched}` counters.
+    pub fn patch_columnar_observed(
+        &mut self,
+        delta: &ProgramDelta,
+        new_program: &CompiledProgram,
+        column: &Column,
+        sink: Option<&Arc<dyn MetricSink>>,
+    ) -> PatchStats {
+        let aligned = self.outcomes.len() == column.distinct_count()
+            && matches!(&self.row_map, RowMap::Shared(map) if Arc::ptr_eq(map, column.row_map()));
+        self.patch_inner(delta, new_program, sink, aligned.then_some(column))
+    }
+
+    fn patch_inner(
+        &mut self,
+        delta: &ProgramDelta,
+        new_program: &CompiledProgram,
+        sink: Option<&Arc<dyn MetricSink>>,
+        column: Option<&Column>,
+    ) -> PatchStats {
+        debug_assert_eq!(
+            new_program.instance(),
+            delta.new_instance(),
+            "patch must re-decide with the program the delta diffs to"
+        );
+        let mut patch = PatchStats {
+            branches_changed: delta.branches_changed(),
+            ..PatchStats::default()
+        };
+        if !delta.is_identity() {
+            let mut cache = DispatchCache::new();
+            // Screening memos: distincts sharing a leaf signature answer
+            // the affected-check once, not once per value. With a column
+            // the memo keys on the cached dense leaf-id; without one it
+            // keys on the leaf pattern `affects_outcome_memo` tokenizes.
+            let mut leaf_memo = std::collections::HashMap::new();
+            let mut id_memo: std::collections::HashMap<u32, Option<(bool, bool)>> =
+                std::collections::HashMap::new();
+            for (index, outcome) in self.outcomes.iter_mut().enumerate() {
+                let affected = match column {
+                    Some(col) if !outcome.is_conforming() && !delta.target_changed() => {
+                        let distinct = col.distinct(index);
+                        debug_assert_eq!(
+                            distinct.text(),
+                            match &*outcome {
+                                RowOutcome::Conforming { value }
+                                | RowOutcome::Flagged { value } => value.as_str(),
+                                RowOutcome::Transformed { from, .. } => from.as_str(),
+                            },
+                            "columnar outcome k must belong to distinct k"
+                        );
+                        let screen = *id_memo
+                            .entry(distinct.leaf_id())
+                            .or_insert_with(|| delta.screen_leaf(distinct.leaf()));
+                        match screen {
+                            Some(hits) => delta.hits_affect(outcome, hits),
+                            None => delta.affects_outcome(outcome),
+                        }
+                    }
+                    Some(_) => delta.affects_outcome(outcome),
+                    None => delta.affects_outcome_memo(outcome, &mut leaf_memo),
+                };
+                if !affected {
+                    continue;
+                }
+                patch.distincts_redecided += 1;
+                let redecided = match column {
+                    Some(col) => {
+                        let distinct = col.distinct(index);
+                        new_program.transform_one_by_leaf_id(
+                            &mut cache,
+                            col.interner_id(),
+                            col.interner_generation(),
+                            distinct.leaf_id(),
+                            distinct.text(),
+                            distinct.leaf(),
+                        )
+                    }
+                    None => {
+                        let input = match &*outcome {
+                            RowOutcome::Conforming { value } | RowOutcome::Flagged { value } => {
+                                value.clone()
+                            }
+                            RowOutcome::Transformed { from, .. } => from.clone(),
+                        };
+                        new_program.transform_one(&mut cache, &input)
+                    }
+                };
+                if redecided != *outcome {
+                    let weight = self
+                        .multiplicities
+                        .as_ref()
+                        .map_or(1, |m| m[index] as usize);
+                    self.stats.discount_weighted(outcome, weight);
+                    self.stats.record_weighted(&redecided, weight);
+                    *outcome = redecided;
+                    patch.outcomes_patched += 1;
+                }
+            }
+            if delta.target_changed() {
+                self.target = new_program.target().clone();
+            }
+        }
+        if let Some(sink) = sink {
+            sink.counter(
+                "engine.delta.distincts_redecided",
+                patch.distincts_redecided as u64,
+            );
+            sink.counter(
+                "engine.delta.outcomes_patched",
+                patch.outcomes_patched as u64,
+            );
+        }
+        patch
     }
 
     /// Number of rows covered by this report.
@@ -669,5 +877,151 @@ mod tests {
                 flagged: 33,
             }
         );
+    }
+
+    mod patch {
+        use super::*;
+        use crate::delta::ProgramDelta;
+        use crate::CompiledProgram;
+        use clx_pattern::parse_pattern;
+        use clx_unifi::{Branch, Expr, Program, StringExpr};
+
+        /// digits → join; letters → join. `suffix` repairs the digit plan.
+        fn program(suffix: &str) -> CompiledProgram {
+            let digits = parse_pattern("<D>2'-'<D>2").unwrap();
+            let letters = parse_pattern("<L>+'.'<L>+").unwrap();
+            CompiledProgram::compile(
+                &Program::new(vec![
+                    Branch::new(
+                        digits,
+                        Expr::concat(vec![
+                            StringExpr::extract(1),
+                            StringExpr::extract(3),
+                            StringExpr::const_str(suffix),
+                        ]),
+                    ),
+                    Branch::new(
+                        letters,
+                        Expr::concat(vec![StringExpr::extract(1), StringExpr::extract(3)]),
+                    ),
+                ]),
+                &parse_pattern("<AN>4").unwrap(),
+            )
+            .unwrap()
+        }
+
+        fn full_recompute(program: &CompiledProgram, column: &Column) -> BatchReport {
+            let mut cache = crate::DispatchCache::new();
+            let outcomes: Vec<RowOutcome> = column
+                .distinct_values()
+                .map(|v| program.transform_one(&mut cache, v.text()))
+                .collect();
+            BatchReport::columnar(program.target().clone(), outcomes, column)
+        }
+
+        #[test]
+        fn patch_rewrites_only_affected_outcomes_and_matches_full_recompute() {
+            // "cafe" conforms to <AN>4, "!!" is flagged either way.
+            let column = Column::from_values(&["12-34", "ab.cd", "12-34", "cafe", "!!"]);
+            let old = program("");
+            let new = program("#");
+            let mut report = full_recompute(&old, &column);
+            let before: Vec<RowOutcome> = report.outcomes().to_vec();
+
+            let delta = ProgramDelta::between(&old, &new);
+            let stats = report.patch(&delta, &new);
+            assert_eq!(stats.branches_changed, 2);
+            assert_eq!(
+                stats.distincts_redecided, 1,
+                "only the digit distinct re-decides"
+            );
+            assert_eq!(stats.outcomes_patched, 1);
+
+            let expected = full_recompute(&new, &column);
+            assert_eq!(
+                report.iter_rows().collect::<Vec<_>>(),
+                expected.iter_rows().collect::<Vec<_>>()
+            );
+            assert_eq!(report.stats, expected.stats, "weighted stats re-balanced");
+            // Everything the delta proved stable is byte-identical.
+            for (i, outcome) in report.outcomes().iter().enumerate() {
+                if before[i].value() != "1234" {
+                    assert_eq!(outcome, &before[i]);
+                }
+            }
+        }
+
+        #[test]
+        fn identity_patch_changes_nothing() {
+            let column = Column::from_values(&["12-34", "ab.cd"]);
+            let old = program("");
+            let new = program("");
+            let mut report = full_recompute(&old, &column);
+            let before = report.clone();
+            let delta = ProgramDelta::between(&old, &new);
+            let stats = report.patch(&delta, &new);
+            assert_eq!(stats, PatchStats::default());
+            assert_eq!(
+                report.iter_rows().collect::<Vec<_>>(),
+                before.iter_rows().collect::<Vec<_>>()
+            );
+        }
+
+        #[test]
+        fn target_change_patch_re_decides_everything_and_retargets() {
+            let column = Column::from_values(&["12-34", "cafe"]);
+            let old = program("");
+            let digits = parse_pattern("<D>2'-'<D>2").unwrap();
+            let new = CompiledProgram::compile(
+                &Program::new(vec![Branch::new(
+                    digits,
+                    Expr::concat(vec![StringExpr::extract(1), StringExpr::extract(3)]),
+                )]),
+                &parse_pattern("<D>+").unwrap(),
+            )
+            .unwrap();
+            let mut report = full_recompute(&old, &column);
+            let delta = ProgramDelta::between(&old, &new);
+            let stats = report.patch(&delta, &new);
+            assert_eq!(stats.distincts_redecided, 2, "target change affects all");
+            assert_eq!(report.target, *new.target());
+            let expected = full_recompute(&new, &column);
+            assert_eq!(
+                report.iter_rows().collect::<Vec<_>>(),
+                expected.iter_rows().collect::<Vec<_>>()
+            );
+            assert_eq!(report.stats, expected.stats);
+        }
+
+        #[test]
+        fn patch_columnar_equals_self_contained_patch() {
+            let column = Column::from_values(&["12-34", "ab.cd", "12-34", "cafe", "!!"]);
+            let old = program("");
+            let new = program("#");
+            let delta = ProgramDelta::between(&old, &new);
+            let baseline = full_recompute(&old, &column);
+
+            let mut self_contained = baseline.clone();
+            let generic_stats = self_contained.patch(&delta, &new);
+            let mut columnar = baseline.clone();
+            let columnar_stats = columnar.patch_columnar(&delta, &new, &column);
+            assert_eq!(columnar_stats, generic_stats, "same screen, same counts");
+            assert_eq!(
+                columnar.iter_rows().collect::<Vec<_>>(),
+                self_contained.iter_rows().collect::<Vec<_>>()
+            );
+            assert_eq!(columnar.stats, self_contained.stats);
+
+            // A column that is not the report's own (same values, different
+            // row-map Arc) silently falls back to the self-contained path.
+            let stranger = Column::from_values(&["12-34", "ab.cd", "12-34", "cafe", "!!"]);
+            let mut fallback = baseline.clone();
+            let fallback_stats = fallback.patch_columnar(&delta, &new, &stranger);
+            assert_eq!(fallback_stats, generic_stats);
+            assert_eq!(
+                fallback.iter_rows().collect::<Vec<_>>(),
+                self_contained.iter_rows().collect::<Vec<_>>()
+            );
+        }
     }
 }

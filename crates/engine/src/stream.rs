@@ -28,6 +28,7 @@ use clx_pattern::Pattern;
 use clx_telemetry::MetricSink;
 
 use crate::compiled::CompiledProgram;
+use crate::delta::ProgramDelta;
 use crate::dispatch::DispatchCache;
 use crate::parallel::ExecOptions;
 use crate::report::{ChunkReport, ChunkStats, RowOutcome};
@@ -124,6 +125,32 @@ impl DistinctDecisions {
             self.count -= 1;
             self.bytes -= outcome_footprint(&outcome);
         }
+    }
+
+    /// Program-swap invalidation: drop every stored decision `delta`
+    /// cannot prove stable, so the next chunk touching those ids
+    /// re-decides them through the new program — the PR 5 generation
+    /// machinery then takes over as if they had never been decided.
+    /// Unaffected decisions keep replaying untouched. Returns the number
+    /// of decisions invalidated; O(decided slots) delta checks, no row
+    /// ever runs here.
+    fn retain_unaffected(&mut self, delta: &ProgramDelta) -> usize {
+        let mut invalidated = 0;
+        // Screening memo keyed by leaf signature (see `BatchReport::patch`):
+        // distincts sharing a format answer the affected-check once.
+        let mut leaf_memo = std::collections::HashMap::new();
+        for slot in &mut self.decided {
+            let affected = slot
+                .as_ref()
+                .is_some_and(|(_, outcome)| delta.affects_outcome_memo(outcome, &mut leaf_memo));
+            if affected {
+                let (_, outcome) = slot.take().expect("checked above");
+                self.count -= 1;
+                self.bytes -= outcome_footprint(&outcome);
+                invalidated += 1;
+            }
+        }
+        invalidated
     }
 
     /// Execute one interned chunk, reusing stored decisions for already-seen
@@ -471,6 +498,72 @@ impl ColumnStream {
         &self.cache
     }
 
+    /// Hot-swap the stream's program mid-stream, keeping everything the
+    /// program change cannot invalidate.
+    ///
+    /// A [`ProgramDelta`] between the old and new program drives three
+    /// incremental moves, none of which touches a row:
+    ///
+    /// * **decisions** — already-decided distincts whose outcome the delta
+    ///   cannot prove stable are invalidated and re-decide *lazily*
+    ///   (through the new program, via the usual generation machinery) on
+    ///   the next chunk that contains them; everything else keeps
+    ///   replaying its stored outcome.
+    /// * **dispatch plans** — the dense leaf-id tier re-binds to the new
+    ///   program *without a full reset*: plans for leaf-ids the delta
+    ///   proves unaffected are retained as-is (see "Rebinding without a
+    ///   reset" in the `dispatch` module docs); affected ones rebuild on
+    ///   next sight. The hashed tier is filtered the same way.
+    /// * **fused automaton** — the new program already carries its own,
+    ///   built once at compile time; first-sight decisions after the swap
+    ///   classify through it with no per-distinct rebuild cost. The
+    ///   stream's fused-tally baseline re-snapshots so telemetry deltas
+    ///   stay attributed correctly.
+    ///
+    /// Swapping in the same program (same `Arc` or a recompilation of an
+    /// identical program) is a no-op beyond the delta check. Under a
+    /// telemetry sink the swap publishes `engine.delta.branches_changed`
+    /// and `engine.delta.distincts_redecided` (the lazily invalidated
+    /// count). Cost: O(decided distincts + cached plans) cheap delta
+    /// checks, independent of row count.
+    pub fn swap_program(&mut self, new_program: Arc<CompiledProgram>) -> SwapSummary {
+        if Arc::ptr_eq(&self.program, &new_program)
+            || self.program.instance() == new_program.instance()
+        {
+            return SwapSummary::default();
+        }
+        let delta =
+            ProgramDelta::between_observed(&self.program, &new_program, self.telemetry.as_ref());
+        let distincts_invalidated = self.decisions.retain_unaffected(&delta);
+        let interner = &self.interner;
+        let (dense_plans_retained, dense_plans_dropped) = self.cache.rebind_retaining(
+            new_program.instance(),
+            |leaf| !delta.affects_leaf(leaf),
+            |leaf_id| {
+                interner
+                    .leaf_pattern(leaf_id)
+                    .is_some_and(|leaf| !delta.affects_leaf(leaf))
+            },
+        );
+        if let Some(sink) = &self.telemetry {
+            sink.counter(
+                "engine.delta.distincts_redecided",
+                distincts_invalidated as u64,
+            );
+        }
+        // Re-baseline the fused tallies: they live on the program, and
+        // this stream now publishes deltas of the new program's counters.
+        self.published_fused = new_program.fused_stats();
+        self.program = new_program;
+        SwapSummary {
+            branches_changed: delta.branches_changed(),
+            target_changed: delta.target_changed(),
+            distincts_invalidated,
+            dense_plans_retained,
+            dense_plans_dropped,
+        }
+    }
+
     /// Intern the next chunk of rows into the stream's id space and
     /// transform it, returning a columnar [`ChunkReport`]. Distinct values
     /// seen in earlier chunks keep their ids, so they are neither
@@ -652,6 +745,25 @@ impl ColumnStream {
             decision_cache_misses: self.decisions.misses,
         }
     }
+}
+
+/// What [`ColumnStream::swap_program`] kept and what it let go — the
+/// incremental accounting of one mid-stream program hot-swap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwapSummary {
+    /// Changed branch slots in the old→new delta (after the
+    /// facts intersection; see [`ProgramDelta::branches_changed`]).
+    pub branches_changed: usize,
+    /// `true` when the labelled target pattern changed (which invalidates
+    /// every decision and plan).
+    pub target_changed: bool,
+    /// Stored distinct decisions invalidated for lazy re-decide; every
+    /// other decided distinct keeps replaying its outcome.
+    pub distincts_invalidated: usize,
+    /// Dense dispatch plans proven still valid and retained as-is.
+    pub dense_plans_retained: usize,
+    /// Dense dispatch plans dropped for rebuild on next sight.
+    pub dense_plans_dropped: usize,
 }
 
 /// The O(1)-sized result of a finished streaming run.
@@ -1208,5 +1320,128 @@ mod tests {
         let report = session.push_column_chunk(&chunk);
         assert_eq!(report.stats.flagged, 2);
         assert_eq!(session.distinct_decided(), 1);
+    }
+
+    /// Two transparent branches over disjoint leaves, so a repair to one
+    /// provably leaves the other branch's distincts and plans alone.
+    fn two_branch_program(digit_suffix: &str) -> CompiledProgram {
+        let digits = clx_pattern::parse_pattern("<D>2'-'<D>2").unwrap();
+        let letters = clx_pattern::parse_pattern("<L>+'.'<L>+").unwrap();
+        let program = Program::new(vec![
+            Branch::new(
+                digits,
+                Expr::concat(vec![
+                    StringExpr::extract(1),
+                    StringExpr::extract(3),
+                    StringExpr::const_str(digit_suffix),
+                ]),
+            ),
+            Branch::new(
+                letters,
+                Expr::concat(vec![StringExpr::extract(1), StringExpr::extract(3)]),
+            ),
+        ]);
+        // `<AN>4` conforms to the branch *outputs* ("1234", "abcd") but not
+        // to the inputs ("-" and "." keep them off-target), so both
+        // branches genuinely fire.
+        CompiledProgram::compile(&program, &clx_pattern::parse_pattern("<AN>4").unwrap()).unwrap()
+    }
+
+    #[test]
+    fn swap_program_keeps_unaffected_decisions_and_dense_plans() {
+        let mut stream = ColumnStream::new(Arc::new(two_branch_program("")));
+        let rows = ["12-34", "56-78", "ab.cd", "ef.gh"];
+        stream.push_rows(&rows);
+        assert_eq!(stream.distinct_decided(), 4);
+        let dense_before = stream.dispatch_cache().dense_len();
+        assert_eq!(dense_before, 2, "one dense plan per leaf");
+
+        let swap = stream.swap_program(Arc::new(two_branch_program("#")));
+        assert_eq!(swap.branches_changed, 2, "old + new form of one branch");
+        assert!(!swap.target_changed);
+        assert_eq!(
+            swap.distincts_invalidated, 2,
+            "only the digit distincts re-decide"
+        );
+        assert_eq!(swap.dense_plans_retained, 1, "letters leaf plan survives");
+        assert_eq!(swap.dense_plans_dropped, 1);
+        assert_eq!(stream.distinct_decided(), 2);
+
+        // Replaying the same rows re-decides exactly the invalidated ids,
+        // through the new program — and matches a fresh stream of it.
+        let patched = stream.push_rows(&rows);
+        let mut fresh = ColumnStream::new(Arc::new(two_branch_program("#")));
+        let expected = fresh.push_rows(&rows);
+        assert_eq!(
+            patched.iter_rows().collect::<Vec<_>>(),
+            expected.iter_rows().collect::<Vec<_>>()
+        );
+        assert!(
+            patched.iter_values().any(|v| v == "1234#"),
+            "new plan's output visible post-swap"
+        );
+    }
+
+    #[test]
+    fn swap_program_with_identical_program_is_a_no_op() {
+        let mut stream = ColumnStream::new(Arc::new(two_branch_program("")));
+        stream.push_rows(&["12-34", "ab.cd"]);
+        let decided = stream.distinct_decided();
+        // A recompilation of the same source program: new instance, no
+        // semantic change — the delta proves everything stable.
+        let swap = stream.swap_program(Arc::new(two_branch_program("")));
+        assert_eq!(swap.branches_changed, 0);
+        assert_eq!(swap.distincts_invalidated, 0);
+        assert_eq!(swap.dense_plans_dropped, 0);
+        assert_eq!(swap.dense_plans_retained, 2);
+        assert_eq!(stream.distinct_decided(), decided);
+        assert_eq!(stream.dispatch_cache().dense_len(), 2);
+    }
+
+    #[test]
+    fn swap_program_target_change_invalidates_everything() {
+        let mut stream = ColumnStream::new(Arc::new(two_branch_program("")));
+        stream.push_rows(&["12-34", "ab.cd"]);
+        let digits = clx_pattern::parse_pattern("<D>2'-'<D>2").unwrap();
+        let retarget = CompiledProgram::compile(
+            &Program::new(vec![Branch::new(
+                digits,
+                Expr::concat(vec![StringExpr::extract(1), StringExpr::extract(3)]),
+            )]),
+            &clx_pattern::parse_pattern("<D>+").unwrap(),
+        )
+        .unwrap();
+        let swap = stream.swap_program(Arc::new(retarget));
+        assert!(swap.target_changed);
+        assert_eq!(swap.distincts_invalidated, 2);
+        assert_eq!(swap.dense_plans_retained, 0);
+        assert_eq!(stream.distinct_decided(), 0);
+        // Post-swap pushes equal a fresh stream of the new program.
+        let report = stream.push_rows(&["12-34", "ab.cd"]);
+        assert_eq!(report.stats.transformed, 1);
+        assert_eq!(report.stats.flagged, 1);
+    }
+
+    #[test]
+    fn swap_program_under_eviction_stays_row_for_row_correct() {
+        let budget = StreamBudget::max_distinct(2);
+        let mut stream = ColumnStream::with_budget(Arc::new(two_branch_program("")), budget);
+        let rows: Vec<String> = (0..40)
+            .map(|i| match i % 4 {
+                0 => format!("{:02}-{:02}", 10 + (i % 50), 10 + (i % 50)),
+                1 => "ab.cd".to_string(),
+                2 => "ef.gh".to_string(),
+                _ => "???".to_string(),
+            })
+            .collect();
+        stream.push_rows(&rows[..20]);
+        stream.swap_program(Arc::new(two_branch_program("#")));
+        let patched = stream.push_rows(&rows[20..]);
+        let mut fresh = ColumnStream::new(Arc::new(two_branch_program("#")));
+        let expected = fresh.push_rows(&rows[20..]);
+        assert_eq!(
+            patched.iter_rows().collect::<Vec<_>>(),
+            expected.iter_rows().collect::<Vec<_>>()
+        );
     }
 }

@@ -513,6 +513,38 @@ mod tests {
     }
 
     #[test]
+    fn repair_choice_boundaries_are_exact() {
+        let data = vec!["12/11/2017", "03/04/2018", "11-12-2017"];
+        let hierarchy = PatternProfiler::new().profile(&data);
+        let target = tokenize("11-12-2017");
+        let mut synthesis = synthesize(&hierarchy, &target, &options());
+        let pattern = parse_pattern("<D>2'/'<D>2'/'<D>4").unwrap();
+        let len = synthesis.alternatives(&pattern).unwrap().len();
+        assert!(len >= 2);
+
+        // The last valid index is accepted...
+        assert!(synthesis.repair(&pattern, len - 1));
+        let chosen = |s: &Synthesis| {
+            s.sources
+                .iter()
+                .find(|src| src.pattern == pattern)
+                .unwrap()
+                .chosen
+        };
+        assert_eq!(chosen(&synthesis), len - 1);
+
+        // ...the one-past-the-end index is rejected and leaves the
+        // selection untouched (off-by-one would panic in `selected()`).
+        assert!(!synthesis.repair(&pattern, len));
+        assert_eq!(chosen(&synthesis), len - 1);
+        let _ = synthesis.program(); // `selected()` must not be out of range
+
+        // Back to the boundary at the other end.
+        assert!(synthesis.repair(&pattern, 0));
+        assert_eq!(chosen(&synthesis), 0);
+    }
+
+    #[test]
     fn noise_only_data_rejects_everything() {
         let data = vec!["N/A", "??", "-"];
         let hierarchy = PatternProfiler::new().profile(&data);

@@ -215,17 +215,23 @@ impl Program {
         self.branches.iter().find(|b| &b.pattern == pattern)
     }
 
-    /// Replace the expression of the branch guarded by `pattern`; returns
-    /// `true` if such a branch existed. This is the "program repair"
-    /// interaction of §6.4.
+    /// Replace the expression of **every** branch guarded by `pattern`;
+    /// returns `true` if at least one such branch existed. This is the
+    /// "program repair" interaction of §6.4.
+    ///
+    /// Duplicate-pattern branches (which a merged or hand-built program
+    /// can legally contain — only the first can ever fire, but later
+    /// copies survive round-trips) are all repaired together, so a repair
+    /// can never leave a stale copy behind that becomes live when an
+    /// earlier branch is later removed. When `pattern` guards no branch
+    /// the program is unchanged and `false` is returned.
     pub fn repair(&mut self, pattern: &Pattern, expr: Expr) -> bool {
-        match self.branches.iter_mut().find(|b| &b.pattern == pattern) {
-            Some(branch) => {
-                branch.expr = expr;
-                true
-            }
-            None => false,
+        let mut repaired = false;
+        for branch in self.branches.iter_mut().filter(|b| &b.pattern == pattern) {
+            branch.expr = expr.clone();
+            repaired = true;
         }
+        repaired
     }
 
     /// Statically [`Branch::validate`] every branch of the program.
@@ -428,6 +434,38 @@ mod tests {
             Expr::concat(vec![StringExpr::extract(9)]),
         ));
         assert!(program.validate().is_err());
+    }
+
+    #[test]
+    fn repair_rewrites_every_duplicate_pattern_branch() {
+        let pattern = tokenize("abc");
+        let other = tokenize("123");
+        let old = Expr::concat(vec![StringExpr::extract(1)]);
+        let new = Expr::concat(vec![StringExpr::const_str("x")]);
+        let mut program = Program::new(vec![
+            Branch::new(pattern.clone(), old.clone()),
+            Branch::new(other.clone(), old.clone()),
+            Branch::new(pattern.clone(), old.clone()),
+        ]);
+        assert!(program.repair(&pattern, new.clone()));
+        assert_eq!(program.branches[0].expr, new);
+        assert_eq!(
+            program.branches[2].expr, new,
+            "later duplicate repaired too"
+        );
+        assert_eq!(program.branches[1].expr, old, "other branch untouched");
+    }
+
+    #[test]
+    fn repair_of_unknown_pattern_changes_nothing() {
+        let old = Expr::concat(vec![StringExpr::extract(1)]);
+        let mut program = Program::new(vec![Branch::new(tokenize("abc"), old.clone())]);
+        let before = program.clone();
+        assert!(!program.repair(
+            &tokenize("12"),
+            Expr::concat(vec![StringExpr::const_str("x")])
+        ));
+        assert_eq!(program, before);
     }
 
     #[test]

@@ -181,6 +181,25 @@ pub fn transform(program: &Program, input: &str) -> Result<TransformOutcome, Eva
     Ok(TransformOutcome::Flagged(input.to_string()))
 }
 
+/// [`transform`] with the compiled engine's error semantics: a branch
+/// whose pattern matches but whose plan fails to evaluate (an ill-formed
+/// `Extract` — possible only for programs that never went through
+/// [`crate::Program::validate`]) *falls through* to the next branch
+/// instead of aborting, and the value is flagged when no branch fires.
+///
+/// This is exactly what `clx-engine`'s plan interpreter does per row, so
+/// a sequential caller using this function and a compiled caller agree
+/// row for row even on unvalidated programs. Use [`transform`] when an
+/// eval error should surface as a hard error instead.
+pub fn transform_lenient(program: &Program, input: &str) -> TransformOutcome {
+    for branch in &program.branches {
+        if let Some(Ok(out)) = eval_branch(branch, input) {
+            return TransformOutcome::Transformed(out);
+        }
+    }
+    TransformOutcome::Flagged(input.to_string())
+}
+
 /// Run a program over a column of values. Errors (which indicate an
 /// ill-formed program rather than ill-formed data) abort the run.
 pub fn transform_all<S: AsRef<str>>(
@@ -435,5 +454,20 @@ mod tests {
     fn empty_expr_produces_empty_string() {
         let p = tokenize("abc");
         assert_eq!(eval_expr(&Expr::default(), &p, "abc").unwrap(), "");
+    }
+
+    #[test]
+    fn lenient_transform_falls_through_an_ill_formed_branch() {
+        let leaf = tokenize("abc");
+        let program = Program::new(vec![
+            // Matches "abc" but its plan is out of bounds — `transform`
+            // aborts here; `transform_lenient` tries the next branch.
+            Branch::new(leaf.clone(), Expr::concat(vec![StringExpr::extract(9)])),
+            Branch::new(leaf, Expr::concat(vec![StringExpr::const_str("ok")])),
+        ]);
+        assert!(transform(&program, "abc").is_err());
+        assert_eq!(transform_lenient(&program, "abc").value(), "ok");
+        // No branch fires at all: flagged, not an error.
+        assert!(transform_lenient(&program, "123").is_flagged());
     }
 }

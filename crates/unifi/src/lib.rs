@@ -47,6 +47,6 @@ mod explain;
 pub use ast::{Branch, Expr, Program, StringExpr};
 pub use eval::{
     eval_branch, eval_expr, eval_expr_on_slices, extract_bounds_violation, transform,
-    transform_all, EvalError, ExtractRule, TransformOutcome,
+    transform_all, transform_lenient, EvalError, ExtractRule, TransformOutcome,
 };
 pub use explain::{explain_branch, explain_program, ExplainError, Explanation, ReplaceOp};

@@ -21,7 +21,12 @@
 //!   parallel chunked execution, streaming over columns larger than
 //!   memory, and LRU caching ([`ProgramCache`]). Reports are columnar
 //!   ([`TransformReport`]): one outcome per *distinct* value plus the
-//!   column's shared row map — O(distinct), never per-duplicate clones;
+//!   column's shared row map — O(distinct), never per-duplicate clones.
+//!   After a repair, [`ClxSession::reverify`](clx_core::ClxSession::reverify)
+//!   diffs old vs new program ([`ProgramDelta`]) and patches the existing
+//!   report in place, re-deciding only the *affected* distincts;
+//!   [`ColumnStream::swap_program`](clx_engine::ColumnStream::swap_program)
+//!   does the same for a live stream;
 //! * [`column`](mod@column) — the shared column data plane: interned, deduplicated
 //!   rows with cached token streams ([`Column`]) that profiler, synthesizer,
 //!   session and engine all read instead of re-tokenizing;
@@ -105,8 +110,8 @@ pub use clx_core::{
     TransformReport,
 };
 pub use clx_engine::{
-    BatchReport, ColumnStream, CompiledProgram, DispatchStats, ExecOptions, ProgramCache,
-    ProgramCacheStats, StreamSession, StreamSummary,
+    BatchReport, ColumnStream, CompiledProgram, DispatchStats, ExecOptions, PatchStats,
+    ProgramCache, ProgramCacheStats, ProgramDelta, StreamSession, StreamSummary, SwapSummary,
 };
 pub use clx_pattern::{parse_pattern, tokenize, Pattern, Token, TokenClass};
 pub use clx_synth::{validate_report, ValidationReport};

@@ -8,6 +8,14 @@
 //! [`CompiledProgram::execute_column`] over the whole column. Eviction and
 //! fallback may only change *retained memory*, never an outcome.
 //!
+//! The incremental re-verification properties live here too: a report
+//! patched through a `ProgramDelta` equals a fresh full recompute under
+//! the new program (row for row and in the weighted stats), a stream
+//! whose program is hot-swapped mid-flight equals a fresh stream of the
+//! new program on the remaining chunks (under every budget, including
+//! eviction), and session-level `reverify` after arbitrary repair
+//! sequences equals a fresh `apply`.
+//!
 //! Also here: the sharded [`ColumnBuilder`] byte-identity property on
 //! random inputs (empty values, Unicode, single-distinct, all-distinct —
 //! not just the curated duplicate-heavy workload of
@@ -590,6 +598,171 @@ proptest! {
         let (b, b_summary) = stream_program_in_chunks(&split, &rows, &splits, budget);
         prop_assert_eq!(a, b);
         prop_assert_eq!(a_summary.stats, b_summary.stats);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental re-verification: a delta-patched report / hot-swapped stream
+// is indistinguishable from a full recompute under the new program.
+// ---------------------------------------------------------------------------
+
+/// A "new" program derived from `old`: an unrelated random program (the
+/// worst case for the delta — target and every branch may change), the
+/// same program recompiled (the identity delta), or a one-branch repair
+/// (the sharp case the whole machinery exists for).
+fn derive_new_program(
+    old: &(Program, Pattern),
+    other: (Program, Pattern),
+    mutate: usize,
+    which: usize,
+) -> (Program, Pattern) {
+    match mutate {
+        0 => other,
+        1 => old.clone(),
+        _ => {
+            let mut program = old.0.clone();
+            let index = which % program.branches.len();
+            program.branches[index].expr = Expr::concat(vec![StringExpr::const_str("Z")]);
+            (program, old.1.clone())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Patching a finished report through a [`ProgramDelta`] equals a
+    /// fresh full recompute under the new program — row for row and in
+    /// the multiplicity-weighted stats — for identity, repair-shaped and
+    /// arbitrary program changes.
+    #[test]
+    fn patched_report_equals_full_recompute(
+        old_pt in any_program(),
+        other in any_program(),
+        mutate in 0..3usize,
+        which in 0..4usize,
+        rows in workload(),
+        reps in 1..3usize,
+    ) {
+        let (new_program, new_target) = derive_new_program(&old_pt, other, mutate, which);
+        let (old_program, old_target) = old_pt;
+        let old = CompiledProgram::compile(&old_program, &old_target).unwrap();
+        let new = CompiledProgram::compile(&new_program, &new_target).unwrap();
+
+        // Mix in values the branches and targets actually match, so the
+        // delta's affected sets are non-trivial.
+        let mut rows = rows;
+        for branch in old_program.branches.iter().chain(new_program.branches.iter()) {
+            rows.push(sample_value(&branch.pattern, reps));
+        }
+        rows.push(sample_value(&old_target, reps));
+        rows.push(sample_value(&new_target, reps));
+        let column = Column::from_rows(rows);
+
+        let mut report = old.execute_column(&column);
+        let delta = clx::ProgramDelta::between(&old, &new);
+        let stats = report.patch(&delta, &new);
+        let expected = new.execute_column(&column);
+        prop_assert!(
+            report.iter_rows().eq(expected.iter_rows()),
+            "patched report diverged from full recompute (mutate {})",
+            mutate
+        );
+        prop_assert_eq!(report.stats, expected.stats);
+        prop_assert_eq!(&report.target, &expected.target);
+        prop_assert!(stats.distincts_redecided <= column.distinct_count());
+        if mutate == 1 {
+            // Identity delta: nothing may be re-decided.
+            prop_assert_eq!(stats.distincts_redecided, 0);
+        }
+    }
+
+    /// Hot-swapping a stream's program mid-flight equals restarting a
+    /// fresh stream of the new program on the remaining chunks — under
+    /// every budget, including eviction and fallback.
+    #[test]
+    fn swapped_stream_equals_fresh_stream_of_new_program(
+        old_pt in any_program(),
+        other in any_program(),
+        mutate in 0..3usize,
+        which in 0..4usize,
+        rows in workload(),
+        splits in chunk_splits(),
+        budget in budgets(),
+        switch_at in 0..8usize,
+        reps in 1..3usize,
+    ) {
+        let (new_program, new_target) = derive_new_program(&old_pt, other, mutate, which);
+        let (old_program, old_target) = old_pt;
+        let old = Arc::new(CompiledProgram::compile(&old_program, &old_target).unwrap());
+        let new = Arc::new(CompiledProgram::compile(&new_program, &new_target).unwrap());
+
+        let mut rows = rows;
+        for branch in old_program.branches.iter().chain(new_program.branches.iter()) {
+            rows.push(sample_value(&branch.pattern, reps));
+        }
+        rows.push(sample_value(&old_target, reps));
+        rows.push(sample_value(&new_target, reps));
+
+        // Materialize the chunk list (remainder last, like the streams).
+        let mut chunks: Vec<&[String]> = Vec::new();
+        let mut rest = rows.as_slice();
+        for &len in &splits {
+            let take = len.min(rest.len());
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            chunks.push(chunk);
+        }
+        chunks.push(rest);
+        let boundary = switch_at % (chunks.len() + 1);
+
+        let mut swapped = ColumnStream::with_budget(Arc::clone(&old), budget);
+        let mut fresh = ColumnStream::with_budget(Arc::clone(&new), budget);
+        let mut post_swap: Vec<RowOutcome> = Vec::new();
+        let mut reference: Vec<RowOutcome> = Vec::new();
+        for (index, chunk) in chunks.iter().enumerate() {
+            if index == boundary {
+                swapped.swap_program(Arc::clone(&new));
+            }
+            let report = swapped.push_rows(chunk);
+            if index >= boundary {
+                post_swap.extend(report.iter_rows().cloned());
+                reference.extend(fresh.push_rows(chunk).iter_rows().cloned());
+            }
+        }
+        if boundary == chunks.len() {
+            swapped.swap_program(Arc::clone(&new));
+        }
+        prop_assert_eq!(post_swap, reference);
+    }
+
+    /// The full interactive loop: after *any* sequence of repairs
+    /// (including rejected ones), [`ClxSession::reverify`] of the
+    /// pre-repair report equals a fresh [`ClxSession::apply`] under the
+    /// repaired program.
+    ///
+    /// [`ClxSession::reverify`]: clx::ClxSession::reverify
+    /// [`ClxSession::apply`]: clx::ClxSession::apply
+    #[test]
+    fn reverified_report_equals_fresh_apply(
+        rows in workload(),
+        choices in proptest::collection::vec((0..8usize, 0..8usize), 0..4),
+    ) {
+        let mut rows = rows;
+        rows.push("734-422-8073".to_string());
+        let mut session = clx::ClxSession::new(rows)
+            .label_by_example("734-422-8073")
+            .unwrap();
+        let baseline = session.apply().unwrap();
+        let patterns: Vec<Pattern> = session.patterns().into_iter().map(|(p, _)| p).collect();
+        for (which, choice) in choices {
+            // Rejected repairs (pattern not a source, choice out of range)
+            // are part of the property: they must not corrupt reverify.
+            let _ = session.repair(&patterns[which % patterns.len()], choice);
+        }
+        let patched = session.reverify(&baseline).unwrap();
+        let fresh = session.apply().unwrap();
+        prop_assert_eq!(patched, fresh);
     }
 }
 
